@@ -1,0 +1,122 @@
+// Experiment F1 (paper Fig. 1): the bibliography FLWOR + constructor query
+// end-to-end — SchemaTree extraction, Env evaluation and γ construction —
+// across result sizes, plus the γ-only cost (construction over precomputed
+// bindings) to separate matching from building.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "xmlq/exec/executor.h"
+#include "xmlq/xquery/parser.h"
+#include "xmlq/xquery/schema_extract.h"
+#include "xmlq/xquery/translate.h"
+
+namespace xmlq::bench {
+namespace {
+
+constexpr const char* kFigure1Query =
+    "<results>{"
+    " for $b in doc(\"bib.xml\")/bib/book"
+    " let $t := $b/title"
+    " let $a := $b/author"
+    " return <result>{$t}{$a}</result>"
+    "}</results>";
+
+exec::EvalContext MakeContext(int books) {
+  exec::EvalContext context;
+  context.documents[""] = BibDoc(books).view;
+  context.documents["bib.xml"] = BibDoc(books).view;
+  return context;
+}
+
+void BM_Figure1EndToEnd(benchmark::State& state) {
+  const int books = static_cast<int>(state.range(0));
+  const exec::EvalContext context = MakeContext(books);
+  xquery::TranslateOptions options;
+  options.default_document = "bib.xml";
+  auto plan = xquery::CompileQuery(kFigure1Query, options);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  exec::Executor executor(&context);
+  size_t constructed_nodes = 0;
+  for (auto _ : state) {
+    auto result = executor.Evaluate(**plan);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    constructed_nodes = result->constructed.back()->NodeCount();
+    benchmark::DoNotOptimize(constructed_nodes);
+  }
+  state.counters["constructed_nodes"] =
+      static_cast<double>(constructed_nodes);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * books));
+}
+BENCHMARK(BM_Figure1EndToEnd)
+    ->Name("F1/figure1_query")
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000);
+
+void BM_CompileAndExtractSchema(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ast = xquery::ParseQuery(kFigure1Query);
+    if (!ast.ok()) {
+      state.SkipWithError(ast.status().ToString().c_str());
+      return;
+    }
+    auto schema = xquery::ExtractSchemaTree(**ast);
+    if (!schema.ok()) {
+      state.SkipWithError(schema.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(schema->tree.NodeCount());
+  }
+}
+BENCHMARK(BM_CompileAndExtractSchema)
+    ->Name("F1/parse_and_schema_extract")
+    ->Unit(benchmark::kMicrosecond);
+
+/// γ in isolation: the same construction driven by a pre-bound variable, so
+/// the timed body is (almost) pure output building.
+void BM_GammaOnly(benchmark::State& state) {
+  const int books = static_cast<int>(state.range(0));
+  const exec::EvalContext context = MakeContext(books);
+  xquery::TranslateOptions options;
+  options.default_document = "bib.xml";
+  auto plan =
+      xquery::CompileQuery("<copy>{$titles}</copy>", options);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  exec::Executor executor(&context);
+  // Pre-compute the bindings once.
+  auto titles_plan = xquery::CompileQuery("//title", options);
+  exec::QueryResult scratch;
+  auto titles = executor.EvaluateWithVars(**titles_plan, {}, &scratch);
+  if (!titles.ok()) {
+    state.SkipWithError(titles.status().ToString().c_str());
+    return;
+  }
+  std::map<std::string, algebra::Sequence> vars;
+  vars["titles"] = *titles;
+  for (auto _ : state) {
+    exec::QueryResult out;
+    auto result = executor.EvaluateWithVars(**plan, vars, &out);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out.constructed.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * books));
+}
+BENCHMARK(BM_GammaOnly)->Name("F1/gamma_only")->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace xmlq::bench
+
+BENCHMARK_MAIN();

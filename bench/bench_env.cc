@@ -1,0 +1,104 @@
+// Experiment F2 (paper Definition 3 / Fig. 2): FLWOR evaluation through the
+// materialized layered Env vs direct pipelined recursion, across nesting
+// depths and fan-outs. Both strategies evaluate the same tuples; the bench
+// quantifies the materialization overhead (and where batching pays off).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "xmlq/exec/executor.h"
+#include "xmlq/xquery/translate.h"
+
+namespace xmlq::bench {
+namespace {
+
+exec::EvalContext MakeContext(int permille, exec::FlworMode mode) {
+  exec::EvalContext context;
+  context.documents[""] = AuctionDoc(permille).view;
+  context.documents["auction.xml"] = AuctionDoc(permille).view;
+  context.flwor_mode = mode;
+  return context;
+}
+
+struct FlworCase {
+  const char* name;
+  const char* query;
+};
+
+constexpr FlworCase kCases[] = {
+    {"two_vars",
+     "for $a in //open_auction for $b in $a/bidder return $b/increase"},
+    {"let_heavy",
+     "for $a in //open_auction let $bs := $a/bidder let $n := count($bs) "
+     "where $n > 0 return $n"},
+    {"three_deep",
+     "for $i in //item for $m in $i/mailbox/mail for $f in $m/from "
+     "return $f"},
+    {"where_filter",
+     "for $p in //person where $p/profile/education = 'Graduate School' "
+     "return $p/name"},
+    {"ordered",
+     "for $c in //closed_auction order by $c/price descending "
+     "return $c/price"},
+};
+
+void BM_Flwor(benchmark::State& state, const char* query,
+              exec::FlworMode mode, int permille) {
+  const exec::EvalContext context = MakeContext(permille, mode);
+  xquery::TranslateOptions options;
+  options.default_document = "auction.xml";
+  auto plan = xquery::CompileQuery(query, options);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  exec::Executor executor(&context);
+  size_t results = 0;
+  for (auto _ : state) {
+    auto result = executor.Evaluate(**plan);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    results = result->value.size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["tuples"] = static_cast<double>(results);
+}
+
+bool RegisterAll() {
+  for (const FlworCase& c : kCases) {
+    for (const auto& [mode, mode_name] :
+         {std::pair{exec::FlworMode::kEnv, "env"},
+          std::pair{exec::FlworMode::kPipelined, "pipelined"}}) {
+      const std::string name =
+          std::string("F2/") + c.name + "/" + mode_name;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [query = c.query, mode = mode](benchmark::State& state) {
+            BM_Flwor(state, query, mode, 50);
+          });
+    }
+  }
+  // Fan-out sweep: the two_vars case across document scales.
+  for (const int permille : {10, 50, 200}) {
+    for (const auto& [mode, mode_name] :
+         {std::pair{exec::FlworMode::kEnv, "env"},
+          std::pair{exec::FlworMode::kPipelined, "pipelined"}}) {
+      const std::string name = std::string("F2/scale_sweep/") + mode_name +
+                               "/" + std::to_string(permille);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [mode = mode, permille](benchmark::State& state) {
+            BM_Flwor(state, kCases[0].query, mode, permille);
+          });
+    }
+  }
+  return true;
+}
+
+const bool registered = RegisterAll();
+
+}  // namespace
+}  // namespace xmlq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Experiment E4 (structural join order selection, [5]/[11]): the same twig
+// evaluated by binary structural joins under different edge orders. The
+// reproduction target: intermediate pair counts (and time) vary by orders
+// of magnitude with the order, and the cost-model-chosen order tracks the
+// best order.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "xmlq/exec/structural_join.h"
+#include "xmlq/opt/optimizer.h"
+#include "xmlq/opt/synopsis.h"
+
+namespace xmlq::bench {
+namespace {
+
+// person (huge) / profile (medium) / education (small): order matters.
+constexpr const char* kQuery = "//person[profile/education]/name";
+
+const opt::Synopsis& AuctionSynopsis(int permille) {
+  static std::map<int, std::unique_ptr<opt::Synopsis>> cache;
+  auto& slot = cache[permille];
+  if (slot == nullptr) {
+    slot = std::make_unique<opt::Synopsis>(*AuctionDoc(permille).dom);
+  }
+  return *slot;
+}
+
+void RunOrder(benchmark::State& state,
+              const std::vector<algebra::VertexId>& order, int permille) {
+  const LoadedDoc& doc = AuctionDoc(permille);
+  const algebra::PatternGraph pattern = Pattern(kQuery);
+  size_t pairs = 0;
+  size_t results = 0;
+  for (auto _ : state) {
+    exec::JoinPlanStats stats;
+    auto result = exec::BinaryJoinPlanMatch(doc.view, pattern, order, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    pairs = stats.pairs_produced;
+    results = result->size();
+    benchmark::DoNotOptimize(result->data());
+  }
+  state.counters["intermediate_pairs"] = static_cast<double>(pairs);
+  state.counters["results"] = static_cast<double>(results);
+}
+
+void BM_DocumentOrder(benchmark::State& state) {
+  // Edge targets in ascending id order = top-down document order.
+  RunOrder(state, {}, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_DocumentOrder)->Name("E4/order_top_down")->Arg(50)->Arg(200);
+
+void BM_BottomUpOrder(benchmark::State& state) {
+  const algebra::PatternGraph pattern = Pattern(kQuery);
+  std::vector<algebra::VertexId> order;
+  for (algebra::VertexId v = 1; v < pattern.VertexCount(); ++v) {
+    order.push_back(v);
+  }
+  std::reverse(order.begin(), order.end());
+  RunOrder(state, order, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_BottomUpOrder)->Name("E4/order_bottom_up")->Arg(50)->Arg(200);
+
+void BM_OptimizerOrder(benchmark::State& state) {
+  const int permille = static_cast<int>(state.range(0));
+  const algebra::PatternGraph pattern = Pattern(kQuery);
+  const std::vector<algebra::VertexId> order = opt::ChooseJoinOrder(
+      AuctionSynopsis(permille), AuctionDoc(permille).dom->pool(), pattern);
+  RunOrder(state, order, permille);
+}
+BENCHMARK(BM_OptimizerOrder)->Name("E4/order_optimizer")->Arg(50)->Arg(200);
+
+/// Exhaustive order sweep at small scale: reports the best/worst pair
+/// counts so the spread is visible in one row.
+void BM_OrderSpread(benchmark::State& state) {
+  const int permille = static_cast<int>(state.range(0));
+  const LoadedDoc& doc = AuctionDoc(permille);
+  const algebra::PatternGraph pattern = Pattern(kQuery);
+  std::vector<algebra::VertexId> order;
+  for (algebra::VertexId v = 1; v < pattern.VertexCount(); ++v) {
+    order.push_back(v);
+  }
+  std::sort(order.begin(), order.end());
+  size_t best = SIZE_MAX;
+  size_t worst = 0;
+  for (auto _ : state) {
+    std::vector<algebra::VertexId> perm = order;
+    best = SIZE_MAX;
+    worst = 0;
+    do {
+      exec::JoinPlanStats stats;
+      auto result =
+          exec::BinaryJoinPlanMatch(doc.view, pattern, perm, &stats);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      best = std::min(best, stats.pairs_produced);
+      worst = std::max(worst, stats.pairs_produced);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+  state.counters["best_pairs"] = static_cast<double>(best);
+  state.counters["worst_pairs"] = static_cast<double>(worst);
+}
+BENCHMARK(BM_OrderSpread)->Name("E4/order_spread_exhaustive")->Arg(50);
+
+}  // namespace
+}  // namespace xmlq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Experiment E5 (paper §3.2 / [4]): the pipelined navigational strategy is
+// worst-case exponential in query size on `//a//a//...` chains over
+// recursive documents, while set-at-a-time evaluation (the πs operator
+// with duplicate elimination, or the single-scan τ matchers) stays
+// polynomial. This bench reproduces Gottlob et al.'s blowup with a
+// no-dedup pipelined evaluator and shows every engine in the library
+// sidestepping it.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench_util.h"
+#include "xmlq/datagen/random_tree.h"
+#include "xmlq/exec/hybrid.h"
+#include "xmlq/exec/naive_nav.h"
+#include "xmlq/exec/twig_stack.h"
+
+namespace xmlq::bench {
+namespace {
+
+/// A document with heavy `a` self-nesting: a binary tree of <a> of the
+/// given height (every node matches every step of //a//a//...).
+const LoadedDoc& RecursiveDoc() {
+  static std::unique_ptr<LoadedDoc> doc = [] {
+    auto d = std::make_unique<xml::Document>();
+    // Build a complete binary tree of <a> nodes, height 9 (~1023 nodes).
+    std::function<void(xml::NodeId, int)> grow = [&](xml::NodeId parent,
+                                                     int depth) {
+      if (depth == 0) return;
+      const xml::NodeId left = d->AddElement(parent, "a");
+      grow(left, depth - 1);
+      const xml::NodeId right = d->AddElement(parent, "a");
+      grow(right, depth - 1);
+    };
+    const xml::NodeId root = d->AddElement(d->root(), "a");
+    grow(root, 9);
+    return std::make_unique<LoadedDoc>(std::move(d));
+  }();
+  return *doc;
+}
+
+std::string ChainQuery(int steps) {
+  std::string q;
+  for (int i = 0; i < steps; ++i) q += "//a";
+  return q;
+}
+
+/// The exponential baseline: per-context re-evaluation with NO duplicate
+/// elimination between steps (the strategy [4] analyzes). Context lists
+/// grow multiplicatively with each `//` step.
+size_t PipelinedNoDedup(const xml::Document& doc, int steps) {
+  algebra::PatternVertex step;
+  step.label = "a";
+  step.incoming_axis = algebra::Axis::kDescendant;
+  std::vector<xml::NodeId> contexts = {doc.root()};
+  for (int i = 0; i < steps; ++i) {
+    std::vector<xml::NodeId> next;
+    for (const xml::NodeId ctx : contexts) {
+      for (const xml::NodeId n : exec::AxisStep(doc, ctx, step)) {
+        next.push_back(n);  // duplicates intentionally kept
+      }
+    }
+    contexts = std::move(next);
+  }
+  return contexts.size();
+}
+
+void BM_PipelinedNoDedup(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  const LoadedDoc& doc = RecursiveDoc();
+  size_t contexts = 0;
+  for (auto _ : state) {
+    contexts = PipelinedNoDedup(*doc.dom, steps);
+    benchmark::DoNotOptimize(contexts);
+  }
+  state.counters["context_list_size"] = static_cast<double>(contexts);
+}
+BENCHMARK(BM_PipelinedNoDedup)
+    ->Name("E5/pipelined_no_dedup")
+    ->DenseRange(1, 5, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveWithDedup(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  const LoadedDoc& doc = RecursiveDoc();
+  const algebra::PatternGraph pattern = Pattern(ChainQuery(steps));
+  for (auto _ : state) {
+    auto result = exec::NaiveMatchPattern(*doc.dom, pattern);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_NaiveWithDedup)
+    ->Name("E5/navigate_with_dedup")
+    ->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HybridNok(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  const LoadedDoc& doc = RecursiveDoc();
+  const algebra::PatternGraph pattern = Pattern(ChainQuery(steps));
+  for (auto _ : state) {
+    auto result = exec::HybridMatch(doc.view, pattern);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_HybridNok)
+    ->Name("E5/hybrid_nok")
+    ->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TwigStackChain(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  const LoadedDoc& doc = RecursiveDoc();
+  const algebra::PatternGraph pattern = Pattern(ChainQuery(steps));
+  for (auto _ : state) {
+    auto result = exec::TwigStackMatch(doc.view, pattern);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_TwigStackChain)
+    ->Name("E5/twigstack")
+    ->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xmlq::bench
+
+BENCHMARK_MAIN();

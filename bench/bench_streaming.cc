@@ -1,0 +1,133 @@
+// Experiment E3 (paper §4.2: "pre-order of the tree nodes coincides with
+// the streaming XML element arrival order. So the path query evaluation
+// algorithm can also be used in the streaming context"): throughput of the
+// single-scan NoK matcher as a function of document size, against the raw
+// parse rate (the streaming lower bound) and a parse+DOM+navigate pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "xmlq/exec/naive_nav.h"
+#include "xmlq/exec/nok_matcher.h"
+#include "xmlq/xml/parser.h"
+#include "xmlq/xml/serializer.h"
+#include "xmlq/xpath/nok_partition.h"
+
+namespace xmlq::bench {
+namespace {
+
+constexpr const char* kStreamQuery = "//item[payment = 'Cash']/location";
+
+/// Baseline: tokenize the stream without building anything.
+void BM_ParseOnly(benchmark::State& state) {
+  const int permille = static_cast<int>(state.range(0));
+  const std::string text = xml::Serialize(*AuctionDoc(permille).dom);
+  for (auto _ : state) {
+    xml::StreamParser parser(text);
+    size_t events = 0;
+    while (true) {
+      auto ev = parser.Next();
+      if (!ev.ok()) {
+        state.SkipWithError(ev.status().ToString().c_str());
+        return;
+      }
+      ++events;
+      if (ev->kind == xml::ParseEvent::Kind::kEndDocument) break;
+    }
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_ParseOnly)
+    ->Name("E3/parse_only")
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200);
+
+/// The streaming evaluation: the NoK scan over the pre-order structure
+/// (equivalent to matching on arrival order).
+void BM_NokScan(benchmark::State& state) {
+  const int permille = static_cast<int>(state.range(0));
+  const LoadedDoc& doc = AuctionDoc(permille);
+  const algebra::PatternGraph pattern = Pattern(kStreamQuery);
+  const xpath::NokPartition partition = xpath::PartitionNok(pattern);
+  // The query's only non-root part carries the whole match.
+  const xpath::NokPart& part = partition.parts.back();
+  const algebra::VertexId requested[] = {pattern.SoleOutput()};
+  size_t results = 0;
+  for (auto _ : state) {
+    auto result = exec::MatchNokPart(*doc.succinct, pattern, part, requested);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    results = result->bindings[0].size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["nodes"] = static_cast<double>(doc.dom->NodeCount());
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * doc.dom->NodeCount()));
+}
+BENCHMARK(BM_NokScan)->Name("E3/nok_scan")->Arg(10)->Arg(50)->Arg(200);
+
+/// End-to-end streaming pipeline: parse + succinct build + NoK scan
+/// (what a one-pass filter over a wire format costs in this engine).
+void BM_StreamPipeline(benchmark::State& state) {
+  const int permille = static_cast<int>(state.range(0));
+  const std::string text = xml::Serialize(*AuctionDoc(permille).dom);
+  const algebra::PatternGraph pattern = Pattern(kStreamQuery);
+  const xpath::NokPartition partition = xpath::PartitionNok(pattern);
+  const xpath::NokPart& part = partition.parts.back();
+  const algebra::VertexId requested[] = {pattern.SoleOutput()};
+  for (auto _ : state) {
+    auto dom = xml::ParseDocument(text);
+    if (!dom.ok()) {
+      state.SkipWithError(dom.status().ToString().c_str());
+      return;
+    }
+    storage::SuccinctDocument succinct =
+        storage::SuccinctDocument::Build(*dom);
+    auto result = exec::MatchNokPart(succinct, pattern, part, requested);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->bindings[0].size());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_StreamPipeline)
+    ->Name("E3/parse_build_scan")
+    ->Arg(10)
+    ->Arg(50);
+
+/// DOM alternative: parse + naive navigation (no succinct structures).
+void BM_DomPipeline(benchmark::State& state) {
+  const int permille = static_cast<int>(state.range(0));
+  const std::string text = xml::Serialize(*AuctionDoc(permille).dom);
+  const algebra::PatternGraph pattern = Pattern(kStreamQuery);
+  for (auto _ : state) {
+    auto dom = xml::ParseDocument(text);
+    if (!dom.ok()) {
+      state.SkipWithError(dom.status().ToString().c_str());
+      return;
+    }
+    auto result = exec::NaiveMatchPattern(*dom, pattern);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_DomPipeline)->Name("E3/parse_dom_navigate")->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace xmlq::bench
+
+BENCHMARK_MAIN();

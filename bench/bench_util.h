@@ -1,0 +1,80 @@
+#ifndef XMLQ_BENCH_BENCH_UTIL_H_
+#define XMLQ_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/datagen/bib_gen.h"
+#include "xmlq/exec/node_stream.h"
+#include "xmlq/storage/region_index.h"
+#include "xmlq/storage/succinct_doc.h"
+#include "xmlq/storage/value_index.h"
+#include "xmlq/xml/document.h"
+#include "xmlq/xpath/compiler.h"
+#include "xmlq/xpath/parser.h"
+
+namespace xmlq::bench {
+
+/// A document with every physical view, cached per (kind, size) so repeated
+/// benchmark registrations share one build.
+struct LoadedDoc {
+  std::unique_ptr<xml::Document> dom;
+  std::unique_ptr<storage::SuccinctDocument> succinct;
+  std::unique_ptr<storage::RegionIndex> regions;
+  std::unique_ptr<storage::ValueIndex> values;
+  exec::IndexedDocument view;
+
+  explicit LoadedDoc(std::unique_ptr<xml::Document> d) : dom(std::move(d)) {
+    succinct = std::make_unique<storage::SuccinctDocument>(
+        storage::SuccinctDocument::Build(*dom));
+    regions = std::make_unique<storage::RegionIndex>(*dom);
+    values = std::make_unique<storage::ValueIndex>(*dom);
+    view = exec::IndexedDocument{dom.get(), succinct.get(), regions.get(),
+                                 values.get()};
+  }
+};
+
+/// Auction document at `permille` of XMark scale 1.0 (memoized).
+inline const LoadedDoc& AuctionDoc(int permille) {
+  static std::map<int, std::unique_ptr<LoadedDoc>> cache;
+  auto& slot = cache[permille];
+  if (slot == nullptr) {
+    datagen::AuctionOptions options;
+    options.scale = permille / 1000.0;
+    slot = std::make_unique<LoadedDoc>(datagen::GenerateAuctionSite(options));
+  }
+  return *slot;
+}
+
+/// Bibliography document with `books` entries (memoized).
+inline const LoadedDoc& BibDoc(int books) {
+  static std::map<int, std::unique_ptr<LoadedDoc>> cache;
+  auto& slot = cache[books];
+  if (slot == nullptr) {
+    datagen::BibOptions options;
+    options.num_books = static_cast<size_t>(books);
+    slot = std::make_unique<LoadedDoc>(datagen::GenerateBibliography(options));
+  }
+  return *slot;
+}
+
+/// Compiles an XPath string to a pattern graph (aborts on error: benchmark
+/// inputs are fixed).
+inline algebra::PatternGraph Pattern(std::string_view path) {
+  auto ast = xpath::ParsePath(path);
+  if (!ast.ok()) {
+    std::fprintf(stderr, "bad bench query %.*s: %s\n",
+                 static_cast<int>(path.size()), path.data(),
+                 ast.status().ToString().c_str());
+    std::abort();
+  }
+  auto graph = xpath::CompileToPattern(*ast);
+  if (!graph.ok()) std::abort();
+  return std::move(*graph);
+}
+
+}  // namespace xmlq::bench
+
+#endif  // XMLQ_BENCH_BENCH_UTIL_H_

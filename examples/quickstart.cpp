@@ -1,0 +1,79 @@
+// Quickstart: load an XML document, run XPath and XQuery, inspect plans.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "xmlq/api/database.h"
+
+namespace {
+
+constexpr std::string_view kBib = R"(
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <publisher>Morgan Kaufmann</publisher>
+    <price>39.95</price>
+  </book>
+</bib>
+)";
+
+void Check(const xmlq::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  xmlq::api::Database db;
+  Check(db.LoadDocument("bib.xml", kBib));
+
+  // -- XPath -----------------------------------------------------------
+  auto titles = db.QueryPath("//book[price < 50]/title");
+  Check(titles.status().ok() ? xmlq::Status::Ok() : titles.status());
+  std::printf("== cheap books ==\n%s\n\n",
+              xmlq::api::Database::ToXml(*titles).c_str());
+
+  // -- XQuery (FLWOR + construction) ------------------------------------
+  auto report = db.Query(R"(
+    <report>{
+      for $b in doc("bib.xml")/bib/book
+      let $t := $b/title
+      where $b/price > 50
+      return <expensive year="{$b/@year}">{$t}</expensive>
+    }</report>
+  )");
+  Check(report.status().ok() ? xmlq::Status::Ok() : report.status());
+  std::printf("== report ==\n%s\n\n",
+              xmlq::api::Database::ToXml(*report, /*indent=*/true).c_str());
+
+  // -- Plans: logical algebra + physical strategy choice ----------------
+  auto plan = db.Explain("//book[author/last = 'Stevens']/title");
+  Check(plan.status().ok() ? xmlq::Status::Ok() : plan.status());
+  std::printf("== plan ==\n%s\n", plan->c_str());
+
+  // -- Storage footprint -------------------------------------------------
+  auto storage = db.Report("bib.xml");
+  Check(storage.status().ok() ? xmlq::Status::Ok() : storage.status());
+  std::printf("== storage ==\nnodes: %zu\ndom: %zu B\nsuccinct: %zu B "
+              "(structure %zu B + content %zu B)\n",
+              storage->node_count, storage->dom_bytes,
+              storage->succinct_structure_bytes +
+                  storage->succinct_content_bytes,
+              storage->succinct_structure_bytes,
+              storage->succinct_content_bytes);
+  return 0;
+}

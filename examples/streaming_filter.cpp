@@ -1,0 +1,122 @@
+// Streaming evaluation (paper §4.2): "pre-order of the tree nodes coincides
+// with the streaming XML element arrival order", so NoK patterns evaluate
+// in one forward pass. This example filters an XML stream event-by-event —
+// no DOM is ever materialized — selecting `item` elements with a Cash
+// payment and printing their locations, then cross-checks the result
+// against the indexed engine.
+//
+//   ./build/examples/streaming_filter [scale_permille]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "xmlq/api/database.h"
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/xml/parser.h"
+#include "xmlq/xml/serializer.h"
+
+namespace {
+
+/// A hand-rolled single-pass matcher for the NoK pattern
+/// item[payment = "Cash"]/location over parser events — the shape of a
+/// production streaming filter built on this library's event layer.
+class CashItemFilter {
+ public:
+  /// Feeds one event; collects matching locations.
+  void OnStart(std::string_view name) {
+    stack_.push_back(State{});
+    State& state = stack_.back();
+    state.is_item = name == "item";
+    const size_t depth = stack_.size();
+    if (depth >= 2) {
+      State& parent = stack_[depth - 2];
+      if (parent.is_item && name == "payment") state.capture_payment = true;
+      if (parent.is_item && name == "location") state.capture_location = true;
+    }
+    text_.clear();
+  }
+
+  void OnText(std::string_view text) { text_.append(text); }
+
+  void OnEnd() {
+    State state = stack_.back();
+    stack_.pop_back();
+    if (state.capture_payment && !stack_.empty()) {
+      stack_.back().payment_cash = text_ == "Cash";
+    }
+    if (state.capture_location && !stack_.empty()) {
+      stack_.back().location = text_;
+      stack_.back().has_location = true;
+    }
+    if (state.is_item && state.payment_cash && state.has_location) {
+      matches_.push_back(state.location);
+    }
+    text_.clear();
+  }
+
+  const std::vector<std::string>& matches() const { return matches_; }
+
+ private:
+  struct State {
+    bool is_item = false;
+    bool capture_payment = false;
+    bool capture_location = false;
+    bool payment_cash = false;
+    bool has_location = false;
+    std::string location;
+  };
+  std::vector<State> stack_;
+  std::string text_;
+  std::vector<std::string> matches_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int permille = argc > 1 ? std::atoi(argv[1]) : 50;
+  xmlq::datagen::AuctionOptions options;
+  options.scale = permille / 1000.0;
+  auto doc = xmlq::datagen::GenerateAuctionSite(options);
+  const std::string stream = xmlq::xml::Serialize(*doc);
+  std::printf("stream: %zu bytes\n", stream.size());
+
+  // One forward pass over the byte stream.
+  xmlq::xml::StreamParser parser(stream);
+  CashItemFilter filter;
+  size_t events = 0;
+  while (true) {
+    auto ev = parser.Next();
+    if (!ev.ok()) {
+      std::fprintf(stderr, "%s\n", ev.status().ToString().c_str());
+      return 1;
+    }
+    ++events;
+    using K = xmlq::xml::ParseEvent::Kind;
+    if (ev->kind == K::kStartElement) {
+      filter.OnStart(ev->name);
+    } else if (ev->kind == K::kText) {
+      filter.OnText(ev->text);
+    } else if (ev->kind == K::kEndElement) {
+      filter.OnEnd();
+    } else if (ev->kind == K::kEndDocument) {
+      break;
+    }
+  }
+  std::printf("processed %zu events; %zu cash items\n", events,
+              filter.matches().size());
+  for (size_t i = 0; i < std::min<size_t>(5, filter.matches().size()); ++i) {
+    std::printf("  location: %s\n", filter.matches()[i].c_str());
+  }
+
+  // Cross-check against the indexed engine.
+  xmlq::api::Database db;
+  if (!db.RegisterDocument("auction.xml", std::move(doc)).ok()) return 1;
+  auto indexed = db.QueryPath("//item[payment = 'Cash']/location");
+  if (!indexed.ok()) return 1;
+  std::printf("indexed engine agrees: %s (%zu results)\n",
+              indexed->value.size() == filter.matches().size() ? "yes" : "NO",
+              indexed->value.size());
+  return indexed->value.size() == filter.matches().size() ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+// Interactive shell: load or generate documents, run XPath/XQuery, inspect
+// plans and storage — the adoption surface for trying the engine out.
+//
+//   ./build/examples/xmlq_shell
+//   xmlq> .gen auction 50
+//   xmlq> //person[address][phone]/name
+//   xmlq> .explain //item[payment = 'Cash']/location
+//   xmlq> .strategy twigstack
+//   xmlq> for $p in //person return $p/name
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "xmlq/api/database.h"
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/datagen/bib_gen.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  .load <name> <file>     parse an XML file and register it\n"
+      "  .gen auction <permille> generate an XMark-style document\n"
+      "  .gen bib <books>        generate a bibliography document\n"
+      "  .docs                   list loaded documents (* = default)\n"
+      "  .explain <query>        show the logical plan + strategy choice\n"
+      "  .strategy <s>           force nok|twigstack|pathstack|binaryjoin|\n"
+      "                          naive, or 'auto' for the cost model\n"
+      "  .report [name]          storage footprint of a document\n"
+      "  .help / .quit\n"
+      "anything else is evaluated as XQuery (or XPath for '/...').\n");
+}
+
+}  // namespace
+
+int main() {
+  xmlq::api::Database db;
+  std::vector<std::string> doc_names;
+  xmlq::api::QueryOptions options;
+  std::printf("xmlq shell — .help for commands\n");
+
+  std::string line;
+  while (std::printf("xmlq> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string word;
+    in >> word;
+    if (word.empty()) continue;
+
+    if (word == ".quit" || word == ".exit") break;
+    if (word == ".help") {
+      PrintHelp();
+      continue;
+    }
+    if (word == ".load") {
+      std::string name, file;
+      in >> name >> file;
+      std::ifstream stream(file);
+      if (!stream) {
+        std::printf("cannot open %s\n", file.c_str());
+        continue;
+      }
+      std::stringstream buffer;
+      buffer << stream.rdbuf();
+      const xmlq::Status status = db.LoadDocument(name, buffer.str());
+      if (status.ok()) {
+        doc_names.push_back(name);
+        std::printf("loaded %s\n", name.c_str());
+      } else {
+        std::printf("%s\n", status.ToString().c_str());
+      }
+      continue;
+    }
+    if (word == ".gen") {
+      std::string kind;
+      int size = 0;
+      in >> kind >> size;
+      xmlq::Status status = xmlq::Status::InvalidArgument("unknown kind");
+      std::string name;
+      if (kind == "auction") {
+        xmlq::datagen::AuctionOptions gen;
+        gen.scale = (size > 0 ? size : 50) / 1000.0;
+        name = "auction.xml";
+        status = db.RegisterDocument(name,
+                                     xmlq::datagen::GenerateAuctionSite(gen));
+      } else if (kind == "bib") {
+        xmlq::datagen::BibOptions gen;
+        gen.num_books = size > 0 ? static_cast<size_t>(size) : 100;
+        name = "bib.xml";
+        status = db.RegisterDocument(
+            name, xmlq::datagen::GenerateBibliography(gen));
+      }
+      if (status.ok()) {
+        doc_names.push_back(name);
+        auto report = db.Report(name);
+        std::printf("generated %s (%zu nodes)\n", name.c_str(),
+                    report.ok() ? report->node_count : 0);
+      } else {
+        std::printf("%s\n", status.ToString().c_str());
+      }
+      continue;
+    }
+    if (word == ".docs") {
+      for (const std::string& name : doc_names) {
+        std::printf("  %s%s\n", name.c_str(),
+                    name == db.default_document() ? " *" : "");
+      }
+      continue;
+    }
+    if (word == ".strategy") {
+      std::string s;
+      in >> s;
+      options.auto_optimize = s == "auto";
+      if (s == "nok") options.strategy = xmlq::exec::PatternStrategy::kNok;
+      else if (s == "twigstack")
+        options.strategy = xmlq::exec::PatternStrategy::kTwigStack;
+      else if (s == "pathstack")
+        options.strategy = xmlq::exec::PatternStrategy::kPathStack;
+      else if (s == "binaryjoin")
+        options.strategy = xmlq::exec::PatternStrategy::kBinaryJoin;
+      else if (s == "naive")
+        options.strategy = xmlq::exec::PatternStrategy::kNaive;
+      else if (s != "auto") {
+        std::printf("unknown strategy %s\n", s.c_str());
+        continue;
+      }
+      std::printf("strategy: %s\n", s.c_str());
+      continue;
+    }
+    if (word == ".report") {
+      std::string name;
+      in >> name;
+      auto report = db.Report(name);
+      if (!report.ok()) {
+        std::printf("%s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("nodes %zu | dom %zu B | succinct %zu B (structure %zu) | "
+                  "regions %zu B | values %zu B\n",
+                  report->node_count, report->dom_bytes,
+                  report->succinct_structure_bytes +
+                      report->succinct_content_bytes,
+                  report->succinct_structure_bytes,
+                  report->region_index_bytes, report->value_index_bytes);
+      continue;
+    }
+    if (word == ".explain") {
+      const std::string query = line.substr(line.find(".explain") + 8);
+      auto plan = db.Explain(query, options);
+      std::printf("%s\n", plan.ok() ? plan->c_str()
+                                    : plan.status().ToString().c_str());
+      continue;
+    }
+    if (word[0] == '.') {
+      std::printf("unknown command %s (.help)\n", word.c_str());
+      continue;
+    }
+
+    auto result = db.Query(line, options);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n(%zu items)\n",
+                xmlq::api::Database::ToXml(*result, /*indent=*/true).c_str(),
+                result->value.size());
+  }
+  return 0;
+}

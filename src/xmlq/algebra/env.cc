@@ -1,0 +1,66 @@
+#include "xmlq/algebra/env.h"
+
+#include <cassert>
+
+namespace xmlq::algebra {
+
+int Env::AddLayer(std::string var, LayerKind kind) {
+  layers_.push_back(Layer{std::move(var), kind});
+  nodes_.emplace_back();
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+uint32_t Env::AddBinding(int layer, uint32_t parent, Sequence value) {
+  assert(layer >= 0 && static_cast<size_t>(layer) < layers_.size());
+  assert(layer == 0 ? parent == kNoParent
+                    : parent < nodes_[layer - 1].size());
+  nodes_[layer].push_back(Binding{parent, std::move(value)});
+  return static_cast<uint32_t>(nodes_[layer].size()) - 1;
+}
+
+void Env::ForEachTuple(const std::function<void(const Tuple&)>& fn) const {
+  if (layers_.empty()) return;
+  const int last = static_cast<int>(layers_.size()) - 1;
+  Tuple tuple(layers_.size(), nullptr);
+  for (const Binding& leaf : nodes_[last]) {
+    // Walk the parent chain to materialize the path.
+    const Binding* cur = &leaf;
+    bool alive = true;
+    for (int l = last; l >= 0; --l) {
+      tuple[l] = &cur->value;
+      if (layers_[l].kind == LayerKind::kWhere) {
+        alive = !cur->value.empty() && cur->value[0].BooleanValue();
+        if (!alive) break;
+      }
+      if (l > 0) cur = &nodes_[l - 1][cur->parent];
+    }
+    if (alive) fn(tuple);
+  }
+}
+
+size_t Env::TupleCount() const {
+  size_t n = 0;
+  ForEachTuple([&n](const Tuple&) { ++n; });
+  return n;
+}
+
+std::string Env::ToString() const {
+  std::string out;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    switch (layers_[l].kind) {
+      case LayerKind::kFor:
+        out += "for $" + layers_[l].var;
+        break;
+      case LayerKind::kLet:
+        out += "let $" + layers_[l].var;
+        break;
+      case LayerKind::kWhere:
+        out += "where";
+        break;
+    }
+    out += ": " + std::to_string(nodes_[l].size()) + " binding(s)\n";
+  }
+  return out;
+}
+
+}  // namespace xmlq::algebra

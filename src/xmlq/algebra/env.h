@@ -1,0 +1,71 @@
+#ifndef XMLQ_ALGEBRA_ENV_H_
+#define XMLQ_ALGEBRA_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xmlq/algebra/value.h"
+
+namespace xmlq::algebra {
+
+/// Sort `Env` (paper Definition 3): a layered, balanced tree of variable
+/// bindings built while evaluating a FLWOR expression. Each layer is either
+/// a variable introduced by a for/let clause or a boolean formula from the
+/// where clause. A root-to-leaf path is one *total variable binding*; the
+/// return expression is evaluated once per path (paper Example 1 / Fig. 2).
+class Env {
+ public:
+  enum class LayerKind : uint8_t {
+    kFor,    // one binding node per item (one-to-many)
+    kLet,    // a single binding node carrying the whole sequence (one-to-one)
+    kWhere,  // a boolean formula node per parent (one-to-one)
+  };
+
+  struct Layer {
+    std::string var;  // empty for kWhere layers
+    LayerKind kind = LayerKind::kFor;
+  };
+
+  static constexpr uint32_t kNoParent = UINT32_MAX;
+
+  struct Binding {
+    uint32_t parent = kNoParent;  // index into the previous layer
+    Sequence value;               // kWhere: single boolean item
+  };
+
+  /// Appends a layer; layers must be added left-to-right (outermost clause
+  /// first). Returns the layer index.
+  int AddLayer(std::string var, LayerKind kind);
+
+  /// Adds a binding node at `layer` under `parent` (a binding index in layer
+  /// - 1; kNoParent only for layer 0). Returns its index within the layer.
+  uint32_t AddBinding(int layer, uint32_t parent, Sequence value);
+
+  size_t LayerCount() const { return layers_.size(); }
+  const Layer& layer(int i) const { return layers_[i]; }
+  const std::vector<Binding>& bindings(int i) const { return nodes_[i]; }
+
+  /// A materialized total binding: one Sequence pointer per layer (where
+  /// layers carry their boolean as a single item).
+  using Tuple = std::vector<const Sequence*>;
+
+  /// Invokes `fn` once per total variable binding whose where-layers are all
+  /// true, in document/left-to-right order.
+  void ForEachTuple(const std::function<void(const Tuple&)>& fn) const;
+
+  /// Number of surviving total bindings.
+  size_t TupleCount() const;
+
+  /// Fig. 2-style rendering: one line per layer with its binding count.
+  std::string ToString() const;
+
+ private:
+  std::vector<Layer> layers_;
+  std::vector<std::vector<Binding>> nodes_;  // per layer
+};
+
+}  // namespace xmlq::algebra
+
+#endif  // XMLQ_ALGEBRA_ENV_H_

@@ -1,0 +1,220 @@
+#include "xmlq/algebra/pattern_graph.h"
+
+#include <cassert>
+
+#include "xmlq/base/strings.h"
+
+namespace xmlq::algebra {
+
+std::string_view AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kSelf:
+      return "self";
+  }
+  return "unknown";
+}
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool ValuePredicate::Eval(std::string_view value) const {
+  if (numeric) {
+    const auto lhs = ParseDouble(value);
+    const auto rhs = ParseDouble(literal);
+    if (!lhs.has_value() || !rhs.has_value()) {
+      // Non-numeric node value never satisfies a numeric comparison,
+      // matching XPath general-comparison semantics with number coercion.
+      return false;
+    }
+    switch (op) {
+      case CompareOp::kEq:
+        return *lhs == *rhs;
+      case CompareOp::kNe:
+        return *lhs != *rhs;
+      case CompareOp::kLt:
+        return *lhs < *rhs;
+      case CompareOp::kLe:
+        return *lhs <= *rhs;
+      case CompareOp::kGt:
+        return *lhs > *rhs;
+      case CompareOp::kGe:
+        return *lhs >= *rhs;
+    }
+    return false;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return value == literal;
+    case CompareOp::kNe:
+      return value != literal;
+    case CompareOp::kLt:
+      return value < literal;
+    case CompareOp::kLe:
+      return value <= literal;
+    case CompareOp::kGt:
+      return value > literal;
+    case CompareOp::kGe:
+      return value >= literal;
+  }
+  return false;
+}
+
+std::string ValuePredicate::ToString() const {
+  std::string out(CompareOpName(op));
+  out += numeric ? " " + literal : " \"" + literal + "\"";
+  return out;
+}
+
+PatternGraph::PatternGraph() {
+  PatternVertex root;
+  root.is_root = true;
+  root.label = "";
+  vertices_.push_back(std::move(root));
+}
+
+VertexId PatternGraph::AddVertex(VertexId parent, Axis axis,
+                                 std::string label, bool is_attribute) {
+  assert(parent < vertices_.size());
+  PatternVertex v;
+  v.label = std::move(label);
+  v.is_attribute = is_attribute;
+  v.parent = parent;
+  v.incoming_axis = axis;
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(std::move(v));
+  vertices_[parent].children.push_back(id);
+  return id;
+}
+
+void PatternGraph::AddPredicate(VertexId v, ValuePredicate predicate) {
+  assert(v < vertices_.size());
+  vertices_[v].predicates.push_back(std::move(predicate));
+}
+
+void PatternGraph::SetOutput(VertexId v) {
+  assert(v < vertices_.size());
+  vertices_[v].output = true;
+}
+
+std::vector<VertexId> PatternGraph::OutputVertices() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].output) out.push_back(v);
+  }
+  return out;
+}
+
+VertexId PatternGraph::SoleOutput() const {
+  const std::vector<VertexId> outs = OutputVertices();
+  return outs.size() == 1 ? outs[0] : kNoVertex;
+}
+
+Status PatternGraph::Validate() const {
+  if (vertices_.empty() || !vertices_[0].is_root) {
+    return Status::Internal("pattern graph has no root vertex");
+  }
+  size_t output_count = 0;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    const PatternVertex& vertex = vertices_[v];
+    if (vertex.output) ++output_count;
+    if (v == 0) {
+      if (vertex.parent != kNoVertex) {
+        return Status::Internal("root vertex must not have a parent");
+      }
+      continue;
+    }
+    if (vertex.parent == kNoVertex || vertex.parent >= vertices_.size()) {
+      return Status::Internal("vertex " + std::to_string(v) +
+                              " has an invalid parent");
+    }
+    if (vertex.parent >= v) {
+      return Status::Internal("vertices must be topologically ordered");
+    }
+    bool linked = false;
+    for (VertexId c : vertices_[vertex.parent].children) {
+      if (c == v) linked = true;
+    }
+    if (!linked) {
+      return Status::Internal("parent/child links are inconsistent");
+    }
+    if (vertex.label.empty()) {
+      return Status::Internal("non-root vertex with empty label");
+    }
+    if (vertex.is_attribute && vertex.incoming_axis != Axis::kAttribute) {
+      return Status::Internal("attribute vertex reached via non-@ axis");
+    }
+  }
+  if (output_count == 0) {
+    return Status::Internal("pattern graph has no output vertex");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+void Render(const PatternGraph& graph, VertexId v, int depth,
+            std::string* out) {
+  const PatternVertex& vertex = graph.vertex(v);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (vertex.is_root) {
+    out->append("root");
+  } else {
+    switch (vertex.incoming_axis) {
+      case Axis::kChild:
+        out->append("/");
+        break;
+      case Axis::kDescendant:
+        out->append("//");
+        break;
+      case Axis::kAttribute:
+        out->append("@");
+        break;
+      case Axis::kFollowingSibling:
+        out->append("~");
+        break;
+      case Axis::kSelf:
+        out->append(".");
+        break;
+    }
+    out->append(vertex.label);
+  }
+  for (const ValuePredicate& p : vertex.predicates) {
+    out->append(" [" + p.ToString() + "]");
+  }
+  if (vertex.output) out->append(" [output]");
+  out->push_back('\n');
+  for (VertexId c : vertex.children) Render(graph, c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string PatternGraph::ToString() const {
+  std::string out;
+  Render(*this, 0, 0, &out);
+  return out;
+}
+
+}  // namespace xmlq::algebra

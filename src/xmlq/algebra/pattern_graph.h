@@ -1,0 +1,117 @@
+#ifndef XMLQ_ALGEBRA_PATTERN_GRAPH_H_
+#define XMLQ_ALGEBRA_PATTERN_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xmlq/base/status.h"
+
+namespace xmlq::algebra {
+
+/// Structural relations R between pattern vertices (paper Definition 1).
+/// kChild/kAttribute/kFollowingSibling are the *next-of-kin* (NoK) local
+/// relations of §4.2; kDescendant is the non-local '//' relation that the
+/// NoK partitioner cuts at; kSelf joins partition seams.
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kAttribute,
+  kFollowingSibling,
+  kSelf,
+};
+
+std::string_view AxisName(Axis axis);
+
+/// True for the local relations a single pre-order scan can verify.
+inline bool IsNokAxis(Axis axis) {
+  return axis == Axis::kChild || axis == Axis::kAttribute ||
+         axis == Axis::kFollowingSibling;
+}
+
+/// Comparison operator of a vertex value constraint (the `⊙` of Def. 1).
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// One `⟨⊙, l⟩` constraint attached to a vertex: the matched node's
+/// string-value must compare against the literal. If the literal parses as a
+/// number, the comparison is numeric (XPath general-comparison style),
+/// otherwise string equality/ordering.
+struct ValuePredicate {
+  CompareOp op = CompareOp::kEq;
+  std::string literal;
+  bool numeric = false;
+
+  /// Evaluates the predicate against a node's string-value.
+  bool Eval(std::string_view value) const;
+
+  std::string ToString() const;
+};
+
+/// Vertex id inside a PatternGraph.
+using VertexId = uint32_t;
+inline constexpr VertexId kNoVertex = UINT32_MAX;
+
+/// A vertex of the pattern graph: label over Σ ∪ {*}, optional value
+/// constraints, and an output marker (the `O` set of Def. 1).
+struct PatternVertex {
+  std::string label;         // element/attribute name; "*" matches any
+  bool is_attribute = false; // matches attribute nodes instead of elements
+  bool is_root = false;      // matches the document node (the path's '/')
+  bool output = false;
+  std::vector<ValuePredicate> predicates;
+
+  // Tree shape bookkeeping (general path expressions compile to twigs).
+  VertexId parent = kNoVertex;
+  Axis incoming_axis = Axis::kChild;  // axis on the arc from `parent`
+  std::vector<VertexId> children;
+};
+
+/// Labeled, directed pattern graph P = (Σ, V, A, R, O) of Definition 1,
+/// restricted to the tree-shaped ("twig") patterns that path expressions
+/// produce. Vertex 0 is always the root vertex.
+class PatternGraph {
+ public:
+  PatternGraph();
+
+  /// Adds a vertex labeled `label` under `parent` via `axis`; returns its id.
+  VertexId AddVertex(VertexId parent, Axis axis, std::string label,
+                     bool is_attribute = false);
+
+  /// Attaches a value constraint to `v`.
+  void AddPredicate(VertexId v, ValuePredicate predicate);
+
+  /// Marks `v` as an output vertex (member of O).
+  void SetOutput(VertexId v);
+
+  VertexId root() const { return 0; }
+  size_t VertexCount() const { return vertices_.size(); }
+  const PatternVertex& vertex(VertexId v) const { return vertices_[v]; }
+  PatternVertex& mutable_vertex(VertexId v) { return vertices_[v]; }
+
+  /// The output vertices in id order.
+  std::vector<VertexId> OutputVertices() const;
+  /// The single output vertex; kNoVertex when zero or several are marked.
+  VertexId SoleOutput() const;
+
+  /// Checks the twig invariants: vertex 0 is the only root, parent/child
+  /// links are consistent, every non-root vertex is reachable from the root,
+  /// and at least one vertex is an output.
+  Status Validate() const;
+
+  /// Multi-line rendering, one vertex per line with axis prefixes, e.g.
+  ///   root
+  ///     /bib
+  ///       //book [output]
+  ///         /title
+  std::string ToString() const;
+
+ private:
+  std::vector<PatternVertex> vertices_;
+};
+
+}  // namespace xmlq::algebra
+
+#endif  // XMLQ_ALGEBRA_PATTERN_GRAPH_H_

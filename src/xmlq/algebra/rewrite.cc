@@ -1,0 +1,204 @@
+#include "xmlq/algebra/rewrite.h"
+
+#include <utility>
+
+namespace xmlq::algebra {
+
+namespace {
+
+/// Applies `fn` (a local rewrite returning 0/1) bottom-up over the tree.
+template <typename Fn>
+int WalkRewrite(LogicalExprPtr* expr, Fn&& fn) {
+  int count = 0;
+  for (auto& child : (*expr)->children) {
+    count += WalkRewrite(&child, fn);
+  }
+  count += fn(expr);
+  return count;
+}
+
+bool IsFoldableNavigate(const LogicalExpr& e) {
+  if (e.op != LogicalOp::kNavigate) return false;
+  switch (e.axis) {
+    case Axis::kChild:
+    case Axis::kDescendant:
+    case Axis::kAttribute:
+    case Axis::kFollowingSibling:
+      return true;
+    case Axis::kSelf:
+      return false;
+  }
+  return false;
+}
+
+/// A TreePattern whose results are distinct nodes in document order: true
+/// when it has a sole output vertex (multi-output patterns emit nested
+/// combinations).
+bool PatternIsOrderedDistinct(const LogicalExpr& e) {
+  return e.op == LogicalOp::kTreePattern && e.pattern != nullptr &&
+         e.pattern->SoleOutput() != kNoVertex;
+}
+
+int TryNormalizeDoc(LogicalExprPtr* expr) {
+  LogicalExpr& e = **expr;
+  if (e.op != LogicalOp::kFunction ||
+      (e.str != "doc" && e.str != "document") || e.children.size() != 1) {
+    return 0;
+  }
+  const LogicalExpr& arg = *e.children[0];
+  if (arg.op != LogicalOp::kLiteral || !arg.literal.IsString()) return 0;
+  *expr = MakeDocScan(arg.literal.str());
+  return 1;
+}
+
+int TryFoldNavigate(LogicalExprPtr* expr) {
+  LogicalExpr& nav = **expr;
+  if (!IsFoldableNavigate(nav)) return 0;
+  LogicalExpr& input = *nav.children[0];
+
+  if (input.op == LogicalOp::kDocScan) {
+    PatternGraph graph;
+    const VertexId v = graph.AddVertex(graph.root(), nav.axis, nav.str,
+                                       nav.is_attribute);
+    graph.SetOutput(v);
+    LogicalExprPtr replacement =
+        MakeTreePattern(std::move(nav.children[0]), std::move(graph));
+    *expr = std::move(replacement);
+    return 1;
+  }
+
+  if (input.op == LogicalOp::kTreePattern && input.pattern != nullptr) {
+    const VertexId out_vertex = input.pattern->SoleOutput();
+    if (out_vertex == kNoVertex) return 0;
+    // Attribute vertices have no element children to extend into.
+    if (input.pattern->vertex(out_vertex).is_attribute) return 0;
+    PatternGraph graph = *input.pattern;
+    graph.mutable_vertex(out_vertex).output = false;
+    const VertexId v =
+        graph.AddVertex(out_vertex, nav.axis, nav.str, nav.is_attribute);
+    graph.SetOutput(v);
+    LogicalExprPtr replacement =
+        MakeTreePattern(std::move(input.children[0]), std::move(graph));
+    *expr = std::move(replacement);
+    return 1;
+  }
+  return 0;
+}
+
+int TryPushSelectValue(LogicalExprPtr* expr) {
+  LogicalExpr& sel = **expr;
+  if (sel.op != LogicalOp::kSelectValue) return 0;
+  LogicalExpr& input = *sel.children[0];
+  if (input.op != LogicalOp::kTreePattern || input.pattern == nullptr) {
+    return 0;
+  }
+  const VertexId out_vertex = input.pattern->SoleOutput();
+  if (out_vertex == kNoVertex) return 0;
+  input.pattern->AddPredicate(out_vertex, sel.predicate);
+  *expr = std::move(sel.children[0]);
+  return 1;
+}
+
+int TryRemoveDedup(LogicalExprPtr* expr) {
+  LogicalExpr& dedup = **expr;
+  if (dedup.op != LogicalOp::kDocOrderDedup) return 0;
+  LogicalExpr& input = *dedup.children[0];
+  const bool ordered_distinct = PatternIsOrderedDistinct(input) ||
+                                input.op == LogicalOp::kDocScan ||
+                                input.op == LogicalOp::kDocOrderDedup;
+  if (!ordered_distinct) return 0;
+  *expr = std::move(dedup.children[0]);
+  return 1;
+}
+
+int TryFuseSelectTag(LogicalExprPtr* expr) {
+  LogicalExpr& sel = **expr;
+  if (sel.op != LogicalOp::kSelectTag) return 0;
+  LogicalExpr& input = *sel.children[0];
+  if (input.op != LogicalOp::kNavigate || input.is_attribute) return 0;
+  if (!input.str.empty() && input.str != "*") return 0;
+  input.str = sel.str;
+  *expr = std::move(sel.children[0]);
+  return 1;
+}
+
+/// Deep-copies the filter subtree rooted at `src_v` (of `src`) under
+/// `dst_parent` in `dst`.
+void CopyFilterBranch(const PatternGraph& src, VertexId src_v,
+                      PatternGraph* dst, VertexId dst_parent) {
+  const PatternVertex& vertex = src.vertex(src_v);
+  const VertexId copy = dst->AddVertex(dst_parent, vertex.incoming_axis,
+                                       vertex.label, vertex.is_attribute);
+  for (const ValuePredicate& pred : vertex.predicates) {
+    dst->AddPredicate(copy, pred);
+  }
+  for (const VertexId c : vertex.children) {
+    CopyFilterBranch(src, c, dst, copy);
+  }
+}
+
+int TryGraftFilter(LogicalExprPtr* expr) {
+  LogicalExpr& filter = **expr;
+  if (filter.op != LogicalOp::kPatternFilter || filter.pattern == nullptr) {
+    return 0;
+  }
+  LogicalExpr& input = *filter.children[0];
+  if (input.op != LogicalOp::kTreePattern || input.pattern == nullptr) {
+    return 0;
+  }
+  const VertexId out_vertex = input.pattern->SoleOutput();
+  if (out_vertex == kNoVertex) return 0;
+  const PatternGraph& f = *filter.pattern;
+  for (const ValuePredicate& pred : f.vertex(f.root()).predicates) {
+    input.pattern->AddPredicate(out_vertex, pred);
+  }
+  for (const VertexId c : f.vertex(f.root()).children) {
+    CopyFilterBranch(f, c, input.pattern.get(), out_vertex);
+  }
+  *expr = std::move(filter.children[0]);
+  return 1;
+}
+
+}  // namespace
+
+int GraftPatternFilters(LogicalExprPtr* expr) {
+  return WalkRewrite(expr, TryGraftFilter);
+}
+
+int NormalizeDocCalls(LogicalExprPtr* expr) {
+  return WalkRewrite(expr, TryNormalizeDoc);
+}
+
+int FoldNavigationChains(LogicalExprPtr* expr) {
+  return WalkRewrite(expr, TryFoldNavigate);
+}
+
+int PushSelectValueIntoPattern(LogicalExprPtr* expr) {
+  return WalkRewrite(expr, TryPushSelectValue);
+}
+
+int RemoveRedundantDocOrderDedup(LogicalExprPtr* expr) {
+  return WalkRewrite(expr, TryRemoveDedup);
+}
+
+int FuseSelectTagIntoNavigate(LogicalExprPtr* expr) {
+  return WalkRewrite(expr, TryFuseSelectTag);
+}
+
+int ApplyAllRewrites(LogicalExprPtr* expr) {
+  int total = 0;
+  while (true) {
+    int round = 0;
+    round += NormalizeDocCalls(expr);
+    round += FuseSelectTagIntoNavigate(expr);
+    round += FoldNavigationChains(expr);
+    round += PushSelectValueIntoPattern(expr);
+    round += GraftPatternFilters(expr);
+    round += RemoveRedundantDocOrderDedup(expr);
+    if (round == 0) break;
+    total += round;
+  }
+  return total;
+}
+
+}  // namespace xmlq::algebra

@@ -1,0 +1,52 @@
+#include "xmlq/algebra/schema_tree.h"
+
+namespace xmlq::algebra {
+
+namespace {
+
+size_t CountNodes(const SchemaNode& node) {
+  size_t n = 1;
+  for (const SchemaNode& c : node.children) n += CountNodes(c);
+  return n;
+}
+
+void Render(const SchemaNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (node.kind) {
+    case SchemaNodeKind::kElement:
+      out->append("<" + node.label);
+      for (const SchemaAttr& a : node.attrs) {
+        out->append(" " + a.name + "=");
+        out->append(a.expr == kNoExpr ? "\"" + a.literal + "\""
+                                      : "{e" + std::to_string(a.expr) + "}");
+      }
+      out->append(">");
+      break;
+    case SchemaNodeKind::kText:
+      out->append("text \"" + node.literal + "\"");
+      break;
+    case SchemaNodeKind::kPlaceholder:
+      out->append("{e" + std::to_string(node.expr) + "}");
+      break;
+    case SchemaNodeKind::kIf:
+      out->append("if (e" + std::to_string(node.expr) + ")");
+      break;
+  }
+  if (node.iterate != kNoExpr) {
+    out->append(" phi=e" + std::to_string(node.iterate));
+  }
+  out->push_back('\n');
+  for (const SchemaNode& c : node.children) Render(c, depth + 1, out);
+}
+
+}  // namespace
+
+size_t SchemaTree::NodeCount() const { return CountNodes(root_); }
+
+std::string SchemaTree::ToString() const {
+  std::string out;
+  Render(root_, 0, &out);
+  return out;
+}
+
+}  // namespace xmlq::algebra

@@ -1,0 +1,68 @@
+#ifndef XMLQ_ALGEBRA_SCHEMA_TREE_H_
+#define XMLQ_ALGEBRA_SCHEMA_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmlq::algebra {
+
+/// Slot referencing an expression owned by the enclosing query translation
+/// (the `E` set of Definition 2); -1 means "no expression".
+using ExprSlot = int32_t;
+inline constexpr ExprSlot kNoExpr = -1;
+
+/// Kinds of schema-tree nodes (paper Definition 2 / Fig. 1b).
+enum class SchemaNodeKind : uint8_t {
+  kElement,      // constructor-node labeled with an element name
+  kText,         // literal character data
+  kPlaceholder,  // `{ expr }` — replaced by the expression's value(s)
+  kIf,           // if-node: children emitted only when the expr is true
+};
+
+/// A constructed attribute: `name="literal"` or `name="{expr}"`.
+struct SchemaAttr {
+  std::string name;
+  std::string literal;
+  ExprSlot expr = kNoExpr;
+};
+
+/// One node of the output schema tree.
+struct SchemaNode {
+  SchemaNodeKind kind = SchemaNodeKind::kElement;
+  std::string label;    // element name (kElement)
+  std::string literal;  // character data (kText)
+  ExprSlot expr = kNoExpr;  // placeholder / if condition
+  /// Arc label ϕ (Fig. 1b): when set, this subtree is instantiated once per
+  /// binding tuple produced by the iteration expression (a FLWOR in the
+  /// translation); kNoExpr means instantiate exactly once.
+  ExprSlot iterate = kNoExpr;
+  std::vector<SchemaAttr> attrs;
+  std::vector<SchemaNode> children;
+};
+
+/// Labeled output-template tree O = (Σ, N, A, E) extracted from XQuery
+/// constructor expressions (paper Definition 2). The construction operator
+/// γ : NestedList × SchemaTree → Tree instantiates it over the intermediate
+/// bindings to produce the result document.
+class SchemaTree {
+ public:
+  SchemaTree() = default;
+  explicit SchemaTree(SchemaNode root) : root_(std::move(root)) {}
+
+  const SchemaNode& root() const { return root_; }
+  SchemaNode& mutable_root() { return root_; }
+
+  /// Total number of schema nodes.
+  size_t NodeCount() const;
+
+  /// Indented rendering; placeholders print as "{e<slot>}".
+  std::string ToString() const;
+
+ private:
+  SchemaNode root_;
+};
+
+}  // namespace xmlq::algebra
+
+#endif  // XMLQ_ALGEBRA_SCHEMA_TREE_H_

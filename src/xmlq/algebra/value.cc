@@ -1,0 +1,107 @@
+#include "xmlq/algebra/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "xmlq/base/strings.h"
+
+namespace xmlq::algebra {
+
+std::string Item::StringValue() const {
+  if (IsNode()) return node().doc->StringValue(node().id);
+  if (IsString()) return str();
+  if (IsNumber()) return FormatNumber(number());
+  return boolean() ? "true" : "false";
+}
+
+double Item::NumberValue() const {
+  if (IsNumber()) return number();
+  if (IsBool()) return boolean() ? 1.0 : 0.0;
+  const std::string s = StringValue();
+  if (auto parsed = ParseDouble(s)) return *parsed;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+bool Item::BooleanValue() const {
+  if (IsNode()) return true;
+  if (IsBool()) return boolean();
+  if (IsNumber()) return number() != 0.0 && !std::isnan(number());
+  return !str().empty();
+}
+
+std::string Item::ToString() const {
+  if (IsNode()) {
+    std::string label(node().doc->NameStr(node().id));
+    if (label.empty()) {
+      label = std::string(xml::NodeKindName(node().doc->Kind(node().id)));
+    }
+    return label + "(" + std::to_string(node().id) + ")";
+  }
+  if (IsString()) return "\"" + str() + "\"";
+  if (IsNumber()) return FormatNumber(number());
+  return boolean() ? "true" : "false";
+}
+
+void SortDocOrderDedup(Sequence* seq) {
+  // Stable partition: nodes first in document order (deduped), then the
+  // remaining atomic items in their original order.
+  std::vector<NodeRef> nodes;
+  Sequence atoms;
+  for (Item& item : *seq) {
+    if (item.IsNode()) {
+      nodes.push_back(item.node());
+    } else {
+      atoms.push_back(std::move(item));
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  seq->clear();
+  seq->reserve(nodes.size() + atoms.size());
+  for (const NodeRef& n : nodes) seq->push_back(Item(n));
+  for (Item& a : atoms) seq->push_back(std::move(a));
+}
+
+namespace {
+
+void FlattenInto(const NestedList& list, Sequence* out) {
+  for (const NestedItem& entry : list) {
+    out->push_back(entry.item);
+    FlattenInto(entry.children, out);
+  }
+}
+
+}  // namespace
+
+Sequence Flatten(const NestedList& list) {
+  Sequence out;
+  FlattenInto(list, &out);
+  return out;
+}
+
+size_t NestedSize(const NestedList& list) {
+  size_t n = 0;
+  for (const NestedItem& entry : list) {
+    n += 1 + NestedSize(entry.children);
+  }
+  return n;
+}
+
+std::string ToString(const NestedList& list) {
+  std::string out = "[";
+  bool first = true;
+  for (const NestedItem& entry : list) {
+    if (!first) out += ", ";
+    first = false;
+    out += entry.item.ToString();
+    if (!entry.children.empty()) {
+      out += " ";
+      out += ToString(entry.children);
+    }
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace xmlq::algebra

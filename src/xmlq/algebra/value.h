@@ -1,0 +1,104 @@
+#ifndef XMLQ_ALGEBRA_VALUE_H_
+#define XMLQ_ALGEBRA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::algebra {
+
+/// Reference to a node of some document. Document order across a single
+/// document is NodeId order (documents are pre-order numbered); across
+/// documents, pointer identity breaks ties deterministically.
+struct NodeRef {
+  const xml::Document* doc = nullptr;
+  xml::NodeId id = xml::kNullNode;
+
+  friend bool operator==(const NodeRef& a, const NodeRef& b) = default;
+  friend bool operator<(const NodeRef& a, const NodeRef& b) {
+    if (a.doc != b.doc) return a.doc < b.doc;
+    return a.id < b.id;
+  }
+};
+
+/// One item of the XQuery data model: a tree node or an atomic value.
+/// (Sort `TreeNode` plus the primitive sorts of paper §3.2.)
+class Item {
+ public:
+  Item() : value_(false) {}
+  explicit Item(NodeRef node) : value_(node) {}
+  explicit Item(std::string s) : value_(std::move(s)) {}
+  explicit Item(double d) : value_(d) {}
+  explicit Item(bool b) : value_(b) {}
+
+  bool IsNode() const { return std::holds_alternative<NodeRef>(value_); }
+  bool IsString() const { return std::holds_alternative<std::string>(value_); }
+  bool IsNumber() const { return std::holds_alternative<double>(value_); }
+  bool IsBool() const { return std::holds_alternative<bool>(value_); }
+
+  const NodeRef& node() const { return std::get<NodeRef>(value_); }
+  const std::string& str() const { return std::get<std::string>(value_); }
+  double number() const { return std::get<double>(value_); }
+  bool boolean() const { return std::get<bool>(value_); }
+
+  /// XPath string-value of the item (atomics format themselves; nodes
+  /// concatenate descendant text).
+  std::string StringValue() const;
+
+  /// Numeric value per XPath number() (NaN when not parseable).
+  double NumberValue() const;
+
+  /// Effective boolean value (nodes: true; strings: non-empty; numbers:
+  /// non-zero and not NaN).
+  bool BooleanValue() const;
+
+  friend bool operator==(const Item& a, const Item& b) {
+    return a.value_ == b.value_;
+  }
+
+  /// Debug rendering ("node(7)", "\"abc\"", "3.5", "true").
+  std::string ToString() const;
+
+ private:
+  std::variant<NodeRef, std::string, double, bool> value_;
+};
+
+/// Sort `List`: a flat, ordered sequence of items (the W3C data model's
+/// only collection sort).
+using Sequence = std::vector<Item>;
+
+/// Sorts document-order and removes duplicate node refs; atomic items keep
+/// their relative order after all nodes.
+void SortDocOrderDedup(Sequence* seq);
+
+/// Sort `NestedList` (paper §3.2): arbitrary-depth nesting. Each entry
+/// carries an item and an ordered list of nested children, so a flat list is
+/// the special case where no entry has children. This is the output sort of
+/// the tree-pattern-matching operator τ and the input of construction γ.
+struct NestedItem {
+  Item item;
+  std::vector<NestedItem> children;
+
+  explicit NestedItem(Item i) : item(std::move(i)) {}
+  NestedItem(Item i, std::vector<NestedItem> kids)
+      : item(std::move(i)), children(std::move(kids)) {}
+};
+
+using NestedList = std::vector<NestedItem>;
+
+/// Flattens a nested list in pre-order into a flat sequence.
+Sequence Flatten(const NestedList& list);
+
+/// Total number of entries (at all nesting depths).
+size_t NestedSize(const NestedList& list);
+
+/// Debug rendering, e.g. "[a, [b, c], d]".
+std::string ToString(const NestedList& list);
+
+}  // namespace xmlq::algebra
+
+#endif  // XMLQ_ALGEBRA_VALUE_H_

@@ -1,0 +1,202 @@
+#include "xmlq/api/database.h"
+
+#include <utility>
+
+#include "xmlq/base/strings.h"
+#include "xmlq/xml/parser.h"
+#include "xmlq/xml/serializer.h"
+#include "xmlq/xpath/compiler.h"
+#include "xmlq/xquery/translate.h"
+#include "xmlq/opt/optimizer.h"
+
+namespace xmlq::api {
+
+using algebra::LogicalExpr;
+using algebra::LogicalExprPtr;
+using algebra::LogicalOp;
+
+Status Database::LoadDocument(std::string name, std::string_view xml_text,
+                              xml::ParseOptions options) {
+  XMLQ_ASSIGN_OR_RETURN(xml::Document parsed,
+                        xml::ParseDocument(xml_text, options));
+  return RegisterDocument(std::move(name),
+                          std::make_unique<xml::Document>(std::move(parsed)));
+}
+
+Status Database::RegisterDocument(std::string name,
+                                  std::unique_ptr<xml::Document> doc) {
+  if (doc == nullptr) return Status::InvalidArgument("null document");
+  if (!doc->IsPreorder()) {
+    return Status::InvalidArgument(
+        "document node ids must be in pre-order (build top-down)");
+  }
+  Entry entry;
+  entry.dom = std::move(doc);
+  entry.succinct = std::make_unique<storage::SuccinctDocument>(
+      storage::SuccinctDocument::Build(*entry.dom));
+  entry.regions = std::make_unique<storage::RegionIndex>(*entry.dom);
+  entry.values = std::make_unique<storage::ValueIndex>(*entry.dom);
+  entry.synopsis = std::make_unique<opt::Synopsis>(*entry.dom);
+  entry.view = exec::IndexedDocument{entry.dom.get(), entry.succinct.get(),
+                                     entry.regions.get(), entry.values.get()};
+  if (entries_.empty()) default_document_ = name;
+  entries_[std::move(name)] = std::move(entry);
+  return Status::Ok();
+}
+
+const exec::IndexedDocument* Database::Get(std::string_view name) const {
+  const auto it = entries_.find(name.empty() ? default_document_
+                                             : std::string(name));
+  return it == entries_.end() ? nullptr : &it->second.view;
+}
+
+const opt::Synopsis* Database::GetSynopsis(std::string_view name) const {
+  const auto it = entries_.find(name.empty() ? default_document_
+                                             : std::string(name));
+  return it == entries_.end() ? nullptr : it->second.synopsis.get();
+}
+
+exec::EvalContext Database::MakeContext(const QueryOptions& options) const {
+  exec::EvalContext context;
+  for (const auto& [name, entry] : entries_) {
+    context.documents.emplace(name, entry.view);
+  }
+  if (!default_document_.empty()) {
+    context.documents.emplace("", entries_.at(default_document_).view);
+  }
+  context.strategy = options.strategy;
+  context.flwor_mode = options.flwor_mode;
+  return context;
+}
+
+namespace {
+
+/// Finds every τ node in a plan.
+void CollectPatterns(const LogicalExpr& plan,
+                     std::vector<const LogicalExpr*>* out) {
+  if (plan.op == LogicalOp::kTreePattern) out->push_back(&plan);
+  for (const auto& child : plan.children) CollectPatterns(*child, out);
+}
+
+}  // namespace
+
+exec::PatternStrategy Database::PickStrategy(const LogicalExpr& plan,
+                                             std::string* explanation) const {
+  std::vector<const LogicalExpr*> patterns;
+  CollectPatterns(plan, &patterns);
+  exec::PatternStrategy best = exec::PatternStrategy::kNok;
+  double worst_cost = -1;
+  for (const LogicalExpr* node : patterns) {
+    // The pattern's document is its DocScan child when present.
+    std::string doc_name;
+    if (!node->children.empty() &&
+        node->children[0]->op == LogicalOp::kDocScan) {
+      doc_name = node->children[0]->str;
+    }
+    if (doc_name.empty()) doc_name = default_document_;
+    const auto it = entries_.find(doc_name);
+    if (it == entries_.end() || node->pattern == nullptr) continue;
+    const opt::StrategyChoice choice = opt::ChooseStrategy(
+        *it->second.synopsis, it->second.dom->pool(), *node->pattern);
+    if (explanation != nullptr) {
+      explanation->append(choice.explanation);
+      explanation->push_back('\n');
+    }
+    // One strategy per query: follow the costliest pattern's choice.
+    if (choice.cost > worst_cost) {
+      worst_cost = choice.cost;
+      best = choice.strategy;
+    }
+  }
+  return best;
+}
+
+Result<exec::QueryResult> Database::Run(LogicalExprPtr plan,
+                                        const QueryOptions& options) {
+  exec::EvalContext context = MakeContext(options);
+  if (options.auto_optimize) {
+    context.strategy = PickStrategy(*plan, nullptr);
+  }
+  exec::Executor executor(&context);
+  return executor.Evaluate(*plan);
+}
+
+Result<LogicalExprPtr> Database::Compile(std::string_view query,
+                                         const QueryOptions& options) const {
+  xquery::TranslateOptions translate_options;
+  translate_options.default_document = default_document_;
+  translate_options.apply_rewrites = options.apply_rewrites;
+  auto plan = xquery::CompileQuery(query, translate_options);
+  if (plan.ok()) return plan;
+  // Pure XPath with predicates is outside the XQuery path subset but fully
+  // supported by the XPath front end; fall back for absolute paths.
+  const std::string_view trimmed = TrimWhitespace(query);
+  if (!trimmed.empty() && trimmed[0] == '/') {
+    auto xpath_plan = xpath::CompilePath(trimmed, default_document_);
+    if (xpath_plan.ok()) return xpath_plan;
+  }
+  return plan.status();
+}
+
+Result<exec::QueryResult> Database::Query(std::string_view query,
+                                          const QueryOptions& options) {
+  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, Compile(query, options));
+  return Run(std::move(plan), options);
+}
+
+Result<exec::QueryResult> Database::QueryPath(std::string_view path,
+                                              std::string_view doc_name,
+                                              const QueryOptions& options) {
+  const std::string name =
+      doc_name.empty() ? default_document_ : std::string(doc_name);
+  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan,
+                        xpath::CompilePath(path, name));
+  return Run(std::move(plan), options);
+}
+
+Result<std::string> Database::Explain(std::string_view query,
+                                      const QueryOptions& options) {
+  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, Compile(query, options));
+  std::string out = plan->ToString();
+  std::string strategies;
+  PickStrategy(*plan, &strategies);
+  if (!strategies.empty()) {
+    out += "-- physical strategy --\n" + strategies;
+  }
+  return out;
+}
+
+std::string Database::ToXml(const exec::QueryResult& result, bool indent) {
+  xml::SerializeOptions options;
+  options.indent = indent;
+  std::string out;
+  for (const algebra::Item& item : result.value) {
+    if (!out.empty()) out.push_back('\n');
+    if (item.IsNode()) {
+      out += xml::Serialize(*item.node().doc, item.node().id, options);
+    } else {
+      out += item.StringValue();
+    }
+  }
+  return out;
+}
+
+Result<StorageReport> Database::Report(std::string_view name) const {
+  const auto it = entries_.find(name.empty() ? default_document_
+                                             : std::string(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("document \"" + std::string(name) +
+                            "\" is not loaded");
+  }
+  const Entry& entry = it->second;
+  StorageReport report;
+  report.dom_bytes = entry.dom->MemoryUsage();
+  report.succinct_structure_bytes = entry.succinct->StructureBytes();
+  report.succinct_content_bytes = entry.succinct->ContentBytes();
+  report.region_index_bytes = entry.regions->MemoryUsage();
+  report.value_index_bytes = entry.values->MemoryUsage();
+  report.node_count = entry.dom->NodeCount();
+  return report;
+}
+
+}  // namespace xmlq::api

@@ -1,0 +1,129 @@
+#ifndef XMLQ_API_DATABASE_H_
+#define XMLQ_API_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "xmlq/base/status.h"
+#include "xmlq/exec/executor.h"
+#include "xmlq/opt/synopsis.h"
+#include "xmlq/storage/region_index.h"
+#include "xmlq/storage/succinct_doc.h"
+#include "xmlq/storage/value_index.h"
+#include "xmlq/xml/document.h"
+#include "xmlq/xml/parser.h"
+
+namespace xmlq::api {
+
+/// Per-query options.
+struct QueryOptions {
+  /// Pick the τ strategy with the cost model; when false, `strategy` is
+  /// forced for every pattern in the plan.
+  bool auto_optimize = true;
+  exec::PatternStrategy strategy = exec::PatternStrategy::kNok;
+  exec::FlworMode flwor_mode = exec::FlworMode::kEnv;
+  /// Run the logical rewrite pipeline before execution.
+  bool apply_rewrites = true;
+};
+
+/// Storage-footprint report for one document (experiment E2).
+struct StorageReport {
+  size_t dom_bytes = 0;
+  size_t succinct_structure_bytes = 0;
+  size_t succinct_content_bytes = 0;
+  size_t region_index_bytes = 0;
+  size_t value_index_bytes = 0;
+  size_t node_count = 0;
+};
+
+/// The embedded native XML database: owns documents in every physical
+/// representation (DOM, succinct store, region index, value index, path
+/// synopsis) and runs XPath/XQuery through the logical algebra, the rewrite
+/// pipeline and the cost-based physical strategy choice.
+///
+/// Typical use:
+///
+///   xmlq::api::Database db;
+///   db.LoadDocument("bib.xml", xml_text);
+///   auto result = db.Query(R"(
+///     for $b in doc("bib.xml")/bib/book
+///     where $b/price > 50
+///     return $b/title)");
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses `xml_text` and registers it under `name` (building all physical
+  /// representations). The first document loaded also becomes the default
+  /// document for absolute paths.
+  Status LoadDocument(std::string name, std::string_view xml_text,
+                      xml::ParseOptions options = {});
+
+  /// Registers an already-built DOM tree (e.g. from a generator). The
+  /// document must satisfy IsPreorder().
+  Status RegisterDocument(std::string name,
+                          std::unique_ptr<xml::Document> doc);
+
+  /// Evaluates an XQuery expression.
+  Result<exec::QueryResult> Query(std::string_view query,
+                                  const QueryOptions& options = {});
+
+  /// Evaluates an XPath expression against document `name` (or the default
+  /// document when empty), returning matching nodes.
+  Result<exec::QueryResult> QueryPath(std::string_view path,
+                                      std::string_view doc_name = {},
+                                      const QueryOptions& options = {});
+
+  /// Returns the optimized logical plan (and per-pattern strategy choices)
+  /// for a query, without executing it.
+  Result<std::string> Explain(std::string_view query,
+                              const QueryOptions& options = {});
+
+  /// Serializes a query result: node items as XML, atomics as text, one
+  /// item per line.
+  static std::string ToXml(const exec::QueryResult& result, bool indent = false);
+
+  bool Contains(std::string_view name) const {
+    return entries_.find(name) != entries_.end();
+  }
+  /// Physical views of a loaded document (nullptr when absent).
+  const exec::IndexedDocument* Get(std::string_view name) const;
+  const opt::Synopsis* GetSynopsis(std::string_view name) const;
+
+  Result<StorageReport> Report(std::string_view name) const;
+
+  /// Name of the default document ("" until the first load).
+  const std::string& default_document() const { return default_document_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<xml::Document> dom;
+    std::unique_ptr<storage::SuccinctDocument> succinct;
+    std::unique_ptr<storage::RegionIndex> regions;
+    std::unique_ptr<storage::ValueIndex> values;
+    std::unique_ptr<opt::Synopsis> synopsis;
+    exec::IndexedDocument view;
+  };
+
+  Result<algebra::LogicalExprPtr> Compile(std::string_view query,
+                                          const QueryOptions& options) const;
+  Result<exec::QueryResult> Run(algebra::LogicalExprPtr plan,
+                                const QueryOptions& options);
+  exec::EvalContext MakeContext(const QueryOptions& options) const;
+  /// Applies the cost model to every τ node; returns the forced strategy
+  /// for the context (single strategy per plan: the cheapest for the most
+  /// expensive pattern).
+  exec::PatternStrategy PickStrategy(const algebra::LogicalExpr& plan,
+                                     std::string* explanation) const;
+
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::string default_document_;
+};
+
+}  // namespace xmlq::api
+
+#endif  // XMLQ_API_DATABASE_H_

@@ -1,0 +1,33 @@
+#include "xmlq/base/status.h"
+
+namespace xmlq {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace xmlq

@@ -1,0 +1,138 @@
+#ifndef XMLQ_BASE_STATUS_H_
+#define XMLQ_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xmlq {
+
+/// Error category for a failed operation. Kept deliberately small; the
+/// human-readable message carries the detail (including source positions for
+/// parse errors).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // XML / XPath / XQuery syntax error
+  kNotFound,          // named document / variable / tag missing
+  kUnsupported,       // outside the implemented XQuery subset
+  kOutOfRange,        // index past the end of a container
+  kInternal,          // invariant violation inside the engine
+};
+
+/// Returns a stable lowercase name for `code` ("ok", "parse_error", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a payload. Cheap to copy in
+/// the OK case (no allocation); errors carry a message.
+///
+/// The library does not use exceptions on query or storage paths; every
+/// fallible public entry point returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Mirrors the subset of
+/// absl::StatusOr the library needs.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so `return value;` and `return status;` both work
+  /// from functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define XMLQ_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::xmlq::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+///   XMLQ_ASSIGN_OR_RETURN(auto doc, ParseDocument(text));
+#define XMLQ_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  XMLQ_ASSIGN_OR_RETURN_IMPL_(                             \
+      XMLQ_STATUS_CONCAT_(_xmlq_result, __LINE__), lhs, rexpr)
+
+#define XMLQ_STATUS_CONCAT_INNER_(x, y) x##y
+#define XMLQ_STATUS_CONCAT_(x, y) XMLQ_STATUS_CONCAT_INNER_(x, y)
+#define XMLQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace xmlq
+
+#endif  // XMLQ_BASE_STATUS_H_

@@ -1,0 +1,105 @@
+#include "xmlq/base/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xmlq {
+
+namespace {
+
+bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+}  // namespace
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsXmlSpace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsXmlSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlSpace(c)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(s.substr(start));
+      break;
+    }
+    pieces.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty() || s.size() > 63) return std::nullopt;
+  char buf[64];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(buf, &end);
+  if (end != buf + s.size() || errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+std::optional<int64_t> ParseInt(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty() || s.size() > 31) return std::nullopt;
+  char buf[32];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(buf, &end, 10);
+  if (end != buf + s.size() || errno == ERANGE) return std::nullopt;
+  return static_cast<int64_t>(value);
+}
+
+std::string FormatNumber(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "INF" : "-INF";
+  double integral;
+  if (std::modf(d, &integral) == 0.0 && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+bool IsValidName(std::string_view name) {
+  if (name.empty()) return false;
+  char first = name[0];
+  if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_')) {
+    return false;
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    char c = name[i];
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '_' || c == '.' || c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xmlq

@@ -1,0 +1,41 @@
+#ifndef XMLQ_BASE_STRINGS_H_
+#define XMLQ_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlq {
+
+/// Removes leading and trailing XML whitespace (space, tab, CR, LF).
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True if `s` consists solely of XML whitespace (or is empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Parses a decimal (optionally signed, optionally fractional) number.
+/// Returns nullopt on any trailing garbage or empty input. XQuery `number()`
+/// semantics minus NaN propagation: surrounding whitespace is allowed.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Parses a decimal integer; whitespace-tolerant, rejects trailing garbage.
+std::optional<int64_t> ParseInt(std::string_view s);
+
+/// Formats `d` the way XQuery serializes xs:double-derived atomics: integral
+/// values print without a fractional part ("42"), others use shortest-ish
+/// fixed notation ("3.14").
+std::string FormatNumber(double d);
+
+/// True if `name` is a valid XML NCName (letter/underscore start; letters,
+/// digits, '-', '_', '.' afterwards). We restrict names to ASCII, which is
+/// sufficient for the workloads the paper evaluates.
+bool IsValidName(std::string_view name);
+
+}  // namespace xmlq
+
+#endif  // XMLQ_BASE_STRINGS_H_

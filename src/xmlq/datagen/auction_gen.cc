@@ -1,0 +1,225 @@
+#include "xmlq/datagen/auction_gen.h"
+
+#include <array>
+#include <cmath>
+
+#include "xmlq/base/random.h"
+#include "xmlq/base/strings.h"
+
+namespace xmlq::datagen {
+
+namespace {
+
+constexpr std::array<const char*, 6> kRegions = {
+    "africa", "asia", "australia", "europe", "namerica", "samerica"};
+
+constexpr std::array<const char*, 16> kWords = {
+    "vintage", "rare",    "antique", "modern", "classic", "signed",
+    "limited", "edition", "mint",    "boxed",  "sealed",  "original",
+    "refurb",  "bundle",  "deluxe",  "promo"};
+
+constexpr std::array<const char*, 12> kFirst = {
+    "Alice", "Bob",   "Carol", "Dave", "Erin",  "Frank",
+    "Grace", "Heidi", "Ivan",  "Judy", "Mallory", "Niaj"};
+
+constexpr std::array<const char*, 12> kLast = {
+    "Smith", "Jones", "Lee",   "Patel",  "Garcia", "Kim",
+    "Chen",  "Silva", "Brown", "Devi",   "Novak",  "Okafor"};
+
+constexpr std::array<const char*, 8> kCities = {
+    "Waterloo", "Toronto", "Boston", "Berlin",
+    "Tokyo",    "Sydney",  "Nairobi", "Lima"};
+
+std::string Sentence(xmlq::Rng* rng, int min_words, int max_words) {
+  std::string out;
+  const int n = static_cast<int>(rng->Range(min_words, max_words));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += kWords[rng->Below(kWords.size())];
+  }
+  return out;
+}
+
+std::string Money(xmlq::Rng* rng, double lo, double hi) {
+  const double v = lo + rng->NextDouble() * (hi - lo);
+  return xmlq::FormatNumber(std::round(v * 100) / 100);
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateAuctionSite(
+    const AuctionOptions& options) {
+  Rng rng(options.seed);
+  const auto scaled = [&](size_t per_scale) {
+    return std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               static_cast<double>(per_scale) * options.scale)));
+  };
+  const size_t num_items = scaled(options.items_per_scale);
+  const size_t num_people = scaled(options.people_per_scale);
+  const size_t num_open = scaled(options.open_auctions_per_scale);
+  const size_t num_closed = scaled(options.closed_auctions_per_scale);
+  const size_t num_categories = scaled(options.categories_per_scale);
+
+  auto doc = std::make_unique<xml::Document>();
+  const xml::NodeId site = doc->AddElement(doc->root(), "site");
+
+  // -- regions / items -------------------------------------------------
+  // Assign items to regions up front so each region subtree is built
+  // completely before the next one starts (keeps NodeIds in pre-order).
+  const xml::NodeId regions = doc->AddElement(site, "regions");
+  const size_t num_regions = std::min(options.regions, kRegions.size());
+  std::vector<std::vector<size_t>> items_by_region(num_regions);
+  for (size_t i = 0; i < num_items; ++i) {
+    items_by_region[rng.Below(num_regions)].push_back(i);
+  }
+  for (size_t r = 0; r < num_regions; ++r) {
+    const xml::NodeId region = doc->AddElement(regions, kRegions[r]);
+    for (const size_t i : items_by_region[r]) {
+      const xml::NodeId item = doc->AddElement(region, "item");
+    doc->AddAttribute(item, "id", "item" + std::to_string(i));
+    const xml::NodeId location = doc->AddElement(item, "location");
+    doc->AddText(location, kCities[rng.Below(kCities.size())]);
+    const xml::NodeId quantity = doc->AddElement(item, "quantity");
+    doc->AddText(quantity, std::to_string(rng.Range(1, 5)));
+    const xml::NodeId name = doc->AddElement(item, "name");
+    doc->AddText(name, Sentence(&rng, 2, 4));
+    const xml::NodeId payment = doc->AddElement(item, "payment");
+    doc->AddText(payment, rng.Chance(0.5) ? "Creditcard" : "Cash");
+    const xml::NodeId description = doc->AddElement(item, "description");
+    const xml::NodeId text = doc->AddElement(description, "text");
+    doc->AddText(text, Sentence(&rng, 5, 20));
+    // Mailbox with a geometric number of mails (deep, mixed structure).
+    const xml::NodeId mailbox = doc->AddElement(item, "mailbox");
+    while (rng.Chance(0.4)) {
+      const xml::NodeId mail = doc->AddElement(mailbox, "mail");
+      const xml::NodeId from = doc->AddElement(mail, "from");
+      doc->AddText(from, kFirst[rng.Below(kFirst.size())]);
+      const xml::NodeId date = doc->AddElement(mail, "date");
+      doc->AddText(date, std::to_string(rng.Range(2001, 2004)) + "-" +
+                             std::to_string(rng.Range(1, 12)));
+      const xml::NodeId body = doc->AddElement(mail, "text");
+      doc->AddText(body, Sentence(&rng, 3, 12));
+    }
+    }
+  }
+
+  // -- categories -------------------------------------------------------
+  const xml::NodeId categories = doc->AddElement(site, "categories");
+  for (size_t c = 0; c < num_categories; ++c) {
+    const xml::NodeId category = doc->AddElement(categories, "category");
+    doc->AddAttribute(category, "id", "category" + std::to_string(c));
+    const xml::NodeId name = doc->AddElement(category, "name");
+    doc->AddText(name, Sentence(&rng, 1, 3));
+    const xml::NodeId description = doc->AddElement(category, "description");
+    const xml::NodeId text = doc->AddElement(description, "text");
+    doc->AddText(text, Sentence(&rng, 4, 10));
+  }
+
+  // -- people ------------------------------------------------------------
+  const xml::NodeId people = doc->AddElement(site, "people");
+  for (size_t p = 0; p < num_people; ++p) {
+    const xml::NodeId person = doc->AddElement(people, "person");
+    doc->AddAttribute(person, "id", "person" + std::to_string(p));
+    const xml::NodeId name = doc->AddElement(person, "name");
+    doc->AddText(name, std::string(kFirst[rng.Below(kFirst.size())]) + " " +
+                           kLast[rng.Below(kLast.size())]);
+    const xml::NodeId email = doc->AddElement(person, "emailaddress");
+    doc->AddText(email, "mailto:person" + std::to_string(p) + "@example.com");
+    if (rng.Chance(0.6)) {
+      const xml::NodeId phone = doc->AddElement(person, "phone");
+      doc->AddText(phone, "+1-" + std::to_string(rng.Range(200, 999)) + "-" +
+                              std::to_string(rng.Range(1000000, 9999999)));
+    }
+    if (rng.Chance(0.7)) {
+      const xml::NodeId address = doc->AddElement(person, "address");
+      const xml::NodeId street = doc->AddElement(address, "street");
+      doc->AddText(street, std::to_string(rng.Range(1, 99)) + " Main St");
+      const xml::NodeId city = doc->AddElement(address, "city");
+      doc->AddText(city, kCities[rng.Below(kCities.size())]);
+      const xml::NodeId country = doc->AddElement(address, "country");
+      doc->AddText(country, "United States");
+    }
+    if (rng.Chance(0.8)) {
+      const xml::NodeId profile = doc->AddElement(person, "profile");
+      doc->AddAttribute(profile, "income", Money(&rng, 9000, 250000));
+      const int interests = static_cast<int>(rng.Range(0, 4));
+      for (int i = 0; i < interests; ++i) {
+        const xml::NodeId interest = doc->AddElement(profile, "interest");
+        doc->AddAttribute(
+            interest, "category",
+            "category" + std::to_string(rng.Below(num_categories)));
+      }
+      if (rng.Chance(0.5)) {
+        const xml::NodeId education = doc->AddElement(profile, "education");
+        doc->AddText(education,
+                     rng.Chance(0.5) ? "Graduate School" : "College");
+      }
+      const xml::NodeId gender = doc->AddElement(profile, "gender");
+      doc->AddText(gender, rng.Chance(0.5) ? "male" : "female");
+    }
+  }
+
+  // -- open auctions ------------------------------------------------------
+  const xml::NodeId open_auctions = doc->AddElement(site, "open_auctions");
+  for (size_t a = 0; a < num_open; ++a) {
+    const xml::NodeId auction = doc->AddElement(open_auctions, "open_auction");
+    doc->AddAttribute(auction, "id", "open_auction" + std::to_string(a));
+    const xml::NodeId initial = doc->AddElement(auction, "initial");
+    const double initial_price =
+        1.0 + rng.NextDouble() * 199.0;
+    doc->AddText(initial, FormatNumber(std::round(initial_price * 100) / 100));
+    double current_price = initial_price;
+    while (rng.Chance(0.55)) {
+      const xml::NodeId bidder = doc->AddElement(auction, "bidder");
+      const xml::NodeId date = doc->AddElement(bidder, "date");
+      doc->AddText(date, std::to_string(rng.Range(2001, 2004)) + "-" +
+                             std::to_string(rng.Range(1, 12)));
+      const xml::NodeId personref = doc->AddElement(bidder, "personref");
+      doc->AddAttribute(personref, "person",
+                        "person" + std::to_string(rng.Below(num_people)));
+      const xml::NodeId increase = doc->AddElement(bidder, "increase");
+      const double inc = 1.5 + rng.NextDouble() * 25.0;
+      current_price += inc;
+      doc->AddText(increase, FormatNumber(std::round(inc * 100) / 100));
+    }
+    const xml::NodeId current = doc->AddElement(auction, "current");
+    doc->AddText(current, FormatNumber(std::round(current_price * 100) / 100));
+    const xml::NodeId itemref = doc->AddElement(auction, "itemref");
+    doc->AddAttribute(itemref, "item",
+                      "item" + std::to_string(rng.Below(num_items)));
+    const xml::NodeId seller = doc->AddElement(auction, "seller");
+    doc->AddAttribute(seller, "person",
+                      "person" + std::to_string(rng.Below(num_people)));
+    const xml::NodeId quantity = doc->AddElement(auction, "quantity");
+    doc->AddText(quantity, std::to_string(rng.Range(1, 3)));
+  }
+
+  // -- closed auctions -----------------------------------------------------
+  const xml::NodeId closed_auctions =
+      doc->AddElement(site, "closed_auctions");
+  for (size_t a = 0; a < num_closed; ++a) {
+    const xml::NodeId auction =
+        doc->AddElement(closed_auctions, "closed_auction");
+    const xml::NodeId seller = doc->AddElement(auction, "seller");
+    doc->AddAttribute(seller, "person",
+                      "person" + std::to_string(rng.Below(num_people)));
+    const xml::NodeId buyer = doc->AddElement(auction, "buyer");
+    doc->AddAttribute(buyer, "person",
+                      "person" + std::to_string(rng.Below(num_people)));
+    const xml::NodeId itemref = doc->AddElement(auction, "itemref");
+    doc->AddAttribute(itemref, "item",
+                      "item" + std::to_string(rng.Below(num_items)));
+    const xml::NodeId price = doc->AddElement(auction, "price");
+    doc->AddText(price, Money(&rng, 5, 400));
+    const xml::NodeId quantity = doc->AddElement(auction, "quantity");
+    doc->AddText(quantity, std::to_string(rng.Range(1, 3)));
+    const xml::NodeId date = doc->AddElement(auction, "date");
+    doc->AddText(date, std::to_string(rng.Range(1999, 2003)) + "-" +
+                           std::to_string(rng.Range(1, 12)));
+  }
+
+  return doc;
+}
+
+}  // namespace xmlq::datagen

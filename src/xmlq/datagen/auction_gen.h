@@ -1,0 +1,47 @@
+#ifndef XMLQ_DATAGEN_AUCTION_GEN_H_
+#define XMLQ_DATAGEN_AUCTION_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::datagen {
+
+/// Knobs for the XMark-style auction-site generator. `scale = 1.0`
+/// approximates the original benchmark's entity ratios at a laptop-friendly
+/// size; all counts scale linearly. Deterministic for a fixed seed.
+struct AuctionOptions {
+  double scale = 0.1;
+  uint64_t seed = 7;
+
+  /// Entity counts at scale 1.0 (ratios follow the XMark schema).
+  size_t items_per_scale = 4000;
+  size_t people_per_scale = 2000;
+  size_t open_auctions_per_scale = 2400;
+  size_t closed_auctions_per_scale = 1600;
+  size_t categories_per_scale = 200;
+  size_t regions = 6;
+};
+
+/// Generates an auction-site document with the XMark skeleton:
+///
+///   <site>
+///     <regions> <africa|asia|...> <item id>...</item>* </...> </regions>
+///     <categories> <category id><name/><description/></category>* </...>
+///     <people> <person id><name/><emailaddress/><phone?/><address?>
+///              <profile income>...</profile?></person>* </people>
+///     <open_auctions> <open_auction id><initial/><bidder>*<current/>
+///                      <itemref item/><seller person/></open_auction>* </...>
+///     <closed_auctions> <closed_auction><seller/><buyer/><itemref/>
+///                        <price/><quantity/></closed_auction>* </...>
+///   </site>
+///
+/// This preserves the tag distributions, nesting depths, reference
+/// structure and value skew that the paper's query workloads exercise.
+std::unique_ptr<xml::Document> GenerateAuctionSite(
+    const AuctionOptions& options);
+
+}  // namespace xmlq::datagen
+
+#endif  // XMLQ_DATAGEN_AUCTION_GEN_H_

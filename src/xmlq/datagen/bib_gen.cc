@@ -1,0 +1,73 @@
+#include "xmlq/datagen/bib_gen.h"
+
+#include <array>
+#include <cmath>
+
+#include "xmlq/base/random.h"
+#include "xmlq/base/strings.h"
+
+namespace xmlq::datagen {
+
+namespace {
+
+constexpr std::array<const char*, 12> kTitleWords = {
+    "Data", "on", "the", "Web", "Advanced", "Programming", "Unix",
+    "Systems", "Digital", "Economy", "Query", "Processing"};
+
+constexpr std::array<const char*, 10> kSurnames = {
+    "Stevens", "Abiteboul", "Buneman", "Suciu", "Gray",
+    "Codd",    "Ullman",    "Widom",   "Zhang", "Ozsu"};
+
+constexpr std::array<const char*, 8> kFirstNames = {
+    "W.", "Serge", "Peter", "Dan", "Jim", "Edgar", "Jeffrey", "Jennifer"};
+
+constexpr std::array<const char*, 5> kPublishers = {
+    "Addison-Wesley", "Morgan Kaufmann", "Springer", "ACM Press",
+    "O'Reilly"};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateBibliography(
+    const BibOptions& options) {
+  Rng rng(options.seed);
+  auto doc = std::make_unique<xml::Document>();
+  const xml::NodeId bib = doc->AddElement(doc->root(), "bib");
+  for (size_t i = 0; i < options.num_books; ++i) {
+    const xml::NodeId book = doc->AddElement(bib, "book");
+    doc->AddAttribute(
+        book, "year",
+        std::to_string(rng.Range(options.first_year, options.last_year)));
+    doc->AddAttribute(book, "id", "b" + std::to_string(i));
+
+    const xml::NodeId title = doc->AddElement(book, "title");
+    std::string title_text;
+    const int title_len = static_cast<int>(rng.Range(2, 5));
+    for (int w = 0; w < title_len; ++w) {
+      if (w > 0) title_text.push_back(' ');
+      title_text += kTitleWords[rng.Below(kTitleWords.size())];
+    }
+    doc->AddText(title, title_text);
+
+    const int num_authors =
+        static_cast<int>(rng.Range(options.min_authors, options.max_authors));
+    for (int a = 0; a < num_authors; ++a) {
+      const xml::NodeId author = doc->AddElement(book, "author");
+      const xml::NodeId last = doc->AddElement(author, "last");
+      doc->AddText(last, kSurnames[rng.Below(kSurnames.size())]);
+      const xml::NodeId first = doc->AddElement(author, "first");
+      doc->AddText(first, kFirstNames[rng.Below(kFirstNames.size())]);
+    }
+
+    const xml::NodeId publisher = doc->AddElement(book, "publisher");
+    doc->AddText(publisher, kPublishers[rng.Below(kPublishers.size())]);
+
+    const xml::NodeId price = doc->AddElement(book, "price");
+    const double value =
+        options.min_price +
+        rng.NextDouble() * (options.max_price - options.min_price);
+    doc->AddText(price, FormatNumber(std::round(value * 100) / 100));
+  }
+  return doc;
+}
+
+}  // namespace xmlq::datagen

@@ -1,0 +1,36 @@
+#ifndef XMLQ_DATAGEN_BIB_GEN_H_
+#define XMLQ_DATAGEN_BIB_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::datagen {
+
+/// Knobs for the bibliography generator (the `bib.xml` workload of the
+/// XQuery Use Cases that the paper's Fig. 1 queries).
+struct BibOptions {
+  size_t num_books = 100;
+  uint64_t seed = 42;
+  int min_authors = 1;
+  int max_authors = 4;
+  int first_year = 1985;
+  int last_year = 2004;
+  double min_price = 10.0;
+  double max_price = 150.0;
+};
+
+/// Generates a deterministic bibliography document:
+///   <bib>
+///     <book year="...">
+///       <title>...</title> <author>...</author>+ <publisher>...</publisher>
+///       <price>...</price>
+///     </book>*
+///   </bib>
+/// Node ids are pre-order (IsPreorder() holds).
+std::unique_ptr<xml::Document> GenerateBibliography(const BibOptions& options);
+
+}  // namespace xmlq::datagen
+
+#endif  // XMLQ_DATAGEN_BIB_GEN_H_

@@ -1,0 +1,53 @@
+#include "xmlq/datagen/random_tree.h"
+
+#include <functional>
+
+#include "xmlq/base/random.h"
+
+namespace xmlq::datagen {
+
+std::unique_ptr<xml::Document> GenerateRandomTree(
+    const RandomTreeOptions& options) {
+  Rng rng(options.seed);
+  auto doc = std::make_unique<xml::Document>();
+  const auto tag = [&](uint64_t i) { return "t" + std::to_string(i); };
+
+  size_t created = 1;
+  // Recursive DFS: each child subtree is completed before the next sibling
+  // is created, so NodeIds stay in pre-order.
+  std::function<void(xml::NodeId, int)> grow = [&](xml::NodeId node,
+                                                   int depth) {
+    if (rng.Chance(options.attribute_probability)) {
+      doc->AddAttribute(node, "a" + std::to_string(rng.Below(3)),
+                        std::to_string(rng.Below(50)));
+    }
+    if (rng.Chance(options.text_probability)) {
+      doc->AddText(node, std::to_string(rng.Below(100)));
+    }
+    if (depth >= options.max_depth) return;
+    // Geometric fanout, biased wider near the root.
+    double keep_going = depth <= 2 ? 0.75 : 0.45;
+    while (created < options.num_elements && rng.Chance(keep_going)) {
+      keep_going *= 0.9;
+      const xml::NodeId child = doc->AddElement(
+          node,
+          tag(rng.Below(static_cast<uint64_t>(options.tag_vocabulary))));
+      ++created;
+      grow(child, depth + 1);
+    }
+  };
+
+  const xml::NodeId root = doc->AddElement(doc->root(), tag(0));
+  grow(root, 1);
+  // Top up to the requested element count with extra root children, so the
+  // generator honours num_elements even when early subtrees terminate.
+  while (created < options.num_elements) {
+    const xml::NodeId child = doc->AddElement(
+        root, tag(rng.Below(static_cast<uint64_t>(options.tag_vocabulary))));
+    ++created;
+    grow(child, 2);
+  }
+  return doc;
+}
+
+}  // namespace xmlq::datagen

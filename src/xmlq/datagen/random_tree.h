@@ -1,0 +1,29 @@
+#ifndef XMLQ_DATAGEN_RANDOM_TREE_H_
+#define XMLQ_DATAGEN_RANDOM_TREE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::datagen {
+
+/// Knobs for the random labeled-tree generator used by property tests.
+struct RandomTreeOptions {
+  size_t num_elements = 200;
+  uint64_t seed = 1;
+  int tag_vocabulary = 6;       // tags "t0".."t{n-1}"
+  int max_depth = 12;
+  double text_probability = 0.4;       // chance an element gets a text child
+  double attribute_probability = 0.3;  // chance of an "a0".."a2" attribute
+};
+
+/// Generates a random ordered labeled tree. Shapes are skewed (geometric
+/// descent) so both deep chains and wide fans occur. Deterministic per seed;
+/// IsPreorder() holds.
+std::unique_ptr<xml::Document> GenerateRandomTree(
+    const RandomTreeOptions& options);
+
+}  // namespace xmlq::datagen
+
+#endif  // XMLQ_DATAGEN_RANDOM_TREE_H_

@@ -1,0 +1,181 @@
+#include "xmlq/exec/construct.h"
+
+#include "xmlq/exec/executor.h"
+
+namespace xmlq::exec {
+
+using algebra::Item;
+using algebra::LogicalExpr;
+using algebra::SchemaAttr;
+using algebra::SchemaNode;
+using algebra::SchemaNodeKind;
+using algebra::Sequence;
+
+xml::NodeId CopySubtree(const xml::Document& src, xml::NodeId node,
+                        xml::Document* dst, xml::NodeId parent) {
+  switch (src.Kind(node)) {
+    case xml::NodeKind::kElement: {
+      const xml::NodeId copy = dst->AddElement(parent, src.NameStr(node));
+      for (xml::NodeId a = src.FirstAttr(node); a != xml::kNullNode;
+           a = src.NextSibling(a)) {
+        dst->AddAttribute(copy, src.NameStr(a), src.Text(a));
+      }
+      for (xml::NodeId c = src.FirstChild(node); c != xml::kNullNode;
+           c = src.NextSibling(c)) {
+        CopySubtree(src, c, dst, copy);
+      }
+      return copy;
+    }
+    case xml::NodeKind::kText:
+      return dst->AddText(parent, src.Text(node));
+    case xml::NodeKind::kComment:
+      return dst->AddComment(parent, src.Text(node));
+    case xml::NodeKind::kProcessingInstruction:
+      return dst->AddProcessingInstruction(parent, src.NameStr(node),
+                                           src.Text(node));
+    case xml::NodeKind::kAttribute:
+    case xml::NodeKind::kDocument:
+      break;  // handled by callers
+  }
+  return xml::kNullNode;
+}
+
+namespace {
+
+/// Instantiates schema-tree nodes into `dst`. Owned by one EvalConstruct
+/// call; the expression evaluator is injected so placeholders can reference
+/// FLWOR variables in scope.
+class Instantiator {
+ public:
+  using EvalFn =
+      std::function<Result<Sequence>(const LogicalExpr& slot_expr)>;
+
+  Instantiator(const LogicalExpr& construct, xml::Document* dst, EvalFn eval)
+      : construct_(construct), dst_(dst), eval_(std::move(eval)) {}
+
+  Status Build(const SchemaNode& node, xml::NodeId parent) {
+    switch (node.kind) {
+      case SchemaNodeKind::kElement: {
+        const xml::NodeId elem = dst_->AddElement(parent, node.label);
+        for (const SchemaAttr& attr : node.attrs) {
+          if (attr.expr == algebra::kNoExpr) {
+            dst_->AddAttribute(elem, attr.name, attr.literal);
+          } else {
+            XMLQ_ASSIGN_OR_RETURN(Sequence value, EvalSlot(attr.expr));
+            std::string text;
+            for (size_t i = 0; i < value.size(); ++i) {
+              if (i > 0) text.push_back(' ');
+              text += value[i].StringValue();
+            }
+            dst_->AddAttribute(elem, attr.name, text);
+          }
+        }
+        for (const SchemaNode& child : node.children) {
+          XMLQ_RETURN_IF_ERROR(Build(child, elem));
+        }
+        return Status::Ok();
+      }
+      case SchemaNodeKind::kText:
+        dst_->AddText(parent, node.literal);
+        return Status::Ok();
+      case SchemaNodeKind::kPlaceholder: {
+        XMLQ_ASSIGN_OR_RETURN(Sequence value, EvalSlot(node.expr));
+        return Splice(value, parent);
+      }
+      case SchemaNodeKind::kIf: {
+        XMLQ_ASSIGN_OR_RETURN(Sequence cond, EvalSlot(node.expr));
+        const bool truthy = !cond.empty() && cond[0].BooleanValue();
+        if (truthy) {
+          for (const SchemaNode& child : node.children) {
+            XMLQ_RETURN_IF_ERROR(Build(child, parent));
+          }
+        }
+        return Status::Ok();
+      }
+    }
+    return Status::Internal("unknown schema node kind");
+  }
+
+ private:
+  Result<Sequence> EvalSlot(algebra::ExprSlot slot) {
+    if (slot < 0 ||
+        static_cast<size_t>(slot) >= construct_.children.size()) {
+      return Status::Internal("construction placeholder slot out of range");
+    }
+    return eval_(*construct_.children[slot]);
+  }
+
+  /// Splices a placeholder's value into the content of `parent`: node items
+  /// are deep-copied, runs of atomic items become a single space-separated
+  /// text node (XQuery content construction rules).
+  Status Splice(const Sequence& value, xml::NodeId parent) {
+    std::string pending;
+    bool has_pending = false;
+    auto flush = [&] {
+      if (has_pending) {
+        dst_->AddText(parent, pending);
+        pending.clear();
+        has_pending = false;
+      }
+    };
+    for (const Item& item : value) {
+      if (item.IsNode()) {
+        const algebra::NodeRef& ref = item.node();
+        if (ref.doc->Kind(ref.id) == xml::NodeKind::kAttribute) {
+          // An attribute node in content attaches to the parent element.
+          flush();
+          dst_->AddAttribute(parent, ref.doc->NameStr(ref.id),
+                             ref.doc->Text(ref.id));
+          continue;
+        }
+        if (ref.doc->Kind(ref.id) == xml::NodeKind::kDocument) {
+          flush();
+          for (xml::NodeId c = ref.doc->FirstChild(ref.id);
+               c != xml::kNullNode; c = ref.doc->NextSibling(c)) {
+            CopySubtree(*ref.doc, c, dst_, parent);
+          }
+          continue;
+        }
+        flush();
+        CopySubtree(*ref.doc, ref.id, dst_, parent);
+      } else {
+        if (has_pending) pending.push_back(' ');
+        pending += item.StringValue();
+        has_pending = true;
+      }
+    }
+    flush();
+    return Status::Ok();
+  }
+
+  const LogicalExpr& construct_;
+  xml::Document* dst_;
+  EvalFn eval_;
+};
+
+}  // namespace
+
+Result<Sequence> Executor::EvalConstruct(const LogicalExpr& expr,
+                                         const Scope* scope,
+                                         QueryResult* out) {
+  if (expr.schema == nullptr) {
+    return Status::Internal("Construct node without a schema tree");
+  }
+  const SchemaNode& root = expr.schema->root();
+  if (root.kind != SchemaNodeKind::kElement) {
+    return Status::Unsupported(
+        "γ requires an element constructor at the schema root");
+  }
+  auto doc = std::make_unique<xml::Document>();
+  Instantiator inst(expr, doc.get(),
+                    [this, scope, out](const LogicalExpr& slot_expr) {
+                      return Eval(slot_expr, scope, out);
+                    });
+  XMLQ_RETURN_IF_ERROR(inst.Build(root, doc->root()));
+  const xml::NodeId root_elem = doc->RootElement();
+  Sequence result{Item(algebra::NodeRef{doc.get(), root_elem})};
+  out->constructed.push_back(std::move(doc));
+  return result;
+}
+
+}  // namespace xmlq::exec

@@ -1,0 +1,17 @@
+#ifndef XMLQ_EXEC_CONSTRUCT_H_
+#define XMLQ_EXEC_CONSTRUCT_H_
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::exec {
+
+/// Deep-copies the subtree rooted at `node` (an element, text, comment or
+/// PI) of `src` as a new last child of `parent` in `dst`. Returns the copy's
+/// id. Used by the γ (construction) operator to splice query results into
+/// the output document.
+xml::NodeId CopySubtree(const xml::Document& src, xml::NodeId node,
+                        xml::Document* dst, xml::NodeId parent);
+
+}  // namespace xmlq::exec
+
+#endif  // XMLQ_EXEC_CONSTRUCT_H_

@@ -1,0 +1,262 @@
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "xmlq/base/strings.h"
+#include "xmlq/exec/executor.h"
+
+namespace xmlq::exec {
+
+using algebra::Env;
+using algebra::FlworClause;
+using algebra::Item;
+using algebra::LogicalExpr;
+using algebra::Sequence;
+
+namespace {
+
+/// Sort key for one order-by clause: numeric when both sides parse as
+/// numbers, string otherwise.
+struct SortKey {
+  std::string text;
+  double number = 0;
+  bool is_number = false;
+  bool descending = false;
+};
+
+bool KeyLess(const std::vector<SortKey>& a, const std::vector<SortKey>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    int cmp;
+    if (a[i].is_number && b[i].is_number) {
+      cmp = a[i].number < b[i].number ? -1 : (a[i].number > b[i].number ? 1 : 0);
+    } else {
+      cmp = a[i].text.compare(b[i].text);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    if (cmp != 0) return a[i].descending ? cmp > 0 : cmp < 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+/// Builds the layered Env of Definition 3 for a FLWOR expression by a
+/// depth-first expansion of its for/let/where clauses (paper Example 1:
+/// the nested list schema ($a,($b,$c,$d,($e))) materialized as a forest).
+class FlworEnvBuilder {
+ public:
+  FlworEnvBuilder(Executor* exec, const LogicalExpr& flwor,
+                  const Executor::Scope* outer, QueryResult* out)
+      : exec_(exec), flwor_(flwor), outer_(outer), out_(out) {}
+
+  Status Build(Env* env) {
+    layer_of_.assign(flwor_.clauses.size(), -1);
+    for (size_t i = 0; i < flwor_.clauses.size(); ++i) {
+      const FlworClause& c = flwor_.clauses[i];
+      switch (c.kind) {
+        case FlworClause::Kind::kFor:
+          layer_of_[i] = env->AddLayer(c.var, Env::LayerKind::kFor);
+          break;
+        case FlworClause::Kind::kLet:
+          layer_of_[i] = env->AddLayer(c.var, Env::LayerKind::kLet);
+          break;
+        case FlworClause::Kind::kWhere:
+          layer_of_[i] = env->AddLayer("", Env::LayerKind::kWhere);
+          break;
+        case FlworClause::Kind::kOrderBy:
+          break;  // order-by sorts tuples; it binds nothing
+      }
+    }
+    return Extend(0, Env::kNoParent, outer_, env);
+  }
+
+ private:
+  Status Extend(size_t ci, uint32_t parent, const Executor::Scope* scope,
+                Env* env) {
+    // Skip non-binding clauses.
+    while (ci < flwor_.clauses.size() &&
+           flwor_.clauses[ci].kind == FlworClause::Kind::kOrderBy) {
+      ++ci;
+    }
+    if (ci >= flwor_.clauses.size()) return Status::Ok();
+    const FlworClause& clause = flwor_.clauses[ci];
+    const LogicalExpr& clause_expr = *flwor_.children[clause.expr_child];
+    auto value = exec_->Eval(clause_expr, scope, out_);
+    if (!value.ok()) return value.status();
+
+    switch (clause.kind) {
+      case FlworClause::Kind::kFor: {
+        for (Item& item : *value) {
+          values_.push_back(Sequence{std::move(item)});
+          const uint32_t idx =
+              env->AddBinding(layer_of_[ci], parent, values_.back());
+          Executor::Scope s{scope, clause.var, &values_.back()};
+          XMLQ_RETURN_IF_ERROR(Extend(ci + 1, idx, &s, env));
+        }
+        return Status::Ok();
+      }
+      case FlworClause::Kind::kLet: {
+        values_.push_back(std::move(*value));
+        const uint32_t idx =
+            env->AddBinding(layer_of_[ci], parent, values_.back());
+        Executor::Scope s{scope, clause.var, &values_.back()};
+        return Extend(ci + 1, idx, &s, env);
+      }
+      case FlworClause::Kind::kWhere: {
+        const bool keep = [&] {
+          const Sequence& v = *value;
+          if (v.empty()) return false;
+          if (v.size() == 1) return v[0].BooleanValue();
+          return true;
+        }();
+        const uint32_t idx = env->AddBinding(layer_of_[ci], parent,
+                                             Sequence{Item(keep)});
+        if (!keep) return Status::Ok();  // prune this branch
+        return Extend(ci + 1, idx, scope, env);
+      }
+      case FlworClause::Kind::kOrderBy:
+        break;
+    }
+    return Status::Internal("unreachable FLWOR clause kind");
+  }
+
+  Executor* exec_;
+  const LogicalExpr& flwor_;
+  const Executor::Scope* outer_;
+  QueryResult* out_;
+  std::vector<int> layer_of_;
+  // Stable storage for binding values (the Env keeps copies; scopes point
+  // here so later insertions cannot invalidate them).
+  std::deque<Sequence> values_;
+
+  friend class Executor;
+};
+
+Result<Sequence> Executor::EvalFlwor(const LogicalExpr& expr,
+                                     const Scope* scope, QueryResult* out) {
+  if (expr.children.empty()) {
+    return Status::Internal("FLWOR node without a return expression");
+  }
+  const LogicalExpr& return_expr = *expr.children.back();
+  std::vector<const FlworClause*> orderbys;
+  for (const FlworClause& c : expr.clauses) {
+    if (c.kind == FlworClause::Kind::kOrderBy) orderbys.push_back(&c);
+  }
+
+  struct TupleOutput {
+    std::vector<SortKey> keys;
+    Sequence value;
+  };
+  std::vector<TupleOutput> outputs;
+  Status failure = Status::Ok();
+
+  // Evaluates order-by keys + the return expression under `tuple_scope`.
+  auto eval_tuple = [&](const Scope* tuple_scope) {
+    TupleOutput to;
+    for (const FlworClause* ob : orderbys) {
+      auto key = Eval(*expr.children[ob->expr_child], tuple_scope, out);
+      if (!key.ok()) {
+        failure = key.status();
+        return;
+      }
+      SortKey sk;
+      sk.descending = ob->descending;
+      sk.text = key->empty() ? std::string() : (*key)[0].StringValue();
+      if (auto num = ParseDouble(sk.text)) {
+        sk.is_number = true;
+        sk.number = *num;
+      }
+      to.keys.push_back(std::move(sk));
+    }
+    auto value = Eval(return_expr, tuple_scope, out);
+    if (!value.ok()) {
+      failure = value.status();
+      return;
+    }
+    to.value = std::move(*value);
+    outputs.push_back(std::move(to));
+  };
+
+  if (context_->flwor_mode == FlworMode::kEnv) {
+    // Materialize the Definition-3 environment, then evaluate the return
+    // expression once per surviving total variable binding.
+    Env env;
+    FlworEnvBuilder builder(this, expr, scope, out);
+    XMLQ_RETURN_IF_ERROR(builder.Build(&env));
+    env.ForEachTuple([&](const Env::Tuple& tuple) {
+      if (!failure.ok()) return;
+      std::vector<Scope> chain;
+      chain.reserve(env.LayerCount());
+      const Scope* cur = scope;
+      for (size_t l = 0; l < env.LayerCount(); ++l) {
+        if (env.layer(static_cast<int>(l)).kind == Env::LayerKind::kWhere) {
+          continue;
+        }
+        chain.push_back(
+            Scope{cur, env.layer(static_cast<int>(l)).var, tuple[l]});
+        cur = &chain.back();
+      }
+      eval_tuple(cur);
+    });
+    XMLQ_RETURN_IF_ERROR(failure);
+  } else {
+    // Pipelined nested-loop evaluation (no Env materialization).
+    std::deque<Sequence> values;
+    std::function<Status(size_t, const Scope*)> recurse =
+        [&](size_t ci, const Scope* cur) -> Status {
+      while (ci < expr.clauses.size() &&
+             expr.clauses[ci].kind == FlworClause::Kind::kOrderBy) {
+        ++ci;
+      }
+      if (ci >= expr.clauses.size()) {
+        eval_tuple(cur);
+        return failure;
+      }
+      const FlworClause& clause = expr.clauses[ci];
+      XMLQ_ASSIGN_OR_RETURN(
+          Sequence value,
+          Eval(*expr.children[clause.expr_child], cur, out));
+      switch (clause.kind) {
+        case FlworClause::Kind::kFor:
+          for (Item& item : value) {
+            values.push_back(Sequence{std::move(item)});
+            Scope s{cur, clause.var, &values.back()};
+            XMLQ_RETURN_IF_ERROR(recurse(ci + 1, &s));
+          }
+          return Status::Ok();
+        case FlworClause::Kind::kLet: {
+          values.push_back(std::move(value));
+          Scope s{cur, clause.var, &values.back()};
+          return recurse(ci + 1, &s);
+        }
+        case FlworClause::Kind::kWhere: {
+          const bool keep = [&] {
+            if (value.empty()) return false;
+            if (value.size() == 1) return value[0].BooleanValue();
+            return true;
+          }();
+          return keep ? recurse(ci + 1, cur) : Status::Ok();
+        }
+        case FlworClause::Kind::kOrderBy:
+          break;
+      }
+      return Status::Internal("unreachable FLWOR clause kind");
+    };
+    XMLQ_RETURN_IF_ERROR(recurse(0, scope));
+    XMLQ_RETURN_IF_ERROR(failure);
+  }
+
+  if (!orderbys.empty()) {
+    std::stable_sort(outputs.begin(), outputs.end(),
+                     [](const TupleOutput& a, const TupleOutput& b) {
+                       return KeyLess(a.keys, b.keys);
+                     });
+  }
+  Sequence result;
+  for (TupleOutput& to : outputs) {
+    for (Item& item : to.value) result.push_back(std::move(item));
+  }
+  return result;
+}
+
+}  // namespace xmlq::exec

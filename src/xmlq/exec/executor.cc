@@ -1,0 +1,305 @@
+#include "xmlq/exec/executor.h"
+
+#include <algorithm>
+
+#include "xmlq/exec/hybrid.h"
+#include "xmlq/exec/naive_nav.h"
+#include "xmlq/exec/path_stack.h"
+#include "xmlq/exec/structural_join.h"
+#include "xmlq/exec/twig_stack.h"
+
+namespace xmlq::exec {
+
+using algebra::Item;
+using algebra::LogicalExpr;
+using algebra::LogicalOp;
+using algebra::NodeRef;
+using algebra::Sequence;
+
+std::string_view PatternStrategyName(PatternStrategy strategy) {
+  switch (strategy) {
+    case PatternStrategy::kNok:
+      return "nok";
+    case PatternStrategy::kTwigStack:
+      return "twigstack";
+    case PatternStrategy::kPathStack:
+      return "pathstack";
+    case PatternStrategy::kBinaryJoin:
+      return "binaryjoin";
+    case PatternStrategy::kNaive:
+      return "naive";
+  }
+  return "unknown";
+}
+
+Result<QueryResult> Executor::Evaluate(const LogicalExpr& plan) {
+  QueryResult out;
+  XMLQ_ASSIGN_OR_RETURN(out.value, Eval(plan, nullptr, &out));
+  return out;
+}
+
+Result<Sequence> Executor::EvaluateWithVars(
+    const LogicalExpr& expr, const std::map<std::string, Sequence>& vars,
+    QueryResult* out) {
+  std::vector<Scope> scopes;
+  scopes.reserve(vars.size());
+  const Scope* parent = nullptr;
+  for (const auto& [name, value] : vars) {
+    scopes.push_back(Scope{parent, name, &value});
+    parent = &scopes.back();
+  }
+  return Eval(expr, parent, out);
+}
+
+Result<const IndexedDocument*> Executor::LookupDocument(
+    std::string_view name) const {
+  const auto it = context_->documents.find(name);
+  if (it == context_->documents.end()) {
+    return Status::NotFound("document \"" + std::string(name) +
+                            "\" is not loaded");
+  }
+  return &it->second;
+}
+
+Result<const IndexedDocument*> Executor::DocumentOf(
+    const xml::Document* dom) const {
+  for (const auto& [name, doc] : context_->documents) {
+    if (doc.dom == dom) return &doc;
+  }
+  return Status::Internal("node belongs to an unregistered document");
+}
+
+const Sequence* Executor::LookupVar(const Scope* scope,
+                                    std::string_view name) const {
+  for (const Scope* s = scope; s != nullptr; s = s->parent) {
+    if (s->name == name) return s->value;
+  }
+  return nullptr;
+}
+
+Result<NodeList> Executor::MatchPattern(
+    const IndexedDocument& doc, const algebra::PatternGraph& pattern) const {
+  auto run = [&]() -> Result<NodeList> {
+    switch (context_->strategy) {
+      case PatternStrategy::kNok:
+        return HybridMatch(doc, pattern);
+      case PatternStrategy::kTwigStack:
+        return TwigStackMatch(doc, pattern);
+      case PatternStrategy::kPathStack: {
+        bool linear = true;
+        for (algebra::VertexId v = 0; v < pattern.VertexCount(); ++v) {
+          if (pattern.vertex(v).children.size() > 1) linear = false;
+        }
+        return linear ? PathStackMatch(doc, pattern)
+                      : TwigStackMatch(doc, pattern);
+      }
+      case PatternStrategy::kBinaryJoin:
+        return BinaryJoinPlanMatch(doc, pattern);
+      case PatternStrategy::kNaive:
+        return NaiveMatchPattern(*doc.dom, pattern);
+    }
+    return Status::Internal("unknown pattern strategy");
+  };
+  auto result = run();
+  if (!result.ok() && result.status().code() == StatusCode::kUnsupported &&
+      context_->strategy != PatternStrategy::kNaive) {
+    // Patterns outside a specialized engine's subset (e.g. following-sibling
+    // arcs) always have the navigational evaluator as a safety net.
+    return NaiveMatchPattern(*doc.dom, pattern);
+  }
+  return result;
+}
+
+Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
+                                QueryResult* out) {
+  switch (expr.op) {
+    case LogicalOp::kDocScan: {
+      XMLQ_ASSIGN_OR_RETURN(const IndexedDocument* doc,
+                            LookupDocument(expr.str));
+      return Sequence{Item(NodeRef{doc->dom, doc->dom->root()})};
+    }
+    case LogicalOp::kLiteral:
+      return Sequence{expr.literal};
+    case LogicalOp::kVarRef: {
+      const Sequence* value = LookupVar(scope, expr.str);
+      if (value == nullptr) {
+        return Status::NotFound("unbound variable $" + expr.str);
+      }
+      return *value;
+    }
+    case LogicalOp::kSelectTag: {
+      XMLQ_ASSIGN_OR_RETURN(Sequence input,
+                            Eval(*expr.children[0], scope, out));
+      Sequence result;
+      for (const Item& item : input) {
+        if (item.IsNode() &&
+            item.node().doc->IsElement(item.node().id) &&
+            item.node().doc->NameStr(item.node().id) == expr.str) {
+          result.push_back(item);
+        }
+      }
+      return result;
+    }
+    case LogicalOp::kSelectValue: {
+      XMLQ_ASSIGN_OR_RETURN(Sequence input,
+                            Eval(*expr.children[0], scope, out));
+      Sequence result;
+      for (const Item& item : input) {
+        if (expr.predicate.Eval(item.StringValue())) result.push_back(item);
+      }
+      return result;
+    }
+    case LogicalOp::kNavigate:
+      return EvalNavigate(expr, scope, out);
+    case LogicalOp::kStructuralJoin:
+      return EvalStructuralJoin(expr, scope, out);
+    case LogicalOp::kValueJoin:
+      return EvalValueJoin(expr, scope, out);
+    case LogicalOp::kTreePattern:
+      return EvalTreePattern(expr, scope, out);
+    case LogicalOp::kPatternFilter: {
+      if (expr.pattern == nullptr) {
+        return Status::Internal("PatternFilter node without a filter graph");
+      }
+      XMLQ_ASSIGN_OR_RETURN(Sequence input,
+                            Eval(*expr.children[0], scope, out));
+      Sequence result;
+      for (const Item& item : input) {
+        if (!item.IsNode()) continue;
+        if (MatchesFilter(*item.node().doc, item.node().id, *expr.pattern)) {
+          result.push_back(item);
+        }
+      }
+      return result;
+    }
+    case LogicalOp::kConstruct:
+      return EvalConstruct(expr, scope, out);
+    case LogicalOp::kFlwor:
+      return EvalFlwor(expr, scope, out);
+    case LogicalOp::kSequence: {
+      Sequence result;
+      for (const auto& child : expr.children) {
+        XMLQ_ASSIGN_OR_RETURN(Sequence part, Eval(*child, scope, out));
+        for (Item& item : part) result.push_back(std::move(item));
+      }
+      return result;
+    }
+    case LogicalOp::kBinary:
+      return EvalBinary(expr, scope, out);
+    case LogicalOp::kFunction:
+      return EvalFunction(expr, scope, out);
+    case LogicalOp::kDocOrderDedup: {
+      XMLQ_ASSIGN_OR_RETURN(Sequence input,
+                            Eval(*expr.children[0], scope, out));
+      algebra::SortDocOrderDedup(&input);
+      return input;
+    }
+  }
+  return Status::Internal("unknown logical operator");
+}
+
+Result<Sequence> Executor::EvalNavigate(const LogicalExpr& expr,
+                                        const Scope* scope,
+                                        QueryResult* out) {
+  XMLQ_ASSIGN_OR_RETURN(Sequence input, Eval(*expr.children[0], scope, out));
+  // Build a transient vertex describing the step.
+  algebra::PatternVertex vertex;
+  vertex.label = expr.str.empty() ? "*" : expr.str;
+  vertex.is_attribute = expr.is_attribute;
+  vertex.incoming_axis = expr.axis;
+  Sequence result;
+  for (const Item& item : input) {
+    if (!item.IsNode()) continue;
+    const xml::Document* doc = item.node().doc;
+    for (xml::NodeId id : AxisStep(*doc, item.node().id, vertex)) {
+      result.push_back(Item(NodeRef{doc, id}));
+    }
+  }
+  algebra::SortDocOrderDedup(&result);
+  return result;
+}
+
+Result<Sequence> Executor::EvalStructuralJoin(const LogicalExpr& expr,
+                                              const Scope* scope,
+                                              QueryResult* out) {
+  XMLQ_ASSIGN_OR_RETURN(Sequence left, Eval(*expr.children[0], scope, out));
+  XMLQ_ASSIGN_OR_RETURN(Sequence right, Eval(*expr.children[1], scope, out));
+  // Locate the (single) document both sides live in.
+  const xml::Document* dom = nullptr;
+  for (const Item& item : left) {
+    if (item.IsNode()) {
+      dom = item.node().doc;
+      break;
+    }
+  }
+  if (dom == nullptr) return Sequence{};
+  XMLQ_ASSIGN_OR_RETURN(const IndexedDocument* doc, DocumentOf(dom));
+  const NodeList anc = ToNodeList(*dom, left);
+  const NodeList desc = ToNodeList(*dom, right);
+  const bool parent_child = expr.axis == algebra::Axis::kChild ||
+                            expr.axis == algebra::Axis::kAttribute;
+  const NodeList joined =
+      expr.return_ancestor
+          ? StructuralSemiJoinAnc(ToRegions(*doc->regions, anc),
+                                  ToRegions(*doc->regions, desc),
+                                  parent_child)
+          : StructuralSemiJoinDesc(ToRegions(*doc->regions, anc),
+                                   ToRegions(*doc->regions, desc),
+                                   parent_child);
+  return ToSequence(*dom, joined);
+}
+
+Result<Sequence> Executor::EvalValueJoin(const LogicalExpr& expr,
+                                         const Scope* scope,
+                                         QueryResult* out) {
+  XMLQ_ASSIGN_OR_RETURN(Sequence left, Eval(*expr.children[0], scope, out));
+  XMLQ_ASSIGN_OR_RETURN(Sequence right, Eval(*expr.children[1], scope, out));
+  // ⋈v semi-join semantics: keep left items whose string-value compares
+  // true against at least one right item.
+  std::vector<std::string> right_values;
+  right_values.reserve(right.size());
+  for (const Item& item : right) right_values.push_back(item.StringValue());
+  Sequence result;
+  for (const Item& item : left) {
+    algebra::ValuePredicate pred;
+    pred.op = expr.predicate.op;
+    pred.numeric = expr.predicate.numeric;
+    const std::string value = item.StringValue();
+    bool matched = false;
+    for (const std::string& rv : right_values) {
+      pred.literal = rv;
+      if (pred.Eval(value)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) result.push_back(item);
+  }
+  return result;
+}
+
+Result<Sequence> Executor::EvalTreePattern(const LogicalExpr& expr,
+                                           const Scope* scope,
+                                           QueryResult* out) {
+  if (expr.pattern == nullptr) {
+    return Status::Internal("TreePattern node without a pattern graph");
+  }
+  XMLQ_ASSIGN_OR_RETURN(Sequence input, Eval(*expr.children[0], scope, out));
+  // The input must be a document node (the Tree argument of τ).
+  const xml::Document* dom = nullptr;
+  for (const Item& item : input) {
+    if (item.IsNode() && item.node().id == item.node().doc->root()) {
+      dom = item.node().doc;
+      break;
+    }
+  }
+  if (dom == nullptr) {
+    return Status::InvalidArgument(
+        "τ expects a document node as its Tree input");
+  }
+  XMLQ_ASSIGN_OR_RETURN(const IndexedDocument* doc, DocumentOf(dom));
+  XMLQ_ASSIGN_OR_RETURN(NodeList matches, MatchPattern(*doc, *expr.pattern));
+  return ToSequence(*dom, matches);
+}
+
+}  // namespace xmlq::exec

@@ -1,0 +1,122 @@
+#ifndef XMLQ_EXEC_EXECUTOR_H_
+#define XMLQ_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xmlq/algebra/env.h"
+#include "xmlq/algebra/logical_plan.h"
+#include "xmlq/base/status.h"
+#include "xmlq/exec/node_stream.h"
+
+namespace xmlq::exec {
+
+/// Physical strategy for the τ (tree pattern matching) operator — the choice
+/// the paper's evaluation compares (§4.2 / experiment E1).
+enum class PatternStrategy : uint8_t {
+  kNok,        // NoK partition + single-scan matching + seam joins (hybrid)
+  kTwigStack,  // holistic twig join over region streams [13]
+  kPathStack,  // chained-stack path join [13]; twigs fall back to TwigStack
+  kBinaryJoin, // one stack-tree structural join per edge [12]
+  kNaive,      // recursive DOM navigation [10]
+};
+
+std::string_view PatternStrategyName(PatternStrategy strategy);
+
+/// How FLWOR expressions are evaluated (experiment F2).
+enum class FlworMode : uint8_t {
+  kEnv,        // materialize the layered Env (Definition 3), then iterate
+  kPipelined,  // direct nested-loop recursion, no materialization
+};
+
+/// Everything a plan needs at run time. The documents map is keyed by the
+/// name used in doc("...") / DocScan; the entry under "" is the default
+/// document.
+struct EvalContext {
+  std::map<std::string, IndexedDocument, std::less<>> documents;
+  PatternStrategy strategy = PatternStrategy::kNok;
+  FlworMode flwor_mode = FlworMode::kEnv;
+};
+
+/// Holds a query's output plus any documents constructed by γ (node items
+/// in `value` may point into them).
+struct QueryResult {
+  algebra::Sequence value;
+  std::vector<std::unique_ptr<xml::Document>> constructed;
+};
+
+/// Interprets logical algebra plans. Stateless across Evaluate calls except
+/// for the constructed-document arena of the current call.
+class Executor {
+ public:
+  explicit Executor(const EvalContext* context) : context_(context) {}
+
+  /// Evaluates a plan to completion.
+  Result<QueryResult> Evaluate(const algebra::LogicalExpr& plan);
+
+  /// Lower-level entry point: evaluates with an initial variable scope.
+  /// Exposed for tests; `out` receives constructed documents.
+  Result<algebra::Sequence> EvaluateWithVars(
+      const algebra::LogicalExpr& expr,
+      const std::map<std::string, algebra::Sequence>& vars,
+      QueryResult* out);
+
+  /// Runs just the τ operator on `pattern` over the named document with the
+  /// context's strategy. Used by the plan interpreter and the benches.
+  Result<NodeList> MatchPattern(const IndexedDocument& doc,
+                                const algebra::PatternGraph& pattern) const;
+
+ private:
+  struct Scope {
+    const Scope* parent = nullptr;
+    std::string_view name;
+    const algebra::Sequence* value = nullptr;
+  };
+
+  Result<algebra::Sequence> Eval(const algebra::LogicalExpr& expr,
+                                 const Scope* scope, QueryResult* out);
+
+  // Implemented in executor.cc.
+  Result<algebra::Sequence> EvalNavigate(const algebra::LogicalExpr& expr,
+                                         const Scope* scope,
+                                         QueryResult* out);
+  Result<algebra::Sequence> EvalStructuralJoin(
+      const algebra::LogicalExpr& expr, const Scope* scope, QueryResult* out);
+  Result<algebra::Sequence> EvalValueJoin(const algebra::LogicalExpr& expr,
+                                          const Scope* scope,
+                                          QueryResult* out);
+  Result<algebra::Sequence> EvalTreePattern(const algebra::LogicalExpr& expr,
+                                            const Scope* scope,
+                                            QueryResult* out);
+
+  // Implemented in expr_eval.cc.
+  Result<algebra::Sequence> EvalBinary(const algebra::LogicalExpr& expr,
+                                       const Scope* scope, QueryResult* out);
+  Result<algebra::Sequence> EvalFunction(const algebra::LogicalExpr& expr,
+                                         const Scope* scope,
+                                         QueryResult* out);
+
+  // Implemented in env_eval.cc.
+  Result<algebra::Sequence> EvalFlwor(const algebra::LogicalExpr& expr,
+                                      const Scope* scope, QueryResult* out);
+
+  // Implemented in construct.cc.
+  Result<algebra::Sequence> EvalConstruct(const algebra::LogicalExpr& expr,
+                                          const Scope* scope,
+                                          QueryResult* out);
+
+  Result<const IndexedDocument*> LookupDocument(std::string_view name) const;
+  Result<const IndexedDocument*> DocumentOf(const xml::Document* dom) const;
+  const algebra::Sequence* LookupVar(const Scope* scope,
+                                     std::string_view name) const;
+
+  const EvalContext* context_;
+
+  friend class FlworEnvBuilder;  // env_eval.cc helper
+};
+
+}  // namespace xmlq::exec
+
+#endif  // XMLQ_EXEC_EXECUTOR_H_

@@ -1,0 +1,238 @@
+#include "xmlq/exec/naive_nav.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace xmlq::exec {
+
+namespace {
+
+using algebra::Axis;
+using algebra::PatternGraph;
+using algebra::PatternVertex;
+using algebra::VertexId;
+
+void CollectChildren(const xml::Document& doc, xml::NodeId context,
+                     const PatternVertex& vertex, NodeList* out) {
+  if (vertex.is_attribute) {
+    for (xml::NodeId a = doc.FirstAttr(context); a != xml::kNullNode;
+         a = doc.NextSibling(a)) {
+      if (MatchesNodeTest(vertex, doc, a)) out->push_back(a);
+    }
+    return;
+  }
+  for (xml::NodeId c = doc.FirstChild(context); c != xml::kNullNode;
+       c = doc.NextSibling(c)) {
+    if (MatchesNodeTest(vertex, doc, c)) out->push_back(c);
+  }
+}
+
+void CollectDescendants(const xml::Document& doc, xml::NodeId context,
+                        const PatternVertex& vertex, bool include_self,
+                        NodeList* out) {
+  if (include_self && MatchesNodeTest(vertex, doc, context)) {
+    out->push_back(context);
+  }
+  if (vertex.is_attribute && doc.Kind(context) == xml::NodeKind::kElement) {
+    for (xml::NodeId a = doc.FirstAttr(context); a != xml::kNullNode;
+         a = doc.NextSibling(a)) {
+      if (MatchesNodeTest(vertex, doc, a)) out->push_back(a);
+    }
+  }
+  for (xml::NodeId c = doc.FirstChild(context); c != xml::kNullNode;
+       c = doc.NextSibling(c)) {
+    CollectDescendants(doc, c, vertex, /*include_self=*/!vertex.is_attribute,
+                       out);
+  }
+}
+
+}  // namespace
+
+NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
+                  const PatternVertex& vertex) {
+  NodeList out;
+  switch (vertex.incoming_axis) {
+    case Axis::kChild:
+    case Axis::kAttribute:
+      CollectChildren(doc, context, vertex, &out);
+      break;
+    case Axis::kDescendant:
+      if (vertex.is_attribute) {
+        // `//@a`: attributes of the context and of every descendant.
+        CollectDescendants(doc, context, vertex, /*include_self=*/false,
+                           &out);
+      } else {
+        for (xml::NodeId c = doc.FirstChild(context); c != xml::kNullNode;
+             c = doc.NextSibling(c)) {
+          CollectDescendants(doc, c, vertex, /*include_self=*/true, &out);
+        }
+      }
+      break;
+    case Axis::kFollowingSibling:
+      for (xml::NodeId s = doc.NextSibling(context); s != xml::kNullNode;
+           s = doc.NextSibling(s)) {
+        if (MatchesNodeTest(vertex, doc, s)) out.push_back(s);
+      }
+      break;
+    case Axis::kSelf:
+      if (MatchesNodeTest(vertex, doc, context)) out.push_back(context);
+      break;
+  }
+  return out;
+}
+
+bool MatchesFilter(const xml::Document& doc, xml::NodeId context,
+                   const algebra::PatternGraph& filter) {
+  // Recursive existence check, mirroring NaiveMatcher::ExistsEmbedding.
+  const std::function<bool(VertexId, xml::NodeId)> exists =
+      [&](VertexId v, xml::NodeId from) -> bool {
+    for (const xml::NodeId node : AxisStep(doc, from, filter.vertex(v))) {
+      if (!EvalVertexPredicates(filter.vertex(v), doc, node)) continue;
+      bool all = true;
+      for (const VertexId c : filter.vertex(v).children) {
+        if (!exists(c, node)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  };
+  if (!EvalVertexPredicates(filter.vertex(filter.root()), doc, context)) {
+    return false;
+  }
+  for (const VertexId c : filter.vertex(filter.root()).children) {
+    if (!exists(c, context)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+class NaiveMatcher {
+ public:
+  NaiveMatcher(const xml::Document& doc, const PatternGraph& pattern)
+      : doc_(doc), pattern_(pattern) {}
+
+  Result<NodeList> Run() {
+    const VertexId output = pattern_.SoleOutput();
+    if (output == algebra::kNoVertex) {
+      return Status::InvalidArgument(
+          "naive matcher requires a sole output vertex");
+    }
+    // Spine: path from root to output vertex.
+    std::vector<VertexId> spine;
+    for (VertexId v = output; v != algebra::kNoVertex;
+         v = pattern_.vertex(v).parent) {
+      spine.push_back(v);
+    }
+    std::reverse(spine.begin(), spine.end());
+
+    NodeList contexts = {doc_.root()};
+    if (!EvalBranchesExcept(pattern_.root(), doc_.root(),
+                            spine.size() > 1 ? spine[1] : algebra::kNoVertex)) {
+      return NodeList{};
+    }
+    for (size_t i = 1; i < spine.size(); ++i) {
+      const VertexId v = spine[i];
+      const VertexId skip_child =
+          i + 1 < spine.size() ? spine[i + 1] : algebra::kNoVertex;
+      NodeList next;
+      for (xml::NodeId ctx : contexts) {
+        for (xml::NodeId node : AxisStep(doc_, ctx, pattern_.vertex(v))) {
+          if (!EvalVertexPredicates(pattern_.vertex(v), doc_, node)) continue;
+          if (!EvalBranchesExcept(v, node, skip_child)) continue;
+          next.push_back(node);
+        }
+      }
+      Normalize(&next);
+      contexts = std::move(next);
+      if (contexts.empty()) break;
+    }
+    return contexts;
+  }
+
+ private:
+  /// True iff every child branch of `v` other than `skip` has a full
+  /// embedding under `node`.
+  bool EvalBranchesExcept(VertexId v, xml::NodeId node, VertexId skip) {
+    for (VertexId c : pattern_.vertex(v).children) {
+      if (c == skip) continue;
+      if (!ExistsEmbedding(c, node)) return false;
+    }
+    return true;
+  }
+
+  /// True iff the subtree pattern rooted at `v` embeds under `context`.
+  bool ExistsEmbedding(VertexId v, xml::NodeId context) {
+    for (xml::NodeId node : AxisStep(doc_, context, pattern_.vertex(v))) {
+      if (!EvalVertexPredicates(pattern_.vertex(v), doc_, node)) continue;
+      bool all = true;
+      for (VertexId c : pattern_.vertex(v).children) {
+        if (!ExistsEmbedding(c, node)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+
+  const xml::Document& doc_;
+  const PatternGraph& pattern_;
+};
+
+}  // namespace
+
+Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
+                                   const PatternGraph& pattern) {
+  XMLQ_RETURN_IF_ERROR(pattern.Validate());
+  NaiveMatcher matcher(doc, pattern);
+  return matcher.Run();
+}
+
+Result<algebra::NestedList> MatchPatternNested(const xml::Document& doc,
+                                               const PatternGraph& pattern) {
+  XMLQ_RETURN_IF_ERROR(pattern.Validate());
+  // Bindings per output vertex: evaluate the same pattern once per output
+  // (each evaluation enforces the full twig, so every binding is part of a
+  // complete embedding).
+  NodeList all;
+  for (const VertexId out : pattern.OutputVertices()) {
+    PatternGraph solo = pattern;
+    for (VertexId v = 0; v < solo.VertexCount(); ++v) {
+      solo.mutable_vertex(v).output = v == out;
+    }
+    XMLQ_ASSIGN_OR_RETURN(NodeList bindings, NaiveMatchPattern(doc, solo));
+    all.insert(all.end(), bindings.begin(), bindings.end());
+  }
+  Normalize(&all);
+
+  // Subtree ends for containment tests (pre-order ids: the subtree of n is
+  // the id range [n, end[n]]).
+  std::vector<xml::NodeId> end(doc.NodeCount());
+  for (size_t i = 0; i < end.size(); ++i) end[i] = static_cast<xml::NodeId>(i);
+  for (size_t i = end.size(); i-- > 1;) {
+    const xml::NodeId parent = doc.Parent(static_cast<xml::NodeId>(i));
+    if (parent != xml::kNullNode && end[i] > end[parent]) {
+      end[parent] = end[i];
+    }
+  }
+
+  // Stack-based nesting over the document-ordered bindings.
+  algebra::NestedList result;
+  std::vector<std::pair<xml::NodeId, algebra::NestedList*>> stack;
+  for (const xml::NodeId n : all) {
+    while (!stack.empty() && end[stack.back().first] < n) stack.pop_back();
+    algebra::NestedList* parent_list =
+        stack.empty() ? &result : stack.back().second;
+    parent_list->push_back(
+        algebra::NestedItem(algebra::Item(algebra::NodeRef{&doc, n})));
+    stack.emplace_back(n, &parent_list->back().children);
+  }
+  return result;
+}
+
+}  // namespace xmlq::exec

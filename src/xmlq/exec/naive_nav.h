@@ -1,0 +1,53 @@
+#ifndef XMLQ_EXEC_NAIVE_NAV_H_
+#define XMLQ_EXEC_NAIVE_NAV_H_
+
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/algebra/value.h"
+#include "xmlq/base/status.h"
+#include "xmlq/exec/node_stream.h"
+
+namespace xmlq::exec {
+
+/// Naive navigational pattern matching over the DOM tree (the classic
+/// recursive-descent strategy of [10] and the stand-in for the commercial
+/// native system the paper compares against). Correct and simple; used as
+/// the reference oracle in property tests and as the baseline engine in the
+/// benchmarks. Worst-case exponential in the query size for pathological
+/// `//a//a//...` chains (paper §3.2 / [4]) — exercised by bench E5.
+///
+/// `pattern` must have a sole output vertex. Returns the output-vertex
+/// bindings, sorted in document order without duplicates.
+Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
+                                   const algebra::PatternGraph& pattern);
+
+/// Nodes reachable from `context` via one step (axis + vertex node test,
+/// without predicates), in document order. Exposed for reuse by the
+/// logical-plan interpreter's πs (Navigate) operator.
+///
+/// Axis semantics: kDescendant from an element/document node yields proper
+/// descendants for element tests, and descendant-or-self attributes for
+/// attribute tests (matching `//@a` expansion).
+NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
+                  const algebra::PatternVertex& vertex);
+
+/// The full τ signature of Table 1: Tree × PatternGraph → NestedList.
+/// Every vertex in the pattern's output set O contributes its bindings; the
+/// result nests binding b under binding a when a is the nearest output-
+/// binding ancestor of b (the paper's rule: "two nodes are immediately
+/// nested in the output nested list iff they are in immediate
+/// ancestor-descendant relationship in the input tree").
+Result<algebra::NestedList> MatchPatternNested(
+    const xml::Document& doc, const algebra::PatternGraph& pattern);
+
+/// Per-node predicate filter: true iff the filter graph embeds *at*
+/// `context` — the root vertex's value predicates hold on the context's
+/// string-value and every child branch has an embedding below/at it. The
+/// root vertex's label and kind are ignored (it stands for the context
+/// item). Implements the kPatternFilter operator and XQuery path
+/// predicates over variable-rooted paths.
+bool MatchesFilter(const xml::Document& doc, xml::NodeId context,
+                   const algebra::PatternGraph& filter);
+
+}  // namespace xmlq::exec
+
+#endif  // XMLQ_EXEC_NAIVE_NAV_H_

@@ -1,0 +1,56 @@
+#include "xmlq/exec/node_stream.h"
+
+#include <algorithm>
+
+namespace xmlq::exec {
+
+void Normalize(NodeList* nodes) {
+  std::sort(nodes->begin(), nodes->end());
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+algebra::Sequence ToSequence(const xml::Document& doc,
+                             const NodeList& nodes) {
+  algebra::Sequence seq;
+  seq.reserve(nodes.size());
+  for (xml::NodeId id : nodes) {
+    seq.push_back(algebra::Item(algebra::NodeRef{&doc, id}));
+  }
+  return seq;
+}
+
+NodeList ToNodeList(const xml::Document& doc, const algebra::Sequence& seq) {
+  NodeList nodes;
+  for (const algebra::Item& item : seq) {
+    if (item.IsNode() && item.node().doc == &doc) {
+      nodes.push_back(item.node().id);
+    }
+  }
+  Normalize(&nodes);
+  return nodes;
+}
+
+bool EvalVertexPredicates(const algebra::PatternVertex& vertex,
+                          const xml::Document& doc, xml::NodeId node) {
+  if (vertex.predicates.empty()) return true;
+  const std::string value = doc.StringValue(node);
+  for (const algebra::ValuePredicate& pred : vertex.predicates) {
+    if (!pred.Eval(value)) return false;
+  }
+  return true;
+}
+
+bool MatchesNodeTest(const algebra::PatternVertex& vertex,
+                     const xml::Document& doc, xml::NodeId node) {
+  if (vertex.is_root) return node == doc.root();
+  const xml::NodeKind kind = doc.Kind(node);
+  if (vertex.is_attribute) {
+    if (kind != xml::NodeKind::kAttribute) return false;
+  } else {
+    if (kind != xml::NodeKind::kElement) return false;
+  }
+  if (vertex.label == "*") return true;
+  return doc.NameStr(node) == vertex.label;
+}
+
+}  // namespace xmlq::exec

@@ -1,0 +1,51 @@
+#ifndef XMLQ_EXEC_NODE_STREAM_H_
+#define XMLQ_EXEC_NODE_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/algebra/value.h"
+#include "xmlq/storage/region_index.h"
+#include "xmlq/storage/succinct_doc.h"
+#include "xmlq/storage/value_index.h"
+#include "xmlq/xml/document.h"
+
+namespace xmlq::exec {
+
+/// A document together with the physical representations the different
+/// engines consume. The DOM tree is always present; the succinct store and
+/// the region index are built at load time (see api::Database). All three
+/// views agree on node identity (pre-order NodeIds).
+struct IndexedDocument {
+  const xml::Document* dom = nullptr;
+  const storage::SuccinctDocument* succinct = nullptr;
+  const storage::RegionIndex* regions = nullptr;
+  const storage::ValueIndex* values = nullptr;  // optional
+};
+
+/// Sorted, duplicate-free list of NodeIds (document order).
+using NodeList = std::vector<xml::NodeId>;
+
+/// Sorts and dedups in place.
+void Normalize(NodeList* nodes);
+
+/// Converts a node list of `doc` into a Sequence of node items.
+algebra::Sequence ToSequence(const xml::Document& doc, const NodeList& nodes);
+
+/// Extracts the node ids of `seq` that belong to `doc` (ignoring atomics and
+/// foreign nodes), normalized.
+NodeList ToNodeList(const xml::Document& doc, const algebra::Sequence& seq);
+
+/// Evaluates a pattern-vertex value constraint against a DOM node (uses the
+/// node's XPath string-value).
+bool EvalVertexPredicates(const algebra::PatternVertex& vertex,
+                          const xml::Document& doc, xml::NodeId node);
+
+/// True if `node` matches the vertex's kind + label test (not predicates).
+bool MatchesNodeTest(const algebra::PatternVertex& vertex,
+                     const xml::Document& doc, xml::NodeId node);
+
+}  // namespace xmlq::exec
+
+#endif  // XMLQ_EXEC_NODE_STREAM_H_

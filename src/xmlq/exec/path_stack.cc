@@ -1,0 +1,101 @@
+#include "xmlq/exec/path_stack.h"
+
+#include <limits>
+
+#include "xmlq/exec/structural_join.h"
+
+namespace xmlq::exec {
+
+namespace {
+
+using algebra::Axis;
+using algebra::PatternGraph;
+using algebra::PatternVertex;
+using algebra::VertexId;
+using storage::Region;
+
+constexpr uint32_t kInfinity = std::numeric_limits<uint32_t>::max();
+
+}  // namespace
+
+Result<NodeList> PathStackMatch(const IndexedDocument& doc,
+                                const PatternGraph& pattern) {
+  XMLQ_RETURN_IF_ERROR(pattern.Validate());
+  const VertexId output = pattern.SoleOutput();
+  if (output == algebra::kNoVertex) {
+    return Status::InvalidArgument("PathStack requires a sole output vertex");
+  }
+  const size_t k = pattern.VertexCount();
+  for (VertexId v = 0; v < k; ++v) {
+    if (pattern.vertex(v).children.size() > 1) {
+      return Status::InvalidArgument(
+          "PathStack requires a linear (chain) pattern");
+    }
+    if (v != pattern.root() &&
+        (pattern.vertex(v).incoming_axis == Axis::kFollowingSibling ||
+         pattern.vertex(v).incoming_axis == Axis::kSelf)) {
+      return Status::Unsupported(
+          "PathStack supports child/descendant/attribute arcs only");
+    }
+  }
+
+  std::vector<std::vector<Region>> streams(k);
+  std::vector<size_t> cursors(k, 0);
+  std::vector<std::vector<Region>> stacks(k);
+  std::vector<std::vector<JoinPair>> pairs(k);
+  for (VertexId v = 0; v < k; ++v) {
+    XMLQ_ASSIGN_OR_RETURN(streams[v],
+                          BuildVertexStream(doc, pattern.vertex(v)));
+  }
+
+  auto cur_start = [&](VertexId v) {
+    return cursors[v] < streams[v].size() ? streams[v][cursors[v]].start
+                                          : kInfinity;
+  };
+
+  while (true) {
+    // Pick the globally smallest start across all step streams.
+    VertexId q = 0;
+    uint32_t best = kInfinity;
+    for (VertexId v = 0; v < k; ++v) {
+      const uint32_t s = cur_start(v);
+      if (s < best) {
+        best = s;
+        q = v;
+      }
+    }
+    if (best == kInfinity) break;
+    const Region cur = streams[q][cursors[q]];
+    // Clean every stack: entries closed before `cur` can never pair again
+    // because all remaining stream elements start at or after `cur.start`.
+    for (VertexId v = 0; v < k; ++v) {
+      while (!stacks[v].empty() && stacks[v].back().end < cur.start) {
+        stacks[v].pop_back();
+      }
+    }
+    const bool anchored =
+        q == pattern.root() || !stacks[pattern.vertex(q).parent].empty();
+    if (anchored) {
+      if (q != pattern.root()) {
+        const VertexId parent = pattern.vertex(q).parent;
+        const bool parent_child =
+            pattern.vertex(q).incoming_axis == Axis::kChild ||
+            pattern.vertex(q).incoming_axis == Axis::kAttribute;
+        for (const Region& anc : stacks[parent]) {
+          if (anc.start >= cur.start) continue;  // proper ancestors only
+          if (parent_child && anc.level + 1 != cur.level) continue;
+          pairs[q].push_back(JoinPair{anc.start, cur.start});
+        }
+      }
+      if (!pattern.vertex(q).children.empty()) {
+        stacks[q].push_back(cur);
+      }
+    }
+    ++cursors[q];
+  }
+
+  return FilterEdgePairs(pattern, output, pairs,
+                         doc.regions->DocumentRegion().start);
+}
+
+}  // namespace xmlq::exec

@@ -1,0 +1,24 @@
+#ifndef XMLQ_EXEC_PATH_STACK_H_
+#define XMLQ_EXEC_PATH_STACK_H_
+
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/base/status.h"
+#include "xmlq/exec/node_stream.h"
+
+namespace xmlq::exec {
+
+/// PathStack (Bruno et al. [13]) for *linear* patterns: a chained-stack
+/// merge over the per-step region streams, processing all streams in global
+/// document order. Unlike TwigStack there is no getNext skipping — every
+/// stream element whose parent stack is non-empty is pushed — which makes
+/// PathStack the natural structural-join-order-free baseline for pure path
+/// queries. Returns the sole output vertex bindings in document order.
+///
+/// The pattern must be a chain (every vertex has at most one child);
+/// patterns with branches yield kInvalidArgument.
+Result<NodeList> PathStackMatch(const IndexedDocument& doc,
+                                const algebra::PatternGraph& pattern);
+
+}  // namespace xmlq::exec
+
+#endif  // XMLQ_EXEC_PATH_STACK_H_

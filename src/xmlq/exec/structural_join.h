@@ -1,0 +1,78 @@
+#ifndef XMLQ_EXEC_STRUCTURAL_JOIN_H_
+#define XMLQ_EXEC_STRUCTURAL_JOIN_H_
+
+#include <span>
+#include <vector>
+
+#include "xmlq/exec/node_stream.h"
+#include "xmlq/storage/region_index.h"
+
+namespace xmlq::exec {
+
+/// One (ancestor, descendant) witness produced by a structural join.
+struct JoinPair {
+  xml::NodeId ancestor = xml::kNullNode;
+  xml::NodeId descendant = xml::kNullNode;
+};
+
+/// Stack-Tree structural join (Al-Khalifa et al. [12]): merges two
+/// region-sorted streams in O(|A| + |D| + |output|), maintaining the chain
+/// of currently-open ancestors on a stack. `parent_child` restricts to
+/// level-adjacent pairs. Inputs must be sorted by `start`.
+std::vector<JoinPair> StructuralJoinPairs(
+    std::span<const storage::Region> ancestors,
+    std::span<const storage::Region> descendants, bool parent_child);
+
+/// Semi-join: distinct descendants having at least one ancestor in
+/// `ancestors`, in document order.
+NodeList StructuralSemiJoinDesc(std::span<const storage::Region> ancestors,
+                                std::span<const storage::Region> descendants,
+                                bool parent_child);
+
+/// Semi-join: distinct ancestors having at least one descendant in
+/// `descendants`, in document order.
+NodeList StructuralSemiJoinAnc(std::span<const storage::Region> ancestors,
+                               std::span<const storage::Region> descendants,
+                               bool parent_child);
+
+/// Builds a region stream (document-ordered) from a normalized node list.
+std::vector<storage::Region> ToRegions(const storage::RegionIndex& index,
+                                       const NodeList& nodes);
+
+/// Builds the region stream for one pattern vertex: the per-tag stream from
+/// the region index (the whole element/attribute population for `*`), with
+/// the vertex's value predicates applied. The root vertex yields the
+/// document region. Shared by all join-based matchers.
+Result<std::vector<storage::Region>> BuildVertexStream(
+    const IndexedDocument& doc, const algebra::PatternVertex& vertex);
+
+/// The classic binary structural-join plan (baseline [11]/[12]): one
+/// stack-tree join per query edge, in `edge_order` (each entry is the edge's
+/// *target* vertex; empty = ascending vertex order), with semi-join
+/// reduction of both sides after each join, followed by the shared
+/// merge/filter phase. `stats` (optional) receives the total number of
+/// intermediate pairs produced — the quantity structural-join-order
+/// selection [5] minimizes (experiment E4).
+struct JoinPlanStats {
+  size_t pairs_produced = 0;
+};
+Result<NodeList> BinaryJoinPlanMatch(
+    const IndexedDocument& doc, const algebra::PatternGraph& pattern,
+    std::span<const algebra::VertexId> edge_order = {},
+    JoinPlanStats* stats = nullptr);
+
+/// Merge phase shared by the holistic matchers: given, per non-root pattern
+/// vertex, the set of structurally-verified (parent binding, vertex binding)
+/// pairs for its incoming edge, computes the bindings of `output` that
+/// participate in at least one full embedding. Runs a bottom-up validity
+/// pass (a binding is valid if every child edge has a pair to a valid child
+/// binding) followed by a top-down reachability pass from `root_binding`.
+/// Returns the surviving output bindings in document order.
+NodeList FilterEdgePairs(const algebra::PatternGraph& pattern,
+                         algebra::VertexId output,
+                         const std::vector<std::vector<JoinPair>>& edge_pairs,
+                         uint32_t root_binding);
+
+}  // namespace xmlq::exec
+
+#endif  // XMLQ_EXEC_STRUCTURAL_JOIN_H_

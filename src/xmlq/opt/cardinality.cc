@@ -1,0 +1,114 @@
+#include "xmlq/opt/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xmlq::opt {
+
+namespace {
+
+using algebra::Axis;
+using algebra::PatternGraph;
+using algebra::PatternVertex;
+using algebra::VertexId;
+
+bool SynNodeMatches(const Synopsis::Node& node, const PatternVertex& vertex,
+                    xml::NameId want) {
+  if (node.is_attribute != vertex.is_attribute) return false;
+  if (vertex.label == "*") return true;
+  return want != xml::kInvalidName && node.name == want;
+}
+
+void CollectDescendants(const Synopsis& synopsis, uint32_t from,
+                        const PatternVertex& vertex, xml::NameId want,
+                        std::vector<uint32_t>* out) {
+  for (uint32_t c : synopsis.nodes()[from].children) {
+    if (SynNodeMatches(synopsis.nodes()[c], vertex, want)) {
+      out->push_back(c);
+    }
+    CollectDescendants(synopsis, c, vertex, want, out);
+  }
+}
+
+}  // namespace
+
+CardinalityEstimate EstimatePattern(const Synopsis& synopsis,
+                                    const xml::NamePool& pool,
+                                    const PatternGraph& pattern) {
+  const size_t k = pattern.VertexCount();
+  CardinalityEstimate out;
+  out.vertex_cardinality.assign(k, 0);
+  out.stream_size.assign(k, 0);
+  // Per vertex: the set of synopsis nodes its root path can map to.
+  std::vector<std::vector<uint32_t>> syn_sets(k);
+  syn_sets[pattern.root()] = {0};
+  out.vertex_cardinality[pattern.root()] = 1;
+  out.stream_size[pattern.root()] = 1;
+
+  for (VertexId v = 1; v < k; ++v) {
+    const PatternVertex& vertex = pattern.vertex(v);
+    const xml::NameId want =
+        vertex.label == "*" ? xml::kInvalidName : pool.Find(vertex.label);
+    // Stream size: the whole per-tag population.
+    if (vertex.is_attribute) {
+      out.stream_size[v] = vertex.label == "*"
+                               ? static_cast<double>(synopsis.TotalNodes())
+                               : static_cast<double>(
+                                     synopsis.CountAttributesByName(want));
+    } else {
+      out.stream_size[v] =
+          vertex.label == "*"
+              ? static_cast<double>(synopsis.TotalElements())
+              : static_cast<double>(synopsis.CountByName(want));
+    }
+    // Path-restricted synopsis embedding.
+    std::vector<uint32_t> matched;
+    for (uint32_t parent_syn : syn_sets[vertex.parent]) {
+      switch (vertex.incoming_axis) {
+        case Axis::kChild:
+        case Axis::kAttribute:
+          for (uint32_t c : synopsis.nodes()[parent_syn].children) {
+            if (SynNodeMatches(synopsis.nodes()[c], vertex, want)) {
+              matched.push_back(c);
+            }
+          }
+          break;
+        case Axis::kDescendant:
+          CollectDescendants(synopsis, parent_syn, vertex, want, &matched);
+          break;
+        case Axis::kFollowingSibling:
+          // Siblings share the synopsis parent; approximate with children.
+          if (synopsis.nodes()[parent_syn].parent != UINT32_MAX) {
+            for (uint32_t c :
+                 synopsis.nodes()[synopsis.nodes()[parent_syn].parent]
+                     .children) {
+              if (SynNodeMatches(synopsis.nodes()[c], vertex, want)) {
+                matched.push_back(c);
+              }
+            }
+          }
+          break;
+        case Axis::kSelf:
+          if (SynNodeMatches(synopsis.nodes()[parent_syn], vertex, want)) {
+            matched.push_back(parent_syn);
+          }
+          break;
+      }
+    }
+    std::sort(matched.begin(), matched.end());
+    matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+    double count = 0;
+    for (uint32_t s : matched) count += synopsis.nodes()[s].count;
+    count *= std::pow(kPredicateSelectivity,
+                      static_cast<double>(vertex.predicates.size()));
+    out.vertex_cardinality[v] = count;
+    syn_sets[v] = std::move(matched);
+  }
+
+  const VertexId output = pattern.SoleOutput();
+  out.output_cardinality =
+      output == algebra::kNoVertex ? 0 : out.vertex_cardinality[output];
+  return out;
+}
+
+}  // namespace xmlq::opt

@@ -1,0 +1,35 @@
+#ifndef XMLQ_OPT_CARDINALITY_H_
+#define XMLQ_OPT_CARDINALITY_H_
+
+#include <vector>
+
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/opt/synopsis.h"
+#include "xmlq/xml/name_pool.h"
+
+namespace xmlq::opt {
+
+/// Default selectivity charged per value predicate on a vertex.
+inline constexpr double kPredicateSelectivity = 0.1;
+
+/// Estimated cardinalities for one pattern over one document.
+struct CardinalityEstimate {
+  /// Estimated number of nodes matching each vertex's *path* (root-to-vertex
+  /// label chain + predicates), ignoring sibling-branch constraints.
+  std::vector<double> vertex_cardinality;
+  /// Size of the per-tag stream a join-based matcher scans for each vertex.
+  std::vector<double> stream_size;
+  /// Estimate for the output vertex (==vertex_cardinality[output]).
+  double output_cardinality = 0;
+};
+
+/// Estimates cardinalities by embedding the pattern into the path synopsis:
+/// exact for predicate-free structural counts (the synopsis is a lossless
+/// structural summary), multiplied by kPredicateSelectivity per predicate.
+CardinalityEstimate EstimatePattern(const Synopsis& synopsis,
+                                    const xml::NamePool& pool,
+                                    const algebra::PatternGraph& pattern);
+
+}  // namespace xmlq::opt
+
+#endif  // XMLQ_OPT_CARDINALITY_H_

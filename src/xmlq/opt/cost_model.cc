@@ -1,0 +1,96 @@
+#include "xmlq/opt/cost_model.h"
+
+#include <algorithm>
+
+namespace xmlq::opt {
+
+using algebra::PatternGraph;
+using algebra::VertexId;
+
+double CostNok(const Synopsis& synopsis, const PatternGraph& pattern,
+               const xpath::NokPartition& partition,
+               const CardinalityEstimate& est, const CostParams& params) {
+  (void)pattern;
+  // One streaming pass over the whole node population per part. (The
+  // matcher processes parts independently; a production system would fuse
+  // them into one pass — costed pessimistically here.)
+  double cost = params.scan_node *
+                static_cast<double>(synopsis.TotalNodes()) *
+                static_cast<double>(partition.parts.size());
+  // Seam structural joins: heads and attach bindings are path-restricted.
+  for (size_t q = 1; q < partition.parts.size(); ++q) {
+    const xpath::NokPart& part = partition.parts[q];
+    cost += params.pair * (est.vertex_cardinality[part.head] +
+                           est.vertex_cardinality[part.attach_vertex]);
+  }
+  return cost;
+}
+
+double CostTwigStack(const CardinalityEstimate& est,
+                     const CostParams& params) {
+  double cost = 0;
+  for (size_t v = 1; v < est.stream_size.size(); ++v) {
+    cost += params.stream_item * est.stream_size[v];
+    // Each path solution produces roughly one pair per edge.
+    cost += params.pair * est.vertex_cardinality[v];
+  }
+  return cost;
+}
+
+double CostBinaryJoin(const PatternGraph& pattern,
+                      const CardinalityEstimate& est,
+                      std::span<const VertexId> order,
+                      const CostParams& params) {
+  const size_t k = pattern.VertexCount();
+  std::vector<VertexId> edges(order.begin(), order.end());
+  if (edges.empty()) {
+    for (VertexId v = 1; v < k; ++v) edges.push_back(v);
+  }
+  // current[v]: the estimated size of v's candidate list as joins proceed.
+  std::vector<double> current = est.stream_size;
+  double cost = 0;
+  for (VertexId v : edges) {
+    const VertexId parent = pattern.vertex(v).parent;
+    cost += params.stream_item * (current[parent] + current[v]);
+    // Each surviving descendant contributes about one pair (ancestors of
+    // the same tag rarely nest), so the pair count tracks the smaller of
+    // the descendant candidates and its path cardinality.
+    const double pairs = std::min(current[v], est.vertex_cardinality[v]);
+    cost += params.pair * pairs;
+    // Semi-join reduction: both sides shrink to (at most) the survivors.
+    current[v] = std::min({current[v], est.vertex_cardinality[v], pairs});
+    current[parent] =
+        std::min({current[parent], est.vertex_cardinality[parent], pairs});
+  }
+  return cost;
+}
+
+double CostNaive(const Synopsis& synopsis, const PatternGraph& pattern,
+                 const CardinalityEstimate& est, const CostParams& params) {
+  // Per step, the navigator touches every child (or the whole subtree for
+  // '//') of every context node. Approximate the explored set per vertex by
+  // the parent's cardinality times the average fanout (or subtree size for
+  // descendant steps).
+  const double avg_fanout =
+      synopsis.TotalElements() > 0
+          ? static_cast<double>(synopsis.TotalNodes()) /
+                static_cast<double>(synopsis.TotalElements())
+          : 1.0;
+  double cost = 0;
+  for (VertexId v = 1; v < pattern.VertexCount(); ++v) {
+    const VertexId parent = pattern.vertex(v).parent;
+    const double contexts = std::max(1.0, est.vertex_cardinality[parent]);
+    double explored;
+    if (pattern.vertex(v).incoming_axis == algebra::Axis::kDescendant) {
+      // Each context rescans its subtree; approximate by total/contexts at
+      // the top and by full subtrees deeper down.
+      explored = static_cast<double>(synopsis.TotalNodes());
+    } else {
+      explored = contexts * avg_fanout;
+    }
+    cost += params.navigate * explored;
+  }
+  return cost;
+}
+
+}  // namespace xmlq::opt

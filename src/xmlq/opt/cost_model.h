@@ -1,0 +1,51 @@
+#ifndef XMLQ_OPT_COST_MODEL_H_
+#define XMLQ_OPT_COST_MODEL_H_
+
+#include <string>
+
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/exec/executor.h"
+#include "xmlq/opt/cardinality.h"
+#include "xmlq/opt/synopsis.h"
+#include "xmlq/xpath/nok_partition.h"
+
+namespace xmlq::opt {
+
+/// Abstract per-operation charges. Calibrated roughly to the relative
+/// measured throughputs of the physical operators; the *ordering* of plan
+/// costs is what matters for strategy selection (the paper defers an exact
+/// cost model to future work — this is that extension, experiment E4/E6).
+struct CostParams {
+  double scan_node = 1.0;     // NoK: visiting one node during the scan
+  double stream_item = 2.5;   // join-based: moving one stream cursor
+  double pair = 4.0;          // producing one intermediate join pair
+  double navigate = 6.0;      // naive: one DOM pointer dereference + test
+};
+
+/// Cost of the hybrid NoK plan: one scan per NoK part plus seam joins.
+double CostNok(const Synopsis& synopsis, const algebra::PatternGraph& pattern,
+               const xpath::NokPartition& partition,
+               const CardinalityEstimate& est, const CostParams& params = {});
+
+/// Cost of the holistic twig join: all streams + estimated solution pairs.
+double CostTwigStack(const CardinalityEstimate& est,
+                     const CostParams& params = {});
+
+/// Cost of a binary structural-join plan for a given edge order (entries are
+/// edge target vertices; empty = ascending order). Models semi-join
+/// reduction: after an edge joins, both sides shrink to their path
+/// cardinalities.
+double CostBinaryJoin(const algebra::PatternGraph& pattern,
+                      const CardinalityEstimate& est,
+                      std::span<const algebra::VertexId> order = {},
+                      const CostParams& params = {});
+
+/// Cost of naive recursive navigation: contexts × explored fanout per step.
+double CostNaive(const Synopsis& synopsis,
+                 const algebra::PatternGraph& pattern,
+                 const CardinalityEstimate& est,
+                 const CostParams& params = {});
+
+}  // namespace xmlq::opt
+
+#endif  // XMLQ_OPT_COST_MODEL_H_

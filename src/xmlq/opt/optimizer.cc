@@ -1,0 +1,70 @@
+#include "xmlq/opt/optimizer.h"
+
+#include <algorithm>
+
+#include "xmlq/xpath/nok_partition.h"
+
+namespace xmlq::opt {
+
+using algebra::PatternGraph;
+using algebra::VertexId;
+using exec::PatternStrategy;
+
+StrategyChoice ChooseStrategy(const Synopsis& synopsis,
+                              const xml::NamePool& pool,
+                              const PatternGraph& pattern) {
+  const CardinalityEstimate est = EstimatePattern(synopsis, pool, pattern);
+  const xpath::NokPartition partition = xpath::PartitionNok(pattern);
+
+  StrategyChoice choice;
+  choice.alternatives = {
+      {PatternStrategy::kNok, CostNok(synopsis, pattern, partition, est)},
+      {PatternStrategy::kTwigStack, CostTwigStack(est)},
+      {PatternStrategy::kBinaryJoin, CostBinaryJoin(pattern, est)},
+      {PatternStrategy::kNaive, CostNaive(synopsis, pattern, est)},
+  };
+  bool linear = true;
+  for (VertexId v = 0; v < pattern.VertexCount(); ++v) {
+    if (pattern.vertex(v).children.size() > 1) linear = false;
+  }
+  if (linear) {
+    // PathStack behaves like TwigStack without getNext bookkeeping.
+    choice.alternatives.push_back(
+        {PatternStrategy::kPathStack, CostTwigStack(est) * 0.9});
+  }
+  const auto best = std::min_element(
+      choice.alternatives.begin(), choice.alternatives.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  choice.strategy = best->first;
+  choice.cost = best->second;
+  choice.explanation = "selected ";
+  choice.explanation += exec::PatternStrategyName(choice.strategy);
+  choice.explanation += " (cost " + std::to_string(choice.cost) + ") among:";
+  for (const auto& [strategy, cost] : choice.alternatives) {
+    choice.explanation += " ";
+    choice.explanation += exec::PatternStrategyName(strategy);
+    choice.explanation += "=" + std::to_string(cost);
+  }
+  return choice;
+}
+
+std::vector<VertexId> ChooseJoinOrder(const Synopsis& synopsis,
+                                      const xml::NamePool& pool,
+                                      const PatternGraph& pattern) {
+  const CardinalityEstimate est = EstimatePattern(synopsis, pool, pattern);
+  std::vector<VertexId> order;
+  for (VertexId v = 1; v < pattern.VertexCount(); ++v) order.push_back(v);
+  // Smaller joins first: rank an edge by the smaller of its two stream
+  // sizes weighted by the path-restricted cardinality of its target.
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const auto rank = [&](VertexId v) {
+      const VertexId p = pattern.vertex(v).parent;
+      return std::min(est.stream_size[p], est.stream_size[v]) +
+             est.vertex_cardinality[v];
+    };
+    return rank(a) < rank(b);
+  });
+  return order;
+}
+
+}  // namespace xmlq::opt

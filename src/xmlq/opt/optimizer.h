@@ -1,0 +1,39 @@
+#ifndef XMLQ_OPT_OPTIMIZER_H_
+#define XMLQ_OPT_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/exec/executor.h"
+#include "xmlq/opt/cost_model.h"
+#include "xmlq/opt/synopsis.h"
+
+namespace xmlq::opt {
+
+/// The optimizer's decision for one τ operator.
+struct StrategyChoice {
+  exec::PatternStrategy strategy = exec::PatternStrategy::kNok;
+  double cost = 0;
+  /// Per-strategy costs, for explain output and the ablation bench.
+  std::vector<std::pair<exec::PatternStrategy, double>> alternatives;
+  std::string explanation;
+};
+
+/// Picks the cheapest physical strategy for `pattern` on a document
+/// summarized by `synopsis`, using the cost model over synopsis-based
+/// cardinality estimates.
+StrategyChoice ChooseStrategy(const Synopsis& synopsis,
+                              const xml::NamePool& pool,
+                              const algebra::PatternGraph& pattern);
+
+/// Greedy structural-join order (cf. [5]): joins edges in ascending order
+/// of estimated intermediate size so later joins see reduced inputs.
+/// Entries are edge target vertices, a valid input to BinaryJoinPlanMatch.
+std::vector<algebra::VertexId> ChooseJoinOrder(
+    const Synopsis& synopsis, const xml::NamePool& pool,
+    const algebra::PatternGraph& pattern);
+
+}  // namespace xmlq::opt
+
+#endif  // XMLQ_OPT_OPTIMIZER_H_

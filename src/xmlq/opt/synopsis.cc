@@ -1,0 +1,76 @@
+#include "xmlq/opt/synopsis.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xmlq::opt {
+
+Synopsis::Synopsis(const xml::Document& doc) {
+  nodes_.push_back(Node{});  // document node summary
+  nodes_[0].count = 1;
+  // (synopsis parent, name, is_attribute) -> synopsis node
+  std::map<std::tuple<uint32_t, xml::NameId, bool>, uint32_t> index;
+  // Per document node: its synopsis node (document order pass).
+  std::vector<uint32_t> syn_of(doc.NodeCount(), 0);
+  const size_t n = doc.NodeCount();
+  total_nodes_ = n;
+  for (xml::NodeId id = 1; id < n; ++id) {
+    const xml::NodeKind kind = doc.Kind(id);
+    if (kind != xml::NodeKind::kElement &&
+        kind != xml::NodeKind::kAttribute) {
+      continue;
+    }
+    const bool attr = kind == xml::NodeKind::kAttribute;
+    const uint32_t parent_syn = syn_of[doc.Parent(id)];
+    const auto key = std::make_tuple(parent_syn, doc.Name(id), attr);
+    auto it = index.find(key);
+    uint32_t syn;
+    if (it == index.end()) {
+      syn = static_cast<uint32_t>(nodes_.size());
+      Node node;
+      node.name = doc.Name(id);
+      node.is_attribute = attr;
+      node.parent = parent_syn;
+      nodes_.push_back(std::move(node));
+      nodes_[parent_syn].children.push_back(syn);
+      index.emplace(key, syn);
+    } else {
+      syn = it->second;
+    }
+    ++nodes_[syn].count;
+    syn_of[id] = syn;
+    auto& by = attr ? attr_by_name_ : by_name_;
+    if (doc.Name(id) >= by.size()) by.resize(doc.Name(id) + 1, 0);
+    ++by[doc.Name(id)];
+    if (!attr) {
+      ++total_elements_;
+      max_depth_ = std::max(max_depth_, doc.Depth(id));
+    }
+  }
+}
+
+namespace {
+
+void Render(const Synopsis& syn, const xml::NamePool& pool, uint32_t node,
+            int depth, std::string* out) {
+  const Synopsis::Node& n = syn.nodes()[node];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (node == 0) {
+    out->append("(document)");
+  } else {
+    if (n.is_attribute) out->push_back('@');
+    out->append(pool.NameOf(n.name));
+  }
+  out->append(" x" + std::to_string(n.count) + "\n");
+  for (uint32_t c : n.children) Render(syn, pool, c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string Synopsis::ToString(const xml::NamePool& pool) const {
+  std::string out;
+  Render(*this, pool, 0, 0, &out);
+  return out;
+}
+
+}  // namespace xmlq::opt

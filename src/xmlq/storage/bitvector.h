@@ -1,0 +1,72 @@
+#ifndef XMLQ_STORAGE_BITVECTOR_H_
+#define XMLQ_STORAGE_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xmlq::storage {
+
+/// Append-only bit sequence with O(1) rank and O(log n) select after
+/// `Freeze()`. This is the primitive underneath the balanced-parentheses
+/// structure of the succinct storage scheme (paper §4.2).
+///
+/// Usage: push bits (or whole runs), call Freeze() once, then query.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Appends one bit. Must not be called after Freeze().
+  void PushBack(bool bit) {
+    size_t word = size_ >> 6;
+    if (word == words_.size()) words_.push_back(0);
+    if (bit) words_[word] |= uint64_t{1} << (size_ & 63);
+    ++size_;
+  }
+
+  /// Number of bits.
+  size_t size() const { return size_; }
+
+  /// Bit at position `i` (0-based). `i < size()`.
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Builds the rank/select directories. Idempotent.
+  void Freeze();
+
+  /// Number of 1-bits in positions [0, i). `i <= size()`. Requires Freeze().
+  size_t Rank1(size_t i) const;
+  /// Number of 0-bits in positions [0, i).
+  size_t Rank0(size_t i) const { return i - Rank1(i); }
+
+  /// Position of the (k+1)-th 1-bit (0-based k). k < Rank1(size()).
+  size_t Select1(size_t k) const;
+  /// Position of the (k+1)-th 0-bit.
+  size_t Select0(size_t k) const;
+
+  /// Total 1-bits.
+  size_t OneCount() const { return ones_; }
+
+  /// Heap bytes used (payload + directories); for the storage experiment.
+  size_t MemoryUsage() const {
+    return words_.capacity() * sizeof(uint64_t) +
+           super_ranks_.capacity() * sizeof(uint64_t);
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  static constexpr size_t kWordsPerSuper = 8;  // 512-bit superblocks
+
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+  bool frozen_ = false;
+  size_t ones_ = 0;
+  // super_ranks_[s] = number of 1-bits before superblock s.
+  std::vector<uint64_t> super_ranks_;
+};
+
+}  // namespace xmlq::storage
+
+#endif  // XMLQ_STORAGE_BITVECTOR_H_

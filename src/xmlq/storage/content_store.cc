@@ -1,0 +1,3 @@
+#include "xmlq/storage/content_store.h"
+
+// ContentStore is header-only; this translation unit anchors the target.

@@ -1,0 +1,50 @@
+#ifndef XMLQ_STORAGE_CONTENT_STORE_H_
+#define XMLQ_STORAGE_CONTENT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlq::storage {
+
+/// Identifier of a stored content string (dense, in insertion order).
+using ContentId = uint32_t;
+
+/// Append-only string store, holding element text and attribute values
+/// *separately from the tree structure* — the paper's §4.2 rationale: the
+/// structure without variable-length content is regular and can be managed
+/// efficiently, and content indexes are built over this store alone.
+class ContentStore {
+ public:
+  ContentStore() = default;
+
+  /// Appends `text`, returning its id (ids are dense, starting at 0).
+  ContentId Add(std::string_view text) {
+    offsets_.push_back(static_cast<uint64_t>(buffer_.size()));
+    buffer_.append(text);
+    return static_cast<ContentId>(offsets_.size() - 1);
+  }
+
+  /// Content of entry `id`. The view is stable (buffer only grows).
+  std::string_view Get(ContentId id) const {
+    const uint64_t begin = offsets_[id];
+    const uint64_t end =
+        id + 1 < offsets_.size() ? offsets_[id + 1] : buffer_.size();
+    return std::string_view(buffer_).substr(begin, end - begin);
+  }
+
+  size_t size() const { return offsets_.size(); }
+
+  size_t MemoryUsage() const {
+    return buffer_.capacity() + offsets_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  std::string buffer_;
+  std::vector<uint64_t> offsets_;
+};
+
+}  // namespace xmlq::storage
+
+#endif  // XMLQ_STORAGE_CONTENT_STORE_H_

@@ -1,0 +1,91 @@
+#include "xmlq/storage/region_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xmlq::storage {
+
+namespace {
+
+/// Builds the grouped per-name streams: counting sort by NameId, preserving
+/// document order inside each group.
+void BuildStreams(const std::vector<Region>& regions, size_t name_count,
+                  std::vector<Region>* grouped,
+                  std::vector<uint32_t>* offsets) {
+  offsets->assign(name_count + 1, 0);
+  for (const Region& r : regions) {
+    if (r.name != xml::kInvalidName) ++(*offsets)[r.name + 1];
+  }
+  for (size_t i = 1; i < offsets->size(); ++i) {
+    (*offsets)[i] += (*offsets)[i - 1];
+  }
+  grouped->resize(regions.size());
+  std::vector<uint32_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (const Region& r : regions) {
+    if (r.name == xml::kInvalidName) continue;
+    (*grouped)[cursor[r.name]++] = r;
+  }
+}
+
+}  // namespace
+
+RegionIndex::RegionIndex(const xml::Document& doc) {
+  assert(doc.IsPreorder());
+  const size_t n = doc.NodeCount();
+  // end[] = largest NodeId in the subtree. With pre-order ids, a node's
+  // subtree is the id range [id, end]; computed in one reverse pass using
+  // parent pointers (a node's end propagates to all its ancestors).
+  end_.resize(n);
+  for (size_t i = 0; i < n; ++i) end_[i] = static_cast<uint32_t>(i);
+  for (size_t i = n; i-- > 1;) {
+    const xml::NodeId parent = doc.Parent(static_cast<xml::NodeId>(i));
+    if (parent != xml::kNullNode && end_[i] > end_[parent]) {
+      end_[parent] = end_[i];
+    }
+  }
+  level_.assign(n, 0);
+  for (xml::NodeId i = 1; i < n; ++i) {
+    level_[i] = level_[doc.Parent(i)] + 1;
+  }
+  document_ = Region{0, end_[0], 0, xml::kInvalidName};
+  for (xml::NodeId i = 0; i < n; ++i) {
+    if (doc.Kind(i) == xml::NodeKind::kElement) {
+      elements_.push_back(Region{i, end_[i], level_[i], doc.Name(i)});
+    } else if (doc.Kind(i) == xml::NodeKind::kAttribute) {
+      attributes_.push_back(Region{i, i, level_[i], doc.Name(i)});
+    }
+  }
+  const size_t name_count = doc.pool().size();
+  BuildStreams(elements_, name_count, &element_streams_, &element_offsets_);
+  BuildStreams(attributes_, name_count, &attribute_streams_,
+               &attribute_offsets_);
+}
+
+std::span<const Region> RegionIndex::ElementStream(xml::NameId name) const {
+  if (name == xml::kInvalidName || name + 1 >= element_offsets_.size()) {
+    return {};
+  }
+  return std::span<const Region>(element_streams_)
+      .subspan(element_offsets_[name],
+               element_offsets_[name + 1] - element_offsets_[name]);
+}
+
+std::span<const Region> RegionIndex::AttributeStream(xml::NameId name) const {
+  if (name == xml::kInvalidName || name + 1 >= attribute_offsets_.size()) {
+    return {};
+  }
+  return std::span<const Region>(attribute_streams_)
+      .subspan(attribute_offsets_[name],
+               attribute_offsets_[name + 1] - attribute_offsets_[name]);
+}
+
+size_t RegionIndex::MemoryUsage() const {
+  return (elements_.capacity() + attributes_.capacity() +
+          element_streams_.capacity() + attribute_streams_.capacity()) *
+             sizeof(Region) +
+         (element_offsets_.capacity() + attribute_offsets_.capacity() +
+          end_.capacity() + level_.capacity()) *
+             sizeof(uint32_t);
+}
+
+}  // namespace xmlq::storage

@@ -1,0 +1,82 @@
+#ifndef XMLQ_STORAGE_REGION_INDEX_H_
+#define XMLQ_STORAGE_REGION_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::storage {
+
+/// One node under interval (region) encoding: `start` is the pre-order
+/// number (== NodeId), `end` is the largest pre-order number in the subtree,
+/// `level` the depth. Containment test:
+///   u ancestor-of v   <=>  u.start < v.start && v.start <= u.end
+///   u parent-of v     <=>  ancestor && u.level + 1 == v.level
+struct Region {
+  uint32_t start = 0;
+  uint32_t end = 0;
+  uint32_t level = 0;
+  xml::NameId name = xml::kInvalidName;
+
+  bool Contains(const Region& v) const {
+    return start < v.start && v.start <= end;
+  }
+  bool IsParentOf(const Region& v) const {
+    return Contains(v) && level + 1 == v.level;
+  }
+};
+
+/// The extended-relational representation of an XML document (paper §1,
+/// baseline [1]): elements and attributes shredded into interval-encoded
+/// tuples, clustered into one sorted stream per tag name — exactly the
+/// inputs that structural joins [12] and holistic twig joins [13] consume.
+class RegionIndex {
+ public:
+  RegionIndex() = default;
+
+  /// Builds from a pre-order DOM tree.
+  explicit RegionIndex(const xml::Document& doc);
+
+  /// All element regions in document order.
+  const std::vector<Region>& elements() const { return elements_; }
+  /// All attribute regions in document order (level = owner level + 1;
+  /// start == end == the attribute's NodeId).
+  const std::vector<Region>& attributes() const { return attributes_; }
+
+  /// Elements named `name` in document order (empty span for unknown tags).
+  std::span<const Region> ElementStream(xml::NameId name) const;
+  /// Attributes named `name` in document order.
+  std::span<const Region> AttributeStream(xml::NameId name) const;
+
+  /// The region of the document node (start 0, spanning everything).
+  Region DocumentRegion() const { return document_; }
+
+  /// Largest NodeId in the subtree of `id` (any node kind).
+  uint32_t EndOf(xml::NodeId id) const { return end_[id]; }
+  /// Depth of `id` (document node = 0).
+  uint32_t LevelOf(xml::NodeId id) const { return level_[id]; }
+  /// The full region of an arbitrary node.
+  Region RegionOf(xml::NodeId id, xml::NameId name = xml::kInvalidName) const {
+    return Region{id, end_[id], level_[id], name};
+  }
+
+  size_t MemoryUsage() const;
+
+ private:
+  Region document_;
+  std::vector<uint32_t> end_;    // per NodeId
+  std::vector<uint32_t> level_;  // per NodeId
+  std::vector<Region> elements_;    // document order
+  std::vector<Region> attributes_;  // document order
+  // Per-name copies grouped contiguously; lookup via offsets.
+  std::vector<Region> element_streams_;
+  std::vector<uint32_t> element_offsets_;  // indexed by NameId, size+1 fence
+  std::vector<Region> attribute_streams_;
+  std::vector<uint32_t> attribute_offsets_;
+};
+
+}  // namespace xmlq::storage
+
+#endif  // XMLQ_STORAGE_REGION_INDEX_H_

@@ -1,0 +1,35 @@
+#include "xmlq/storage/tag_dictionary.h"
+
+namespace xmlq::storage {
+
+namespace {
+
+void Bump(std::vector<uint32_t>* counts, xml::NameId id) {
+  if (id >= counts->size()) counts->resize(id + 1, 0);
+  ++(*counts)[id];
+}
+
+}  // namespace
+
+TagDictionary::TagDictionary(const xml::Document& doc) {
+  const size_t n = doc.NodeCount();
+  for (xml::NodeId id = 0; id < n; ++id) {
+    switch (doc.Kind(id)) {
+      case xml::NodeKind::kElement:
+        Bump(&element_counts_, doc.Name(id));
+        ++total_elements_;
+        break;
+      case xml::NodeKind::kAttribute:
+        Bump(&attribute_counts_, doc.Name(id));
+        ++total_attributes_;
+        break;
+      default:
+        break;
+    }
+  }
+  for (uint32_t c : element_counts_) {
+    if (c > 0) ++distinct_element_names_;
+  }
+}
+
+}  // namespace xmlq::storage

@@ -1,0 +1,48 @@
+#ifndef XMLQ_STORAGE_TAG_DICTIONARY_H_
+#define XMLQ_STORAGE_TAG_DICTIONARY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::storage {
+
+/// Per-document statistics over the tag vocabulary: how many elements and
+/// attributes carry each interned name. Built once at load time; consumed by
+/// the region index (stream sizing), the path synopsis and the cost model.
+class TagDictionary {
+ public:
+  TagDictionary() = default;
+
+  /// Scans `doc` and tallies element/attribute counts per NameId.
+  explicit TagDictionary(const xml::Document& doc);
+
+  /// Number of elements named `id` (0 for unknown ids).
+  size_t ElementCount(xml::NameId id) const {
+    return id < element_counts_.size() ? element_counts_[id] : 0;
+  }
+  /// Number of attributes named `id`.
+  size_t AttributeCount(xml::NameId id) const {
+    return id < attribute_counts_.size() ? attribute_counts_[id] : 0;
+  }
+
+  /// Total elements / attributes seen.
+  size_t TotalElements() const { return total_elements_; }
+  size_t TotalAttributes() const { return total_attributes_; }
+
+  /// Number of distinct element names that occur at least once.
+  size_t DistinctElementNames() const { return distinct_element_names_; }
+
+ private:
+  std::vector<uint32_t> element_counts_;    // indexed by NameId
+  std::vector<uint32_t> attribute_counts_;  // indexed by NameId
+  size_t total_elements_ = 0;
+  size_t total_attributes_ = 0;
+  size_t distinct_element_names_ = 0;
+};
+
+}  // namespace xmlq::storage
+
+#endif  // XMLQ_STORAGE_TAG_DICTIONARY_H_

@@ -1,0 +1,124 @@
+#include "xmlq/storage/value_index.h"
+
+#include <algorithm>
+
+#include "xmlq/base/strings.h"
+
+namespace xmlq::storage {
+
+void ValueIndex::BuildFamily(std::vector<std::pair<xml::NameId, Entry>>* raw,
+                             size_t name_count, Family* family) {
+  std::stable_sort(raw->begin(), raw->end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     if (a.second.value != b.second.value) {
+                       return a.second.value < b.second.value;
+                     }
+                     return a.second.node < b.second.node;
+                   });
+  family->offsets.assign(name_count + 1, 0);
+  family->numeric_offsets.assign(name_count + 1, 0);
+  for (const auto& [name, entry] : *raw) {
+    ++family->offsets[name + 1];
+    if (ParseDouble(entry.value).has_value()) {
+      ++family->numeric_offsets[name + 1];
+    }
+  }
+  for (size_t i = 1; i <= name_count; ++i) {
+    family->offsets[i] += family->offsets[i - 1];
+    family->numeric_offsets[i] += family->numeric_offsets[i - 1];
+  }
+  family->entries.reserve(raw->size());
+  for (const auto& [name, entry] : *raw) {
+    family->entries.push_back(entry);
+    if (auto num = ParseDouble(entry.value)) {
+      family->numeric.push_back(NumericEntry{*num, entry.node});
+    }
+  }
+  // Sort each per-name numeric run by value (string order != numeric order).
+  for (size_t name = 0; name < name_count; ++name) {
+    auto begin = family->numeric.begin() + family->numeric_offsets[name];
+    auto end = family->numeric.begin() + family->numeric_offsets[name + 1];
+    std::sort(begin, end, [](const NumericEntry& a, const NumericEntry& b) {
+      if (a.value != b.value) return a.value < b.value;
+      return a.node < b.node;
+    });
+  }
+}
+
+ValueIndex::ValueIndex(const xml::Document& doc) {
+  std::vector<std::pair<xml::NameId, Entry>> element_raw;
+  std::vector<std::pair<xml::NameId, Entry>> attribute_raw;
+  const size_t n = doc.NodeCount();
+  for (xml::NodeId i = 0; i < n; ++i) {
+    if (doc.Kind(i) == xml::NodeKind::kElement) {
+      // Data element: exactly one child, and it is a text node.
+      const xml::NodeId child = doc.FirstChild(i);
+      if (child != xml::kNullNode &&
+          doc.Kind(child) == xml::NodeKind::kText &&
+          doc.NextSibling(child) == xml::kNullNode) {
+        element_raw.push_back({doc.Name(i), Entry{doc.Text(child), i}});
+      }
+    } else if (doc.Kind(i) == xml::NodeKind::kAttribute) {
+      attribute_raw.push_back({doc.Name(i), Entry{doc.Text(i), i}});
+    }
+  }
+  BuildFamily(&element_raw, doc.pool().size(), &elements_);
+  BuildFamily(&attribute_raw, doc.pool().size(), &attributes_);
+}
+
+std::vector<xml::NodeId> ValueIndex::Lookup(xml::NameId name,
+                                            std::string_view value,
+                                            bool attribute) const {
+  const Family& family = FamilyFor(attribute);
+  std::vector<xml::NodeId> out;
+  if (name == xml::kInvalidName || name + 1 >= family.offsets.size()) {
+    return out;
+  }
+  const auto begin = family.entries.begin() + family.offsets[name];
+  const auto end = family.entries.begin() + family.offsets[name + 1];
+  auto lo = std::lower_bound(begin, end, value,
+                             [](const Entry& e, std::string_view v) {
+                               return e.value < v;
+                             });
+  for (; lo != end && lo->value == value; ++lo) out.push_back(lo->node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<xml::NodeId> ValueIndex::LookupNumericRange(
+    xml::NameId name, double lo, bool lo_inclusive, double hi,
+    bool hi_inclusive, bool attribute) const {
+  const Family& family = FamilyFor(attribute);
+  std::vector<xml::NodeId> out;
+  if (name == xml::kInvalidName ||
+      name + 1 >= family.numeric_offsets.size()) {
+    return out;
+  }
+  const auto begin = family.numeric.begin() + family.numeric_offsets[name];
+  const auto end = family.numeric.begin() + family.numeric_offsets[name + 1];
+  for (auto it = begin; it != end; ++it) {
+    const bool above = lo_inclusive ? it->value >= lo : it->value > lo;
+    const bool below = hi_inclusive ? it->value <= hi : it->value < hi;
+    if (above && below) out.push_back(it->node);
+    if (!below && it->value > hi) break;  // runs are sorted by value
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t ValueIndex::size() const {
+  return elements_.entries.size() + attributes_.entries.size();
+}
+
+size_t ValueIndex::MemoryUsage() const {
+  auto family_bytes = [](const Family& f) {
+    return f.entries.capacity() * sizeof(Entry) +
+           f.numeric.capacity() * sizeof(NumericEntry) +
+           (f.offsets.capacity() + f.numeric_offsets.capacity()) *
+               sizeof(uint32_t);
+  };
+  return family_bytes(elements_) + family_bytes(attributes_);
+}
+
+}  // namespace xmlq::storage

@@ -1,0 +1,77 @@
+#ifndef XMLQ_STORAGE_VALUE_INDEX_H_
+#define XMLQ_STORAGE_VALUE_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::storage {
+
+/// Content-based index over the separated content store (paper §4.2: "
+/// content-based indexes (such as B+ trees ...) can be created only on the
+/// content information"). Two keyed families are indexed:
+///
+///   * data elements — elements whose children are a single text node; key
+///     is (element name, text), payload is the element's NodeId;
+///   * attributes — key is (attribute name, value), payload is the
+///     *attribute node's* NodeId (callers take Parent() for the owner).
+///
+/// Each family is a per-name sorted run over (value, node), supporting exact
+/// lookups and, for values that parse as numbers, numeric range scans.
+class ValueIndex {
+ public:
+  ValueIndex() = default;
+
+  /// Builds from a DOM tree; the index holds string_views into `doc`'s text
+  /// buffer, so `doc` must outlive the index.
+  explicit ValueIndex(const xml::Document& doc);
+
+  /// Nodes whose indexed value equals `value`, in document order.
+  std::vector<xml::NodeId> Lookup(xml::NameId name, std::string_view value,
+                                  bool attribute) const;
+
+  /// Nodes whose indexed value parses as a double in [lo, hi] (inclusive
+  /// bounds chosen by flags), in document order.
+  std::vector<xml::NodeId> LookupNumericRange(xml::NameId name, double lo,
+                                              bool lo_inclusive, double hi,
+                                              bool hi_inclusive,
+                                              bool attribute) const;
+
+  /// Number of indexed entries (both families).
+  size_t size() const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  struct Entry {
+    std::string_view value;
+    xml::NodeId node;
+  };
+  struct NumericEntry {
+    double value;
+    xml::NodeId node;
+  };
+  struct Family {
+    // Entries grouped by NameId, each group sorted by (value, node).
+    std::vector<Entry> entries;
+    std::vector<uint32_t> offsets;  // per NameId, size+1 fence
+    std::vector<NumericEntry> numeric;
+    std::vector<uint32_t> numeric_offsets;
+  };
+
+  static void BuildFamily(std::vector<std::pair<xml::NameId, Entry>>* raw,
+                          size_t name_count, Family* family);
+
+  const Family& FamilyFor(bool attribute) const {
+    return attribute ? attributes_ : elements_;
+  }
+
+  Family elements_;
+  Family attributes_;
+};
+
+}  // namespace xmlq::storage
+
+#endif  // XMLQ_STORAGE_VALUE_INDEX_H_

@@ -1,0 +1,19 @@
+#include "xmlq/xml/name_pool.h"
+
+namespace xmlq::xml {
+
+NameId NamePool::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+NameId NamePool::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidName : it->second;
+}
+
+}  // namespace xmlq::xml

@@ -1,0 +1,51 @@
+#ifndef XMLQ_XML_NAME_POOL_H_
+#define XMLQ_XML_NAME_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace xmlq::xml {
+
+/// Dense identifier for an interned element/attribute name.
+using NameId = uint32_t;
+
+/// Sentinel for "no name" (text/comment nodes, unknown lookups).
+inline constexpr NameId kInvalidName = UINT32_MAX;
+
+/// Interning table mapping element/attribute names to dense 32-bit ids.
+///
+/// A `Document` owns one pool; the storage layer reuses the same ids so that
+/// tag comparisons across the DOM, the succinct store and the region index
+/// are integer compares. Lookup of a missing name is non-mutating
+/// (`Find`) so query compilation over a fixed document can cheaply conclude
+/// "this tag never occurs".
+class NamePool {
+ public:
+  NamePool() = default;
+  NamePool(const NamePool&) = delete;
+  NamePool& operator=(const NamePool&) = delete;
+
+  /// Returns the id for `name`, interning it if new.
+  NameId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidName if it was never interned.
+  NameId Find(std::string_view name) const;
+
+  /// Returns the name for a valid id. `id` must be < size().
+  std::string_view NameOf(NameId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Deque so already-interned strings never move: the unordered_map keys are
+  // string_views into these elements (SSO data would move in a vector).
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, NameId> index_;
+};
+
+}  // namespace xmlq::xml
+
+#endif  // XMLQ_XML_NAME_POOL_H_

@@ -1,0 +1,449 @@
+#include "xmlq/xml/parser.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "xmlq/base/strings.h"
+
+namespace xmlq::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+/// Appends the UTF-8 encoding of `cp` to `out`. Invalid code points are
+/// replaced with U+FFFD.
+void AppendCodepoint(uint32_t cp, std::string* out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) cp = 0xFFFD;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+StreamParser::StreamParser(std::string_view input, ParseOptions options)
+    : input_(input), options_(options) {
+  // Skip a UTF-8 BOM if present.
+  if (input_.size() >= 3 && static_cast<unsigned char>(input_[0]) == 0xEF &&
+      static_cast<unsigned char>(input_[1]) == 0xBB &&
+      static_cast<unsigned char>(input_[2]) == 0xBF) {
+    pos_ = 3;
+  }
+}
+
+Status StreamParser::Error(std::string message) const {
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "line %d, column %d: ", line_,
+                column_);
+  return Status::ParseError(prefix + std::move(message));
+}
+
+void StreamParser::Advance() {
+  if (input_[pos_] == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  ++pos_;
+}
+
+void StreamParser::SkipWhitespace() {
+  while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\r' ||
+                      Peek() == '\n')) {
+    Advance();
+  }
+}
+
+bool StreamParser::ConsumeLiteral(std::string_view lit) {
+  if (input_.substr(pos_, lit.size()) != lit) return false;
+  for (size_t i = 0; i < lit.size(); ++i) Advance();
+  return true;
+}
+
+Result<std::string_view> StreamParser::ReadName() {
+  if (AtEnd() || !IsNameStartChar(Peek())) {
+    return Error("expected a name");
+  }
+  size_t start = pos_;
+  while (!AtEnd() && IsNameChar(Peek())) Advance();
+  return input_.substr(start, pos_ - start);
+}
+
+Result<std::string_view> StreamParser::ReadText(char terminator) {
+  size_t start = pos_;
+  bool needs_decode = false;
+  size_t scan = pos_;
+  while (scan < input_.size() && input_[scan] != terminator) {
+    char c = input_[scan];
+    if (c == '&' || c == '\r') needs_decode = true;
+    if (terminator != '<' && c == '<') {
+      // '<' is illegal inside attribute values.
+      while (pos_ < scan) Advance();
+      return Error("'<' not allowed in attribute value");
+    }
+    ++scan;
+  }
+  if (scan >= input_.size() && terminator != '<') {
+    return Error("unterminated attribute value");
+  }
+  if (!needs_decode) {
+    std::string_view raw = input_.substr(start, scan - start);
+    while (pos_ < scan) Advance();
+    return raw;
+  }
+  // Slow path: decode into scratch.
+  text_scratch_.clear();
+  while (!AtEnd() && Peek() != terminator) {
+    char c = Peek();
+    if (c == '&') {
+      Advance();
+      if (ConsumeLiteral("lt;")) {
+        text_scratch_.push_back('<');
+      } else if (ConsumeLiteral("gt;")) {
+        text_scratch_.push_back('>');
+      } else if (ConsumeLiteral("amp;")) {
+        text_scratch_.push_back('&');
+      } else if (ConsumeLiteral("apos;")) {
+        text_scratch_.push_back('\'');
+      } else if (ConsumeLiteral("quot;")) {
+        text_scratch_.push_back('"');
+      } else if (!AtEnd() && Peek() == '#') {
+        Advance();
+        int base = 10;
+        if (!AtEnd() && (Peek() == 'x' || Peek() == 'X')) {
+          base = 16;
+          Advance();
+        }
+        uint32_t cp = 0;
+        size_t digits = 0;
+        while (!AtEnd() && Peek() != ';') {
+          char d = Peek();
+          int v;
+          if (d >= '0' && d <= '9') {
+            v = d - '0';
+          } else if (base == 16 && d >= 'a' && d <= 'f') {
+            v = d - 'a' + 10;
+          } else if (base == 16 && d >= 'A' && d <= 'F') {
+            v = d - 'A' + 10;
+          } else {
+            return Error("malformed character reference");
+          }
+          cp = cp * base + static_cast<uint32_t>(v);
+          if (cp > 0x10FFFF) cp = 0x110000;  // clamp; flagged by Append
+          ++digits;
+          Advance();
+        }
+        if (digits == 0 || AtEnd()) {
+          return Error("malformed character reference");
+        }
+        Advance();  // ';'
+        AppendCodepoint(cp, &text_scratch_);
+      } else {
+        return Error("unknown entity reference");
+      }
+    } else if (c == '\r') {
+      // Normalize CRLF and bare CR to LF per XML 1.0 §2.11.
+      Advance();
+      if (!AtEnd() && Peek() == '\n') Advance();
+      text_scratch_.push_back('\n');
+    } else {
+      text_scratch_.push_back(c);
+      Advance();
+    }
+  }
+  if (AtEnd() && terminator != '<') {
+    return Error("unterminated attribute value");
+  }
+  return std::string_view(text_scratch_);
+}
+
+Status StreamParser::ReadAttributes() {
+  attributes_.clear();
+  attr_scratch_.clear();
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated start tag");
+    char c = Peek();
+    if (c == '>' || c == '/') return Status::Ok();
+    XMLQ_ASSIGN_OR_RETURN(std::string_view name, ReadName());
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
+    Advance();
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    XMLQ_ASSIGN_OR_RETURN(std::string_view value, ReadText(quote));
+    // ReadText leaves the view either into the input or into text_scratch_;
+    // copy decoded values so multiple attributes don't clobber each other.
+    if (value.data() == text_scratch_.data()) {
+      attr_scratch_.push_back(std::string(value));
+      value = attr_scratch_.back();
+    }
+    if (AtEnd() || Peek() != quote) return Error("unterminated attribute value");
+    Advance();
+    for (const Attribute& prev : attributes_) {
+      if (prev.name == name) {
+        return Error("duplicate attribute '" + std::string(name) + "'");
+      }
+    }
+    attributes_.push_back(Attribute{name, value});
+  }
+}
+
+Status StreamParser::SkipDoctype() {
+  // We are positioned just past "<!DOCTYPE". Skip to the matching '>',
+  // honouring an internal subset in [...].
+  int bracket_depth = 0;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '[') {
+      ++bracket_depth;
+    } else if (c == ']') {
+      --bracket_depth;
+    } else if (c == '>' && bracket_depth == 0) {
+      Advance();
+      return Status::Ok();
+    }
+    Advance();
+  }
+  return Error("unterminated DOCTYPE");
+}
+
+Result<ParseEvent> StreamParser::Next() {
+  if (!error_.ok()) return error_;
+  if (pending_end_) {
+    pending_end_ = false;
+    ParseEvent ev;
+    ev.kind = ParseEvent::Kind::kEndElement;
+    ev.name = pending_end_name_;
+    return ev;
+  }
+  if (done_) {
+    ParseEvent ev;
+    ev.kind = ParseEvent::Kind::kEndDocument;
+    return ev;
+  }
+
+  auto fail = [this](Status st) -> Result<ParseEvent> {
+    error_ = std::move(st);
+    return error_;
+  };
+
+  while (true) {
+    if (AtEnd()) {
+      if (!open_elements_.empty()) {
+        return fail(Error("unexpected end of input: <" + open_elements_.back() +
+                          "> is not closed"));
+      }
+      done_ = true;
+      ParseEvent ev;
+      ev.kind = ParseEvent::Kind::kEndDocument;
+      return ev;
+    }
+    if (Peek() != '<') {
+      auto text = ReadText('<');
+      if (!text.ok()) return fail(text.status());
+      std::string_view value = text.value();
+      if (options_.drop_whitespace_text && IsAllWhitespace(value)) continue;
+      if (open_elements_.empty()) {
+        if (!IsAllWhitespace(value)) {
+          return fail(Error("character data outside the root element"));
+        }
+        continue;
+      }
+      ParseEvent ev;
+      ev.kind = ParseEvent::Kind::kText;
+      ev.text = value;
+      return ev;
+    }
+
+    // Markup.
+    Advance();  // '<'
+    if (AtEnd()) return fail(Error("unexpected end of input after '<'"));
+    char c = Peek();
+    if (c == '!') {
+      Advance();
+      if (ConsumeLiteral("--")) {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return fail(Error("unterminated comment"));
+        }
+        size_t start = pos_;
+        while (pos_ < end) Advance();
+        for (int i = 0; i < 3; ++i) Advance();  // "-->"
+        if (options_.keep_comments && !open_elements_.empty()) {
+          ParseEvent ev;
+          ev.kind = ParseEvent::Kind::kComment;
+          ev.text = input_.substr(start, end - start);
+          return ev;
+        }
+        continue;
+      }
+      if (ConsumeLiteral("[CDATA[")) {
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return fail(Error("unterminated CDATA section"));
+        }
+        size_t start = pos_;
+        while (pos_ < end) Advance();
+        for (int i = 0; i < 3; ++i) Advance();  // "]]>"
+        if (open_elements_.empty()) {
+          return fail(Error("CDATA outside the root element"));
+        }
+        std::string_view value = input_.substr(start, end - start);
+        if (options_.drop_whitespace_text && IsAllWhitespace(value)) continue;
+        ParseEvent ev;
+        ev.kind = ParseEvent::Kind::kText;
+        ev.text = value;
+        return ev;
+      }
+      if (ConsumeLiteral("DOCTYPE")) {
+        Status st = SkipDoctype();
+        if (!st.ok()) return fail(std::move(st));
+        continue;
+      }
+      return fail(Error("unrecognized markup declaration"));
+    }
+    if (c == '?') {
+      Advance();
+      auto target = ReadName();
+      if (!target.ok()) return fail(target.status());
+      size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) {
+        return fail(Error("unterminated processing instruction"));
+      }
+      size_t start = pos_;
+      while (pos_ < end) Advance();
+      Advance();
+      Advance();  // "?>"
+      if (target.value() == "xml") continue;  // XML declaration
+      if (options_.keep_processing_instructions && !open_elements_.empty()) {
+        ParseEvent ev;
+        ev.kind = ParseEvent::Kind::kProcessingInstruction;
+        ev.name = target.value();
+        ev.text = TrimWhitespace(input_.substr(start, end - start));
+        return ev;
+      }
+      continue;
+    }
+    if (c == '/') {
+      Advance();
+      auto name = ReadName();
+      if (!name.ok()) return fail(name.status());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '>') return fail(Error("expected '>'"));
+      Advance();
+      if (open_elements_.empty()) {
+        return fail(Error("unmatched end tag </" + std::string(name.value()) +
+                          ">"));
+      }
+      if (open_elements_.back() != name.value()) {
+        return fail(Error("mismatched end tag: expected </" +
+                          open_elements_.back() + ">, found </" +
+                          std::string(name.value()) + ">"));
+      }
+      open_elements_.pop_back();
+      ParseEvent ev;
+      ev.kind = ParseEvent::Kind::kEndElement;
+      ev.name = name.value();
+      return ev;
+    }
+
+    // Start tag.
+    auto name = ReadName();
+    if (!name.ok()) return fail(name.status());
+    if (open_elements_.empty() && root_seen_) {
+      return fail(Error("multiple root elements"));
+    }
+    Status st = ReadAttributes();
+    if (!st.ok()) return fail(std::move(st));
+    bool self_closing = false;
+    if (!AtEnd() && Peek() == '/') {
+      self_closing = true;
+      Advance();
+    }
+    if (AtEnd() || Peek() != '>') return fail(Error("expected '>'"));
+    Advance();
+    root_seen_ = true;
+    if (self_closing) {
+      pending_end_ = true;
+      pending_end_name_ = std::string(name.value());
+    } else {
+      open_elements_.push_back(std::string(name.value()));
+    }
+    ParseEvent ev;
+    ev.kind = ParseEvent::Kind::kStartElement;
+    ev.name = name.value();
+    return ev;
+  }
+}
+
+Result<Document> ParseDocument(std::string_view input, ParseOptions options) {
+  return ParseDocument(input, std::make_shared<NamePool>(), options);
+}
+
+Result<Document> ParseDocument(std::string_view input,
+                               std::shared_ptr<NamePool> pool,
+                               ParseOptions options) {
+  StreamParser parser(input, options);
+  Document doc(std::move(pool));
+  std::vector<NodeId> stack = {doc.root()};
+  bool saw_root = false;
+  while (true) {
+    XMLQ_ASSIGN_OR_RETURN(ParseEvent ev, parser.Next());
+    switch (ev.kind) {
+      case ParseEvent::Kind::kStartElement: {
+        NodeId elem = doc.AddElement(stack.back(), ev.name);
+        for (const StreamParser::Attribute& attr : parser.attributes()) {
+          doc.AddAttribute(elem, attr.name, attr.value);
+        }
+        stack.push_back(elem);
+        saw_root = true;
+        break;
+      }
+      case ParseEvent::Kind::kEndElement:
+        stack.pop_back();
+        break;
+      case ParseEvent::Kind::kText:
+        doc.AddText(stack.back(), ev.text);
+        break;
+      case ParseEvent::Kind::kComment:
+        doc.AddComment(stack.back(), ev.text);
+        break;
+      case ParseEvent::Kind::kProcessingInstruction:
+        doc.AddProcessingInstruction(stack.back(), ev.name, ev.text);
+        break;
+      case ParseEvent::Kind::kEndDocument:
+        if (!saw_root) {
+          return Status::ParseError("document has no root element");
+        }
+        return doc;
+    }
+  }
+}
+
+}  // namespace xmlq::xml

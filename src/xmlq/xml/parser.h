@@ -1,0 +1,120 @@
+#ifndef XMLQ_XML_PARSER_H_
+#define XMLQ_XML_PARSER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xmlq/base/status.h"
+#include "xmlq/xml/document.h"
+
+namespace xmlq::xml {
+
+/// Parser behaviour knobs.
+struct ParseOptions {
+  /// Drop text nodes that are entirely XML whitespace (typical for
+  /// data-centric documents; the paper's workloads are data-centric).
+  bool drop_whitespace_text = true;
+  /// Keep comment nodes in the tree.
+  bool keep_comments = false;
+  /// Keep processing-instruction nodes in the tree.
+  bool keep_processing_instructions = false;
+};
+
+/// One event of the streaming (pull) parser. Events reference the input
+/// buffer where possible; `text` is decoded into an internal scratch buffer
+/// when entities are present, so views are valid until the next Next() call.
+struct ParseEvent {
+  enum class Kind {
+    kStartElement,   // name set; attributes available via reader
+    kEndElement,     // name set
+    kText,           // text set (entity-decoded)
+    kComment,        // text set
+    kProcessingInstruction,  // name = target, text = body
+    kEndDocument,
+  };
+  Kind kind = Kind::kEndDocument;
+  std::string_view name;
+  std::string_view text;
+};
+
+/// Streaming pull parser over an in-memory XML buffer.
+///
+/// The succinct storage scheme linearizes nodes in pre-order, which
+/// "coincides with the streaming XML element arrival order" (paper §4.2);
+/// this reader is the streaming source for both document loading and the
+/// streaming NoK evaluation experiment (E3).
+class StreamParser {
+ public:
+  /// `input` must outlive the parser.
+  explicit StreamParser(std::string_view input, ParseOptions options = {});
+
+  /// Advances to the next event. After kEndDocument (or an error) further
+  /// calls keep returning the same outcome.
+  Result<ParseEvent> Next();
+
+  /// Attributes of the most recent kStartElement event, in document order.
+  /// Views are valid until the next Next() call.
+  struct Attribute {
+    std::string_view name;
+    std::string_view value;
+  };
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// 1-based position of the current parse point (for error messages).
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  Status Error(std::string message) const;
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+  void Advance();
+  void SkipWhitespace();
+  bool ConsumeLiteral(std::string_view lit);
+  Result<std::string_view> ReadName();
+  /// Decodes character data up to (not including) the next '<'. Handles the
+  /// five predefined entities and numeric character references.
+  Result<std::string_view> ReadText(char terminator);
+  Status ReadAttributes();
+  Result<ParseEvent> ReadMarkup();
+  Status SkipDoctype();
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+
+  std::vector<Attribute> attributes_;
+  std::vector<std::string> open_elements_;
+  // Scratch buffers for entity-decoded text and attribute values. The deque
+  // keeps earlier decoded values stable while later attributes are decoded.
+  std::string text_scratch_;
+  std::deque<std::string> attr_scratch_;
+  bool pending_end_ = false;  // self-closing tag: emit End after Start
+  std::string pending_end_name_;
+  bool root_seen_ = false;
+  bool done_ = false;
+  Status error_;
+};
+
+/// Parses a complete document into a DOM tree. On success the returned
+/// document satisfies `IsPreorder()`.
+Result<Document> ParseDocument(std::string_view input,
+                               ParseOptions options = {});
+
+/// Parses using a caller-supplied shared NamePool (for multi-document
+/// corpora sharing one query vocabulary).
+Result<Document> ParseDocument(std::string_view input,
+                               std::shared_ptr<NamePool> pool,
+                               ParseOptions options = {});
+
+}  // namespace xmlq::xml
+
+#endif  // XMLQ_XML_PARSER_H_

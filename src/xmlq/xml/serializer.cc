@@ -1,0 +1,182 @@
+#include "xmlq/xml/serializer.h"
+
+namespace xmlq::xml {
+
+namespace {
+
+void AppendEscapedText(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void AppendEscapedAttribute(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '"':
+        out->append("&quot;");
+        break;
+      case '\n':
+        out->append("&#10;");
+        break;
+      case '\t':
+        out->append("&#9;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+class Writer {
+ public:
+  Writer(const Document& doc, SerializeOptions options, std::string* out)
+      : doc_(doc), options_(options), out_(out) {}
+
+  void WriteNode(NodeId n, int depth) {
+    switch (doc_.Kind(n)) {
+      case NodeKind::kDocument:
+        for (NodeId c = doc_.FirstChild(n); c != kNullNode;
+             c = doc_.NextSibling(c)) {
+          WriteNode(c, depth);
+          if (options_.indent) out_->push_back('\n');
+        }
+        break;
+      case NodeKind::kElement:
+        WriteElement(n, depth);
+        break;
+      case NodeKind::kText:
+        AppendEscapedText(doc_.Text(n), out_);
+        break;
+      case NodeKind::kComment:
+        out_->append("<!--");
+        out_->append(doc_.Text(n));
+        out_->append("-->");
+        break;
+      case NodeKind::kProcessingInstruction:
+        out_->append("<?");
+        out_->append(doc_.NameStr(n));
+        if (!doc_.Text(n).empty()) {
+          out_->push_back(' ');
+          out_->append(doc_.Text(n));
+        }
+        out_->append("?>");
+        break;
+      case NodeKind::kAttribute:
+        // Attributes are serialized as part of their owner element; writing
+        // one directly yields its value text (useful in query output).
+        AppendEscapedText(doc_.Text(n), out_);
+        break;
+    }
+  }
+
+ private:
+  void Indent(int depth) {
+    for (int i = 0; i < depth; ++i) out_->append("  ");
+  }
+
+  /// True if every child of `n` is an element/comment/PI (no text), so
+  /// pretty-printing may add whitespace without changing the string-value.
+  bool ElementOnlyContent(NodeId n) {
+    for (NodeId c = doc_.FirstChild(n); c != kNullNode;
+         c = doc_.NextSibling(c)) {
+      if (doc_.Kind(c) == NodeKind::kText) return false;
+    }
+    return true;
+  }
+
+  void WriteElement(NodeId n, int depth) {
+    out_->push_back('<');
+    out_->append(doc_.NameStr(n));
+    for (NodeId a = doc_.FirstAttr(n); a != kNullNode;
+         a = doc_.NextSibling(a)) {
+      out_->push_back(' ');
+      out_->append(doc_.NameStr(a));
+      out_->append("=\"");
+      AppendEscapedAttribute(doc_.Text(a), out_);
+      out_->push_back('"');
+    }
+    NodeId first = doc_.FirstChild(n);
+    if (first == kNullNode) {
+      out_->append("/>");
+      return;
+    }
+    out_->push_back('>');
+    bool pretty = options_.indent && ElementOnlyContent(n);
+    for (NodeId c = first; c != kNullNode; c = doc_.NextSibling(c)) {
+      if (pretty) {
+        out_->push_back('\n');
+        Indent(depth + 1);
+      }
+      WriteNode(c, depth + 1);
+    }
+    if (pretty) {
+      out_->push_back('\n');
+      Indent(depth);
+    }
+    out_->append("</");
+    out_->append(doc_.NameStr(n));
+    out_->push_back('>');
+  }
+
+  const Document& doc_;
+  SerializeOptions options_;
+  std::string* out_;
+};
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  AppendEscapedText(text, &out);
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  AppendEscapedAttribute(text, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc, NodeId node,
+                      SerializeOptions options) {
+  std::string out;
+  if (options.xml_declaration) {
+    out.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (options.indent) out.push_back('\n');
+  }
+  Writer writer(doc, options, &out);
+  writer.WriteNode(node, 0);
+  // Drop a trailing newline the document-node case may leave behind.
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string Serialize(const Document& doc, SerializeOptions options) {
+  return Serialize(doc, doc.root(), options);
+}
+
+}  // namespace xmlq::xml

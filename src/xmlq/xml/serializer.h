@@ -1,0 +1,37 @@
+#ifndef XMLQ_XML_SERIALIZER_H_
+#define XMLQ_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xmlq/xml/document.h"
+
+namespace xmlq::xml {
+
+/// Serialization knobs.
+struct SerializeOptions {
+  /// Pretty-print with two-space indentation; element-only content gets one
+  /// node per line. Mixed content is left untouched to preserve value.
+  bool indent = false;
+  /// Emit an `<?xml version="1.0" encoding="UTF-8"?>` declaration first.
+  bool xml_declaration = false;
+};
+
+/// Escapes `text` for use as element character data (&, <, >).
+std::string EscapeText(std::string_view text);
+
+/// Escapes `text` for use inside a double-quoted attribute value
+/// (&, <, >, ", plus newline/tab as character references).
+std::string EscapeAttribute(std::string_view text);
+
+/// Serializes the subtree rooted at `node` (an element, or the document node
+/// for the whole document) to XML text.
+std::string Serialize(const Document& doc, NodeId node,
+                      SerializeOptions options = {});
+
+/// Serializes the whole document.
+std::string Serialize(const Document& doc, SerializeOptions options = {});
+
+}  // namespace xmlq::xml
+
+#endif  // XMLQ_XML_SERIALIZER_H_

@@ -1,0 +1,45 @@
+#ifndef XMLQ_XPATH_AST_H_
+#define XMLQ_XPATH_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "xmlq/algebra/pattern_graph.h"
+
+namespace xmlq::xpath {
+
+struct StepAst;
+
+/// One predicate `[...]` attached to a step. Conjunctions (`p1 and p2`)
+/// are flattened into multiple PredAst entries by the parser. A predicate is
+/// either an existence test on a relative path, or a comparison between a
+/// relative path's value (possibly the context node itself, for `.`) and a
+/// literal.
+struct PredAst {
+  /// Relative path from the context node; empty means the context node
+  /// itself (`.`) is compared.
+  std::vector<StepAst> path;
+  bool has_comparison = false;
+  algebra::CompareOp op = algebra::CompareOp::kEq;
+  std::string literal;
+  bool numeric = false;  // literal was a number token
+};
+
+/// One location step: axis, name test and predicates.
+struct StepAst {
+  algebra::Axis axis = algebra::Axis::kChild;
+  std::string name;           // "*" for the wildcard test
+  bool is_attribute = false;  // `@name` steps
+  std::vector<PredAst> predicates;
+};
+
+/// A parsed path expression. Only absolute paths (starting with `/` or
+/// `//`) are accepted at the top level; relative paths occur inside
+/// predicates.
+struct PathAst {
+  std::vector<StepAst> steps;
+};
+
+}  // namespace xmlq::xpath
+
+#endif  // XMLQ_XPATH_AST_H_

@@ -1,0 +1,49 @@
+#ifndef XMLQ_XPATH_COMPILER_H_
+#define XMLQ_XPATH_COMPILER_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "xmlq/algebra/logical_plan.h"
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/xpath/ast.h"
+
+namespace xmlq::xpath {
+
+/// Appends the vertices for `steps` (including their predicate branches)
+/// under `from`; returns the final step's vertex. Shared by CompileToPattern
+/// and the XQuery translator (which builds patterns from FLWOR paths and
+/// per-step predicate filters).
+Result<algebra::VertexId> AppendSteps(algebra::PatternGraph* graph,
+                                      algebra::VertexId from,
+                                      std::span<const StepAst> steps);
+
+/// Attaches a predicate conjunction (branches + value constraints) to
+/// vertex `at`.
+Status AppendPredicates(algebra::PatternGraph* graph, algebra::VertexId at,
+                        const std::vector<PredAst>& predicates);
+
+/// Compiles a parsed path into a tree-shaped PatternGraph (Definition 1):
+/// location steps become the spine, predicates become side branches, value
+/// comparisons become vertex constraints, and the last spine vertex is the
+/// sole output vertex.
+Result<algebra::PatternGraph> CompileToPattern(const PathAst& path);
+
+/// Compiles a path into the *naive* logical plan — a chain of πs (Navigate)
+/// steps over a DocScan, with σv selections for value predicates where
+/// expressible. Predicate structure that a navigation chain cannot express
+/// (existence branches, nested predicate paths) makes this return
+/// kUnsupported; callers then use CompileToPattern. This form exists so the
+/// rewrite rules (navigation folding, σv pushdown) have real input.
+Result<algebra::LogicalExprPtr> CompileToNavigationChain(
+    const PathAst& path, std::string doc_name);
+
+/// Parses and compiles in one step: produces a TreePattern logical plan
+/// over `doc_name`.
+Result<algebra::LogicalExprPtr> CompilePath(std::string_view path,
+                                            std::string doc_name);
+
+}  // namespace xmlq::xpath
+
+#endif  // XMLQ_XPATH_COMPILER_H_

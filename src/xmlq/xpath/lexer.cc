@@ -1,0 +1,196 @@
+#include "xmlq/xpath/lexer.h"
+
+#include <cctype>
+
+namespace xmlq::xpath {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kDoubleSlash:
+      return "'//'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kAnd:
+      return "'and'";
+    case TokenKind::kOr:
+      return "'or'";
+    case TokenKind::kName:
+      return "name";
+    case TokenKind::kAxisName:
+      return "axis";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+Status LexError(size_t offset, std::string message) {
+  return Status::ParseError("xpath offset " + std::to_string(offset) + ": " +
+                            std::move(message));
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < n && input[i + 1] == '/') {
+          tokens.push_back({TokenKind::kDoubleSlash, "//", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kSlash, "/", start});
+          ++i;
+        }
+        continue;
+      case '@':
+        tokens.push_back({TokenKind::kAt, "@", start});
+        ++i;
+        continue;
+      case '*':
+        tokens.push_back({TokenKind::kStar, "*", start});
+        ++i;
+        continue;
+      case '[':
+        tokens.push_back({TokenKind::kLBracket, "[", start});
+        ++i;
+        continue;
+      case ']':
+        tokens.push_back({TokenKind::kRBracket, "]", start});
+        ++i;
+        continue;
+      case '=':
+        tokens.push_back({TokenKind::kEq, "=", start});
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back({TokenKind::kNe, "!=", start});
+          i += 2;
+          continue;
+        }
+        return LexError(start, "expected '=' after '!'");
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back({TokenKind::kLe, "<=", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kLt, "<", start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back({TokenKind::kGe, ">=", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kGt, ">", start});
+          ++i;
+        }
+        continue;
+      case '\'':
+      case '"': {
+        const char quote = c;
+        ++i;
+        std::string value;
+        while (i < n && input[i] != quote) {
+          value.push_back(input[i]);
+          ++i;
+        }
+        if (i >= n) return LexError(start, "unterminated string literal");
+        ++i;  // closing quote
+        tokens.push_back({TokenKind::kString, std::move(value), start});
+        continue;
+      }
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string value;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        value.push_back(input[i]);
+        ++i;
+      }
+      tokens.push_back({TokenKind::kNumber, std::move(value), start});
+      continue;
+    }
+    if (c == '.') {
+      tokens.push_back({TokenKind::kDot, ".", start});
+      ++i;
+      continue;
+    }
+    if (IsNameStart(c)) {
+      std::string name;
+      while (i < n && IsNameChar(input[i])) {
+        // A "::" axis separator is not part of the name (single ':' is,
+        // for QName-style names).
+        if (input[i] == ':' && i + 1 < n && input[i + 1] == ':') break;
+        name.push_back(input[i]);
+        ++i;
+      }
+      if (i + 1 < n && input[i] == ':' && input[i + 1] == ':') {
+        i += 2;
+        tokens.push_back({TokenKind::kAxisName, std::move(name), start});
+      } else if (name == "and") {
+        tokens.push_back({TokenKind::kAnd, std::move(name), start});
+      } else if (name == "or") {
+        tokens.push_back({TokenKind::kOr, std::move(name), start});
+      } else {
+        tokens.push_back({TokenKind::kName, std::move(name), start});
+      }
+      continue;
+    }
+    return LexError(start, std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace xmlq::xpath

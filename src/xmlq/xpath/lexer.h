@@ -1,0 +1,49 @@
+#ifndef XMLQ_XPATH_LEXER_H_
+#define XMLQ_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xmlq/base/status.h"
+
+namespace xmlq::xpath {
+
+enum class TokenKind : uint8_t {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kAt,           // @
+  kStar,         // *
+  kDot,          // .
+  kLBracket,     // [
+  kRBracket,     // ]
+  kEq,           // =
+  kNe,           // !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kAnd,          // and
+  kOr,           // or
+  kName,         // NCName
+  kAxisName,     // "axis::" prefix (text = axis name, '::' consumed)
+  kString,       // 'lit' or "lit"
+  kNumber,       // 123, 1.5
+  kEnd,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // name / decoded string / number spelling
+  size_t offset = 0;  // byte offset in the source (for error messages)
+};
+
+/// Tokenizes an XPath expression. Whitespace separates tokens and is
+/// otherwise ignored.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace xmlq::xpath
+
+#endif  // XMLQ_XPATH_LEXER_H_

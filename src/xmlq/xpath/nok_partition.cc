@@ -1,0 +1,65 @@
+#include "xmlq/xpath/nok_partition.h"
+
+namespace xmlq::xpath {
+
+using algebra::Axis;
+using algebra::IsNokAxis;
+using algebra::kNoVertex;
+using algebra::PatternGraph;
+using algebra::VertexId;
+
+NokPartition PartitionNok(const PatternGraph& graph) {
+  NokPartition out;
+  out.part_of.assign(graph.VertexCount(), -1);
+
+  // Pre-order DFS from the root; vertex ids are already topologically
+  // ordered, so iterating in id order visits parents before children.
+  for (VertexId v = 0; v < graph.VertexCount(); ++v) {
+    const algebra::PatternVertex& vertex = graph.vertex(v);
+    // NoK and self arcs keep the vertex in its parent's part; everything
+    // else (a cut descendant arc, or the root) starts a new part.
+    if (v != graph.root() && (IsNokAxis(vertex.incoming_axis) ||
+                              vertex.incoming_axis == Axis::kSelf)) {
+      const int part = out.part_of[vertex.parent];
+      out.part_of[v] = part;
+      out.parts[part].vertices.push_back(v);
+      continue;
+    }
+    NokPart part;
+    part.head = v;
+    part.vertices.push_back(v);
+    if (v != graph.root()) {
+      part.attach_vertex = vertex.parent;
+      part.parent_part = out.part_of[vertex.parent];
+    }
+    out.part_of[v] = static_cast<int>(out.parts.size());
+    out.parts.push_back(std::move(part));
+  }
+  return out;
+}
+
+std::string NokPartition::ToString(const PatternGraph& graph) const {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const NokPart& part = parts[i];
+    out += "part " + std::to_string(i) + " (head ";
+    out += part.head == graph.root() ? "root"
+                                     : graph.vertex(part.head).label;
+    out += ")";
+    if (part.parent_part >= 0) {
+      out += " under part " + std::to_string(part.parent_part) + " at ";
+      out += graph.vertex(part.attach_vertex).is_root
+                 ? "root"
+                 : graph.vertex(part.attach_vertex).label;
+    }
+    out += ":";
+    for (VertexId v : part.vertices) {
+      out += " ";
+      out += graph.vertex(v).is_root ? "root" : graph.vertex(v).label;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xmlq::xpath

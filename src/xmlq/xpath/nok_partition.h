@@ -1,0 +1,46 @@
+#ifndef XMLQ_XPATH_NOK_PARTITION_H_
+#define XMLQ_XPATH_NOK_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "xmlq/algebra/pattern_graph.h"
+
+namespace xmlq::xpath {
+
+/// One maximal next-of-kin (NoK) fragment of a pattern graph: a connected
+/// set of vertices whose internal arcs are all local relations (child /
+/// attribute / following-sibling). Each fragment can be matched with a
+/// single pre-order scan and *no structural joins* (paper §4.2).
+struct NokPart {
+  /// Topmost vertex of this part in the original graph.
+  algebra::VertexId head = algebra::kNoVertex;
+  /// All vertices of the part (head first, then pre-order).
+  std::vector<algebra::VertexId> vertices;
+  /// Index of the part containing `head`'s parent vertex; -1 for the part
+  /// holding the pattern root.
+  int parent_part = -1;
+  /// The vertex (in the original graph) that `head` attaches to via the cut
+  /// descendant arc; kNoVertex for the root part.
+  algebra::VertexId attach_vertex = algebra::kNoVertex;
+};
+
+/// Partition of a pattern graph into NoK fragments connected by the cut
+/// descendant arcs. Evaluating a general path expression then becomes: match
+/// every part navigationally, and stitch the parts together with structural
+/// (ancestor-descendant) joins on the seams — the paper's hybrid strategy.
+struct NokPartition {
+  std::vector<NokPart> parts;       // topologically ordered, root part first
+  std::vector<int> part_of;         // vertex id -> part index
+
+  std::string ToString(const algebra::PatternGraph& graph) const;
+};
+
+/// Computes the partition. Every arc that is a NoK axis keeps its endpoints
+/// in one part; every kDescendant (and kSelf) arc starts a new part headed
+/// by its target.
+NokPartition PartitionNok(const algebra::PatternGraph& graph);
+
+}  // namespace xmlq::xpath
+
+#endif  // XMLQ_XPATH_NOK_PARTITION_H_

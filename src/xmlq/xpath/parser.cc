@@ -1,0 +1,238 @@
+#include "xmlq/xpath/parser.h"
+
+#include "xmlq/xpath/lexer.h"
+
+namespace xmlq::xpath {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<PredAst>> ParsePredicateList() {
+    std::vector<PredAst> out;
+    XMLQ_RETURN_IF_ERROR(ParseConjunction(&out));
+    if (!AtKind(TokenKind::kEnd)) {
+      return Error("trailing tokens after predicate expression");
+    }
+    return out;
+  }
+
+  Result<PathAst> ParseAbsolutePath() {
+    PathAst path;
+    if (!AtKind(TokenKind::kSlash) && !AtKind(TokenKind::kDoubleSlash)) {
+      return Error("path must start with '/' or '//'");
+    }
+    while (AtKind(TokenKind::kSlash) || AtKind(TokenKind::kDoubleSlash)) {
+      const bool descendant = AtKind(TokenKind::kDoubleSlash);
+      ++pos_;
+      XMLQ_ASSIGN_OR_RETURN(StepAst step, ParseStep(descendant));
+      path.steps.push_back(std::move(step));
+    }
+    if (!AtKind(TokenKind::kEnd)) {
+      return Error("trailing tokens after path expression");
+    }
+    if (path.steps.empty()) return Error("empty path expression");
+    return path;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtKind(TokenKind kind) const { return Peek().kind == kind; }
+
+  Status Error(std::string message) const {
+    return Status::ParseError("xpath offset " +
+                              std::to_string(Peek().offset) + ": " +
+                              std::move(message));
+  }
+
+  Result<StepAst> ParseStep(bool descendant) {
+    StepAst step;
+    step.axis =
+        descendant ? algebra::Axis::kDescendant : algebra::Axis::kChild;
+    if (AtKind(TokenKind::kAxisName)) {
+      if (descendant) {
+        return Error("'//' cannot be combined with an explicit axis");
+      }
+      const std::string& axis = Peek().text;
+      if (axis == "child") {
+        step.axis = algebra::Axis::kChild;
+      } else if (axis == "descendant") {
+        step.axis = algebra::Axis::kDescendant;
+      } else if (axis == "attribute") {
+        step.axis = algebra::Axis::kAttribute;
+        step.is_attribute = true;
+      } else if (axis == "following-sibling") {
+        step.axis = algebra::Axis::kFollowingSibling;
+      } else if (axis == "self") {
+        step.axis = algebra::Axis::kSelf;
+      } else {
+        return Status::Unsupported("axis '" + axis +
+                                   "' is outside the supported subset");
+      }
+      ++pos_;
+    } else if (AtKind(TokenKind::kAt)) {
+      ++pos_;
+      step.is_attribute = true;
+      step.axis = algebra::Axis::kAttribute;
+      if (descendant) {
+        // `//@a` means any attribute named a anywhere; model as
+        // descendant-or-self::*/@a — not in the NoK subset but fine for the
+        // pattern graph: we encode it as a descendant arc to an attribute
+        // vertex, which matchers interpret as "attribute of any descendant".
+        step.axis = algebra::Axis::kDescendant;
+      }
+    }
+    if (AtKind(TokenKind::kName)) {
+      step.name = Peek().text;
+      ++pos_;
+    } else if (AtKind(TokenKind::kStar)) {
+      step.name = "*";
+      ++pos_;
+    } else {
+      return Error("expected a name test, found " +
+                   std::string(TokenKindName(Peek().kind)));
+    }
+    while (AtKind(TokenKind::kLBracket)) {
+      ++pos_;
+      XMLQ_RETURN_IF_ERROR(ParseConjunction(&step.predicates));
+      if (!AtKind(TokenKind::kRBracket)) {
+        return Error("expected ']' to close predicate");
+      }
+      ++pos_;
+    }
+    return step;
+  }
+
+  Status ParseConjunction(std::vector<PredAst>* out) {
+    while (true) {
+      XMLQ_ASSIGN_OR_RETURN(PredAst pred, ParseTerm());
+      out->push_back(std::move(pred));
+      if (AtKind(TokenKind::kAnd)) {
+        ++pos_;
+        continue;
+      }
+      if (AtKind(TokenKind::kOr)) {
+        return Status::Unsupported(
+            "'or' in predicates is outside the supported XPath subset");
+      }
+      return Status::Ok();
+    }
+  }
+
+  Result<PredAst> ParseTerm() {
+    PredAst pred;
+    if (AtKind(TokenKind::kDot)) {
+      ++pos_;
+      if (AtKind(TokenKind::kSlash) || AtKind(TokenKind::kDoubleSlash)) {
+        // `.//path` / `./path`: a relative path from the context node.
+        bool descendant = AtKind(TokenKind::kDoubleSlash);
+        ++pos_;
+        while (true) {
+          XMLQ_ASSIGN_OR_RETURN(StepAst step, ParseStep(descendant));
+          pred.path.push_back(std::move(step));
+          if (AtKind(TokenKind::kSlash)) {
+            descendant = false;
+            ++pos_;
+            continue;
+          }
+          if (AtKind(TokenKind::kDoubleSlash)) {
+            descendant = true;
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        XMLQ_RETURN_IF_ERROR(ParseComparison(&pred, /*required=*/false));
+        return pred;
+      }
+      // Bare `.` must be followed by a comparison.
+      XMLQ_RETURN_IF_ERROR(ParseComparison(&pred, /*required=*/true));
+      return pred;
+    }
+    if (AtKind(TokenKind::kNumber)) {
+      return Status::Unsupported(
+          "positional predicates are outside the supported XPath subset");
+    }
+    // Relative path: step ((/ | //) step)*.
+    bool descendant = false;
+    while (true) {
+      XMLQ_ASSIGN_OR_RETURN(StepAst step, ParseStep(descendant));
+      pred.path.push_back(std::move(step));
+      if (AtKind(TokenKind::kSlash)) {
+        descendant = false;
+        ++pos_;
+        continue;
+      }
+      if (AtKind(TokenKind::kDoubleSlash)) {
+        descendant = true;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    XMLQ_RETURN_IF_ERROR(ParseComparison(&pred, /*required=*/false));
+    return pred;
+  }
+
+  Status ParseComparison(PredAst* pred, bool required) {
+    algebra::CompareOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = algebra::CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = algebra::CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = algebra::CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = algebra::CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = algebra::CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = algebra::CompareOp::kGe;
+        break;
+      default:
+        if (required) return Error("expected a comparison operator");
+        return Status::Ok();  // pure existence predicate
+    }
+    ++pos_;
+    if (AtKind(TokenKind::kString)) {
+      pred->literal = Peek().text;
+      pred->numeric = false;
+    } else if (AtKind(TokenKind::kNumber)) {
+      pred->literal = Peek().text;
+      pred->numeric = true;
+    } else {
+      return Error("expected a string or number literal after comparison");
+    }
+    ++pos_;
+    pred->has_comparison = true;
+    pred->op = op;
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathAst> ParsePath(std::string_view input) {
+  XMLQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseAbsolutePath();
+}
+
+Result<std::vector<PredAst>> ParsePredicateExpression(std::string_view input) {
+  XMLQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParsePredicateList();
+}
+
+}  // namespace xmlq::xpath

@@ -1,0 +1,34 @@
+#ifndef XMLQ_XPATH_PARSER_H_
+#define XMLQ_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "xmlq/base/status.h"
+#include "xmlq/xpath/ast.h"
+
+namespace xmlq::xpath {
+
+/// Parses an absolute path expression over the supported subset:
+///
+///   Path      := ('/' | '//') Step (('/' | '//') Step)*
+///   Step      := '@'? (Name | '*') Predicate*
+///   Predicate := '[' Conj ']'
+///   Conj      := Term ('and' Term)*
+///   Term      := RelPath (CmpOp Literal)?  |  '.' CmpOp Literal
+///   RelPath   := Step (('/' | '//') Step)*
+///   CmpOp     := '=' | '!=' | '<' | '<=' | '>' | '>='
+///
+/// Positional predicates, the `or` connective and reverse axes are outside
+/// the subset and yield kUnsupported, matching the paper's scoping of a
+/// complete-but-safe fragment (§3.1).
+Result<PathAst> ParsePath(std::string_view input);
+
+/// Parses the *inside* of a predicate bracket — `Conj` in the grammar above
+/// (e.g. `author/last = 'Stevens' and @year`), returning the flattened
+/// conjunction. Used by the XQuery front end, whose path steps delegate
+/// their `[...]` bodies to this grammar.
+Result<std::vector<PredAst>> ParsePredicateExpression(std::string_view input);
+
+}  // namespace xmlq::xpath
+
+#endif  // XMLQ_XPATH_PARSER_H_

@@ -1,0 +1,78 @@
+#ifndef XMLQ_XQUERY_AST_H_
+#define XMLQ_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xmlq/algebra/logical_plan.h"
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/xpath/ast.h"
+
+namespace xmlq::xquery {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kStringLiteral,  // str
+  kNumberLiteral,  // number
+  kVarRef,         // str = variable name (without '$')
+  kFunctionCall,   // str = function name, children = arguments
+  kSequence,       // children = comma-separated expressions
+  kBinary,         // binop, children[0..1]
+  kIf,             // children = condition, then, else
+  kFlwor,          // clauses; children = clause exprs + return (last)
+  kPath,           // children[0] = base (null => absolute over default doc),
+                   // steps = location steps
+  kConstructor,    // str = element name, attrs, content
+};
+
+/// One location step of an XQuery path expression. Steps reuse the XPath
+/// front end's representation, so `[...]` predicates (existence branches and
+/// value comparisons) are available in FLWOR paths too.
+using PathStep = xpath::StepAst;
+
+/// for/let/where/order-by clause; `expr_child` indexes into Expr::children.
+struct ClauseAst {
+  enum class Kind : uint8_t { kFor, kLet, kWhere, kOrderBy };
+  Kind kind = Kind::kFor;
+  std::string var;
+  size_t expr_child = 0;
+  bool descending = false;
+};
+
+/// A constructed attribute: literal text or a single `{expr}`
+/// (`expr_child` indexes into Expr::children; kNoChild for literals).
+struct AttrAst {
+  static constexpr size_t kNoChild = SIZE_MAX;
+  std::string name;
+  std::string literal;
+  size_t expr_child = kNoChild;
+};
+
+/// One content item of a direct element constructor: literal text
+/// (expr_child == kNoChild) or an embedded expression / nested constructor.
+struct ContentAst {
+  static constexpr size_t kNoChild = SIZE_MAX;
+  std::string text;
+  size_t expr_child = kNoChild;
+};
+
+struct Expr {
+  explicit Expr(ExprKind kind) : kind(kind) {}
+
+  ExprKind kind;
+  std::string str;
+  double number = 0;
+  algebra::BinaryOp binop = algebra::BinaryOp::kEq;
+  std::vector<ExprPtr> children;
+  std::vector<ClauseAst> clauses;    // kFlwor
+  std::vector<PathStep> steps;       // kPath
+  std::vector<AttrAst> attrs;        // kConstructor
+  std::vector<ContentAst> content;   // kConstructor
+};
+
+}  // namespace xmlq::xquery
+
+#endif  // XMLQ_XQUERY_AST_H_

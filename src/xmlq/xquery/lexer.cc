@@ -1,0 +1,139 @@
+#include "xmlq/xquery/lexer.h"
+
+#include <cctype>
+
+namespace xmlq::xquery {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+}  // namespace
+
+void Scanner::SkipWhitespace() {
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+      continue;
+    }
+    if (c == '(' && Peek(1) == ':') {
+      // XQuery comment, possibly nested.
+      Advance(2);
+      int depth = 1;
+      while (!AtEnd() && depth > 0) {
+        if (Peek() == '(' && Peek(1) == ':') {
+          ++depth;
+          Advance(2);
+        } else if (Peek() == ':' && Peek(1) == ')') {
+          --depth;
+          Advance(2);
+        } else {
+          Advance();
+        }
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+bool Scanner::MatchSymbol(std::string_view literal) {
+  SkipWhitespace();
+  if (input_.substr(pos_, literal.size()) != literal) return false;
+  pos_ += literal.size();
+  return true;
+}
+
+bool Scanner::MatchKeyword(std::string_view keyword) {
+  SkipWhitespace();
+  if (input_.substr(pos_, keyword.size()) != keyword) return false;
+  const size_t after = pos_ + keyword.size();
+  if (after < input_.size() && IsNameChar(input_[after])) return false;
+  pos_ = after;
+  return true;
+}
+
+bool Scanner::PeekKeyword(std::string_view keyword) {
+  const size_t saved = pos_;
+  const bool matched = MatchKeyword(keyword);
+  pos_ = saved;
+  return matched;
+}
+
+Result<std::string> Scanner::ReadName() {
+  SkipWhitespace();
+  if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+  std::string name;
+  while (!AtEnd() && IsNameChar(Peek())) {
+    // A "::" axis separator is not part of the name (single ':' is).
+    if (Peek() == ':' && Peek(1) == ':') break;
+    name.push_back(Peek());
+    Advance();
+  }
+  return name;
+}
+
+Result<std::string> Scanner::ReadStringLiteral() {
+  SkipWhitespace();
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Error("expected a string literal");
+  }
+  const char quote = Peek();
+  Advance();
+  std::string value;
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (c == quote) {
+      if (Peek(1) == quote) {  // doubled-quote escape
+        value.push_back(quote);
+        Advance(2);
+        continue;
+      }
+      Advance();
+      return value;
+    }
+    value.push_back(c);
+    Advance();
+  }
+  return Error("unterminated string literal");
+}
+
+Result<double> Scanner::ReadNumber() {
+  SkipWhitespace();
+  if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+    return Error("expected a number");
+  }
+  std::string digits;
+  while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '.')) {
+    digits.push_back(Peek());
+    Advance();
+  }
+  char* end = nullptr;
+  const double value = std::strtod(digits.c_str(), &end);
+  if (end != digits.c_str() + digits.size()) {
+    return Error("malformed number '" + digits + "'");
+  }
+  return value;
+}
+
+bool Scanner::AtNameStart() const { return !AtEnd() && IsNameStart(Peek()); }
+
+bool Scanner::AtDigit() const {
+  return !AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()));
+}
+
+Status Scanner::Error(std::string message) const {
+  return Status::ParseError("xquery offset " + std::to_string(pos_) + ": " +
+                            std::move(message));
+}
+
+}  // namespace xmlq::xquery

@@ -1,0 +1,58 @@
+#ifndef XMLQ_XQUERY_LEXER_H_
+#define XMLQ_XQUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xmlq/base/status.h"
+
+namespace xmlq::xquery {
+
+/// Character-level scanner for the XQuery parser. XQuery's grammar is
+/// context-sensitive ('<' starts a constructor in expression position but is
+/// a comparison elsewhere; constructor content has its own lexical rules),
+/// so the parser drives a raw cursor instead of a flat token stream.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view input) : input_(input) {}
+
+  size_t pos() const { return pos_; }
+  void set_pos(size_t pos) { pos_ = pos; }
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  void Advance(size_t n = 1) { pos_ += n; }
+
+  /// Skips whitespace and `(: ... :)` comments (nested).
+  void SkipWhitespace();
+
+  /// After skipping whitespace, consumes `literal` if present (no word
+  /// boundary check — use MatchKeyword for identifiers).
+  bool MatchSymbol(std::string_view literal);
+  /// Like MatchSymbol but requires a non-name character after the keyword.
+  bool MatchKeyword(std::string_view keyword);
+  /// Peeks whether `keyword` is next (without consuming).
+  bool PeekKeyword(std::string_view keyword);
+
+  /// Reads an NCName; errors if none present.
+  Result<std::string> ReadName();
+  /// Reads a quoted string literal ('...' or "...", doubled-quote escape).
+  Result<std::string> ReadStringLiteral();
+  /// Reads a number (digits with optional fraction).
+  Result<double> ReadNumber();
+
+  bool AtNameStart() const;
+  bool AtDigit() const;
+
+  /// Parse error annotated with the current offset.
+  Status Error(std::string message) const;
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xmlq::xquery
+
+#endif  // XMLQ_XQUERY_LEXER_H_

@@ -1,0 +1,621 @@
+#include "xmlq/xquery/parser.h"
+
+#include "xmlq/base/strings.h"
+#include "xmlq/xpath/parser.h"
+#include "xmlq/xquery/lexer.h"
+
+namespace xmlq::xquery {
+
+namespace {
+
+using algebra::Axis;
+using algebra::BinaryOp;
+
+/// Decodes the five predefined entities in constructor text.
+std::string DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size();) {
+    if (text[i] == '&') {
+      if (text.substr(i, 4) == "&lt;") {
+        out.push_back('<');
+        i += 4;
+        continue;
+      }
+      if (text.substr(i, 4) == "&gt;") {
+        out.push_back('>');
+        i += 4;
+        continue;
+      }
+      if (text.substr(i, 5) == "&amp;") {
+        out.push_back('&');
+        i += 5;
+        continue;
+      }
+      if (text.substr(i, 6) == "&apos;") {
+        out.push_back('\'');
+        i += 6;
+        continue;
+      }
+      if (text.substr(i, 6) == "&quot;") {
+        out.push_back('"');
+        i += 6;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+    ++i;
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : scan_(input) {}
+
+  Result<ExprPtr> Parse() {
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    scan_.SkipWhitespace();
+    if (!scan_.AtEnd()) {
+      return scan_.Error("trailing input after query");
+    }
+    return expr;
+  }
+
+ private:
+  // Expr := ExprSingle ("," ExprSingle)*
+  Result<ExprPtr> ParseExpr() {
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr first, ParseExprSingle());
+    if (!scan_.MatchSymbol(",")) return first;
+    auto seq = std::make_unique<Expr>(ExprKind::kSequence);
+    seq->children.push_back(std::move(first));
+    do {
+      XMLQ_ASSIGN_OR_RETURN(ExprPtr next, ParseExprSingle());
+      seq->children.push_back(std::move(next));
+    } while (scan_.MatchSymbol(","));
+    return seq;
+  }
+
+  Result<ExprPtr> ParseExprSingle() {
+    scan_.SkipWhitespace();
+    if (scan_.PeekKeyword("for") || scan_.PeekKeyword("let")) {
+      return ParseFlwor();
+    }
+    if (scan_.PeekKeyword("if")) {
+      // Distinguish `if (...)` from a hypothetical path starting with "if".
+      const size_t saved = scan_.pos();
+      scan_.MatchKeyword("if");
+      scan_.SkipWhitespace();
+      if (scan_.Peek() == '(') {
+        return ParseIf();
+      }
+      scan_.set_pos(saved);
+    }
+    if (scan_.PeekKeyword("declare")) {
+      return Status::Unsupported(
+          "user-defined functions/declarations are outside the subset "
+          "(recursive functions would make the algebra unsafe, paper §3.1)");
+    }
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseFlwor() {
+    auto flwor = std::make_unique<Expr>(ExprKind::kFlwor);
+    bool saw_binding = false;
+    while (true) {
+      if (scan_.MatchKeyword("for")) {
+        do {
+          if (!scan_.MatchSymbol("$")) {
+            return scan_.Error("expected '$variable' after 'for'");
+          }
+          XMLQ_ASSIGN_OR_RETURN(std::string var, scan_.ReadName());
+          if (!scan_.MatchKeyword("in")) {
+            return scan_.Error("expected 'in' in for clause");
+          }
+          XMLQ_ASSIGN_OR_RETURN(ExprPtr expr, ParseExprSingle());
+          ClauseAst clause;
+          clause.kind = ClauseAst::Kind::kFor;
+          clause.var = std::move(var);
+          clause.expr_child = flwor->children.size();
+          flwor->children.push_back(std::move(expr));
+          flwor->clauses.push_back(std::move(clause));
+        } while (scan_.MatchSymbol(","));
+        saw_binding = true;
+        continue;
+      }
+      if (scan_.MatchKeyword("let")) {
+        do {
+          if (!scan_.MatchSymbol("$")) {
+            return scan_.Error("expected '$variable' after 'let'");
+          }
+          XMLQ_ASSIGN_OR_RETURN(std::string var, scan_.ReadName());
+          if (!scan_.MatchSymbol(":=")) {
+            return scan_.Error("expected ':=' in let clause");
+          }
+          XMLQ_ASSIGN_OR_RETURN(ExprPtr expr, ParseExprSingle());
+          ClauseAst clause;
+          clause.kind = ClauseAst::Kind::kLet;
+          clause.var = std::move(var);
+          clause.expr_child = flwor->children.size();
+          flwor->children.push_back(std::move(expr));
+          flwor->clauses.push_back(std::move(clause));
+        } while (scan_.MatchSymbol(","));
+        saw_binding = true;
+        continue;
+      }
+      break;
+    }
+    if (!saw_binding) {
+      return scan_.Error("FLWOR expression without for/let bindings");
+    }
+    if (scan_.MatchKeyword("where")) {
+      XMLQ_ASSIGN_OR_RETURN(ExprPtr expr, ParseExprSingle());
+      ClauseAst clause;
+      clause.kind = ClauseAst::Kind::kWhere;
+      clause.expr_child = flwor->children.size();
+      flwor->children.push_back(std::move(expr));
+      flwor->clauses.push_back(std::move(clause));
+    }
+    if (scan_.MatchKeyword("order")) {
+      if (!scan_.MatchKeyword("by")) {
+        return scan_.Error("expected 'by' after 'order'");
+      }
+      do {
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr expr, ParseExprSingle());
+        ClauseAst clause;
+        clause.kind = ClauseAst::Kind::kOrderBy;
+        clause.expr_child = flwor->children.size();
+        if (scan_.MatchKeyword("descending")) {
+          clause.descending = true;
+        } else {
+          scan_.MatchKeyword("ascending");
+        }
+        flwor->children.push_back(std::move(expr));
+        flwor->clauses.push_back(std::move(clause));
+      } while (scan_.MatchSymbol(","));
+    }
+    if (!scan_.MatchKeyword("return")) {
+      return scan_.Error("expected 'return' in FLWOR expression");
+    }
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr ret, ParseExprSingle());
+    flwor->children.push_back(std::move(ret));
+    return flwor;
+  }
+
+  Result<ExprPtr> ParseIf() {
+    if (!scan_.MatchSymbol("(")) return scan_.Error("expected '(' after 'if'");
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    if (!scan_.MatchSymbol(")")) return scan_.Error("expected ')'");
+    if (!scan_.MatchKeyword("then")) return scan_.Error("expected 'then'");
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr then_expr, ParseExprSingle());
+    if (!scan_.MatchKeyword("else")) return scan_.Error("expected 'else'");
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr else_expr, ParseExprSingle());
+    auto expr = std::make_unique<Expr>(ExprKind::kIf);
+    expr->children.push_back(std::move(cond));
+    expr->children.push_back(std::move(then_expr));
+    expr->children.push_back(std::move(else_expr));
+    return expr;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (scan_.MatchKeyword("or")) {
+      XMLQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (scan_.MatchKeyword("and")) {
+      XMLQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    BinaryOp op;
+    if (scan_.MatchSymbol("!=")) {
+      op = BinaryOp::kNe;
+    } else if (scan_.MatchSymbol("<=")) {
+      op = BinaryOp::kLe;
+    } else if (scan_.MatchSymbol(">=")) {
+      op = BinaryOp::kGe;
+    } else if (scan_.MatchSymbol("=")) {
+      op = BinaryOp::kEq;
+    } else if (scan_.MatchSymbol("<")) {
+      op = BinaryOp::kLt;
+    } else if (scan_.MatchSymbol(">")) {
+      op = BinaryOp::kGt;
+    } else if (scan_.MatchKeyword("eq")) {
+      op = BinaryOp::kEq;
+    } else if (scan_.MatchKeyword("ne")) {
+      op = BinaryOp::kNe;
+    } else if (scan_.MatchKeyword("lt")) {
+      op = BinaryOp::kLt;
+    } else if (scan_.MatchKeyword("le")) {
+      op = BinaryOp::kLe;
+    } else if (scan_.MatchKeyword("gt")) {
+      op = BinaryOp::kGt;
+    } else if (scan_.MatchKeyword("ge")) {
+      op = BinaryOp::kGe;
+    } else {
+      return lhs;
+    }
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (scan_.MatchSymbol("+")) {
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (scan_.MatchSymbol("-")) {
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    XMLQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (scan_.MatchSymbol("*")) {
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (scan_.MatchKeyword("div")) {
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else if (scan_.MatchKeyword("mod")) {
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kMod, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (scan_.MatchSymbol("-")) {
+      XMLQ_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      auto zero = std::make_unique<Expr>(ExprKind::kNumberLiteral);
+      zero->number = 0;
+      return MakeBinary(BinaryOp::kSub, std::move(zero), std::move(operand));
+    }
+    return ParsePath();
+  }
+
+  Result<ExprPtr> ParsePath() {
+    scan_.SkipWhitespace();
+    ExprPtr base;
+    bool leading_descendant = false;
+    bool absolute = false;
+    if (scan_.Peek() == '/') {
+      absolute = true;
+      if (scan_.MatchSymbol("//")) {
+        leading_descendant = true;
+      } else {
+        scan_.MatchSymbol("/");
+      }
+    } else {
+      XMLQ_ASSIGN_OR_RETURN(base, ParsePrimary());
+      if (scan_.SkipWhitespace(), scan_.Peek() != '/') return base;
+    }
+    auto path = std::make_unique<Expr>(ExprKind::kPath);
+    if (base != nullptr) path->children.push_back(std::move(base));
+    if (absolute) {
+      XMLQ_ASSIGN_OR_RETURN(PathStep step,
+                            ParseStep(leading_descendant));
+      path->steps.push_back(std::move(step));
+    }
+    while (true) {
+      scan_.SkipWhitespace();
+      bool descendant;
+      if (scan_.MatchSymbol("//")) {
+        descendant = true;
+      } else if (scan_.MatchSymbol("/")) {
+        descendant = false;
+      } else {
+        break;
+      }
+      XMLQ_ASSIGN_OR_RETURN(PathStep step, ParseStep(descendant));
+      path->steps.push_back(std::move(step));
+    }
+    if (path->steps.empty()) {
+      return scan_.Error("path expression without steps");
+    }
+    return path;
+  }
+
+  Result<PathStep> ParseStep(bool descendant) {
+    scan_.SkipWhitespace();
+    PathStep step;
+    step.axis = descendant ? Axis::kDescendant : Axis::kChild;
+    if (scan_.MatchSymbol("@")) {
+      step.is_attribute = true;
+      if (!descendant) step.axis = Axis::kAttribute;
+    }
+    if (scan_.MatchSymbol("*")) {
+      step.name = "*";
+    } else {
+      XMLQ_ASSIGN_OR_RETURN(step.name, scan_.ReadName());
+      if (scan_.MatchSymbol("::")) {
+        // The name was an explicit axis; the real name test follows.
+        if (descendant || step.is_attribute) {
+          return scan_.Error("'//' or '@' cannot combine with an axis");
+        }
+        if (step.name == "child") {
+          step.axis = Axis::kChild;
+        } else if (step.name == "descendant") {
+          step.axis = Axis::kDescendant;
+        } else if (step.name == "attribute") {
+          step.axis = Axis::kAttribute;
+          step.is_attribute = true;
+        } else if (step.name == "following-sibling") {
+          step.axis = Axis::kFollowingSibling;
+        } else if (step.name == "self") {
+          step.axis = Axis::kSelf;
+        } else {
+          return Status::Unsupported("axis '" + step.name +
+                                     "' is outside the supported subset");
+        }
+        if (scan_.MatchSymbol("*")) {
+          step.name = "*";
+        } else {
+          XMLQ_ASSIGN_OR_RETURN(step.name, scan_.ReadName());
+        }
+      }
+    }
+    // `[...]` predicates delegate to the XPath predicate grammar.
+    while (true) {
+      scan_.SkipWhitespace();
+      if (scan_.Peek() != '[') break;
+      XMLQ_ASSIGN_OR_RETURN(std::string body, ReadBracketBody());
+      XMLQ_ASSIGN_OR_RETURN(std::vector<xpath::PredAst> preds,
+                            xpath::ParsePredicateExpression(body));
+      for (xpath::PredAst& pred : preds) {
+        step.predicates.push_back(std::move(pred));
+      }
+    }
+    return step;
+  }
+
+  /// Consumes a balanced `[...]` (honouring nested brackets and quoted
+  /// strings) and returns the body text.
+  Result<std::string> ReadBracketBody() {
+    scan_.Advance();  // '['
+    std::string body;
+    int depth = 1;
+    while (!scan_.AtEnd()) {
+      const char c = scan_.Peek();
+      if (c == '\'' || c == '"') {
+        const char quote = c;
+        body.push_back(c);
+        scan_.Advance();
+        while (!scan_.AtEnd() && scan_.Peek() != quote) {
+          body.push_back(scan_.Peek());
+          scan_.Advance();
+        }
+        if (scan_.AtEnd()) return scan_.Error("unterminated string literal");
+        body.push_back(quote);
+        scan_.Advance();
+        continue;
+      }
+      if (c == '[') ++depth;
+      if (c == ']') {
+        --depth;
+        if (depth == 0) {
+          scan_.Advance();
+          return body;
+        }
+      }
+      body.push_back(c);
+      scan_.Advance();
+    }
+    return scan_.Error("unterminated '[' predicate");
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    scan_.SkipWhitespace();
+    const char c = scan_.Peek();
+    if (c == '$') {
+      scan_.Advance();
+      XMLQ_ASSIGN_OR_RETURN(std::string name, scan_.ReadName());
+      auto expr = std::make_unique<Expr>(ExprKind::kVarRef);
+      expr->str = std::move(name);
+      return expr;
+    }
+    if (c == '(') {
+      scan_.Advance();
+      scan_.SkipWhitespace();
+      if (scan_.MatchSymbol(")")) {
+        return std::make_unique<Expr>(ExprKind::kSequence);  // empty ()
+      }
+      XMLQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      if (!scan_.MatchSymbol(")")) return scan_.Error("expected ')'");
+      return inner;
+    }
+    if (c == '"' || c == '\'') {
+      XMLQ_ASSIGN_OR_RETURN(std::string value, scan_.ReadStringLiteral());
+      auto expr = std::make_unique<Expr>(ExprKind::kStringLiteral);
+      expr->str = std::move(value);
+      return expr;
+    }
+    if (scan_.AtDigit()) {
+      XMLQ_ASSIGN_OR_RETURN(double value, scan_.ReadNumber());
+      auto expr = std::make_unique<Expr>(ExprKind::kNumberLiteral);
+      expr->number = value;
+      return expr;
+    }
+    if (c == '<') {
+      return ParseConstructor();
+    }
+    if (scan_.AtNameStart()) {
+      XMLQ_ASSIGN_OR_RETURN(std::string name, scan_.ReadName());
+      scan_.SkipWhitespace();
+      if (scan_.Peek() == '(') {
+        scan_.Advance();
+        auto call = std::make_unique<Expr>(ExprKind::kFunctionCall);
+        call->str = std::move(name);
+        scan_.SkipWhitespace();
+        if (!scan_.MatchSymbol(")")) {
+          do {
+            XMLQ_ASSIGN_OR_RETURN(ExprPtr arg, ParseExprSingle());
+            call->children.push_back(std::move(arg));
+          } while (scan_.MatchSymbol(","));
+          if (!scan_.MatchSymbol(")")) {
+            return scan_.Error("expected ')' after function arguments");
+          }
+        }
+        return call;
+      }
+      return scan_.Error(
+          "relative path '" + name +
+          "' has no context item; start from a $variable or doc(...)");
+    }
+    return scan_.Error("expected an expression");
+  }
+
+  Result<ExprPtr> ParseConstructor() {
+    // positioned at '<'
+    scan_.Advance();
+    XMLQ_ASSIGN_OR_RETURN(std::string name, scan_.ReadName());
+    auto ctor = std::make_unique<Expr>(ExprKind::kConstructor);
+    ctor->str = std::move(name);
+    // Attributes.
+    while (true) {
+      scan_.SkipWhitespace();
+      if (scan_.Peek() == '/' || scan_.Peek() == '>') break;
+      XMLQ_ASSIGN_OR_RETURN(std::string attr_name, scan_.ReadName());
+      if (!scan_.MatchSymbol("=")) {
+        return scan_.Error("expected '=' after attribute name");
+      }
+      scan_.SkipWhitespace();
+      const char quote = scan_.Peek();
+      if (quote != '"' && quote != '\'') {
+        return scan_.Error("expected quoted attribute value");
+      }
+      scan_.Advance();
+      AttrAst attr;
+      attr.name = std::move(attr_name);
+      scan_.SkipWhitespace();
+      if (scan_.Peek() == '{') {
+        scan_.Advance();
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        if (!scan_.MatchSymbol("}")) return scan_.Error("expected '}'");
+        attr.expr_child = ctor->children.size();
+        ctor->children.push_back(std::move(expr));
+        scan_.SkipWhitespace();
+        if (scan_.Peek() != quote) {
+          return scan_.Error(
+              "attribute values must be a literal or a single {expr}");
+        }
+        scan_.Advance();
+      } else {
+        std::string value;
+        while (!scan_.AtEnd() && scan_.Peek() != quote) {
+          if (scan_.Peek() == '{' || scan_.Peek() == '}') {
+            return scan_.Error(
+                "attribute values must be a literal or a single {expr}");
+          }
+          value.push_back(scan_.Peek());
+          scan_.Advance();
+        }
+        if (scan_.AtEnd()) return scan_.Error("unterminated attribute value");
+        scan_.Advance();
+        attr.literal = DecodeEntities(value);
+      }
+      ctor->attrs.push_back(std::move(attr));
+    }
+    if (scan_.MatchSymbol("/>")) return ctor;
+    if (!scan_.MatchSymbol(">")) return scan_.Error("expected '>'");
+
+    // Direct content: raw text, {expr}, nested constructors.
+    std::string text;
+    auto flush_text = [&]() {
+      if (!IsAllWhitespace(text)) {
+        ContentAst item;
+        item.text = DecodeEntities(text);
+        ctor->content.push_back(std::move(item));
+      }
+      text.clear();
+    };
+    while (true) {
+      if (scan_.AtEnd()) return scan_.Error("unterminated element constructor");
+      const char ch = scan_.Peek();
+      if (ch == '{') {
+        if (scan_.Peek(1) == '{') {  // escaped brace
+          text.push_back('{');
+          scan_.Advance(2);
+          continue;
+        }
+        flush_text();
+        scan_.Advance();
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        if (!scan_.MatchSymbol("}")) return scan_.Error("expected '}'");
+        ContentAst item;
+        item.expr_child = ctor->children.size();
+        ctor->children.push_back(std::move(expr));
+        ctor->content.push_back(std::move(item));
+        continue;
+      }
+      if (ch == '}') {
+        if (scan_.Peek(1) == '}') {
+          text.push_back('}');
+          scan_.Advance(2);
+          continue;
+        }
+        return scan_.Error("unescaped '}' in constructor content");
+      }
+      if (ch == '<') {
+        if (scan_.Peek(1) == '/') {
+          flush_text();
+          scan_.Advance(2);
+          XMLQ_ASSIGN_OR_RETURN(std::string end_name, scan_.ReadName());
+          if (end_name != ctor->str) {
+            return scan_.Error("mismatched end tag </" + end_name +
+                               ">, expected </" + ctor->str + ">");
+          }
+          scan_.SkipWhitespace();
+          if (!scan_.MatchSymbol(">")) return scan_.Error("expected '>'");
+          return ctor;
+        }
+        flush_text();
+        XMLQ_ASSIGN_OR_RETURN(ExprPtr nested, ParseConstructor());
+        ContentAst item;
+        item.expr_child = ctor->children.size();
+        ctor->children.push_back(std::move(nested));
+        ctor->content.push_back(std::move(item));
+        continue;
+      }
+      text.push_back(ch);
+      scan_.Advance();
+    }
+  }
+
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto expr = std::make_unique<Expr>(ExprKind::kBinary);
+    expr->binop = op;
+    expr->children.push_back(std::move(lhs));
+    expr->children.push_back(std::move(rhs));
+    return expr;
+  }
+
+  Scanner scan_;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseQuery(std::string_view input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+}  // namespace xmlq::xquery

@@ -1,0 +1,32 @@
+#ifndef XMLQ_XQUERY_PARSER_H_
+#define XMLQ_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "xmlq/base/status.h"
+#include "xmlq/xquery/ast.h"
+
+namespace xmlq::xquery {
+
+/// Parses the supported XQuery subset (paper §3.1: the complete-but-safe
+/// fragment — FLWOR without recursive functions):
+///
+///   * FLWOR expressions: for / let (interleaved), where, order by
+///     (ascending/descending), return;
+///   * direct element constructors with attribute and content `{expr}`
+///     placeholders, arbitrarily nested;
+///   * path expressions: doc("name")/a/b//c/@d and $var/a//b (no predicates
+///     inside FLWOR paths — use where clauses; the standalone XPath API
+///     supports predicates);
+///   * if/then/else, and/or, general comparisons (=, !=, <, <=, >, >= and
+///     eq/ne/lt/le/gt/ge), arithmetic (+, -, *, div, mod), string and
+///     number literals, parenthesized sequences, function calls;
+///   * `(: comments :)`.
+///
+/// User-defined (and therefore recursive) functions are intentionally
+/// outside the subset and produce kUnsupported.
+Result<ExprPtr> ParseQuery(std::string_view input);
+
+}  // namespace xmlq::xquery
+
+#endif  // XMLQ_XQUERY_PARSER_H_

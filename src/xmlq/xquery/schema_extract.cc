@@ -1,0 +1,191 @@
+#include "xmlq/xquery/schema_extract.h"
+
+#include "xmlq/base/strings.h"
+
+namespace xmlq::xquery {
+
+namespace {
+
+using algebra::SchemaAttr;
+using algebra::SchemaNode;
+using algebra::SchemaNodeKind;
+
+void Render(const Expr& expr, std::string* out);
+
+void RenderPathSteps(const Expr& expr, std::string* out) {
+  for (const PathStep& step : expr.steps) {
+    out->append(step.axis == algebra::Axis::kDescendant ? "//" : "/");
+    if (step.is_attribute) out->push_back('@');
+    out->append(step.name);
+  }
+}
+
+void Render(const Expr& expr, std::string* out) {
+  switch (expr.kind) {
+    case ExprKind::kStringLiteral:
+      out->append("\"" + expr.str + "\"");
+      return;
+    case ExprKind::kNumberLiteral:
+      out->append(FormatNumber(expr.number));
+      return;
+    case ExprKind::kVarRef:
+      out->append("$" + expr.str);
+      return;
+    case ExprKind::kFunctionCall: {
+      out->append(expr.str + "(");
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        if (i > 0) out->append(", ");
+        Render(*expr.children[i], out);
+      }
+      out->append(")");
+      return;
+    }
+    case ExprKind::kSequence: {
+      out->append("(");
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        if (i > 0) out->append(", ");
+        Render(*expr.children[i], out);
+      }
+      out->append(")");
+      return;
+    }
+    case ExprKind::kBinary:
+      Render(*expr.children[0], out);
+      out->append(" ");
+      out->append(algebra::BinaryOpName(expr.binop));
+      out->append(" ");
+      Render(*expr.children[1], out);
+      return;
+    case ExprKind::kIf:
+      out->append("if (");
+      Render(*expr.children[0], out);
+      out->append(") then ... else ...");
+      return;
+    case ExprKind::kFlwor: {
+      bool first = true;
+      for (const ClauseAst& clause : expr.clauses) {
+        if (!first) out->append(", ");
+        first = false;
+        switch (clause.kind) {
+          case ClauseAst::Kind::kFor:
+            out->append("$" + clause.var + " <- ");
+            Render(*expr.children[clause.expr_child], out);
+            break;
+          case ClauseAst::Kind::kLet:
+            out->append("$" + clause.var + " := ");
+            Render(*expr.children[clause.expr_child], out);
+            break;
+          case ClauseAst::Kind::kWhere:
+            out->append("where ");
+            Render(*expr.children[clause.expr_child], out);
+            break;
+          case ClauseAst::Kind::kOrderBy:
+            out->append("order by ");
+            Render(*expr.children[clause.expr_child], out);
+            break;
+        }
+      }
+      return;
+    }
+    case ExprKind::kPath:
+      if (!expr.children.empty()) Render(*expr.children[0], out);
+      RenderPathSteps(expr, out);
+      return;
+    case ExprKind::kConstructor:
+      out->append("<" + expr.str + ">...</" + expr.str + ">");
+      return;
+  }
+}
+
+class Extractor {
+ public:
+  Result<SchemaNode> Extract(const Expr& expr, algebra::ExprSlot iterate) {
+    switch (expr.kind) {
+      case ExprKind::kConstructor: {
+        SchemaNode node;
+        node.kind = SchemaNodeKind::kElement;
+        node.label = expr.str;
+        node.iterate = iterate;
+        for (const AttrAst& attr : expr.attrs) {
+          SchemaAttr out;
+          out.name = attr.name;
+          if (attr.expr_child == AttrAst::kNoChild) {
+            out.literal = attr.literal;
+          } else {
+            out.expr = NewSlot(*expr.children[attr.expr_child]);
+          }
+          node.attrs.push_back(std::move(out));
+        }
+        for (const ContentAst& item : expr.content) {
+          if (item.expr_child == ContentAst::kNoChild) {
+            SchemaNode text;
+            text.kind = SchemaNodeKind::kText;
+            text.literal = item.text;
+            node.children.push_back(std::move(text));
+            continue;
+          }
+          XMLQ_ASSIGN_OR_RETURN(
+              SchemaNode child,
+              Extract(*expr.children[item.expr_child], algebra::kNoExpr));
+          node.children.push_back(std::move(child));
+        }
+        return node;
+      }
+      case ExprKind::kFlwor: {
+        // The comprehension ϕ labels the arc above the return template
+        // (paper Fig. 1(b)): record the binding clauses as the iterate slot.
+        const algebra::ExprSlot phi = NewSlot(expr);
+        return Extract(*expr.children.back(), phi);
+      }
+      case ExprKind::kIf: {
+        SchemaNode node;
+        node.kind = SchemaNodeKind::kIf;
+        node.iterate = iterate;
+        node.expr = NewSlot(*expr.children[0]);
+        XMLQ_ASSIGN_OR_RETURN(SchemaNode then_node,
+                              Extract(*expr.children[1], algebra::kNoExpr));
+        node.children.push_back(std::move(then_node));
+        return node;
+      }
+      default: {
+        SchemaNode node;
+        node.kind = SchemaNodeKind::kPlaceholder;
+        node.iterate = iterate;
+        node.expr = NewSlot(expr);
+        return node;
+      }
+    }
+  }
+
+  std::vector<std::string> TakeDescriptions() { return std::move(descriptions_); }
+
+ private:
+  algebra::ExprSlot NewSlot(const Expr& expr) {
+    std::string text;
+    Render(expr, &text);
+    descriptions_.push_back(std::move(text));
+    return static_cast<algebra::ExprSlot>(descriptions_.size()) - 1;
+  }
+
+  std::vector<std::string> descriptions_;
+};
+
+}  // namespace
+
+std::string RenderExpr(const Expr& expr) {
+  std::string out;
+  Render(expr, &out);
+  return out;
+}
+
+Result<ExtractedSchema> ExtractSchemaTree(const Expr& query) {
+  Extractor extractor;
+  XMLQ_ASSIGN_OR_RETURN(SchemaNode root,
+                        extractor.Extract(query, algebra::kNoExpr));
+  ExtractedSchema out;
+  out.tree = algebra::SchemaTree(std::move(root));
+  out.slot_descriptions = extractor.TakeDescriptions();
+  return out;
+}
+
+}  // namespace xmlq::xquery

@@ -1,0 +1,33 @@
+#ifndef XMLQ_XQUERY_SCHEMA_EXTRACT_H_
+#define XMLQ_XQUERY_SCHEMA_EXTRACT_H_
+
+#include <string>
+#include <vector>
+
+#include "xmlq/algebra/schema_tree.h"
+#include "xmlq/base/status.h"
+#include "xmlq/xquery/ast.h"
+
+namespace xmlq::xquery {
+
+/// The output template of a query plus human-readable descriptions of the
+/// expressions referenced by its placeholder/iteration slots.
+struct ExtractedSchema {
+  algebra::SchemaTree tree;
+  std::vector<std::string> slot_descriptions;
+};
+
+/// Extracts the SchemaTree (output template) of a query, reproducing the
+/// paper's Fig. 1(b): constructor elements become labeled nodes, `{expr}`
+/// placeholders become `{ }` leaves, and a FLWOR embedded in content labels
+/// the arc above its return template with the comprehension ϕ (the iterate
+/// slot). The paper's planned "backward analysis" starts from this tree.
+Result<ExtractedSchema> ExtractSchemaTree(const Expr& query);
+
+/// Renders an AST expression on one line (used for slot descriptions and
+/// diagnostics), e.g. `for $b in doc("bib.xml")/bib/book return ...`.
+std::string RenderExpr(const Expr& expr);
+
+}  // namespace xmlq::xquery
+
+#endif  // XMLQ_XQUERY_SCHEMA_EXTRACT_H_

@@ -1,0 +1,203 @@
+#include "xmlq/xquery/translate.h"
+
+#include "xmlq/algebra/rewrite.h"
+#include "xmlq/algebra/schema_tree.h"
+#include "xmlq/xpath/compiler.h"
+#include "xmlq/xquery/parser.h"
+
+namespace xmlq::xquery {
+
+namespace {
+
+using algebra::FlworClause;
+using algebra::Item;
+using algebra::LogicalExpr;
+using algebra::LogicalExprPtr;
+using algebra::LogicalOp;
+using algebra::SchemaAttr;
+using algebra::SchemaNode;
+using algebra::SchemaNodeKind;
+
+class Translator {
+ public:
+  explicit Translator(const TranslateOptions& options) : options_(options) {}
+
+  Result<LogicalExprPtr> Translate(const Expr& ast) {
+    switch (ast.kind) {
+      case ExprKind::kStringLiteral:
+        return algebra::MakeLiteral(Item(ast.str));
+      case ExprKind::kNumberLiteral:
+        return algebra::MakeLiteral(Item(ast.number));
+      case ExprKind::kVarRef:
+        return algebra::MakeVarRef(ast.str);
+      case ExprKind::kFunctionCall: {
+        std::vector<LogicalExprPtr> args;
+        for (const ExprPtr& child : ast.children) {
+          XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr arg, Translate(*child));
+          args.push_back(std::move(arg));
+        }
+        return algebra::MakeFunction(ast.str, std::move(args));
+      }
+      case ExprKind::kSequence: {
+        auto seq = std::make_unique<LogicalExpr>(LogicalOp::kSequence);
+        for (const ExprPtr& child : ast.children) {
+          XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr c, Translate(*child));
+          seq->children.push_back(std::move(c));
+        }
+        return seq;
+      }
+      case ExprKind::kBinary: {
+        XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr lhs, Translate(*ast.children[0]));
+        XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr rhs, Translate(*ast.children[1]));
+        return algebra::MakeBinary(ast.binop, std::move(lhs), std::move(rhs));
+      }
+      case ExprKind::kIf: {
+        // `if` is lazily evaluated by the executor's function dispatch.
+        std::vector<LogicalExprPtr> args;
+        for (const ExprPtr& child : ast.children) {
+          XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr arg, Translate(*child));
+          args.push_back(std::move(arg));
+        }
+        return algebra::MakeFunction("if", std::move(args));
+      }
+      case ExprKind::kFlwor:
+        return TranslateFlwor(ast);
+      case ExprKind::kPath:
+        return TranslatePath(ast);
+      case ExprKind::kConstructor:
+        return TranslateConstructor(ast);
+    }
+    return Status::Internal("unknown XQuery AST node");
+  }
+
+ private:
+  Result<LogicalExprPtr> TranslateFlwor(const Expr& ast) {
+    auto flwor = std::make_unique<LogicalExpr>(LogicalOp::kFlwor);
+    for (const ExprPtr& child : ast.children) {
+      XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr c, Translate(*child));
+      flwor->children.push_back(std::move(c));
+    }
+    for (const ClauseAst& clause : ast.clauses) {
+      FlworClause out;
+      switch (clause.kind) {
+        case ClauseAst::Kind::kFor:
+          out.kind = FlworClause::Kind::kFor;
+          break;
+        case ClauseAst::Kind::kLet:
+          out.kind = FlworClause::Kind::kLet;
+          break;
+        case ClauseAst::Kind::kWhere:
+          out.kind = FlworClause::Kind::kWhere;
+          break;
+        case ClauseAst::Kind::kOrderBy:
+          out.kind = FlworClause::Kind::kOrderBy;
+          break;
+      }
+      out.var = clause.var;
+      out.expr_child = clause.expr_child;
+      out.descending = clause.descending;
+      flwor->clauses.push_back(std::move(out));
+    }
+    return flwor;
+  }
+
+  Result<LogicalExprPtr> TranslatePath(const Expr& ast) {
+    LogicalExprPtr plan;
+    if (!ast.children.empty()) {
+      XMLQ_ASSIGN_OR_RETURN(plan, Translate(*ast.children[0]));
+    } else {
+      plan = algebra::MakeDocScan(options_.default_document);
+    }
+    for (const PathStep& step : ast.steps) {
+      plan = algebra::MakeNavigate(std::move(plan), step.axis, step.name,
+                                   step.is_attribute);
+      if (!step.predicates.empty()) {
+        // A self-anchored filter twig; the rewriter grafts it into the τ
+        // pattern when the chain is rooted at a document scan.
+        algebra::PatternGraph filter;
+        XMLQ_RETURN_IF_ERROR(xpath::AppendPredicates(&filter, filter.root(),
+                                                     step.predicates));
+        plan = algebra::MakePatternFilter(std::move(plan), std::move(filter));
+      }
+    }
+    return plan;
+  }
+
+  Result<LogicalExprPtr> TranslateConstructor(const Expr& ast) {
+    auto construct = std::make_unique<LogicalExpr>(LogicalOp::kConstruct);
+    XMLQ_ASSIGN_OR_RETURN(SchemaNode root,
+                          BuildSchemaNode(ast, construct.get()));
+    construct->schema =
+        std::make_unique<algebra::SchemaTree>(std::move(root));
+    return construct;
+  }
+
+  /// Builds the schema-tree node for a constructor, inlining nested
+  /// constructors and appending placeholder expressions as children of
+  /// `construct` (their index is the placeholder slot).
+  Result<SchemaNode> BuildSchemaNode(const Expr& ast,
+                                     LogicalExpr* construct) {
+    SchemaNode node;
+    node.kind = SchemaNodeKind::kElement;
+    node.label = ast.str;
+    for (const AttrAst& attr : ast.attrs) {
+      SchemaAttr out;
+      out.name = attr.name;
+      if (attr.expr_child == AttrAst::kNoChild) {
+        out.literal = attr.literal;
+      } else {
+        XMLQ_ASSIGN_OR_RETURN(
+            LogicalExprPtr expr, Translate(*ast.children[attr.expr_child]));
+        out.expr = static_cast<algebra::ExprSlot>(construct->children.size());
+        construct->children.push_back(std::move(expr));
+      }
+      node.attrs.push_back(std::move(out));
+    }
+    for (const ContentAst& item : ast.content) {
+      if (item.expr_child == ContentAst::kNoChild) {
+        SchemaNode text;
+        text.kind = SchemaNodeKind::kText;
+        text.literal = item.text;
+        node.children.push_back(std::move(text));
+        continue;
+      }
+      const Expr& child_ast = *ast.children[item.expr_child];
+      if (child_ast.kind == ExprKind::kConstructor) {
+        XMLQ_ASSIGN_OR_RETURN(SchemaNode child,
+                              BuildSchemaNode(child_ast, construct));
+        node.children.push_back(std::move(child));
+        continue;
+      }
+      SchemaNode placeholder;
+      placeholder.kind = SchemaNodeKind::kPlaceholder;
+      XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr expr, Translate(child_ast));
+      placeholder.expr =
+          static_cast<algebra::ExprSlot>(construct->children.size());
+      construct->children.push_back(std::move(expr));
+      node.children.push_back(std::move(placeholder));
+    }
+    return node;
+  }
+
+  const TranslateOptions& options_;
+};
+
+}  // namespace
+
+Result<LogicalExprPtr> Translate(const Expr& query,
+                                 const TranslateOptions& options) {
+  Translator translator(options);
+  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, translator.Translate(query));
+  if (options.apply_rewrites) {
+    algebra::ApplyAllRewrites(&plan);
+  }
+  return plan;
+}
+
+Result<algebra::LogicalExprPtr> CompileQuery(std::string_view query,
+                                             const TranslateOptions& options) {
+  XMLQ_ASSIGN_OR_RETURN(ExprPtr ast, ParseQuery(query));
+  return Translate(*ast, options);
+}
+
+}  // namespace xmlq::xquery

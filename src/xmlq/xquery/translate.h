@@ -1,0 +1,34 @@
+#ifndef XMLQ_XQUERY_TRANSLATE_H_
+#define XMLQ_XQUERY_TRANSLATE_H_
+
+#include <string>
+#include <string_view>
+
+#include "xmlq/algebra/logical_plan.h"
+#include "xmlq/base/status.h"
+#include "xmlq/xquery/ast.h"
+
+namespace xmlq::xquery {
+
+struct TranslateOptions {
+  /// Document resolved by absolute paths (`/bib/book`); doc("name") paths
+  /// name their document explicitly.
+  std::string default_document;
+  /// Run the logical rewrite pipeline (navigation folding into τ, σv
+  /// pushdown, dedup elision) on the translated plan.
+  bool apply_rewrites = true;
+};
+
+/// Translates a parsed XQuery AST into a logical algebra plan:
+/// FLWOR → kFlwor over Env semantics, constructors → γ with an extracted
+/// SchemaTree, paths → πs chains that the rewriter folds into τ patterns.
+Result<algebra::LogicalExprPtr> Translate(const Expr& query,
+                                          const TranslateOptions& options);
+
+/// Parses and translates in one step.
+Result<algebra::LogicalExprPtr> CompileQuery(std::string_view query,
+                                             const TranslateOptions& options);
+
+}  // namespace xmlq::xquery
+
+#endif  // XMLQ_XQUERY_TRANSLATE_H_

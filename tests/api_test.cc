@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "xmlq/api/database.h"
+#include "xmlq/datagen/bib_gen.h"
+
+namespace xmlq::api {
+namespace {
+
+constexpr std::string_view kBib =
+    "<bib>"
+    "<book year=\"1994\"><title>TCP/IP Illustrated</title>"
+    "<author><last>Stevens</last><first>W.</first></author>"
+    "<publisher>Addison-Wesley</publisher><price>65.95</price></book>"
+    "<book year=\"2000\"><title>Data on the Web</title>"
+    "<author><last>Abiteboul</last><first>Serge</first></author>"
+    "<author><last>Buneman</last><first>Peter</first></author>"
+    "<publisher>Morgan Kaufmann</publisher><price>39.95</price></book>"
+    "</bib>";
+
+TEST(DatabaseTest, LoadAndPathQuery) {
+  Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  EXPECT_TRUE(db.Contains("bib.xml"));
+  EXPECT_EQ(db.default_document(), "bib.xml");
+  auto result = db.QueryPath("/bib/book/title");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->value.size(), 2u);
+  EXPECT_EQ(Database::ToXml(*result),
+            "<title>TCP/IP Illustrated</title>\n<title>Data on the Web"
+            "</title>");
+}
+
+TEST(DatabaseTest, PathQueryWithPredicates) {
+  Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  auto cheap = db.QueryPath("//book[price < 50]/title");
+  ASSERT_TRUE(cheap.ok());
+  EXPECT_EQ(Database::ToXml(*cheap), "<title>Data on the Web</title>");
+  auto by_year = db.QueryPath("//book[@year = '1994']/author/last");
+  ASSERT_TRUE(by_year.ok());
+  EXPECT_EQ(Database::ToXml(*by_year), "<last>Stevens</last>");
+}
+
+TEST(DatabaseTest, XQueryEndToEnd) {
+  Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  auto result = db.Query(
+      "for $b in doc(\"bib.xml\")/bib/book "
+      "where $b/price > 50 "
+      "return $b/title");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Database::ToXml(*result), "<title>TCP/IP Illustrated</title>");
+}
+
+TEST(DatabaseTest, AllStrategiesAgree) {
+  Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  std::string reference;
+  for (const exec::PatternStrategy strategy :
+       {exec::PatternStrategy::kNok, exec::PatternStrategy::kTwigStack,
+        exec::PatternStrategy::kPathStack,
+        exec::PatternStrategy::kBinaryJoin, exec::PatternStrategy::kNaive}) {
+    QueryOptions options;
+    options.auto_optimize = false;
+    options.strategy = strategy;
+    auto result = db.QueryPath("//book[author/last = 'Stevens']/title", {},
+                               options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const std::string got = Database::ToXml(*result);
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference) << exec::PatternStrategyName(strategy);
+    }
+  }
+  EXPECT_EQ(reference, "<title>TCP/IP Illustrated</title>");
+}
+
+TEST(DatabaseTest, RegisterGeneratedDocument) {
+  Database db;
+  datagen::BibOptions options;
+  options.num_books = 25;
+  ASSERT_TRUE(
+      db.RegisterDocument("gen.xml", datagen::GenerateBibliography(options))
+          .ok());
+  auto result = db.Query("count(doc(\"gen.xml\")//book)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value[0].NumberValue(), 25.0);
+}
+
+TEST(DatabaseTest, MultipleDocumentsJoinInFlwor) {
+  Database db;
+  ASSERT_TRUE(db.LoadDocument("a.xml", "<r><v>1</v><v>2</v></r>").ok());
+  ASSERT_TRUE(db.LoadDocument("b.xml", "<r><v>2</v><v>3</v></r>").ok());
+  auto result = db.Query(
+      "for $x in doc(\"a.xml\")//v, $y in doc(\"b.xml\")//v "
+      "where $x = $y return $x");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->value.size(), 1u);
+  EXPECT_EQ(result->value[0].StringValue(), "2");
+}
+
+TEST(DatabaseTest, ExplainShowsPlanAndStrategy) {
+  Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  auto explained = db.Query("//book/title").ok()
+                       ? db.Explain("//book/title")
+                       : Result<std::string>(Status::Internal("query failed"));
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  EXPECT_NE(explained->find("TreePattern"), std::string::npos);
+  EXPECT_NE(explained->find("selected"), std::string::npos);
+}
+
+TEST(DatabaseTest, ReportShowsSuccinctWin) {
+  Database db;
+  datagen::BibOptions options;
+  options.num_books = 500;
+  ASSERT_TRUE(
+      db.RegisterDocument("gen.xml", datagen::GenerateBibliography(options))
+          .ok());
+  auto report = db.Report("gen.xml");
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->node_count, 3000u);
+  // The structure half of the succinct store beats the DOM arena by a wide
+  // margin (the paper's storage claim).
+  EXPECT_LT(report->succinct_structure_bytes, report->dom_bytes / 3);
+  EXPECT_GT(report->region_index_bytes, 0u);
+}
+
+TEST(DatabaseTest, ErrorsSurfaceCleanly) {
+  Database db;
+  EXPECT_EQ(db.LoadDocument("x.xml", "<broken").code(),
+            StatusCode::kParseError);
+  ASSERT_TRUE(db.LoadDocument("ok.xml", "<r/>").ok());
+  EXPECT_EQ(db.QueryPath("not a path").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(db.Query("doc(\"missing\")//a").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.Report("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.Get("missing"), nullptr);
+}
+
+TEST(DatabaseTest, RewriteToggleAffectsPlanNotResult) {
+  Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  QueryOptions no_rewrites;
+  no_rewrites.apply_rewrites = false;
+  auto a = db.Query("//book/title");
+  auto b = db.Query("//book/title", no_rewrites);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Database::ToXml(*a), Database::ToXml(*b));
+  auto plan_opt = db.Explain("//book/title");
+  auto plan_raw = db.Explain("//book/title", no_rewrites);
+  ASSERT_TRUE(plan_opt.ok());
+  ASSERT_TRUE(plan_raw.ok());
+  EXPECT_NE(plan_opt->find("TreePattern"), std::string::npos);
+  EXPECT_NE(plan_raw->find("Navigate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlq::api

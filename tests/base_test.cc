@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "xmlq/base/random.h"
+#include "xmlq/base/status.h"
+#include "xmlq/base/strings.h"
+
+namespace xmlq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "parse_error: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "parse_error");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "not_found");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnsupported), "unsupported");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "out_of_range");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  XMLQ_ASSIGN_OR_RETURN(int h, Half(x));
+  XMLQ_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 3 is odd at the second step
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \r\n\t "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringsTest, IsAllWhitespace) {
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_EQ(ParseDouble("3.5"), 3.5);
+  EXPECT_EQ(ParseDouble("  -2 "), -2.0);
+  EXPECT_EQ(ParseDouble("1e3"), 1000.0);
+  EXPECT_FALSE(ParseDouble("12abc").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("   ").has_value());
+}
+
+TEST(StringsTest, ParseInt) {
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt(" -7 "), -7);
+  EXPECT_FALSE(ParseInt("4.2").has_value());
+  EXPECT_FALSE(ParseInt("x").has_value());
+}
+
+TEST(StringsTest, FormatNumber) {
+  EXPECT_EQ(FormatNumber(42.0), "42");
+  EXPECT_EQ(FormatNumber(-3.0), "-3");
+  EXPECT_EQ(FormatNumber(3.14), "3.14");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+}
+
+TEST(StringsTest, IsValidName) {
+  EXPECT_TRUE(IsValidName("book"));
+  EXPECT_TRUE(IsValidName("_a-b.c"));
+  EXPECT_FALSE(IsValidName(""));
+  EXPECT_FALSE(IsValidName("1abc"));
+  EXPECT_FALSE(IsValidName("a b"));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Range(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace xmlq

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xmlq/base/random.h"
+#include "xmlq/storage/bitvector.h"
+
+namespace xmlq::storage {
+namespace {
+
+/// Naive reference implementation over a plain vector<bool>.
+struct NaiveBits {
+  std::vector<bool> bits;
+
+  size_t Rank1(size_t i) const {
+    size_t r = 0;
+    for (size_t k = 0; k < i; ++k) r += bits[k] ? 1 : 0;
+    return r;
+  }
+  size_t Select1(size_t k) const {
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i] && k-- == 0) return i;
+    }
+    return SIZE_MAX;
+  }
+  size_t Select0(size_t k) const {
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (!bits[i] && k-- == 0) return i;
+    }
+    return SIZE_MAX;
+  }
+};
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bv;
+  bv.Freeze();
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_EQ(bv.OneCount(), 0u);
+  EXPECT_EQ(bv.Rank1(0), 0u);
+}
+
+TEST(BitVectorTest, SmallKnownValues) {
+  BitVector bv;
+  // 1 0 1 1 0 0 1
+  for (bool b : {true, false, true, true, false, false, true}) {
+    bv.PushBack(b);
+  }
+  bv.Freeze();
+  EXPECT_EQ(bv.size(), 7u);
+  EXPECT_EQ(bv.OneCount(), 4u);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.Rank1(0), 0u);
+  EXPECT_EQ(bv.Rank1(3), 2u);
+  EXPECT_EQ(bv.Rank1(7), 4u);
+  EXPECT_EQ(bv.Rank0(7), 3u);
+  EXPECT_EQ(bv.Select1(0), 0u);
+  EXPECT_EQ(bv.Select1(3), 6u);
+  EXPECT_EQ(bv.Select0(0), 1u);
+  EXPECT_EQ(bv.Select0(2), 5u);
+}
+
+class BitVectorPropertyTest : public ::testing::TestWithParam<
+                                  std::tuple<size_t, double, uint64_t>> {};
+
+TEST_P(BitVectorPropertyTest, MatchesNaiveReference) {
+  const auto [n, density, seed] = GetParam();
+  Rng rng(seed);
+  BitVector bv;
+  NaiveBits naive;
+  for (size_t i = 0; i < n; ++i) {
+    const bool bit = rng.Chance(density);
+    bv.PushBack(bit);
+    naive.bits.push_back(bit);
+  }
+  bv.Freeze();
+  ASSERT_EQ(bv.size(), n);
+  // Rank at every position (plus the end).
+  for (size_t i = 0; i <= n; ++i) {
+    ASSERT_EQ(bv.Rank1(i), naive.Rank1(i)) << "rank at " << i;
+  }
+  // Select over all ones and zeros.
+  const size_t ones = bv.OneCount();
+  for (size_t k = 0; k < ones; ++k) {
+    ASSERT_EQ(bv.Select1(k), naive.Select1(k)) << "select1 " << k;
+  }
+  for (size_t k = 0; k < n - ones; ++k) {
+    ASSERT_EQ(bv.Select0(k), naive.Select0(k)) << "select0 " << k;
+  }
+  // Rank/select are inverses.
+  for (size_t k = 0; k < ones; ++k) {
+    ASSERT_EQ(bv.Rank1(bv.Select1(k)), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitVectorPropertyTest,
+    ::testing::Values(std::make_tuple(size_t{1}, 0.5, 1ull),
+                      std::make_tuple(size_t{63}, 0.5, 2ull),
+                      std::make_tuple(size_t{64}, 0.5, 3ull),
+                      std::make_tuple(size_t{65}, 0.5, 4ull),
+                      std::make_tuple(size_t{511}, 0.9, 5ull),
+                      std::make_tuple(size_t{512}, 0.1, 6ull),
+                      std::make_tuple(size_t{513}, 0.02, 7ull),
+                      std::make_tuple(size_t{4096}, 0.5, 8ull),
+                      std::make_tuple(size_t{10000}, 0.33, 9ull),
+                      std::make_tuple(size_t{10000}, 0.99, 10ull)));
+
+TEST(BitVectorTest, AllOnesAndAllZeros) {
+  BitVector ones;
+  BitVector zeros;
+  for (int i = 0; i < 300; ++i) {
+    ones.PushBack(true);
+    zeros.PushBack(false);
+  }
+  ones.Freeze();
+  zeros.Freeze();
+  EXPECT_EQ(ones.Rank1(300), 300u);
+  EXPECT_EQ(ones.Select1(299), 299u);
+  EXPECT_EQ(zeros.Rank1(300), 0u);
+  EXPECT_EQ(zeros.Select0(299), 299u);
+}
+
+TEST(BitVectorTest, MemoryUsageIsCompact) {
+  BitVector bv;
+  const size_t n = 100000;
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) bv.PushBack(rng.Chance(0.5));
+  bv.Freeze();
+  // Payload is n/8 bytes; directories must stay within a small multiple.
+  EXPECT_LT(bv.MemoryUsage(), n / 8 * 2);
+}
+
+}  // namespace
+}  // namespace xmlq::storage

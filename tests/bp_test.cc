@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xmlq/base/random.h"
+#include "xmlq/storage/bp.h"
+
+namespace xmlq::storage {
+namespace {
+
+BalancedParens FromString(const std::string& parens) {
+  BalancedParens bp;
+  for (char c : parens) bp.PushBack(c == '(');
+  bp.Freeze();
+  return bp;
+}
+
+/// Naive matching-parenthesis scan.
+struct NaiveBp {
+  std::string s;
+
+  size_t FindClose(size_t i) const {
+    int depth = 0;
+    for (size_t j = i; j < s.size(); ++j) {
+      depth += s[j] == '(' ? 1 : -1;
+      if (depth == 0) return j;
+    }
+    return kNoPos;
+  }
+  size_t FindOpen(size_t i) const {
+    int depth = 0;
+    for (size_t j = i + 1; j-- > 0;) {
+      depth += s[j] == ')' ? 1 : -1;
+      if (depth == 0) return j;
+    }
+    return kNoPos;
+  }
+  size_t Enclose(size_t i) const {
+    // Parent open paren of the node opening at i.
+    int depth = 0;
+    for (size_t j = i; j-- > 0;) {
+      depth += s[j] == ')' ? 1 : -1;
+      if (depth == -1) return j;
+    }
+    return kNoPos;
+  }
+};
+
+TEST(BalancedParensTest, SingleNode) {
+  BalancedParens bp = FromString("()");
+  EXPECT_EQ(bp.NodeCount(), 1u);
+  EXPECT_EQ(bp.FindClose(0), 1u);
+  EXPECT_EQ(bp.FindOpen(1), 0u);
+  EXPECT_EQ(bp.Enclose(0), kNoPos);
+  EXPECT_EQ(bp.SubtreeSize(0), 1u);
+  EXPECT_EQ(bp.DepthAt(0), 0u);
+}
+
+TEST(BalancedParensTest, KnownSmallTree) {
+  // ( ( () () ) () )  — root with children {x(children a,b)}, {y}
+  BalancedParens bp = FromString("((()())())");
+  EXPECT_EQ(bp.NodeCount(), 5u);
+  EXPECT_EQ(bp.FindClose(0), 9u);
+  EXPECT_EQ(bp.FindClose(1), 6u);
+  EXPECT_EQ(bp.FindClose(2), 3u);
+  EXPECT_EQ(bp.Enclose(1), 0u);
+  EXPECT_EQ(bp.Enclose(2), 1u);
+  EXPECT_EQ(bp.Enclose(4), 1u);
+  EXPECT_EQ(bp.Enclose(7), 0u);
+  EXPECT_EQ(bp.FindOpen(3), 2u);
+  EXPECT_EQ(bp.FindOpen(9), 0u);
+  EXPECT_EQ(bp.SubtreeSize(1), 3u);
+  EXPECT_EQ(bp.DepthAt(2), 2u);
+  EXPECT_EQ(bp.Excess(0), 1);
+  EXPECT_EQ(bp.Excess(9), 0);
+}
+
+/// Random balanced sequence built from a random tree walk.
+std::string RandomParens(Rng* rng, size_t target_nodes, int max_depth) {
+  std::string out;
+  size_t created = 0;
+  int depth = 0;
+  // Random DFS: at each step either open a new child or close the current.
+  while (created < target_nodes || depth > 0) {
+    const bool can_open = created < target_nodes && depth < max_depth;
+    const bool must_open = depth == 0 && created < target_nodes;
+    if (must_open || (can_open && rng->Chance(0.55))) {
+      out.push_back('(');
+      ++created;
+      ++depth;
+    } else {
+      out.push_back(')');
+      --depth;
+    }
+  }
+  return out;
+}
+
+class BpPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int, uint64_t>> {};
+
+TEST_P(BpPropertyTest, MatchesNaiveOnRandomTrees) {
+  const auto [nodes, max_depth, seed] = GetParam();
+  Rng rng(seed);
+  const std::string s = RandomParens(&rng, nodes, max_depth);
+  BalancedParens bp = FromString(s);
+  NaiveBp naive{s};
+  ASSERT_EQ(bp.NodeCount(), nodes);
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      ASSERT_EQ(bp.FindClose(i), naive.FindClose(i)) << "FindClose " << i;
+      ASSERT_EQ(bp.Enclose(i), naive.Enclose(i)) << "Enclose " << i;
+    } else {
+      ASSERT_EQ(bp.FindOpen(i), naive.FindOpen(i)) << "FindOpen " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BpPropertyTest,
+    ::testing::Values(std::make_tuple(size_t{1}, 4, 1ull),
+                      std::make_tuple(size_t{10}, 4, 2ull),
+                      std::make_tuple(size_t{100}, 8, 3ull),
+                      std::make_tuple(size_t{500}, 6, 4ull),
+                      std::make_tuple(size_t{500}, 60, 5ull),
+                      std::make_tuple(size_t{5000}, 12, 6ull),
+                      std::make_tuple(size_t{5000}, 3, 7ull),
+                      std::make_tuple(size_t{20000}, 20, 8ull)));
+
+TEST(BalancedParensTest, DeepChain) {
+  // 2000 nested nodes: stresses backward search across superblocks.
+  const size_t depth = 2000;
+  std::string s(depth, '(');
+  s.append(depth, ')');
+  BalancedParens bp = FromString(s);
+  EXPECT_EQ(bp.FindClose(0), 2 * depth - 1);
+  EXPECT_EQ(bp.FindClose(depth - 1), depth);
+  EXPECT_EQ(bp.Enclose(depth - 1), depth - 2);
+  EXPECT_EQ(bp.FindOpen(2 * depth - 1), 0u);
+  EXPECT_EQ(bp.DepthAt(depth - 1), depth - 1);
+}
+
+TEST(BalancedParensTest, WideFan) {
+  // Root with 3000 leaf children: stresses forward skipping.
+  std::string s = "(";
+  for (int i = 0; i < 3000; ++i) s += "()";
+  s += ")";
+  BalancedParens bp = FromString(s);
+  EXPECT_EQ(bp.FindClose(0), s.size() - 1);
+  for (size_t i = 1; i + 1 < s.size(); i += 2) {
+    ASSERT_EQ(bp.FindClose(i), i + 1);
+    ASSERT_EQ(bp.Enclose(i), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace xmlq::storage

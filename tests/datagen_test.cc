@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/datagen/bib_gen.h"
+#include "xmlq/datagen/random_tree.h"
+#include "xmlq/xml/parser.h"
+#include "xmlq/xml/serializer.h"
+
+namespace xmlq::datagen {
+namespace {
+
+size_t CountElements(const xml::Document& doc, std::string_view tag) {
+  size_t n = 0;
+  for (xml::NodeId id = 0; id < doc.NodeCount(); ++id) {
+    if (doc.Kind(id) == xml::NodeKind::kElement && doc.NameStr(id) == tag) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(BibGenTest, ShapeAndDeterminism) {
+  BibOptions options;
+  options.num_books = 50;
+  auto doc = GenerateBibliography(options);
+  ASSERT_TRUE(doc->IsPreorder());
+  EXPECT_EQ(doc->NameStr(doc->RootElement()), "bib");
+  EXPECT_EQ(CountElements(*doc, "book"), 50u);
+  EXPECT_EQ(CountElements(*doc, "title"), 50u);
+  EXPECT_EQ(CountElements(*doc, "price"), 50u);
+  EXPECT_GE(CountElements(*doc, "author"), 50u);  // at least one each
+  // Same seed → identical document.
+  auto doc2 = GenerateBibliography(options);
+  EXPECT_EQ(xml::Serialize(*doc), xml::Serialize(*doc2));
+  // Different seed → different document.
+  options.seed = 99;
+  auto doc3 = GenerateBibliography(options);
+  EXPECT_NE(xml::Serialize(*doc), xml::Serialize(*doc3));
+}
+
+TEST(BibGenTest, YearAttributeWithinRange) {
+  BibOptions options;
+  options.num_books = 30;
+  auto doc = GenerateBibliography(options);
+  size_t checked = 0;
+  for (xml::NodeId id = 0; id < doc->NodeCount(); ++id) {
+    if (doc->Kind(id) == xml::NodeKind::kElement &&
+        doc->NameStr(id) == "book") {
+      const int year = std::stoi(std::string(doc->AttributeValue(id, "year")));
+      EXPECT_GE(year, options.first_year);
+      EXPECT_LE(year, options.last_year);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 30u);
+}
+
+TEST(AuctionGenTest, ShapeScalesLinearly) {
+  AuctionOptions small;
+  small.scale = 0.01;
+  auto doc_small = GenerateAuctionSite(small);
+  ASSERT_TRUE(doc_small->IsPreorder());
+  AuctionOptions big;
+  big.scale = 0.04;
+  auto doc_big = GenerateAuctionSite(big);
+  ASSERT_TRUE(doc_big->IsPreorder());
+  EXPECT_EQ(CountElements(*doc_small, "item"), 40u);
+  EXPECT_EQ(CountElements(*doc_big, "item"), 160u);
+  EXPECT_EQ(CountElements(*doc_small, "person"), 20u);
+  EXPECT_EQ(CountElements(*doc_big, "open_auction"), 96u);
+  // The XMark skeleton is present.
+  for (const char* tag : {"site", "regions", "categories", "people",
+                          "open_auctions", "closed_auctions"}) {
+    EXPECT_EQ(CountElements(*doc_small, tag), 1u) << tag;
+  }
+  EXPECT_EQ(CountElements(*doc_small, "africa"), 1u);
+}
+
+TEST(AuctionGenTest, DeterministicAndRoundTrips) {
+  AuctionOptions options;
+  options.scale = 0.01;
+  auto a = GenerateAuctionSite(options);
+  auto b = GenerateAuctionSite(options);
+  const std::string xml_a = xml::Serialize(*a);
+  EXPECT_EQ(xml_a, xml::Serialize(*b));
+  // The generated document survives a parse round-trip.
+  auto reparsed = xml::ParseDocument(xml_a);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->NodeCount(), a->NodeCount());
+}
+
+TEST(AuctionGenTest, ReferencesPointToExistingEntities) {
+  AuctionOptions options;
+  options.scale = 0.02;
+  auto doc = GenerateAuctionSite(options);
+  const size_t num_people = CountElements(*doc, "person");
+  const size_t num_items = CountElements(*doc, "item");
+  for (xml::NodeId id = 0; id < doc->NodeCount(); ++id) {
+    if (doc->Kind(id) != xml::NodeKind::kAttribute) continue;
+    const std::string_view name = doc->NameStr(id);
+    const std::string value(doc->Text(id));
+    if (name == "person") {
+      const size_t ref = std::stoul(value.substr(6));
+      EXPECT_LT(ref, num_people) << value;
+    } else if (name == "item" && value.rfind("item", 0) == 0) {
+      const size_t ref = std::stoul(value.substr(4));
+      EXPECT_LT(ref, num_items) << value;
+    }
+  }
+}
+
+TEST(RandomTreeTest, HonoursElementCountAndPreorder) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    RandomTreeOptions options;
+    options.seed = seed;
+    options.num_elements = 123;
+    auto doc = GenerateRandomTree(options);
+    ASSERT_TRUE(doc->IsPreorder()) << "seed " << seed;
+    EXPECT_EQ(doc->ElementCount(), 123u) << "seed " << seed;
+  }
+}
+
+TEST(RandomTreeTest, RespectsMaxDepth) {
+  RandomTreeOptions options;
+  options.seed = 5;
+  options.num_elements = 400;
+  options.max_depth = 5;
+  auto doc = GenerateRandomTree(options);
+  for (xml::NodeId id = 0; id < doc->NodeCount(); ++id) {
+    if (doc->Kind(id) == xml::NodeKind::kElement) {
+      EXPECT_LE(doc->Depth(id), 5u + 1u);  // +1: document node offset
+    }
+  }
+}
+
+TEST(RandomTreeTest, UsesRequestedVocabulary) {
+  RandomTreeOptions options;
+  options.seed = 9;
+  options.num_elements = 200;
+  options.tag_vocabulary = 2;
+  auto doc = GenerateRandomTree(options);
+  EXPECT_GT(CountElements(*doc, "t0"), 0u);
+  EXPECT_GT(CountElements(*doc, "t1"), 0u);
+  EXPECT_EQ(CountElements(*doc, "t2"), 0u);
+}
+
+}  // namespace
+}  // namespace xmlq::datagen

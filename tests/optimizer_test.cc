@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/opt/cardinality.h"
+#include "xmlq/opt/optimizer.h"
+#include "xmlq/opt/synopsis.h"
+#include "xmlq/xml/parser.h"
+#include "xmlq/xpath/compiler.h"
+#include "xmlq/xpath/parser.h"
+
+namespace xmlq::opt {
+namespace {
+
+algebra::PatternGraph Pattern(std::string_view path) {
+  auto ast = xpath::ParsePath(path);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  auto graph = xpath::CompileToPattern(*ast);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  return std::move(*graph);
+}
+
+TEST(SynopsisTest, ExactStructuralCounts) {
+  auto doc = xml::ParseDocument(
+      "<r><a><b/><b/></a><a><b/><c/></a><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  Synopsis synopsis(*doc);
+  EXPECT_EQ(synopsis.TotalElements(), 8u);
+  EXPECT_EQ(synopsis.CountByName(doc->pool().Find("a")), 2u);
+  EXPECT_EQ(synopsis.CountByName(doc->pool().Find("b")), 3u);
+  EXPECT_EQ(synopsis.CountByName(doc->pool().Find("c")), 2u);
+  // Two distinct paths for c: /r/a/c and /r/c → separate synopsis nodes.
+  size_t c_nodes = 0;
+  for (const Synopsis::Node& n : synopsis.nodes()) {
+    if (n.name == doc->pool().Find("c")) ++c_nodes;
+  }
+  EXPECT_EQ(c_nodes, 2u);
+  EXPECT_EQ(synopsis.MaxDepth(), 3u);
+  EXPECT_NE(synopsis.ToString(doc->pool()).find("x3"), std::string::npos);
+}
+
+TEST(SynopsisTest, CountsAttributes) {
+  auto doc = xml::ParseDocument("<r><i id=\"1\"/><i id=\"2\"/></r>");
+  ASSERT_TRUE(doc.ok());
+  Synopsis synopsis(*doc);
+  EXPECT_EQ(synopsis.CountAttributesByName(doc->pool().Find("id")), 2u);
+}
+
+TEST(CardinalityTest, ExactForPredicateFreePaths) {
+  auto doc = xml::ParseDocument(
+      "<r><a><b/><b/></a><a><b/></a><x><b/></x></r>");
+  ASSERT_TRUE(doc.ok());
+  Synopsis synopsis(*doc);
+  {
+    const auto est =
+        EstimatePattern(synopsis, doc->pool(), Pattern("/r/a/b"));
+    EXPECT_DOUBLE_EQ(est.output_cardinality, 3.0);
+  }
+  {
+    const auto est = EstimatePattern(synopsis, doc->pool(), Pattern("//b"));
+    EXPECT_DOUBLE_EQ(est.output_cardinality, 4.0);
+  }
+  {
+    const auto est = EstimatePattern(synopsis, doc->pool(), Pattern("//a"));
+    // stream size equals the per-tag population.
+    const auto out = Pattern("//a").SoleOutput();
+    EXPECT_DOUBLE_EQ(est.stream_size[out], 2.0);
+  }
+}
+
+TEST(CardinalityTest, PredicateSelectivityApplied) {
+  auto doc = xml::ParseDocument("<r><p>1</p><p>2</p></r>");
+  ASSERT_TRUE(doc.ok());
+  Synopsis synopsis(*doc);
+  const auto plain = EstimatePattern(synopsis, doc->pool(), Pattern("//p"));
+  const auto filtered =
+      EstimatePattern(synopsis, doc->pool(), Pattern("//p[. = '1']"));
+  EXPECT_DOUBLE_EQ(filtered.output_cardinality,
+                   plain.output_cardinality * kPredicateSelectivity);
+}
+
+TEST(CostModelTest, NaiveIsExpensiveForDescendantChains) {
+  datagen::AuctionOptions options;
+  options.scale = 0.05;
+  auto doc = datagen::GenerateAuctionSite(options);
+  Synopsis synopsis(*doc);
+  const auto pattern = Pattern("//item//text");
+  const auto est = EstimatePattern(synopsis, doc->pool(), pattern);
+  const auto partition = xpath::PartitionNok(pattern);
+  const double nok = CostNok(synopsis, pattern, partition, est);
+  const double naive = CostNaive(synopsis, pattern, est);
+  EXPECT_GT(naive, nok);
+}
+
+TEST(OptimizerTest, StrategyChoiceCoversAllAlternatives) {
+  datagen::AuctionOptions options;
+  options.scale = 0.02;
+  auto doc = datagen::GenerateAuctionSite(options);
+  Synopsis synopsis(*doc);
+  const auto pattern = Pattern("//open_auction/bidder/increase");
+  const StrategyChoice choice =
+      ChooseStrategy(synopsis, doc->pool(), pattern);
+  EXPECT_GE(choice.alternatives.size(), 4u);
+  EXPECT_GT(choice.cost, 0.0);
+  // The chosen strategy is the argmin.
+  for (const auto& [strategy, cost] : choice.alternatives) {
+    EXPECT_LE(choice.cost, cost)
+        << exec::PatternStrategyName(strategy);
+  }
+  EXPECT_NE(choice.explanation.find("selected"), std::string::npos);
+}
+
+TEST(OptimizerTest, JoinOrderPrefersSelectiveEdges) {
+  // b is rare, x is common: the (a,b) edge should join before (a,x).
+  std::string text = "<r>";
+  for (int i = 0; i < 50; ++i) {
+    text += "<a><x/><x/><x/></a>";
+  }
+  text += "<a><b/><x/></a></r>";
+  auto doc = xml::ParseDocument(text);
+  ASSERT_TRUE(doc.ok());
+  Synopsis synopsis(*doc);
+  algebra::PatternGraph graph;
+  const auto a =
+      graph.AddVertex(graph.root(), algebra::Axis::kDescendant, "a");
+  const auto x = graph.AddVertex(a, algebra::Axis::kChild, "x");
+  const auto b = graph.AddVertex(a, algebra::Axis::kChild, "b");
+  graph.SetOutput(a);
+  const auto order = ChooseJoinOrder(synopsis, doc->pool(), graph);
+  ASSERT_EQ(order.size(), 3u);  // edges (root,a), (a,x), (a,b)
+  // The rare b edge must come before the common x edge.
+  size_t pos_b = 0, pos_x = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == b) pos_b = i;
+    if (order[i] == x) pos_x = i;
+  }
+  EXPECT_LT(pos_b, pos_x);
+}
+
+TEST(OptimizerTest, DifferentJoinOrdersHaveDifferentCosts) {
+  datagen::AuctionOptions options;
+  options.scale = 0.05;
+  auto doc = datagen::GenerateAuctionSite(options);
+  Synopsis synopsis(*doc);
+  const auto pattern = Pattern("//person[profile/education]");
+  const auto est = EstimatePattern(synopsis, doc->pool(), pattern);
+  // profile=2, education=3 as edge targets (vertex ids from compilation).
+  const algebra::VertexId person = 1, profile = 2, education = 3;
+  const algebra::VertexId good[] = {education, profile, person};
+  const algebra::VertexId bad[] = {person, profile, education};
+  const double cost_good = CostBinaryJoin(pattern, est, good);
+  const double cost_bad = CostBinaryJoin(pattern, est, bad);
+  // Joining the selective (profile, education) edge first shrinks the big
+  // person stream before it is scanned — the [5] effect.
+  EXPECT_LT(cost_good, cost_bad);
+}
+
+}  // namespace
+}  // namespace xmlq::opt

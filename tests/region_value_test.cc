@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "xmlq/datagen/bib_gen.h"
+#include "xmlq/datagen/random_tree.h"
+#include "xmlq/storage/region_index.h"
+#include "xmlq/storage/tag_dictionary.h"
+#include "xmlq/storage/value_index.h"
+#include "xmlq/xml/parser.h"
+
+namespace xmlq::storage {
+namespace {
+
+TEST(RegionIndexTest, SmallDocumentRegions) {
+  auto doc = xml::ParseDocument("<a><b><c/></b><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  RegionIndex index(*doc);
+  // Nodes: doc=0, a=1, b=2, c=3, b=4.
+  ASSERT_EQ(index.elements().size(), 4u);
+  EXPECT_EQ(index.EndOf(1), 4u);
+  EXPECT_EQ(index.EndOf(2), 3u);
+  EXPECT_EQ(index.EndOf(4), 4u);
+  EXPECT_EQ(index.LevelOf(3), 3u);
+  const auto b_stream = index.ElementStream(doc->pool().Find("b"));
+  ASSERT_EQ(b_stream.size(), 2u);
+  EXPECT_EQ(b_stream[0].start, 2u);
+  EXPECT_EQ(b_stream[1].start, 4u);
+  EXPECT_TRUE(index.RegionOf(1).Contains(index.RegionOf(3)));
+  EXPECT_FALSE(index.RegionOf(2).Contains(index.RegionOf(4)));
+  EXPECT_TRUE(index.RegionOf(2).IsParentOf(index.RegionOf(3)));
+  EXPECT_FALSE(index.RegionOf(1).IsParentOf(index.RegionOf(3)));
+}
+
+TEST(RegionIndexTest, ContainmentMatchesAncestorRelationOnRandomTrees) {
+  for (uint64_t seed : {3ull, 8ull, 21ull}) {
+    datagen::RandomTreeOptions options;
+    options.seed = seed;
+    options.num_elements = 120;
+    auto doc = datagen::GenerateRandomTree(options);
+    RegionIndex index(*doc);
+    // Reference ancestor check by chasing parents.
+    const auto is_ancestor = [&](xml::NodeId a, xml::NodeId d) {
+      for (xml::NodeId p = doc->Parent(d); p != xml::kNullNode;
+           p = doc->Parent(p)) {
+        if (p == a) return true;
+      }
+      return false;
+    };
+    for (xml::NodeId a = 0; a < doc->NodeCount(); a += 3) {
+      for (xml::NodeId d = 0; d < doc->NodeCount(); d += 7) {
+        const bool expected = is_ancestor(a, d);
+        const bool interval = index.RegionOf(a).Contains(index.RegionOf(d));
+        ASSERT_EQ(interval, expected)
+            << "a=" << a << " d=" << d << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(RegionIndexTest, AttributeStreams) {
+  auto doc =
+      xml::ParseDocument("<r><x id=\"1\"/><y id=\"2\" class=\"k\"/></r>");
+  ASSERT_TRUE(doc.ok());
+  RegionIndex index(*doc);
+  const auto ids = index.AttributeStream(doc->pool().Find("id"));
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_LT(ids[0].start, ids[1].start);
+  EXPECT_EQ(index.AttributeStream(doc->pool().Find("class")).size(), 1u);
+  EXPECT_TRUE(index.ElementStream(xml::kInvalidName).empty());
+}
+
+TEST(TagDictionaryTest, CountsElementsAndAttributes) {
+  auto doc = xml::ParseDocument(
+      "<r><a id=\"1\"/><a/><b id=\"2\" x=\"3\"/></r>");
+  ASSERT_TRUE(doc.ok());
+  TagDictionary dict(*doc);
+  EXPECT_EQ(dict.ElementCount(doc->pool().Find("a")), 2u);
+  EXPECT_EQ(dict.ElementCount(doc->pool().Find("b")), 1u);
+  EXPECT_EQ(dict.AttributeCount(doc->pool().Find("id")), 2u);
+  EXPECT_EQ(dict.AttributeCount(doc->pool().Find("x")), 1u);
+  EXPECT_EQ(dict.TotalElements(), 4u);
+  EXPECT_EQ(dict.TotalAttributes(), 3u);
+  EXPECT_EQ(dict.DistinctElementNames(), 3u);
+}
+
+TEST(ValueIndexTest, ElementLookup) {
+  auto doc = xml::ParseDocument(
+      "<r><p>10</p><p>20</p><p>10</p><q>10</q><mixed>a<u/>b</mixed></r>");
+  ASSERT_TRUE(doc.ok());
+  ValueIndex index(*doc);
+  const xml::NameId p = doc->pool().Find("p");
+  const auto tens = index.Lookup(p, "10", /*attribute=*/false);
+  EXPECT_EQ(tens.size(), 2u);
+  EXPECT_TRUE(index.Lookup(p, "30", false).empty());
+  // q with the same value is a different key.
+  EXPECT_EQ(index.Lookup(doc->pool().Find("q"), "10", false).size(), 1u);
+  // Mixed-content elements are not data elements and are not indexed.
+  EXPECT_TRUE(index.Lookup(doc->pool().Find("mixed"), "ab", false).empty());
+}
+
+TEST(ValueIndexTest, AttributeLookupAndNumericRange) {
+  auto doc = xml::ParseDocument(
+      "<r><i price=\"5\"/><i price=\"15\"/><i price=\"25\"/>"
+      "<i price=\"cheap\"/></r>");
+  ASSERT_TRUE(doc.ok());
+  ValueIndex index(*doc);
+  const xml::NameId price = doc->pool().Find("price");
+  EXPECT_EQ(index.Lookup(price, "15", true).size(), 1u);
+  const auto in_range = index.LookupNumericRange(price, 5, false, 25, true,
+                                                 /*attribute=*/true);
+  EXPECT_EQ(in_range.size(), 2u);  // 15 and 25; 5 excluded, "cheap" skipped
+  const auto all = index.LookupNumericRange(price, 0, true, 100, true, true);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(ValueIndexTest, BibliographyPriceRange) {
+  datagen::BibOptions options;
+  options.num_books = 200;
+  auto doc = datagen::GenerateBibliography(options);
+  ValueIndex index(*doc);
+  const xml::NameId price = doc->pool().Find("price");
+  const auto all =
+      index.LookupNumericRange(price, 0, true, 1e9, true, false);
+  EXPECT_EQ(all.size(), 200u);
+  const auto some =
+      index.LookupNumericRange(price, 0, true, 80, true, false);
+  EXPECT_GT(some.size(), 0u);
+  EXPECT_LT(some.size(), 200u);
+  // Results are element NodeIds in document order.
+  for (size_t i = 1; i < some.size(); ++i) {
+    EXPECT_LT(some[i - 1], some[i]);
+  }
+  // Cross-check one hit against the document.
+  ASSERT_FALSE(some.empty());
+  const double v = std::stod(doc->StringValue(some[0]));
+  EXPECT_LE(v, 80.0);
+}
+
+}  // namespace
+}  // namespace xmlq::storage

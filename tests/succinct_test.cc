@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/datagen/random_tree.h"
+#include "xmlq/storage/succinct_doc.h"
+#include "xmlq/xml/parser.h"
+
+namespace xmlq::storage {
+namespace {
+
+TEST(SuccinctDocTest, SmallDocumentNavigation) {
+  auto dom = xml::ParseDocument(
+      "<bib><book year=\"94\"><title>t</title></book><paper/></bib>");
+  ASSERT_TRUE(dom.ok());
+  SuccinctDocument doc = SuccinctDocument::Build(*dom);
+  ASSERT_EQ(doc.NodeCount(), dom->NodeCount());
+
+  // Ranks equal NodeIds: document=0, bib=1, book=2, @year=3, title=4,
+  // text=5, paper=6.
+  EXPECT_EQ(doc.Kind(0), xml::NodeKind::kDocument);
+  EXPECT_EQ(doc.LabelStr(1), "bib");
+  EXPECT_EQ(doc.Kind(3), xml::NodeKind::kAttribute);
+  EXPECT_EQ(doc.Text(3), "94");
+  EXPECT_EQ(doc.FirstChild(0), 1u);
+  EXPECT_EQ(doc.FirstChild(1), 2u);
+  EXPECT_EQ(doc.FirstChild(2), 4u);  // skips the attribute
+  EXPECT_EQ(doc.FirstAttr(2), 3u);
+  EXPECT_EQ(doc.FirstAttr(1), SuccinctDocument::kNoNode);
+  EXPECT_EQ(doc.NextSibling(2), 6u);
+  EXPECT_EQ(doc.NextSibling(6), SuccinctDocument::kNoNode);
+  EXPECT_EQ(doc.Parent(4), 2u);
+  EXPECT_EQ(doc.Parent(0), SuccinctDocument::kNoNode);
+  EXPECT_EQ(doc.StringValue(2), "t");
+  EXPECT_EQ(doc.SubtreeSize(2), 4u);
+  EXPECT_EQ(doc.Depth(4), 3u);
+  EXPECT_TRUE(doc.IsAncestor(1, 5));
+  EXPECT_FALSE(doc.IsAncestor(2, 6));
+}
+
+/// Exhaustive navigation equivalence against the DOM on random trees.
+class SuccinctEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SuccinctEquivalenceTest, AgreesWithDomEverywhere) {
+  datagen::RandomTreeOptions options;
+  options.seed = GetParam();
+  options.num_elements = 300;
+  auto dom = datagen::GenerateRandomTree(options);
+  ASSERT_TRUE(dom->IsPreorder());
+  SuccinctDocument doc = SuccinctDocument::Build(*dom);
+  ASSERT_EQ(doc.NodeCount(), dom->NodeCount());
+  const auto to_rank = [](xml::NodeId id) {
+    return id == xml::kNullNode ? SuccinctDocument::kNoNode : id;
+  };
+  for (xml::NodeId id = 0; id < dom->NodeCount(); ++id) {
+    ASSERT_EQ(doc.Kind(id), dom->Kind(id)) << "kind of " << id;
+    ASSERT_EQ(doc.Label(id), dom->Name(id)) << "label of " << id;
+    if (dom->Kind(id) != xml::NodeKind::kAttribute) {
+      ASSERT_EQ(doc.FirstChild(id), to_rank(dom->FirstChild(id)))
+          << "first child of " << id;
+      ASSERT_EQ(doc.FirstAttr(id), to_rank(dom->FirstAttr(id)))
+          << "first attr of " << id;
+    }
+    ASSERT_EQ(doc.NextSibling(id), to_rank(dom->NextSibling(id)))
+        << "next sibling of " << id;
+    ASSERT_EQ(doc.Parent(id), to_rank(dom->Parent(id))) << "parent of " << id;
+    ASSERT_EQ(doc.Depth(id), dom->Depth(id)) << "depth of " << id;
+    ASSERT_EQ(doc.StringValue(id), dom->StringValue(id))
+        << "string-value of " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuccinctEquivalenceTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           17ull, 99ull, 12345ull));
+
+TEST(SuccinctDocTest, ContentSeparationAccounting) {
+  datagen::AuctionOptions options;
+  options.scale = 0.02;
+  auto dom = datagen::GenerateAuctionSite(options);
+  SuccinctDocument doc = SuccinctDocument::Build(*dom);
+  // Structure must be far smaller than the DOM arena representation
+  // (the point of the succinct scheme, paper §4.2).
+  EXPECT_LT(doc.StructureBytes(), dom->MemoryUsage() / 3);
+  EXPECT_GT(doc.ContentBytes(), 0u);
+  // Every content-bearing node round-trips its text.
+  size_t checked = 0;
+  for (uint32_t r = 0; r < doc.NodeCount(); ++r) {
+    if (doc.HasContent(r)) {
+      ASSERT_EQ(doc.Text(r), dom->Text(r));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(SuccinctDocTest, SubtreeRanksAreContiguous) {
+  datagen::RandomTreeOptions options;
+  options.seed = 77;
+  options.num_elements = 150;
+  auto dom = datagen::GenerateRandomTree(options);
+  SuccinctDocument doc = SuccinctDocument::Build(*dom);
+  for (uint32_t r = 0; r < doc.NodeCount(); ++r) {
+    const uint32_t size = doc.SubtreeSize(r);
+    // Every node in (r, r+size) has r as an ancestor; the node right after
+    // the range does not.
+    for (uint32_t d = r + 1; d < r + size; ++d) {
+      ASSERT_TRUE(doc.IsAncestor(r, d));
+    }
+    if (r + size < doc.NodeCount()) {
+      ASSERT_FALSE(doc.IsAncestor(r, r + size));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlq::storage
