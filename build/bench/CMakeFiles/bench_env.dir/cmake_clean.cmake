@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_env.dir/bench_env.cc.o"
+  "CMakeFiles/bench_env.dir/bench_env.cc.o.d"
+  "bench_env"
+  "bench_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

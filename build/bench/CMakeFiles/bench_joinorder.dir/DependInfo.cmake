@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_joinorder.cc" "bench/CMakeFiles/bench_joinorder.dir/bench_joinorder.cc.o" "gcc" "bench/CMakeFiles/bench_joinorder.dir/bench_joinorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xmlq_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_joinorder.dir/bench_joinorder.cc.o"
+  "CMakeFiles/bench_joinorder.dir/bench_joinorder.cc.o.d"
+  "bench_joinorder"
+  "bench_joinorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_joinorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pathological.dir/bench_pathological.cc.o"
+  "CMakeFiles/bench_pathological.dir/bench_pathological.cc.o.d"
+  "bench_pathological"
+  "bench_pathological.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathological.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

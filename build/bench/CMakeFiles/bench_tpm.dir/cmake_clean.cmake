@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpm.dir/bench_tpm.cc.o"
+  "CMakeFiles/bench_tpm.dir/bench_tpm.cc.o.d"
+  "bench_tpm"
+  "bench_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

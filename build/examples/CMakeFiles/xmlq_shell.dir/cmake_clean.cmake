@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_shell.dir/xmlq_shell.cpp.o"
+  "CMakeFiles/xmlq_shell.dir/xmlq_shell.cpp.o.d"
+  "xmlq_shell"
+  "xmlq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

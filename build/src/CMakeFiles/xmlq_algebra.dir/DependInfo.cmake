@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmlq/algebra/env.cc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/env.cc.o" "gcc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/env.cc.o.d"
+  "/root/repo/src/xmlq/algebra/logical_plan.cc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/logical_plan.cc.o" "gcc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/logical_plan.cc.o.d"
+  "/root/repo/src/xmlq/algebra/pattern_graph.cc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/pattern_graph.cc.o" "gcc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/pattern_graph.cc.o.d"
+  "/root/repo/src/xmlq/algebra/rewrite.cc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/rewrite.cc.o" "gcc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/rewrite.cc.o.d"
+  "/root/repo/src/xmlq/algebra/schema_tree.cc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/schema_tree.cc.o" "gcc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/schema_tree.cc.o.d"
+  "/root/repo/src/xmlq/algebra/value.cc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/value.cc.o" "gcc" "src/CMakeFiles/xmlq_algebra.dir/xmlq/algebra/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xmlq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/env.cc.o"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/env.cc.o.d"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/logical_plan.cc.o"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/logical_plan.cc.o.d"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/pattern_graph.cc.o"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/pattern_graph.cc.o.d"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/rewrite.cc.o"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/rewrite.cc.o.d"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/schema_tree.cc.o"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/schema_tree.cc.o.d"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/value.cc.o"
+  "CMakeFiles/xmlq_algebra.dir/xmlq/algebra/value.cc.o.d"
+  "libxmlq_algebra.a"
+  "libxmlq_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_api.dir/xmlq/api/database.cc.o"
+  "CMakeFiles/xmlq_api.dir/xmlq/api/database.cc.o.d"
+  "libxmlq_api.a"
+  "libxmlq_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

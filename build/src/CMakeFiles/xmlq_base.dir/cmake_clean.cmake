@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_base.dir/xmlq/base/status.cc.o"
+  "CMakeFiles/xmlq_base.dir/xmlq/base/status.cc.o.d"
+  "CMakeFiles/xmlq_base.dir/xmlq/base/strings.cc.o"
+  "CMakeFiles/xmlq_base.dir/xmlq/base/strings.cc.o.d"
+  "libxmlq_base.a"
+  "libxmlq_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

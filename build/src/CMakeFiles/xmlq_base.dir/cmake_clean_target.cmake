@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxmlq_base.a"
+)

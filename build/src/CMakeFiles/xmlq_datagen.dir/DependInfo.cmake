@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmlq/datagen/auction_gen.cc" "src/CMakeFiles/xmlq_datagen.dir/xmlq/datagen/auction_gen.cc.o" "gcc" "src/CMakeFiles/xmlq_datagen.dir/xmlq/datagen/auction_gen.cc.o.d"
+  "/root/repo/src/xmlq/datagen/bib_gen.cc" "src/CMakeFiles/xmlq_datagen.dir/xmlq/datagen/bib_gen.cc.o" "gcc" "src/CMakeFiles/xmlq_datagen.dir/xmlq/datagen/bib_gen.cc.o.d"
+  "/root/repo/src/xmlq/datagen/random_tree.cc" "src/CMakeFiles/xmlq_datagen.dir/xmlq/datagen/random_tree.cc.o" "gcc" "src/CMakeFiles/xmlq_datagen.dir/xmlq/datagen/random_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xmlq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

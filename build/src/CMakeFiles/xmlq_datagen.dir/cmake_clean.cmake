@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_datagen.dir/xmlq/datagen/auction_gen.cc.o"
+  "CMakeFiles/xmlq_datagen.dir/xmlq/datagen/auction_gen.cc.o.d"
+  "CMakeFiles/xmlq_datagen.dir/xmlq/datagen/bib_gen.cc.o"
+  "CMakeFiles/xmlq_datagen.dir/xmlq/datagen/bib_gen.cc.o.d"
+  "CMakeFiles/xmlq_datagen.dir/xmlq/datagen/random_tree.cc.o"
+  "CMakeFiles/xmlq_datagen.dir/xmlq/datagen/random_tree.cc.o.d"
+  "libxmlq_datagen.a"
+  "libxmlq_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmlq/exec/construct.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/construct.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/construct.cc.o.d"
+  "/root/repo/src/xmlq/exec/env_eval.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/env_eval.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/env_eval.cc.o.d"
+  "/root/repo/src/xmlq/exec/executor.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/executor.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/executor.cc.o.d"
+  "/root/repo/src/xmlq/exec/expr_eval.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/expr_eval.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/expr_eval.cc.o.d"
+  "/root/repo/src/xmlq/exec/hybrid.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/hybrid.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/hybrid.cc.o.d"
+  "/root/repo/src/xmlq/exec/naive_nav.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/naive_nav.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/naive_nav.cc.o.d"
+  "/root/repo/src/xmlq/exec/node_stream.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/node_stream.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/node_stream.cc.o.d"
+  "/root/repo/src/xmlq/exec/nok_matcher.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/nok_matcher.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/nok_matcher.cc.o.d"
+  "/root/repo/src/xmlq/exec/path_stack.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/path_stack.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/path_stack.cc.o.d"
+  "/root/repo/src/xmlq/exec/structural_join.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/structural_join.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/structural_join.cc.o.d"
+  "/root/repo/src/xmlq/exec/twig_stack.cc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/twig_stack.cc.o" "gcc" "src/CMakeFiles/xmlq_exec.dir/xmlq/exec/twig_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xmlq_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/construct.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/construct.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/env_eval.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/env_eval.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/executor.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/executor.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/expr_eval.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/expr_eval.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/hybrid.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/hybrid.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/naive_nav.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/naive_nav.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/node_stream.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/node_stream.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/nok_matcher.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/nok_matcher.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/path_stack.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/path_stack.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/structural_join.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/structural_join.cc.o.d"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/twig_stack.cc.o"
+  "CMakeFiles/xmlq_exec.dir/xmlq/exec/twig_stack.cc.o.d"
+  "libxmlq_exec.a"
+  "libxmlq_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

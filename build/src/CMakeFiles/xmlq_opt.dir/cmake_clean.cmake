@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_opt.dir/xmlq/opt/cardinality.cc.o"
+  "CMakeFiles/xmlq_opt.dir/xmlq/opt/cardinality.cc.o.d"
+  "CMakeFiles/xmlq_opt.dir/xmlq/opt/cost_model.cc.o"
+  "CMakeFiles/xmlq_opt.dir/xmlq/opt/cost_model.cc.o.d"
+  "CMakeFiles/xmlq_opt.dir/xmlq/opt/optimizer.cc.o"
+  "CMakeFiles/xmlq_opt.dir/xmlq/opt/optimizer.cc.o.d"
+  "CMakeFiles/xmlq_opt.dir/xmlq/opt/synopsis.cc.o"
+  "CMakeFiles/xmlq_opt.dir/xmlq/opt/synopsis.cc.o.d"
+  "libxmlq_opt.a"
+  "libxmlq_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmlq/storage/bitvector.cc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/bitvector.cc.o" "gcc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/bitvector.cc.o.d"
+  "/root/repo/src/xmlq/storage/bp.cc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/bp.cc.o" "gcc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/bp.cc.o.d"
+  "/root/repo/src/xmlq/storage/content_store.cc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/content_store.cc.o" "gcc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/content_store.cc.o.d"
+  "/root/repo/src/xmlq/storage/region_index.cc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/region_index.cc.o" "gcc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/region_index.cc.o.d"
+  "/root/repo/src/xmlq/storage/succinct_doc.cc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/succinct_doc.cc.o" "gcc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/succinct_doc.cc.o.d"
+  "/root/repo/src/xmlq/storage/tag_dictionary.cc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/tag_dictionary.cc.o" "gcc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/tag_dictionary.cc.o.d"
+  "/root/repo/src/xmlq/storage/value_index.cc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/value_index.cc.o" "gcc" "src/CMakeFiles/xmlq_storage.dir/xmlq/storage/value_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xmlq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

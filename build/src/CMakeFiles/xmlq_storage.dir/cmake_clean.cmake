@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/bitvector.cc.o"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/bitvector.cc.o.d"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/bp.cc.o"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/bp.cc.o.d"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/content_store.cc.o"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/content_store.cc.o.d"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/region_index.cc.o"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/region_index.cc.o.d"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/succinct_doc.cc.o"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/succinct_doc.cc.o.d"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/tag_dictionary.cc.o"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/tag_dictionary.cc.o.d"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/value_index.cc.o"
+  "CMakeFiles/xmlq_storage.dir/xmlq/storage/value_index.cc.o.d"
+  "libxmlq_storage.a"
+  "libxmlq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

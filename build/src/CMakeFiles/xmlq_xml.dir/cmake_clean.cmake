@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_xml.dir/xmlq/xml/document.cc.o"
+  "CMakeFiles/xmlq_xml.dir/xmlq/xml/document.cc.o.d"
+  "CMakeFiles/xmlq_xml.dir/xmlq/xml/name_pool.cc.o"
+  "CMakeFiles/xmlq_xml.dir/xmlq/xml/name_pool.cc.o.d"
+  "CMakeFiles/xmlq_xml.dir/xmlq/xml/parser.cc.o"
+  "CMakeFiles/xmlq_xml.dir/xmlq/xml/parser.cc.o.d"
+  "CMakeFiles/xmlq_xml.dir/xmlq/xml/serializer.cc.o"
+  "CMakeFiles/xmlq_xml.dir/xmlq/xml/serializer.cc.o.d"
+  "libxmlq_xml.a"
+  "libxmlq_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

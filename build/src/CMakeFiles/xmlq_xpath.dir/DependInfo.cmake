@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmlq/xpath/compiler.cc" "src/CMakeFiles/xmlq_xpath.dir/xmlq/xpath/compiler.cc.o" "gcc" "src/CMakeFiles/xmlq_xpath.dir/xmlq/xpath/compiler.cc.o.d"
+  "/root/repo/src/xmlq/xpath/lexer.cc" "src/CMakeFiles/xmlq_xpath.dir/xmlq/xpath/lexer.cc.o" "gcc" "src/CMakeFiles/xmlq_xpath.dir/xmlq/xpath/lexer.cc.o.d"
+  "/root/repo/src/xmlq/xpath/nok_partition.cc" "src/CMakeFiles/xmlq_xpath.dir/xmlq/xpath/nok_partition.cc.o" "gcc" "src/CMakeFiles/xmlq_xpath.dir/xmlq/xpath/nok_partition.cc.o.d"
+  "/root/repo/src/xmlq/xpath/parser.cc" "src/CMakeFiles/xmlq_xpath.dir/xmlq/xpath/parser.cc.o" "gcc" "src/CMakeFiles/xmlq_xpath.dir/xmlq/xpath/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xmlq_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xmlq_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

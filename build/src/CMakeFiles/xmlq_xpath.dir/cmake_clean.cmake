@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_xpath.dir/xmlq/xpath/compiler.cc.o"
+  "CMakeFiles/xmlq_xpath.dir/xmlq/xpath/compiler.cc.o.d"
+  "CMakeFiles/xmlq_xpath.dir/xmlq/xpath/lexer.cc.o"
+  "CMakeFiles/xmlq_xpath.dir/xmlq/xpath/lexer.cc.o.d"
+  "CMakeFiles/xmlq_xpath.dir/xmlq/xpath/nok_partition.cc.o"
+  "CMakeFiles/xmlq_xpath.dir/xmlq/xpath/nok_partition.cc.o.d"
+  "CMakeFiles/xmlq_xpath.dir/xmlq/xpath/parser.cc.o"
+  "CMakeFiles/xmlq_xpath.dir/xmlq/xpath/parser.cc.o.d"
+  "libxmlq_xpath.a"
+  "libxmlq_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

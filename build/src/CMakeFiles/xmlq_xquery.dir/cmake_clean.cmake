@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlq_xquery.dir/xmlq/xquery/lexer.cc.o"
+  "CMakeFiles/xmlq_xquery.dir/xmlq/xquery/lexer.cc.o.d"
+  "CMakeFiles/xmlq_xquery.dir/xmlq/xquery/parser.cc.o"
+  "CMakeFiles/xmlq_xquery.dir/xmlq/xquery/parser.cc.o.d"
+  "CMakeFiles/xmlq_xquery.dir/xmlq/xquery/schema_extract.cc.o"
+  "CMakeFiles/xmlq_xquery.dir/xmlq/xquery/schema_extract.cc.o.d"
+  "CMakeFiles/xmlq_xquery.dir/xmlq/xquery/translate.cc.o"
+  "CMakeFiles/xmlq_xquery.dir/xmlq/xquery/translate.cc.o.d"
+  "libxmlq_xquery.a"
+  "libxmlq_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlq_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_value_test.dir/region_value_test.cc.o"
+  "CMakeFiles/region_value_test.dir/region_value_test.cc.o.d"
+  "region_value_test"
+  "region_value_test.pdb"
+  "region_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

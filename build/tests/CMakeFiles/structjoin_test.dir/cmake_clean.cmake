@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structjoin_test.dir/structjoin_test.cc.o"
+  "CMakeFiles/structjoin_test.dir/structjoin_test.cc.o.d"
+  "structjoin_test"
+  "structjoin_test.pdb"
+  "structjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_test.dir/succinct_test.cc.o"
+  "CMakeFiles/succinct_test.dir/succinct_test.cc.o.d"
+  "succinct_test"
+  "succinct_test.pdb"
+  "succinct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
