@@ -30,6 +30,8 @@ void PrintHelp() {
       "  .explain <query>        show the logical plan + strategy choice\n"
       "  .strategy <s>           force nok|twigstack|pathstack|binaryjoin|\n"
       "                          naive, or 'auto' for the cost model\n"
+      "  .limits steps <n> | deadline <ms> | memory <bytes> | off\n"
+      "                          bound every following query\n"
       "  .report [name]          storage footprint of a document\n"
       "  .help / .quit\n"
       "anything else is evaluated as XQuery (or XPath for '/...').\n");
@@ -129,6 +131,31 @@ int main() {
         continue;
       }
       std::printf("strategy: %s\n", s.c_str());
+      continue;
+    }
+    if (word == ".limits") {
+      std::string knob;
+      uint64_t value = 0;
+      in >> knob >> value;
+      if (knob == "off") {
+        options.limits = xmlq::QueryLimits{};
+        std::printf("limits: off\n");
+      } else if (knob == "steps" && value > 0) {
+        options.limits.max_steps = value;
+        std::printf("limits: max_steps=%llu\n",
+                    static_cast<unsigned long long>(value));
+      } else if (knob == "deadline" && value > 0) {
+        options.limits.deadline_micros = value * 1000;
+        std::printf("limits: deadline=%llums\n",
+                    static_cast<unsigned long long>(value));
+      } else if (knob == "memory" && value > 0) {
+        options.limits.max_memory_bytes = value;
+        std::printf("limits: max_memory_bytes=%llu\n",
+                    static_cast<unsigned long long>(value));
+      } else {
+        std::printf("usage: .limits steps <n> | deadline <ms> | "
+                    "memory <bytes> | off\n");
+      }
       continue;
     }
     if (word == ".report") {

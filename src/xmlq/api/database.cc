@@ -32,10 +32,16 @@ Status Database::RegisterDocument(std::string name,
   }
   Entry entry;
   entry.dom = std::move(doc);
-  entry.succinct = std::make_unique<storage::SuccinctDocument>(
-      storage::SuccinctDocument::Build(*entry.dom));
-  entry.regions = std::make_unique<storage::RegionIndex>(*entry.dom);
-  entry.values = std::make_unique<storage::ValueIndex>(*entry.dom);
+  XMLQ_ASSIGN_OR_RETURN(storage::SuccinctDocument succinct,
+                        storage::SuccinctDocument::TryBuild(*entry.dom));
+  entry.succinct =
+      std::make_unique<storage::SuccinctDocument>(std::move(succinct));
+  XMLQ_ASSIGN_OR_RETURN(storage::RegionIndex regions,
+                        storage::RegionIndex::TryBuild(*entry.dom));
+  entry.regions = std::make_unique<storage::RegionIndex>(std::move(regions));
+  XMLQ_ASSIGN_OR_RETURN(storage::ValueIndex values,
+                        storage::ValueIndex::TryBuild(*entry.dom));
+  entry.values = std::make_unique<storage::ValueIndex>(std::move(values));
   entry.synopsis = std::make_unique<opt::Synopsis>(*entry.dom);
   entry.view = exec::IndexedDocument{entry.dom.get(), entry.succinct.get(),
                                      entry.regions.get(), entry.values.get()};
@@ -117,6 +123,10 @@ Result<exec::QueryResult> Database::Run(LogicalExprPtr plan,
   if (options.auto_optimize) {
     context.strategy = PickStrategy(*plan, nullptr);
   }
+  // The guard lives on this frame: the executor and everything below it only
+  // borrow the pointer, and Run outlives the evaluation.
+  ResourceGuard guard(options.limits);
+  if (!options.limits.Unlimited()) context.guard = &guard;
   exec::Executor executor(&context);
   return executor.Evaluate(*plan);
 }

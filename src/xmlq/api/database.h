@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/executor.h"
 #include "xmlq/opt/synopsis.h"
@@ -26,6 +27,10 @@ struct QueryOptions {
   exec::FlworMode flwor_mode = exec::FlworMode::kEnv;
   /// Run the logical rewrite pipeline before execution.
   bool apply_rewrites = true;
+  /// Resource limits for the query (deadline, step/memory budgets, cancel
+  /// flag). Default-constructed = unlimited. A query that exhausts a limit
+  /// returns kResourceExhausted; a cancelled one returns kCancelled.
+  QueryLimits limits;
 };
 
 /// Storage-footprint report for one document (experiment E2).

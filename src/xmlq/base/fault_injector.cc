@@ -1,0 +1,59 @@
+#include "xmlq/base/fault_injector.h"
+
+namespace xmlq {
+
+std::atomic<int> FaultInjector::armed_sites_{0};
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(std::string_view site, uint64_t skip, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.try_emplace(std::string(site));
+  SiteState& st = it->second;
+  if (!st.armed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  st.armed = true;
+  st.skip = skip;
+  st.count = count;
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, st] : sites_) {
+    if (st.armed) armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  sites_.clear();
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.try_emplace(std::string(site));
+  SiteState& st = it->second;
+  ++st.hits;
+  if (!st.armed) return false;
+  if (st.skip > 0) {
+    --st.skip;
+    return false;
+  }
+  if (st.count == 0) return false;
+  --st.count;
+  return true;
+}
+
+uint64_t FaultInjector::Hits(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace xmlq

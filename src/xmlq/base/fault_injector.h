@@ -1,0 +1,80 @@
+#ifndef XMLQ_BASE_FAULT_INJECTOR_H_
+#define XMLQ_BASE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace xmlq {
+
+/// Deterministic fault-injection registry for robustness tests.
+///
+/// Production code marks interesting failure points with
+/// `XMLQ_FAULT("site.name")` — a macro that costs one relaxed atomic load
+/// and a predictable branch while nothing is armed, so the hooks are
+/// compiled in unconditionally (no test-only build flavor that could
+/// diverge from what ships). Tests arm a site to force its failure path:
+///
+///   FaultInjector::Instance().Arm("storage.succinct.build", /*skip=*/0,
+///                                 /*count=*/1);
+///   ... exercise the path, expect a clean Status ...
+///   FaultInjector::Instance().Reset();
+///
+/// Hit counters accumulate for every site that passes through XMLQ_FAULT
+/// while *any* site is armed, which lets tests discover how often a site is
+/// reached before choosing `skip`.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `site`: after `skip` passes, the next `count` hits report failure.
+  void Arm(std::string_view site, uint64_t skip = 0,
+           uint64_t count = std::numeric_limits<uint64_t>::max());
+
+  /// Disarms `site` (its hit counter is kept until Reset).
+  void Disarm(std::string_view site);
+
+  /// Disarms every site and clears all hit counters.
+  void Reset();
+
+  /// True when the fault at `site` should fire now. Records a hit either
+  /// way. Prefer the XMLQ_FAULT macro, which skips this entirely (including
+  /// the lock) while nothing is armed.
+  bool ShouldFail(std::string_view site);
+
+  /// Times `site` was evaluated while any site was armed.
+  uint64_t Hits(std::string_view site);
+
+  /// Lock-free fast-path check used by XMLQ_FAULT.
+  static bool AnyArmed() {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    bool armed = false;
+    uint64_t skip = 0;
+    uint64_t count = 0;
+    uint64_t hits = 0;
+  };
+
+  static std::atomic<int> armed_sites_;
+
+  std::mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+};
+
+/// True when the fault at `site` should fire now; ~free while disarmed.
+#define XMLQ_FAULT(site)                        \
+  (::xmlq::FaultInjector::AnyArmed() &&         \
+   ::xmlq::FaultInjector::Instance().ShouldFail(site))
+
+}  // namespace xmlq
+
+#endif  // XMLQ_BASE_FAULT_INJECTOR_H_

@@ -18,8 +18,19 @@ std::string_view StatusCodeName(StatusCode code) {
       return "out_of_range";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
+  for (StatusCode code : kAllStatusCodes) {
+    if (StatusCodeName(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

@@ -14,16 +14,31 @@ namespace xmlq {
 /// parse errors).
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,   // caller passed something malformed
-  kParseError,        // XML / XPath / XQuery syntax error
-  kNotFound,          // named document / variable / tag missing
-  kUnsupported,       // outside the implemented XQuery subset
-  kOutOfRange,        // index past the end of a container
-  kInternal,          // invariant violation inside the engine
+  kInvalidArgument,    // caller passed something malformed
+  kParseError,         // XML / XPath / XQuery syntax error
+  kNotFound,           // named document / variable / tag missing
+  kUnsupported,        // outside the implemented XQuery subset
+  kOutOfRange,         // index past the end of a container
+  kInternal,           // invariant violation inside the engine
+  kResourceExhausted,  // deadline, step quota, or memory budget exceeded
+  kCancelled,          // caller-requested cooperative cancellation
+};
+
+/// Every StatusCode value, for exhaustive iteration in tests and tooling.
+/// Keep in sync with the enum above (the round-trip test enforces this).
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,          StatusCode::kInvalidArgument,
+    StatusCode::kParseError,  StatusCode::kNotFound,
+    StatusCode::kUnsupported, StatusCode::kOutOfRange,
+    StatusCode::kInternal,    StatusCode::kResourceExhausted,
+    StatusCode::kCancelled,
 };
 
 /// Returns a stable lowercase name for `code` ("ok", "parse_error", ...).
 std::string_view StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName; nullopt for unrecognized names.
+std::optional<StatusCode> StatusCodeFromName(std::string_view name);
 
 /// Result of an operation that can fail without a payload. Cheap to copy in
 /// the OK case (no allocation); errors carry a message.
@@ -56,6 +71,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -12,32 +12,69 @@ using algebra::SchemaNodeKind;
 using algebra::Sequence;
 
 xml::NodeId CopySubtree(const xml::Document& src, xml::NodeId node,
-                        xml::Document* dst, xml::NodeId parent) {
-  switch (src.Kind(node)) {
-    case xml::NodeKind::kElement: {
-      const xml::NodeId copy = dst->AddElement(parent, src.NameStr(node));
-      for (xml::NodeId a = src.FirstAttr(node); a != xml::kNullNode;
-           a = src.NextSibling(a)) {
-        dst->AddAttribute(copy, src.NameStr(a), src.Text(a));
+                        xml::Document* dst, xml::NodeId parent,
+                        const ResourceGuard* guard) {
+  // Iterative preorder copy: the source subtree can be arbitrarily deep.
+  // Children are pushed in reverse so siblings are appended in order.
+  constexpr uint64_t kNodeOverhead = 48;  // rough per-node index cost
+  struct Task {
+    xml::NodeId src_node;
+    xml::NodeId dst_parent;
+  };
+  xml::NodeId result = xml::kNullNode;
+  bool first = true;
+  std::vector<Task> stack;
+  std::vector<xml::NodeId> children;  // scratch, reused across iterations
+  stack.push_back({node, parent});
+  while (!stack.empty()) {
+    const Task t = stack.back();
+    stack.pop_back();
+    if (guard != nullptr && guard->Tick(1)) break;
+    xml::NodeId copy = xml::kNullNode;
+    uint64_t bytes = kNodeOverhead;
+    switch (src.Kind(t.src_node)) {
+      case xml::NodeKind::kElement: {
+        copy = dst->AddElement(t.dst_parent, src.NameStr(t.src_node));
+        bytes += src.NameStr(t.src_node).size();
+        for (xml::NodeId a = src.FirstAttr(t.src_node); a != xml::kNullNode;
+             a = src.NextSibling(a)) {
+          dst->AddAttribute(copy, src.NameStr(a), src.Text(a));
+          bytes += kNodeOverhead + src.NameStr(a).size() + src.Text(a).size();
+        }
+        children.clear();
+        for (xml::NodeId c = src.FirstChild(t.src_node); c != xml::kNullNode;
+             c = src.NextSibling(c)) {
+          children.push_back(c);
+        }
+        for (size_t i = children.size(); i-- > 0;) {
+          stack.push_back({children[i], copy});
+        }
+        break;
       }
-      for (xml::NodeId c = src.FirstChild(node); c != xml::kNullNode;
-           c = src.NextSibling(c)) {
-        CopySubtree(src, c, dst, copy);
-      }
-      return copy;
+      case xml::NodeKind::kText:
+        copy = dst->AddText(t.dst_parent, src.Text(t.src_node));
+        bytes += src.Text(t.src_node).size();
+        break;
+      case xml::NodeKind::kComment:
+        copy = dst->AddComment(t.dst_parent, src.Text(t.src_node));
+        bytes += src.Text(t.src_node).size();
+        break;
+      case xml::NodeKind::kProcessingInstruction:
+        copy = dst->AddProcessingInstruction(
+            t.dst_parent, src.NameStr(t.src_node), src.Text(t.src_node));
+        bytes += src.NameStr(t.src_node).size() + src.Text(t.src_node).size();
+        break;
+      case xml::NodeKind::kAttribute:
+      case xml::NodeKind::kDocument:
+        continue;  // handled by callers
     }
-    case xml::NodeKind::kText:
-      return dst->AddText(parent, src.Text(node));
-    case xml::NodeKind::kComment:
-      return dst->AddComment(parent, src.Text(node));
-    case xml::NodeKind::kProcessingInstruction:
-      return dst->AddProcessingInstruction(parent, src.NameStr(node),
-                                           src.Text(node));
-    case xml::NodeKind::kAttribute:
-    case xml::NodeKind::kDocument:
-      break;  // handled by callers
+    if (first) {
+      result = copy;
+      first = false;
+    }
+    if (guard != nullptr && !guard->ChargeMemory(bytes).ok()) break;
   }
-  return xml::kNullNode;
+  return result;
 }
 
 namespace {
@@ -50,13 +87,19 @@ class Instantiator {
   using EvalFn =
       std::function<Result<Sequence>(const LogicalExpr& slot_expr)>;
 
-  Instantiator(const LogicalExpr& construct, xml::Document* dst, EvalFn eval)
-      : construct_(construct), dst_(dst), eval_(std::move(eval)) {}
+  Instantiator(const LogicalExpr& construct, xml::Document* dst,
+               const ResourceGuard* guard, EvalFn eval)
+      : construct_(construct),
+        dst_(dst),
+        guard_(guard),
+        eval_(std::move(eval)) {}
 
   Status Build(const SchemaNode& node, xml::NodeId parent) {
+    XMLQ_GUARD_TICK(guard_, 1);
     switch (node.kind) {
       case SchemaNodeKind::kElement: {
         const xml::NodeId elem = dst_->AddElement(parent, node.label);
+        XMLQ_GUARD_CHARGE(guard_, 48 + node.label.size());
         for (const SchemaAttr& attr : node.attrs) {
           if (attr.expr == algebra::kNoExpr) {
             dst_->AddAttribute(elem, attr.name, attr.literal);
@@ -132,12 +175,14 @@ class Instantiator {
           flush();
           for (xml::NodeId c = ref.doc->FirstChild(ref.id);
                c != xml::kNullNode; c = ref.doc->NextSibling(c)) {
-            CopySubtree(*ref.doc, c, dst_, parent);
+            CopySubtree(*ref.doc, c, dst_, parent, guard_);
+            XMLQ_GUARD_TICK(guard_, 0);  // the copy stops early on a trip
           }
           continue;
         }
         flush();
-        CopySubtree(*ref.doc, ref.id, dst_, parent);
+        CopySubtree(*ref.doc, ref.id, dst_, parent, guard_);
+        XMLQ_GUARD_TICK(guard_, 0);  // the copy stops early on a trip
       } else {
         if (has_pending) pending.push_back(' ');
         pending += item.StringValue();
@@ -150,6 +195,7 @@ class Instantiator {
 
   const LogicalExpr& construct_;
   xml::Document* dst_;
+  const ResourceGuard* guard_;
   EvalFn eval_;
 };
 
@@ -167,7 +213,7 @@ Result<Sequence> Executor::EvalConstruct(const LogicalExpr& expr,
         "γ requires an element constructor at the schema root");
   }
   auto doc = std::make_unique<xml::Document>();
-  Instantiator inst(expr, doc.get(),
+  Instantiator inst(expr, doc.get(), context_->guard,
                     [this, scope, out](const LogicalExpr& slot_expr) {
                       return Eval(slot_expr, scope, out);
                     });

@@ -1,6 +1,7 @@
 #ifndef XMLQ_EXEC_CONSTRUCT_H_
 #define XMLQ_EXEC_CONSTRUCT_H_
 
+#include "xmlq/base/limits.h"
 #include "xmlq/xml/document.h"
 
 namespace xmlq::exec {
@@ -9,8 +10,15 @@ namespace xmlq::exec {
 /// PI) of `src` as a new last child of `parent` in `dst`. Returns the copy's
 /// id. Used by the γ (construction) operator to splice query results into
 /// the output document.
+///
+/// The walk is iterative (explicit stack), so arbitrarily deep subtrees do
+/// not overflow the call stack. `guard` (optional) is ticked per copied node
+/// and charged the approximate bytes materialized; on a trip the copy stops
+/// early (partial subtree) and the caller must check the guard's sticky
+/// status before using the result.
 xml::NodeId CopySubtree(const xml::Document& src, xml::NodeId node,
-                        xml::Document* dst, xml::NodeId parent);
+                        xml::Document* dst, xml::NodeId parent,
+                        const ResourceGuard* guard = nullptr);
 
 }  // namespace xmlq::exec
 

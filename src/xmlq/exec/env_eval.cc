@@ -46,8 +46,9 @@ bool KeyLess(const std::vector<SortKey>& a, const std::vector<SortKey>& b) {
 class FlworEnvBuilder {
  public:
   FlworEnvBuilder(Executor* exec, const LogicalExpr& flwor,
-                  const Executor::Scope* outer, QueryResult* out)
-      : exec_(exec), flwor_(flwor), outer_(outer), out_(out) {}
+                  const Executor::Scope* outer, QueryResult* out,
+                  const ResourceGuard* guard)
+      : exec_(exec), flwor_(flwor), outer_(outer), out_(out), guard_(guard) {}
 
   Status Build(Env* env) {
     layer_of_.assign(flwor_.clauses.size(), -1);
@@ -87,6 +88,7 @@ class FlworEnvBuilder {
     switch (clause.kind) {
       case FlworClause::Kind::kFor: {
         for (Item& item : *value) {
+          XMLQ_GUARD_TICK(guard_, 1);
           values_.push_back(Sequence{std::move(item)});
           const uint32_t idx =
               env->AddBinding(layer_of_[ci], parent, values_.back());
@@ -124,6 +126,7 @@ class FlworEnvBuilder {
   const LogicalExpr& flwor_;
   const Executor::Scope* outer_;
   QueryResult* out_;
+  const ResourceGuard* guard_;
   std::vector<int> layer_of_;
   // Stable storage for binding values (the Env keeps copies; scopes point
   // here so later insertions cannot invalidate them).
@@ -152,6 +155,10 @@ Result<Sequence> Executor::EvalFlwor(const LogicalExpr& expr,
 
   // Evaluates order-by keys + the return expression under `tuple_scope`.
   auto eval_tuple = [&](const Scope* tuple_scope) {
+    if (context_->guard != nullptr && context_->guard->Tick(1)) {
+      failure = context_->guard->status();
+      return;
+    }
     TupleOutput to;
     for (const FlworClause* ob : orderbys) {
       auto key = Eval(*expr.children[ob->expr_child], tuple_scope, out);
@@ -181,7 +188,7 @@ Result<Sequence> Executor::EvalFlwor(const LogicalExpr& expr,
     // Materialize the Definition-3 environment, then evaluate the return
     // expression once per surviving total variable binding.
     Env env;
-    FlworEnvBuilder builder(this, expr, scope, out);
+    FlworEnvBuilder builder(this, expr, scope, out, context_->guard);
     XMLQ_RETURN_IF_ERROR(builder.Build(&env));
     env.ForEachTuple([&](const Env::Tuple& tuple) {
       if (!failure.ok()) return;
@@ -219,6 +226,7 @@ Result<Sequence> Executor::EvalFlwor(const LogicalExpr& expr,
       switch (clause.kind) {
         case FlworClause::Kind::kFor:
           for (Item& item : value) {
+            XMLQ_GUARD_TICK(context_->guard, 1);
             values.push_back(Sequence{std::move(item)});
             Scope s{cur, clause.var, &values.back()};
             XMLQ_RETURN_IF_ERROR(recurse(ci + 1, &s));

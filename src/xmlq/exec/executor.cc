@@ -79,24 +79,25 @@ const Sequence* Executor::LookupVar(const Scope* scope,
 
 Result<NodeList> Executor::MatchPattern(
     const IndexedDocument& doc, const algebra::PatternGraph& pattern) const {
+  const ResourceGuard* guard = context_->guard;
   auto run = [&]() -> Result<NodeList> {
     switch (context_->strategy) {
       case PatternStrategy::kNok:
-        return HybridMatch(doc, pattern);
+        return HybridMatch(doc, pattern, guard);
       case PatternStrategy::kTwigStack:
-        return TwigStackMatch(doc, pattern);
+        return TwigStackMatch(doc, pattern, guard);
       case PatternStrategy::kPathStack: {
         bool linear = true;
         for (algebra::VertexId v = 0; v < pattern.VertexCount(); ++v) {
           if (pattern.vertex(v).children.size() > 1) linear = false;
         }
-        return linear ? PathStackMatch(doc, pattern)
-                      : TwigStackMatch(doc, pattern);
+        return linear ? PathStackMatch(doc, pattern, guard)
+                      : TwigStackMatch(doc, pattern, guard);
       }
       case PatternStrategy::kBinaryJoin:
-        return BinaryJoinPlanMatch(doc, pattern);
+        return BinaryJoinPlanMatch(doc, pattern, {}, nullptr, guard);
       case PatternStrategy::kNaive:
-        return NaiveMatchPattern(*doc.dom, pattern);
+        return NaiveMatchPattern(*doc.dom, pattern, guard);
     }
     return Status::Internal("unknown pattern strategy");
   };
@@ -105,13 +106,16 @@ Result<NodeList> Executor::MatchPattern(
       context_->strategy != PatternStrategy::kNaive) {
     // Patterns outside a specialized engine's subset (e.g. following-sibling
     // arcs) always have the navigational evaluator as a safety net.
-    return NaiveMatchPattern(*doc.dom, pattern);
+    return NaiveMatchPattern(*doc.dom, pattern, guard);
   }
   return result;
 }
 
 Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
                                 QueryResult* out) {
+  // One step per operator evaluation; per-item costs are charged inside the
+  // operator bodies. Also the unwind point once the guard has tripped.
+  XMLQ_GUARD_TICK(context_->guard, 1);
   switch (expr.op) {
     case LogicalOp::kDocScan: {
       XMLQ_ASSIGN_OR_RETURN(const IndexedDocument* doc,
@@ -130,6 +134,7 @@ Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
     case LogicalOp::kSelectTag: {
       XMLQ_ASSIGN_OR_RETURN(Sequence input,
                             Eval(*expr.children[0], scope, out));
+      XMLQ_GUARD_TICK(context_->guard, input.size());
       Sequence result;
       for (const Item& item : input) {
         if (item.IsNode() &&
@@ -143,6 +148,7 @@ Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
     case LogicalOp::kSelectValue: {
       XMLQ_ASSIGN_OR_RETURN(Sequence input,
                             Eval(*expr.children[0], scope, out));
+      XMLQ_GUARD_TICK(context_->guard, input.size());
       Sequence result;
       for (const Item& item : input) {
         if (expr.predicate.Eval(item.StringValue())) result.push_back(item);
@@ -165,6 +171,7 @@ Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
                             Eval(*expr.children[0], scope, out));
       Sequence result;
       for (const Item& item : input) {
+        XMLQ_GUARD_TICK(context_->guard, 1);
         if (!item.IsNode()) continue;
         if (MatchesFilter(*item.node().doc, item.node().id, *expr.pattern)) {
           result.push_back(item);
@@ -180,6 +187,7 @@ Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
       Sequence result;
       for (const auto& child : expr.children) {
         XMLQ_ASSIGN_OR_RETURN(Sequence part, Eval(*child, scope, out));
+        XMLQ_GUARD_TICK(context_->guard, part.size());
         for (Item& item : part) result.push_back(std::move(item));
       }
       return result;
@@ -207,14 +215,19 @@ Result<Sequence> Executor::EvalNavigate(const LogicalExpr& expr,
   vertex.label = expr.str.empty() ? "*" : expr.str;
   vertex.is_attribute = expr.is_attribute;
   vertex.incoming_axis = expr.axis;
+  const ResourceGuard* guard = context_->guard;
   Sequence result;
   for (const Item& item : input) {
+    XMLQ_GUARD_TICK(guard, 1);
     if (!item.IsNode()) continue;
     const xml::Document* doc = item.node().doc;
-    for (xml::NodeId id : AxisStep(*doc, item.node().id, vertex)) {
+    for (xml::NodeId id : AxisStep(*doc, item.node().id, vertex, guard)) {
       result.push_back(Item(NodeRef{doc, id}));
     }
+    // AxisStep stops early on a trip; surface the sticky error here.
+    XMLQ_GUARD_TICK(guard, 0);
   }
+  XMLQ_GUARD_CHARGE(guard, result.size() * sizeof(Item));
   algebra::SortDocOrderDedup(&result);
   return result;
 }
@@ -234,6 +247,8 @@ Result<Sequence> Executor::EvalStructuralJoin(const LogicalExpr& expr,
   }
   if (dom == nullptr) return Sequence{};
   XMLQ_ASSIGN_OR_RETURN(const IndexedDocument* doc, DocumentOf(dom));
+  const ResourceGuard* guard = context_->guard;
+  XMLQ_GUARD_TICK(guard, left.size() + right.size());
   const NodeList anc = ToNodeList(*dom, left);
   const NodeList desc = ToNodeList(*dom, right);
   const bool parent_child = expr.axis == algebra::Axis::kChild ||
@@ -242,10 +257,12 @@ Result<Sequence> Executor::EvalStructuralJoin(const LogicalExpr& expr,
       expr.return_ancestor
           ? StructuralSemiJoinAnc(ToRegions(*doc->regions, anc),
                                   ToRegions(*doc->regions, desc),
-                                  parent_child)
+                                  parent_child, guard)
           : StructuralSemiJoinDesc(ToRegions(*doc->regions, anc),
                                    ToRegions(*doc->regions, desc),
-                                   parent_child);
+                                   parent_child, guard);
+  // The semi-joins stop early on a trip; surface the sticky error here.
+  XMLQ_GUARD_TICK(guard, 0);
   return ToSequence(*dom, joined);
 }
 
@@ -256,11 +273,16 @@ Result<Sequence> Executor::EvalValueJoin(const LogicalExpr& expr,
   XMLQ_ASSIGN_OR_RETURN(Sequence right, Eval(*expr.children[1], scope, out));
   // ⋈v semi-join semantics: keep left items whose string-value compares
   // true against at least one right item.
+  const ResourceGuard* guard = context_->guard;
+  XMLQ_GUARD_TICK(guard, right.size());
   std::vector<std::string> right_values;
   right_values.reserve(right.size());
   for (const Item& item : right) right_values.push_back(item.StringValue());
   Sequence result;
   for (const Item& item : left) {
+    // The nested-loop comparison is the engine's only quadratic operator;
+    // charge its true per-row cost so small step budgets bite here.
+    XMLQ_GUARD_TICK(guard, right_values.size() + 1);
     algebra::ValuePredicate pred;
     pred.op = expr.predicate.op;
     pred.numeric = expr.predicate.numeric;
@@ -299,6 +321,7 @@ Result<Sequence> Executor::EvalTreePattern(const LogicalExpr& expr,
   }
   XMLQ_ASSIGN_OR_RETURN(const IndexedDocument* doc, DocumentOf(dom));
   XMLQ_ASSIGN_OR_RETURN(NodeList matches, MatchPattern(*doc, *expr.pattern));
+  XMLQ_GUARD_CHARGE(context_->guard, matches.size() * sizeof(xml::NodeId));
   return ToSequence(*dom, matches);
 }
 

@@ -8,6 +8,7 @@
 
 #include "xmlq/algebra/env.h"
 #include "xmlq/algebra/logical_plan.h"
+#include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/node_stream.h"
 
@@ -38,6 +39,10 @@ struct EvalContext {
   std::map<std::string, IndexedDocument, std::less<>> documents;
   PatternStrategy strategy = PatternStrategy::kNok;
   FlworMode flwor_mode = FlworMode::kEnv;
+  /// Optional resource governor polled throughout evaluation (deadline,
+  /// step quota, memory budget, cancellation). Not owned; must outlive the
+  /// evaluation. Null means ungoverned.
+  const ResourceGuard* guard = nullptr;
 };
 
 /// Holds a query's output plus any documents constructed by γ (node items

@@ -120,8 +120,10 @@ Result<Sequence> Executor::EvalBinary(const LogicalExpr& expr,
   XMLQ_ASSIGN_OR_RETURN(Sequence right, Eval(*expr.children[1], scope, out));
 
   if (IsComparison(expr.binary)) {
-    // General comparison: existential over both sequences.
+    // General comparison: existential over both sequences (quadratic, so
+    // charge one step per pair probed).
     for (const Item& a : left) {
+      XMLQ_GUARD_TICK(context_->guard, right.size() + 1);
       for (const Item& b : right) {
         if (CompareItems(expr.binary, a, b)) return Sequence{Item(true)};
       }

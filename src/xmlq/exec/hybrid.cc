@@ -56,7 +56,8 @@ bool NeedsFallback(const PatternGraph& graph, const NokPartition& partition,
 }  // namespace
 
 Result<NodeList> HybridMatch(const IndexedDocument& doc,
-                             const PatternGraph& pattern) {
+                             const PatternGraph& pattern,
+                             const ResourceGuard* guard) {
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   const VertexId output = pattern.SoleOutput();
   if (output == algebra::kNoVertex) {
@@ -65,7 +66,7 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
   }
   const NokPartition partition = xpath::PartitionNok(pattern);
   if (NeedsFallback(pattern, partition, output)) {
-    return TwigStackMatch(doc, pattern);
+    return TwigStackMatch(doc, pattern, guard);
   }
 
   const size_t num_parts = partition.parts.size();
@@ -116,10 +117,11 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
       candidates_ptr = &candidates;
     }
     auto result = MatchNokPart(*doc.succinct, pattern, partition.parts[p],
-                               requested[p], candidates_ptr);
+                               requested[p], candidates_ptr, guard);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kUnsupported) {
-        return TwigStackMatch(doc, pattern);  // e.g. following-sibling arcs
+        // e.g. following-sibling arcs
+        return TwigStackMatch(doc, pattern, guard);
       }
       return result.status();
     }
@@ -152,13 +154,15 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
         w_bindings = StructuralSemiJoinAnc(
             ToRegions(*doc.regions, w_bindings),
             ToRegions(*doc.regions, valid_heads[q]),
-            /*parent_child=*/false);
+            /*parent_child=*/false, guard);
+        XMLQ_GUARD_TICK(guard, 0);  // semi-joins stop early on a trip
         if (w_bindings.empty()) break;
       }
       valid_attach[p][slot] = w_bindings;
       // Keep heads that own at least one surviving attach binding.
       std::unordered_set<uint32_t> ok_w(w_bindings.begin(), w_bindings.end());
       std::unordered_set<uint32_t> ok_heads;
+      XMLQ_GUARD_TICK(guard, matched[p].pairs[slot].size());
       for (const JoinPair& pair : matched[p].pairs[slot]) {
         if (ok_w.count(pair.descendant) > 0) ok_heads.insert(pair.ancestor);
       }
@@ -185,6 +189,7 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
     NodeList reach_w;
     std::unordered_set<uint32_t> valid_w(valid_attach[p][slot].begin(),
                                          valid_attach[p][slot].end());
+    XMLQ_GUARD_TICK(guard, matched[p].pairs[slot].size());
     for (const JoinPair& pair : matched[p].pairs[slot]) {
       if (reach_p.count(pair.ancestor) > 0 &&
           valid_w.count(pair.descendant) > 0) {
@@ -195,7 +200,8 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
     reach_heads[q] = StructuralSemiJoinDesc(
         ToRegions(*doc.regions, reach_w),
         ToRegions(*doc.regions, valid_heads[q]),
-        /*parent_child=*/false);
+        /*parent_child=*/false, guard);
+    XMLQ_GUARD_TICK(guard, 0);  // semi-joins stop early on a trip
   }
 
   // Extract the output bindings.

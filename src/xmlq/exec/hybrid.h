@@ -2,6 +2,7 @@
 #define XMLQ_EXEC_HYBRID_H_
 
 #include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/node_stream.h"
 
@@ -24,7 +25,8 @@ namespace xmlq::exec {
 /// fragment are nested (requiring correlated bindings the per-fragment pair
 /// lists cannot express) fall back to TwigStack transparently.
 Result<NodeList> HybridMatch(const IndexedDocument& doc,
-                             const algebra::PatternGraph& pattern);
+                             const algebra::PatternGraph& pattern,
+                             const ResourceGuard* guard = nullptr);
 
 }  // namespace xmlq::exec
 

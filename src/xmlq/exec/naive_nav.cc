@@ -29,52 +29,74 @@ void CollectChildren(const xml::Document& doc, xml::NodeId context,
 
 void CollectDescendants(const xml::Document& doc, xml::NodeId context,
                         const PatternVertex& vertex, bool include_self,
-                        NodeList* out) {
-  if (include_self && MatchesNodeTest(vertex, doc, context)) {
-    out->push_back(context);
-  }
-  if (vertex.is_attribute && doc.Kind(context) == xml::NodeKind::kElement) {
-    for (xml::NodeId a = doc.FirstAttr(context); a != xml::kNullNode;
-         a = doc.NextSibling(a)) {
-      if (MatchesNodeTest(vertex, doc, a)) out->push_back(a);
+                        const ResourceGuard* guard, NodeList* out) {
+  // Explicit-stack preorder walk: the DOM can be arbitrarily deep, so
+  // recursing per tree level would overflow the call stack on pathological
+  // documents. Children are pushed in reverse to preserve document order.
+  struct Frame {
+    xml::NodeId node;
+    bool include_self;
+  };
+  std::vector<Frame> stack;
+  std::vector<xml::NodeId> children;  // scratch, reused across iterations
+  stack.push_back({context, include_self});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (guard != nullptr && guard->Tick(1)) return;
+    if (f.include_self && MatchesNodeTest(vertex, doc, f.node)) {
+      out->push_back(f.node);
     }
-  }
-  for (xml::NodeId c = doc.FirstChild(context); c != xml::kNullNode;
-       c = doc.NextSibling(c)) {
-    CollectDescendants(doc, c, vertex, /*include_self=*/!vertex.is_attribute,
-                       out);
+    if (vertex.is_attribute && doc.Kind(f.node) == xml::NodeKind::kElement) {
+      for (xml::NodeId a = doc.FirstAttr(f.node); a != xml::kNullNode;
+           a = doc.NextSibling(a)) {
+        if (MatchesNodeTest(vertex, doc, a)) out->push_back(a);
+      }
+    }
+    children.clear();
+    for (xml::NodeId c = doc.FirstChild(f.node); c != xml::kNullNode;
+         c = doc.NextSibling(c)) {
+      children.push_back(c);
+    }
+    for (size_t i = children.size(); i-- > 0;) {
+      stack.push_back({children[i], /*include_self=*/!vertex.is_attribute});
+    }
   }
 }
 
 }  // namespace
 
 NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
-                  const PatternVertex& vertex) {
+                  const PatternVertex& vertex, const ResourceGuard* guard) {
   NodeList out;
   switch (vertex.incoming_axis) {
     case Axis::kChild:
     case Axis::kAttribute:
       CollectChildren(doc, context, vertex, &out);
+      if (guard != nullptr) guard->Tick(out.size() + 1);
       break;
     case Axis::kDescendant:
       if (vertex.is_attribute) {
         // `//@a`: attributes of the context and of every descendant.
         CollectDescendants(doc, context, vertex, /*include_self=*/false,
-                           &out);
+                           guard, &out);
       } else {
         for (xml::NodeId c = doc.FirstChild(context); c != xml::kNullNode;
              c = doc.NextSibling(c)) {
-          CollectDescendants(doc, c, vertex, /*include_self=*/true, &out);
+          CollectDescendants(doc, c, vertex, /*include_self=*/true, guard,
+                             &out);
         }
       }
       break;
     case Axis::kFollowingSibling:
       for (xml::NodeId s = doc.NextSibling(context); s != xml::kNullNode;
            s = doc.NextSibling(s)) {
+        if (guard != nullptr && guard->Tick(1)) break;
         if (MatchesNodeTest(vertex, doc, s)) out.push_back(s);
       }
       break;
     case Axis::kSelf:
+      if (guard != nullptr) guard->Tick(1);
       if (MatchesNodeTest(vertex, doc, context)) out.push_back(context);
       break;
   }
@@ -112,8 +134,9 @@ namespace {
 
 class NaiveMatcher {
  public:
-  NaiveMatcher(const xml::Document& doc, const PatternGraph& pattern)
-      : doc_(doc), pattern_(pattern) {}
+  NaiveMatcher(const xml::Document& doc, const PatternGraph& pattern,
+               const ResourceGuard* guard)
+      : doc_(doc), pattern_(pattern), guard_(guard) {}
 
   Result<NodeList> Run() {
     const VertexId output = pattern_.SoleOutput();
@@ -140,7 +163,9 @@ class NaiveMatcher {
           i + 1 < spine.size() ? spine[i + 1] : algebra::kNoVertex;
       NodeList next;
       for (xml::NodeId ctx : contexts) {
-        for (xml::NodeId node : AxisStep(doc_, ctx, pattern_.vertex(v))) {
+        XMLQ_GUARD_TICK(guard_, 1);
+        for (xml::NodeId node :
+             AxisStep(doc_, ctx, pattern_.vertex(v), guard_)) {
           if (!EvalVertexPredicates(pattern_.vertex(v), doc_, node)) continue;
           if (!EvalBranchesExcept(v, node, skip_child)) continue;
           next.push_back(node);
@@ -150,6 +175,7 @@ class NaiveMatcher {
       contexts = std::move(next);
       if (contexts.empty()) break;
     }
+    XMLQ_GUARD_TICK(guard_, 0);  // surface a trip from the inner walks
     return contexts;
   }
 
@@ -165,8 +191,12 @@ class NaiveMatcher {
   }
 
   /// True iff the subtree pattern rooted at `v` embeds under `context`.
+  /// Returns false (no embedding) once the guard trips; the caller surfaces
+  /// the sticky status.
   bool ExistsEmbedding(VertexId v, xml::NodeId context) {
-    for (xml::NodeId node : AxisStep(doc_, context, pattern_.vertex(v))) {
+    for (xml::NodeId node :
+         AxisStep(doc_, context, pattern_.vertex(v), guard_)) {
+      if (guard_ != nullptr && guard_->Tick(1)) return false;
       if (!EvalVertexPredicates(pattern_.vertex(v), doc_, node)) continue;
       bool all = true;
       for (VertexId c : pattern_.vertex(v).children) {
@@ -182,19 +212,22 @@ class NaiveMatcher {
 
   const xml::Document& doc_;
   const PatternGraph& pattern_;
+  const ResourceGuard* guard_;
 };
 
 }  // namespace
 
 Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
-                                   const PatternGraph& pattern) {
+                                   const PatternGraph& pattern,
+                                   const ResourceGuard* guard) {
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
-  NaiveMatcher matcher(doc, pattern);
+  NaiveMatcher matcher(doc, pattern, guard);
   return matcher.Run();
 }
 
 Result<algebra::NestedList> MatchPatternNested(const xml::Document& doc,
-                                               const PatternGraph& pattern) {
+                                               const PatternGraph& pattern,
+                                               const ResourceGuard* guard) {
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   // Bindings per output vertex: evaluate the same pattern once per output
   // (each evaluation enforces the full twig, so every binding is part of a
@@ -205,13 +238,16 @@ Result<algebra::NestedList> MatchPatternNested(const xml::Document& doc,
     for (VertexId v = 0; v < solo.VertexCount(); ++v) {
       solo.mutable_vertex(v).output = v == out;
     }
-    XMLQ_ASSIGN_OR_RETURN(NodeList bindings, NaiveMatchPattern(doc, solo));
+    XMLQ_ASSIGN_OR_RETURN(NodeList bindings,
+                          NaiveMatchPattern(doc, solo, guard));
     all.insert(all.end(), bindings.begin(), bindings.end());
   }
   Normalize(&all);
 
   // Subtree ends for containment tests (pre-order ids: the subtree of n is
   // the id range [n, end[n]]).
+  XMLQ_GUARD_CHARGE(guard, doc.NodeCount() * sizeof(xml::NodeId));
+  XMLQ_GUARD_TICK(guard, doc.NodeCount());
   std::vector<xml::NodeId> end(doc.NodeCount());
   for (size_t i = 0; i < end.size(); ++i) end[i] = static_cast<xml::NodeId>(i);
   for (size_t i = end.size(); i-- > 1;) {

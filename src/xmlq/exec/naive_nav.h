@@ -3,6 +3,7 @@
 
 #include "xmlq/algebra/pattern_graph.h"
 #include "xmlq/algebra/value.h"
+#include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/node_stream.h"
 
@@ -18,7 +19,8 @@ namespace xmlq::exec {
 /// `pattern` must have a sole output vertex. Returns the output-vertex
 /// bindings, sorted in document order without duplicates.
 Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
-                                   const algebra::PatternGraph& pattern);
+                                   const algebra::PatternGraph& pattern,
+                                   const ResourceGuard* guard = nullptr);
 
 /// Nodes reachable from `context` via one step (axis + vertex node test,
 /// without predicates), in document order. Exposed for reuse by the
@@ -27,8 +29,11 @@ Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
 /// Axis semantics: kDescendant from an element/document node yields proper
 /// descendants for element tests, and descendant-or-self attributes for
 /// attribute tests (matching `//@a` expansion).
+/// `guard` (optional) is ticked per visited node; on a trip the walk stops
+/// early with partial output and the caller must check the guard's status.
 NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
-                  const algebra::PatternVertex& vertex);
+                  const algebra::PatternVertex& vertex,
+                  const ResourceGuard* guard = nullptr);
 
 /// The full τ signature of Table 1: Tree × PatternGraph → NestedList.
 /// Every vertex in the pattern's output set O contributes its bindings; the
@@ -37,7 +42,8 @@ NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
 /// nested in the output nested list iff they are in immediate
 /// ancestor-descendant relationship in the input tree").
 Result<algebra::NestedList> MatchPatternNested(
-    const xml::Document& doc, const algebra::PatternGraph& pattern);
+    const xml::Document& doc, const algebra::PatternGraph& pattern,
+    const ResourceGuard* guard = nullptr);
 
 /// Per-node predicate filter: true iff the filter graph embeds *at*
 /// `context` — the root vertex's value predicates hold on the context's

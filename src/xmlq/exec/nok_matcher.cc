@@ -121,8 +121,9 @@ struct Frame {
 class Scanner {
  public:
   Scanner(const SuccinctDocument& doc, const PatternGraph& graph,
-          const CompiledPart& part, size_t requested_count)
-      : doc_(doc), graph_(graph), part_(part) {
+          const CompiledPart& part, size_t requested_count,
+          const ResourceGuard* guard)
+      : doc_(doc), graph_(graph), part_(part), guard_(guard) {
     result_.pairs.resize(requested_count);
     result_.bindings.resize(requested_count);
   }
@@ -145,14 +146,17 @@ class Scanner {
     const storage::BalancedParens& bp = doc_.bp();
     anchor_depth_only_ = true;
     for (const uint32_t head_rank : candidates) {
+      if (tripped_) break;
       const size_t begin = bp.Select1(head_rank);
       const size_t end = bp.FindClose(begin);
       ScanWindow(begin, end, head_rank, /*head_anchors_anywhere=*/false);
-      assert(depth_ == 0);
+      assert(tripped_ || depth_ == 0);
     }
     Finish();
     return std::move(result_);
   }
+
+  bool tripped() const { return tripped_; }
 
  private:
   /// Scans BP positions [begin, end]. When the head cannot anchor below the
@@ -169,6 +173,13 @@ class Scanner {
         Close();
         ++pos;
         continue;
+      }
+      // One guard step per scanned node — the NoK hot path. On a trip the
+      // scan aborts with partial state; MatchNokPart surfaces the sticky
+      // error before any result escapes.
+      if (guard_ != nullptr && guard_->Tick(1)) {
+        tripped_ = true;
+        return;
       }
       Open(next_rank++);
       if (!head_anchors_anywhere && frames_[depth_ - 1].active == 0) {
@@ -347,9 +358,11 @@ class Scanner {
   const SuccinctDocument& doc_;
   const PatternGraph& graph_;
   const CompiledPart& part_;
+  const ResourceGuard* guard_ = nullptr;
   std::vector<Frame> frames_;
   size_t depth_ = 0;
   bool anchor_depth_only_ = false;
+  bool tripped_ = false;
   NokMatchResult result_;
 };
 
@@ -359,7 +372,8 @@ Result<NokMatchResult> MatchNokPart(const SuccinctDocument& doc,
                                     const PatternGraph& graph,
                                     const NokPart& part,
                                     std::span<const VertexId> requested,
-                                    const std::vector<uint32_t>* head_candidates) {
+                                    const std::vector<uint32_t>* head_candidates,
+                                    const ResourceGuard* guard) {
   XMLQ_ASSIGN_OR_RETURN(CompiledPart compiled,
                         Compile(doc, graph, part, requested));
   if (compiled.never_matches) {
@@ -368,7 +382,7 @@ Result<NokMatchResult> MatchNokPart(const SuccinctDocument& doc,
     empty.bindings.resize(requested.size());
     return empty;
   }
-  Scanner scanner(doc, graph, compiled, requested.size());
+  Scanner scanner(doc, graph, compiled, requested.size(), guard);
   if (head_candidates != nullptr) {
     // Degenerate single-vertex part: the candidates *are* the matches (the
     // tag stream is exact); only value predicates need checking.
@@ -378,6 +392,7 @@ Result<NokMatchResult> MatchNokPart(const SuccinctDocument& doc,
       out.bindings.resize(requested.size());
       const PatternVertex& head = graph.vertex(part.head);
       for (const uint32_t rank : *head_candidates) {
+        XMLQ_GUARD_TICK(guard, 1);
         if (!head.predicates.empty()) {
           const std::string value = doc.StringValue(rank);
           bool ok = true;
@@ -397,13 +412,18 @@ Result<NokMatchResult> MatchNokPart(const SuccinctDocument& doc,
       }
       return out;
     }
-    return scanner.RunOnCandidates(*head_candidates);
+    NokMatchResult result = scanner.RunOnCandidates(*head_candidates);
+    XMLQ_GUARD_TICK(guard, 0);  // surface a mid-scan trip
+    return result;
   }
-  return scanner.Run();
+  NokMatchResult result = scanner.Run();
+  XMLQ_GUARD_TICK(guard, 0);  // surface a mid-scan trip
+  return result;
 }
 
 Result<NodeList> MatchNokPattern(const SuccinctDocument& doc,
-                                 const PatternGraph& graph) {
+                                 const PatternGraph& graph,
+                                 const ResourceGuard* guard) {
   const VertexId output = graph.SoleOutput();
   if (output == algebra::kNoVertex) {
     return Status::InvalidArgument("pattern must have a sole output vertex");
@@ -416,7 +436,7 @@ Result<NodeList> MatchNokPattern(const SuccinctDocument& doc,
   const VertexId requested[] = {output};
   XMLQ_ASSIGN_OR_RETURN(
       NokMatchResult result,
-      MatchNokPart(doc, graph, partition.parts[0], requested));
+      MatchNokPart(doc, graph, partition.parts[0], requested, nullptr, guard));
   return std::move(result.bindings[0]);
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/node_stream.h"
 #include "xmlq/exec/structural_join.h"
@@ -52,16 +53,20 @@ struct NokMatchResult {
 /// pattern by local navigation). Candidates must be pre-order ranks in
 /// document order, and must include every node the head could match (the
 /// per-tag stream from the region index is exactly that).
+/// `guard` (optional) is ticked once per scanned node; on a trip the scan
+/// aborts and the guard's sticky status is returned.
 Result<NokMatchResult> MatchNokPart(
     const storage::SuccinctDocument& doc, const algebra::PatternGraph& graph,
     const xpath::NokPart& part, std::span<const algebra::VertexId> requested,
-    const std::vector<uint32_t>* head_candidates = nullptr);
+    const std::vector<uint32_t>* head_candidates = nullptr,
+    const ResourceGuard* guard = nullptr);
 
 /// Convenience wrapper: matches a pattern that is a single NoK part (no
 /// descendant arcs except the head's incoming arc) and returns the sole
 /// output vertex's bindings. Used by σs-style scans and tests.
 Result<NodeList> MatchNokPattern(const storage::SuccinctDocument& doc,
-                                 const algebra::PatternGraph& graph);
+                                 const algebra::PatternGraph& graph,
+                                 const ResourceGuard* guard = nullptr);
 
 }  // namespace xmlq::exec
 

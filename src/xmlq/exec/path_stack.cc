@@ -19,7 +19,8 @@ constexpr uint32_t kInfinity = std::numeric_limits<uint32_t>::max();
 }  // namespace
 
 Result<NodeList> PathStackMatch(const IndexedDocument& doc,
-                                const PatternGraph& pattern) {
+                                const PatternGraph& pattern,
+                                const ResourceGuard* guard) {
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   const VertexId output = pattern.SoleOutput();
   if (output == algebra::kNoVertex) {
@@ -54,6 +55,8 @@ Result<NodeList> PathStackMatch(const IndexedDocument& doc,
   };
 
   while (true) {
+    // One step per merge iteration (k is a small constant per iteration).
+    XMLQ_GUARD_TICK(guard, 1);
     // Pick the globally smallest start across all step streams.
     VertexId q = 0;
     uint32_t best = kInfinity;
@@ -81,6 +84,7 @@ Result<NodeList> PathStackMatch(const IndexedDocument& doc,
         const bool parent_child =
             pattern.vertex(q).incoming_axis == Axis::kChild ||
             pattern.vertex(q).incoming_axis == Axis::kAttribute;
+        XMLQ_GUARD_TICK(guard, stacks[parent].size());
         for (const Region& anc : stacks[parent]) {
           if (anc.start >= cur.start) continue;  // proper ancestors only
           if (parent_child && anc.level + 1 != cur.level) continue;

@@ -2,6 +2,7 @@
 #define XMLQ_EXEC_PATH_STACK_H_
 
 #include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/node_stream.h"
 
@@ -17,7 +18,8 @@ namespace xmlq::exec {
 /// The pattern must be a chain (every vertex has at most one child);
 /// patterns with branches yield kInvalidArgument.
 Result<NodeList> PathStackMatch(const IndexedDocument& doc,
-                                const algebra::PatternGraph& pattern);
+                                const algebra::PatternGraph& pattern,
+                                const ResourceGuard* guard = nullptr);
 
 }  // namespace xmlq::exec
 

@@ -10,14 +10,19 @@ using storage::Region;
 namespace {
 
 /// Shared Stack-Tree merge skeleton. Calls `emit(ancestor, descendant)` for
-/// every qualifying pair (or, for semi-joins, the callers early-out).
+/// every qualifying pair (or, for semi-joins, the callers early-out). When
+/// `guard` trips, the merge stops early (partial output); callers are
+/// responsible for surfacing the guard's sticky status.
 template <typename Emit>
 void StackTreeMerge(std::span<const Region> ancestors,
                     std::span<const Region> descendants, bool parent_child,
-                    Emit&& emit) {
+                    const ResourceGuard* guard, Emit&& emit) {
   std::vector<Region> stack;
   size_t a = 0;
   for (const Region& d : descendants) {
+    // One step per descendant plus one per stack entry examined below (the
+    // output-sensitive part of the merge).
+    if (guard != nullptr && guard->Tick(1 + stack.size())) return;
     // Push every ancestor starting before d (it may enclose d); keep the
     // stack a nesting chain by first popping closed regions.
     while (a < ancestors.size() && ancestors[a].start < d.start) {
@@ -43,9 +48,10 @@ void StackTreeMerge(std::span<const Region> ancestors,
 
 std::vector<JoinPair> StructuralJoinPairs(std::span<const Region> ancestors,
                                           std::span<const Region> descendants,
-                                          bool parent_child) {
+                                          bool parent_child,
+                                          const ResourceGuard* guard) {
   std::vector<JoinPair> out;
-  StackTreeMerge(ancestors, descendants, parent_child,
+  StackTreeMerge(ancestors, descendants, parent_child, guard,
                  [&out](const Region& a, const Region& d) {
                    out.push_back(JoinPair{a.start, d.start});
                  });
@@ -54,10 +60,11 @@ std::vector<JoinPair> StructuralJoinPairs(std::span<const Region> ancestors,
 
 NodeList StructuralSemiJoinDesc(std::span<const Region> ancestors,
                                 std::span<const Region> descendants,
-                                bool parent_child) {
+                                bool parent_child,
+                                const ResourceGuard* guard) {
   NodeList out;
   xml::NodeId last = xml::kNullNode;
-  StackTreeMerge(ancestors, descendants, parent_child,
+  StackTreeMerge(ancestors, descendants, parent_child, guard,
                  [&out, &last](const Region&, const Region& d) {
                    if (d.start != last) {
                      out.push_back(d.start);
@@ -70,9 +77,10 @@ NodeList StructuralSemiJoinDesc(std::span<const Region> ancestors,
 
 NodeList StructuralSemiJoinAnc(std::span<const Region> ancestors,
                                std::span<const Region> descendants,
-                               bool parent_child) {
+                               bool parent_child,
+                               const ResourceGuard* guard) {
   NodeList out;
-  StackTreeMerge(ancestors, descendants, parent_child,
+  StackTreeMerge(ancestors, descendants, parent_child, guard,
                  [&out](const Region& a, const Region&) {
                    out.push_back(a.start);
                  });
@@ -112,7 +120,8 @@ Result<std::vector<Region>> BuildVertexStream(
 
 Result<NodeList> BinaryJoinPlanMatch(
     const IndexedDocument& doc, const algebra::PatternGraph& pattern,
-    std::span<const algebra::VertexId> edge_order, JoinPlanStats* stats) {
+    std::span<const algebra::VertexId> edge_order, JoinPlanStats* stats,
+    const ResourceGuard* guard) {
   using algebra::Axis;
   using algebra::VertexId;
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
@@ -152,7 +161,8 @@ Result<NodeList> BinaryJoinPlanMatch(
         pattern.vertex(v).incoming_axis == Axis::kChild ||
         pattern.vertex(v).incoming_axis == Axis::kAttribute;
     pairs[v] = StructuralJoinPairs(candidates[parent], candidates[v],
-                                   parent_child);
+                                   parent_child, guard);
+    XMLQ_GUARD_TICK(guard, 0);  // the merge stops early on a trip
     if (stats != nullptr) stats->pairs_produced += pairs[v].size();
     // Semi-join reduction of both sides for the joins still to come.
     NodeList anc_ids, desc_ids;

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "xmlq/base/limits.h"
 #include "xmlq/exec/node_stream.h"
 #include "xmlq/storage/region_index.h"
 
@@ -19,21 +20,29 @@ struct JoinPair {
 /// region-sorted streams in O(|A| + |D| + |output|), maintaining the chain
 /// of currently-open ancestors on a stack. `parent_child` restricts to
 /// level-adjacent pairs. Inputs must be sorted by `start`.
+///
+/// These merges return plain containers, so on a guard trip they *stop
+/// early* (possibly with partial output) and leave the error in the guard's
+/// sticky status; callers holding the guard must check it after the call
+/// (the executor's XMLQ_GUARD_TICK(guard, 0) idiom).
 std::vector<JoinPair> StructuralJoinPairs(
     std::span<const storage::Region> ancestors,
-    std::span<const storage::Region> descendants, bool parent_child);
+    std::span<const storage::Region> descendants, bool parent_child,
+    const ResourceGuard* guard = nullptr);
 
 /// Semi-join: distinct descendants having at least one ancestor in
 /// `ancestors`, in document order.
 NodeList StructuralSemiJoinDesc(std::span<const storage::Region> ancestors,
                                 std::span<const storage::Region> descendants,
-                                bool parent_child);
+                                bool parent_child,
+                                const ResourceGuard* guard = nullptr);
 
 /// Semi-join: distinct ancestors having at least one descendant in
 /// `descendants`, in document order.
 NodeList StructuralSemiJoinAnc(std::span<const storage::Region> ancestors,
                                std::span<const storage::Region> descendants,
-                               bool parent_child);
+                               bool parent_child,
+                               const ResourceGuard* guard = nullptr);
 
 /// Builds a region stream (document-ordered) from a normalized node list.
 std::vector<storage::Region> ToRegions(const storage::RegionIndex& index,
@@ -59,7 +68,7 @@ struct JoinPlanStats {
 Result<NodeList> BinaryJoinPlanMatch(
     const IndexedDocument& doc, const algebra::PatternGraph& pattern,
     std::span<const algebra::VertexId> edge_order = {},
-    JoinPlanStats* stats = nullptr);
+    JoinPlanStats* stats = nullptr, const ResourceGuard* guard = nullptr);
 
 /// Merge phase shared by the holistic matchers: given, per non-root pattern
 /// vertex, the set of structurally-verified (parent binding, vertex binding)

@@ -26,8 +26,9 @@ struct StackEntry {
 
 class TwigStackRunner {
  public:
-  TwigStackRunner(const IndexedDocument& doc, const PatternGraph& pattern)
-      : doc_(doc), pattern_(pattern) {}
+  TwigStackRunner(const IndexedDocument& doc, const PatternGraph& pattern,
+                  const ResourceGuard* guard)
+      : doc_(doc), pattern_(pattern), guard_(guard) {}
 
   Result<NodeList> Run() {
     XMLQ_RETURN_IF_ERROR(pattern_.Validate());
@@ -63,9 +64,13 @@ class TwigStackRunner {
       CleanStack(q, cur.start);
       if (q != pattern_.root()) CleanStack(pattern_.vertex(q).parent, cur.start);
       const VertexId parent = pattern_.vertex(q).parent;
+      size_t recorded = 0;
       if (q == pattern_.root() || !stacks_[parent].empty()) {
-        Push(q, cur);
+        recorded = Push(q, cur);
       }
+      // One step per merge iteration plus one per edge pair recorded (the
+      // output-sensitive part of the join's cost).
+      XMLQ_GUARD_TICK(guard_, 1 + recorded);
       ++cursors_[q];
     }
 
@@ -127,7 +132,8 @@ class TwigStackRunner {
     }
   }
 
-  void Push(VertexId q, const Region& cur) {
+  size_t Push(VertexId q, const Region& cur) {
+    size_t recorded = 0;
     size_t parent_count = 0;
     if (q != pattern_.root()) {
       const VertexId parent = pattern_.vertex(q).parent;
@@ -141,12 +147,14 @@ class TwigStackRunner {
         if (anc.start >= cur.start) continue;  // proper ancestors only
         if (parent_child && anc.level + 1 != cur.level) continue;
         pairs_[q].push_back(JoinPair{anc.start, cur.start});
+        ++recorded;
       }
     }
     // Leaves never need to stay on the stack (nothing hangs below them).
     if (!pattern_.vertex(q).children.empty()) {
       stacks_[q].push_back(StackEntry{cur, parent_count});
     }
+    return recorded;
   }
 
   Result<NodeList> Filter(VertexId output) {
@@ -156,6 +164,7 @@ class TwigStackRunner {
 
   const IndexedDocument& doc_;
   const PatternGraph& pattern_;
+  const ResourceGuard* guard_ = nullptr;
   std::vector<std::vector<Region>> streams_;
   std::vector<size_t> cursors_;
   std::vector<std::vector<StackEntry>> stacks_;
@@ -165,8 +174,9 @@ class TwigStackRunner {
 }  // namespace
 
 Result<NodeList> TwigStackMatch(const IndexedDocument& doc,
-                                const PatternGraph& pattern) {
-  TwigStackRunner runner(doc, pattern);
+                                const PatternGraph& pattern,
+                                const ResourceGuard* guard) {
+  TwigStackRunner runner(doc, pattern, guard);
   return runner.Run();
 }
 

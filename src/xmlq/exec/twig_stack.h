@@ -2,6 +2,7 @@
 #define XMLQ_EXEC_TWIG_STACK_H_
 
 #include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/node_stream.h"
 
@@ -17,7 +18,8 @@ namespace xmlq::exec {
 /// Value predicates on vertices are applied while building the streams (the
 /// standard "predicate pushdown into the scan" for join-based plans).
 Result<NodeList> TwigStackMatch(const IndexedDocument& doc,
-                                const algebra::PatternGraph& pattern);
+                                const algebra::PatternGraph& pattern,
+                                const ResourceGuard* guard = nullptr);
 
 }  // namespace xmlq::exec
 

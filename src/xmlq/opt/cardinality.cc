@@ -22,11 +22,18 @@ bool SynNodeMatches(const Synopsis::Node& node, const PatternVertex& vertex,
 void CollectDescendants(const Synopsis& synopsis, uint32_t from,
                         const PatternVertex& vertex, xml::NameId want,
                         std::vector<uint32_t>* out) {
-  for (uint32_t c : synopsis.nodes()[from].children) {
-    if (SynNodeMatches(synopsis.nodes()[c], vertex, want)) {
-      out->push_back(c);
+  // Iterative: the synopsis is as deep as the document, which can be a
+  // degenerate 100k-level chain.
+  std::vector<uint32_t> stack{from};
+  while (!stack.empty()) {
+    const uint32_t node = stack.back();
+    stack.pop_back();
+    for (uint32_t c : synopsis.nodes()[node].children) {
+      if (SynNodeMatches(synopsis.nodes()[c], vertex, want)) {
+        out->push_back(c);
+      }
+      stack.push_back(c);
     }
-    CollectDescendants(synopsis, c, vertex, want, out);
   }
 }
 

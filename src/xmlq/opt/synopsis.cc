@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
+#include <vector>
 
 namespace xmlq::opt {
 
@@ -14,7 +16,11 @@ Synopsis::Synopsis(const xml::Document& doc) {
   std::vector<uint32_t> syn_of(doc.NodeCount(), 0);
   const size_t n = doc.NodeCount();
   total_nodes_ = n;
+  // Incremental depth (parents precede children in pre-order); calling
+  // Document::Depth per node would be O(n * depth) on degenerate chains.
+  std::vector<uint32_t> depth(n, 0);
   for (xml::NodeId id = 1; id < n; ++id) {
+    depth[id] = depth[doc.Parent(id)] + 1;
     const xml::NodeKind kind = doc.Kind(id);
     if (kind != xml::NodeKind::kElement &&
         kind != xml::NodeKind::kAttribute) {
@@ -44,25 +50,34 @@ Synopsis::Synopsis(const xml::Document& doc) {
     ++by[doc.Name(id)];
     if (!attr) {
       ++total_elements_;
-      max_depth_ = std::max(max_depth_, doc.Depth(id));
+      max_depth_ = std::max(max_depth_, depth[id]);
     }
   }
 }
 
 namespace {
 
-void Render(const Synopsis& syn, const xml::NamePool& pool, uint32_t node,
-            int depth, std::string* out) {
-  const Synopsis::Node& n = syn.nodes()[node];
-  out->append(static_cast<size_t>(depth) * 2, ' ');
-  if (node == 0) {
-    out->append("(document)");
-  } else {
-    if (n.is_attribute) out->push_back('@');
-    out->append(pool.NameOf(n.name));
+void Render(const Synopsis& syn, const xml::NamePool& pool, uint32_t root,
+            int root_depth, std::string* out) {
+  // Iterative preorder: the synopsis mirrors document depth, which can be
+  // arbitrarily large for degenerate (linear-chain) documents.
+  std::vector<std::pair<uint32_t, int>> stack{{root, root_depth}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    const Synopsis::Node& n = syn.nodes()[node];
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    if (node == 0) {
+      out->append("(document)");
+    } else {
+      if (n.is_attribute) out->push_back('@');
+      out->append(pool.NameOf(n.name));
+    }
+    out->append(" x" + std::to_string(n.count) + "\n");
+    for (size_t i = n.children.size(); i-- > 0;) {
+      stack.emplace_back(n.children[i], depth + 1);
+    }
   }
-  out->append(" x" + std::to_string(n.count) + "\n");
-  for (uint32_t c : n.children) Render(syn, pool, c, depth + 1, out);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xmlq/base/fault_injector.h"
+
 namespace xmlq::storage {
 
 /// Identifier of a stored content string (dense, in insertion order).
@@ -23,6 +25,12 @@ class ContentStore {
   ContentId Add(std::string_view text) {
     offsets_.push_back(static_cast<uint64_t>(buffer_.size()));
     buffer_.append(text);
+    // Test-only fault hook: flip the low bit of the first stored byte, so
+    // robustness tests can prove the engine tolerates (rather than crashes
+    // on) silently corrupted content pages.
+    if (XMLQ_FAULT("storage.content.corrupt") && !text.empty()) {
+      buffer_[buffer_.size() - text.size()] ^= 0x01;
+    }
     return static_cast<ContentId>(offsets_.size() - 1);
   }
 

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cassert>
 
+#include "xmlq/base/fault_injector.h"
+
 namespace xmlq::storage {
+
+Result<RegionIndex> RegionIndex::TryBuild(const xml::Document& doc) {
+  if (XMLQ_FAULT("storage.region.build")) {
+    return Status::ResourceExhausted(
+        "injected allocation failure building region index");
+  }
+  return RegionIndex(doc);
+}
 
 namespace {
 

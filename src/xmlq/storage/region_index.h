@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "xmlq/base/status.h"
 #include "xmlq/xml/document.h"
 
 namespace xmlq::storage {
@@ -38,6 +39,11 @@ class RegionIndex {
 
   /// Builds from a pre-order DOM tree.
   explicit RegionIndex(const xml::Document& doc);
+
+  /// Build with a fault-injection hook ("storage.region.build") so tests
+  /// can force the build-failure path; identical to the constructor
+  /// otherwise.
+  static Result<RegionIndex> TryBuild(const xml::Document& doc);
 
   /// All element regions in document order.
   const std::vector<Region>& elements() const { return elements_; }

@@ -3,7 +3,17 @@
 #include <cassert>
 #include <utility>
 
+#include "xmlq/base/fault_injector.h"
+
 namespace xmlq::storage {
+
+Result<SuccinctDocument> SuccinctDocument::TryBuild(const xml::Document& doc) {
+  if (XMLQ_FAULT("storage.succinct.build")) {
+    return Status::ResourceExhausted(
+        "injected allocation failure building succinct document");
+  }
+  return Build(doc);
+}
 
 SuccinctDocument SuccinctDocument::Build(const xml::Document& doc) {
   assert(doc.IsPreorder() &&

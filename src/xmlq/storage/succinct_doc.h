@@ -28,6 +28,10 @@ class SuccinctDocument {
   /// parser-/generator-built documents).
   static SuccinctDocument Build(const xml::Document& doc);
 
+  /// Build with a fault-injection hook ("storage.succinct.build") so tests
+  /// can force the build-failure path; identical to Build otherwise.
+  static Result<SuccinctDocument> TryBuild(const xml::Document& doc);
+
   // -- Identity / streams ---------------------------------------------------
 
   /// Number of tree nodes (document node + elements + attributes + text +

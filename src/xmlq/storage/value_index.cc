@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/base/strings.h"
 
 namespace xmlq::storage {
+
+Result<ValueIndex> ValueIndex::TryBuild(const xml::Document& doc) {
+  if (XMLQ_FAULT("storage.value.build")) {
+    return Status::ResourceExhausted(
+        "injected allocation failure building value index");
+  }
+  return ValueIndex(doc);
+}
 
 void ValueIndex::BuildFamily(std::vector<std::pair<xml::NameId, Entry>>* raw,
                              size_t name_count, Family* family) {

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "xmlq/base/status.h"
 #include "xmlq/xml/document.h"
 
 namespace xmlq::storage {
@@ -27,6 +28,10 @@ class ValueIndex {
   /// Builds from a DOM tree; the index holds string_views into `doc`'s text
   /// buffer, so `doc` must outlive the index.
   explicit ValueIndex(const xml::Document& doc);
+
+  /// Build with a fault-injection hook ("storage.value.build") so tests can
+  /// force the build-failure path; identical to the constructor otherwise.
+  static Result<ValueIndex> TryBuild(const xml::Document& doc);
 
   /// Nodes whose indexed value equals `value`, in document order.
   std::vector<xml::NodeId> Lookup(xml::NameId name, std::string_view value,

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/base/strings.h"
 
 namespace xmlq::xml {
@@ -48,6 +49,12 @@ StreamParser::StreamParser(std::string_view input, ParseOptions options)
       static_cast<unsigned char>(input_[1]) == 0xBB &&
       static_cast<unsigned char>(input_[2]) == 0xBF) {
     pos_ = 3;
+  }
+  if (options_.max_input_bytes != 0 &&
+      input_.size() > options_.max_input_bytes) {
+    error_ = Error("input of " + std::to_string(input_.size()) +
+                   " bytes exceeds max_input_bytes=" +
+                   std::to_string(options_.max_input_bytes));
   }
 }
 
@@ -118,6 +125,11 @@ Result<std::string_view> StreamParser::ReadText(char terminator) {
     char c = Peek();
     if (c == '&') {
       Advance();
+      if (options_.max_entity_expansions != 0 &&
+          ++entity_expansions_ > options_.max_entity_expansions) {
+        return Error("entity expansion count exceeds max_entity_expansions=" +
+                     std::to_string(options_.max_entity_expansions));
+      }
       if (ConsumeLiteral("lt;")) {
         text_scratch_.push_back('<');
       } else if (ConsumeLiteral("gt;")) {
@@ -210,6 +222,11 @@ Status StreamParser::ReadAttributes() {
         return Error("duplicate attribute '" + std::string(name) + "'");
       }
     }
+    if (options_.max_attributes != 0 &&
+        attributes_.size() >= options_.max_attributes) {
+      return Error("element has more than max_attributes=" +
+                   std::to_string(options_.max_attributes) + " attributes");
+    }
     attributes_.push_back(Attribute{name, value});
   }
 }
@@ -252,6 +269,17 @@ Result<ParseEvent> StreamParser::Next() {
     error_ = std::move(st);
     return error_;
   };
+
+  // Test-only fault hooks (no-ops unless a test armed them): simulate an
+  // allocation failure inside the parser, or truncate the input at the
+  // current position so the normal unexpected-EOF paths fire mid-document.
+  if (XMLQ_FAULT("xml.parser.alloc")) {
+    return fail(Status::ResourceExhausted(
+        "injected allocation failure in parser"));
+  }
+  if (XMLQ_FAULT("xml.parser.eof")) {
+    input_ = input_.substr(0, pos_);
+  }
 
   while (true) {
     if (AtEnd()) {
@@ -378,6 +406,12 @@ Result<ParseEvent> StreamParser::Next() {
     if (!name.ok()) return fail(name.status());
     if (open_elements_.empty() && root_seen_) {
       return fail(Error("multiple root elements"));
+    }
+    if (options_.max_depth != 0 &&
+        open_elements_.size() >= options_.max_depth) {
+      return fail(Error("element <" + std::string(name.value()) +
+                        "> nested deeper than max_depth=" +
+                        std::to_string(options_.max_depth)));
     }
     Status st = ReadAttributes();
     if (!st.ok()) return fail(std::move(st));

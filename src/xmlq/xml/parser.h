@@ -1,6 +1,7 @@
 #ifndef XMLQ_XML_PARSER_H_
 #define XMLQ_XML_PARSER_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -21,6 +22,22 @@ struct ParseOptions {
   bool keep_comments = false;
   /// Keep processing-instruction nodes in the tree.
   bool keep_processing_instructions = false;
+
+  // Hardening limits. Each is enforced in StreamParser with line/column in
+  // the error message; 0 means "unlimited". The defaults are generous
+  // enough for any sane document while bounding the damage a hostile input
+  // can do (deep-nesting stack/arena blowup, attribute floods,
+  // billion-laughs-style entity amplification, oversized payloads).
+
+  /// Maximum element nesting depth.
+  size_t max_depth = 1 << 20;
+  /// Maximum attributes on a single element.
+  size_t max_attributes = 65535;
+  /// Maximum entity references + character references decoded across the
+  /// whole parse.
+  uint64_t max_entity_expansions = 1 << 24;
+  /// Maximum input size in bytes (checked up front). Default unlimited.
+  uint64_t max_input_bytes = 0;
 };
 
 /// One event of the streaming (pull) parser. Events reference the input
@@ -101,6 +118,7 @@ class StreamParser {
   std::string pending_end_name_;
   bool root_seen_ = false;
   bool done_ = false;
+  uint64_t entity_expansions_ = 0;
   Status error_;
 };
 

@@ -1,5 +1,7 @@
 #include "xmlq/xml/serializer.h"
 
+#include <vector>
+
 namespace xmlq::xml {
 
 namespace {
@@ -54,40 +56,116 @@ class Writer {
   Writer(const Document& doc, SerializeOptions options, std::string* out)
       : doc_(doc), options_(options), out_(out) {}
 
-  void WriteNode(NodeId n, int depth) {
-    switch (doc_.Kind(n)) {
-      case NodeKind::kDocument:
-        for (NodeId c = doc_.FirstChild(n); c != kNullNode;
-             c = doc_.NextSibling(c)) {
-          WriteNode(c, depth);
-          if (options_.indent) out_->push_back('\n');
+  /// Iterative pre-order emit with an explicit task stack — recursion here
+  /// would overflow the call stack on very deep documents (the engine
+  /// accepts documents up to ParseOptions::max_depth deep, far beyond what
+  /// the C++ stack can absorb at ~100 bytes/frame).
+  void WriteNode(NodeId start, int start_depth) {
+    struct Task {
+      enum class Kind { kNode, kCloseElement, kNewlineIndent } kind;
+      NodeId node = kNullNode;
+      int depth = 0;
+      bool pretty = false;
+    };
+    std::vector<Task> stack;
+    stack.push_back({Task::Kind::kNode, start, start_depth, false});
+    std::vector<NodeId> children;  // scratch, consumed per task
+    while (!stack.empty()) {
+      const Task t = stack.back();
+      stack.pop_back();
+      if (t.kind == Task::Kind::kNewlineIndent) {
+        out_->push_back('\n');
+        Indent(t.depth);
+        continue;
+      }
+      if (t.kind == Task::Kind::kCloseElement) {
+        if (t.pretty) {
+          out_->push_back('\n');
+          Indent(t.depth);
         }
-        break;
-      case NodeKind::kElement:
-        WriteElement(n, depth);
-        break;
-      case NodeKind::kText:
-        AppendEscapedText(doc_.Text(n), out_);
-        break;
-      case NodeKind::kComment:
-        out_->append("<!--");
-        out_->append(doc_.Text(n));
-        out_->append("-->");
-        break;
-      case NodeKind::kProcessingInstruction:
-        out_->append("<?");
-        out_->append(doc_.NameStr(n));
-        if (!doc_.Text(n).empty()) {
-          out_->push_back(' ');
+        out_->append("</");
+        out_->append(doc_.NameStr(t.node));
+        out_->push_back('>');
+        continue;
+      }
+      const NodeId n = t.node;
+      switch (doc_.Kind(n)) {
+        case NodeKind::kDocument: {
+          children.clear();
+          for (NodeId c = doc_.FirstChild(n); c != kNullNode;
+               c = doc_.NextSibling(c)) {
+            children.push_back(c);
+          }
+          // Each child is followed by a newline when indenting; push in
+          // reverse so the stack pops in document order.
+          for (size_t i = children.size(); i-- > 0;) {
+            if (options_.indent) {
+              stack.push_back({Task::Kind::kNewlineIndent, kNullNode, 0,
+                               false});
+            }
+            stack.push_back({Task::Kind::kNode, children[i], t.depth, false});
+          }
+          break;
+        }
+        case NodeKind::kElement: {
+          out_->push_back('<');
+          out_->append(doc_.NameStr(n));
+          for (NodeId a = doc_.FirstAttr(n); a != kNullNode;
+               a = doc_.NextSibling(a)) {
+            out_->push_back(' ');
+            out_->append(doc_.NameStr(a));
+            out_->append("=\"");
+            AppendEscapedAttribute(doc_.Text(a), out_);
+            out_->push_back('"');
+          }
+          NodeId first = doc_.FirstChild(n);
+          if (first == kNullNode) {
+            out_->append("/>");
+            break;
+          }
+          out_->push_back('>');
+          const bool pretty = options_.indent && ElementOnlyContent(n);
+          stack.push_back({Task::Kind::kCloseElement, n, t.depth, pretty});
+          children.clear();
+          for (NodeId c = first; c != kNullNode; c = doc_.NextSibling(c)) {
+            children.push_back(c);
+          }
+          // Pretty children are each preceded by newline+indent; push the
+          // node first so its newline pops before it.
+          for (size_t i = children.size(); i-- > 0;) {
+            stack.push_back(
+                {Task::Kind::kNode, children[i], t.depth + 1, false});
+            if (pretty) {
+              stack.push_back({Task::Kind::kNewlineIndent, kNullNode,
+                               t.depth + 1, false});
+            }
+          }
+          break;
+        }
+        case NodeKind::kText:
+          AppendEscapedText(doc_.Text(n), out_);
+          break;
+        case NodeKind::kComment:
+          out_->append("<!--");
           out_->append(doc_.Text(n));
-        }
-        out_->append("?>");
-        break;
-      case NodeKind::kAttribute:
-        // Attributes are serialized as part of their owner element; writing
-        // one directly yields its value text (useful in query output).
-        AppendEscapedText(doc_.Text(n), out_);
-        break;
+          out_->append("-->");
+          break;
+        case NodeKind::kProcessingInstruction:
+          out_->append("<?");
+          out_->append(doc_.NameStr(n));
+          if (!doc_.Text(n).empty()) {
+            out_->push_back(' ');
+            out_->append(doc_.Text(n));
+          }
+          out_->append("?>");
+          break;
+        case NodeKind::kAttribute:
+          // Attributes are serialized as part of their owner element;
+          // writing one directly yields its value text (useful in query
+          // output).
+          AppendEscapedText(doc_.Text(n), out_);
+          break;
+      }
     }
   }
 
@@ -104,40 +182,6 @@ class Writer {
       if (doc_.Kind(c) == NodeKind::kText) return false;
     }
     return true;
-  }
-
-  void WriteElement(NodeId n, int depth) {
-    out_->push_back('<');
-    out_->append(doc_.NameStr(n));
-    for (NodeId a = doc_.FirstAttr(n); a != kNullNode;
-         a = doc_.NextSibling(a)) {
-      out_->push_back(' ');
-      out_->append(doc_.NameStr(a));
-      out_->append("=\"");
-      AppendEscapedAttribute(doc_.Text(a), out_);
-      out_->push_back('"');
-    }
-    NodeId first = doc_.FirstChild(n);
-    if (first == kNullNode) {
-      out_->append("/>");
-      return;
-    }
-    out_->push_back('>');
-    bool pretty = options_.indent && ElementOnlyContent(n);
-    for (NodeId c = first; c != kNullNode; c = doc_.NextSibling(c)) {
-      if (pretty) {
-        out_->push_back('\n');
-        Indent(depth + 1);
-      }
-      WriteNode(c, depth + 1);
-    }
-    if (pretty) {
-      out_->push_back('\n');
-      Indent(depth);
-    }
-    out_->append("</");
-    out_->append(doc_.NameStr(n));
-    out_->push_back('>');
   }
 
   const Document& doc_;

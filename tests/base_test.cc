@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <utility>
+
 #include "xmlq/base/random.h"
 #include "xmlq/base/status.h"
 #include "xmlq/base/strings.h"
@@ -30,6 +34,45 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kUnsupported), "unsupported");
   EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "out_of_range");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCancelled), "cancelled");
+}
+
+TEST(StatusTest, CodeNamesRoundTrip) {
+  // Every code must serialize to a unique name and parse back to itself, so
+  // codes survive a trip through logs / CLI flags / test expectations.
+  for (const StatusCode code : kAllStatusCodes) {
+    const std::string_view name = StatusCodeName(code);
+    EXPECT_NE(name, "unknown") << static_cast<int>(code);
+    const auto parsed = StatusCodeFromName(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code) << name;
+  }
+  EXPECT_FALSE(StatusCodeFromName("no_such_code").has_value());
+  EXPECT_FALSE(StatusCodeFromName("").has_value());
+}
+
+TEST(StatusTest, FactoryCoverage) {
+  // One factory per error code, each tagging the right code and preserving
+  // the message.
+  const std::pair<Status, StatusCode> cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument},
+      {Status::ParseError("m"), StatusCode::kParseError},
+      {Status::NotFound("m"), StatusCode::kNotFound},
+      {Status::Unsupported("m"), StatusCode::kUnsupported},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange},
+      {Status::Internal("m"), StatusCode::kInternal},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted},
+      {Status::Cancelled("m"), StatusCode::kCancelled},
+  };
+  for (const auto& [status, code] : cases) {
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), code);
+    EXPECT_EQ(status.message(), "m");
+    EXPECT_EQ(status.ToString(),
+              std::string(StatusCodeName(code)) + ": m");
+  }
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "xmlq/api/database.h"
+#include "xmlq/base/fault_injector.h"
+#include "xmlq/base/limits.h"
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/storage/content_store.h"
+#include "xmlq/xml/parser.h"
+
+namespace xmlq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ResourceGuard unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(ResourceGuardTest, UnarmedGuardNeverTrips) {
+  ResourceGuard guard;
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_FALSE(guard.Tick());
+  }
+  EXPECT_TRUE(guard.status().ok());
+}
+
+TEST(ResourceGuardTest, UnlimitedLimitsNeverTrip) {
+  QueryLimits limits;
+  EXPECT_TRUE(limits.Unlimited());
+  ResourceGuard guard(limits);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_FALSE(guard.Tick());
+  }
+  EXPECT_TRUE(guard.status().ok());
+}
+
+TEST(ResourceGuardTest, StepBudgetTripsExactlyAfterBudget) {
+  QueryLimits limits;
+  limits.max_steps = 100;
+  ResourceGuard guard(limits);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(guard.Tick()) << "tripped early at step " << i + 1;
+  }
+  EXPECT_TRUE(guard.Tick()) << "step 101 must exceed a 100-step budget";
+  EXPECT_EQ(guard.status().code(), StatusCode::kResourceExhausted);
+  // The trip is sticky: every later poll reports the same failure.
+  EXPECT_TRUE(guard.Tick());
+  EXPECT_EQ(guard.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceGuardTest, BulkTickCrossesBudget) {
+  QueryLimits limits;
+  limits.max_steps = 1000;
+  ResourceGuard guard(limits);
+  EXPECT_FALSE(guard.Tick(999));
+  EXPECT_TRUE(guard.Tick(5000));
+  EXPECT_EQ(guard.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceGuardTest, CancelFlagTripsAsCancelled) {
+  std::atomic<bool> cancel{false};
+  QueryLimits limits;
+  limits.cancel = &cancel;
+  ResourceGuard guard(limits);
+  EXPECT_FALSE(guard.Tick());
+  cancel.store(true);
+  // A trip happens on the next poll; polls occur at least every kPollStride
+  // steps, so a stride's worth of ticks is guaranteed to observe the flag.
+  bool tripped = false;
+  for (uint64_t i = 0; i <= ResourceGuard::kPollStride && !tripped; ++i) {
+    tripped = guard.Tick();
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(guard.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ResourceGuardTest, DeadlineTrips) {
+  QueryLimits limits;
+  limits.deadline_micros = 1000;  // 1ms
+  ResourceGuard guard(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  bool tripped = false;
+  for (uint64_t i = 0; i <= ResourceGuard::kPollStride && !tripped; ++i) {
+    tripped = guard.Tick();
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(guard.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceGuardTest, MemoryBudgetTracksChargesAndReleases) {
+  QueryLimits limits;
+  limits.max_memory_bytes = 1000;
+  ResourceGuard guard(limits);
+  EXPECT_TRUE(guard.ChargeMemory(400).ok());
+  guard.ReleaseMemory(200);
+  EXPECT_EQ(guard.memory_bytes(), 200u);
+  EXPECT_TRUE(guard.ChargeMemory(700).ok());  // 900 in use
+  const Status over = guard.ChargeMemory(200);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  // Sticky: ticks report the failure too.
+  EXPECT_TRUE(guard.Tick());
+  EXPECT_EQ(guard.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Query-level governance on a large document.
+// ---------------------------------------------------------------------------
+
+// Shared ~1M-node auction database (built once; index builds are the
+// expensive part).
+api::Database& BigAuctionDb() {
+  static api::Database* db = [] {
+    auto* d = new api::Database();
+    datagen::AuctionOptions options;
+    options.scale = 6.0;
+    auto doc = datagen::GenerateAuctionSite(options);
+    EXPECT_GE(doc->NodeCount(), 1000000u);
+    const Status status = d->RegisterDocument("auction.xml", std::move(doc));
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return d;
+  }();
+  return *db;
+}
+
+constexpr const char* kHeavyPath = "//person[address][phone]/name";
+
+TEST(QueryLimitsTest, DeadlineBoundsQueryLatency) {
+  api::Database& db = BigAuctionDb();
+  api::QueryOptions options;
+  options.limits.deadline_micros = 1000;  // 1ms on a ~1M-node document
+  const auto start = std::chrono::steady_clock::now();
+  auto result = db.QueryPath(kHeavyPath, "auction.xml", options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status().ToString();
+  // The point of the deadline: the query returns promptly instead of
+  // hanging. Allow generous slack for slow CI machines.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+TEST(QueryLimitsTest, StepBudgetStopsHeavyQuery) {
+  api::Database& db = BigAuctionDb();
+  api::QueryOptions options;
+  options.limits.max_steps = 10000;
+  auto result = db.QueryPath(kHeavyPath, "auction.xml", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryLimitsTest, CancelFlagAbortsQuery) {
+  api::Database& db = BigAuctionDb();
+  std::atomic<bool> cancel{true};  // already cancelled at submission
+  api::QueryOptions options;
+  options.limits.cancel = &cancel;
+  auto result = db.QueryPath(kHeavyPath, "auction.xml", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryLimitsTest, GenerousLimitsDoNotChangeResults) {
+  api::Database& db = BigAuctionDb();
+  auto unlimited = db.QueryPath(kHeavyPath, "auction.xml");
+  ASSERT_TRUE(unlimited.ok()) << unlimited.status().ToString();
+  api::QueryOptions options;
+  options.limits.deadline_micros = 60ull * 1000 * 1000;
+  options.limits.max_steps = 1ull << 40;
+  options.limits.max_memory_bytes = 1ull << 34;
+  auto guarded = db.QueryPath(kHeavyPath, "auction.xml", options);
+  ASSERT_TRUE(guarded.ok()) << guarded.status().ToString();
+  EXPECT_EQ(guarded->value.size(), unlimited->value.size());
+}
+
+TEST(QueryLimitsTest, EveryStrategyHonorsStepBudget) {
+  api::Database& db = BigAuctionDb();
+  const exec::PatternStrategy strategies[] = {
+      exec::PatternStrategy::kNok,        exec::PatternStrategy::kTwigStack,
+      exec::PatternStrategy::kPathStack,  exec::PatternStrategy::kBinaryJoin,
+      exec::PatternStrategy::kNaive,
+  };
+  for (const exec::PatternStrategy strategy : strategies) {
+    api::QueryOptions options;
+    options.auto_optimize = false;
+    options.strategy = strategy;
+    options.limits.max_steps = 5000;
+    auto result = db.QueryPath(kHeavyPath, "auction.xml", options);
+    ASSERT_FALSE(result.ok())
+        << "strategy " << exec::PatternStrategyName(strategy)
+        << " ignored a 5000-step budget on a ~1M-node document";
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << exec::PatternStrategyName(strategy) << ": "
+        << result.status().ToString();
+  }
+}
+
+TEST(QueryLimitsTest, FlworAndConstructionHonorBudgets) {
+  api::Database db;
+  datagen::AuctionOptions options;
+  options.scale = 0.05;
+  ASSERT_TRUE(
+      db.RegisterDocument("auction.xml", datagen::GenerateAuctionSite(options))
+          .ok());
+  const char* query =
+      "for $p in doc(\"auction.xml\")//person"
+      " return <copy>{$p}</copy>";
+  // Sanity: runs cleanly without limits.
+  auto ok = db.Query(query);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_GT(ok->value.size(), 0u);
+  // Memory budget: result construction deep-copies every person subtree,
+  // which must charge the guard and fail cleanly.
+  api::QueryOptions tight;
+  tight.limits.max_memory_bytes = 4096;
+  auto mem = db.Query(query, tight);
+  ASSERT_FALSE(mem.ok());
+  EXPECT_EQ(mem.status().code(), StatusCode::kResourceExhausted);
+  // Step budget through the FLWOR tuple loop.
+  api::QueryOptions steps;
+  steps.limits.max_steps = 50;
+  auto stepped = db.Query(query, steps);
+  ASSERT_FALSE(stepped.ok());
+  EXPECT_EQ(stepped.status().code(), StatusCode::kResourceExhausted);
+  // Both FLWOR evaluation modes are governed.
+  api::QueryOptions pipelined = steps;
+  pipelined.flwor_mode = exec::FlworMode::kPipelined;
+  auto piped = db.Query(query, pipelined);
+  ASSERT_FALSE(piped.ok());
+  EXPECT_EQ(piped.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Hardened parsing.
+// ---------------------------------------------------------------------------
+
+std::string NestedDoc(size_t depth) {
+  std::string text;
+  text.reserve(depth * 7 + 16);
+  for (size_t i = 0; i < depth; ++i) text += "<d>";
+  text += "x";
+  for (size_t i = 0; i < depth; ++i) text += "</d>";
+  return text;
+}
+
+TEST(ParserLimitsTest, MaxDepthRejectsDeepDocument) {
+  xml::ParseOptions options;
+  options.max_depth = 1000;
+  auto doc = xml::ParseDocument(NestedDoc(2000), options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("max_depth=1000"), std::string::npos)
+      << doc.status().ToString();
+  EXPECT_NE(doc.status().message().find("line "), std::string::npos)
+      << "parse errors must carry line/column: " << doc.status().ToString();
+}
+
+TEST(ParserLimitsTest, MaxDepthAdmitsDocumentAtLimit) {
+  xml::ParseOptions options;
+  options.max_depth = 1000;
+  auto doc = xml::ParseDocument(NestedDoc(1000), options);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+}
+
+TEST(ParserLimitsTest, MaxAttributesRejectsAttributeFlood) {
+  std::string text = "<e";
+  for (int i = 0; i < 10; ++i) {
+    text += " a" + std::to_string(i) + "=\"v\"";
+  }
+  text += "/>";
+  xml::ParseOptions options;
+  options.max_attributes = 5;
+  auto doc = xml::ParseDocument(text, options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("max_attributes=5"),
+            std::string::npos)
+      << doc.status().ToString();
+  // The same document parses when within the limit.
+  options.max_attributes = 10;
+  EXPECT_TRUE(xml::ParseDocument(text, options).ok());
+}
+
+TEST(ParserLimitsTest, MaxEntityExpansionsRejectsAmplification) {
+  std::string text = "<e>";
+  for (int i = 0; i < 10; ++i) text += "&amp;";
+  text += "</e>";
+  xml::ParseOptions options;
+  options.max_entity_expansions = 5;
+  auto doc = xml::ParseDocument(text, options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("max_entity_expansions=5"),
+            std::string::npos)
+      << doc.status().ToString();
+  options.max_entity_expansions = 10;
+  EXPECT_TRUE(xml::ParseDocument(text, options).ok());
+}
+
+TEST(ParserLimitsTest, MaxInputBytesRejectsOversizedPayload) {
+  const std::string text = "<e>" + std::string(1000, 'x') + "</e>";
+  xml::ParseOptions options;
+  options.max_input_bytes = 100;
+  auto doc = xml::ParseDocument(text, options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("max_input_bytes=100"),
+            std::string::npos)
+      << doc.status().ToString();
+  options.max_input_bytes = 2000;
+  EXPECT_TRUE(xml::ParseDocument(text, options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Deep-document regression: every tree walk must be iterative.
+// ---------------------------------------------------------------------------
+
+TEST(DeepDocumentTest, HundredThousandLevelsLoadQuerySerialize) {
+  constexpr size_t kDepth = 100000;
+  api::Database db;
+  ASSERT_TRUE(db.LoadDocument("deep.xml", NestedDoc(kDepth)).ok());
+  // Pattern matching across all physical strategies' shared paths.
+  auto result = db.QueryPath("//d", "deep.xml");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->value.size(), kDepth);
+  // Serialization (iterative writer) round-trips the full chain.
+  auto one = db.QueryPath("/d", "deep.xml");
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_EQ(one->value.size(), 1u);
+  const std::string xml_text = api::Database::ToXml(*one);
+  EXPECT_GT(xml_text.size(), kDepth * 7);  // "<d>" + "</d>" per level
+}
+
+TEST(DeepDocumentTest, DeepConstructionCopiesIteratively) {
+  api::Database db;
+  ASSERT_TRUE(db.LoadDocument("deep.xml", NestedDoc(100000)).ok());
+  // γ construction deep-copies the whole chain through CopySubtree.
+  auto result = db.Query(
+      "for $d in doc(\"deep.xml\")/d return <wrap>{$d}</wrap>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->value.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: forced failures must surface as clean Statuses.
+// ---------------------------------------------------------------------------
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  static constexpr const char* kSmallDoc =
+      "<bib><book year=\"1994\"><title>TCP/IP</title></book></bib>";
+};
+
+TEST_F(FaultInjectionTest, SkipAndCountSemantics) {
+  FaultInjector::Instance().Arm("test.site", /*skip=*/1, /*count=*/1);
+  EXPECT_FALSE(XMLQ_FAULT("test.site"));  // skipped
+  EXPECT_TRUE(XMLQ_FAULT("test.site"));   // fires
+  EXPECT_FALSE(XMLQ_FAULT("test.site"));  // budget spent
+  EXPECT_EQ(FaultInjector::Instance().Hits("test.site"), 3u);
+  FaultInjector::Instance().Reset();
+  EXPECT_FALSE(XMLQ_FAULT("test.site"));  // nothing armed: no hit recorded
+  EXPECT_EQ(FaultInjector::Instance().Hits("test.site"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ParserAllocationFailure) {
+  FaultInjector::Instance().Arm("xml.parser.alloc", /*skip=*/0, /*count=*/1);
+  auto doc = xml::ParseDocument(kSmallDoc);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+  FaultInjector::Instance().Reset();
+  EXPECT_TRUE(xml::ParseDocument(kSmallDoc).ok());
+}
+
+TEST_F(FaultInjectionTest, ParserEarlyEofAtEveryPosition) {
+  // Force a truncation before each parser step in turn: every cut must
+  // produce a clean parse error (or clean success for trailing cuts), never
+  // a crash.
+  for (uint64_t skip = 0; skip < 20; ++skip) {
+    FaultInjector::Instance().Arm("xml.parser.eof", skip, /*count=*/1);
+    auto doc = xml::ParseDocument(kSmallDoc);
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kParseError)
+          << doc.status().ToString();
+    }
+    FaultInjector::Instance().Reset();
+  }
+}
+
+TEST_F(FaultInjectionTest, StorageBuildFailuresAbortRegistration) {
+  for (const char* site : {"storage.succinct.build", "storage.region.build",
+                           "storage.value.build"}) {
+    FaultInjector::Instance().Arm(site);
+    api::Database db;
+    const Status status = db.LoadDocument("bib.xml", kSmallDoc);
+    ASSERT_FALSE(status.ok()) << site;
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted) << site;
+    EXPECT_FALSE(db.Contains("bib.xml")) << site;
+    FaultInjector::Instance().Reset();
+  }
+}
+
+TEST_F(FaultInjectionTest, ContentCorruptionIsToleratedNotFatal) {
+  FaultInjector::Instance().Arm("storage.content.corrupt", /*skip=*/0,
+                                /*count=*/1);
+  storage::ContentStore store;
+  const storage::ContentId id = store.Add("abc");
+  FaultInjector::Instance().Reset();
+  // The low bit of the first byte is flipped ('a' ^ 0x01 == '`'): readers
+  // see wrong data but never crash.
+  EXPECT_EQ(store.Get(id), "`bc");
+  // A whole database keeps answering queries on silently-corrupted content.
+  FaultInjector::Instance().Arm("storage.content.corrupt");
+  api::Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kSmallDoc).ok());
+  FaultInjector::Instance().Reset();
+  auto result = db.QueryPath("//book/title", "bib.xml");
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace xmlq

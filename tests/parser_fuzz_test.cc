@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xmlq/base/random.h"
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/datagen/bib_gen.h"
+#include "xmlq/xml/parser.h"
+#include "xmlq/xml/serializer.h"
+
+namespace xmlq {
+namespace {
+
+// Seed corpus: small valid documents covering the parser's surface (nesting,
+// attributes, entities, comments, PIs, CDATA-ish text, prolog) plus
+// generator output so real tag distributions are in the mix.
+std::vector<std::string> BuildCorpus() {
+  std::vector<std::string> corpus = {
+      "<a/>",
+      "<a b=\"c\" d=\"e\"/>",
+      "<a><b>text</b><c/><b>more</b></a>",
+      "<?xml version=\"1.0\"?><root attr=\"v\">x</root>",
+      "<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x41;</a>",
+      "<a><!-- comment --><b/><?pi body?></a>",
+      "<r><x y=\"1\">t1</x><x y=\"2\">t2</x><x y=\"3\">t3</x></r>",
+      "<deep><deep><deep><deep><deep>v</deep></deep></deep></deep></deep>",
+      "<mixed>text<inline/>tail<inline2>i</inline2>end</mixed>",
+      "<ns:a xmlns:ns=\"urn:x\"><ns:b/></ns:a>",
+  };
+  {
+    datagen::BibOptions options;
+    options.num_books = 3;
+    auto doc = datagen::GenerateBibliography(options);
+    corpus.push_back(xml::Serialize(*doc, doc->root(), {}));
+  }
+  {
+    datagen::AuctionOptions options;
+    options.scale = 0.002;
+    auto doc = datagen::GenerateAuctionSite(options);
+    std::string text = xml::Serialize(*doc, doc->root(), {});
+    corpus.push_back(text.substr(0, 2000));  // truncated: already hostile
+    corpus.push_back(std::move(text));
+  }
+  return corpus;
+}
+
+// One random structure-unaware mutation, in the spirit of a byte-level
+// fuzzer: bit flips, truncations, insertions, deletions and cross-document
+// splices.
+void Mutate(Rng& rng, const std::vector<std::string>& corpus,
+            std::string* input) {
+  if (input->empty()) {
+    *input = corpus[rng.Below(corpus.size())];
+    if (input->empty()) return;
+  }
+  switch (rng.Below(6)) {
+    case 0: {  // flip one bit
+      const size_t pos = rng.Below(input->size());
+      (*input)[pos] = static_cast<char>((*input)[pos] ^ (1 << rng.Below(8)));
+      break;
+    }
+    case 1:  // truncate
+      input->resize(rng.Below(input->size()));
+      break;
+    case 2: {  // overwrite with a random interesting byte
+      static constexpr char kBytes[] = {'<', '>', '&', ';', '"', '\'', '/',
+                                        '=', '\0', '\n', ' ', '!', '-', '?'};
+      (*input)[rng.Below(input->size())] = kBytes[rng.Below(sizeof(kBytes))];
+      break;
+    }
+    case 3: {  // delete a span
+      const size_t begin = rng.Below(input->size());
+      const size_t len = 1 + rng.Below(16);
+      input->erase(begin, len);
+      break;
+    }
+    case 4: {  // insert a snippet from another corpus entry
+      const std::string& donor = corpus[rng.Below(corpus.size())];
+      if (donor.empty()) break;
+      const size_t begin = rng.Below(donor.size());
+      const size_t len = 1 + rng.Below(32);
+      input->insert(rng.Below(input->size() + 1),
+                    donor.substr(begin, len));
+      break;
+    }
+    default: {  // duplicate a span of this entry (nesting amplification)
+      const size_t begin = rng.Below(input->size());
+      const size_t len = 1 + rng.Below(32);
+      const std::string span = input->substr(begin, len);
+      input->insert(rng.Below(input->size() + 1), span);
+      break;
+    }
+  }
+}
+
+// Drains the pull parser over `input`, touching every event field so
+// dangling string_views would be caught (especially under ASan). The event
+// cap bounds runaway loops; hitting it is itself a failure.
+void DrainParser(const std::string& input, const xml::ParseOptions& options) {
+  xml::StreamParser parser(input, options);
+  size_t checksum = 0;
+  for (size_t events = 0;; ++events) {
+    ASSERT_LT(events, 10u * 1024 * 1024) << "parser failed to terminate";
+    auto event = parser.Next();
+    if (!event.ok()) {
+      EXPECT_FALSE(event.status().message().empty());
+      return;
+    }
+    checksum += event->name.size() + event->text.size();
+    if (event->kind == xml::ParseEvent::Kind::kStartElement) {
+      for (const auto& attr : parser.attributes()) {
+        checksum += attr.name.size() + attr.value.size();
+      }
+    }
+    if (event->kind == xml::ParseEvent::Kind::kEndDocument) break;
+  }
+  (void)checksum;
+}
+
+TEST(ParserFuzzTest, MutatedInputsNeverCrash) {
+  const std::vector<std::string> corpus = BuildCorpus();
+  Rng rng(20260805);
+  xml::ParseOptions options;
+  // Tight limits so hostile growth trips cleanly instead of consuming the
+  // test's time budget.
+  options.max_depth = 4096;
+  options.max_attributes = 256;
+  options.max_entity_expansions = 1 << 16;
+  options.max_input_bytes = 1 << 22;
+  options.keep_comments = true;
+  options.keep_processing_instructions = true;
+
+  constexpr int kIterations = 10000;
+  for (int i = 0; i < kIterations; ++i) {
+    std::string input = corpus[rng.Below(corpus.size())];
+    const int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations; ++m) Mutate(rng, corpus, &input);
+
+    DrainParser(input, options);
+    if (HasFatalFailure()) FAIL() << "iteration " << i;
+
+    // The DOM builder path must agree: clean value or clean error.
+    auto doc = xml::ParseDocument(input, options);
+    if (doc.ok()) {
+      // A successfully parsed mutant must serialize without crashing.
+      const std::string out = xml::Serialize(*doc, doc->root(), {});
+      EXPECT_TRUE(doc->IsPreorder());
+      (void)out;
+    } else {
+      EXPECT_FALSE(doc.status().message().empty());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(42);
+  xml::ParseOptions options;
+  options.max_depth = 4096;
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    const size_t len = rng.Below(512);
+    input.reserve(len);
+    for (size_t b = 0; b < len; ++b) {
+      input.push_back(static_cast<char>(rng.Below(256)));
+    }
+    DrainParser(input, options);
+    if (HasFatalFailure()) FAIL() << "iteration " << i;
+    (void)xml::ParseDocument(input, options);
+  }
+}
+
+}  // namespace
+}  // namespace xmlq

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the test suite under a sanitizer and runs it.
+#
+#   tests/run_sanitized.sh            # AddressSanitizer (default)
+#   tests/run_sanitized.sh undefined  # UBSan
+#   tests/run_sanitized.sh address,undefined
+#
+# Uses a separate build tree per sanitizer so instrumented and plain builds
+# never mix. The fuzz + fault-injection tests are the main beneficiaries:
+# they drive the parser and storage builders through their failure paths
+# with memory checking enabled.
+set -euo pipefail
+
+SANITIZER="${1:-address}"
+if [[ $# -gt 0 ]]; then shift; fi  # remaining args go to ctest
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${ROOT}/build-san-${SANITIZER//,/+}"
+
+cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXMLQ_SANITIZE="${SANITIZER}" \
+  -DXMLQ_BUILD_BENCHMARKS=OFF \
+  -DXMLQ_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure "$@"
