@@ -33,6 +33,9 @@ void PrintHelp() {
       "  .limits steps <n> | deadline <ms> | memory <bytes> | off\n"
       "                          bound every following query\n"
       "  .report [name]          storage footprint of a document\n"
+      "  .save <name> <file>     write a document as an xqpack snapshot\n"
+      "  .open <name> <file> [mmap|copy]\n"
+      "                          open an xqpack snapshot (default mmap)\n"
       "  .help / .quit\n"
       "anything else is evaluated as XQuery (or XPath for '/...').\n");
 }
@@ -167,12 +170,63 @@ int main() {
         continue;
       }
       std::printf("nodes %zu | dom %zu B | succinct %zu B (structure %zu) | "
-                  "regions %zu B | values %zu B\n",
+                  "regions %zu B | values %zu B | tags %zu B\n",
                   report->node_count, report->dom_bytes,
                   report->succinct_structure_bytes +
                       report->succinct_content_bytes,
                   report->succinct_structure_bytes,
-                  report->region_index_bytes, report->value_index_bytes);
+                  report->region_index_bytes, report->value_index_bytes,
+                  report->tag_dictionary_bytes);
+      std::printf("owned heap: succinct %zu B | regions %zu B | "
+                  "values %zu B | tags %zu B\n",
+                  report->succinct_heap_bytes, report->region_index_heap_bytes,
+                  report->value_index_heap_bytes,
+                  report->tag_dictionary_heap_bytes);
+      if (report->from_snapshot) {
+        std::printf("snapshot: %s, file %zu B\n",
+                    report->mapped ? "mmap (zero-copy)" : "copied",
+                    report->snapshot_file_bytes);
+      }
+      continue;
+    }
+    if (word == ".save") {
+      std::string name, file;
+      in >> name >> file;
+      if (file.empty()) {
+        std::printf("usage: .save <name> <file>\n");
+        continue;
+      }
+      auto info = db.Save(name, file);
+      if (!info.ok()) {
+        std::printf("%s\n", info.status().ToString().c_str());
+        continue;
+      }
+      std::printf("wrote %s (%zu bytes, %zu sections)\n", file.c_str(),
+                  info->file_size, info->sections.size());
+      continue;
+    }
+    if (word == ".open") {
+      std::string name, file, mode_word;
+      in >> name >> file >> mode_word;
+      if (file.empty()) {
+        std::printf("usage: .open <name> <file> [mmap|copy]\n");
+        continue;
+      }
+      const auto mode = mode_word == "copy"
+                            ? xmlq::storage::SnapshotOpenMode::kCopy
+                            : xmlq::storage::SnapshotOpenMode::kMap;
+      const xmlq::Status status = db.Open(name, file, mode);
+      if (!status.ok()) {
+        std::printf("%s\n", status.ToString().c_str());
+        continue;
+      }
+      doc_names.push_back(name);
+      auto report = db.Report(name);
+      std::printf("opened %s (%zu nodes, %s)\n", name.c_str(),
+                  report.ok() ? report->node_count : 0,
+                  mode == xmlq::storage::SnapshotOpenMode::kMap
+                      ? "mmap zero-copy"
+                      : "copied");
       continue;
     }
     if (word == ".explain") {

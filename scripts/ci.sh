@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: plain build + full test suite, then the sanitizer suite
+# (AddressSanitizer and UBSan via tests/run_sanitized.sh). Everything —
+# build trees and test temp files (snapshot_test writes its *.xqpack
+# scratch files into the ctest working directory) — stays under the build
+# trees, so a failed run never litters the source tree.
+#
+#   scripts/ci.sh              # build + ctest + asan + ubsan
+#   scripts/ci.sh --fast       # build + ctest only
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${ROOT}/build"
+JOBS="$(nproc)"
+
+echo "== tier-1: configure + build =="
+cmake -B "${BUILD_DIR}" -S "${ROOT}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "ci: tier-1 green (sanitizers skipped)"
+  exit 0
+fi
+
+for sanitizer in address undefined; do
+  echo "== sanitizer suite: ${sanitizer} =="
+  "${ROOT}/tests/run_sanitized.sh" "${sanitizer}" -j "${JOBS}"
+done
+
+echo "ci: tier-1 + sanitizers green"

@@ -42,6 +42,41 @@ Status Database::RegisterDocument(std::string name,
   XMLQ_ASSIGN_OR_RETURN(storage::ValueIndex values,
                         storage::ValueIndex::TryBuild(*entry.dom));
   entry.values = std::make_unique<storage::ValueIndex>(std::move(values));
+  entry.tags = std::make_unique<storage::TagDictionary>(*entry.dom);
+  entry.synopsis = std::make_unique<opt::Synopsis>(*entry.dom);
+  entry.view = exec::IndexedDocument{entry.dom.get(), entry.succinct.get(),
+                                     entry.regions.get(), entry.values.get()};
+  if (entries_.empty()) default_document_ = name;
+  entries_[std::move(name)] = std::move(entry);
+  return Status::Ok();
+}
+
+Result<storage::SnapshotWriteInfo> Database::Save(
+    std::string_view name, const std::string& path) const {
+  const auto it = entries_.find(name.empty() ? default_document_
+                                             : std::string(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("document \"" + std::string(name) +
+                            "\" is not loaded");
+  }
+  const Entry& entry = it->second;
+  return storage::WriteSnapshot(path, *entry.dom, *entry.succinct,
+                                *entry.regions, *entry.values, *entry.tags);
+}
+
+Status Database::Open(std::string name, const std::string& path,
+                      storage::SnapshotOpenMode mode) {
+  XMLQ_ASSIGN_OR_RETURN(storage::OpenedSnapshot snapshot,
+                        storage::OpenSnapshot(path, mode));
+  Entry entry;
+  entry.dom = std::move(snapshot.dom);
+  entry.succinct = std::move(snapshot.succinct);
+  entry.regions = std::move(snapshot.regions);
+  entry.values = std::move(snapshot.values);
+  entry.tags = std::move(snapshot.tags);
+  entry.backing = std::move(snapshot.backing);
+  // The synopsis is a small derived statistic; rebuilding it from the
+  // restored DOM keeps it out of the file format.
   entry.synopsis = std::make_unique<opt::Synopsis>(*entry.dom);
   entry.view = exec::IndexedDocument{entry.dom.get(), entry.succinct.get(),
                                      entry.regions.get(), entry.values.get()};
@@ -205,7 +240,18 @@ Result<StorageReport> Database::Report(std::string_view name) const {
   report.succinct_content_bytes = entry.succinct->ContentBytes();
   report.region_index_bytes = entry.regions->MemoryUsage();
   report.value_index_bytes = entry.values->MemoryUsage();
+  report.tag_dictionary_bytes = entry.tags->HeapBytes();
   report.node_count = entry.dom->NodeCount();
+  report.succinct_heap_bytes = entry.succinct->HeapBytes();
+  report.region_index_heap_bytes = entry.regions->HeapBytes();
+  report.value_index_heap_bytes = entry.values->HeapBytes();
+  report.tag_dictionary_heap_bytes = entry.tags->HeapBytes();
+  if (entry.backing != nullptr) {
+    report.from_snapshot = true;
+    report.mapped =
+        entry.backing->mode() == storage::SnapshotOpenMode::kMap;
+    report.snapshot_file_bytes = entry.backing->file_size();
+  }
   return report;
 }
 

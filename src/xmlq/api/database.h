@@ -11,7 +11,9 @@
 #include "xmlq/exec/executor.h"
 #include "xmlq/opt/synopsis.h"
 #include "xmlq/storage/region_index.h"
+#include "xmlq/storage/snapshot.h"
 #include "xmlq/storage/succinct_doc.h"
+#include "xmlq/storage/tag_dictionary.h"
 #include "xmlq/storage/value_index.h"
 #include "xmlq/xml/document.h"
 #include "xmlq/xml/parser.h"
@@ -33,14 +35,29 @@ struct QueryOptions {
   QueryLimits limits;
 };
 
-/// Storage-footprint report for one document (experiment E2).
+/// Storage-footprint report for one document (experiments E2 and R2).
+///
+/// `*_bytes` count bytes *referenced* by each component (owned or borrowed
+/// from a mapped snapshot); `*_heap_bytes` count bytes actually owned on the
+/// heap, so for an mmap-opened document the difference is what the snapshot
+/// backing provides for free.
 struct StorageReport {
   size_t dom_bytes = 0;
   size_t succinct_structure_bytes = 0;
   size_t succinct_content_bytes = 0;
   size_t region_index_bytes = 0;
   size_t value_index_bytes = 0;
+  size_t tag_dictionary_bytes = 0;
   size_t node_count = 0;
+  // Per-component owned-heap breakdown (satellite of the snapshot store).
+  size_t succinct_heap_bytes = 0;
+  size_t region_index_heap_bytes = 0;
+  size_t value_index_heap_bytes = 0;
+  size_t tag_dictionary_heap_bytes = 0;
+  // Snapshot backing, when the document came from Database::Open.
+  bool from_snapshot = false;
+  bool mapped = false;
+  size_t snapshot_file_bytes = 0;
 };
 
 /// The embedded native XML database: owns documents in every physical
@@ -72,6 +89,18 @@ class Database {
   /// document must satisfy IsPreorder().
   Status RegisterDocument(std::string name,
                           std::unique_ptr<xml::Document> doc);
+
+  /// Writes the document `name` (default document when empty) to `path` as
+  /// an xqpack snapshot (single file, checksummed sections, atomic write).
+  Result<storage::SnapshotWriteInfo> Save(std::string_view name,
+                                          const std::string& path) const;
+
+  /// Opens an xqpack snapshot and registers it under `name`, replacing any
+  /// existing document of that name. kMap points the succinct structures
+  /// directly at the mapping; kCopy reads into a private heap buffer first.
+  /// Corrupt or truncated files are rejected with a positioned kParseError.
+  Status Open(std::string name, const std::string& path,
+              storage::SnapshotOpenMode mode = storage::SnapshotOpenMode::kMap);
 
   /// Evaluates an XQuery expression.
   Result<exec::QueryResult> Query(std::string_view query,
@@ -110,7 +139,12 @@ class Database {
     std::unique_ptr<storage::SuccinctDocument> succinct;
     std::unique_ptr<storage::RegionIndex> regions;
     std::unique_ptr<storage::ValueIndex> values;
+    std::unique_ptr<storage::TagDictionary> tags;
     std::unique_ptr<opt::Synopsis> synopsis;
+    /// Snapshot bytes the components borrow from (Database::Open only).
+    /// Destruction order is irrelevant: component destructors never touch
+    /// borrowed memory.
+    std::unique_ptr<storage::SnapshotBacking> backing;
     exec::IndexedDocument view;
   };
 

@@ -1,0 +1,123 @@
+#ifndef XMLQ_BASE_ARRAY_REF_H_
+#define XMLQ_BASE_ARRAY_REF_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace xmlq {
+
+/// Array storage that either owns its elements (a grown-in-place vector, the
+/// normal build path) or borrows them from externally owned memory (a section
+/// of an mmap'd snapshot). All reads go through a (pointer, size) view so the
+/// two modes are indistinguishable to consumers; the snapshot layer is the
+/// only code that creates borrowing instances.
+///
+/// Borrowed memory must outlive the ArrayRef (the snapshot bundle keeps the
+/// mapping alive). Copying a borrowing ArrayRef yields another borrower of
+/// the same memory; copying an owner deep-copies. Moves never invalidate the
+/// view (vector moves transfer the heap buffer).
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this == &other) return *this;
+    vec_ = other.vec_;
+    external_ = other.external_;
+    if (external_) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      Sync();
+    }
+    return *this;
+  }
+  ArrayRef(ArrayRef&& other) noexcept
+      : vec_(std::move(other.vec_)),
+        data_(other.data_),
+        size_(other.size_),
+        external_(other.external_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.external_ = false;
+  }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this == &other) return *this;
+    vec_ = std::move(other.vec_);
+    data_ = other.data_;
+    size_ = other.size_;
+    external_ = other.external_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.external_ = false;
+    return *this;
+  }
+
+  /// A borrowing view over externally owned memory.
+  static ArrayRef View(std::span<const T> external) {
+    ArrayRef out;
+    out.data_ = external.data();
+    out.size_ = external.size();
+    out.external_ = true;
+    return out;
+  }
+
+  /// Takes ownership of `v` (replacing any previous contents or view).
+  void Assign(std::vector<T> v) {
+    vec_ = std::move(v);
+    external_ = false;
+    Sync();
+  }
+
+  void PushBack(T value) {
+    vec_.push_back(std::move(value));
+    Sync();
+  }
+
+  template <typename It>
+  void Append(It first, It last) {
+    vec_.insert(vec_.end(), first, last);
+    Sync();
+  }
+
+  void Reserve(size_t n) {
+    vec_.reserve(n);
+    Sync();
+  }
+
+  /// Mutable element access; only valid while owning.
+  T& MutableAt(size_t i) { return vec_[i]; }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  /// True when the elements live in externally owned memory (mmap section).
+  bool external() const { return external_; }
+
+  /// Heap bytes owned by this instance (0 while borrowing).
+  size_t OwnedBytes() const { return vec_.capacity() * sizeof(T); }
+
+ private:
+  void Sync() {
+    data_ = vec_.data();
+    size_ = vec_.size();
+  }
+
+  std::vector<T> vec_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool external_ = false;
+};
+
+}  // namespace xmlq
+
+#endif  // XMLQ_BASE_ARRAY_REF_H_

@@ -1,0 +1,222 @@
+#include "xmlq/base/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define XMLQ_HAVE_MMAP 1
+#endif
+
+namespace xmlq {
+
+namespace {
+
+Status IoError(std::string_view op, const std::string& path) {
+  return Status::Internal(std::string(op) + " " + path + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+#ifdef XMLQ_HAVE_MMAP
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoError("open", tmp);
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return IoError("write", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return IoError("fsync", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return IoError("rename", path);
+  }
+  return Status::Ok();
+}
+
+Result<FileBytes> FileBytes::ReadWhole(const std::string& path,
+                                       size_t alignment) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoError("stat", path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  // aligned_alloc requires a size that is a multiple of the alignment.
+  const size_t alloc = ((size + alignment - 1) / alignment) * alignment;
+  char* buf = static_cast<char*>(
+      std::aligned_alloc(alignment, alloc == 0 ? alignment : alloc));
+  if (buf == nullptr) {
+    ::close(fd);
+    return Status::ResourceExhausted("cannot allocate " +
+                                     std::to_string(alloc) + " bytes for " +
+                                     path);
+  }
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, buf + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::free(buf);
+      ::close(fd);
+      return IoError("read", path);
+    }
+    if (n == 0) break;  // file shrank underneath us; caught by size checks
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  FileBytes out;
+  out.data_ = buf;
+  out.size_ = got;
+  out.mapped_ = false;
+  return out;
+}
+
+Result<FileBytes> FileBytes::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoError("stat", path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  FileBytes out;
+  out.size_ = size;
+  out.mapped_ = true;
+  if (size == 0) {
+    // mmap of length 0 is EINVAL; an empty mapping is representable as null.
+    ::close(fd);
+    out.data_ = nullptr;
+    return out;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (addr == MAP_FAILED) return IoError("mmap", path);
+  out.data_ = static_cast<char*>(addr);
+  return out;
+}
+
+void FileBytes::Release() {
+  if (data_ != nullptr) {
+    if (mapped_) {
+      ::munmap(data_, size_);
+    } else {
+      std::free(data_);
+    }
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#else  // !XMLQ_HAVE_MMAP — stubs so non-POSIX builds still link.
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("open", path);
+  const size_t n = std::fwrite(data.data(), 1, data.size(), f);
+  if (std::fclose(f) != 0 || n != data.size()) return IoError("write", path);
+  return Status::Ok();
+}
+
+Result<FileBytes> FileBytes::ReadWhole(const std::string& path,
+                                       size_t alignment) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  const size_t alloc =
+      ((static_cast<size_t>(size) + alignment - 1) / alignment) * alignment;
+  char* buf = static_cast<char*>(
+      std::aligned_alloc(alignment, alloc == 0 ? alignment : alloc));
+  if (buf == nullptr) {
+    std::fclose(f);
+    return Status::ResourceExhausted("allocation failed for " + path);
+  }
+  const size_t got = std::fread(buf, 1, static_cast<size_t>(size), f);
+  std::fclose(f);
+  FileBytes out;
+  out.data_ = buf;
+  out.size_ = got;
+  out.mapped_ = false;
+  return out;
+}
+
+Result<FileBytes> FileBytes::Map(const std::string& path) {
+  (void)path;
+  return Status::Unsupported("mmap is unavailable on this platform");
+}
+
+void FileBytes::Release() {
+  std::free(data_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#endif  // XMLQ_HAVE_MMAP
+
+FileBytes FileBytes::Copy(std::string_view data, size_t alignment) {
+  const size_t alloc = ((data.size() + alignment - 1) / alignment) * alignment;
+  char* buf = static_cast<char*>(
+      std::aligned_alloc(alignment, alloc == 0 ? alignment : alloc));
+  if (!data.empty()) std::memcpy(buf, data.data(), data.size());
+  FileBytes out;
+  out.data_ = buf;
+  out.size_ = data.size();
+  out.mapped_ = false;
+  return out;
+}
+
+FileBytes::FileBytes(FileBytes&& other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+FileBytes& FileBytes::operator=(FileBytes&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+FileBytes::~FileBytes() { Release(); }
+
+}  // namespace xmlq

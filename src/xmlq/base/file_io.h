@@ -1,0 +1,62 @@
+#ifndef XMLQ_BASE_FILE_IO_H_
+#define XMLQ_BASE_FILE_IO_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "xmlq/base/status.h"
+
+namespace xmlq {
+
+/// Writes `data` to `path` atomically: the bytes go to a sibling temp file
+/// which is fsync'd and renamed over the target, so a crash mid-write never
+/// leaves a half-written snapshot behind the final name.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// A read-only block of file bytes whose start is aligned to at least
+/// `alignment` — the loader substrate for both snapshot read paths. Move-only;
+/// unmaps / frees on destruction.
+class FileBytes {
+ public:
+  FileBytes() = default;
+  FileBytes(const FileBytes&) = delete;
+  FileBytes& operator=(const FileBytes&) = delete;
+  FileBytes(FileBytes&& other) noexcept;
+  FileBytes& operator=(FileBytes&& other) noexcept;
+  ~FileBytes();
+
+  /// Reads the whole file into an owned heap buffer aligned to `alignment`
+  /// (the safe copying path: later truncation of the file cannot hurt us).
+  static Result<FileBytes> ReadWhole(const std::string& path,
+                                     size_t alignment = 64);
+
+  /// Copies `data` into an owned buffer aligned to `alignment`. Lets tests
+  /// and tools feed in-memory images through the file-bytes interfaces.
+  static FileBytes Copy(std::string_view data, size_t alignment = 64);
+
+  /// Maps the file read-only (PROT_READ, MAP_PRIVATE). Page alignment of the
+  /// mapping guarantees any section alignment the writer produced. The file
+  /// must not shrink while mapped (SIGBUS territory) — the copying path is
+  /// the defensive alternative.
+  static Result<FileBytes> Map(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const char> bytes() const { return {data_, size_}; }
+  /// True when backed by an mmap rather than an owned heap copy.
+  bool mapped() const { return mapped_; }
+
+ private:
+  void Release();
+
+  char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace xmlq
+
+#endif  // XMLQ_BASE_FILE_IO_H_

@@ -6,20 +6,36 @@
 
 namespace xmlq::storage {
 
+BitVector BitVector::FromExternal(std::span<const uint64_t> words,
+                                  size_t bits,
+                                  std::span<const uint64_t> super_ranks,
+                                  size_t ones) {
+  assert(words.size() == ExpectedWords(bits));
+  assert(super_ranks.size() == ExpectedSuperRanks(bits));
+  BitVector out;
+  out.words_ = ArrayRef<uint64_t>::View(words);
+  out.super_ranks_ = ArrayRef<uint64_t>::View(super_ranks);
+  out.size_ = bits;
+  out.ones_ = ones;
+  out.frozen_ = true;
+  return out;
+}
+
 void BitVector::Freeze() {
   if (frozen_) return;
   size_t num_supers = (words_.size() + kWordsPerSuper - 1) / kWordsPerSuper;
-  super_ranks_.assign(num_supers + 1, 0);
+  std::vector<uint64_t> supers(num_supers + 1, 0);
   uint64_t running = 0;
   for (size_t s = 0; s < num_supers; ++s) {
-    super_ranks_[s] = running;
+    supers[s] = running;
     size_t begin = s * kWordsPerSuper;
     size_t end = std::min(begin + kWordsPerSuper, words_.size());
     for (size_t w = begin; w < end; ++w) {
       running += static_cast<uint64_t>(std::popcount(words_[w]));
     }
   }
-  super_ranks_[num_supers] = running;
+  supers[num_supers] = running;
+  super_ranks_.Assign(std::move(supers));
   ones_ = running;
   frozen_ = true;
 }

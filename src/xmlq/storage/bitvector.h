@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <span>
+
+#include "xmlq/base/array_ref.h"
 
 namespace xmlq::storage {
 
@@ -12,15 +14,27 @@ namespace xmlq::storage {
 /// structure of the succinct storage scheme (paper §4.2).
 ///
 /// Usage: push bits (or whole runs), call Freeze() once, then query.
+///
+/// Storage is an ArrayRef, so a frozen vector can alternatively be
+/// constructed directly over externally owned words + directory (a section of
+/// an mmap'd snapshot) via FromExternal — the zero-copy open path.
 class BitVector {
  public:
   BitVector() = default;
 
+  /// Adopts frozen external storage (e.g. mapped snapshot sections). `words`
+  /// must hold ceil(bits/64) words, `super_ranks` the directory Freeze()
+  /// would build (callers validate; see snapshot_reader). The memory must
+  /// outlive the BitVector and every copy of it.
+  static BitVector FromExternal(std::span<const uint64_t> words, size_t bits,
+                                std::span<const uint64_t> super_ranks,
+                                size_t ones);
+
   /// Appends one bit. Must not be called after Freeze().
   void PushBack(bool bit) {
     size_t word = size_ >> 6;
-    if (word == words_.size()) words_.push_back(0);
-    if (bit) words_[word] |= uint64_t{1} << (size_ & 63);
+    if (word == words_.size()) words_.PushBack(0);
+    if (bit) words_.MutableAt(word) |= uint64_t{1} << (size_ & 63);
     ++size_;
   }
 
@@ -48,23 +62,48 @@ class BitVector {
   /// Total 1-bits.
   size_t OneCount() const { return ones_; }
 
-  /// Heap bytes used (payload + directories); for the storage experiment.
+  /// Bytes referenced by payload + directories (owned or borrowed); for the
+  /// storage experiment.
   size_t MemoryUsage() const {
-    return words_.capacity() * sizeof(uint64_t) +
-           super_ranks_.capacity() * sizeof(uint64_t);
+    return words_.size() * sizeof(uint64_t) +
+           super_ranks_.size() * sizeof(uint64_t);
+  }
+  /// Heap bytes actually owned (0 when backed by a mapped snapshot).
+  size_t HeapBytes() const {
+    return words_.OwnedBytes() + super_ranks_.OwnedBytes();
   }
 
-  const std::vector<uint64_t>& words() const { return words_; }
+  /// True when backed by externally owned (snapshot) memory.
+  bool external() const { return words_.external(); }
 
- private:
+  // -- Snapshot serialization hooks ----------------------------------------
+
+  /// Raw payload word `w` (for the BP directory build / excess search).
+  uint64_t Word(size_t w) const { return words_[w]; }
+
+  /// Raw 64-bit payload words, ceil(size()/64) of them.
+  std::span<const uint64_t> WordSpan() const { return words_.span(); }
+  /// Superblock rank directory (one entry per superblock, plus the total).
+  /// Empty before Freeze().
+  std::span<const uint64_t> SuperRankSpan() const {
+    return super_ranks_.span();
+  }
   static constexpr size_t kWordsPerSuper = 8;  // 512-bit superblocks
 
-  std::vector<uint64_t> words_;
+  /// Directory entries Freeze()/FromExternal expect for `bits` bits.
+  static size_t ExpectedWords(size_t bits) { return (bits + 63) / 64; }
+  static size_t ExpectedSuperRanks(size_t bits) {
+    return (ExpectedWords(bits) + kWordsPerSuper - 1) / kWordsPerSuper + 1;
+  }
+
+ private:
+
+  ArrayRef<uint64_t> words_;
   size_t size_ = 0;
   bool frozen_ = false;
   size_t ones_ = 0;
   // super_ranks_[s] = number of 1-bits before superblock s.
-  std::vector<uint64_t> super_ranks_;
+  ArrayRef<uint64_t> super_ranks_;
 };
 
 }  // namespace xmlq::storage

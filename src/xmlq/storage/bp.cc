@@ -6,14 +6,26 @@
 
 namespace xmlq::storage {
 
+BalancedParens BalancedParens::FromExternal(
+    BitVector bits, std::span<const ExcessBlock> word_dir,
+    std::span<const ExcessBlock> super_dir) {
+  assert(word_dir.size() == ExpectedWordDir(bits.size()));
+  assert(super_dir.size() == ExpectedSuperDir(bits.size()));
+  BalancedParens out;
+  out.bits_ = std::move(bits);
+  out.words_ = ArrayRef<ExcessBlock>::View(word_dir);
+  out.supers_ = ArrayRef<ExcessBlock>::View(super_dir);
+  return out;
+}
+
 void BalancedParens::Freeze() {
   bits_.Freeze();
   const size_t n = bits_.size();
   const size_t num_words = (n + 63) / 64;
-  words_.assign(num_words, ExcessBlock{});
+  std::vector<ExcessBlock> words(num_words);
   for (size_t w = 0; w < num_words; ++w) {
     const size_t valid = std::min<size_t>(64, n - w * 64);
-    const uint64_t word = bits_.words()[w];
+    const uint64_t word = bits_.Word(w);
     int32_t run = 0;
     int32_t mn = std::numeric_limits<int32_t>::max();
     int32_t mx = std::numeric_limits<int32_t>::min();
@@ -22,10 +34,10 @@ void BalancedParens::Freeze() {
       mn = std::min(mn, run);
       mx = std::max(mx, run);
     }
-    words_[w] = ExcessBlock{run, mn, mx};
+    words[w] = ExcessBlock{run, mn, mx};
   }
   const size_t num_supers = (num_words + kWordsPerSuper - 1) / kWordsPerSuper;
-  supers_.assign(num_supers, ExcessBlock{});
+  std::vector<ExcessBlock> supers(num_supers);
   for (size_t s = 0; s < num_supers; ++s) {
     const size_t begin = s * kWordsPerSuper;
     const size_t end = std::min(begin + kWordsPerSuper, num_words);
@@ -33,12 +45,14 @@ void BalancedParens::Freeze() {
     int32_t mn = std::numeric_limits<int32_t>::max();
     int32_t mx = std::numeric_limits<int32_t>::min();
     for (size_t w = begin; w < end; ++w) {
-      mn = std::min(mn, run + words_[w].min);
-      mx = std::max(mx, run + words_[w].max);
-      run += words_[w].total;
+      mn = std::min(mn, run + words[w].min);
+      mx = std::max(mx, run + words[w].max);
+      run += words[w].total;
     }
-    supers_[s] = ExcessBlock{run, mn, mx};
+    supers[s] = ExcessBlock{run, mn, mx};
   }
+  words_.Assign(std::move(words));
+  supers_.Assign(std::move(supers));
 }
 
 size_t BalancedParens::FwdSearch(size_t i, int64_t d) const {
@@ -71,7 +85,7 @@ size_t BalancedParens::FwdSearch(size_t i, int64_t d) const {
     if (target >= cur + blk.min && target <= cur + blk.max) {
       const size_t start = w << 6;
       const size_t end = std::min(start + 64, n);
-      const uint64_t word = bits_.words()[w];
+      const uint64_t word = bits_.Word(w);
       for (size_t p = start; p < end; ++p) {
         cur += ((word >> (p & 63)) & 1) ? 1 : -1;
         if (cur == target) return p;
@@ -162,8 +176,8 @@ size_t BalancedParens::Enclose(size_t i) const {
 }
 
 size_t BalancedParens::MemoryUsage() const {
-  return bits_.MemoryUsage() + words_.capacity() * sizeof(ExcessBlock) +
-         supers_.capacity() * sizeof(ExcessBlock);
+  return bits_.MemoryUsage() + words_.size() * sizeof(ExcessBlock) +
+         supers_.size() * sizeof(ExcessBlock);
 }
 
 }  // namespace xmlq::storage

@@ -2,10 +2,11 @@
 #define XMLQ_STORAGE_CONTENT_STORE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "xmlq/base/array_ref.h"
 #include "xmlq/base/fault_injector.h"
 
 namespace xmlq::storage {
@@ -17,19 +18,33 @@ using ContentId = uint32_t;
 /// *separately from the tree structure* — the paper's §4.2 rationale: the
 /// structure without variable-length content is regular and can be managed
 /// efficiently, and content indexes are built over this store alone.
+///
+/// Both arrays live in ArrayRef storage, so a store can be opened zero-copy
+/// over the content sections of an mmap'd snapshot (FromExternal).
 class ContentStore {
  public:
   ContentStore() = default;
 
+  /// Adopts externally owned buffer + offsets (mapped snapshot sections);
+  /// the memory must outlive the store. Callers validate that offsets are
+  /// monotone and within the buffer (see snapshot_reader).
+  static ContentStore FromExternal(std::string_view buffer,
+                                   std::span<const uint64_t> offsets) {
+    ContentStore out;
+    out.buffer_ = ArrayRef<char>::View({buffer.data(), buffer.size()});
+    out.offsets_ = ArrayRef<uint64_t>::View(offsets);
+    return out;
+  }
+
   /// Appends `text`, returning its id (ids are dense, starting at 0).
   ContentId Add(std::string_view text) {
-    offsets_.push_back(static_cast<uint64_t>(buffer_.size()));
-    buffer_.append(text);
+    offsets_.PushBack(static_cast<uint64_t>(buffer_.size()));
+    buffer_.Append(text.begin(), text.end());
     // Test-only fault hook: flip the low bit of the first stored byte, so
     // robustness tests can prove the engine tolerates (rather than crashes
     // on) silently corrupted content pages.
     if (XMLQ_FAULT("storage.content.corrupt") && !text.empty()) {
-      buffer_[buffer_.size() - text.size()] ^= 0x01;
+      buffer_.MutableAt(buffer_.size() - text.size()) ^= 0x01;
     }
     return static_cast<ContentId>(offsets_.size() - 1);
   }
@@ -39,18 +54,30 @@ class ContentStore {
     const uint64_t begin = offsets_[id];
     const uint64_t end =
         id + 1 < offsets_.size() ? offsets_[id + 1] : buffer_.size();
-    return std::string_view(buffer_).substr(begin, end - begin);
+    return std::string_view(buffer_.data() + begin, end - begin);
   }
 
   size_t size() const { return offsets_.size(); }
 
+  /// Bytes referenced (owned or borrowed).
   size_t MemoryUsage() const {
-    return buffer_.capacity() + offsets_.capacity() * sizeof(uint64_t);
+    return buffer_.size() + offsets_.size() * sizeof(uint64_t);
+  }
+  /// Heap bytes actually owned (0 when backed by a mapped snapshot).
+  size_t HeapBytes() const {
+    return buffer_.OwnedBytes() + offsets_.OwnedBytes();
   }
 
+  // -- Snapshot serialization hooks ----------------------------------------
+
+  std::string_view BufferView() const {
+    return std::string_view(buffer_.data(), buffer_.size());
+  }
+  std::span<const uint64_t> OffsetSpan() const { return offsets_.span(); }
+
  private:
-  std::string buffer_;
-  std::vector<uint64_t> offsets_;
+  ArrayRef<char> buffer_;
+  ArrayRef<uint64_t> offsets_;
 };
 
 }  // namespace xmlq::storage

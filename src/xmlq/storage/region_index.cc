@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "xmlq/base/fault_injector.h"
 
@@ -15,11 +16,32 @@ Result<RegionIndex> RegionIndex::TryBuild(const xml::Document& doc) {
   return RegionIndex(doc);
 }
 
+RegionIndex RegionIndex::FromExternal(
+    Region document, std::span<const uint32_t> end,
+    std::span<const uint32_t> level, std::span<const Region> elements,
+    std::span<const Region> attributes,
+    std::span<const Region> element_streams,
+    std::span<const uint32_t> element_offsets,
+    std::span<const Region> attribute_streams,
+    std::span<const uint32_t> attribute_offsets) {
+  RegionIndex out;
+  out.document_ = document;
+  out.end_ = ArrayRef<uint32_t>::View(end);
+  out.level_ = ArrayRef<uint32_t>::View(level);
+  out.elements_ = ArrayRef<Region>::View(elements);
+  out.attributes_ = ArrayRef<Region>::View(attributes);
+  out.element_streams_ = ArrayRef<Region>::View(element_streams);
+  out.element_offsets_ = ArrayRef<uint32_t>::View(element_offsets);
+  out.attribute_streams_ = ArrayRef<Region>::View(attribute_streams);
+  out.attribute_offsets_ = ArrayRef<uint32_t>::View(attribute_offsets);
+  return out;
+}
+
 namespace {
 
 /// Builds the grouped per-name streams: counting sort by NameId, preserving
 /// document order inside each group.
-void BuildStreams(const std::vector<Region>& regions, size_t name_count,
+void BuildStreams(std::span<const Region> regions, size_t name_count,
                   std::vector<Region>* grouped,
                   std::vector<uint32_t>* offsets) {
   offsets->assign(name_count + 1, 0);
@@ -45,57 +67,77 @@ RegionIndex::RegionIndex(const xml::Document& doc) {
   // end[] = largest NodeId in the subtree. With pre-order ids, a node's
   // subtree is the id range [id, end]; computed in one reverse pass using
   // parent pointers (a node's end propagates to all its ancestors).
-  end_.resize(n);
-  for (size_t i = 0; i < n; ++i) end_[i] = static_cast<uint32_t>(i);
+  std::vector<uint32_t> end(n);
+  for (size_t i = 0; i < n; ++i) end[i] = static_cast<uint32_t>(i);
   for (size_t i = n; i-- > 1;) {
     const xml::NodeId parent = doc.Parent(static_cast<xml::NodeId>(i));
-    if (parent != xml::kNullNode && end_[i] > end_[parent]) {
-      end_[parent] = end_[i];
+    if (parent != xml::kNullNode && end[i] > end[parent]) {
+      end[parent] = end[i];
     }
   }
-  level_.assign(n, 0);
+  std::vector<uint32_t> level(n, 0);
   for (xml::NodeId i = 1; i < n; ++i) {
-    level_[i] = level_[doc.Parent(i)] + 1;
+    level[i] = level[doc.Parent(i)] + 1;
   }
-  document_ = Region{0, end_[0], 0, xml::kInvalidName};
+  document_ = Region{0, end[0], 0, xml::kInvalidName};
+  std::vector<Region> elements;
+  std::vector<Region> attributes;
   for (xml::NodeId i = 0; i < n; ++i) {
     if (doc.Kind(i) == xml::NodeKind::kElement) {
-      elements_.push_back(Region{i, end_[i], level_[i], doc.Name(i)});
+      elements.push_back(Region{i, end[i], level[i], doc.Name(i)});
     } else if (doc.Kind(i) == xml::NodeKind::kAttribute) {
-      attributes_.push_back(Region{i, i, level_[i], doc.Name(i)});
+      attributes.push_back(Region{i, i, level[i], doc.Name(i)});
     }
   }
   const size_t name_count = doc.pool().size();
-  BuildStreams(elements_, name_count, &element_streams_, &element_offsets_);
-  BuildStreams(attributes_, name_count, &attribute_streams_,
-               &attribute_offsets_);
+  std::vector<Region> element_streams;
+  std::vector<uint32_t> element_offsets;
+  std::vector<Region> attribute_streams;
+  std::vector<uint32_t> attribute_offsets;
+  BuildStreams(elements, name_count, &element_streams, &element_offsets);
+  BuildStreams(attributes, name_count, &attribute_streams, &attribute_offsets);
+  end_.Assign(std::move(end));
+  level_.Assign(std::move(level));
+  elements_.Assign(std::move(elements));
+  attributes_.Assign(std::move(attributes));
+  element_streams_.Assign(std::move(element_streams));
+  element_offsets_.Assign(std::move(element_offsets));
+  attribute_streams_.Assign(std::move(attribute_streams));
+  attribute_offsets_.Assign(std::move(attribute_offsets));
 }
 
 std::span<const Region> RegionIndex::ElementStream(xml::NameId name) const {
   if (name == xml::kInvalidName || name + 1 >= element_offsets_.size()) {
     return {};
   }
-  return std::span<const Region>(element_streams_)
-      .subspan(element_offsets_[name],
-               element_offsets_[name + 1] - element_offsets_[name]);
+  return element_streams_.span().subspan(
+      element_offsets_[name],
+      element_offsets_[name + 1] - element_offsets_[name]);
 }
 
 std::span<const Region> RegionIndex::AttributeStream(xml::NameId name) const {
   if (name == xml::kInvalidName || name + 1 >= attribute_offsets_.size()) {
     return {};
   }
-  return std::span<const Region>(attribute_streams_)
-      .subspan(attribute_offsets_[name],
-               attribute_offsets_[name + 1] - attribute_offsets_[name]);
+  return attribute_streams_.span().subspan(
+      attribute_offsets_[name],
+      attribute_offsets_[name + 1] - attribute_offsets_[name]);
 }
 
 size_t RegionIndex::MemoryUsage() const {
-  return (elements_.capacity() + attributes_.capacity() +
-          element_streams_.capacity() + attribute_streams_.capacity()) *
+  return (elements_.size() + attributes_.size() + element_streams_.size() +
+          attribute_streams_.size()) *
              sizeof(Region) +
-         (element_offsets_.capacity() + attribute_offsets_.capacity() +
-          end_.capacity() + level_.capacity()) *
+         (element_offsets_.size() + attribute_offsets_.size() + end_.size() +
+          level_.size()) *
              sizeof(uint32_t);
+}
+
+size_t RegionIndex::HeapBytes() const {
+  return end_.OwnedBytes() + level_.OwnedBytes() + elements_.OwnedBytes() +
+         attributes_.OwnedBytes() + element_streams_.OwnedBytes() +
+         attribute_streams_.OwnedBytes() + element_offsets_.OwnedBytes() +
+         attribute_offsets_.OwnedBytes();
 }
 
 }  // namespace xmlq::storage

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "xmlq/base/array_ref.h"
 #include "xmlq/base/status.h"
 #include "xmlq/xml/document.h"
 
@@ -28,11 +29,15 @@ struct Region {
     return Contains(v) && level + 1 == v.level;
   }
 };
+static_assert(sizeof(Region) == 16, "serialized layout");
 
 /// The extended-relational representation of an XML document (paper §1,
 /// baseline [1]): elements and attributes shredded into interval-encoded
 /// tuples, clustered into one sorted stream per tag name — exactly the
 /// inputs that structural joins [12] and holistic twig joins [13] consume.
+///
+/// All eight arrays live in ArrayRef storage, so an index can be opened
+/// zero-copy over the region sections of an mmap'd snapshot (FromExternal).
 class RegionIndex {
  public:
   RegionIndex() = default;
@@ -45,11 +50,24 @@ class RegionIndex {
   /// otherwise.
   static Result<RegionIndex> TryBuild(const xml::Document& doc);
 
+  /// Adopts externally owned arrays (mapped snapshot sections); the memory
+  /// must outlive the index. Callers validate sizes and offset fences (see
+  /// snapshot_reader).
+  static RegionIndex FromExternal(Region document,
+                                  std::span<const uint32_t> end,
+                                  std::span<const uint32_t> level,
+                                  std::span<const Region> elements,
+                                  std::span<const Region> attributes,
+                                  std::span<const Region> element_streams,
+                                  std::span<const uint32_t> element_offsets,
+                                  std::span<const Region> attribute_streams,
+                                  std::span<const uint32_t> attribute_offsets);
+
   /// All element regions in document order.
-  const std::vector<Region>& elements() const { return elements_; }
+  std::span<const Region> elements() const { return elements_.span(); }
   /// All attribute regions in document order (level = owner level + 1;
   /// start == end == the attribute's NodeId).
-  const std::vector<Region>& attributes() const { return attributes_; }
+  std::span<const Region> attributes() const { return attributes_.span(); }
 
   /// Elements named `name` in document order (empty span for unknown tags).
   std::span<const Region> ElementStream(xml::NameId name) const;
@@ -68,19 +86,39 @@ class RegionIndex {
     return Region{id, end_[id], level_[id], name};
   }
 
+  /// Bytes referenced (owned or borrowed).
   size_t MemoryUsage() const;
+  /// Heap bytes actually owned (0 when backed by a mapped snapshot).
+  size_t HeapBytes() const;
+
+  // -- Snapshot serialization hooks ----------------------------------------
+
+  std::span<const uint32_t> EndSpan() const { return end_.span(); }
+  std::span<const uint32_t> LevelSpan() const { return level_.span(); }
+  std::span<const Region> ElementStreamsSpan() const {
+    return element_streams_.span();
+  }
+  std::span<const uint32_t> ElementOffsetSpan() const {
+    return element_offsets_.span();
+  }
+  std::span<const Region> AttributeStreamsSpan() const {
+    return attribute_streams_.span();
+  }
+  std::span<const uint32_t> AttributeOffsetSpan() const {
+    return attribute_offsets_.span();
+  }
 
  private:
   Region document_;
-  std::vector<uint32_t> end_;    // per NodeId
-  std::vector<uint32_t> level_;  // per NodeId
-  std::vector<Region> elements_;    // document order
-  std::vector<Region> attributes_;  // document order
+  ArrayRef<uint32_t> end_;    // per NodeId
+  ArrayRef<uint32_t> level_;  // per NodeId
+  ArrayRef<Region> elements_;    // document order
+  ArrayRef<Region> attributes_;  // document order
   // Per-name copies grouped contiguously; lookup via offsets.
-  std::vector<Region> element_streams_;
-  std::vector<uint32_t> element_offsets_;  // indexed by NameId, size+1 fence
-  std::vector<Region> attribute_streams_;
-  std::vector<uint32_t> attribute_offsets_;
+  ArrayRef<Region> element_streams_;
+  ArrayRef<uint32_t> element_offsets_;  // indexed by NameId, size+1 fence
+  ArrayRef<Region> attribute_streams_;
+  ArrayRef<uint32_t> attribute_offsets_;
 };
 
 }  // namespace xmlq::storage

@@ -1,0 +1,195 @@
+#ifndef XMLQ_STORAGE_SNAPSHOT_H_
+#define XMLQ_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xmlq/base/file_io.h"
+#include "xmlq/base/status.h"
+#include "xmlq/storage/region_index.h"
+#include "xmlq/storage/succinct_doc.h"
+#include "xmlq/storage/tag_dictionary.h"
+#include "xmlq/storage/value_index.h"
+#include "xmlq/xml/document.h"
+
+namespace xmlq::storage {
+
+/// "xqpack" — the single-file persistent snapshot format (DESIGN.md §6).
+///
+/// A snapshot serializes every physical representation of one loaded
+/// document — DOM arena, succinct structure (balanced parentheses +
+/// rank/select directories), content store, region index, value index and
+/// tag dictionary — as individually CRC32-checksummed sections behind a
+/// magic/version header. Every payload starts on a 64-byte boundary with
+/// zero padding in between, so an mmap'd file can back the succinct
+/// structures directly (zero-copy open); integers are little-endian host
+/// format (the only platforms the engine targets).
+///
+/// File layout:
+///   [SnapshotHeader : 64 B]
+///   [SnapshotSection : 32 B] x kSnapshotSectionCount   (the section table)
+///   [zero pad to 64] [section 1 payload] [zero pad] [section 2 payload] ...
+///
+/// The header stores the total file size; a file whose actual size differs
+/// (truncation, trailing garbage) is rejected, as is any section whose CRC,
+/// bounds, alignment or cross-section invariants fail — always as an error
+/// `Status` with the failing offset and section name, never an exception or
+/// a crash.
+
+/// First 8 bytes of every snapshot. CR-LF in the magic catches ASCII-mode
+/// transfer mangling, the same trick as the PNG signature.
+inline constexpr char kSnapshotMagic[8] = {'X', 'Q', 'P', 'A',
+                                           'C', 'K', '\r', '\n'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version = kSnapshotVersion;
+  uint32_t section_count = 0;
+  uint64_t file_size = 0;   // must equal the actual on-disk size
+  uint32_t table_crc = 0;   // CRC32 of the section table
+  uint32_t header_crc = 0;  // CRC32 of this header with this field zeroed
+  uint8_t reserved[32] = {};
+};
+static_assert(sizeof(SnapshotHeader) == 64, "on-disk layout");
+
+/// One section-table entry.
+struct SnapshotSection {
+  uint32_t id = 0;        // SectionId, == table index + 1
+  uint32_t flags = 0;     // reserved, must be 0
+  uint64_t offset = 0;    // from file start; 64-byte aligned
+  uint64_t size = 0;      // payload bytes (excluding padding)
+  uint32_t crc = 0;       // CRC32 of the payload
+  uint32_t reserved = 0;  // must be 0
+};
+static_assert(sizeof(SnapshotSection) == 32, "on-disk layout");
+
+/// Section ids in canonical on-disk order. The kNodeKinds/kNodeNames arrays
+/// serve both the DOM and the succinct document (pre-order ranks == NodeIds,
+/// so the streams are byte-identical and are stored once).
+enum class SectionId : uint32_t {
+  kNameOffsets = 1,  // u32[name_count+1] fence into kNameChars
+  kNameChars,        // concatenated interned names, id order
+  kNodeKinds,        // u8[n] NodeKind per node / pre-order rank
+  kNodeNames,        // u32[n] NameId per node / pre-order rank
+  kParents,          // u32[n]
+  kFirstChildren,    // u32[n]
+  kNextSiblings,     // u32[n]
+  kFirstAttrs,       // u32[n]
+  kTextOffsets,      // u32[n] into kTextBuffer
+  kTextLengths,      // u32[n]
+  kTextBuffer,       // char[]
+  kBpWords,          // u64[ceil(2n/64)] balanced-parentheses bits
+  kBpSuperRanks,     // u64[] rank directory over kBpWords
+  kBpWordDir,        // ExcessBlock[] per-word excess directory
+  kBpSuperDir,       // ExcessBlock[] per-superblock excess directory
+  kHasContentWords,  // u64[ceil(n/64)] content-bearing node bitmap
+  kHasContentSuperRanks,  // u64[] rank directory over kHasContentWords
+  kContentOffsets,        // u64[] start offset per content entry
+  kContentBuffer,         // char[] concatenated content strings
+  kRegionEnds,            // u32[n] subtree-end per NodeId
+  kRegionLevels,          // u32[n] depth per NodeId
+  kRegionElements,        // Region[] document order
+  kRegionAttributes,      // Region[] document order
+  kRegionElementStreams,  // Region[] grouped per tag name
+  kRegionElementOffsets,  // u32[name_count+1] fence
+  kRegionAttributeStreams,
+  kRegionAttributeOffsets,
+  kValueElementEntries,  // ValueIndex::PackedEntry[]
+  kValueElementOffsets,  // u32[name_count+1] fence
+  kValueElementNumeric,  // ValueIndex::NumericEntry[]
+  kValueElementNumericOffsets,
+  kValueAttributeEntries,
+  kValueAttributeOffsets,
+  kValueAttributeNumeric,
+  kValueAttributeNumericOffsets,
+  kTagElementCounts,    // u32[<= name_count]
+  kTagAttributeCounts,  // u32[<= name_count]
+};
+inline constexpr uint32_t kSnapshotSectionCount = 37;
+
+/// Human-readable section name for error messages and stats ("node_kinds",
+/// "bp_words", ...); "?" for unknown ids.
+const char* SnapshotSectionName(uint32_t id);
+
+/// How to open a snapshot file.
+enum class SnapshotOpenMode {
+  kCopy,  // read the whole file into an aligned heap buffer (safe path)
+  kMap,   // mmap zero-copy; succinct structures point into the mapping
+};
+
+/// Layout of one section as written/validated (for stats & tests).
+struct SnapshotSectionInfo {
+  uint32_t id = 0;
+  const char* name = "?";
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+struct SnapshotWriteInfo {
+  uint64_t file_size = 0;
+  std::vector<SnapshotSectionInfo> sections;
+};
+
+/// Keeps the snapshot bytes (heap copy or mmap) alive for the components
+/// borrowing from them, and remembers the layout for reporting.
+class SnapshotBacking {
+ public:
+  SnapshotBacking(FileBytes bytes, SnapshotOpenMode mode,
+                  std::vector<SnapshotSectionInfo> sections)
+      : bytes_(std::move(bytes)), mode_(mode),
+        sections_(std::move(sections)) {}
+
+  SnapshotOpenMode mode() const { return mode_; }
+  uint64_t file_size() const { return bytes_.size(); }
+  const std::vector<SnapshotSectionInfo>& sections() const {
+    return sections_;
+  }
+  const FileBytes& bytes() const { return bytes_; }
+
+ private:
+  FileBytes bytes_;
+  SnapshotOpenMode mode_;
+  std::vector<SnapshotSectionInfo> sections_;
+};
+
+/// A fully opened snapshot: every component of a loaded document plus the
+/// backing bytes they (partially) borrow from. The backing must outlive all
+/// components — callers keep the unique_ptrs together (api::Database does).
+struct OpenedSnapshot {
+  std::unique_ptr<xml::Document> dom;
+  std::unique_ptr<SuccinctDocument> succinct;
+  std::unique_ptr<RegionIndex> regions;
+  std::unique_ptr<ValueIndex> values;
+  std::unique_ptr<TagDictionary> tags;
+  std::unique_ptr<SnapshotBacking> backing;
+};
+
+/// Serializes the components of one document to `path` (atomic write: temp
+/// file + rename). Fault site: "store.snapshot.write".
+Result<SnapshotWriteInfo> WriteSnapshot(const std::string& path,
+                                        const xml::Document& doc,
+                                        const SuccinctDocument& succinct,
+                                        const RegionIndex& regions,
+                                        const ValueIndex& values,
+                                        const TagDictionary& tags);
+
+/// Opens a snapshot file. kMap points the succinct structures straight at
+/// the mapping; kCopy reads the file into an aligned heap buffer first.
+/// Corruption (bad magic/version/CRC, truncation, trailing garbage, invalid
+/// cross-section invariants) is reported as kParseError with the failing
+/// offset and section name. Fault sites: "store.snapshot.map",
+/// "store.snapshot.verify".
+Result<OpenedSnapshot> OpenSnapshot(const std::string& path,
+                                    SnapshotOpenMode mode);
+
+/// The validation + component-construction core of OpenSnapshot, exposed so
+/// tests can feed in-memory (mutated) images without touching disk.
+Result<OpenedSnapshot> OpenSnapshotFromBytes(FileBytes bytes,
+                                             SnapshotOpenMode mode);
+
+}  // namespace xmlq::storage
+
+#endif  // XMLQ_STORAGE_SNAPSHOT_H_

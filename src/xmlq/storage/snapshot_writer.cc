@@ -1,0 +1,191 @@
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xmlq/base/crc32.h"
+#include "xmlq/base/fault_injector.h"
+#include "xmlq/storage/snapshot.h"
+
+namespace xmlq::storage {
+
+namespace {
+
+constexpr uint64_t kSectionAlign = 64;
+
+uint64_t Align64(uint64_t x) {
+  return (x + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+template <typename T>
+std::string_view AsBytes(std::span<const T> data) {
+  return std::string_view(reinterpret_cast<const char*>(data.data()),
+                          data.size() * sizeof(T));
+}
+
+}  // namespace
+
+const char* SnapshotSectionName(uint32_t id) {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kNameOffsets: return "name_offsets";
+    case SectionId::kNameChars: return "name_chars";
+    case SectionId::kNodeKinds: return "node_kinds";
+    case SectionId::kNodeNames: return "node_names";
+    case SectionId::kParents: return "parents";
+    case SectionId::kFirstChildren: return "first_children";
+    case SectionId::kNextSiblings: return "next_siblings";
+    case SectionId::kFirstAttrs: return "first_attrs";
+    case SectionId::kTextOffsets: return "text_offsets";
+    case SectionId::kTextLengths: return "text_lengths";
+    case SectionId::kTextBuffer: return "text_buffer";
+    case SectionId::kBpWords: return "bp_words";
+    case SectionId::kBpSuperRanks: return "bp_super_ranks";
+    case SectionId::kBpWordDir: return "bp_word_dir";
+    case SectionId::kBpSuperDir: return "bp_super_dir";
+    case SectionId::kHasContentWords: return "has_content_words";
+    case SectionId::kHasContentSuperRanks: return "has_content_super_ranks";
+    case SectionId::kContentOffsets: return "content_offsets";
+    case SectionId::kContentBuffer: return "content_buffer";
+    case SectionId::kRegionEnds: return "region_ends";
+    case SectionId::kRegionLevels: return "region_levels";
+    case SectionId::kRegionElements: return "region_elements";
+    case SectionId::kRegionAttributes: return "region_attributes";
+    case SectionId::kRegionElementStreams: return "region_element_streams";
+    case SectionId::kRegionElementOffsets: return "region_element_offsets";
+    case SectionId::kRegionAttributeStreams:
+      return "region_attribute_streams";
+    case SectionId::kRegionAttributeOffsets:
+      return "region_attribute_offsets";
+    case SectionId::kValueElementEntries: return "value_element_entries";
+    case SectionId::kValueElementOffsets: return "value_element_offsets";
+    case SectionId::kValueElementNumeric: return "value_element_numeric";
+    case SectionId::kValueElementNumericOffsets:
+      return "value_element_numeric_offsets";
+    case SectionId::kValueAttributeEntries: return "value_attribute_entries";
+    case SectionId::kValueAttributeOffsets: return "value_attribute_offsets";
+    case SectionId::kValueAttributeNumeric: return "value_attribute_numeric";
+    case SectionId::kValueAttributeNumericOffsets:
+      return "value_attribute_numeric_offsets";
+    case SectionId::kTagElementCounts: return "tag_element_counts";
+    case SectionId::kTagAttributeCounts: return "tag_attribute_counts";
+  }
+  return "?";
+}
+
+Result<SnapshotWriteInfo> WriteSnapshot(const std::string& path,
+                                        const xml::Document& doc,
+                                        const SuccinctDocument& succinct,
+                                        const RegionIndex& regions,
+                                        const ValueIndex& values,
+                                        const TagDictionary& tags) {
+  if (XMLQ_FAULT("store.snapshot.write")) {
+    return Status::Internal("injected I/O failure writing snapshot \"" +
+                            path + "\"");
+  }
+
+  // Scratch payloads that only exist in serialized form.
+  const xml::NamePool& pool = doc.pool();
+  std::vector<uint32_t> name_offsets;
+  std::string name_chars;
+  name_offsets.reserve(pool.size() + 1);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    name_offsets.push_back(static_cast<uint32_t>(name_chars.size()));
+    name_chars.append(pool.NameOf(static_cast<xml::NameId>(i)));
+  }
+  name_offsets.push_back(static_cast<uint32_t>(name_chars.size()));
+
+  const char* text_base = doc.TextBufferView().data();
+  const std::vector<ValueIndex::PackedEntry> elem_entries =
+      values.PackEntries(/*attribute=*/false, text_base);
+  const std::vector<ValueIndex::PackedEntry> attr_entries =
+      values.PackEntries(/*attribute=*/true, text_base);
+
+  const BalancedParens& bp = succinct.bp();
+  const BitVector& has_content = succinct.has_content();
+  const ContentStore& content = succinct.content();
+
+  // Payloads in canonical SectionId order (index == id - 1).
+  const std::string_view payloads[kSnapshotSectionCount] = {
+      AsBytes(std::span<const uint32_t>(name_offsets)),
+      std::string_view(name_chars),
+      AsBytes(std::span<const xml::NodeKind>(doc.KindSpan())),
+      AsBytes(doc.NameSpan()),
+      AsBytes(doc.ParentSpan()),
+      AsBytes(doc.FirstChildSpan()),
+      AsBytes(doc.NextSiblingSpan()),
+      AsBytes(doc.FirstAttrSpan()),
+      AsBytes(doc.TextOffsetSpan()),
+      AsBytes(doc.TextLengthSpan()),
+      doc.TextBufferView(),
+      AsBytes(bp.bits().WordSpan()),
+      AsBytes(bp.bits().SuperRankSpan()),
+      AsBytes(bp.WordDirSpan()),
+      AsBytes(bp.SuperDirSpan()),
+      AsBytes(has_content.WordSpan()),
+      AsBytes(has_content.SuperRankSpan()),
+      AsBytes(content.OffsetSpan()),
+      content.BufferView(),
+      AsBytes(regions.EndSpan()),
+      AsBytes(regions.LevelSpan()),
+      AsBytes(regions.elements()),
+      AsBytes(regions.attributes()),
+      AsBytes(regions.ElementStreamsSpan()),
+      AsBytes(regions.ElementOffsetSpan()),
+      AsBytes(regions.AttributeStreamsSpan()),
+      AsBytes(regions.AttributeOffsetSpan()),
+      AsBytes(std::span<const ValueIndex::PackedEntry>(elem_entries)),
+      AsBytes(values.OffsetSpan(/*attribute=*/false)),
+      AsBytes(values.NumericSpan(/*attribute=*/false)),
+      AsBytes(values.NumericOffsetSpan(/*attribute=*/false)),
+      AsBytes(std::span<const ValueIndex::PackedEntry>(attr_entries)),
+      AsBytes(values.OffsetSpan(/*attribute=*/true)),
+      AsBytes(values.NumericSpan(/*attribute=*/true)),
+      AsBytes(values.NumericOffsetSpan(/*attribute=*/true)),
+      AsBytes(tags.ElementCountSpan()),
+      AsBytes(tags.AttributeCountSpan()),
+  };
+
+  // Lay out: header, table, then 64-byte-aligned payloads.
+  SnapshotSection table[kSnapshotSectionCount];
+  uint64_t cursor =
+      Align64(sizeof(SnapshotHeader) +
+              kSnapshotSectionCount * sizeof(SnapshotSection));
+  for (uint32_t i = 0; i < kSnapshotSectionCount; ++i) {
+    table[i].id = i + 1;
+    table[i].offset = cursor;
+    table[i].size = payloads[i].size();
+    table[i].crc = Crc32(payloads[i].data(), payloads[i].size());
+    cursor = Align64(cursor + table[i].size);
+  }
+  const uint64_t file_size = cursor;
+
+  SnapshotHeader header;
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(header.magic));
+  header.version = kSnapshotVersion;
+  header.section_count = kSnapshotSectionCount;
+  header.file_size = file_size;
+  header.table_crc = Crc32(table, sizeof(table));
+  header.header_crc = 0;
+  header.header_crc = Crc32(&header, sizeof(header));
+
+  std::string image(file_size, '\0');
+  std::memcpy(image.data(), &header, sizeof(header));
+  std::memcpy(image.data() + sizeof(header), table, sizeof(table));
+  SnapshotWriteInfo info;
+  info.file_size = file_size;
+  info.sections.reserve(kSnapshotSectionCount);
+  for (uint32_t i = 0; i < kSnapshotSectionCount; ++i) {
+    if (table[i].size != 0) {
+      std::memcpy(image.data() + table[i].offset, payloads[i].data(),
+                  payloads[i].size());
+    }
+    info.sections.push_back(SnapshotSectionInfo{
+        table[i].id, SnapshotSectionName(table[i].id), table[i].offset,
+        table[i].size});
+  }
+
+  XMLQ_RETURN_IF_ERROR(WriteFileAtomic(path, image));
+  return info;
+}
+
+}  // namespace xmlq::storage

@@ -15,6 +15,22 @@ Result<SuccinctDocument> SuccinctDocument::TryBuild(const xml::Document& doc) {
   return Build(doc);
 }
 
+SuccinctDocument SuccinctDocument::FromParts(
+    BalancedParens bp, std::span<const uint8_t> kinds,
+    std::span<const xml::NameId> labels, BitVector has_content,
+    ContentStore content, std::shared_ptr<xml::NamePool> pool) {
+  assert(kinds.size() == labels.size());
+  assert(bp.NodeCount() == kinds.size());
+  SuccinctDocument out;
+  out.bp_ = std::move(bp);
+  out.kinds_ = ArrayRef<uint8_t>::View(kinds);
+  out.labels_ = ArrayRef<xml::NameId>::View(labels);
+  out.has_content_ = std::move(has_content);
+  out.content_ = std::move(content);
+  out.pool_ = std::move(pool);
+  return out;
+}
+
 SuccinctDocument SuccinctDocument::Build(const xml::Document& doc) {
   assert(doc.IsPreorder() &&
          "SuccinctDocument requires pre-order node ids (parser/generator "
@@ -22,8 +38,8 @@ SuccinctDocument SuccinctDocument::Build(const xml::Document& doc) {
   SuccinctDocument out;
   out.pool_ = doc.shared_pool();
   const size_t n = doc.NodeCount();
-  out.kinds_.reserve(n);
-  out.labels_.reserve(n);
+  out.kinds_.Reserve(n);
+  out.labels_.Reserve(n);
 
   // Iterative pre-order emit: (node, is_close) work stack. Attributes are
   // visited before element children so ranks equal NodeIds.
@@ -39,8 +55,8 @@ SuccinctDocument SuccinctDocument::Build(const xml::Document& doc) {
     }
     out.bp_.PushBack(true);
     const xml::NodeKind kind = doc.Kind(node);
-    out.kinds_.push_back(static_cast<uint8_t>(kind));
-    out.labels_.push_back(doc.Name(node));
+    out.kinds_.PushBack(static_cast<uint8_t>(kind));
+    out.labels_.PushBack(doc.Name(node));
     const bool has_content = kind == xml::NodeKind::kText ||
                              kind == xml::NodeKind::kAttribute ||
                              kind == xml::NodeKind::kComment ||
@@ -142,11 +158,15 @@ uint32_t SuccinctDocument::Parent(uint32_t rank) const {
 }
 
 size_t SuccinctDocument::StructureBytes() const {
-  return bp_.MemoryUsage() + kinds_.capacity() * sizeof(uint8_t) +
-         labels_.capacity() * sizeof(xml::NameId) +
-         has_content_.MemoryUsage();
+  return bp_.MemoryUsage() + kinds_.size() * sizeof(uint8_t) +
+         labels_.size() * sizeof(xml::NameId) + has_content_.MemoryUsage();
 }
 
 size_t SuccinctDocument::ContentBytes() const { return content_.MemoryUsage(); }
+
+size_t SuccinctDocument::HeapBytes() const {
+  return bp_.HeapBytes() + kinds_.OwnedBytes() + labels_.OwnedBytes() +
+         has_content_.HeapBytes() + content_.HeapBytes();
+}
 
 }  // namespace xmlq::storage

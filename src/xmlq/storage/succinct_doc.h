@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "xmlq/base/array_ref.h"
 #include "xmlq/base/status.h"
 #include "xmlq/storage/bp.h"
 #include "xmlq/storage/content_store.h"
@@ -31,6 +33,17 @@ class SuccinctDocument {
   /// Build with a fault-injection hook ("storage.succinct.build") so tests
   /// can force the build-failure path; identical to Build otherwise.
   static Result<SuccinctDocument> TryBuild(const xml::Document& doc);
+
+  /// Assembles a document from restored/mapped parts — the snapshot open
+  /// path. `kinds`/`labels` may point into a mapped section (they are
+  /// byte-identical to the DOM kind/name arrays, so snapshots store them
+  /// once); ownership of the backing memory stays with the caller.
+  static SuccinctDocument FromParts(BalancedParens bp,
+                                    std::span<const uint8_t> kinds,
+                                    std::span<const xml::NameId> labels,
+                                    BitVector has_content,
+                                    ContentStore content,
+                                    std::shared_ptr<xml::NamePool> pool);
 
   // -- Identity / streams ---------------------------------------------------
 
@@ -107,14 +120,23 @@ class SuccinctDocument {
   /// Bytes of content (text store + content-rank directory).
   size_t ContentBytes() const;
   size_t MemoryUsage() const { return StructureBytes() + ContentBytes(); }
+  /// Heap bytes actually owned (0 for fully mapped snapshot opens, except
+  /// directories rebuilt locally — see snapshot_reader).
+  size_t HeapBytes() const;
+
+  // -- Snapshot serialization hooks ----------------------------------------
+
+  std::span<const uint8_t> KindSpan() const { return kinds_.span(); }
+  std::span<const xml::NameId> LabelSpan() const { return labels_.span(); }
+  const BitVector& has_content() const { return has_content_; }
 
  private:
   SuccinctDocument() = default;
 
   BalancedParens bp_;
-  std::vector<uint8_t> kinds_;       // NodeKind per pre-order rank
-  std::vector<xml::NameId> labels_;  // NameId per pre-order rank
-  BitVector has_content_;            // 1 iff node owns a content string
+  ArrayRef<uint8_t> kinds_;       // NodeKind per pre-order rank
+  ArrayRef<xml::NameId> labels_;  // NameId per pre-order rank
+  BitVector has_content_;         // 1 iff node owns a content string
   ContentStore content_;
   std::shared_ptr<xml::NamePool> pool_;
 };

@@ -11,6 +11,21 @@ void Bump(std::vector<uint32_t>* counts, xml::NameId id) {
 
 }  // namespace
 
+TagDictionary TagDictionary::FromParts(
+    std::span<const uint32_t> element_counts,
+    std::span<const uint32_t> attribute_counts) {
+  TagDictionary out;
+  out.element_counts_.assign(element_counts.begin(), element_counts.end());
+  out.attribute_counts_.assign(attribute_counts.begin(),
+                               attribute_counts.end());
+  for (uint32_t c : out.element_counts_) {
+    out.total_elements_ += c;
+    if (c > 0) ++out.distinct_element_names_;
+  }
+  for (uint32_t c : out.attribute_counts_) out.total_attributes_ += c;
+  return out;
+}
+
 TagDictionary::TagDictionary(const xml::Document& doc) {
   const size_t n = doc.NodeCount();
   for (xml::NodeId id = 0; id < n; ++id) {

@@ -2,6 +2,7 @@
 #define XMLQ_STORAGE_TAG_DICTIONARY_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -19,6 +20,12 @@ class TagDictionary {
   /// Scans `doc` and tallies element/attribute counts per NameId.
   explicit TagDictionary(const xml::Document& doc);
 
+  /// Rebuilds from serialized count arrays (snapshot open path). The counts
+  /// are copied — the dictionary is tiny (one u32 pair per distinct name),
+  /// so it is always materialized; totals are recomputed, not trusted.
+  static TagDictionary FromParts(std::span<const uint32_t> element_counts,
+                                 std::span<const uint32_t> attribute_counts);
+
   /// Number of elements named `id` (0 for unknown ids).
   size_t ElementCount(xml::NameId id) const {
     return id < element_counts_.size() ? element_counts_[id] : 0;
@@ -34,6 +41,21 @@ class TagDictionary {
 
   /// Number of distinct element names that occur at least once.
   size_t DistinctElementNames() const { return distinct_element_names_; }
+
+  /// Heap bytes owned by the count arrays.
+  size_t HeapBytes() const {
+    return (element_counts_.capacity() + attribute_counts_.capacity()) *
+           sizeof(uint32_t);
+  }
+
+  // -- Snapshot serialization hooks ----------------------------------------
+
+  std::span<const uint32_t> ElementCountSpan() const {
+    return element_counts_;
+  }
+  std::span<const uint32_t> AttributeCountSpan() const {
+    return attribute_counts_;
+  }
 
  private:
   std::vector<uint32_t> element_counts_;    // indexed by NameId

@@ -15,6 +15,43 @@ Result<ValueIndex> ValueIndex::TryBuild(const xml::Document& doc) {
   return ValueIndex(doc);
 }
 
+ValueIndex::Family ValueIndex::UnpackFamily(std::string_view text,
+                                            const FamilyParts& parts) {
+  Family out;
+  out.offsets.assign(parts.offsets.begin(), parts.offsets.end());
+  out.numeric_offsets.assign(parts.numeric_offsets.begin(),
+                             parts.numeric_offsets.end());
+  out.entries.reserve(parts.entries.size());
+  for (const PackedEntry& pe : parts.entries) {
+    out.entries.push_back(Entry{
+        std::string_view(text.data() + pe.text_offset, pe.length), pe.node});
+  }
+  out.numeric.assign(parts.numeric.begin(), parts.numeric.end());
+  return out;
+}
+
+ValueIndex ValueIndex::FromParts(std::string_view text,
+                                 const FamilyParts& elements,
+                                 const FamilyParts& attributes) {
+  ValueIndex out;
+  out.elements_ = UnpackFamily(text, elements);
+  out.attributes_ = UnpackFamily(text, attributes);
+  return out;
+}
+
+std::vector<ValueIndex::PackedEntry> ValueIndex::PackEntries(
+    bool attribute, const char* text_base) const {
+  const Family& family = FamilyFor(attribute);
+  std::vector<PackedEntry> out;
+  out.reserve(family.entries.size());
+  for (const Entry& e : family.entries) {
+    out.push_back(PackedEntry{
+        static_cast<uint32_t>(e.value.data() - text_base),
+        static_cast<uint32_t>(e.value.size()), e.node});
+  }
+  return out;
+}
+
 void ValueIndex::BuildFamily(std::vector<std::pair<xml::NameId, Entry>>* raw,
                              size_t name_count, Family* family) {
   std::stable_sort(raw->begin(), raw->end(),

@@ -2,6 +2,7 @@
 #define XMLQ_STORAGE_VALUE_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -21,8 +22,43 @@ namespace xmlq::storage {
 ///
 /// Each family is a per-name sorted run over (value, node), supporting exact
 /// lookups and, for values that parse as numbers, numeric range scans.
+///
+/// The index is always materialized in heap memory (entries are string_views
+/// into the document's text buffer, which snapshots restore first); snapshot
+/// files store entries in packed {text_offset, length, node} form so the load
+/// path is a flat unpack with no re-sorting.
 class ValueIndex {
  public:
+  struct Entry {
+    std::string_view value;
+    xml::NodeId node;
+  };
+  /// Explicit `pad` keeps the struct free of uninitialized padding bytes so
+  /// runs can be serialized with memcpy deterministically.
+  struct NumericEntry {
+    double value;
+    xml::NodeId node;
+    uint32_t pad = 0;
+  };
+  static_assert(sizeof(NumericEntry) == 16, "serialized layout");
+  /// On-disk form of Entry: the value as a (offset, length) slice of the
+  /// document's text buffer.
+  struct PackedEntry {
+    uint32_t text_offset = 0;
+    uint32_t length = 0;
+    uint32_t node = 0;
+  };
+  static_assert(sizeof(PackedEntry) == 12, "serialized layout");
+
+  /// Borrowed views of one family's four arrays (snapshot sections on load,
+  /// live vectors on save).
+  struct FamilyParts {
+    std::span<const PackedEntry> entries;
+    std::span<const uint32_t> offsets;  // per NameId, size+1 fence
+    std::span<const NumericEntry> numeric;
+    std::span<const uint32_t> numeric_offsets;
+  };
+
   ValueIndex() = default;
 
   /// Builds from a DOM tree; the index holds string_views into `doc`'s text
@@ -32,6 +68,13 @@ class ValueIndex {
   /// Build with a fault-injection hook ("storage.value.build") so tests can
   /// force the build-failure path; identical to the constructor otherwise.
   static Result<ValueIndex> TryBuild(const xml::Document& doc);
+
+  /// Materializes from packed snapshot sections. `text` is the restored
+  /// document's text buffer; every packed slice must lie inside it (callers
+  /// validate — see snapshot_reader) and `text` must outlive the index.
+  static ValueIndex FromParts(std::string_view text,
+                              const FamilyParts& elements,
+                              const FamilyParts& attributes);
 
   /// Nodes whose indexed value equals `value`, in document order.
   std::vector<xml::NodeId> Lookup(xml::NameId name, std::string_view value,
@@ -48,16 +91,27 @@ class ValueIndex {
   size_t size() const;
 
   size_t MemoryUsage() const;
+  /// Heap bytes owned (the index is always materialized, so this equals
+  /// MemoryUsage; present for the uniform per-component accounting API).
+  size_t HeapBytes() const { return MemoryUsage(); }
+
+  // -- Snapshot serialization hooks ----------------------------------------
+
+  /// Entries of one family packed for serialization; `text_base` is the
+  /// start of the document text buffer the entry values point into.
+  std::vector<PackedEntry> PackEntries(bool attribute,
+                                       const char* text_base) const;
+  std::span<const uint32_t> OffsetSpan(bool attribute) const {
+    return FamilyFor(attribute).offsets;
+  }
+  std::span<const NumericEntry> NumericSpan(bool attribute) const {
+    return FamilyFor(attribute).numeric;
+  }
+  std::span<const uint32_t> NumericOffsetSpan(bool attribute) const {
+    return FamilyFor(attribute).numeric_offsets;
+  }
 
  private:
-  struct Entry {
-    std::string_view value;
-    xml::NodeId node;
-  };
-  struct NumericEntry {
-    double value;
-    xml::NodeId node;
-  };
   struct Family {
     // Entries grouped by NameId, each group sorted by (value, node).
     std::vector<Entry> entries;
@@ -68,6 +122,7 @@ class ValueIndex {
 
   static void BuildFamily(std::vector<std::pair<xml::NameId, Entry>>* raw,
                           size_t name_count, Family* family);
+  static Family UnpackFamily(std::string_view text, const FamilyParts& parts);
 
   const Family& FamilyFor(bool attribute) const {
     return attribute ? attributes_ : elements_;

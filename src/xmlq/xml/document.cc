@@ -29,6 +29,52 @@ Document::Document(std::shared_ptr<NamePool> pool) : pool_(std::move(pool)) {
   NewNode(NodeKind::kDocument, kInvalidName, kNullNode);
 }
 
+Document Document::FromParts(std::shared_ptr<NamePool> pool,
+                             std::span<const uint8_t> kinds,
+                             std::span<const NameId> names,
+                             std::span<const NodeId> parents,
+                             std::span<const NodeId> first_children,
+                             std::span<const NodeId> next_siblings,
+                             std::span<const NodeId> first_attrs,
+                             std::span<const uint32_t> text_offsets,
+                             std::span<const uint32_t> text_lengths,
+                             std::string_view text_buffer) {
+  const size_t n = kinds.size();
+  assert(names.size() == n && parents.size() == n &&
+         first_children.size() == n && next_siblings.size() == n &&
+         first_attrs.size() == n && text_offsets.size() == n &&
+         text_lengths.size() == n);
+  Document out(std::move(pool));
+  out.kinds_.assign(reinterpret_cast<const NodeKind*>(kinds.data()),
+                    reinterpret_cast<const NodeKind*>(kinds.data()) + n);
+  out.names_.assign(names.begin(), names.end());
+  out.parents_.assign(parents.begin(), parents.end());
+  out.first_children_.assign(first_children.begin(), first_children.end());
+  out.next_siblings_.assign(next_siblings.begin(), next_siblings.end());
+  out.first_attrs_.assign(first_attrs.begin(), first_attrs.end());
+  out.text_offsets_.assign(text_offsets.begin(), text_offsets.end());
+  out.text_lengths_.assign(text_lengths.begin(), text_lengths.end());
+  out.text_buffer_.assign(text_buffer.data(), text_buffer.size());
+  // Tail pointers are rebuilt, not stored: children appear in increasing id
+  // order, so the last assignment per parent wins.
+  out.last_children_.assign(n, kNullNode);
+  out.last_attrs_.assign(n, kNullNode);
+  out.element_count_ = 0;
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = out.parents_[i];
+    if (parent == kNullNode || parent >= n) continue;
+    if (out.kinds_[i] == NodeKind::kAttribute) {
+      out.last_attrs_[parent] = i;
+    } else {
+      out.last_children_[parent] = i;
+    }
+  }
+  for (NodeKind k : out.kinds_) {
+    if (k == NodeKind::kElement) ++out.element_count_;
+  }
+  return out;
+}
+
 NodeId Document::NewNode(NodeKind kind, NameId name, NodeId parent) {
   NodeId id = static_cast<NodeId>(kinds_.size());
   kinds_.push_back(kind);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +55,21 @@ class Document {
   Document& operator=(const Document&) = delete;
   Document(Document&&) = default;
   Document& operator=(Document&&) = default;
+
+  /// Rebuilds a document from serialized arena arrays (snapshot open path).
+  /// All arrays must have the same length; `last_children`/`last_attrs` tail
+  /// pointers and the element count are recomputed rather than stored.
+  /// Callers validate id ranges and text slices beforehand (snapshot_reader).
+  static Document FromParts(std::shared_ptr<NamePool> pool,
+                            std::span<const uint8_t> kinds,
+                            std::span<const NameId> names,
+                            std::span<const NodeId> parents,
+                            std::span<const NodeId> first_children,
+                            std::span<const NodeId> next_siblings,
+                            std::span<const NodeId> first_attrs,
+                            std::span<const uint32_t> text_offsets,
+                            std::span<const uint32_t> text_lengths,
+                            std::string_view text_buffer);
 
   // -- Construction ---------------------------------------------------------
 
@@ -132,6 +148,21 @@ class Document {
   /// Approximate heap footprint in bytes (arena arrays + text buffer);
   /// used by the storage-size experiment (E2).
   size_t MemoryUsage() const;
+
+  // -- Snapshot serialization hooks ----------------------------------------
+
+  /// Raw arena arrays, all of length NodeCount(). The kind array doubles as
+  /// the succinct document's kind stream (ranks == NodeIds), so snapshots
+  /// store it once.
+  std::span<const NodeKind> KindSpan() const { return kinds_; }
+  std::span<const NameId> NameSpan() const { return names_; }
+  std::span<const NodeId> ParentSpan() const { return parents_; }
+  std::span<const NodeId> FirstChildSpan() const { return first_children_; }
+  std::span<const NodeId> NextSiblingSpan() const { return next_siblings_; }
+  std::span<const NodeId> FirstAttrSpan() const { return first_attrs_; }
+  std::span<const uint32_t> TextOffsetSpan() const { return text_offsets_; }
+  std::span<const uint32_t> TextLengthSpan() const { return text_lengths_; }
+  std::string_view TextBufferView() const { return text_buffer_; }
 
  private:
   NodeId NewNode(NodeKind kind, NameId name, NodeId parent);

@@ -4,6 +4,7 @@
 #include <string_view>
 #include <utility>
 
+#include "xmlq/base/crc32.h"
 #include "xmlq/base/random.h"
 #include "xmlq/base/status.h"
 #include "xmlq/base/strings.h"
@@ -193,6 +194,49 @@ TEST(RngTest, NextDoubleInUnitInterval) {
     const double d = rng.NextDouble();
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Crc32Test, KnownAnswers) {
+  // CRC-32C check value (RFC 3720 appendix / iSCSI test vectors).
+  EXPECT_EQ(Crc32("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  const unsigned char zeros[32] = {};
+  EXPECT_EQ(Crc32(zeros, 32), 0x8A9136AAu);
+}
+
+TEST(Crc32Test, SeedChainsBlocks) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (const size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{20},
+                             data.size()}) {
+    const uint32_t first = Crc32(data.data(), split);
+    EXPECT_EQ(Crc32(data.data() + split, data.size() - split, first), whole)
+        << split;
+  }
+}
+
+TEST(Crc32Test, HardwareMatchesSoftware) {
+  if (!internal::Crc32HardwareAvailable()) {
+    GTEST_SKIP() << "no sse4.2; Crc32 is the software path already";
+  }
+  Rng rng(98765);
+  // Lengths straddling every loop boundary of the hardware kernel: byte
+  // tail, 8-byte stride, the 512 B and 8 KiB interleave blocks.
+  const size_t kLengths[] = {0,    1,    7,     8,     9,     63,    64,
+                             511,  512,  1535,  1536,  4095,  8192,  24575,
+                             24576, 24577, 100000};
+  for (const size_t len : kLengths) {
+    std::string data(len, '\0');
+    for (char& c : data) c = static_cast<char>(rng.Below(256));
+    // Unaligned starts too: the kernel has a peel-off loop for them.
+    for (const size_t skip : {size_t{0}, size_t{1}, size_t{3}}) {
+      if (skip > len) continue;
+      const uint32_t seed = static_cast<uint32_t>(rng.Next());
+      EXPECT_EQ(Crc32(data.data() + skip, len - skip, seed),
+                internal::Crc32Software(data.data() + skip, len - skip, seed))
+          << "len=" << len << " skip=" << skip;
+    }
   }
 }
 

@@ -1,0 +1,546 @@
+// xqpack snapshot store: round-trip fidelity, corruption rejection
+// (truncation, trailing garbage, per-section CRC, header damage), a seeded
+// byte-level fuzz over the on-disk image, and the fault-injection sites.
+//
+// All temp files use relative paths, so they land under the build tree
+// (the ctest working directory).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "xmlq/api/database.h"
+#include "xmlq/base/crc32.h"
+#include "xmlq/base/fault_injector.h"
+#include "xmlq/base/file_io.h"
+#include "xmlq/base/random.h"
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/datagen/bib_gen.h"
+#include "xmlq/storage/snapshot.h"
+#include "xmlq/xml/serializer.h"
+
+namespace xmlq {
+namespace {
+
+using api::Database;
+using api::QueryOptions;
+using storage::OpenSnapshot;
+using storage::OpenSnapshotFromBytes;
+using storage::SnapshotOpenMode;
+
+/// Removes `path` on scope exit so failed assertions don't leak temp files
+/// into later runs.
+class TempFile {
+ public:
+  explicit TempFile(std::string path) : path_(std::move(path)) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void LoadCorpusDocs(Database* db) {
+  datagen::BibOptions bib;
+  bib.num_books = 40;
+  ASSERT_TRUE(
+      db->RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  datagen::AuctionOptions auction;
+  auction.scale = 0.01;
+  ASSERT_TRUE(
+      db->RegisterDocument("auction.xml",
+                           datagen::GenerateAuctionSite(auction))
+          .ok());
+}
+
+/// Queries spanning both documents and every front end: navigation,
+/// predicates, FLWOR with construction, aggregation.
+std::vector<std::string> QueryCorpus() {
+  return {
+      "doc(\"bib.xml\")//book/title",
+      "count(doc(\"bib.xml\")//author)",
+      "for $b in doc(\"bib.xml\")//book where $b/price > 60 "
+      "order by $b/price descending "
+      "return <pick year=\"{$b/@year}\">{$b/title}</pick>",
+      "doc(\"auction.xml\")//person/name",
+      "avg(doc(\"auction.xml\")//closed_auction/price)",
+      "count(for $i in doc(\"auction.xml\")//item "
+      "where $i/payment = 'Cash' return $i)",
+  };
+}
+
+/// Serialized results of the whole corpus — the byte-identical fidelity
+/// oracle for the round-trip property.
+std::string RunCorpus(Database& db) {
+  std::string out;
+  for (const std::string& query : QueryCorpus()) {
+    auto result = db.Query(query);
+    EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+    if (!result.ok()) continue;
+    out += Database::ToXml(*result, /*indent=*/true);
+    out += '\n';
+  }
+  auto path = db.QueryPath("//person[address][phone]/name", "auction.xml");
+  EXPECT_TRUE(path.ok()) << path.status().ToString();
+  if (path.ok()) out += Database::ToXml(*path);
+  return out;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  auto bytes = FileBytes::ReadWhole(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return std::string(bytes->data(), bytes->size());
+}
+
+void WriteFileOrDie(const std::string& path, std::string_view data) {
+  ASSERT_TRUE(WriteFileAtomic(path, data).ok());
+}
+
+TEST(SnapshotTest, RoundTripPreservesQueryResults) {
+  Database db;
+  LoadCorpusDocs(&db);
+  const std::string reference = RunCorpus(db);
+  ASSERT_FALSE(reference.empty());
+  const std::string bib_xml =
+      xml::Serialize(*db.Get("bib.xml")->dom, db.Get("bib.xml")->dom->root(),
+                     {});
+
+  TempFile bib_file("rt_bib.xqpack");
+  TempFile auction_file("rt_auction.xqpack");
+  ASSERT_TRUE(db.Save("bib.xml", bib_file.path()).ok());
+  ASSERT_TRUE(db.Save("auction.xml", auction_file.path()).ok());
+
+  for (const SnapshotOpenMode mode :
+       {SnapshotOpenMode::kMap, SnapshotOpenMode::kCopy}) {
+    SCOPED_TRACE(mode == SnapshotOpenMode::kMap ? "mmap" : "copy");
+    Database reopened;
+    ASSERT_TRUE(reopened.Open("bib.xml", bib_file.path(), mode).ok());
+    ASSERT_TRUE(reopened.Open("auction.xml", auction_file.path(), mode).ok());
+
+    // Byte-identical query results and document serialization.
+    EXPECT_EQ(RunCorpus(reopened), reference);
+    EXPECT_EQ(xml::Serialize(*reopened.Get("bib.xml")->dom,
+                             reopened.Get("bib.xml")->dom->root(), {}),
+              bib_xml);
+
+    // Both open paths borrow the succinct structures from the backing bytes
+    // (mapping or aligned heap copy): zero owned heap for them either way.
+    auto report = reopened.Report("auction.xml");
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->from_snapshot);
+    EXPECT_EQ(report->mapped, mode == SnapshotOpenMode::kMap);
+    EXPECT_GT(report->snapshot_file_bytes, 0u);
+    EXPECT_EQ(report->succinct_heap_bytes, 0u);
+    EXPECT_EQ(report->region_index_heap_bytes, 0u);
+    // The value index materializes string_views over the restored DOM text.
+    EXPECT_GT(report->value_index_heap_bytes, 0u);
+    EXPECT_EQ(report->node_count, db.Report("auction.xml")->node_count);
+  }
+}
+
+TEST(SnapshotTest, RoundTripTinyAndTextHeavyDocuments) {
+  const char* kDocs[] = {
+      "<a/>",
+      "<r a=\"1\" b=\"two\"><x>t</x><x/><y z=\"3\">mixed <i>in</i> "
+      "tail</y></r>",
+      "<deep><deep><deep><deep>leaf text</deep></deep></deep></deep>",
+  };
+  int index = 0;
+  for (const char* text : kDocs) {
+    SCOPED_TRACE(text);
+    Database db;
+    ASSERT_TRUE(db.LoadDocument("d.xml", text).ok());
+    const std::string before =
+        xml::Serialize(*db.Get("d.xml")->dom, db.Get("d.xml")->dom->root(), {});
+    TempFile file("rt_tiny_" + std::to_string(index++) + ".xqpack");
+    ASSERT_TRUE(db.Save("d.xml", file.path()).ok());
+    for (const SnapshotOpenMode mode :
+         {SnapshotOpenMode::kMap, SnapshotOpenMode::kCopy}) {
+      Database reopened;
+      ASSERT_TRUE(reopened.Open("d.xml", file.path(), mode).ok());
+      EXPECT_EQ(xml::Serialize(*reopened.Get("d.xml")->dom,
+                               reopened.Get("d.xml")->dom->root(), {}),
+                before);
+    }
+  }
+}
+
+TEST(SnapshotTest, WriteInfoDescribesEverySection) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 10;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("info.xqpack");
+  auto info = db.Save("bib.xml", file.path());
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->sections.size(), storage::kSnapshotSectionCount);
+  EXPECT_EQ(info->file_size, ReadFileOrDie(file.path()).size());
+  uint64_t prev_end = 0;
+  for (size_t i = 0; i < info->sections.size(); ++i) {
+    const auto& section = info->sections[i];
+    EXPECT_EQ(section.id, i + 1);
+    EXPECT_STRNE(section.name, "?");
+    EXPECT_EQ(section.offset % 64, 0u) << section.name;
+    EXPECT_GE(section.offset, prev_end) << section.name;
+    prev_end = section.offset + section.size;
+  }
+  EXPECT_LE(prev_end, info->file_size);
+}
+
+TEST(SnapshotTest, SaveUnknownDocumentAndOpenMissingFile) {
+  Database db;
+  EXPECT_EQ(db.Save("nope.xml", "unused.xqpack").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.Open("x", "does_not_exist.xqpack").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, TruncatedFilesRejectedWithPosition) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 8;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("trunc_src.xqpack");
+  ASSERT_TRUE(db.Save("bib.xml", file.path()).ok());
+  const std::string image = ReadFileOrDie(file.path());
+
+  TempFile cut("trunc_cut.xqpack");
+  for (const size_t keep :
+       {size_t{0}, size_t{1}, size_t{63}, size_t{64}, size_t{100},
+        size_t{1280}, image.size() / 2, image.size() - 1}) {
+    SCOPED_TRACE(keep);
+    WriteFileOrDie(cut.path(), std::string_view(image).substr(0, keep));
+    for (const SnapshotOpenMode mode :
+         {SnapshotOpenMode::kMap, SnapshotOpenMode::kCopy}) {
+      auto opened = OpenSnapshot(cut.path(), mode);
+      ASSERT_FALSE(opened.ok());
+      EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+      EXPECT_NE(opened.status().message().find("xqpack"), std::string::npos);
+      EXPECT_NE(opened.status().message().find("offset"), std::string::npos)
+          << opened.status().ToString();
+    }
+  }
+}
+
+TEST(SnapshotTest, TrailingGarbageRejected) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 8;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("garbage.xqpack");
+  ASSERT_TRUE(db.Save("bib.xml", file.path()).ok());
+  std::string image = ReadFileOrDie(file.path());
+  image += "extra bytes after the last section";
+  WriteFileOrDie(file.path(), image);
+  auto opened = OpenSnapshot(file.path(), SnapshotOpenMode::kCopy);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+  EXPECT_NE(opened.status().message().find("truncated or trailing garbage"),
+            std::string::npos)
+      << opened.status().ToString();
+}
+
+TEST(SnapshotTest, CorruptHeaderRejected) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 8;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("header_src.xqpack");
+  ASSERT_TRUE(db.Save("bib.xml", file.path()).ok());
+  const std::string image = ReadFileOrDie(file.path());
+
+  // magic, version, section_count, file_size, table_crc, header_crc,
+  // reserved bytes, and a section-table entry.
+  const size_t kOffsets[] = {0, 7, 8, 12, 16, 24, 28, 40, 64, 96, 1248};
+  TempFile bad("header_bad.xqpack");
+  for (const size_t offset : kOffsets) {
+    SCOPED_TRACE(offset);
+    std::string mutated = image;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ 0x5a);
+    WriteFileOrDie(bad.path(), mutated);
+    auto opened = OpenSnapshot(bad.path(), SnapshotOpenMode::kCopy);
+    ASSERT_FALSE(opened.ok());
+    EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+    EXPECT_FALSE(opened.status().message().empty());
+  }
+}
+
+TEST(SnapshotTest, CorruptSectionPayloadNamesTheSection) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 8;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("section_src.xqpack");
+  auto info = db.Save("bib.xml", file.path());
+  ASSERT_TRUE(info.ok());
+  const std::string image = ReadFileOrDie(file.path());
+
+  TempFile bad("section_bad.xqpack");
+  for (const auto& section : info->sections) {
+    if (section.size == 0) continue;
+    SCOPED_TRACE(section.name);
+    std::string mutated = image;
+    const size_t target = section.offset + section.size / 2;
+    mutated[target] = static_cast<char>(mutated[target] ^ 0xff);
+    WriteFileOrDie(bad.path(), mutated);
+    auto opened = OpenSnapshot(bad.path(), SnapshotOpenMode::kCopy);
+    ASSERT_FALSE(opened.ok());
+    EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+    EXPECT_NE(opened.status().message().find(section.name), std::string::npos)
+        << opened.status().ToString();
+    EXPECT_NE(opened.status().message().find("offset"), std::string::npos);
+  }
+}
+
+/// Recomputes every checksum (section CRCs from the section table, then the
+/// table CRC, then the header CRC) so payload mutations reach the semantic
+/// validators instead of being stopped at the CRC wall.
+void FixChecksums(std::string* image) {
+  using storage::SnapshotHeader;
+  using storage::SnapshotSection;
+  if (image->size() < sizeof(SnapshotHeader)) return;
+  SnapshotHeader header;
+  std::memcpy(&header, image->data(), sizeof(header));
+  const size_t table_bytes =
+      size_t{header.section_count} * sizeof(SnapshotSection);
+  if (header.section_count > 1024 ||
+      image->size() < sizeof(header) + table_bytes) {
+    return;
+  }
+  std::vector<SnapshotSection> table(header.section_count);
+  std::memcpy(table.data(), image->data() + sizeof(header), table_bytes);
+  for (SnapshotSection& section : table) {
+    if (section.offset > image->size() ||
+        section.size > image->size() - section.offset) {
+      continue;
+    }
+    section.crc = Crc32(image->data() + section.offset, section.size);
+  }
+  std::memcpy(image->data() + sizeof(header), table.data(), table_bytes);
+  header.table_crc = Crc32(image->data() + sizeof(header), table_bytes);
+  SnapshotHeader crc_input = header;
+  crc_input.header_crc = 0;
+  header.header_crc = Crc32(&crc_input, sizeof(crc_input));
+  std::memcpy(image->data(), &header, sizeof(header));
+}
+
+/// A surviving mutant must behave like a document: walk it the way a query
+/// would, so any out-of-bounds reference trips ASan rather than lurking.
+void ExerciseOpened(const storage::OpenedSnapshot& snapshot) {
+  EXPECT_TRUE(snapshot.dom->IsPreorder());
+  const std::string out =
+      xml::Serialize(*snapshot.dom, snapshot.dom->root(), {});
+  (void)out;
+  size_t checksum = snapshot.succinct->NodeCount();
+  for (const auto& region : snapshot.regions->elements()) {
+    checksum += region.start + region.end;
+  }
+  (void)checksum;
+}
+
+void FuzzOpen(std::string image) {
+  FileBytes bytes = FileBytes::Copy(image);
+  auto opened = OpenSnapshotFromBytes(std::move(bytes), SnapshotOpenMode::kCopy);
+  if (opened.ok()) {
+    ExerciseOpened(*opened);
+  } else {
+    EXPECT_FALSE(opened.status().message().empty());
+  }
+}
+
+TEST(SnapshotTest, FuzzRawImageMutations) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 6;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("fuzz_raw.xqpack");
+  ASSERT_TRUE(db.Save("bib.xml", file.path()).ok());
+  const std::string pristine = ReadFileOrDie(file.path());
+
+  Rng rng(20260805);
+  for (int i = 0; i < 900; ++i) {
+    std::string image = pristine;
+    const int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations && !image.empty(); ++m) {
+      switch (rng.Below(5)) {
+        case 0: {  // flip one bit
+          const size_t pos = rng.Below(image.size());
+          image[pos] = static_cast<char>(image[pos] ^ (1 << rng.Below(8)));
+          break;
+        }
+        case 1:  // truncate
+          image.resize(rng.Below(image.size()));
+          break;
+        case 2: {  // overwrite a span with a random byte
+          const size_t begin = rng.Below(image.size());
+          const size_t len =
+              std::min(image.size() - begin, size_t{1} + rng.Below(64));
+          std::memset(image.data() + begin,
+                      static_cast<int>(rng.Below(256)), len);
+          break;
+        }
+        case 3: {  // delete a span
+          const size_t begin = rng.Below(image.size());
+          image.erase(begin, 1 + rng.Below(128));
+          break;
+        }
+        default: {  // duplicate a span (grows the file)
+          const size_t begin = rng.Below(image.size());
+          const size_t len =
+              std::min(image.size() - begin, size_t{1} + rng.Below(64));
+          image.insert(rng.Below(image.size() + 1),
+                       image.substr(begin, len));
+          break;
+        }
+      }
+    }
+    FuzzOpen(std::move(image));
+    if (HasFatalFailure()) FAIL() << "iteration " << i;
+  }
+}
+
+TEST(SnapshotTest, FuzzHeaderAndTableMutations) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 6;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("fuzz_table.xqpack");
+  ASSERT_TRUE(db.Save("bib.xml", file.path()).ok());
+  const std::string pristine = ReadFileOrDie(file.path());
+  const size_t kTableEnd =
+      sizeof(storage::SnapshotHeader) +
+      storage::kSnapshotSectionCount * sizeof(storage::SnapshotSection);
+
+  Rng rng(424242);
+  for (int i = 0; i < 600; ++i) {
+    std::string image = pristine;
+    // Mutate only header/table bytes, then re-seal the header checksums for
+    // half the runs so table-field validation (not just the CRC) gets hit.
+    const int mutations = 1 + static_cast<int>(rng.Below(3));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.Below(kTableEnd);
+      switch (rng.Below(3)) {
+        case 0:
+          image[pos] = static_cast<char>(image[pos] ^ (1 << rng.Below(8)));
+          break;
+        case 1:
+          image[pos] = static_cast<char>(rng.Below(256));
+          break;
+        default:
+          image[pos] = static_cast<char>(0xff);
+          break;
+      }
+    }
+    if (rng.Below(2) == 0) FixChecksums(&image);
+    FuzzOpen(std::move(image));
+    if (HasFatalFailure()) FAIL() << "iteration " << i;
+  }
+}
+
+TEST(SnapshotTest, FuzzPayloadMutationsBehindValidChecksums) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 6;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("fuzz_payload.xqpack");
+  ASSERT_TRUE(db.Save("bib.xml", file.path()).ok());
+  const std::string pristine = ReadFileOrDie(file.path());
+  const size_t kPayloadStart =
+      ((sizeof(storage::SnapshotHeader) +
+        storage::kSnapshotSectionCount * sizeof(storage::SnapshotSection)) +
+       63) /
+      64 * 64;
+  ASSERT_LT(kPayloadStart, pristine.size());
+
+  Rng rng(7);
+  for (int i = 0; i < 600; ++i) {
+    std::string image = pristine;
+    // Overwrite-only mutations inside payload bytes, then recompute every
+    // checksum: the semantic validators are the only remaining line of
+    // defence, and they must reject or yield a safely walkable document.
+    const int mutations = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos =
+          kPayloadStart + rng.Below(image.size() - kPayloadStart);
+      switch (rng.Below(4)) {
+        case 0:
+          image[pos] = static_cast<char>(image[pos] ^ (1 << rng.Below(8)));
+          break;
+        case 1:
+          image[pos] = static_cast<char>(rng.Below(256));
+          break;
+        case 2: {  // zero a span
+          const size_t len =
+              std::min(image.size() - pos, size_t{1} + rng.Below(48));
+          std::memset(image.data() + pos, 0, len);
+          break;
+        }
+        default: {  // saturate a span
+          const size_t len =
+              std::min(image.size() - pos, size_t{1} + rng.Below(48));
+          std::memset(image.data() + pos, 0xff, len);
+          break;
+        }
+      }
+    }
+    FixChecksums(&image);
+    FuzzOpen(std::move(image));
+    if (HasFatalFailure()) FAIL() << "iteration " << i;
+  }
+}
+
+TEST(SnapshotTest, FaultInjectionAtWriteMapAndVerify) {
+  Database db;
+  datagen::BibOptions bib;
+  bib.num_books = 8;
+  ASSERT_TRUE(
+      db.RegisterDocument("bib.xml", datagen::GenerateBibliography(bib)).ok());
+  TempFile file("faults.xqpack");
+
+  FaultInjector::Instance().Arm("store.snapshot.write", 0, 1);
+  auto save = db.Save("bib.xml", file.path());
+  FaultInjector::Instance().Reset();
+  ASSERT_FALSE(save.ok());
+  EXPECT_EQ(save.status().code(), StatusCode::kInternal);
+
+  ASSERT_TRUE(db.Save("bib.xml", file.path()).ok());
+
+  FaultInjector::Instance().Arm("store.snapshot.map", 0, 1);
+  Database map_db;
+  const Status map_status =
+      map_db.Open("bib.xml", file.path(), SnapshotOpenMode::kMap);
+  // The copy path has no mmap step, so the armed site must not affect it.
+  Database copy_db;
+  const Status copy_status =
+      copy_db.Open("bib.xml", file.path(), SnapshotOpenMode::kCopy);
+  FaultInjector::Instance().Reset();
+  ASSERT_FALSE(map_status.ok());
+  EXPECT_EQ(map_status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(copy_status.ok()) << copy_status.ToString();
+
+  FaultInjector::Instance().Arm("store.snapshot.verify", 0, 1);
+  Database verify_db;
+  const Status verify_status =
+      verify_db.Open("bib.xml", file.path(), SnapshotOpenMode::kCopy);
+  FaultInjector::Instance().Reset();
+  ASSERT_FALSE(verify_status.ok());
+  EXPECT_EQ(verify_status.code(), StatusCode::kParseError);
+  EXPECT_NE(verify_status.message().find("injected verification failure"),
+            std::string::npos)
+      << verify_status.ToString();
+}
+
+}  // namespace
+}  // namespace xmlq
