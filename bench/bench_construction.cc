@@ -119,4 +119,4 @@ BENCHMARK(BM_GammaOnly)->Name("F1/gamma_only")->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

@@ -101,4 +101,4 @@ const bool registered = RegisterAll();
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

@@ -112,4 +112,4 @@ BENCHMARK(BM_OrderSpread)->Name("E4/order_spread_exhaustive")->Arg(50);
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

@@ -116,4 +116,4 @@ BENCHMARK(BM_TickUnarmed)->Name("R1/tick_unarmed");
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

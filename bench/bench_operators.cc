@@ -123,4 +123,4 @@ BENCHMARK(BM_Construct)->Name("T1/construct_gamma");
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

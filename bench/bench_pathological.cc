@@ -138,4 +138,4 @@ BENCHMARK(BM_TwigStackChain)
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

@@ -86,4 +86,4 @@ BENCHMARK(BM_FullyOptimizedTwig)->Name("E6/fold_plus_pushdown_twigstack");
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

@@ -132,4 +132,4 @@ BENCHMARK(BM_OpenAndFirstQuery)
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

@@ -112,4 +112,4 @@ BENCHMARK(BM_FootprintSummary)
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

@@ -130,4 +130,4 @@ BENCHMARK(BM_DomPipeline)->Name("E3/parse_dom_navigate")->Arg(10)->Arg(50);
 }  // namespace
 }  // namespace xmlq::bench
 
-BENCHMARK_MAIN();
+XMLQ_BENCH_MAIN();

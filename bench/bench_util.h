@@ -1,6 +1,12 @@
 #ifndef XMLQ_BENCH_BENCH_UTIL_H_
 #define XMLQ_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -75,6 +81,119 @@ inline algebra::PatternGraph Pattern(std::string_view path) {
   return std::move(*graph);
 }
 
+/// The one sanctioned clock for hand-rolled timing in bench code:
+/// std::chrono::steady_clock (monotonic). system_clock jumps under NTP and
+/// high_resolution_clock may alias it, which makes BENCH_*.json trajectories
+/// incomparable across runs — never use either here. Google Benchmark's own
+/// loop timing is already monotonic; this helper is for manual-time sections
+/// (state.SetIterationTime) and paired A/B measurements.
+inline uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Reporter that keeps the human console table and additionally emits one
+/// machine-readable JSON row per benchmark result (NDJSON), so bench output
+/// can be diffed/tracked without parsing the console layout. Rows go to the
+/// file named by $XMLQ_BENCH_JSON when set, to stdout otherwise (console
+/// table lines never start with '{', so rows remain trivially extractable):
+///
+///   {"name":"T1/navigate_pi_s","iterations":5958,"real_ns":118400.2,
+///    "cpu_ns":118322.9,"counters":{"results":2011}}
+class JsonRowReporter : public benchmark::BenchmarkReporter {
+ public:
+  JsonRowReporter() {
+    const char* path = std::getenv("XMLQ_BENCH_JSON");
+    if (path != nullptr && *path != '\0') rows_ = std::fopen(path, "w");
+  }
+  ~JsonRowReporter() override {
+    if (rows_ != nullptr) std::fclose(rows_);
+  }
+
+  bool ReportContext(const Context& context) override {
+    return console_.ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    FILE* out = rows_ != nullptr ? rows_ : stdout;
+    for (const Run& run : runs) EmitRow(out, run);
+    std::fflush(out);
+  }
+
+  void Finalize() override { console_.Finalize(); }
+
+ private:
+  static std::string EscapeJson(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static void EmitRow(FILE* out, const Run& run) {
+    std::string row = "{\"name\":\"" + EscapeJson(run.benchmark_name()) + "\"";
+    if (run.error_occurred) {
+      row += ",\"error\":\"" + EscapeJson(run.error_message) + "\"}";
+      std::fprintf(out, "%s\n", row.c_str());
+      return;
+    }
+    if (run.run_type == Run::RT_Aggregate) {
+      row += ",\"aggregate\":\"" + EscapeJson(run.aggregate_name) + "\"";
+    }
+    row += ",\"iterations\":" + std::to_string(run.iterations);
+    // GetAdjusted*Time() is per-iteration, expressed in the run's time
+    // unit; normalize every row to nanoseconds.
+    const double to_ns = 1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"real_ns\":%.1f",
+                  run.GetAdjustedRealTime() * to_ns);
+    row += buf;
+    std::snprintf(buf, sizeof(buf), ",\"cpu_ns\":%.1f",
+                  run.GetAdjustedCPUTime() * to_ns);
+    row += buf;
+    if (!run.report_label.empty()) {
+      row += ",\"label\":\"" + EscapeJson(run.report_label) + "\"";
+    }
+    if (!run.counters.empty()) {
+      row += ",\"counters\":{";
+      bool first = true;
+      for (const auto& [name, counter] : run.counters) {
+        if (!first) row += ",";
+        first = false;
+        std::snprintf(buf, sizeof(buf), "\"%s\":%g",
+                      EscapeJson(name).c_str(),
+                      static_cast<double>(counter.value));
+        row += buf;
+      }
+      row += "}";
+    }
+    row += "}";
+    std::fprintf(out, "%s\n", row.c_str());
+  }
+
+  benchmark::ConsoleReporter console_;
+  FILE* rows_ = nullptr;
+};
+
 }  // namespace xmlq::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that routes results through
+/// JsonRowReporter. Every bench binary in this repo uses it.
+#define XMLQ_BENCH_MAIN()                                             \
+  int main(int argc, char** argv) {                                   \
+    benchmark::Initialize(&argc, argv);                               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    xmlq::bench::JsonRowReporter reporter;                            \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                     \
+    benchmark::Shutdown();                                            \
+    return 0;                                                         \
+  }                                                                   \
+  int main(int, char**)
 
 #endif  // XMLQ_BENCH_BENCH_UTIL_H_

@@ -28,6 +28,8 @@ void PrintHelp() {
       "  .gen bib <books>        generate a bibliography document\n"
       "  .docs                   list loaded documents (* = default)\n"
       "  .explain <query>        show the logical plan + strategy choice\n"
+      "  .explain analyze <query> run the query and show the profiled plan\n"
+      "                          (est vs actual rows, counters, wall time)\n"
       "  .strategy <s>           force nok|twigstack|pathstack|binaryjoin|\n"
       "                          naive, or 'auto' for the cost model\n"
       "  .limits steps <n> | deadline <ms> | memory <bytes> | off\n"
@@ -230,7 +232,18 @@ int main() {
       continue;
     }
     if (word == ".explain") {
-      const std::string query = line.substr(line.find(".explain") + 8);
+      std::string query = line.substr(line.find(".explain") + 8);
+      // `.explain analyze <q>` executes the query and renders the profile.
+      const size_t start = query.find_first_not_of(" \t");
+      if (start != std::string::npos &&
+          query.compare(start, 8, "analyze ") == 0) {
+        query = query.substr(start + 8);
+        auto profile = db.ExplainAnalyze(query, options);
+        std::printf("%s\n", profile.ok()
+                                ? profile->c_str()
+                                : profile.status().ToString().c_str());
+        continue;
+      }
       auto plan = db.Explain(query, options);
       std::printf("%s\n", plan.ok() ? plan->c_str()
                                     : plan.status().ToString().c_str());

@@ -1,12 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 gate: plain build + full test suite, then the sanitizer suite
-# (AddressSanitizer and UBSan via tests/run_sanitized.sh). Everything —
-# build trees and test temp files (snapshot_test writes its *.xqpack
-# scratch files into the ctest working directory) — stays under the build
-# trees, so a failed run never litters the source tree.
+# CI pipeline, staged so the fast tier-1 gate fails first:
 #
-#   scripts/ci.sh              # build + ctest + asan + ubsan
-#   scripts/ci.sh --fast       # build + ctest only
+#   1. tier-1 gate    — plain build + `ctest -L tier1` (the seed suite;
+#                       must always stay green, and stays fast because the
+#                       heavier suites are labeled out of it)
+#   2. differential   — `ctest -L differential`: the cross-engine oracle,
+#                       the OpStats complexity regressions (profile_test)
+#                       and the cardinality-accuracy suite
+#   3. sanitizers     — AddressSanitizer and UBSan builds (separate trees
+#                       via tests/run_sanitized.sh) running the full
+#                       labeled suite, differential + profile included
+#
+# Everything — build trees and test temp files (snapshot_test writes its
+# *.xqpack scratch files into the ctest working directory) — stays under
+# the build trees, so a failed run never litters the source tree.
+#
+#   scripts/ci.sh              # all three stages
+#   scripts/ci.sh --fast       # tier-1 + differential only
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,17 +27,25 @@ echo "== tier-1: configure + build =="
 cmake -B "${BUILD_DIR}" -S "${ROOT}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "== tier-1: ctest =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+echo "== tier-1: ctest (-L tier1) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L tier1
+
+echo "== differential + profile suites (-L differential) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+  -L differential
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "ci: tier-1 green (sanitizers skipped)"
+  echo "ci: tier-1 + differential green (sanitizers skipped)"
   exit 0
 fi
 
+# Full suite under each sanitizer: the fuzz + fault-injection tests get the
+# memory checking they exist for, and the differential oracle + profile
+# counters run instrumented too (asserting the instrumentation itself is
+# clean under ASan/UBSan).
 for sanitizer in address undefined; do
   echo "== sanitizer suite: ${sanitizer} =="
   "${ROOT}/tests/run_sanitized.sh" "${sanitizer}" -j "${JOBS}"
 done
 
-echo "ci: tier-1 + sanitizers green"
+echo "ci: tier-1 + differential + sanitizers green"

@@ -8,6 +8,7 @@
 #include "xmlq/xpath/compiler.h"
 #include "xmlq/xquery/translate.h"
 #include "xmlq/opt/optimizer.h"
+#include "xmlq/opt/plan_annotator.h"
 
 namespace xmlq::api {
 
@@ -119,6 +120,30 @@ void CollectPatterns(const LogicalExpr& plan,
   for (const auto& child : plan.children) CollectPatterns(*child, out);
 }
 
+/// First DocScan in the plan — the document the profile annotator uses for
+/// its synopsis estimates.
+const LogicalExpr* FindDocScan(const LogicalExpr& plan) {
+  if (plan.op == LogicalOp::kDocScan) return &plan;
+  for (const auto& child : plan.children) {
+    if (const LogicalExpr* found = FindDocScan(*child)) return found;
+  }
+  return nullptr;
+}
+
+/// Stamps the strategy the executor will actually run (one per query) onto
+/// every τ profile node, replacing the annotator's per-pattern pick.
+void TagExecutedStrategy(const LogicalExpr& plan, std::string_view strategy,
+                         exec::PlanProfile* profile) {
+  if (plan.op == LogicalOp::kTreePattern) {
+    if (exec::ProfileNode* node = profile->NodeFor(&plan); node != nullptr) {
+      node->estimate.strategy = strategy;
+    }
+  }
+  for (const auto& child : plan.children) {
+    TagExecutedStrategy(*child, strategy, profile);
+  }
+}
+
 }  // namespace
 
 exec::PatternStrategy Database::PickStrategy(const LogicalExpr& plan,
@@ -158,12 +183,32 @@ Result<exec::QueryResult> Database::Run(LogicalExprPtr plan,
   if (options.auto_optimize) {
     context.strategy = PickStrategy(*plan, nullptr);
   }
+  std::unique_ptr<exec::PlanProfile> profile;
+  if (options.collect_stats) {
+    profile = exec::PlanProfile::Create(*plan);
+    std::string doc_name;
+    if (const LogicalExpr* scan = FindDocScan(*plan); scan != nullptr) {
+      doc_name = scan->str;
+    }
+    if (doc_name.empty()) doc_name = default_document_;
+    if (const auto it = entries_.find(doc_name); it != entries_.end()) {
+      opt::AnnotateProfile(*it->second.synopsis, it->second.dom->pool(),
+                           *plan, profile.get());
+    }
+    TagExecutedStrategy(*plan, exec::PatternStrategyName(context.strategy),
+                        profile.get());
+    context.profile = profile.get();
+  }
   // The guard lives on this frame: the executor and everything below it only
   // borrow the pointer, and Run outlives the evaluation.
   ResourceGuard guard(options.limits);
   if (!options.limits.Unlimited()) context.guard = &guard;
   exec::Executor executor(&context);
-  return executor.Evaluate(*plan);
+  auto result = executor.Evaluate(*plan);
+  if (profile != nullptr) profile->Finalize();
+  if (!result.ok()) return result.status();
+  result->profile = std::move(profile);
+  return result;
 }
 
 Result<LogicalExprPtr> Database::Compile(std::string_view query,
@@ -208,6 +253,18 @@ Result<std::string> Database::Explain(std::string_view query,
   if (!strategies.empty()) {
     out += "-- physical strategy --\n" + strategies;
   }
+  return out;
+}
+
+Result<std::string> Database::ExplainAnalyze(std::string_view query,
+                                             const QueryOptions& options) {
+  QueryOptions analyze_options = options;
+  analyze_options.collect_stats = true;
+  XMLQ_ASSIGN_OR_RETURN(exec::QueryResult result,
+                        Query(query, analyze_options));
+  std::string out;
+  if (result.profile != nullptr) out = result.profile->ToString();
+  out += "-- " + std::to_string(result.value.size()) + " item(s)\n";
   return out;
 }
 

@@ -29,6 +29,11 @@ struct QueryOptions {
   exec::FlworMode flwor_mode = exec::FlworMode::kEnv;
   /// Run the logical rewrite pipeline before execution.
   bool apply_rewrites = true;
+  /// Collect the per-operator execution profile (EXPLAIN ANALYZE): the
+  /// result's `profile` then carries actual cardinalities, engine counters
+  /// and wall times next to the optimizer's estimates. Off by default —
+  /// disabled collection is engineered to cost nothing measurable.
+  bool collect_stats = false;
   /// Resource limits for the query (deadline, step/memory budgets, cancel
   /// flag). Default-constructed = unlimited. A query that exhausts a limit
   /// returns kResourceExhausted; a cancelled one returns kCancelled.
@@ -116,6 +121,13 @@ class Database {
   /// for a query, without executing it.
   Result<std::string> Explain(std::string_view query,
                               const QueryOptions& options = {});
+
+  /// Executes the query with stats collection on and renders the annotated
+  /// plan tree — per operator: estimated vs. actual rows (with q-error),
+  /// engine counters (nodes visited, stack traffic, index probes, bytes)
+  /// and inclusive wall time — followed by the result item count.
+  Result<std::string> ExplainAnalyze(std::string_view query,
+                                     const QueryOptions& options = {});
 
   /// Serializes a query result: node items as XML, atomics as text, one
   /// item per line.

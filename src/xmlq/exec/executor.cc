@@ -1,8 +1,10 @@
 #include "xmlq/exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "xmlq/exec/hybrid.h"
+#include "xmlq/exec/op_stats.h"
 #include "xmlq/exec/naive_nav.h"
 #include "xmlq/exec/path_stack.h"
 #include "xmlq/exec/structural_join.h"
@@ -77,27 +79,28 @@ const Sequence* Executor::LookupVar(const Scope* scope,
   return nullptr;
 }
 
-Result<NodeList> Executor::MatchPattern(
-    const IndexedDocument& doc, const algebra::PatternGraph& pattern) const {
+Result<NodeList> Executor::MatchPattern(const IndexedDocument& doc,
+                                        const algebra::PatternGraph& pattern,
+                                        OpStats* stats) const {
   const ResourceGuard* guard = context_->guard;
   auto run = [&]() -> Result<NodeList> {
     switch (context_->strategy) {
       case PatternStrategy::kNok:
-        return HybridMatch(doc, pattern, guard);
+        return HybridMatch(doc, pattern, guard, stats);
       case PatternStrategy::kTwigStack:
-        return TwigStackMatch(doc, pattern, guard);
+        return TwigStackMatch(doc, pattern, guard, stats);
       case PatternStrategy::kPathStack: {
         bool linear = true;
         for (algebra::VertexId v = 0; v < pattern.VertexCount(); ++v) {
           if (pattern.vertex(v).children.size() > 1) linear = false;
         }
-        return linear ? PathStackMatch(doc, pattern, guard)
-                      : TwigStackMatch(doc, pattern, guard);
+        return linear ? PathStackMatch(doc, pattern, guard, stats)
+                      : TwigStackMatch(doc, pattern, guard, stats);
       }
       case PatternStrategy::kBinaryJoin:
-        return BinaryJoinPlanMatch(doc, pattern, {}, nullptr, guard);
+        return BinaryJoinPlanMatch(doc, pattern, {}, nullptr, guard, stats);
       case PatternStrategy::kNaive:
-        return NaiveMatchPattern(*doc.dom, pattern, guard);
+        return NaiveMatchPattern(*doc.dom, pattern, guard, stats);
     }
     return Status::Internal("unknown pattern strategy");
   };
@@ -106,13 +109,38 @@ Result<NodeList> Executor::MatchPattern(
       context_->strategy != PatternStrategy::kNaive) {
     // Patterns outside a specialized engine's subset (e.g. following-sibling
     // arcs) always have the navigational evaluator as a safety net.
-    return NaiveMatchPattern(*doc.dom, pattern, guard);
+    return NaiveMatchPattern(*doc.dom, pattern, guard, stats);
   }
   return result;
 }
 
+OpStats* Executor::StatsFor(const LogicalExpr& expr) const {
+  if (context_->profile == nullptr) return nullptr;
+  ProfileNode* node = context_->profile->NodeFor(&expr);
+  return node == nullptr ? nullptr : &node->stats;
+}
+
 Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
                                 QueryResult* out) {
+  // The hot path: no profile attached means not a single extra branch
+  // beyond this nullptr check per operator evaluation.
+  if (context_->profile == nullptr) return EvalDispatch(expr, scope, out);
+  ProfileNode* node = context_->profile->NodeFor(&expr);
+  if (node == nullptr) return EvalDispatch(expr, scope, out);
+  const auto begin = std::chrono::steady_clock::now();
+  auto result = EvalDispatch(expr, scope, out);
+  node->stats.wall_nanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count());
+  ++node->stats.invocations;
+  if (result.ok()) node->stats.output_rows += result->size();
+  return result;
+}
+
+Result<Sequence> Executor::EvalDispatch(const LogicalExpr& expr,
+                                        const Scope* scope,
+                                        QueryResult* out) {
   // One step per operator evaluation; per-item costs are charged inside the
   // operator bodies. Also the unwind point once the guard has tripped.
   XMLQ_GUARD_TICK(context_->guard, 1);
@@ -149,9 +177,12 @@ Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
       XMLQ_ASSIGN_OR_RETURN(Sequence input,
                             Eval(*expr.children[0], scope, out));
       XMLQ_GUARD_TICK(context_->guard, input.size());
+      OpStats* stats = StatsFor(expr);
       Sequence result;
       for (const Item& item : input) {
-        if (expr.predicate.Eval(item.StringValue())) result.push_back(item);
+        const std::string value = item.StringValue();
+        if (stats != nullptr) stats->bytes_touched += value.size();
+        if (expr.predicate.Eval(value)) result.push_back(item);
       }
       return result;
     }
@@ -169,11 +200,13 @@ Result<Sequence> Executor::Eval(const LogicalExpr& expr, const Scope* scope,
       }
       XMLQ_ASSIGN_OR_RETURN(Sequence input,
                             Eval(*expr.children[0], scope, out));
+      OpStats* stats = StatsFor(expr);
       Sequence result;
       for (const Item& item : input) {
         XMLQ_GUARD_TICK(context_->guard, 1);
         if (!item.IsNode()) continue;
-        if (MatchesFilter(*item.node().doc, item.node().id, *expr.pattern)) {
+        if (MatchesFilter(*item.node().doc, item.node().id, *expr.pattern,
+                          stats)) {
           result.push_back(item);
         }
       }
@@ -216,12 +249,14 @@ Result<Sequence> Executor::EvalNavigate(const LogicalExpr& expr,
   vertex.is_attribute = expr.is_attribute;
   vertex.incoming_axis = expr.axis;
   const ResourceGuard* guard = context_->guard;
+  OpStats* stats = StatsFor(expr);
   Sequence result;
   for (const Item& item : input) {
     XMLQ_GUARD_TICK(guard, 1);
     if (!item.IsNode()) continue;
     const xml::Document* doc = item.node().doc;
-    for (xml::NodeId id : AxisStep(*doc, item.node().id, vertex, guard)) {
+    for (xml::NodeId id :
+         AxisStep(*doc, item.node().id, vertex, guard, stats)) {
       result.push_back(Item(NodeRef{doc, id}));
     }
     // AxisStep stops early on a trip; surface the sticky error here.
@@ -248,6 +283,7 @@ Result<Sequence> Executor::EvalStructuralJoin(const LogicalExpr& expr,
   if (dom == nullptr) return Sequence{};
   XMLQ_ASSIGN_OR_RETURN(const IndexedDocument* doc, DocumentOf(dom));
   const ResourceGuard* guard = context_->guard;
+  OpStats* stats = StatsFor(expr);
   XMLQ_GUARD_TICK(guard, left.size() + right.size());
   const NodeList anc = ToNodeList(*dom, left);
   const NodeList desc = ToNodeList(*dom, right);
@@ -255,12 +291,12 @@ Result<Sequence> Executor::EvalStructuralJoin(const LogicalExpr& expr,
                             expr.axis == algebra::Axis::kAttribute;
   const NodeList joined =
       expr.return_ancestor
-          ? StructuralSemiJoinAnc(ToRegions(*doc->regions, anc),
-                                  ToRegions(*doc->regions, desc),
-                                  parent_child, guard)
-          : StructuralSemiJoinDesc(ToRegions(*doc->regions, anc),
-                                   ToRegions(*doc->regions, desc),
-                                   parent_child, guard);
+          ? StructuralSemiJoinAnc(ToRegions(*doc->regions, anc, stats),
+                                  ToRegions(*doc->regions, desc, stats),
+                                  parent_child, guard, stats)
+          : StructuralSemiJoinDesc(ToRegions(*doc->regions, anc, stats),
+                                   ToRegions(*doc->regions, desc, stats),
+                                   parent_child, guard, stats);
   // The semi-joins stop early on a trip; surface the sticky error here.
   XMLQ_GUARD_TICK(guard, 0);
   return ToSequence(*dom, joined);
@@ -274,10 +310,14 @@ Result<Sequence> Executor::EvalValueJoin(const LogicalExpr& expr,
   // ⋈v semi-join semantics: keep left items whose string-value compares
   // true against at least one right item.
   const ResourceGuard* guard = context_->guard;
+  OpStats* stats = StatsFor(expr);
   XMLQ_GUARD_TICK(guard, right.size());
   std::vector<std::string> right_values;
   right_values.reserve(right.size());
-  for (const Item& item : right) right_values.push_back(item.StringValue());
+  for (const Item& item : right) {
+    right_values.push_back(item.StringValue());
+    if (stats != nullptr) stats->bytes_touched += right_values.back().size();
+  }
   Sequence result;
   for (const Item& item : left) {
     // The nested-loop comparison is the engine's only quadratic operator;
@@ -287,6 +327,7 @@ Result<Sequence> Executor::EvalValueJoin(const LogicalExpr& expr,
     pred.op = expr.predicate.op;
     pred.numeric = expr.predicate.numeric;
     const std::string value = item.StringValue();
+    if (stats != nullptr) stats->bytes_touched += value.size();
     bool matched = false;
     for (const std::string& rv : right_values) {
       pred.literal = rv;
@@ -320,7 +361,8 @@ Result<Sequence> Executor::EvalTreePattern(const LogicalExpr& expr,
         "τ expects a document node as its Tree input");
   }
   XMLQ_ASSIGN_OR_RETURN(const IndexedDocument* doc, DocumentOf(dom));
-  XMLQ_ASSIGN_OR_RETURN(NodeList matches, MatchPattern(*doc, *expr.pattern));
+  XMLQ_ASSIGN_OR_RETURN(NodeList matches,
+                        MatchPattern(*doc, *expr.pattern, StatsFor(expr)));
   XMLQ_GUARD_CHARGE(context_->guard, matches.size() * sizeof(xml::NodeId));
   return ToSequence(*dom, matches);
 }

@@ -11,6 +11,7 @@
 #include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/node_stream.h"
+#include "xmlq/exec/op_stats.h"
 
 namespace xmlq::exec {
 
@@ -43,6 +44,11 @@ struct EvalContext {
   /// step quota, memory budget, cancellation). Not owned; must outlive the
   /// evaluation. Null means ungoverned.
   const ResourceGuard* guard = nullptr;
+  /// Optional per-operator profile (EXPLAIN ANALYZE). Must be built from
+  /// the exact plan object being evaluated (PlanProfile::Create). Not owned.
+  /// Null (the default) disables stats collection entirely — the executor
+  /// then performs no lookups, no clock reads and no counter updates.
+  PlanProfile* profile = nullptr;
 };
 
 /// Holds a query's output plus any documents constructed by γ (node items
@@ -50,6 +56,9 @@ struct EvalContext {
 struct QueryResult {
   algebra::Sequence value;
   std::vector<std::unique_ptr<xml::Document>> constructed;
+  /// Per-operator execution profile; non-null only when the caller asked
+  /// for stats (api::QueryOptions::collect_stats). Already finalized.
+  std::unique_ptr<PlanProfile> profile;
 };
 
 /// Interprets logical algebra plans. Stateless across Evaluate calls except
@@ -70,8 +79,10 @@ class Executor {
 
   /// Runs just the τ operator on `pattern` over the named document with the
   /// context's strategy. Used by the plan interpreter and the benches.
+  /// `stats` (optional) receives the chosen engine's execution counters.
   Result<NodeList> MatchPattern(const IndexedDocument& doc,
-                                const algebra::PatternGraph& pattern) const;
+                                const algebra::PatternGraph& pattern,
+                                OpStats* stats = nullptr) const;
 
  private:
   struct Scope {
@@ -80,8 +91,18 @@ class Executor {
     const algebra::Sequence* value = nullptr;
   };
 
+  /// Profiling wrapper: dispatches to EvalDispatch, and — only when the
+  /// context carries a PlanProfile — records invocations, output rows and
+  /// inclusive wall time on the operator's ProfileNode.
   Result<algebra::Sequence> Eval(const algebra::LogicalExpr& expr,
                                  const Scope* scope, QueryResult* out);
+
+  Result<algebra::Sequence> EvalDispatch(const algebra::LogicalExpr& expr,
+                                         const Scope* scope,
+                                         QueryResult* out);
+
+  /// The engine-counter sink for `expr`, or nullptr when not profiling.
+  OpStats* StatsFor(const algebra::LogicalExpr& expr) const;
 
   // Implemented in executor.cc.
   Result<algebra::Sequence> EvalNavigate(const algebra::LogicalExpr& expr,

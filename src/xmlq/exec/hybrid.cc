@@ -57,7 +57,7 @@ bool NeedsFallback(const PatternGraph& graph, const NokPartition& partition,
 
 Result<NodeList> HybridMatch(const IndexedDocument& doc,
                              const PatternGraph& pattern,
-                             const ResourceGuard* guard) {
+                             const ResourceGuard* guard, OpStats* stats) {
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   const VertexId output = pattern.SoleOutput();
   if (output == algebra::kNoVertex) {
@@ -66,7 +66,7 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
   }
   const NokPartition partition = xpath::PartitionNok(pattern);
   if (NeedsFallback(pattern, partition, output)) {
-    return TwigStackMatch(doc, pattern, guard);
+    return TwigStackMatch(doc, pattern, guard, stats);
   }
 
   const size_t num_parts = partition.parts.size();
@@ -115,13 +115,14 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
       candidates.reserve(stream.size());
       for (const storage::Region& r : stream) candidates.push_back(r.start);
       candidates_ptr = &candidates;
+      if (stats != nullptr) stats->index_probes += stream.size();
     }
     auto result = MatchNokPart(*doc.succinct, pattern, partition.parts[p],
-                               requested[p], candidates_ptr, guard);
+                               requested[p], candidates_ptr, guard, stats);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kUnsupported) {
         // e.g. following-sibling arcs
-        return TwigStackMatch(doc, pattern, guard);
+        return TwigStackMatch(doc, pattern, guard, stats);
       }
       return result.status();
     }
@@ -152,9 +153,9 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
       for (int q : child_parts) {
         // Keep attach bindings that have a valid child-part head below.
         w_bindings = StructuralSemiJoinAnc(
-            ToRegions(*doc.regions, w_bindings),
-            ToRegions(*doc.regions, valid_heads[q]),
-            /*parent_child=*/false, guard);
+            ToRegions(*doc.regions, w_bindings, stats),
+            ToRegions(*doc.regions, valid_heads[q], stats),
+            /*parent_child=*/false, guard, stats);
         XMLQ_GUARD_TICK(guard, 0);  // semi-joins stop early on a trip
         if (w_bindings.empty()) break;
       }
@@ -198,9 +199,9 @@ Result<NodeList> HybridMatch(const IndexedDocument& doc,
     }
     Normalize(&reach_w);
     reach_heads[q] = StructuralSemiJoinDesc(
-        ToRegions(*doc.regions, reach_w),
-        ToRegions(*doc.regions, valid_heads[q]),
-        /*parent_child=*/false, guard);
+        ToRegions(*doc.regions, reach_w, stats),
+        ToRegions(*doc.regions, valid_heads[q], stats),
+        /*parent_child=*/false, guard, stats);
     XMLQ_GUARD_TICK(guard, 0);  // semi-joins stop early on a trip
   }
 

@@ -24,9 +24,15 @@ namespace xmlq::exec {
 /// Rare patterns where two non-head seam/output vertices of the same
 /// fragment are nested (requiring correlated bindings the per-fragment pair
 /// lists cannot express) fall back to TwigStack transparently.
+///
+/// `stats` (optional) aggregates the observability counters of every
+/// constituent: the NoK scans' `nodes_visited`/`stack_*`/`bytes_touched`,
+/// the seam joins' merge counters, and `index_probes` for the candidate
+/// seeds and region lookups.
 Result<NodeList> HybridMatch(const IndexedDocument& doc,
                              const algebra::PatternGraph& pattern,
-                             const ResourceGuard* guard = nullptr);
+                             const ResourceGuard* guard = nullptr,
+                             OpStats* stats = nullptr);
 
 }  // namespace xmlq::exec
 

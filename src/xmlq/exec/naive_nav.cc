@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "xmlq/exec/op_stats.h"
+
 namespace xmlq::exec {
 
 namespace {
@@ -13,23 +15,29 @@ using algebra::PatternVertex;
 using algebra::VertexId;
 
 void CollectChildren(const xml::Document& doc, xml::NodeId context,
-                     const PatternVertex& vertex, NodeList* out) {
+                     const PatternVertex& vertex, OpStats* stats,
+                     NodeList* out) {
+  uint64_t visited = 0;
   if (vertex.is_attribute) {
     for (xml::NodeId a = doc.FirstAttr(context); a != xml::kNullNode;
          a = doc.NextSibling(a)) {
+      ++visited;
       if (MatchesNodeTest(vertex, doc, a)) out->push_back(a);
     }
-    return;
+  } else {
+    for (xml::NodeId c = doc.FirstChild(context); c != xml::kNullNode;
+         c = doc.NextSibling(c)) {
+      ++visited;
+      if (MatchesNodeTest(vertex, doc, c)) out->push_back(c);
+    }
   }
-  for (xml::NodeId c = doc.FirstChild(context); c != xml::kNullNode;
-       c = doc.NextSibling(c)) {
-    if (MatchesNodeTest(vertex, doc, c)) out->push_back(c);
-  }
+  if (stats != nullptr) stats->nodes_visited += visited;
 }
 
 void CollectDescendants(const xml::Document& doc, xml::NodeId context,
                         const PatternVertex& vertex, bool include_self,
-                        const ResourceGuard* guard, NodeList* out) {
+                        const ResourceGuard* guard, OpStats* stats,
+                        NodeList* out) {
   // Explicit-stack preorder walk: the DOM can be arbitrarily deep, so
   // recursing per tree level would overflow the call stack on pathological
   // documents. Children are pushed in reverse to preserve document order.
@@ -40,16 +48,19 @@ void CollectDescendants(const xml::Document& doc, xml::NodeId context,
   std::vector<Frame> stack;
   std::vector<xml::NodeId> children;  // scratch, reused across iterations
   stack.push_back({context, include_self});
+  uint64_t visited = 0;
   while (!stack.empty()) {
     const Frame f = stack.back();
     stack.pop_back();
-    if (guard != nullptr && guard->Tick(1)) return;
+    if (guard != nullptr && guard->Tick(1)) break;
+    ++visited;
     if (f.include_self && MatchesNodeTest(vertex, doc, f.node)) {
       out->push_back(f.node);
     }
     if (vertex.is_attribute && doc.Kind(f.node) == xml::NodeKind::kElement) {
       for (xml::NodeId a = doc.FirstAttr(f.node); a != xml::kNullNode;
            a = doc.NextSibling(a)) {
+        ++visited;
         if (MatchesNodeTest(vertex, doc, a)) out->push_back(a);
       }
     }
@@ -62,29 +73,31 @@ void CollectDescendants(const xml::Document& doc, xml::NodeId context,
       stack.push_back({children[i], /*include_self=*/!vertex.is_attribute});
     }
   }
+  if (stats != nullptr) stats->nodes_visited += visited;
 }
 
 }  // namespace
 
 NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
-                  const PatternVertex& vertex, const ResourceGuard* guard) {
+                  const PatternVertex& vertex, const ResourceGuard* guard,
+                  OpStats* stats) {
   NodeList out;
   switch (vertex.incoming_axis) {
     case Axis::kChild:
     case Axis::kAttribute:
-      CollectChildren(doc, context, vertex, &out);
+      CollectChildren(doc, context, vertex, stats, &out);
       if (guard != nullptr) guard->Tick(out.size() + 1);
       break;
     case Axis::kDescendant:
       if (vertex.is_attribute) {
         // `//@a`: attributes of the context and of every descendant.
         CollectDescendants(doc, context, vertex, /*include_self=*/false,
-                           guard, &out);
+                           guard, stats, &out);
       } else {
         for (xml::NodeId c = doc.FirstChild(context); c != xml::kNullNode;
              c = doc.NextSibling(c)) {
           CollectDescendants(doc, c, vertex, /*include_self=*/true, guard,
-                             &out);
+                             stats, &out);
         }
       }
       break;
@@ -92,11 +105,13 @@ NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
       for (xml::NodeId s = doc.NextSibling(context); s != xml::kNullNode;
            s = doc.NextSibling(s)) {
         if (guard != nullptr && guard->Tick(1)) break;
+        if (stats != nullptr) ++stats->nodes_visited;
         if (MatchesNodeTest(vertex, doc, s)) out.push_back(s);
       }
       break;
     case Axis::kSelf:
       if (guard != nullptr) guard->Tick(1);
+      if (stats != nullptr) ++stats->nodes_visited;
       if (MatchesNodeTest(vertex, doc, context)) out.push_back(context);
       break;
   }
@@ -104,12 +119,13 @@ NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
 }
 
 bool MatchesFilter(const xml::Document& doc, xml::NodeId context,
-                   const algebra::PatternGraph& filter) {
+                   const algebra::PatternGraph& filter, OpStats* stats) {
   // Recursive existence check, mirroring NaiveMatcher::ExistsEmbedding.
   const std::function<bool(VertexId, xml::NodeId)> exists =
       [&](VertexId v, xml::NodeId from) -> bool {
-    for (const xml::NodeId node : AxisStep(doc, from, filter.vertex(v))) {
-      if (!EvalVertexPredicates(filter.vertex(v), doc, node)) continue;
+    for (const xml::NodeId node :
+         AxisStep(doc, from, filter.vertex(v), nullptr, stats)) {
+      if (!EvalVertexPredicates(filter.vertex(v), doc, node, stats)) continue;
       bool all = true;
       for (const VertexId c : filter.vertex(v).children) {
         if (!exists(c, node)) {
@@ -121,7 +137,8 @@ bool MatchesFilter(const xml::Document& doc, xml::NodeId context,
     }
     return false;
   };
-  if (!EvalVertexPredicates(filter.vertex(filter.root()), doc, context)) {
+  if (!EvalVertexPredicates(filter.vertex(filter.root()), doc, context,
+                            stats)) {
     return false;
   }
   for (const VertexId c : filter.vertex(filter.root()).children) {
@@ -135,8 +152,8 @@ namespace {
 class NaiveMatcher {
  public:
   NaiveMatcher(const xml::Document& doc, const PatternGraph& pattern,
-               const ResourceGuard* guard)
-      : doc_(doc), pattern_(pattern), guard_(guard) {}
+               const ResourceGuard* guard, OpStats* stats)
+      : doc_(doc), pattern_(pattern), guard_(guard), stats_(stats) {}
 
   Result<NodeList> Run() {
     const VertexId output = pattern_.SoleOutput();
@@ -165,8 +182,10 @@ class NaiveMatcher {
       for (xml::NodeId ctx : contexts) {
         XMLQ_GUARD_TICK(guard_, 1);
         for (xml::NodeId node :
-             AxisStep(doc_, ctx, pattern_.vertex(v), guard_)) {
-          if (!EvalVertexPredicates(pattern_.vertex(v), doc_, node)) continue;
+             AxisStep(doc_, ctx, pattern_.vertex(v), guard_, stats_)) {
+          if (!EvalVertexPredicates(pattern_.vertex(v), doc_, node, stats_)) {
+            continue;
+          }
           if (!EvalBranchesExcept(v, node, skip_child)) continue;
           next.push_back(node);
         }
@@ -195,9 +214,11 @@ class NaiveMatcher {
   /// the sticky status.
   bool ExistsEmbedding(VertexId v, xml::NodeId context) {
     for (xml::NodeId node :
-         AxisStep(doc_, context, pattern_.vertex(v), guard_)) {
+         AxisStep(doc_, context, pattern_.vertex(v), guard_, stats_)) {
       if (guard_ != nullptr && guard_->Tick(1)) return false;
-      if (!EvalVertexPredicates(pattern_.vertex(v), doc_, node)) continue;
+      if (!EvalVertexPredicates(pattern_.vertex(v), doc_, node, stats_)) {
+        continue;
+      }
       bool all = true;
       for (VertexId c : pattern_.vertex(v).children) {
         if (!ExistsEmbedding(c, node)) {
@@ -213,21 +234,24 @@ class NaiveMatcher {
   const xml::Document& doc_;
   const PatternGraph& pattern_;
   const ResourceGuard* guard_;
+  OpStats* stats_;
 };
 
 }  // namespace
 
 Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
                                    const PatternGraph& pattern,
-                                   const ResourceGuard* guard) {
+                                   const ResourceGuard* guard,
+                                   OpStats* stats) {
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
-  NaiveMatcher matcher(doc, pattern, guard);
+  NaiveMatcher matcher(doc, pattern, guard, stats);
   return matcher.Run();
 }
 
 Result<algebra::NestedList> MatchPatternNested(const xml::Document& doc,
                                                const PatternGraph& pattern,
-                                               const ResourceGuard* guard) {
+                                               const ResourceGuard* guard,
+                                               OpStats* stats) {
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   // Bindings per output vertex: evaluate the same pattern once per output
   // (each evaluation enforces the full twig, so every binding is part of a
@@ -239,7 +263,7 @@ Result<algebra::NestedList> MatchPatternNested(const xml::Document& doc,
       solo.mutable_vertex(v).output = v == out;
     }
     XMLQ_ASSIGN_OR_RETURN(NodeList bindings,
-                          NaiveMatchPattern(doc, solo, guard));
+                          NaiveMatchPattern(doc, solo, guard, stats));
     all.insert(all.end(), bindings.begin(), bindings.end());
   }
   Normalize(&all);

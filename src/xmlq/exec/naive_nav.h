@@ -18,9 +18,13 @@ namespace xmlq::exec {
 ///
 /// `pattern` must have a sole output vertex. Returns the output-vertex
 /// bindings, sorted in document order without duplicates.
+///
+/// `stats` (optional, here and below) counts every DOM node examined in
+/// `nodes_visited` and the predicate string-value bytes in `bytes_touched`.
 Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
                                    const algebra::PatternGraph& pattern,
-                                   const ResourceGuard* guard = nullptr);
+                                   const ResourceGuard* guard = nullptr,
+                                   OpStats* stats = nullptr);
 
 /// Nodes reachable from `context` via one step (axis + vertex node test,
 /// without predicates), in document order. Exposed for reuse by the
@@ -33,7 +37,8 @@ Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
 /// early with partial output and the caller must check the guard's status.
 NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
                   const algebra::PatternVertex& vertex,
-                  const ResourceGuard* guard = nullptr);
+                  const ResourceGuard* guard = nullptr,
+                  OpStats* stats = nullptr);
 
 /// The full τ signature of Table 1: Tree × PatternGraph → NestedList.
 /// Every vertex in the pattern's output set O contributes its bindings; the
@@ -43,7 +48,7 @@ NodeList AxisStep(const xml::Document& doc, xml::NodeId context,
 /// ancestor-descendant relationship in the input tree").
 Result<algebra::NestedList> MatchPatternNested(
     const xml::Document& doc, const algebra::PatternGraph& pattern,
-    const ResourceGuard* guard = nullptr);
+    const ResourceGuard* guard = nullptr, OpStats* stats = nullptr);
 
 /// Per-node predicate filter: true iff the filter graph embeds *at*
 /// `context` — the root vertex's value predicates hold on the context's
@@ -52,7 +57,8 @@ Result<algebra::NestedList> MatchPatternNested(
 /// item). Implements the kPatternFilter operator and XQuery path
 /// predicates over variable-rooted paths.
 bool MatchesFilter(const xml::Document& doc, xml::NodeId context,
-                   const algebra::PatternGraph& filter);
+                   const algebra::PatternGraph& filter,
+                   OpStats* stats = nullptr);
 
 }  // namespace xmlq::exec
 

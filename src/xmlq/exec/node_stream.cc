@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "xmlq/exec/op_stats.h"
+
 namespace xmlq::exec {
 
 void Normalize(NodeList* nodes) {
@@ -31,9 +33,11 @@ NodeList ToNodeList(const xml::Document& doc, const algebra::Sequence& seq) {
 }
 
 bool EvalVertexPredicates(const algebra::PatternVertex& vertex,
-                          const xml::Document& doc, xml::NodeId node) {
+                          const xml::Document& doc, xml::NodeId node,
+                          OpStats* stats) {
   if (vertex.predicates.empty()) return true;
   const std::string value = doc.StringValue(node);
+  if (stats != nullptr) stats->bytes_touched += value.size();
   for (const algebra::ValuePredicate& pred : vertex.predicates) {
     if (!pred.Eval(value)) return false;
   }

@@ -13,6 +13,8 @@
 
 namespace xmlq::exec {
 
+struct OpStats;  // exec/op_stats.h
+
 /// A document together with the physical representations the different
 /// engines consume. The DOM tree is always present; the succinct store and
 /// the region index are built at load time (see api::Database). All three
@@ -38,9 +40,11 @@ algebra::Sequence ToSequence(const xml::Document& doc, const NodeList& nodes);
 NodeList ToNodeList(const xml::Document& doc, const algebra::Sequence& seq);
 
 /// Evaluates a pattern-vertex value constraint against a DOM node (uses the
-/// node's XPath string-value).
+/// node's XPath string-value). When `stats` is given, the materialized
+/// string-value bytes are charged to `bytes_touched`.
 bool EvalVertexPredicates(const algebra::PatternVertex& vertex,
-                          const xml::Document& doc, xml::NodeId node);
+                          const xml::Document& doc, xml::NodeId node,
+                          OpStats* stats = nullptr);
 
 /// True if `node` matches the vertex's kind + label test (not predicates).
 bool MatchesNodeTest(const algebra::PatternVertex& vertex,

@@ -122,8 +122,8 @@ class Scanner {
  public:
   Scanner(const SuccinctDocument& doc, const PatternGraph& graph,
           const CompiledPart& part, size_t requested_count,
-          const ResourceGuard* guard)
-      : doc_(doc), graph_(graph), part_(part), guard_(guard) {
+          const ResourceGuard* guard, OpStats* stats)
+      : doc_(doc), graph_(graph), part_(part), guard_(guard), stats_(stats) {
     result_.pairs.resize(requested_count);
     result_.bindings.resize(requested_count);
   }
@@ -184,6 +184,7 @@ class Scanner {
       Open(next_rank++);
       if (!head_anchors_anywhere && frames_[depth_ - 1].active == 0) {
         --depth_;  // nothing can match anywhere in this subtree
+        ++pops_;
         if (!bp.IsOpen(pos + 1)) {  // leaf: "()"
           pos += 2;
           continue;
@@ -258,14 +259,17 @@ class Scanner {
     }
     frame.active = active;
     ++depth_;
+    ++visited_;
+    ++pushes_;
   }
 
   bool PredicatesHold(size_t local, uint32_t rank, bool* value_cached,
-                      std::string* value) const {
+                      std::string* value) {
     if (!part_.has_predicates[local]) return true;
     if (!*value_cached) {
       *value = doc_.StringValue(rank);
       *value_cached = true;
+      bytes_ += value->size();
     }
     for (const algebra::ValuePredicate& pred :
          graph_.vertex(part_.originals[local]).predicates) {
@@ -275,6 +279,7 @@ class Scanner {
   }
 
   void Close() {
+    ++pops_;
     Frame& frame = frames_[--depth_];
     Frame* parent = depth_ > 0 ? &frames_[depth_ - 1] : nullptr;
     if (frame.active == 0 && frame.buffer.empty()) return;
@@ -353,12 +358,23 @@ class Scanner {
                   pairs.end());
     }
     for (NodeList& list : result_.bindings) Normalize(&list);
+    if (stats_ != nullptr) {
+      stats_->nodes_visited += visited_;
+      stats_->stack_pushes += pushes_;
+      stats_->stack_pops += pops_;
+      stats_->bytes_touched += bytes_;
+    }
   }
 
   const SuccinctDocument& doc_;
   const PatternGraph& graph_;
   const CompiledPart& part_;
   const ResourceGuard* guard_ = nullptr;
+  OpStats* stats_ = nullptr;
+  uint64_t visited_ = 0;
+  uint64_t pushes_ = 0;
+  uint64_t pops_ = 0;
+  uint64_t bytes_ = 0;
   std::vector<Frame> frames_;
   size_t depth_ = 0;
   bool anchor_depth_only_ = false;
@@ -373,7 +389,8 @@ Result<NokMatchResult> MatchNokPart(const SuccinctDocument& doc,
                                     const NokPart& part,
                                     std::span<const VertexId> requested,
                                     const std::vector<uint32_t>* head_candidates,
-                                    const ResourceGuard* guard) {
+                                    const ResourceGuard* guard,
+                                    OpStats* stats) {
   XMLQ_ASSIGN_OR_RETURN(CompiledPart compiled,
                         Compile(doc, graph, part, requested));
   if (compiled.never_matches) {
@@ -382,7 +399,7 @@ Result<NokMatchResult> MatchNokPart(const SuccinctDocument& doc,
     empty.bindings.resize(requested.size());
     return empty;
   }
-  Scanner scanner(doc, graph, compiled, requested.size(), guard);
+  Scanner scanner(doc, graph, compiled, requested.size(), guard, stats);
   if (head_candidates != nullptr) {
     // Degenerate single-vertex part: the candidates *are* the matches (the
     // tag stream is exact); only value predicates need checking.
@@ -393,8 +410,10 @@ Result<NokMatchResult> MatchNokPart(const SuccinctDocument& doc,
       const PatternVertex& head = graph.vertex(part.head);
       for (const uint32_t rank : *head_candidates) {
         XMLQ_GUARD_TICK(guard, 1);
+        if (stats != nullptr) ++stats->nodes_visited;
         if (!head.predicates.empty()) {
           const std::string value = doc.StringValue(rank);
+          if (stats != nullptr) stats->bytes_touched += value.size();
           bool ok = true;
           for (const algebra::ValuePredicate& pred : head.predicates) {
             if (!pred.Eval(value)) {
@@ -423,7 +442,7 @@ Result<NokMatchResult> MatchNokPart(const SuccinctDocument& doc,
 
 Result<NodeList> MatchNokPattern(const SuccinctDocument& doc,
                                  const PatternGraph& graph,
-                                 const ResourceGuard* guard) {
+                                 const ResourceGuard* guard, OpStats* stats) {
   const VertexId output = graph.SoleOutput();
   if (output == algebra::kNoVertex) {
     return Status::InvalidArgument("pattern must have a sole output vertex");
@@ -434,9 +453,9 @@ Result<NodeList> MatchNokPattern(const SuccinctDocument& doc,
         "MatchNokPattern requires a pattern that is a single NoK part");
   }
   const VertexId requested[] = {output};
-  XMLQ_ASSIGN_OR_RETURN(
-      NokMatchResult result,
-      MatchNokPart(doc, graph, partition.parts[0], requested, nullptr, guard));
+  XMLQ_ASSIGN_OR_RETURN(NokMatchResult result,
+                        MatchNokPart(doc, graph, partition.parts[0], requested,
+                                     nullptr, guard, stats));
   return std::move(result.bindings[0]);
 }
 

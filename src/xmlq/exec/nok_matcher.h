@@ -55,18 +55,26 @@ struct NokMatchResult {
 /// per-tag stream from the region index is exactly that).
 /// `guard` (optional) is ticked once per scanned node; on a trip the scan
 /// aborts and the guard's sticky status is returned.
+///
+/// `stats` (optional) receives observability counters: `nodes_visited` is
+/// one per node the scan opens — a whole-document scan opens each node at
+/// most once (the subtree-skip optimization can only lower it below the
+/// node count, never raise it), `stack_pushes`/`stack_pops` track the scan's
+/// frame stack, and `bytes_touched` the string-values materialized for
+/// value predicates.
 Result<NokMatchResult> MatchNokPart(
     const storage::SuccinctDocument& doc, const algebra::PatternGraph& graph,
     const xpath::NokPart& part, std::span<const algebra::VertexId> requested,
     const std::vector<uint32_t>* head_candidates = nullptr,
-    const ResourceGuard* guard = nullptr);
+    const ResourceGuard* guard = nullptr, OpStats* stats = nullptr);
 
 /// Convenience wrapper: matches a pattern that is a single NoK part (no
 /// descendant arcs except the head's incoming arc) and returns the sole
 /// output vertex's bindings. Used by σs-style scans and tests.
 Result<NodeList> MatchNokPattern(const storage::SuccinctDocument& doc,
                                  const algebra::PatternGraph& graph,
-                                 const ResourceGuard* guard = nullptr);
+                                 const ResourceGuard* guard = nullptr,
+                                 OpStats* stats = nullptr);
 
 }  // namespace xmlq::exec
 

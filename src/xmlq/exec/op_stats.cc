@@ -1,0 +1,187 @@
+#include "xmlq/exec/op_stats.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace xmlq::exec {
+
+using algebra::LogicalExpr;
+using algebra::LogicalOp;
+
+void OpStats::MergeFrom(const OpStats& other) {
+  invocations += other.invocations;
+  input_rows += other.input_rows;
+  output_rows += other.output_rows;
+  nodes_visited += other.nodes_visited;
+  stack_pushes += other.stack_pushes;
+  stack_pops += other.stack_pops;
+  index_probes += other.index_probes;
+  bytes_touched += other.bytes_touched;
+  wall_nanos += other.wall_nanos;
+}
+
+bool OpStats::DeterministicEquals(const OpStats& other) const {
+  return invocations == other.invocations && input_rows == other.input_rows &&
+         output_rows == other.output_rows &&
+         nodes_visited == other.nodes_visited &&
+         stack_pushes == other.stack_pushes &&
+         stack_pops == other.stack_pops &&
+         index_probes == other.index_probes &&
+         bytes_touched == other.bytes_touched;
+}
+
+double ProfileNode::ActualRows() const {
+  return static_cast<double>(stats.output_rows);
+}
+
+double ProfileNode::QError() const {
+  if (!estimate.HasRows()) return 0;
+  const double est = std::max(estimate.rows, 1.0);
+  const double actual = std::max(ActualRows(), 1.0);
+  return std::max(est / actual, actual / est);
+}
+
+std::string OperatorLabel(const LogicalExpr& expr) {
+  std::string out(algebra::LogicalOpName(expr.op));
+  switch (expr.op) {
+    case LogicalOp::kDocScan:
+    case LogicalOp::kVarRef:
+    case LogicalOp::kFunction:
+      out += "(" + expr.str + ")";
+      break;
+    case LogicalOp::kSelectTag:
+      out += "(tag=" + expr.str + ")";
+      break;
+    case LogicalOp::kNavigate:
+      out += "(";
+      out += algebra::AxisName(expr.axis);
+      out += "::" + (expr.str.empty() ? "*" : expr.str) + ")";
+      break;
+    case LogicalOp::kStructuralJoin:
+      out += "(";
+      out += algebra::AxisName(expr.axis);
+      out += expr.return_ancestor ? ", return=ancestor)"
+                                  : ", return=descendant)";
+      break;
+    case LogicalOp::kSelectValue:
+      out += "(" + expr.predicate.ToString() + ")";
+      break;
+    case LogicalOp::kBinary:
+      out += "(";
+      out += algebra::BinaryOpName(expr.binary);
+      out += ")";
+      break;
+    case LogicalOp::kTreePattern:
+    case LogicalOp::kPatternFilter:
+      if (expr.pattern != nullptr) {
+        out += "(" + std::to_string(expr.pattern->VertexCount()) + " vertices)";
+      }
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+void BuildSkeleton(const LogicalExpr& expr, ProfileNode* node) {
+  node->label = OperatorLabel(expr);
+  node->children.resize(expr.children.size());
+  for (size_t i = 0; i < expr.children.size(); ++i) {
+    BuildSkeleton(*expr.children[i], &node->children[i]);
+  }
+}
+
+/// Registers node addresses after the tree shape is final (children vectors
+/// are never resized again, so the pointers stay valid).
+void IndexNodes(const LogicalExpr& expr, ProfileNode* node,
+                std::map<const LogicalExpr*, ProfileNode*>* by_expr) {
+  (*by_expr)[&expr] = node;
+  for (size_t i = 0; i < expr.children.size(); ++i) {
+    IndexNodes(*expr.children[i], &node->children[i], by_expr);
+  }
+}
+
+void FinalizeNode(ProfileNode* node) {
+  uint64_t input = 0;
+  for (ProfileNode& child : node->children) {
+    FinalizeNode(&child);
+    input += child.stats.output_rows;
+  }
+  node->stats.input_rows = input;
+}
+
+void AppendCounter(std::string* out, const char* name, uint64_t value) {
+  if (value == 0) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, name, value);
+  out->append(buf);
+}
+
+void Render(const ProfileNode& node, int depth, bool include_time,
+            std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.label);
+  if (!node.estimate.strategy.empty()) {
+    out->append(" [" + node.estimate.strategy + "]");
+  }
+  char buf[96];
+  if (node.estimate.HasRows()) {
+    std::snprintf(buf, sizeof(buf), "  est=%.0f", node.estimate.rows);
+    out->append(buf);
+  }
+  std::snprintf(buf, sizeof(buf), "%srows=%" PRIu64,
+                node.estimate.HasRows() ? " " : "  ", node.stats.output_rows);
+  out->append(buf);
+  if (node.stats.invocations > 1) {
+    std::snprintf(buf, sizeof(buf), " calls=%" PRIu64, node.stats.invocations);
+    out->append(buf);
+  }
+  if (node.estimate.HasRows() && node.stats.invocations > 0) {
+    std::snprintf(buf, sizeof(buf), " err=%.2fx", node.QError());
+    out->append(buf);
+  }
+  AppendCounter(out, "nodes", node.stats.nodes_visited);
+  AppendCounter(out, "pushes", node.stats.stack_pushes);
+  AppendCounter(out, "pops", node.stats.stack_pops);
+  AppendCounter(out, "probes", node.stats.index_probes);
+  AppendCounter(out, "bytes", node.stats.bytes_touched);
+  if (include_time && node.stats.invocations > 0) {
+    std::snprintf(buf, sizeof(buf), " time=%.3fms",
+                  static_cast<double>(node.stats.wall_nanos) / 1e6);
+    out->append(buf);
+  }
+  out->push_back('\n');
+  for (const ProfileNode& child : node.children) {
+    Render(child, depth + 1, include_time, out);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<PlanProfile> PlanProfile::Create(const LogicalExpr& plan) {
+  std::unique_ptr<PlanProfile> profile(new PlanProfile());
+  BuildSkeleton(plan, &profile->root_);
+  IndexNodes(plan, &profile->root_, &profile->by_expr_);
+  return profile;
+}
+
+ProfileNode* PlanProfile::NodeFor(const LogicalExpr* expr) {
+  const auto it = by_expr_.find(expr);
+  return it == by_expr_.end() ? nullptr : it->second;
+}
+
+void PlanProfile::Finalize() {
+  FinalizeNode(&root_);
+  by_expr_.clear();  // the plan may die before the profile does
+}
+
+std::string PlanProfile::ToString(bool include_time) const {
+  std::string out;
+  Render(root_, 0, include_time, &out);
+  return out;
+}
+
+}  // namespace xmlq::exec

@@ -20,7 +20,7 @@ constexpr uint32_t kInfinity = std::numeric_limits<uint32_t>::max();
 
 Result<NodeList> PathStackMatch(const IndexedDocument& doc,
                                 const PatternGraph& pattern,
-                                const ResourceGuard* guard) {
+                                const ResourceGuard* guard, OpStats* stats) {
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   const VertexId output = pattern.SoleOutput();
   if (output == algebra::kNoVertex) {
@@ -46,7 +46,7 @@ Result<NodeList> PathStackMatch(const IndexedDocument& doc,
   std::vector<std::vector<JoinPair>> pairs(k);
   for (VertexId v = 0; v < k; ++v) {
     XMLQ_ASSIGN_OR_RETURN(streams[v],
-                          BuildVertexStream(doc, pattern.vertex(v)));
+                          BuildVertexStream(doc, pattern.vertex(v), stats));
   }
 
   auto cur_start = [&](VertexId v) {
@@ -54,6 +54,9 @@ Result<NodeList> PathStackMatch(const IndexedDocument& doc,
                                           : kInfinity;
   };
 
+  uint64_t visited = 0;
+  uint64_t pushes = 0;
+  uint64_t pops = 0;
   while (true) {
     // One step per merge iteration (k is a small constant per iteration).
     XMLQ_GUARD_TICK(guard, 1);
@@ -74,6 +77,7 @@ Result<NodeList> PathStackMatch(const IndexedDocument& doc,
     for (VertexId v = 0; v < k; ++v) {
       while (!stacks[v].empty() && stacks[v].back().end < cur.start) {
         stacks[v].pop_back();
+        ++pops;
       }
     }
     const bool anchored =
@@ -93,11 +97,18 @@ Result<NodeList> PathStackMatch(const IndexedDocument& doc,
       }
       if (!pattern.vertex(q).children.empty()) {
         stacks[q].push_back(cur);
+        ++pushes;
       }
     }
     ++cursors[q];
+    ++visited;
   }
 
+  if (stats != nullptr) {
+    stats->nodes_visited += visited;
+    stats->stack_pushes += pushes;
+    stats->stack_pops += pops;
+  }
   return FilterEdgePairs(pattern, output, pairs,
                          doc.regions->DocumentRegion().start);
 }

@@ -17,9 +17,15 @@ namespace xmlq::exec {
 ///
 /// The pattern must be a chain (every vertex has at most one child);
 /// patterns with branches yield kInvalidArgument.
+///
+/// `stats` (optional) receives observability counters: every stream element
+/// is consumed exactly once (`nodes_visited` = Σ stream sizes on a full
+/// run), `stack_pushes`/`stack_pops` track the chained stacks, and
+/// `index_probes` the stream elements fetched from the region index.
 Result<NodeList> PathStackMatch(const IndexedDocument& doc,
                                 const algebra::PatternGraph& pattern,
-                                const ResourceGuard* guard = nullptr);
+                                const ResourceGuard* guard = nullptr,
+                                OpStats* stats = nullptr);
 
 }  // namespace xmlq::exec
 

@@ -13,27 +13,35 @@ namespace {
 /// every qualifying pair (or, for semi-joins, the callers early-out). When
 /// `guard` trips, the merge stops early (partial output); callers are
 /// responsible for surfacing the guard's sticky status.
+///
+/// Observability counters accumulate in registers and commit to `stats`
+/// once at the end, so a null `stats` costs only the increments themselves.
 template <typename Emit>
 void StackTreeMerge(std::span<const Region> ancestors,
                     std::span<const Region> descendants, bool parent_child,
-                    const ResourceGuard* guard, Emit&& emit) {
+                    const ResourceGuard* guard, OpStats* stats, Emit&& emit) {
   std::vector<Region> stack;
   size_t a = 0;
+  uint64_t pushes = 0;
+  uint64_t pops = 0;
   for (const Region& d : descendants) {
     // One step per descendant plus one per stack entry examined below (the
     // output-sensitive part of the merge).
-    if (guard != nullptr && guard->Tick(1 + stack.size())) return;
+    if (guard != nullptr && guard->Tick(1 + stack.size())) break;
     // Push every ancestor starting before d (it may enclose d); keep the
     // stack a nesting chain by first popping closed regions.
     while (a < ancestors.size() && ancestors[a].start < d.start) {
       while (!stack.empty() && stack.back().end < ancestors[a].start) {
         stack.pop_back();
+        ++pops;
       }
       stack.push_back(ancestors[a]);
+      ++pushes;
       ++a;
     }
     while (!stack.empty() && stack.back().end < d.start) {
       stack.pop_back();
+      ++pops;
     }
     // Every remaining stack entry has start < d.start <= end: an ancestor.
     for (const Region& anc : stack) {
@@ -42,6 +50,12 @@ void StackTreeMerge(std::span<const Region> ancestors,
       }
     }
   }
+  if (stats != nullptr) {
+    // Each side's elements are consumed at most once across the merge.
+    stats->nodes_visited += descendants.size() + a;
+    stats->stack_pushes += pushes;
+    stats->stack_pops += pops;
+  }
 }
 
 }  // namespace
@@ -49,9 +63,10 @@ void StackTreeMerge(std::span<const Region> ancestors,
 std::vector<JoinPair> StructuralJoinPairs(std::span<const Region> ancestors,
                                           std::span<const Region> descendants,
                                           bool parent_child,
-                                          const ResourceGuard* guard) {
+                                          const ResourceGuard* guard,
+                                          OpStats* stats) {
   std::vector<JoinPair> out;
-  StackTreeMerge(ancestors, descendants, parent_child, guard,
+  StackTreeMerge(ancestors, descendants, parent_child, guard, stats,
                  [&out](const Region& a, const Region& d) {
                    out.push_back(JoinPair{a.start, d.start});
                  });
@@ -61,10 +76,10 @@ std::vector<JoinPair> StructuralJoinPairs(std::span<const Region> ancestors,
 NodeList StructuralSemiJoinDesc(std::span<const Region> ancestors,
                                 std::span<const Region> descendants,
                                 bool parent_child,
-                                const ResourceGuard* guard) {
+                                const ResourceGuard* guard, OpStats* stats) {
   NodeList out;
   xml::NodeId last = xml::kNullNode;
-  StackTreeMerge(ancestors, descendants, parent_child, guard,
+  StackTreeMerge(ancestors, descendants, parent_child, guard, stats,
                  [&out, &last](const Region&, const Region& d) {
                    if (d.start != last) {
                      out.push_back(d.start);
@@ -78,9 +93,9 @@ NodeList StructuralSemiJoinDesc(std::span<const Region> ancestors,
 NodeList StructuralSemiJoinAnc(std::span<const Region> ancestors,
                                std::span<const Region> descendants,
                                bool parent_child,
-                               const ResourceGuard* guard) {
+                               const ResourceGuard* guard, OpStats* stats) {
   NodeList out;
-  StackTreeMerge(ancestors, descendants, parent_child, guard,
+  StackTreeMerge(ancestors, descendants, parent_child, guard, stats,
                  [&out](const Region& a, const Region&) {
                    out.push_back(a.start);
                  });
@@ -89,11 +104,13 @@ NodeList StructuralSemiJoinAnc(std::span<const Region> ancestors,
 }
 
 Result<std::vector<Region>> BuildVertexStream(
-    const IndexedDocument& doc, const algebra::PatternVertex& vertex) {
+    const IndexedDocument& doc, const algebra::PatternVertex& vertex,
+    OpStats* stats) {
   std::vector<Region> stream;
   const storage::RegionIndex& idx = *doc.regions;
   if (vertex.is_root) {
     stream.push_back(idx.DocumentRegion());
+    if (stats != nullptr) ++stats->index_probes;
     return stream;
   }
   std::span<const Region> source;
@@ -106,12 +123,13 @@ Result<std::vector<Region>> BuildVertexStream(
                  ? std::span<const Region>(idx.elements())
                  : idx.ElementStream(doc.dom->pool().Find(vertex.label));
   }
+  if (stats != nullptr) stats->index_probes += source.size();
   if (vertex.predicates.empty()) {
     stream.assign(source.begin(), source.end());
     return stream;
   }
   for (const Region& r : source) {
-    if (EvalVertexPredicates(vertex, *doc.dom, r.start)) {
+    if (EvalVertexPredicates(vertex, *doc.dom, r.start, stats)) {
       stream.push_back(r);
     }
   }
@@ -121,7 +139,7 @@ Result<std::vector<Region>> BuildVertexStream(
 Result<NodeList> BinaryJoinPlanMatch(
     const IndexedDocument& doc, const algebra::PatternGraph& pattern,
     std::span<const algebra::VertexId> edge_order, JoinPlanStats* stats,
-    const ResourceGuard* guard) {
+    const ResourceGuard* guard, OpStats* op_stats) {
   using algebra::Axis;
   using algebra::VertexId;
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
@@ -152,7 +170,7 @@ Result<NodeList> BinaryJoinPlanMatch(
   std::vector<std::vector<Region>> candidates(k);
   for (VertexId v = 0; v < k; ++v) {
     XMLQ_ASSIGN_OR_RETURN(candidates[v],
-                          BuildVertexStream(doc, pattern.vertex(v)));
+                          BuildVertexStream(doc, pattern.vertex(v), op_stats));
   }
   std::vector<std::vector<JoinPair>> pairs(k);
   for (VertexId v : order) {
@@ -161,7 +179,7 @@ Result<NodeList> BinaryJoinPlanMatch(
         pattern.vertex(v).incoming_axis == Axis::kChild ||
         pattern.vertex(v).incoming_axis == Axis::kAttribute;
     pairs[v] = StructuralJoinPairs(candidates[parent], candidates[v],
-                                   parent_child, guard);
+                                   parent_child, guard, op_stats);
     XMLQ_GUARD_TICK(guard, 0);  // the merge stops early on a trip
     if (stats != nullptr) stats->pairs_produced += pairs[v].size();
     // Semi-join reduction of both sides for the joins still to come.
@@ -172,8 +190,8 @@ Result<NodeList> BinaryJoinPlanMatch(
     }
     Normalize(&anc_ids);
     Normalize(&desc_ids);
-    candidates[parent] = ToRegions(*doc.regions, anc_ids);
-    candidates[v] = ToRegions(*doc.regions, desc_ids);
+    candidates[parent] = ToRegions(*doc.regions, anc_ids, op_stats);
+    candidates[v] = ToRegions(*doc.regions, desc_ids, op_stats);
   }
   return FilterEdgePairs(pattern, output, pairs,
                          doc.regions->DocumentRegion().start);
@@ -229,12 +247,13 @@ NodeList FilterEdgePairs(const algebra::PatternGraph& pattern,
 }
 
 std::vector<Region> ToRegions(const storage::RegionIndex& index,
-                              const NodeList& nodes) {
+                              const NodeList& nodes, OpStats* stats) {
   std::vector<Region> out;
   out.reserve(nodes.size());
   for (xml::NodeId id : nodes) {
     out.push_back(index.RegionOf(id));
   }
+  if (stats != nullptr) stats->index_probes += nodes.size();
   return out;
 }
 

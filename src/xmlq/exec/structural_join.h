@@ -6,6 +6,7 @@
 
 #include "xmlq/base/limits.h"
 #include "xmlq/exec/node_stream.h"
+#include "xmlq/exec/op_stats.h"
 #include "xmlq/storage/region_index.h"
 
 namespace xmlq::exec {
@@ -25,35 +26,48 @@ struct JoinPair {
 /// early* (possibly with partial output) and leave the error in the guard's
 /// sticky status; callers holding the guard must check it after the call
 /// (the executor's XMLQ_GUARD_TICK(guard, 0) idiom).
+///
+/// `stats` (optional, here and on every matcher below) receives the
+/// operator-level observability counters: one `nodes_visited` per stream
+/// element consumed, `stack_pushes`/`stack_pops` for the merge stack,
+/// `index_probes` per region fetched from the index. Collection costs a few
+/// local integer adds committed once per call; a null `stats` costs nothing.
 std::vector<JoinPair> StructuralJoinPairs(
     std::span<const storage::Region> ancestors,
     std::span<const storage::Region> descendants, bool parent_child,
-    const ResourceGuard* guard = nullptr);
+    const ResourceGuard* guard = nullptr, OpStats* stats = nullptr);
 
 /// Semi-join: distinct descendants having at least one ancestor in
 /// `ancestors`, in document order.
 NodeList StructuralSemiJoinDesc(std::span<const storage::Region> ancestors,
                                 std::span<const storage::Region> descendants,
                                 bool parent_child,
-                                const ResourceGuard* guard = nullptr);
+                                const ResourceGuard* guard = nullptr,
+                                OpStats* stats = nullptr);
 
 /// Semi-join: distinct ancestors having at least one descendant in
 /// `descendants`, in document order.
 NodeList StructuralSemiJoinAnc(std::span<const storage::Region> ancestors,
                                std::span<const storage::Region> descendants,
                                bool parent_child,
-                               const ResourceGuard* guard = nullptr);
+                               const ResourceGuard* guard = nullptr,
+                               OpStats* stats = nullptr);
 
 /// Builds a region stream (document-ordered) from a normalized node list.
+/// Charges one `index_probes` per RegionOf lookup when `stats` is given.
 std::vector<storage::Region> ToRegions(const storage::RegionIndex& index,
-                                       const NodeList& nodes);
+                                       const NodeList& nodes,
+                                       OpStats* stats = nullptr);
 
 /// Builds the region stream for one pattern vertex: the per-tag stream from
 /// the region index (the whole element/attribute population for `*`), with
 /// the vertex's value predicates applied. The root vertex yields the
-/// document region. Shared by all join-based matchers.
+/// document region. Shared by all join-based matchers. Charges one
+/// `index_probes` per stream entry fetched from the region index and the
+/// predicate-evaluation bytes to `bytes_touched`.
 Result<std::vector<storage::Region>> BuildVertexStream(
-    const IndexedDocument& doc, const algebra::PatternVertex& vertex);
+    const IndexedDocument& doc, const algebra::PatternVertex& vertex,
+    OpStats* stats = nullptr);
 
 /// The classic binary structural-join plan (baseline [11]/[12]): one
 /// stack-tree join per query edge, in `edge_order` (each entry is the edge's
@@ -68,7 +82,8 @@ struct JoinPlanStats {
 Result<NodeList> BinaryJoinPlanMatch(
     const IndexedDocument& doc, const algebra::PatternGraph& pattern,
     std::span<const algebra::VertexId> edge_order = {},
-    JoinPlanStats* stats = nullptr, const ResourceGuard* guard = nullptr);
+    JoinPlanStats* stats = nullptr, const ResourceGuard* guard = nullptr,
+    OpStats* op_stats = nullptr);
 
 /// Merge phase shared by the holistic matchers: given, per non-root pattern
 /// vertex, the set of structurally-verified (parent binding, vertex binding)

@@ -27,8 +27,8 @@ struct StackEntry {
 class TwigStackRunner {
  public:
   TwigStackRunner(const IndexedDocument& doc, const PatternGraph& pattern,
-                  const ResourceGuard* guard)
-      : doc_(doc), pattern_(pattern), guard_(guard) {}
+                  const ResourceGuard* guard, OpStats* stats)
+      : doc_(doc), pattern_(pattern), guard_(guard), stats_(stats) {}
 
   Result<NodeList> Run() {
     XMLQ_RETURN_IF_ERROR(pattern_.Validate());
@@ -52,7 +52,8 @@ class TwigStackRunner {
     pairs_.resize(k);
     for (VertexId v = 0; v < k; ++v) {
       XMLQ_ASSIGN_OR_RETURN(streams_[v],
-                            BuildVertexStream(doc_, pattern_.vertex(v)));
+                            BuildVertexStream(doc_, pattern_.vertex(v),
+                                              stats_));
     }
 
     // Phase 1: chained-stack merge.
@@ -72,8 +73,14 @@ class TwigStackRunner {
       // output-sensitive part of the join's cost).
       XMLQ_GUARD_TICK(guard_, 1 + recorded);
       ++cursors_[q];
+      ++visited_;
     }
 
+    if (stats_ != nullptr) {
+      stats_->nodes_visited += visited_;
+      stats_->stack_pushes += pushes_;
+      stats_->stack_pops += pops_;
+    }
     // Phase 2: merge-equivalent filtering over the edge pair sets.
     return Filter(output);
   }
@@ -116,9 +123,13 @@ class TwigStackRunner {
       }
       if (s > max_start) max_start = s;
     }
-    while (CurEnd(q) < max_start) ++cursors_[q];
+    while (CurEnd(q) < max_start) {
+      ++cursors_[q];
+      ++visited_;
+    }
     if (min_child == algebra::kNoVertex) {
       // Every branch below q is done; q's remaining elements are useless.
+      visited_ += streams_[q].size() - cursors_[q];
       cursors_[q] = streams_[q].size();
       return q;
     }
@@ -129,6 +140,7 @@ class TwigStackRunner {
   void CleanStack(VertexId v, uint32_t start) {
     while (!stacks_[v].empty() && stacks_[v].back().region.end < start) {
       stacks_[v].pop_back();
+      ++pops_;
     }
   }
 
@@ -153,6 +165,7 @@ class TwigStackRunner {
     // Leaves never need to stay on the stack (nothing hangs below them).
     if (!pattern_.vertex(q).children.empty()) {
       stacks_[q].push_back(StackEntry{cur, parent_count});
+      ++pushes_;
     }
     return recorded;
   }
@@ -165,6 +178,10 @@ class TwigStackRunner {
   const IndexedDocument& doc_;
   const PatternGraph& pattern_;
   const ResourceGuard* guard_ = nullptr;
+  OpStats* stats_ = nullptr;
+  uint64_t visited_ = 0;
+  uint64_t pushes_ = 0;
+  uint64_t pops_ = 0;
   std::vector<std::vector<Region>> streams_;
   std::vector<size_t> cursors_;
   std::vector<std::vector<StackEntry>> stacks_;
@@ -175,8 +192,8 @@ class TwigStackRunner {
 
 Result<NodeList> TwigStackMatch(const IndexedDocument& doc,
                                 const PatternGraph& pattern,
-                                const ResourceGuard* guard) {
-  TwigStackRunner runner(doc, pattern, guard);
+                                const ResourceGuard* guard, OpStats* stats) {
+  TwigStackRunner runner(doc, pattern, guard, stats);
   return runner.Run();
 }
 

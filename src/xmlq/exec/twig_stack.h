@@ -17,9 +17,16 @@ namespace xmlq::exec {
 ///
 /// Value predicates on vertices are applied while building the streams (the
 /// standard "predicate pushdown into the scan" for join-based plans).
+///
+/// `stats` (optional) receives observability counters: `nodes_visited` is
+/// the total cursor movement over the tag streams (each streamed element is
+/// consumed exactly once, so for a successful run it equals the sum of the
+/// stream sizes), `stack_pushes`/`stack_pops` track the chained stacks, and
+/// `index_probes` the stream elements fetched from the region index.
 Result<NodeList> TwigStackMatch(const IndexedDocument& doc,
                                 const algebra::PatternGraph& pattern,
-                                const ResourceGuard* guard = nullptr);
+                                const ResourceGuard* guard = nullptr,
+                                OpStats* stats = nullptr);
 
 }  // namespace xmlq::exec
 

@@ -1,0 +1,197 @@
+// Cross-engine differential oracle: every τ engine (naive navigation, NoK,
+// TwigStack, PathStack, binary structural joins) plus the cost-based "auto"
+// pick must produce byte-identical, document-ordered results for the same
+// query — on XMark-style auction documents and on seed-driven random trees.
+// A seventh configuration runs with stats collection on, so the oracle also
+// proves EXPLAIN ANALYZE instrumentation never perturbs results.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xmlq/api/database.h"
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/datagen/random_tree.h"
+
+namespace xmlq {
+namespace {
+
+struct EngineConfig {
+  const char* name;
+  bool auto_optimize;
+  exec::PatternStrategy strategy;
+  bool collect_stats;
+};
+
+constexpr EngineConfig kEngines[] = {
+    {"naive", false, exec::PatternStrategy::kNaive, false},
+    {"nok", false, exec::PatternStrategy::kNok, false},
+    {"twigstack", false, exec::PatternStrategy::kTwigStack, false},
+    {"pathstack", false, exec::PatternStrategy::kPathStack, false},
+    {"binaryjoin", false, exec::PatternStrategy::kBinaryJoin, false},
+    {"auto", true, exec::PatternStrategy::kNok, false},
+    {"auto+stats", true, exec::PatternStrategy::kNok, true},
+};
+
+api::QueryOptions OptionsFor(const EngineConfig& engine) {
+  api::QueryOptions options;
+  options.auto_optimize = engine.auto_optimize;
+  options.strategy = engine.strategy;
+  options.collect_stats = engine.collect_stats;
+  return options;
+}
+
+/// Runs `query` under every engine configuration and asserts the serialized
+/// (ordered) results are identical. `as_path` selects the XPath entry point.
+void ExpectEnginesAgree(api::Database& db, const std::string& query,
+                        bool as_path) {
+  std::string reference;
+  const char* reference_engine = nullptr;
+  for (const EngineConfig& engine : kEngines) {
+    const api::QueryOptions options = OptionsFor(engine);
+    auto result = as_path ? db.QueryPath(query, {}, options)
+                          : db.Query(query, options);
+    ASSERT_TRUE(result.ok())
+        << query << " [" << engine.name << "]: " << result.status().ToString();
+    if (engine.collect_stats) {
+      // The stats run must actually have produced a profile.
+      ASSERT_NE(result->profile, nullptr) << query;
+    }
+    const std::string got = api::Database::ToXml(*result);
+    if (reference_engine == nullptr) {
+      reference = got;
+      reference_engine = engine.name;
+    } else {
+      ASSERT_EQ(got, reference)
+          << query << ": " << engine.name << " vs " << reference_engine;
+    }
+  }
+}
+
+class AuctionDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new api::Database;
+    datagen::AuctionOptions options;
+    options.scale = 0.06;
+    options.seed = 11;
+    ASSERT_TRUE(
+        db_->RegisterDocument("auction.xml",
+                              datagen::GenerateAuctionSite(options))
+            .ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static api::Database* db_;
+};
+
+api::Database* AuctionDifferentialTest::db_ = nullptr;
+
+TEST_F(AuctionDifferentialTest, XPathSuite) {
+  // Paths exercising every pattern shape: linear chains, twigs, wildcards,
+  // attribute steps, value predicates, existence predicates, deep //.
+  const char* paths[] = {
+      "/site/people/person",
+      "/site/people/person/name",
+      "//person",
+      "//person/name",
+      "//person[address]/name",
+      "//person[address][phone]/name",
+      "//person[phone]/emailaddress",
+      "//person/profile/education",
+      "//person[profile/education]/name",
+      "//person/profile[@income]",
+      "//person[@id = 'person3']/name",
+      "//item",
+      "//item/location",
+      "//item[payment = 'Cash']/location",
+      "//item[quantity = '1']/name",
+      "//item/mailbox/mail",
+      "//item/mailbox/mail/text",
+      "//item[mailbox/mail]/name",
+      "//open_auction/bidder",
+      "//open_auction[bidder]/current",
+      "//closed_auction/price",
+      "//closed_auction[price]/itemref",
+      "//category/name",
+      "//category/description/text",
+      "/site/regions/*/item/name",
+      "//regions//item[location = 'Dallas']",
+      "//*[@id]/name",
+      "//person/address/city",
+      "//mail[date]/from",
+      "//profile[interest]/gender",
+  };
+  for (const char* path : paths) {
+    ExpectEnginesAgree(*db_, path, /*as_path=*/true);
+  }
+}
+
+TEST_F(AuctionDifferentialTest, XQuerySuite) {
+  const char* queries[] = {
+      "for $p in doc(\"auction.xml\")//person[address] return $p/name",
+      "for $p in doc(\"auction.xml\")//person "
+      "where count($p/phone) > 0 return $p/emailaddress",
+      "count(doc(\"auction.xml\")//item)",
+      "for $i in doc(\"auction.xml\")//item "
+      "where $i/payment = 'Cash' return $i/location",
+      "for $a in doc(\"auction.xml\")//open_auction "
+      "where count($a/bidder) > 1 return $a/current",
+      "avg(doc(\"auction.xml\")//closed_auction/price)",
+      "for $c in doc(\"auction.xml\")//category "
+      "order by $c/name return $c/name",
+      "<out>{for $p in doc(\"auction.xml\")//person[profile] "
+      "return <p>{$p/name}</p>}</out>",
+      "for $m in doc(\"auction.xml\")//mailbox/mail "
+      "where $m/date return $m/from",
+      "sum(doc(\"auction.xml\")//closed_auction/quantity)",
+  };
+  for (const char* query : queries) {
+    ExpectEnginesAgree(*db_, query, /*as_path=*/false);
+  }
+}
+
+class RandomTreeDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(RandomTreeDifferentialTest, FixedSuiteAgreesOnSeededTrees) {
+  datagen::RandomTreeOptions options;
+  options.seed = GetParam();
+  options.num_elements = 260;
+  options.tag_vocabulary = 5;
+  options.text_probability = 0.6;
+  options.attribute_probability = 0.4;
+  api::Database db;
+  ASSERT_TRUE(
+      db.RegisterDocument("r.xml", datagen::GenerateRandomTree(options)).ok());
+  // A fixed query list over the generator's t0..t4 / a0..a2 vocabulary; the
+  // seed varies the document, not the workload.
+  const char* paths[] = {
+      "//t0",
+      "//t0/t1",
+      "//t0//t2",
+      "/t0/*",
+      "//t1[t2]",
+      "//t0[t1][t2]",
+      "//t2[@a0]",
+      "//t3[@a1]/t0",
+      "//t1[. < 40]",
+      "//t0[t1 = '7']",
+      "//*[t4]",
+      "//t2/t3/t4",
+      "//t0[t2]//t1",
+      "//t4[@a2][t0]",
+  };
+  for (const char* path : paths) {
+    ExpectEnginesAgree(db, path, /*as_path=*/true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeDifferentialTest,
+                         ::testing::Values(101ull, 202ull, 303ull, 404ull));
+
+}  // namespace
+}  // namespace xmlq
