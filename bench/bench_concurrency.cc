@@ -1,0 +1,147 @@
+// Experiment R4: concurrent serving. Two questions:
+//
+//  1. Throughput scaling — queries/second of a shared Database as reader
+//     threads grow (the copy-on-write catalog means the only shared write
+//     on the query path is the admission bookkeeping), with and without a
+//     concurrent writer swapping documents underneath.
+//  2. Overload behaviour — with a tight admission config (few slots, short
+//     queue deadline), offered load beyond capacity is shed with
+//     kResourceExhausted instead of queueing without bound; the counters
+//     report the split.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "xmlq/api/database.h"
+#include "xmlq/datagen/auction_gen.h"
+
+namespace xmlq::bench {
+namespace {
+
+constexpr int kScale = 20;  // permille of XMark scale 1.0
+
+api::Database& SharedDb() {
+  static api::Database* db = [] {
+    auto* d = new api::Database;
+    datagen::AuctionOptions options;
+    options.scale = kScale / 1000.0;
+    options.seed = 7;
+    Status status =
+        d->RegisterDocument("auction.xml",
+                            datagen::GenerateAuctionSite(options));
+    if (!status.ok()) std::abort();
+    return d;
+  }();
+  return *db;
+}
+
+constexpr const char* kWorkload[] = {
+    "//person/name",
+    "//person[address]/name",
+    "//item[payment = 'Cash']/location",
+    "//open_auction[bidder]/current",
+};
+
+/// Queries/second with N threads hammering one Database (no admission
+/// bound — measures raw shared-path contention: catalog pin + scheduler
+/// bookkeeping + breaker check).
+void BM_ConcurrentThroughput(benchmark::State& state) {
+  api::Database& db = SharedDb();
+  if (state.thread_index() == 0) db.SetAdmission({});
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        db.QueryPath(kWorkload[i++ % std::size(kWorkload)]);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->value.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentThroughput)->ThreadRange(1, 8)->UseRealTime();
+
+/// Same workload, but a writer keeps replacing the document while readers
+/// query — the copy-on-write swap cost and its effect on reader throughput.
+void BM_ThroughputUnderWriter(benchmark::State& state) {
+  api::Database& db = SharedDb();
+  static std::atomic<bool> stop{false};
+  static std::thread* writer = nullptr;
+  if (state.thread_index() == 0) {
+    db.SetAdmission({});
+    stop.store(false);
+    writer = new std::thread([&db] {
+      uint64_t flip = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        datagen::AuctionOptions options;
+        options.scale = kScale / 1000.0;
+        options.seed = (flip++ % 2 == 0) ? 99 : 7;
+        Status status =
+            db.RegisterDocument("auction.xml",
+                                datagen::GenerateAuctionSite(options));
+        if (!status.ok()) std::abort();
+      }
+    });
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        db.QueryPath(kWorkload[i++ % std::size(kWorkload)]);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->value.size());
+  }
+  if (state.thread_index() == 0) {
+    stop.store(true, std::memory_order_release);
+    writer->join();
+    delete writer;
+    writer = nullptr;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThroughputUnderWriter)->ThreadRange(2, 8)->UseRealTime();
+
+/// Overload: 8 threads against 2 slots, a 2-deep queue and a 200µs queue
+/// deadline. Reports the terminal-outcome split (completed / rejected /
+/// shed) as counters; the serving property under test is that overload
+/// resolves into fast kResourceExhausted answers, not an unbounded queue.
+void BM_OverloadShedding(benchmark::State& state) {
+  api::Database& db = SharedDb();
+  if (state.thread_index() == 0) {
+    db.SetAdmission({.max_concurrent = 2, .max_queue = 2,
+                     .queue_deadline_micros = 200});
+  }
+  size_t ok = 0, exhausted = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        db.QueryPath(kWorkload[i++ % std::size(kWorkload)]);
+    if (result.ok()) {
+      ++ok;
+    } else if (result.status().code() == StatusCode::kResourceExhausted) {
+      ++exhausted;
+    } else {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.counters["completed"] =
+      benchmark::Counter(static_cast<double>(ok));
+  state.counters["exhausted"] =
+      benchmark::Counter(static_cast<double>(exhausted));
+  if (state.thread_index() == 0) db.SetAdmission({});
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverloadShedding)->Threads(8)->UseRealTime();
+
+}  // namespace
+}  // namespace xmlq::bench
+
+XMLQ_BENCH_MAIN();

@@ -8,17 +8,32 @@
 //   xmlq> .strategy twigstack
 //   xmlq> for $p in //person return $p/name
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "xmlq/api/database.h"
 #include "xmlq/datagen/auction_gen.h"
 #include "xmlq/datagen/bib_gen.h"
 
 namespace {
+
+/// One `.bg` query running on its own thread. The shell polls `done` from
+/// `.jobs`; the query id (for `.cancel`) is published by the database as
+/// soon as it is assigned, before admission.
+struct BackgroundJob {
+  std::string query;
+  std::thread thread;
+  std::atomic<uint64_t> query_id{0};
+  std::atomic<bool> done{false};
+  std::string outcome;  // valid once done
+};
 
 void PrintHelp() {
   std::printf(
@@ -38,6 +53,13 @@ void PrintHelp() {
       "  .save <name> <file>     write a document as an xqpack snapshot\n"
       "  .open <name> <file> [mmap|copy]\n"
       "                          open an xqpack snapshot (default mmap)\n"
+      "  .serve <max_concurrent> [max_queue] [deadline_ms]\n"
+      "                          bound concurrent queries; excess queries\n"
+      "                          queue and are shed after the deadline\n"
+      "  .bg <query>             run a query on a background thread\n"
+      "  .jobs                   list background queries and their state\n"
+      "  .cancel <id>            cooperatively cancel a running query\n"
+      "  .stats admission        admission counters + circuit-breaker state\n"
       "  .help / .quit\n"
       "anything else is evaluated as XQuery (or XPath for '/...').\n");
 }
@@ -47,6 +69,7 @@ void PrintHelp() {
 int main() {
   xmlq::api::Database db;
   std::vector<std::string> doc_names;
+  std::vector<std::unique_ptr<BackgroundJob>> jobs;
   xmlq::api::QueryOptions options;
   std::printf("xmlq shell — .help for commands\n");
 
@@ -249,6 +272,103 @@ int main() {
                                     : plan.status().ToString().c_str());
       continue;
     }
+    if (word == ".serve") {
+      uint64_t max_concurrent = 0, max_queue = 0, deadline_ms = 0;
+      in >> max_concurrent >> max_queue >> deadline_ms;
+      xmlq::exec::AdmissionConfig config;
+      config.max_concurrent = static_cast<uint32_t>(max_concurrent);
+      config.max_queue = static_cast<uint32_t>(max_queue);
+      config.queue_deadline_micros = deadline_ms * 1000;
+      db.SetAdmission(config);
+      if (max_concurrent == 0) {
+        std::printf("serving: unbounded (admission off)\n");
+      } else {
+        std::printf("serving: %u concurrent, queue %u, deadline %llums\n",
+                    config.max_concurrent, config.max_queue,
+                    static_cast<unsigned long long>(deadline_ms));
+      }
+      continue;
+    }
+    if (word == ".bg") {
+      const size_t pos = line.find(".bg");
+      std::string query = line.substr(pos + 3);
+      const size_t start = query.find_first_not_of(" \t");
+      if (start == std::string::npos) {
+        std::printf("usage: .bg <query>\n");
+        continue;
+      }
+      query = query.substr(start);
+      auto job = std::make_unique<BackgroundJob>();
+      job->query = query;
+      BackgroundJob* j = job.get();
+      // The per-job options copy decouples the thread from later .strategy /
+      // .limits edits at the prompt.
+      const xmlq::api::QueryOptions job_options = options;
+      job->thread = std::thread([&db, j, job_options] {
+        xmlq::api::QueryOptions thread_options = job_options;
+        thread_options.query_id_out = &j->query_id;
+        auto result = db.Query(j->query, thread_options);
+        j->outcome = result.ok()
+                         ? std::to_string(result->value.size()) + " items" +
+                               (result->degraded ? " (degraded)" : "")
+                         : result.status().ToString();
+        j->done.store(true, std::memory_order_release);
+      });
+      // Wait for the id so the prompt can immediately offer `.cancel <id>`.
+      while (j->query_id.load(std::memory_order_acquire) == 0 &&
+             !j->done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::printf("job started: query_id=%llu\n",
+                  static_cast<unsigned long long>(j->query_id.load()));
+      jobs.push_back(std::move(job));
+      continue;
+    }
+    if (word == ".jobs") {
+      for (const auto& job : jobs) {
+        std::printf("  #%llu %s — %s\n",
+                    static_cast<unsigned long long>(job->query_id.load()),
+                    job->query.c_str(),
+                    job->done.load(std::memory_order_acquire)
+                        ? job->outcome.c_str()
+                        : "running");
+      }
+      if (jobs.empty()) std::printf("  (none)\n");
+      continue;
+    }
+    if (word == ".cancel") {
+      uint64_t id = 0;
+      in >> id;
+      if (id == 0) {
+        std::printf("usage: .cancel <query_id>\n");
+        continue;
+      }
+      std::printf(db.Cancel(id) ? "cancel signalled for %llu\n"
+                                : "no active query %llu\n",
+                  static_cast<unsigned long long>(id));
+      continue;
+    }
+    if (word == ".stats") {
+      std::string what;
+      in >> what;
+      if (what != "admission") {
+        std::printf("usage: .stats admission\n");
+        continue;
+      }
+      const xmlq::exec::AdmissionStats s = db.admission_stats();
+      std::printf(
+          "submitted %llu | admitted %llu | completed %llu | running %u | "
+          "queued %u\nrejected %llu | shed %llu | cancelled-in-queue %llu | "
+          "peak running %u | peak queued %u\n%s",
+          static_cast<unsigned long long>(s.submitted),
+          static_cast<unsigned long long>(s.admitted),
+          static_cast<unsigned long long>(s.completed), s.running, s.queued,
+          static_cast<unsigned long long>(s.rejected),
+          static_cast<unsigned long long>(s.shed),
+          static_cast<unsigned long long>(s.cancelled_while_queued),
+          s.peak_running, s.peak_queued, db.BreakerReport().c_str());
+      continue;
+    }
     if (word[0] == '.') {
       std::printf("unknown command %s (.help)\n", word.c_str());
       continue;
@@ -262,6 +382,15 @@ int main() {
     std::printf("%s\n(%zu items)\n",
                 xmlq::api::Database::ToXml(*result, /*indent=*/true).c_str(),
                 result->value.size());
+  }
+  // Cancel and join any still-running background queries before teardown.
+  for (const auto& job : jobs) {
+    if (!job->done.load(std::memory_order_acquire)) {
+      db.Cancel(job->query_id.load(std::memory_order_acquire));
+    }
+  }
+  for (const auto& job : jobs) {
+    if (job->thread.joinable()) job->thread.join();
   }
   return 0;
 }

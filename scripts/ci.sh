@@ -10,6 +10,9 @@
 #   3. sanitizers     — AddressSanitizer and UBSan builds (separate trees
 #                       via tests/run_sanitized.sh) running the full
 #                       labeled suite, differential + profile included
+#   4. tsan stress    — ThreadSanitizer build running the `stress`-labeled
+#                       concurrent-serving suite (admission, cancellation,
+#                       catalog swaps, breaker)
 #
 # Everything — build trees and test temp files (snapshot_test writes its
 # *.xqpack scratch files into the ctest working directory) — stays under
@@ -48,4 +51,10 @@ for sanitizer in address undefined; do
   "${ROOT}/tests/run_sanitized.sh" "${sanitizer}" -j "${JOBS}"
 done
 
-echo "ci: tier-1 + differential + sanitizers green"
+# The concurrency suite under ThreadSanitizer: data races in the serving
+# layer (COW catalog, scheduler, breaker, fault injector) fail here even
+# when the uninstrumented run got lucky with its interleavings.
+echo "== tsan stress suite =="
+"${ROOT}/tests/run_sanitized.sh" thread -j "${JOBS}" -L stress
+
+echo "ci: tier-1 + differential + sanitizers + tsan stress green"

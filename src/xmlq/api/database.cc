@@ -31,80 +31,107 @@ Status Database::RegisterDocument(std::string name,
     return Status::InvalidArgument(
         "document node ids must be in pre-order (build top-down)");
   }
-  Entry entry;
-  entry.dom = std::move(doc);
+  // All physical representations are built outside the catalog lock; only
+  // the final pointer swap is serialized.
+  auto entry = std::make_shared<Entry>();
+  entry->dom = std::move(doc);
   XMLQ_ASSIGN_OR_RETURN(storage::SuccinctDocument succinct,
-                        storage::SuccinctDocument::TryBuild(*entry.dom));
-  entry.succinct =
+                        storage::SuccinctDocument::TryBuild(*entry->dom));
+  entry->succinct =
       std::make_unique<storage::SuccinctDocument>(std::move(succinct));
   XMLQ_ASSIGN_OR_RETURN(storage::RegionIndex regions,
-                        storage::RegionIndex::TryBuild(*entry.dom));
-  entry.regions = std::make_unique<storage::RegionIndex>(std::move(regions));
+                        storage::RegionIndex::TryBuild(*entry->dom));
+  entry->regions = std::make_unique<storage::RegionIndex>(std::move(regions));
   XMLQ_ASSIGN_OR_RETURN(storage::ValueIndex values,
-                        storage::ValueIndex::TryBuild(*entry.dom));
-  entry.values = std::make_unique<storage::ValueIndex>(std::move(values));
-  entry.tags = std::make_unique<storage::TagDictionary>(*entry.dom);
-  entry.synopsis = std::make_unique<opt::Synopsis>(*entry.dom);
-  entry.view = exec::IndexedDocument{entry.dom.get(), entry.succinct.get(),
-                                     entry.regions.get(), entry.values.get()};
-  if (entries_.empty()) default_document_ = name;
-  entries_[std::move(name)] = std::move(entry);
-  return Status::Ok();
-}
-
-Result<storage::SnapshotWriteInfo> Database::Save(
-    std::string_view name, const std::string& path) const {
-  const auto it = entries_.find(name.empty() ? default_document_
-                                             : std::string(name));
-  if (it == entries_.end()) {
-    return Status::NotFound("document \"" + std::string(name) +
-                            "\" is not loaded");
-  }
-  const Entry& entry = it->second;
-  return storage::WriteSnapshot(path, *entry.dom, *entry.succinct,
-                                *entry.regions, *entry.values, *entry.tags);
+                        storage::ValueIndex::TryBuild(*entry->dom));
+  entry->values = std::make_unique<storage::ValueIndex>(std::move(values));
+  entry->tags = std::make_unique<storage::TagDictionary>(*entry->dom);
+  entry->synopsis = std::make_unique<opt::Synopsis>(*entry->dom);
+  entry->view = exec::IndexedDocument{entry->dom.get(), entry->succinct.get(),
+                                      entry->regions.get(),
+                                      entry->values.get()};
+  return Install(std::move(name), std::move(entry));
 }
 
 Status Database::Open(std::string name, const std::string& path,
                       storage::SnapshotOpenMode mode) {
   XMLQ_ASSIGN_OR_RETURN(storage::OpenedSnapshot snapshot,
                         storage::OpenSnapshot(path, mode));
-  Entry entry;
-  entry.dom = std::move(snapshot.dom);
-  entry.succinct = std::move(snapshot.succinct);
-  entry.regions = std::move(snapshot.regions);
-  entry.values = std::move(snapshot.values);
-  entry.tags = std::move(snapshot.tags);
-  entry.backing = std::move(snapshot.backing);
+  auto entry = std::make_shared<Entry>();
+  entry->dom = std::move(snapshot.dom);
+  entry->succinct = std::move(snapshot.succinct);
+  entry->regions = std::move(snapshot.regions);
+  entry->values = std::move(snapshot.values);
+  entry->tags = std::move(snapshot.tags);
+  entry->backing = std::move(snapshot.backing);
   // The synopsis is a small derived statistic; rebuilding it from the
   // restored DOM keeps it out of the file format.
-  entry.synopsis = std::make_unique<opt::Synopsis>(*entry.dom);
-  entry.view = exec::IndexedDocument{entry.dom.get(), entry.succinct.get(),
-                                     entry.regions.get(), entry.values.get()};
-  if (entries_.empty()) default_document_ = name;
-  entries_[std::move(name)] = std::move(entry);
+  entry->synopsis = std::make_unique<opt::Synopsis>(*entry->dom);
+  entry->view = exec::IndexedDocument{entry->dom.get(), entry->succinct.get(),
+                                      entry->regions.get(),
+                                      entry->values.get()};
+  return Install(std::move(name), std::move(entry));
+}
+
+Status Database::Install(std::string name,
+                         std::shared_ptr<const Entry> entry) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto next = std::make_shared<CatalogState>(*catalog_);
+  if (next->entries.empty()) next->default_document = name;
+  next->entries[std::move(name)] = std::move(entry);
+  catalog_ = std::move(next);
   return Status::Ok();
 }
 
+std::shared_ptr<const Database::CatalogState> Database::Pin() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return catalog_;
+}
+
+Result<storage::SnapshotWriteInfo> Database::Save(
+    std::string_view name, const std::string& path) const {
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  const Entry* entry = catalog->Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("document \"" + std::string(name) +
+                            "\" is not loaded");
+  }
+  return storage::WriteSnapshot(path, *entry->dom, *entry->succinct,
+                                *entry->regions, *entry->values, *entry->tags);
+}
+
+bool Database::Contains(std::string_view name) const {
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  return catalog->entries.find(name) != catalog->entries.end();
+}
+
 const exec::IndexedDocument* Database::Get(std::string_view name) const {
-  const auto it = entries_.find(name.empty() ? default_document_
-                                             : std::string(name));
-  return it == entries_.end() ? nullptr : &it->second.view;
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  const Entry* entry = catalog->Find(name);
+  return entry == nullptr ? nullptr : &entry->view;
 }
 
 const opt::Synopsis* Database::GetSynopsis(std::string_view name) const {
-  const auto it = entries_.find(name.empty() ? default_document_
-                                             : std::string(name));
-  return it == entries_.end() ? nullptr : it->second.synopsis.get();
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  const Entry* entry = catalog->Find(name);
+  return entry == nullptr ? nullptr : entry->synopsis.get();
 }
 
-exec::EvalContext Database::MakeContext(const QueryOptions& options) const {
+std::string Database::default_document() const {
+  return Pin()->default_document;
+}
+
+exec::EvalContext Database::MakeContext(const CatalogState& catalog,
+                                        const QueryOptions& options) const {
   exec::EvalContext context;
-  for (const auto& [name, entry] : entries_) {
-    context.documents.emplace(name, entry.view);
+  for (const auto& [name, entry] : catalog.entries) {
+    context.documents.emplace(name, entry->view);
   }
-  if (!default_document_.empty()) {
-    context.documents.emplace("", entries_.at(default_document_).view);
+  if (!catalog.default_document.empty()) {
+    const auto it = catalog.entries.find(catalog.default_document);
+    if (it != catalog.entries.end()) {
+      context.documents.emplace("", it->second->view);
+    }
   }
   context.strategy = options.strategy;
   context.flwor_mode = options.flwor_mode;
@@ -144,9 +171,33 @@ void TagExecutedStrategy(const LogicalExpr& plan, std::string_view strategy,
   }
 }
 
+/// Unregisters a query from the active-token map on every exit path.
+class ActiveRegistration {
+ public:
+  ActiveRegistration(std::mutex* mu,
+                     std::map<uint64_t, std::shared_ptr<CancelToken>>* active,
+                     uint64_t id, std::shared_ptr<CancelToken> token)
+      : mu_(mu), active_(active), id_(id) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    (*active_)[id_] = std::move(token);
+  }
+  ~ActiveRegistration() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    active_->erase(id_);
+  }
+  ActiveRegistration(const ActiveRegistration&) = delete;
+  ActiveRegistration& operator=(const ActiveRegistration&) = delete;
+
+ private:
+  std::mutex* mu_;
+  std::map<uint64_t, std::shared_ptr<CancelToken>>* active_;
+  uint64_t id_;
+};
+
 }  // namespace
 
-exec::PatternStrategy Database::PickStrategy(const LogicalExpr& plan,
+exec::PatternStrategy Database::PickStrategy(const CatalogState& catalog,
+                                             const LogicalExpr& plan,
                                              std::string* explanation) const {
   std::vector<const LogicalExpr*> patterns;
   CollectPatterns(plan, &patterns);
@@ -159,11 +210,10 @@ exec::PatternStrategy Database::PickStrategy(const LogicalExpr& plan,
         node->children[0]->op == LogicalOp::kDocScan) {
       doc_name = node->children[0]->str;
     }
-    if (doc_name.empty()) doc_name = default_document_;
-    const auto it = entries_.find(doc_name);
-    if (it == entries_.end() || node->pattern == nullptr) continue;
+    const Entry* entry = catalog.Find(doc_name);
+    if (entry == nullptr || node->pattern == nullptr) continue;
     const opt::StrategyChoice choice = opt::ChooseStrategy(
-        *it->second.synopsis, it->second.dom->pool(), *node->pattern);
+        *entry->synopsis, entry->dom->pool(), *node->pattern);
     if (explanation != nullptr) {
       explanation->append(choice.explanation);
       explanation->push_back('\n');
@@ -177,11 +227,27 @@ exec::PatternStrategy Database::PickStrategy(const LogicalExpr& plan,
   return best;
 }
 
-Result<exec::QueryResult> Database::Run(LogicalExprPtr plan,
-                                        const QueryOptions& options) {
-  exec::EvalContext context = MakeContext(options);
+Result<exec::QueryResult> Database::Run(
+    LogicalExprPtr plan, const QueryOptions& options,
+    std::shared_ptr<const CatalogState> catalog) const {
+  // Every execution gets a serving identity and a cancel token, registered
+  // *before* admission so a queued query is already cancellable.
+  const uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<CancelToken> token =
+      std::const_pointer_cast<CancelToken>(options.limits.cancel_token);
+  if (token == nullptr) token = std::make_shared<CancelToken>();
+  ActiveRegistration registration(&active_mu_, &active_, query_id, token);
+  if (options.query_id_out != nullptr) {
+    options.query_id_out->store(query_id, std::memory_order_release);
+  }
+
+  XMLQ_ASSIGN_OR_RETURN(exec::QueryScheduler::Ticket ticket,
+                        scheduler_.Admit(token.get()));
+
+  exec::EvalContext context = MakeContext(*catalog, options);
   if (options.auto_optimize) {
-    context.strategy = PickStrategy(*plan, nullptr);
+    context.strategy = PickStrategy(*catalog, *plan, nullptr);
   }
   std::unique_ptr<exec::PlanProfile> profile;
   if (options.collect_stats) {
@@ -190,31 +256,55 @@ Result<exec::QueryResult> Database::Run(LogicalExprPtr plan,
     if (const LogicalExpr* scan = FindDocScan(*plan); scan != nullptr) {
       doc_name = scan->str;
     }
-    if (doc_name.empty()) doc_name = default_document_;
-    if (const auto it = entries_.find(doc_name); it != entries_.end()) {
-      opt::AnnotateProfile(*it->second.synopsis, it->second.dom->pool(),
-                           *plan, profile.get());
+    if (const Entry* entry = catalog->Find(doc_name); entry != nullptr) {
+      opt::AnnotateProfile(*entry->synopsis, entry->dom->pool(), *plan,
+                           profile.get());
     }
     TagExecutedStrategy(*plan, exec::PatternStrategyName(context.strategy),
                         profile.get());
     context.profile = profile.get();
   }
   // The guard lives on this frame: the executor and everything below it only
-  // borrow the pointer, and Run outlives the evaluation.
-  ResourceGuard guard(options.limits);
-  if (!options.limits.Unlimited()) context.guard = &guard;
+  // borrow the pointer, and Run outlives the evaluation. The serving token
+  // means every query is governed (cancellable) even with no explicit
+  // limits; the extra poll every 4096 steps is noise (bench R1).
+  QueryLimits limits = options.limits;
+  limits.cancel_token = token;
+  ResourceGuard guard(limits);
+  context.guard = &guard;
+  context.breaker = &breaker_;
+  context.admitted_seq = ticket.admitted_seq();
+  exec::FallbackInfo fallback;
+  context.fallback = &fallback;
+
   exec::Executor executor(&context);
   auto result = executor.Evaluate(*plan);
-  if (profile != nullptr) profile->Finalize();
+  if (profile != nullptr) {
+    if (fallback.Degraded()) {
+      opt::ReannotateFallback(*plan, fallback, profile.get());
+    }
+    profile->Finalize();
+  }
   if (!result.ok()) return result.status();
   result->profile = std::move(profile);
+  result->query_id = query_id;
+  result->pinned = std::move(catalog);
+  if (fallback.Degraded()) {
+    result->degraded = true;
+    result->degradation =
+        "τ engine " + fallback.from_strategy +
+        (fallback.quarantined ? " quarantined (circuit breaker open)"
+                              : " faulted (" + fallback.reason + ")") +
+        "; degraded to naive navigation";
+  }
   return result;
 }
 
 Result<LogicalExprPtr> Database::Compile(std::string_view query,
-                                         const QueryOptions& options) const {
+                                         const QueryOptions& options,
+                                         const CatalogState& catalog) const {
   xquery::TranslateOptions translate_options;
-  translate_options.default_document = default_document_;
+  translate_options.default_document = catalog.default_document;
   translate_options.apply_rewrites = options.apply_rewrites;
   auto plan = xquery::CompileQuery(query, translate_options);
   if (plan.ok()) return plan;
@@ -222,42 +312,49 @@ Result<LogicalExprPtr> Database::Compile(std::string_view query,
   // supported by the XPath front end; fall back for absolute paths.
   const std::string_view trimmed = TrimWhitespace(query);
   if (!trimmed.empty() && trimmed[0] == '/') {
-    auto xpath_plan = xpath::CompilePath(trimmed, default_document_);
+    auto xpath_plan = xpath::CompilePath(trimmed, catalog.default_document);
     if (xpath_plan.ok()) return xpath_plan;
   }
   return plan.status();
 }
 
 Result<exec::QueryResult> Database::Query(std::string_view query,
-                                          const QueryOptions& options) {
-  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, Compile(query, options));
-  return Run(std::move(plan), options);
+                                          const QueryOptions& options) const {
+  // One pin covers compilation and execution, so the default document the
+  // plan was compiled against is exactly the one it runs against even when
+  // a writer swaps the catalog in between.
+  std::shared_ptr<const CatalogState> catalog = Pin();
+  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan,
+                        Compile(query, options, *catalog));
+  return Run(std::move(plan), options, std::move(catalog));
 }
 
-Result<exec::QueryResult> Database::QueryPath(std::string_view path,
-                                              std::string_view doc_name,
-                                              const QueryOptions& options) {
-  const std::string name =
-      doc_name.empty() ? default_document_ : std::string(doc_name);
-  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan,
-                        xpath::CompilePath(path, name));
-  return Run(std::move(plan), options);
+Result<exec::QueryResult> Database::QueryPath(
+    std::string_view path, std::string_view doc_name,
+    const QueryOptions& options) const {
+  std::shared_ptr<const CatalogState> catalog = Pin();
+  const std::string name = doc_name.empty() ? catalog->default_document
+                                            : std::string(doc_name);
+  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, xpath::CompilePath(path, name));
+  return Run(std::move(plan), options, std::move(catalog));
 }
 
 Result<std::string> Database::Explain(std::string_view query,
-                                      const QueryOptions& options) {
-  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, Compile(query, options));
+                                      const QueryOptions& options) const {
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan,
+                        Compile(query, options, *catalog));
   std::string out = plan->ToString();
   std::string strategies;
-  PickStrategy(*plan, &strategies);
+  PickStrategy(*catalog, *plan, &strategies);
   if (!strategies.empty()) {
     out += "-- physical strategy --\n" + strategies;
   }
   return out;
 }
 
-Result<std::string> Database::ExplainAnalyze(std::string_view query,
-                                             const QueryOptions& options) {
+Result<std::string> Database::ExplainAnalyze(
+    std::string_view query, const QueryOptions& options) const {
   QueryOptions analyze_options = options;
   analyze_options.collect_stats = true;
   XMLQ_ASSIGN_OR_RETURN(exec::QueryResult result,
@@ -265,8 +362,39 @@ Result<std::string> Database::ExplainAnalyze(std::string_view query,
   std::string out;
   if (result.profile != nullptr) out = result.profile->ToString();
   out += "-- " + std::to_string(result.value.size()) + " item(s)\n";
+  if (result.degraded) {
+    out += "-- degraded: " + result.degradation + "\n";
+  }
   return out;
 }
+
+void Database::SetAdmission(const exec::AdmissionConfig& config) const {
+  scheduler_.Configure(config);
+}
+
+void Database::SetBreaker(const exec::CircuitBreaker::Config& config) const {
+  breaker_.Configure(config);
+}
+
+bool Database::Cancel(uint64_t query_id) const {
+  std::shared_ptr<CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    const auto it = active_.find(query_id);
+    if (it == active_.end()) return false;
+    token = it->second;
+  }
+  token->Cancel();
+  // Wake the admission queue so a still-queued query notices promptly.
+  scheduler_.Poke();
+  return true;
+}
+
+exec::AdmissionStats Database::admission_stats() const {
+  return scheduler_.Stats();
+}
+
+std::string Database::BreakerReport() const { return breaker_.Render(); }
 
 std::string Database::ToXml(const exec::QueryResult& result, bool indent) {
   xml::SerializeOptions options;
@@ -284,30 +412,29 @@ std::string Database::ToXml(const exec::QueryResult& result, bool indent) {
 }
 
 Result<StorageReport> Database::Report(std::string_view name) const {
-  const auto it = entries_.find(name.empty() ? default_document_
-                                             : std::string(name));
-  if (it == entries_.end()) {
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  const Entry* entry = catalog->Find(name);
+  if (entry == nullptr) {
     return Status::NotFound("document \"" + std::string(name) +
                             "\" is not loaded");
   }
-  const Entry& entry = it->second;
   StorageReport report;
-  report.dom_bytes = entry.dom->MemoryUsage();
-  report.succinct_structure_bytes = entry.succinct->StructureBytes();
-  report.succinct_content_bytes = entry.succinct->ContentBytes();
-  report.region_index_bytes = entry.regions->MemoryUsage();
-  report.value_index_bytes = entry.values->MemoryUsage();
-  report.tag_dictionary_bytes = entry.tags->HeapBytes();
-  report.node_count = entry.dom->NodeCount();
-  report.succinct_heap_bytes = entry.succinct->HeapBytes();
-  report.region_index_heap_bytes = entry.regions->HeapBytes();
-  report.value_index_heap_bytes = entry.values->HeapBytes();
-  report.tag_dictionary_heap_bytes = entry.tags->HeapBytes();
-  if (entry.backing != nullptr) {
+  report.dom_bytes = entry->dom->MemoryUsage();
+  report.succinct_structure_bytes = entry->succinct->StructureBytes();
+  report.succinct_content_bytes = entry->succinct->ContentBytes();
+  report.region_index_bytes = entry->regions->MemoryUsage();
+  report.value_index_bytes = entry->values->MemoryUsage();
+  report.tag_dictionary_bytes = entry->tags->HeapBytes();
+  report.node_count = entry->dom->NodeCount();
+  report.succinct_heap_bytes = entry->succinct->HeapBytes();
+  report.region_index_heap_bytes = entry->regions->HeapBytes();
+  report.value_index_heap_bytes = entry->values->HeapBytes();
+  report.tag_dictionary_heap_bytes = entry->tags->HeapBytes();
+  if (entry->backing != nullptr) {
     report.from_snapshot = true;
     report.mapped =
-        entry.backing->mode() == storage::SnapshotOpenMode::kMap;
-    report.snapshot_file_bytes = entry.backing->file_size();
+        entry->backing->mode() == storage::SnapshotOpenMode::kMap;
+    report.snapshot_file_bytes = entry->backing->file_size();
   }
   return report;
 }

@@ -1,13 +1,16 @@
 #ifndef XMLQ_API_DATABASE_H_
 #define XMLQ_API_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
+#include "xmlq/exec/admission.h"
 #include "xmlq/exec/executor.h"
 #include "xmlq/opt/synopsis.h"
 #include "xmlq/storage/region_index.h"
@@ -38,6 +41,11 @@ struct QueryOptions {
   /// flag). Default-constructed = unlimited. A query that exhausts a limit
   /// returns kResourceExhausted; a cancelled one returns kCancelled.
   QueryLimits limits;
+  /// Optional: receives this query's serving id *before* admission, so a
+  /// concurrent thread can Database::Cancel() it while it is still queued
+  /// or running. The caller keeps the atomic alive for the duration of the
+  /// call and polls it until non-zero.
+  std::atomic<uint64_t>* query_id_out = nullptr;
 };
 
 /// Storage-footprint report for one document (experiments E2 and R2).
@@ -78,6 +86,22 @@ struct StorageReport {
 ///     for $b in doc("bib.xml")/bib/book
 ///     where $b/price > 50
 ///     return $b/title)");
+///
+/// ## Threading model (DESIGN.md §8)
+///
+/// The catalog is copy-on-write: every query pins an immutable snapshot of
+/// the document set at admission, so Query/QueryPath/ExplainAnalyze are
+/// const and may run concurrently from any number of threads, including
+/// concurrently with LoadDocument/RegisterDocument/Open (which swap the
+/// catalog atomically under a small mutex). A returned QueryResult keeps
+/// its snapshot pinned, so its node items stay valid even after the
+/// documents they point into are replaced.
+///
+/// Serving controls: SetAdmission() bounds concurrency with a shed-on-
+/// overload wait queue, Cancel(query_id) cooperatively stops one query, and
+/// a per-engine circuit breaker quarantines a τ engine after repeated
+/// faults, degrading queries to the naive navigational engine (reported in
+/// QueryResult::degradation and EXPLAIN ANALYZE).
 class Database {
  public:
   Database() = default;
@@ -86,7 +110,8 @@ class Database {
 
   /// Parses `xml_text` and registers it under `name` (building all physical
   /// representations). The first document loaded also becomes the default
-  /// document for absolute paths.
+  /// document for absolute paths. Replaces any existing document of that
+  /// name; in-flight queries keep their pinned snapshot.
   Status LoadDocument(std::string name, std::string_view xml_text,
                       xml::ParseOptions options = {});
 
@@ -97,6 +122,8 @@ class Database {
 
   /// Writes the document `name` (default document when empty) to `path` as
   /// an xqpack snapshot (single file, checksummed sections, atomic write).
+  /// Safe concurrently with queries and catalog swaps (it works on its own
+  /// pinned snapshot).
   Result<storage::SnapshotWriteInfo> Save(std::string_view name,
                                           const std::string& path) const;
 
@@ -107,43 +134,70 @@ class Database {
   Status Open(std::string name, const std::string& path,
               storage::SnapshotOpenMode mode = storage::SnapshotOpenMode::kMap);
 
-  /// Evaluates an XQuery expression.
+  /// Evaluates an XQuery expression. Thread-safe; may block in admission
+  /// when SetAdmission() configured bounded concurrency.
   Result<exec::QueryResult> Query(std::string_view query,
-                                  const QueryOptions& options = {});
+                                  const QueryOptions& options = {}) const;
 
   /// Evaluates an XPath expression against document `name` (or the default
-  /// document when empty), returning matching nodes.
+  /// document when empty), returning matching nodes. Thread-safe.
   Result<exec::QueryResult> QueryPath(std::string_view path,
                                       std::string_view doc_name = {},
-                                      const QueryOptions& options = {});
+                                      const QueryOptions& options = {}) const;
 
   /// Returns the optimized logical plan (and per-pattern strategy choices)
-  /// for a query, without executing it.
+  /// for a query, without executing it (no admission slot is consumed).
   Result<std::string> Explain(std::string_view query,
-                              const QueryOptions& options = {});
+                              const QueryOptions& options = {}) const;
 
   /// Executes the query with stats collection on and renders the annotated
   /// plan tree — per operator: estimated vs. actual rows (with q-error),
   /// engine counters (nodes visited, stack traffic, index probes, bytes)
-  /// and inclusive wall time — followed by the result item count.
+  /// and inclusive wall time — followed by the result item count. An
+  /// engine fallback shows up as "[<engine>->naive (fault|quarantined)]".
   Result<std::string> ExplainAnalyze(std::string_view query,
-                                     const QueryOptions& options = {});
+                                     const QueryOptions& options = {}) const;
 
   /// Serializes a query result: node items as XML, atomics as text, one
   /// item per line.
   static std::string ToXml(const exec::QueryResult& result, bool indent = false);
 
-  bool Contains(std::string_view name) const {
-    return entries_.find(name) != entries_.end();
-  }
-  /// Physical views of a loaded document (nullptr when absent).
+  // -- Serving controls ----------------------------------------------------
+
+  /// Bounds query concurrency (see exec::AdmissionConfig). The default
+  /// config admits everything immediately. Takes effect for subsequent
+  /// admissions; running queries keep their slots.
+  void SetAdmission(const exec::AdmissionConfig& config) const;
+
+  /// Reconfigures the per-engine circuit breaker and closes every slot.
+  void SetBreaker(const exec::CircuitBreaker::Config& config) const;
+
+  /// Cooperatively cancels the active query with this id (ids are published
+  /// via QueryOptions::query_id_out and exec::QueryResult::query_id). The
+  /// query unwinds with kCancelled at its next guard poll — or leaves the
+  /// admission queue immediately if it was still waiting. Returns false
+  /// when no such query is active (already finished or never existed).
+  bool Cancel(uint64_t query_id) const;
+
+  /// Admission counters (running/queued/shed/...) for monitoring.
+  exec::AdmissionStats admission_stats() const;
+
+  /// Human-readable circuit-breaker state, one line per degraded engine.
+  std::string BreakerReport() const;
+
+  bool Contains(std::string_view name) const;
+
+  /// Physical views of a loaded document (nullptr when absent). The
+  /// pointer is valid while the named document is not replaced; concurrent
+  /// replacers must coordinate with callers of this accessor (queries do
+  /// not need it — they pin snapshots internally).
   const exec::IndexedDocument* Get(std::string_view name) const;
   const opt::Synopsis* GetSynopsis(std::string_view name) const;
 
   Result<StorageReport> Report(std::string_view name) const;
 
   /// Name of the default document ("" until the first load).
-  const std::string& default_document() const { return default_document_; }
+  std::string default_document() const;
 
  private:
   struct Entry {
@@ -160,19 +214,54 @@ class Database {
     exec::IndexedDocument view;
   };
 
+  /// One immutable catalog version. Readers pin a shared_ptr to it; writers
+  /// copy the entry map (cheap — entries are shared), mutate the copy and
+  /// swap it in under `catalog_mu_`. An Entry lives until the last snapshot
+  /// (or query result) referencing it is dropped.
+  struct CatalogState {
+    std::map<std::string, std::shared_ptr<const Entry>, std::less<>> entries;
+    std::string default_document;
+
+    const Entry* Find(std::string_view name) const {
+      const auto it = entries.find(name.empty()
+                                       ? std::string_view(default_document)
+                                       : name);
+      return it == entries.end() ? nullptr : it->second.get();
+    }
+  };
+
+  std::shared_ptr<const CatalogState> Pin() const;
+  Status Install(std::string name, std::shared_ptr<const Entry> entry);
+
   Result<algebra::LogicalExprPtr> Compile(std::string_view query,
-                                          const QueryOptions& options) const;
+                                          const QueryOptions& options,
+                                          const CatalogState& catalog) const;
   Result<exec::QueryResult> Run(algebra::LogicalExprPtr plan,
-                                const QueryOptions& options);
-  exec::EvalContext MakeContext(const QueryOptions& options) const;
+                                const QueryOptions& options,
+                                std::shared_ptr<const CatalogState> catalog)
+      const;
+  exec::EvalContext MakeContext(const CatalogState& catalog,
+                                const QueryOptions& options) const;
   /// Applies the cost model to every τ node; returns the forced strategy
   /// for the context (single strategy per plan: the cheapest for the most
   /// expensive pattern).
-  exec::PatternStrategy PickStrategy(const algebra::LogicalExpr& plan,
+  exec::PatternStrategy PickStrategy(const CatalogState& catalog,
+                                     const algebra::LogicalExpr& plan,
                                      std::string* explanation) const;
 
-  std::map<std::string, Entry, std::less<>> entries_;
-  std::string default_document_;
+  // Copy-on-write catalog: the mutex orders writers and guards the root
+  // pointer; readers hold it only for the shared_ptr copy.
+  mutable std::mutex catalog_mu_;
+  std::shared_ptr<const CatalogState> catalog_ =
+      std::make_shared<CatalogState>();
+
+  // Serving state, shared by every concurrent query. All mutable so the
+  // const (read-only-catalog) query paths can use them.
+  mutable exec::QueryScheduler scheduler_;
+  mutable exec::CircuitBreaker breaker_;
+  mutable std::atomic<uint64_t> next_query_id_{1};
+  mutable std::mutex active_mu_;
+  mutable std::map<uint64_t, std::shared_ptr<CancelToken>> active_;
 };
 
 }  // namespace xmlq::api

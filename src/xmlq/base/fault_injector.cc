@@ -9,51 +9,70 @@ FaultInjector& FaultInjector::Instance() {
   return *instance;
 }
 
-void FaultInjector::Arm(std::string_view site, uint64_t skip, uint64_t count) {
+std::shared_ptr<FaultInjector::SiteState> FaultInjector::GetOrCreate(
+    std::string_view site) {
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = sites_.try_emplace(std::string(site));
-  SiteState& st = it->second;
-  if (!st.armed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
-  st.armed = true;
-  st.skip = skip;
-  st.count = count;
+  if (it->second == nullptr) it->second = std::make_shared<SiteState>();
+  return it->second;
+}
+
+void FaultInjector::Arm(std::string_view site, uint64_t skip, uint64_t count) {
+  std::shared_ptr<SiteState> st = GetOrCreate(site);
+  // Order matters: publish the countdown before flipping `armed` so a
+  // concurrent ShouldFail never consumes a stale budget.
+  st->skip.store(skip, std::memory_order_relaxed);
+  st->count.store(count, std::memory_order_relaxed);
+  if (!st->armed.exchange(true, std::memory_order_release)) {
+    armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void FaultInjector::Disarm(std::string_view site) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
-  if (it == sites_.end() || !it->second.armed) return;
-  it->second.armed = false;
-  armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  if (it == sites_.end() || it->second == nullptr) return;
+  if (it->second->armed.exchange(false, std::memory_order_release)) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, st] : sites_) {
-    if (st.armed) armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+    if (st != nullptr && st->armed.exchange(false)) {
+      armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   sites_.clear();
 }
 
 bool FaultInjector::ShouldFail(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = sites_.try_emplace(std::string(site));
-  SiteState& st = it->second;
-  ++st.hits;
-  if (!st.armed) return false;
-  if (st.skip > 0) {
-    --st.skip;
-    return false;
+  std::shared_ptr<SiteState> st = GetOrCreate(site);
+  st->hits.fetch_add(1, std::memory_order_relaxed);
+  if (!st->armed.load(std::memory_order_acquire)) return false;
+  // Claim one unit of the skip budget, then of the fire budget; CAS loops
+  // make each claim exclusive, so the totals are exact under concurrency.
+  uint64_t skip = st->skip.load(std::memory_order_relaxed);
+  while (skip > 0) {
+    if (st->skip.compare_exchange_weak(skip, skip - 1,
+                                       std::memory_order_relaxed)) {
+      return false;
+    }
   }
-  if (st.count == 0) return false;
-  --st.count;
-  return true;
+  uint64_t count = st->count.load(std::memory_order_relaxed);
+  while (count > 0) {
+    if (st->count.compare_exchange_weak(count, count - 1,
+                                        std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 uint64_t FaultInjector::Hits(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sites_.find(site);
-  return it == sites_.end() ? 0 : it->second.hits;
+  std::shared_ptr<SiteState> st = GetOrCreate(site);
+  return st->hits.load(std::memory_order_relaxed);
 }
 
 }  // namespace xmlq

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -27,6 +28,14 @@ namespace xmlq {
 /// Hit counters accumulate for every site that passes through XMLQ_FAULT
 /// while *any* site is armed, which lets tests discover how often a site is
 /// reached before choosing `skip`.
+///
+/// Thread safety: the registry mutex only guards the site map; each site's
+/// countdown is a block of atomics, so concurrent ShouldFail calls race only
+/// on lock-free counters. Across any interleaving of T threads, an armed
+/// site passes exactly `skip` times and fires exactly `count` times (each
+/// hit claims one unit of one counter via compare-exchange) — which threads
+/// observe the fires depends on the schedule, but the totals are exact, and
+/// that is what the concurrency stress suite asserts.
 class FaultInjector {
  public:
   static FaultInjector& Instance();
@@ -57,17 +66,22 @@ class FaultInjector {
  private:
   FaultInjector() = default;
 
+  /// Countdown block for one site. Shared-ptr held so ShouldFail can drop
+  /// the registry lock before touching the counters (a concurrent Reset may
+  /// erase the map entry; the block itself stays alive).
   struct SiteState {
-    bool armed = false;
-    uint64_t skip = 0;
-    uint64_t count = 0;
-    uint64_t hits = 0;
+    std::atomic<bool> armed{false};
+    std::atomic<uint64_t> skip{0};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> hits{0};
   };
+
+  std::shared_ptr<SiteState> GetOrCreate(std::string_view site);
 
   static std::atomic<int> armed_sites_;
 
   std::mutex mu_;
-  std::map<std::string, SiteState, std::less<>> sites_;
+  std::map<std::string, std::shared_ptr<SiteState>, std::less<>> sites_;
 };
 
 /// True when the fault at `site` should fire now; ~free while disarmed.

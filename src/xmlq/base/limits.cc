@@ -27,6 +27,9 @@ bool ResourceGuard::Poll() const {
       limits_.cancel->load(std::memory_order_relaxed)) {
     return Trip(Status::Cancelled("query cancelled by caller"));
   }
+  if (limits_.cancel_token != nullptr && limits_.cancel_token->cancelled()) {
+    return Trip(Status::Cancelled("query cancelled by caller"));
+  }
   if (limits_.deadline_micros != 0 &&
       std::chrono::steady_clock::now() >= deadline_) {
     return Trip(Status::ResourceExhausted(

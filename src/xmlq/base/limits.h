@@ -5,10 +5,32 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <memory>
 
 #include "xmlq/base/status.h"
 
 namespace xmlq {
+
+/// Shared cancellation flag for one query. The serving layer hands every
+/// admitted query a token (see api::Database::Cancel); callers may also
+/// create their own and stash it in QueryLimits::cancel_token. Cancel() may
+/// be called from any thread, any number of times; the query observes it at
+/// the next ResourceGuard poll (including while it is still waiting in the
+/// admission queue) and returns kCancelled.
+///
+/// Tokens are shared-ptr managed so a cancel issued concurrently with query
+/// completion can never touch freed memory: both the canceller and the
+/// guard hold a reference.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 /// Per-query resource limits. A zero field means "unlimited"; a
 /// default-constructed QueryLimits imposes no bounds at all.
@@ -30,9 +52,16 @@ struct QueryLimits {
   /// the query. Not owned.
   const std::atomic<bool>* cancel = nullptr;
 
+  /// Shared-ownership cancellation token, checked at the same polls as
+  /// `cancel`. The serving layer fills this in for every admitted query so
+  /// api::Database::Cancel(query_id) works without the caller wiring a flag;
+  /// callers may also install their own token here and keep a reference to
+  /// cancel directly.
+  std::shared_ptr<const CancelToken> cancel_token;
+
   bool Unlimited() const {
     return deadline_micros == 0 && max_steps == 0 && max_memory_bytes == 0 &&
-           cancel == nullptr;
+           cancel == nullptr && cancel_token == nullptr;
   }
 };
 

@@ -1,0 +1,242 @@
+#include "xmlq/exec/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace xmlq::exec {
+
+namespace {
+
+/// The backpressure hint attached to rejected/shed admissions: clients
+/// should wait roughly one queue-deadline (or 1 ms when unbounded waiting is
+/// configured) before resubmitting.
+uint64_t RetryAfterMicros(const AdmissionConfig& config) {
+  return config.queue_deadline_micros != 0 ? config.queue_deadline_micros
+                                           : 1000;
+}
+
+Status ExhaustedWithHint(std::string reason, const AdmissionConfig& config) {
+  reason += "; retry-after-micros=";
+  reason += std::to_string(RetryAfterMicros(config));
+  return Status::ResourceExhausted(std::move(reason));
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(AdmissionConfig config) : config_(config) {}
+
+void QueryScheduler::Ticket::Release() {
+  if (scheduler_ == nullptr) return;
+  scheduler_->Release();
+  scheduler_ = nullptr;
+}
+
+Result<QueryScheduler::Ticket> QueryScheduler::Admit(
+    const CancelToken* cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  auto admit = [&]() -> Ticket {
+    ++stats_.admitted;
+    ++stats_.running;
+    stats_.peak_running = std::max(stats_.peak_running, stats_.running);
+    return Ticket(this, ++admitted_seq_);
+  };
+  if (cancel != nullptr && cancel->cancelled()) {
+    ++stats_.cancelled_while_queued;
+    return Status::Cancelled("query cancelled before admission");
+  }
+  if (config_.max_concurrent == 0 ||
+      stats_.running < config_.max_concurrent) {
+    return admit();
+  }
+  if (stats_.queued >= config_.max_queue) {
+    ++stats_.rejected;
+    return ExhaustedWithHint(
+        "admission queue full (" + std::to_string(stats_.running) +
+            " running, " + std::to_string(stats_.queued) + " queued)",
+        config_);
+  }
+  ++stats_.queued;
+  stats_.peak_queued = std::max(stats_.peak_queued, stats_.queued);
+  const bool bounded_wait = config_.queue_deadline_micros != 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(config_.queue_deadline_micros);
+  while (true) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      --stats_.queued;
+      ++stats_.cancelled_while_queued;
+      return Status::Cancelled("query cancelled while queued for admission");
+    }
+    if (config_.max_concurrent == 0 ||
+        stats_.running < config_.max_concurrent) {
+      --stats_.queued;
+      return admit();
+    }
+    if (bounded_wait) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          (config_.max_concurrent != 0 &&
+           stats_.running >= config_.max_concurrent)) {
+        --stats_.queued;
+        ++stats_.shed;
+        return ExhaustedWithHint(
+            "query shed after waiting " +
+                std::to_string(config_.queue_deadline_micros) +
+                "us for an execution slot",
+            config_);
+      }
+    } else {
+      // Unbounded waits still wake periodically so a cancel that raced the
+      // Poke() is noticed without one.
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+}
+
+void QueryScheduler::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.running;
+    ++stats_.completed;
+  }
+  cv_.notify_all();
+}
+
+void QueryScheduler::Configure(const AdmissionConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = config;
+  }
+  cv_.notify_all();
+}
+
+void QueryScheduler::Poke() { cv_.notify_all(); }
+
+AdmissionStats QueryScheduler::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t QueryScheduler::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_seq_;
+}
+
+
+CircuitBreaker::Slot& CircuitBreaker::SlotOf(PatternStrategy strategy) {
+  return slots_[static_cast<size_t>(strategy) % kSlots];
+}
+
+const CircuitBreaker::Slot& CircuitBreaker::SlotOf(
+    PatternStrategy strategy) const {
+  return slots_[static_cast<size_t>(strategy) % kSlots];
+}
+
+bool CircuitBreaker::Allow(PatternStrategy strategy, uint64_t admitted_seq) {
+  if (strategy == PatternStrategy::kNaive) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = SlotOf(strategy);
+  switch (slot.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (admitted_seq >= slot.opened_seq + config_.cooldown_admissions) {
+        slot.state = State::kHalfOpen;
+        slot.probe_in_flight = true;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time; everyone else keeps degrading until it reports.
+      if (!slot.probe_in_flight) {
+        slot.probe_in_flight = true;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(PatternStrategy strategy) {
+  if (strategy == PatternStrategy::kNaive) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = SlotOf(strategy);
+  slot.consecutive_faults = 0;
+  slot.probe_in_flight = false;
+  slot.state = State::kClosed;
+}
+
+void CircuitBreaker::RecordFault(PatternStrategy strategy,
+                                 uint64_t admitted_seq) {
+  if (strategy == PatternStrategy::kNaive) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = SlotOf(strategy);
+  ++slot.consecutive_faults;
+  if (slot.state == State::kHalfOpen) {
+    // The probe faulted: re-open and restart the cool-down from here.
+    slot.state = State::kOpen;
+    slot.opened_seq = admitted_seq;
+    slot.probe_in_flight = false;
+    return;
+  }
+  if (slot.state == State::kClosed &&
+      slot.consecutive_faults >= config_.fault_threshold) {
+    slot.state = State::kOpen;
+    slot.opened_seq = admitted_seq;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::StateOf(PatternStrategy strategy) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SlotOf(strategy).state;
+}
+
+uint32_t CircuitBreaker::ConsecutiveFaults(PatternStrategy strategy) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SlotOf(strategy).consecutive_faults;
+}
+
+void CircuitBreaker::Configure(const Config& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  for (Slot& slot : slots_) slot = Slot{};
+}
+
+std::string_view BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+std::string CircuitBreaker::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (size_t i = 0; i < kSlots; ++i) {
+    const auto strategy = static_cast<PatternStrategy>(i);
+    if (strategy == PatternStrategy::kNaive) continue;
+    const Slot& slot = slots_[i];
+    if (slot.state == State::kClosed && slot.consecutive_faults == 0) {
+      continue;
+    }
+    out += "breaker ";
+    out += PatternStrategyName(strategy);
+    out += ": ";
+    out += BreakerStateName(slot.state);
+    out += " (consecutive_faults=" +
+           std::to_string(slot.consecutive_faults);
+    if (slot.state != State::kClosed) {
+      out += ", opened_at_admission=" + std::to_string(slot.opened_seq);
+    }
+    out += ")\n";
+  }
+  if (out.empty()) out = "breakers: all engines closed (healthy)\n";
+  return out;
+}
+
+}  // namespace xmlq::exec

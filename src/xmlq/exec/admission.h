@@ -1,0 +1,193 @@
+#ifndef XMLQ_EXEC_ADMISSION_H_
+#define XMLQ_EXEC_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "xmlq/base/limits.h"
+#include "xmlq/base/status.h"
+#include "xmlq/exec/executor.h"
+
+namespace xmlq::exec {
+
+/// Admission-control knobs for one serving Database. All-zero (the default)
+/// admits every query immediately — the scheduler then only numbers
+/// admissions (the circuit breaker's clock) and tracks concurrency.
+struct AdmissionConfig {
+  /// Queries allowed to execute at once; 0 = unbounded.
+  uint32_t max_concurrent = 0;
+
+  /// Queries allowed to *wait* for a slot beyond the running ones. A query
+  /// arriving with the queue full is rejected immediately with
+  /// kResourceExhausted (fail fast beats building an unbounded backlog).
+  uint32_t max_queue = 0;
+
+  /// How long a query may wait in the queue before it is shed with
+  /// kResourceExhausted; 0 = wait indefinitely (cancellation still works).
+  uint64_t queue_deadline_micros = 0;
+};
+
+/// Counters the scheduler keeps; every terminal admission outcome increments
+/// exactly one of admitted / rejected / shed / cancelled_while_queued.
+struct AdmissionStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;               // queue full on arrival
+  uint64_t shed = 0;                   // queue deadline exceeded
+  uint64_t cancelled_while_queued = 0;
+  uint64_t completed = 0;
+  uint32_t running = 0;
+  uint32_t queued = 0;
+  uint32_t peak_running = 0;
+  uint32_t peak_queued = 0;
+};
+
+/// Bounded admission with load shedding. One instance serves one Database;
+/// Admit() is called on the query's own thread and blocks while the query
+/// waits for a slot.
+///
+/// Rejection and shedding both return kResourceExhausted whose message ends
+/// in "retry-after-micros=<hint>" — the serving layer's backpressure signal
+/// (clients should back off roughly that long before resubmitting).
+class QueryScheduler {
+ public:
+  /// RAII execution slot. Destroying (or Release()-ing) the ticket frees the
+  /// slot and wakes one queued query. `admitted_seq` is the 1-based
+  /// admission number — the logical clock the circuit breaker's cool-down
+  /// counts in.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      scheduler_ = other.scheduler_;
+      seq_ = other.seq_;
+      other.scheduler_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool valid() const { return scheduler_ != nullptr; }
+    uint64_t admitted_seq() const { return seq_; }
+    void Release();
+
+   private:
+    friend class QueryScheduler;
+    Ticket(QueryScheduler* scheduler, uint64_t seq)
+        : scheduler_(scheduler), seq_(seq) {}
+
+    QueryScheduler* scheduler_ = nullptr;
+    uint64_t seq_ = 0;
+  };
+
+  explicit QueryScheduler(AdmissionConfig config = {});
+
+  /// Blocks until the query is admitted, rejected, shed, or cancelled.
+  /// `cancel` (optional, borrowed; must outlive the call) is polled while
+  /// queued so a cancelled query leaves the queue promptly — pair it with
+  /// Poke() from the cancelling thread.
+  Result<Ticket> Admit(const CancelToken* cancel = nullptr);
+
+  /// Swaps the config. Queries already running keep their slots; queued
+  /// queries re-evaluate against the new bounds at their next wake-up.
+  void Configure(const AdmissionConfig& config);
+
+  /// Wakes every queued query so it re-checks its cancel token / the new
+  /// config. Cheap; safe from any thread.
+  void Poke();
+
+  AdmissionStats Stats() const;
+
+  /// Total admissions so far — the circuit-breaker clock, monotone across
+  /// Configure() calls.
+  uint64_t admitted_total() const;
+
+ private:
+  void Release();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  AdmissionConfig config_;
+  uint64_t admitted_seq_ = 0;
+  AdmissionStats stats_;
+};
+
+/// Per-strategy circuit breaker for engine-fallback graceful degradation.
+///
+/// Each specialized τ engine (NoK, TwigStack, PathStack, binary joins) has a
+/// slot; the naive navigational engine is the always-trusted fallback and is
+/// never managed. A slot moves
+///
+///   kClosed --K consecutive faults--> kOpen
+///   kOpen   --cool-down admissions--> kHalfOpen (exactly one probe runs)
+///   kHalfOpen --probe succeeds--> kClosed / --probe faults--> kOpen
+///
+/// While a slot is open, MatchPattern routes the pattern straight to the
+/// naive engine without attempting the quarantined one. The cool-down is
+/// measured in *admitted queries* (QueryScheduler::Ticket::admitted_seq),
+/// not wall-clock time, so breaker tests are deterministic: admit N queries
+/// and the probe is due, regardless of how fast they ran.
+class CircuitBreaker {
+ public:
+  struct Config {
+    /// Consecutive retryable faults that open the breaker.
+    uint32_t fault_threshold = 3;
+    /// Admissions that must elapse after opening before a probe is let
+    /// through.
+    uint64_t cooldown_admissions = 32;
+  };
+
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// May `strategy` run for the query admitted as `admitted_seq`? Open
+  /// slots return false until the cool-down elapses, then admit exactly one
+  /// caller as the half-open probe (concurrent queries keep falling back
+  /// while the probe is in flight).
+  bool Allow(PatternStrategy strategy, uint64_t admitted_seq);
+
+  /// The engine completed a pattern without a retryable fault.
+  void RecordSuccess(PatternStrategy strategy);
+
+  /// The engine returned a retryable fault while running the query admitted
+  /// as `admitted_seq`.
+  void RecordFault(PatternStrategy strategy, uint64_t admitted_seq);
+
+  State StateOf(PatternStrategy strategy) const;
+  uint32_t ConsecutiveFaults(PatternStrategy strategy) const;
+
+  /// Re-applies `config` and resets every slot to kClosed.
+  void Configure(const Config& config);
+
+  /// One line per non-closed slot (plus a summary), for `.stats admission`.
+  std::string Render() const;
+
+ private:
+  struct Slot {
+    State state = State::kClosed;
+    uint32_t consecutive_faults = 0;
+    uint64_t opened_seq = 0;   // admission number of the opening fault
+    bool probe_in_flight = false;
+  };
+  static constexpr size_t kSlots = 5;  // one per PatternStrategy
+
+  Slot& SlotOf(PatternStrategy strategy);
+  const Slot& SlotOf(PatternStrategy strategy) const;
+
+  Config config_;
+  mutable std::mutex mu_;
+  Slot slots_[kSlots];
+};
+
+std::string_view BreakerStateName(CircuitBreaker::State state);
+
+}  // namespace xmlq::exec
+
+#endif  // XMLQ_EXEC_ADMISSION_H_

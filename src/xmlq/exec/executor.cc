@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "xmlq/exec/admission.h"
 #include "xmlq/exec/hybrid.h"
 #include "xmlq/exec/op_stats.h"
 #include "xmlq/exec/naive_nav.h"
@@ -83,8 +84,9 @@ Result<NodeList> Executor::MatchPattern(const IndexedDocument& doc,
                                         const algebra::PatternGraph& pattern,
                                         OpStats* stats) const {
   const ResourceGuard* guard = context_->guard;
-  auto run = [&]() -> Result<NodeList> {
-    switch (context_->strategy) {
+  const PatternStrategy chosen = context_->strategy;
+  auto run = [&](PatternStrategy strategy) -> Result<NodeList> {
+    switch (strategy) {
       case PatternStrategy::kNok:
         return HybridMatch(doc, pattern, guard, stats);
       case PatternStrategy::kTwigStack:
@@ -104,13 +106,52 @@ Result<NodeList> Executor::MatchPattern(const IndexedDocument& doc,
     }
     return Status::Internal("unknown pattern strategy");
   };
-  auto result = run();
-  if (!result.ok() && result.status().code() == StatusCode::kUnsupported &&
-      context_->strategy != PatternStrategy::kNaive) {
+  // Quarantine check: a breaker-opened engine is not even attempted; the
+  // pattern runs on the always-trusted naive engine outright.
+  if (chosen != PatternStrategy::kNaive && context_->breaker != nullptr &&
+      !context_->breaker->Allow(chosen, context_->admitted_seq)) {
+    if (FallbackInfo* info = context_->fallback;
+        info != nullptr && !info->Degraded()) {
+      info->quarantined = true;
+      info->from_strategy = PatternStrategyName(chosen);
+      info->reason = "circuit breaker open";
+    }
+    return run(PatternStrategy::kNaive);
+  }
+  auto result = run(chosen);
+  if (result.ok()) {
+    if (chosen != PatternStrategy::kNaive && context_->breaker != nullptr) {
+      context_->breaker->RecordSuccess(chosen);
+    }
+    return result;
+  }
+  if (chosen == PatternStrategy::kNaive) return result;
+  const StatusCode code = result.status().code();
+  if (code == StatusCode::kUnsupported) {
     // Patterns outside a specialized engine's subset (e.g. following-sibling
-    // arcs) always have the navigational evaluator as a safety net.
+    // arcs) always have the navigational evaluator as a safety net. This is
+    // a capability gap, not a fault: the breaker does not count it.
     return NaiveMatchPattern(*doc.dom, pattern, guard, stats);
   }
+  if (code == StatusCode::kInternal) {
+    // Retryable fault (an invariant trip or an injected XMLQ_FAULT): count
+    // it against the engine and retry the pattern once on the naive engine.
+    if (context_->breaker != nullptr) {
+      context_->breaker->RecordFault(chosen, context_->admitted_seq);
+    }
+    auto retry = NaiveMatchPattern(*doc.dom, pattern, guard, stats);
+    if (retry.ok()) {
+      if (FallbackInfo* info = context_->fallback;
+          info != nullptr && !info->Degraded()) {
+        info->engine_downgraded = true;
+        info->from_strategy = PatternStrategyName(chosen);
+        info->reason = result.status().message();
+      }
+    }
+    return retry;
+  }
+  // Resource exhaustion, cancellation, bad input: not the engine's fault —
+  // surface unchanged.
   return result;
 }
 

@@ -27,6 +27,25 @@ enum class PatternStrategy : uint8_t {
 
 std::string_view PatternStrategyName(PatternStrategy strategy);
 
+class CircuitBreaker;  // exec/admission.h
+
+/// How (and why) the executor degraded a query to the naive navigational
+/// engine. Filled in by MatchPattern when the serving layer attached one to
+/// the EvalContext; a query with several τ operators accumulates into the
+/// same record (the first downgrade's reason wins).
+struct FallbackInfo {
+  /// The chosen engine returned a retryable fault and the pattern was
+  /// re-run (successfully or not) on the naive engine.
+  bool engine_downgraded = false;
+  /// The chosen engine was quarantined by the circuit breaker and never
+  /// attempted; the pattern ran on the naive engine outright.
+  bool quarantined = false;
+  std::string from_strategy;  // engine originally chosen for the pattern
+  std::string reason;         // fault message, or "circuit breaker open"
+
+  bool Degraded() const { return engine_downgraded || quarantined; }
+};
+
 /// How FLWOR expressions are evaluated (experiment F2).
 enum class FlworMode : uint8_t {
   kEnv,        // materialize the layered Env (Definition 3), then iterate
@@ -49,6 +68,18 @@ struct EvalContext {
   /// Null (the default) disables stats collection entirely — the executor
   /// then performs no lookups, no clock reads and no counter updates.
   PlanProfile* profile = nullptr;
+  /// Optional per-strategy circuit breaker (exec/admission.h), shared by
+  /// every query of the owning Database. When set, MatchPattern consults it
+  /// before running a specialized engine and reports faults/successes back.
+  /// Not owned. Null disables quarantine (faults still fall back).
+  CircuitBreaker* breaker = nullptr;
+  /// Admission number of this query (QueryScheduler ticket) — the logical
+  /// clock the breaker's cool-down counts in. 0 outside the serving layer.
+  uint64_t admitted_seq = 0;
+  /// Optional degradation record for this query; MatchPattern fills it when
+  /// an engine fault or quarantine rerouted a pattern to the naive engine.
+  /// Not owned.
+  FallbackInfo* fallback = nullptr;
 };
 
 /// Holds a query's output plus any documents constructed by γ (node items
@@ -59,6 +90,20 @@ struct QueryResult {
   /// Per-operator execution profile; non-null only when the caller asked
   /// for stats (api::QueryOptions::collect_stats). Already finalized.
   std::unique_ptr<PlanProfile> profile;
+  /// Serving-layer identity of this execution (api::Database assigns it;
+  /// 0 when the executor was driven directly). The id a concurrent caller
+  /// would pass to Database::Cancel.
+  uint64_t query_id = 0;
+  /// True when the query survived an engine fault or quarantine by
+  /// degrading to the naive navigational engine; `degradation` says which
+  /// engine was abandoned and why.
+  bool degraded = false;
+  std::string degradation;
+  /// Keeps the catalog snapshot the query was pinned to alive: node items
+  /// in `value` point into documents owned by it, so a result stays valid
+  /// even after the Database swaps or drops the documents it was computed
+  /// from. Null when the executor was driven directly.
+  std::shared_ptr<const void> pinned;
 };
 
 /// Interprets logical algebra plans. Stateless across Evaluate calls except

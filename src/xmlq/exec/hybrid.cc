@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/exec/nok_matcher.h"
 #include "xmlq/exec/structural_join.h"
 #include "xmlq/exec/twig_stack.h"
@@ -58,6 +59,9 @@ bool NeedsFallback(const PatternGraph& graph, const NokPartition& partition,
 Result<NodeList> HybridMatch(const IndexedDocument& doc,
                              const PatternGraph& pattern,
                              const ResourceGuard* guard, OpStats* stats) {
+  if (XMLQ_FAULT("exec.nok.match")) {
+    return Status::Internal("injected fault: exec.nok.match");
+  }
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   const VertexId output = pattern.SoleOutput();
   if (output == algebra::kNoVertex) {

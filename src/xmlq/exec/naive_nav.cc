@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/exec/op_stats.h"
 
 namespace xmlq::exec {
@@ -243,6 +244,9 @@ Result<NodeList> NaiveMatchPattern(const xml::Document& doc,
                                    const PatternGraph& pattern,
                                    const ResourceGuard* guard,
                                    OpStats* stats) {
+  if (XMLQ_FAULT("exec.naive.match")) {
+    return Status::Internal("injected fault: exec.naive.match");
+  }
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   NaiveMatcher matcher(doc, pattern, guard, stats);
   return matcher.Run();

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/exec/structural_join.h"
 
 namespace xmlq::exec {
@@ -21,6 +22,9 @@ constexpr uint32_t kInfinity = std::numeric_limits<uint32_t>::max();
 Result<NodeList> PathStackMatch(const IndexedDocument& doc,
                                 const PatternGraph& pattern,
                                 const ResourceGuard* guard, OpStats* stats) {
+  if (XMLQ_FAULT("exec.pathstack.match")) {
+    return Status::Internal("injected fault: exec.pathstack.match");
+  }
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   const VertexId output = pattern.SoleOutput();
   if (output == algebra::kNoVertex) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "xmlq/base/fault_injector.h"
+
 namespace xmlq::exec {
 
 using storage::Region;
@@ -142,6 +144,9 @@ Result<NodeList> BinaryJoinPlanMatch(
     const ResourceGuard* guard, OpStats* op_stats) {
   using algebra::Axis;
   using algebra::VertexId;
+  if (XMLQ_FAULT("exec.binaryjoin.match")) {
+    return Status::Internal("injected fault: exec.binaryjoin.match");
+  }
   XMLQ_RETURN_IF_ERROR(pattern.Validate());
   const VertexId output = pattern.SoleOutput();
   if (output == algebra::kNoVertex) {

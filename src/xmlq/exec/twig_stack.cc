@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/exec/structural_join.h"
 
 namespace xmlq::exec {
@@ -193,6 +194,9 @@ class TwigStackRunner {
 Result<NodeList> TwigStackMatch(const IndexedDocument& doc,
                                 const PatternGraph& pattern,
                                 const ResourceGuard* guard, OpStats* stats) {
+  if (XMLQ_FAULT("exec.twigstack.match")) {
+    return Status::Internal("injected fault: exec.twigstack.match");
+  }
   TwigStackRunner runner(doc, pattern, guard, stats);
   return runner.Run();
 }

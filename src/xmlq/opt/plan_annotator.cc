@@ -109,4 +109,21 @@ void AnnotateProfile(const Synopsis& synopsis, const xml::NamePool& pool,
   Annotate(synopsis, pool, plan, profile);
 }
 
+void ReannotateFallback(const LogicalExpr& plan,
+                        const exec::FallbackInfo& fallback,
+                        exec::PlanProfile* profile) {
+  if (profile == nullptr || !fallback.Degraded()) return;
+  if (plan.op == algebra::LogicalOp::kTreePattern) {
+    if (exec::ProfileNode* node = profile->NodeFor(&plan); node != nullptr) {
+      node->estimate.strategy =
+          fallback.from_strategy +
+          (fallback.quarantined ? "->naive (quarantined)"
+                                : "->naive (fault)");
+    }
+  }
+  for (const auto& child : plan.children) {
+    ReannotateFallback(*child, fallback, profile);
+  }
+}
+
 }  // namespace xmlq::opt

@@ -2,6 +2,7 @@
 #define XMLQ_OPT_PLAN_ANNOTATOR_H_
 
 #include "xmlq/algebra/logical_plan.h"
+#include "xmlq/exec/executor.h"
 #include "xmlq/exec/op_stats.h"
 #include "xmlq/opt/synopsis.h"
 #include "xmlq/xml/name_pool.h"
@@ -30,6 +31,18 @@ namespace xmlq::opt {
 void AnnotateProfile(const Synopsis& synopsis, const xml::NamePool& pool,
                      const algebra::LogicalExpr& plan,
                      exec::PlanProfile* profile);
+
+/// Rewrites the strategy annotation on every τ profile node after the
+/// executor degraded the query (engine fault or circuit-breaker
+/// quarantine), so EXPLAIN ANALYZE shows what actually ran:
+///
+///   TreePattern [twigstack->naive (fault)] est=120 rows=118 ...
+///   TreePattern [nok->naive (quarantined)] ...
+///
+/// Must run after execution and before PlanProfile::Finalize.
+void ReannotateFallback(const algebra::LogicalExpr& plan,
+                        const exec::FallbackInfo& fallback,
+                        exec::PlanProfile* profile);
 
 }  // namespace xmlq::opt
 

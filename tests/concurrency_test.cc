@@ -1,0 +1,508 @@
+// Concurrent serving suite: admission control, cooperative cancellation,
+// copy-on-write catalog swaps under load, circuit-breaker state machine,
+// engine-fault fallback, and the thread-safety contracts of the fault
+// injector and the per-thread Rng seeding rule. The MixedStress test is the
+// one the TSan CI stage exists for: N worker threads run a mixed query
+// workload while a writer thread swaps documents and a canceller thread
+// kills random in-flight queries; every query must end in exactly one of
+// {ordered-correct result for some pinned document version, kCancelled,
+// kResourceExhausted}.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xmlq/api/database.h"
+#include "xmlq/base/fault_injector.h"
+#include "xmlq/base/limits.h"
+#include "xmlq/base/random.h"
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/exec/admission.h"
+
+namespace xmlq {
+namespace {
+
+std::unique_ptr<xml::Document> Auction(double scale, uint64_t seed) {
+  datagen::AuctionOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  return datagen::GenerateAuctionSite(options);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+
+TEST(CancellationTest, PreCancelledTokenReturnsCancelled) {
+  api::Database db;
+  ASSERT_TRUE(db.RegisterDocument("a.xml", Auction(0.02, 7)).ok());
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();
+  api::QueryOptions options;
+  options.limits.cancel_token = token;
+  auto result = db.QueryPath("//person/name", {}, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, CancelByIdStopsARunningQuery) {
+  api::Database db;
+  ASSERT_TRUE(db.RegisterDocument("a.xml", Auction(0.15, 7)).ok());
+  std::atomic<uint64_t> query_id{0};
+  std::atomic<bool> done{false};
+  Status status = Status::Ok();
+  std::thread runner([&] {
+    api::QueryOptions options;
+    options.query_id_out = &query_id;
+    // A query with enough work that the canceller has time to land; if it
+    // finishes first the test still passes (the cancel just returns false).
+    auto result = db.Query(
+        "for $p in doc(\"a.xml\")//person, $q in doc(\"a.xml\")//person "
+        "where $p/name = $q/name return $p/name",
+        options);
+    if (!result.ok()) status = result.status();
+    done.store(true);
+  });
+  while (query_id.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  const bool cancelled = db.Cancel(query_id.load());
+  runner.join();
+  if (cancelled && !status.ok()) {
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  }
+  EXPECT_TRUE(done.load());
+  // The id is unregistered once the query finishes.
+  EXPECT_FALSE(db.Cancel(query_id.load()));
+}
+
+// ---------------------------------------------------------------------------
+// QueryScheduler
+
+TEST(QuerySchedulerTest, RejectsWhenQueueIsFullWithRetryHint) {
+  exec::QueryScheduler scheduler;
+  scheduler.Configure({.max_concurrent = 1, .max_queue = 0,
+                       .queue_deadline_micros = 1000});
+  auto first = scheduler.Admit();
+  ASSERT_TRUE(first.ok());
+  auto second = scheduler.Admit();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(second.status().message().find("retry-after-micros=1000"),
+            std::string::npos)
+      << second.status().ToString();
+  const exec::AdmissionStats stats = scheduler.Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.running, 1u);
+}
+
+TEST(QuerySchedulerTest, ShedsAfterQueueDeadline) {
+  exec::QueryScheduler scheduler;
+  scheduler.Configure({.max_concurrent = 1, .max_queue = 4,
+                       .queue_deadline_micros = 2000});
+  auto first = scheduler.Admit();
+  ASSERT_TRUE(first.ok());
+  auto second = scheduler.Admit();  // queues, then sheds after ~2ms
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(second.status().message().find("shed"), std::string::npos);
+  const exec::AdmissionStats stats = scheduler.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+  first->Release();
+  EXPECT_EQ(scheduler.Stats().running, 0u);
+}
+
+TEST(QuerySchedulerTest, CancelWhileQueuedLeavesTheQueue) {
+  exec::QueryScheduler scheduler;
+  scheduler.Configure({.max_concurrent = 1, .max_queue = 4,
+                       .queue_deadline_micros = 0});  // unbounded wait
+  auto first = scheduler.Admit();
+  ASSERT_TRUE(first.ok());
+  CancelToken cancel;
+  Status queued_status = Status::Ok();
+  std::thread waiter([&] {
+    auto ticket = scheduler.Admit(&cancel);
+    if (!ticket.ok()) queued_status = ticket.status();
+  });
+  // Wait until the waiter is actually queued.
+  while (scheduler.Stats().queued == 0) std::this_thread::yield();
+  cancel.Cancel();
+  scheduler.Poke();
+  waiter.join();
+  EXPECT_EQ(queued_status.code(), StatusCode::kCancelled);
+  const exec::AdmissionStats stats = scheduler.Stats();
+  EXPECT_EQ(stats.cancelled_while_queued, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST(QuerySchedulerTest, TicketReleaseFreesTheSlot) {
+  exec::QueryScheduler scheduler;
+  scheduler.Configure({.max_concurrent = 1, .max_queue = 0,
+                       .queue_deadline_micros = 100});
+  {
+    auto ticket = scheduler.Admit();
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_EQ(ticket->admitted_seq(), 1u);
+  }  // RAII release
+  auto next = scheduler.Admit();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->admitted_seq(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker (deterministic, single-threaded)
+
+TEST(CircuitBreakerTest, OpensProbesAndCloses) {
+  exec::CircuitBreaker breaker(
+      {.fault_threshold = 2, .cooldown_admissions = 3});
+  const auto kEngine = exec::PatternStrategy::kTwigStack;
+  using State = exec::CircuitBreaker::State;
+
+  // Closed: faults below the threshold keep it closed.
+  EXPECT_TRUE(breaker.Allow(kEngine, 1));
+  breaker.RecordFault(kEngine, 1);
+  EXPECT_EQ(breaker.StateOf(kEngine), State::kClosed);
+  EXPECT_TRUE(breaker.Allow(kEngine, 2));
+  breaker.RecordFault(kEngine, 2);  // second consecutive fault -> open
+  EXPECT_EQ(breaker.StateOf(kEngine), State::kOpen);
+
+  // Open: quarantined until the cool-down (3 admissions) elapses.
+  EXPECT_FALSE(breaker.Allow(kEngine, 3));
+  EXPECT_FALSE(breaker.Allow(kEngine, 4));
+  // Cool-down elapsed: exactly one probe goes through.
+  EXPECT_TRUE(breaker.Allow(kEngine, 5));
+  EXPECT_EQ(breaker.StateOf(kEngine), State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(kEngine, 6));  // probe in flight
+
+  // Probe faults: reopen, cool-down restarts from the probe's admission.
+  breaker.RecordFault(kEngine, 6);
+  EXPECT_EQ(breaker.StateOf(kEngine), State::kOpen);
+  EXPECT_FALSE(breaker.Allow(kEngine, 7));
+  EXPECT_TRUE(breaker.Allow(kEngine, 9));  // 6 + 3
+  EXPECT_EQ(breaker.StateOf(kEngine), State::kHalfOpen);
+
+  // Probe succeeds: closed and healthy again.
+  breaker.RecordSuccess(kEngine);
+  EXPECT_EQ(breaker.StateOf(kEngine), State::kClosed);
+  EXPECT_EQ(breaker.ConsecutiveFaults(kEngine), 0u);
+  EXPECT_TRUE(breaker.Allow(kEngine, 10));
+
+  // The naive engine is never managed.
+  breaker.RecordFault(exec::PatternStrategy::kNaive, 1);
+  breaker.RecordFault(exec::PatternStrategy::kNaive, 2);
+  EXPECT_TRUE(breaker.Allow(exec::PatternStrategy::kNaive, 3));
+  EXPECT_EQ(breaker.StateOf(exec::PatternStrategy::kNaive), State::kClosed);
+}
+
+TEST(CircuitBreakerTest, SlotsAreIndependent) {
+  exec::CircuitBreaker breaker(
+      {.fault_threshold = 1, .cooldown_admissions = 100});
+  breaker.RecordFault(exec::PatternStrategy::kNok, 1);
+  EXPECT_EQ(breaker.StateOf(exec::PatternStrategy::kNok),
+            exec::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.StateOf(exec::PatternStrategy::kTwigStack),
+            exec::CircuitBreaker::State::kClosed);
+  EXPECT_NE(breaker.Render().find("nok"), std::string::npos);
+  EXPECT_NE(breaker.Render().find("open"), std::string::npos);
+}
+
+/// End-to-end breaker behaviour through the Database: arm a permanent fault
+/// in TwigStack, watch queries degrade, the breaker open (quarantine: the
+/// engine is no longer attempted), the cool-down elapse and the probe
+/// re-open it. The fault injector's flat Hits() counter proves whether the
+/// engine was attempted.
+TEST(CircuitBreakerTest, DatabaseQuarantinesAFaultyEngine) {
+  api::Database db;
+  ASSERT_TRUE(db.RegisterDocument("a.xml", Auction(0.02, 7)).ok());
+  db.SetBreaker({.fault_threshold = 2, .cooldown_admissions = 3});
+  FaultInjector::Instance().Arm("exec.twigstack.match");
+
+  api::QueryOptions options;
+  options.auto_optimize = false;
+  options.strategy = exec::PatternStrategy::kTwigStack;
+  auto run = [&] {
+    auto result = db.QueryPath("//person[address]/name", {}, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->degraded);
+  };
+
+  // Queries 1 and 2 attempt the engine, fault, fall back; breaker opens.
+  run();
+  run();
+  const uint64_t hits_when_open =
+      FaultInjector::Instance().Hits("exec.twigstack.match");
+  EXPECT_GE(hits_when_open, 2u);
+  EXPECT_NE(db.BreakerReport().find("twigstack: open"), std::string::npos)
+      << db.BreakerReport();
+
+  // Query 3 is quarantined: naive runs, the engine is NOT attempted.
+  run();
+  EXPECT_EQ(FaultInjector::Instance().Hits("exec.twigstack.match"),
+            hits_when_open);
+
+  // Burn admissions until the cool-down elapses, then the probe attempts
+  // the engine again (hits advance), faults, and the breaker re-opens.
+  run();
+  run();
+  run();
+  EXPECT_GT(FaultInjector::Instance().Hits("exec.twigstack.match"),
+            hits_when_open);
+  EXPECT_NE(db.BreakerReport().find("twigstack: open"), std::string::npos)
+      << db.BreakerReport();
+
+  // Disarm: after the next cool-down the probe succeeds and the breaker
+  // closes; queries stop degrading. The first post-reset query is still
+  // inside the cool-down (degraded); within a few more the probe runs
+  // clean and closes the slot.
+  FaultInjector::Instance().Reset();
+  run();  // still quarantined (cool-down)
+  auto healthy = db.QueryPath("//person[address]/name", {}, options);
+  ASSERT_TRUE(healthy.ok());
+  for (int i = 0; i < 4 && healthy->degraded; ++i) {
+    healthy = db.QueryPath("//person[address]/name", {}, options);
+    ASSERT_TRUE(healthy.ok());
+  }
+  EXPECT_FALSE(healthy->degraded);
+  EXPECT_NE(db.BreakerReport().find("healthy"), std::string::npos)
+      << db.BreakerReport();
+}
+
+TEST(CircuitBreakerTest, ExplainAnalyzeShowsTheDowngrade) {
+  api::Database db;
+  ASSERT_TRUE(db.RegisterDocument("a.xml", Auction(0.02, 7)).ok());
+  db.SetBreaker({.fault_threshold = 100, .cooldown_admissions = 100});
+  FaultInjector::Instance().Arm("exec.twigstack.match", /*skip=*/0,
+                                /*count=*/1);
+  api::QueryOptions options;
+  options.auto_optimize = false;
+  options.strategy = exec::PatternStrategy::kTwigStack;
+  auto rendered = db.ExplainAnalyze("//person[address]/name", options);
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+  EXPECT_NE(rendered->find("twigstack->naive (fault)"), std::string::npos)
+      << *rendered;
+  EXPECT_NE(rendered->find("degraded:"), std::string::npos) << *rendered;
+}
+
+// ---------------------------------------------------------------------------
+// Fallback correctness
+
+TEST(FallbackTest, FaultedQueryMatchesNaiveResult) {
+  api::Database db;
+  ASSERT_TRUE(db.RegisterDocument("a.xml", Auction(0.03, 5)).ok());
+  db.SetBreaker({.fault_threshold = 100, .cooldown_admissions = 100});
+
+  api::QueryOptions naive;
+  naive.auto_optimize = false;
+  naive.strategy = exec::PatternStrategy::kNaive;
+  auto expected = db.QueryPath("//item[payment = 'Cash']/location", {}, naive);
+  ASSERT_TRUE(expected.ok());
+
+  FaultInjector::Instance().Arm("exec.nok.match");
+  api::QueryOptions nok;
+  nok.auto_optimize = false;
+  nok.strategy = exec::PatternStrategy::kNok;
+  auto got = db.QueryPath("//item[payment = 'Cash']/location", {}, nok);
+  FaultInjector::Instance().Reset();
+
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->degraded);
+  EXPECT_EQ(api::Database::ToXml(*got), api::Database::ToXml(*expected));
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write catalog
+
+TEST(CatalogTest, ResultPinsItsSnapshotAcrossAReplacement) {
+  api::Database db;
+  ASSERT_TRUE(db.RegisterDocument("a.xml", Auction(0.02, 7)).ok());
+  auto before = db.QueryPath("//person/name");
+  ASSERT_TRUE(before.ok());
+  const std::string serialized_before = api::Database::ToXml(*before);
+  ASSERT_FALSE(before->value.empty());
+
+  // Replace the document with a differently-seeded one. The old result's
+  // node items must stay valid (they pin the old snapshot).
+  ASSERT_TRUE(db.RegisterDocument("a.xml", Auction(0.02, 99)).ok());
+  EXPECT_EQ(api::Database::ToXml(*before), serialized_before);
+
+  auto after = db.QueryPath("//person/name");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(api::Database::ToXml(*after), serialized_before)
+      << "replacement should be visible to new queries";
+}
+
+// ---------------------------------------------------------------------------
+// Mixed stress (the TSan target)
+
+TEST(MixedStressTest, ConcurrentQueriesSwapsAndCancels) {
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 30;
+  constexpr uint64_t kSeed = 2026;
+
+  // Two document versions; precompute the expected answer for each so a
+  // worker can verify its (pinned) result no matter which version it saw.
+  auto v1 = Auction(0.02, 7);
+  auto v2 = Auction(0.02, 99);
+  const char* kPaths[] = {
+      "//person/name",
+      "//person[address]/name",
+      "//item/location",
+      "//open_auction[bidder]/current",
+  };
+  std::vector<std::string> expected_v1, expected_v2;
+  {
+    api::Database ref;
+    ASSERT_TRUE(ref.RegisterDocument("a.xml", Auction(0.02, 7)).ok());
+    for (const char* path : kPaths) {
+      auto r = ref.QueryPath(path);
+      ASSERT_TRUE(r.ok());
+      expected_v1.push_back(api::Database::ToXml(*r));
+    }
+  }
+  {
+    api::Database ref;
+    ASSERT_TRUE(ref.RegisterDocument("a.xml", Auction(0.02, 99)).ok());
+    for (const char* path : kPaths) {
+      auto r = ref.QueryPath(path);
+      ASSERT_TRUE(r.ok());
+      expected_v2.push_back(api::Database::ToXml(*r));
+    }
+  }
+
+  api::Database db;
+  ASSERT_TRUE(db.RegisterDocument("a.xml", std::move(v1)).ok());
+  db.SetAdmission({.max_concurrent = 4, .max_queue = 8,
+                   .queue_deadline_micros = 5000});
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> latest_query_id{0};
+  std::atomic<int> correct{0}, cancelled{0}, exhausted{0};
+  std::atomic<int> failures{0};
+  std::vector<std::string> failure_notes(kThreads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng = Rng::Stream(kSeed, static_cast<uint64_t>(t));
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const size_t which = rng.Below(std::size(kPaths));
+        api::QueryOptions options;
+        std::atomic<uint64_t> id{0};
+        options.query_id_out = &id;
+        auto result = db.QueryPath(kPaths[which], {}, options);
+        latest_query_id.store(id.load(), std::memory_order_relaxed);
+        if (result.ok()) {
+          const std::string got = api::Database::ToXml(*result);
+          if (got == expected_v1[which] || got == expected_v2[which]) {
+            correct.fetch_add(1);
+          } else {
+            failures.fetch_add(1);
+            failure_notes[t] = std::string("wrong result for ") +
+                               kPaths[which];
+          }
+        } else if (result.status().code() == StatusCode::kCancelled) {
+          cancelled.fetch_add(1);
+        } else if (result.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          exhausted.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+          failure_notes[t] = result.status().ToString();
+        }
+      }
+    });
+  }
+
+  // Writer: keep swapping between the two versions while workers query.
+  std::thread swapper([&] {
+    uint64_t flip = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t seed = (flip++ % 2 == 0) ? 99 : 7;
+      ASSERT_TRUE(db.RegisterDocument("a.xml", Auction(0.02, seed)).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Canceller: fire Cancel at whatever query id was last published.
+  std::thread canceller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t id = latest_query_id.load(std::memory_order_relaxed);
+      if (id != 0) db.Cancel(id);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  swapper.join();
+  canceller.join();
+
+  EXPECT_EQ(failures.load(), 0)
+      << "first failure note: " << [&] {
+           for (const std::string& note : failure_notes) {
+             if (!note.empty()) return note;
+           }
+           return std::string("none");
+         }();
+  EXPECT_EQ(correct.load() + cancelled.load() + exhausted.load(),
+            kThreads * kQueriesPerThread);
+  EXPECT_GT(correct.load(), 0);
+
+  const exec::AdmissionStats stats = db.admission_stats();
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.submitted,
+            static_cast<uint64_t>(kThreads * kQueriesPerThread));
+  EXPECT_LE(stats.peak_running, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injector thread safety
+
+TEST(FaultInjectorConcurrencyTest, ExactTotalsAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 100;
+  FaultInjector::Instance().Reset();
+  FaultInjector::Instance().Arm("test.concurrent.site", /*skip=*/5,
+                                /*count=*/3);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        if (XMLQ_FAULT("test.concurrent.site")) fired.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Across any interleaving: exactly `count` fires after exactly `skip`
+  // passes, and every call recorded a hit.
+  EXPECT_EQ(fired.load(), 3);
+  EXPECT_EQ(FaultInjector::Instance().Hits("test.concurrent.site"),
+            static_cast<uint64_t>(kThreads * kCallsPerThread));
+  FaultInjector::Instance().Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread Rng streams
+
+TEST(RngStreamTest, StreamsAreDeterministicAndDecorrelated) {
+  Rng a0 = Rng::Stream(42, 0);
+  Rng a0_again = Rng::Stream(42, 0);
+  Rng a1 = Rng::Stream(42, 1);
+  Rng b0 = Rng::Stream(43, 0);
+  const uint64_t x = a0.Next();
+  EXPECT_EQ(x, a0_again.Next());  // pure function of (seed, stream)
+  EXPECT_NE(x, a1.Next());        // adjacent streams differ
+  EXPECT_NE(x, b0.Next());        // adjacent seeds differ
+}
+
+}  // namespace
+}  // namespace xmlq

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "xmlq/api/database.h"
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/datagen/auction_gen.h"
 #include "xmlq/datagen/random_tree.h"
 
@@ -192,6 +193,80 @@ TEST_P(RandomTreeDifferentialTest, FixedSuiteAgreesOnSeededTrees) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeDifferentialTest,
                          ::testing::Values(101ull, 202ull, 303ull, 404ull));
+
+// Graceful degradation oracle: with a fault armed inside a τ engine, the
+// fallback retry on naive navigation must still produce results
+// byte-identical to a clean naive run, and the downgrade must be visible.
+// Uses a private Database so the armed faults (and the breaker state they
+// accumulate) cannot leak into the shared fixture above.
+TEST(FaultFallbackDifferentialTest, FaultedEnginesMatchNaiveViaFallback) {
+  api::Database db;
+  datagen::AuctionOptions doc_options;
+  doc_options.scale = 0.04;
+  doc_options.seed = 11;
+  ASSERT_TRUE(
+      db.RegisterDocument("auction.xml",
+                          datagen::GenerateAuctionSite(doc_options))
+          .ok());
+  const char* twig_paths[] = {
+      "//person[address]/name",
+      "//item[payment = 'Cash']/location",
+      "//open_auction[bidder]/current",
+      "/site/regions/*/item/name",
+  };
+  // PathStack only runs linear chains itself (twigs dispatch to TwigStack),
+  // so its fault site needs predicate-free paths to be reached.
+  const char* linear_paths[] = {
+      "/site/people/person/name",
+      "//person/profile/education",
+      "/site/regions/*/item/name",
+      "//category/description/text",
+  };
+  const struct {
+    exec::PatternStrategy strategy;
+    const char* site;
+    const char* const* paths;
+    size_t path_count;
+  } kFaultedEngines[] = {
+      {exec::PatternStrategy::kNok, "exec.nok.match", twig_paths,
+       std::size(twig_paths)},
+      {exec::PatternStrategy::kTwigStack, "exec.twigstack.match", twig_paths,
+       std::size(twig_paths)},
+      {exec::PatternStrategy::kPathStack, "exec.pathstack.match",
+       linear_paths, std::size(linear_paths)},
+      {exec::PatternStrategy::kBinaryJoin, "exec.binaryjoin.match",
+       twig_paths, std::size(twig_paths)},
+  };
+  for (const auto& engine : kFaultedEngines) {
+    // Wide breaker threshold: every query takes the fault + retry path
+    // instead of tripping into quarantine (quarantine is tested elsewhere).
+    db.SetBreaker({.fault_threshold = 1000, .cooldown_admissions = 1000});
+    for (size_t p = 0; p < engine.path_count; ++p) {
+      const char* path = engine.paths[p];
+      api::QueryOptions naive_options;
+      naive_options.auto_optimize = false;
+      naive_options.strategy = exec::PatternStrategy::kNaive;
+      auto expected = db.QueryPath(path, {}, naive_options);
+      ASSERT_TRUE(expected.ok()) << path;
+
+      FaultInjector::Instance().Arm(engine.site);
+      api::QueryOptions options;
+      options.auto_optimize = false;
+      options.strategy = engine.strategy;
+      auto got = db.QueryPath(path, {}, options);
+      FaultInjector::Instance().Reset();
+
+      ASSERT_TRUE(got.ok())
+          << path << " [" << engine.site << "]: " << got.status().ToString();
+      EXPECT_TRUE(got->degraded) << path << " [" << engine.site << "]";
+      EXPECT_NE(got->degradation.find("naive"), std::string::npos)
+          << got->degradation;
+      EXPECT_EQ(api::Database::ToXml(*got),
+                api::Database::ToXml(*expected))
+          << path << " [" << engine.site << "]";
+    }
+  }
+}
 
 }  // namespace
 }  // namespace xmlq
