@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -53,6 +54,15 @@ void PrintHelp() {
       "  .save <name> <file>     write a document as an xqpack snapshot\n"
       "  .open <name> <file> [mmap|copy]\n"
       "                          open an xqpack snapshot (default mmap)\n"
+      "  .attach <dir> [mmap|copy]\n"
+      "                          attach a durable store: recover the\n"
+      "                          manifest journal + verified snapshots\n"
+      "  .persist [name]         durably save a document into the store\n"
+      "  .remove <name>          remove a document (and its snapshot)\n"
+      "  .scrub [deep]           verify every stored snapshot now;\n"
+      "                          corrupt ones are quarantined\n"
+      "  .scrubber <interval_ms> [deep] | .scrubber off\n"
+      "                          run the integrity scrubber periodically\n"
       "  .serve <max_concurrent> [max_queue] [deadline_ms]\n"
       "                          bound concurrent queries; excess queries\n"
       "                          queue and are shed after the deadline\n"
@@ -254,6 +264,83 @@ int main() {
                       : "copied");
       continue;
     }
+    if (word == ".attach") {
+      std::string dir, mode_word;
+      in >> dir >> mode_word;
+      if (dir.empty()) {
+        std::printf("usage: .attach <dir> [mmap|copy]\n");
+        continue;
+      }
+      const auto mode = mode_word == "copy"
+                            ? xmlq::storage::SnapshotOpenMode::kCopy
+                            : xmlq::storage::SnapshotOpenMode::kMap;
+      auto report = db.Attach(dir, mode);
+      if (!report.ok()) {
+        std::printf("%s\n", report.status().ToString().c_str());
+        continue;
+      }
+      // Recovered documents are queryable but unknown to the local name
+      // list; refresh it from the report.
+      for (const std::string& doc : report->loaded) {
+        doc_names.push_back(doc.substr(0, doc.find(" (")));
+      }
+      std::printf("%s", report->ToString().c_str());
+      continue;
+    }
+    if (word == ".persist") {
+      std::string name;
+      in >> name;
+      const xmlq::Status status = db.Persist(name);
+      std::printf("%s\n", status.ok() ? "persisted"
+                                      : status.ToString().c_str());
+      continue;
+    }
+    if (word == ".remove") {
+      std::string name;
+      in >> name;
+      const xmlq::Status status = db.Remove(name);
+      if (status.ok()) {
+        std::erase(doc_names, name);
+        std::printf("removed %s\n", name.c_str());
+      } else {
+        std::printf("%s\n", status.ToString().c_str());
+      }
+      continue;
+    }
+    if (word == ".scrub") {
+      std::string deep_word;
+      in >> deep_word;
+      xmlq::api::ScrubOptions scrub;
+      scrub.deep = deep_word == "deep";
+      auto report = db.Scrub(scrub);
+      std::printf("%s", report.ok()
+                            ? report->ToString().c_str()
+                            : (report.status().ToString() + "\n").c_str());
+      continue;
+    }
+    if (word == ".scrubber") {
+      std::string arg, deep_word;
+      in >> arg >> deep_word;
+      if (arg == "off") {
+        db.StopScrubber();
+        std::printf("scrubber: off (%llu cycles, %llu skipped)\n",
+                    static_cast<unsigned long long>(db.scrub_cycles()),
+                    static_cast<unsigned long long>(
+                        db.scrub_cycles_skipped()));
+        continue;
+      }
+      const uint64_t interval_ms = std::strtoull(arg.c_str(), nullptr, 10);
+      if (interval_ms == 0) {
+        std::printf("usage: .scrubber <interval_ms> [deep] | .scrubber off\n");
+        continue;
+      }
+      xmlq::api::ScrubOptions scrub;
+      scrub.deep = deep_word == "deep";
+      const xmlq::Status status = db.StartScrubber(interval_ms, scrub);
+      std::printf("%s\n", status.ok() ? "scrubber: on"
+                                      : status.ToString().c_str());
+      continue;
+    }
     if (word == ".explain") {
       std::string query = line.substr(line.find(".explain") + 8);
       // `.explain analyze <q>` executes the query and renders the profile.
@@ -382,6 +469,9 @@ int main() {
     std::printf("%s\n(%zu items)\n",
                 xmlq::api::Database::ToXml(*result, /*indent=*/true).c_str(),
                 result->value.size());
+    if (result->degraded) {
+      std::printf("degraded: %s\n", result->degradation.c_str());
+    }
   }
   // Cancel and join any still-running background queries before teardown.
   for (const auto& job : jobs) {

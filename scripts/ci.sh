@@ -13,6 +13,11 @@
 #   4. tsan stress    — ThreadSanitizer build running the `stress`-labeled
 #                       concurrent-serving suite (admission, cancellation,
 #                       catalog swaps, breaker)
+#   5. asan recovery  — AddressSanitizer re-run of the `recovery`-labeled
+#                       crash-safety suite (fork/kill-point matrix, manifest
+#                       replay/fuzz, scrubber): the recovery paths touch
+#                       freshly truncated/quarantined files and forked
+#                       children, exactly where memory bugs hide
 #
 # Everything — build trees and test temp files (snapshot_test writes its
 # *.xqpack scratch files into the ctest working directory) — stays under
@@ -57,4 +62,13 @@ done
 echo "== tsan stress suite =="
 "${ROOT}/tests/run_sanitized.sh" thread -j "${JOBS}" -L stress
 
-echo "ci: tier-1 + differential + sanitizers + tsan stress green"
+# The crash matrix once more under ASan (the plain-build run already
+# happened inside the tier-1 gate): every kill point forks a child that
+# dies mid-write, and recovery then replays torn journals and quarantines
+# corrupt snapshots — pointer arithmetic over hostile bytes that deserves
+# instrumentation. Serial (-j 1): the fork-heavy matrix is timing-sensitive
+# under ASan's slowdown.
+echo "== asan recovery suite =="
+"${ROOT}/tests/run_sanitized.sh" address -j 1 -L recovery
+
+echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery green"

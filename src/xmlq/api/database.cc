@@ -1,7 +1,18 @@
 #include "xmlq/api/database.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <system_error>
 #include <utility>
 
+#include "xmlq/base/crash_point.h"
+#include "xmlq/base/crc32.h"
+#include "xmlq/base/file_io.h"
 #include "xmlq/base/strings.h"
 #include "xmlq/xml/parser.h"
 #include "xmlq/xml/serializer.h"
@@ -53,10 +64,8 @@ Status Database::RegisterDocument(std::string name,
   return Install(std::move(name), std::move(entry));
 }
 
-Status Database::Open(std::string name, const std::string& path,
-                      storage::SnapshotOpenMode mode) {
-  XMLQ_ASSIGN_OR_RETURN(storage::OpenedSnapshot snapshot,
-                        storage::OpenSnapshot(path, mode));
+std::shared_ptr<Database::Entry> Database::EntryFromSnapshot(
+    storage::OpenedSnapshot snapshot) {
   auto entry = std::make_shared<Entry>();
   entry->dom = std::move(snapshot.dom);
   entry->succinct = std::move(snapshot.succinct);
@@ -70,7 +79,14 @@ Status Database::Open(std::string name, const std::string& path,
   entry->view = exec::IndexedDocument{entry->dom.get(), entry->succinct.get(),
                                       entry->regions.get(),
                                       entry->values.get()};
-  return Install(std::move(name), std::move(entry));
+  return entry;
+}
+
+Status Database::Open(std::string name, const std::string& path,
+                      storage::SnapshotOpenMode mode) {
+  XMLQ_ASSIGN_OR_RETURN(storage::OpenedSnapshot snapshot,
+                        storage::OpenSnapshot(path, mode));
+  return Install(std::move(name), EntryFromSnapshot(std::move(snapshot)));
 }
 
 Status Database::Install(std::string name,
@@ -98,6 +114,549 @@ Result<storage::SnapshotWriteInfo> Database::Save(
   }
   return storage::WriteSnapshot(path, *entry->dom, *entry->succinct,
                                 *entry->regions, *entry->values, *entry->tags);
+}
+
+// -- Durable store ----------------------------------------------------------
+
+namespace {
+
+/// Reads `path` whole into `out` in chunks, sleeping between chunks so the
+/// cumulative rate stays under `max_bytes_per_second` (0 = unthrottled).
+/// The scrubber's I/O primitive: bounded-rate, never mmap (a read() of a
+/// corrupt file cannot SIGBUS a serving query).
+Status ReadThrottled(const std::string& path, uint64_t max_bytes_per_second,
+                     std::string* out, uint64_t* bytes_read) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open snapshot \"" + path +
+                            "\" for scrub: " + std::strerror(errno));
+  }
+  constexpr size_t kChunk = 256 * 1024;
+  std::vector<char> chunk(kChunk);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t total = 0;
+  while (true) {
+    const size_t n = std::fread(chunk.data(), 1, kChunk, file);
+    if (n > 0) {
+      out->append(chunk.data(), n);
+      total += n;
+      *bytes_read += n;
+    }
+    if (n < kChunk) {
+      const bool failed = std::ferror(file) != 0;
+      std::fclose(file);
+      if (failed) {
+        return Status::Internal("read error in snapshot \"" + path +
+                                "\" at offset " + std::to_string(total));
+      }
+      return Status::Ok();
+    }
+    if (max_bytes_per_second > 0) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration<double>(
+                      static_cast<double>(total) / max_bytes_per_second));
+    }
+  }
+}
+
+void AppendLines(std::string* out, std::string_view label,
+                 const std::vector<std::string>& lines) {
+  for (const std::string& line : lines) {
+    out->append(label);
+    out->append(line);
+    out->push_back('\n');
+  }
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::string out = "store " + dir + ": " + std::to_string(loaded.size()) +
+                    " document(s), " + std::to_string(manifest_records) +
+                    " manifest record(s)";
+  if (manifest_torn_bytes > 0) {
+    out += ", torn tail truncated (" + std::to_string(manifest_torn_bytes) +
+           " bytes: " + manifest_torn_detail + ")";
+  }
+  out.push_back('\n');
+  AppendLines(&out, "  loaded ", loaded);
+  AppendLines(&out, "  quarantined ", quarantined);
+  AppendLines(&out, "  removed orphan ", orphans_removed);
+  return out;
+}
+
+std::string ScrubReport::ToString() const {
+  std::string out = "scrub: " + std::to_string(files_checked) +
+                    " snapshot(s), " + std::to_string(bytes_read) +
+                    " bytes read (" + (deep ? "deep" : "checksum") +
+                    "), " + std::to_string(corrupt) + " corrupt\n";
+  AppendLines(&out, "  quarantined ", quarantined);
+  AppendLines(&out, "  ", notes);
+  return out;
+}
+
+Database::~Database() { StopScrubber(); }
+
+Result<RecoveryReport> Database::Attach(const std::string& dir,
+                                        storage::SnapshotOpenMode mode) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (manifest_ != nullptr) {
+    return Status::InvalidArgument("already attached to store \"" +
+                                   manifest_->dir() + "\"");
+  }
+  XMLQ_ASSIGN_OR_RETURN(storage::Manifest manifest,
+                        storage::Manifest::Open(dir));
+  RecoveryReport report;
+  report.dir = dir;
+  report.manifest_records = manifest.replay().records;
+  report.manifest_valid_bytes = manifest.replay().valid_bytes;
+  report.manifest_torn_bytes = manifest.replay().torn_bytes;
+  report.manifest_torn_detail = manifest.replay().torn_detail;
+
+  // Verify and load every live snapshot. The whole-file CRC recorded in the
+  // manifest at commit time is checked against a fresh read *before* the
+  // image is trusted, so a snapshot corrupted at rest — even one whose
+  // in-file checksums were consistently recomputed — never reaches the
+  // catalog. Failures quarantine the file and keep going: one bad snapshot
+  // must not take down the rest of the store.
+  const std::vector<storage::ManifestRecord> records = [&] {
+    std::vector<storage::ManifestRecord> out;
+    for (const auto& [name, record] : manifest.entries()) {
+      out.push_back(record);
+    }
+    return out;
+  }();
+  struct Recovered {
+    uint64_t generation;
+    std::string name;
+    std::shared_ptr<const Entry> entry;
+  };
+  std::vector<Recovered> recovered;
+  for (const storage::ManifestRecord& record : records) {
+    const std::string path = dir + "/" + record.file;
+    auto load = [&]() -> Result<std::shared_ptr<const Entry>> {
+      XMLQ_ASSIGN_OR_RETURN(FileBytes bytes, FileBytes::ReadWhole(path));
+      if (bytes.size() != record.snapshot_size) {
+        return Status::ParseError(
+            "snapshot \"" + path + "\": size " +
+            std::to_string(bytes.size()) + " != manifest size " +
+            std::to_string(record.snapshot_size));
+      }
+      const uint32_t crc = Crc32(bytes.data(), bytes.size());
+      if (crc != record.snapshot_crc) {
+        return Status::ParseError(
+            "snapshot \"" + path + "\": whole-file checksum mismatch " +
+            "(manifest " + std::to_string(record.snapshot_crc) +
+            ", computed " + std::to_string(crc) + ")");
+      }
+      storage::OpenedSnapshot snapshot;
+      if (mode == storage::SnapshotOpenMode::kMap) {
+        // Re-open as a mapping; the bytes just verified stay warm in the
+        // page cache, so this does not re-read the file from disk.
+        XMLQ_ASSIGN_OR_RETURN(snapshot, storage::OpenSnapshot(path, mode));
+      } else {
+        XMLQ_ASSIGN_OR_RETURN(
+            snapshot, storage::OpenSnapshotFromBytes(std::move(bytes), mode,
+                                                     path));
+      }
+      return std::shared_ptr<const Entry>(
+          EntryFromSnapshot(std::move(snapshot)));
+    };
+    auto entry = load();
+    if (entry.ok()) {
+      recovered.push_back(
+          Recovered{record.generation, record.name, *std::move(entry)});
+      report.loaded.push_back(record.name + " (g" +
+                              std::to_string(record.generation) + ", " +
+                              record.file + ")");
+      continue;
+    }
+    // Quarantine: move the file aside (keeping the evidence) and journal
+    // the drop so the next recovery does not retry it.
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".quarantined", ec);
+    storage::ManifestRecord quarantine;
+    quarantine.op = storage::ManifestOp::kQuarantine;
+    quarantine.generation = manifest.NextGeneration();
+    quarantine.name = record.name;
+    quarantine.file = record.file;
+    XMLQ_RETURN_IF_ERROR(manifest.Append(quarantine));
+    (void)SyncParentDir(path);
+    report.quarantined.push_back(record.name + " (" + record.file +
+                                 "): " + entry.status().message());
+  }
+
+  // Garbage-collect files no committed record references: snapshots from a
+  // Persist that crashed before its manifest append, old generations whose
+  // unlink crashed, and stray atomic-write temp files. Quarantined evidence
+  // and the journal itself are kept.
+  std::error_code ec;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir, ec)) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const std::string file = dirent.path().filename().string();
+    if (file == storage::kManifestFileName) continue;
+    const bool is_snapshot = file.size() > 7 &&
+                             file.compare(file.size() - 7, 7, ".xqpack") == 0;
+    const bool is_temp = file.find(".tmp") != std::string::npos;
+    if (!is_snapshot && !is_temp) continue;
+    bool referenced = false;
+    for (const auto& [name, record] : manifest.entries()) {
+      if (record.file == file) {
+        referenced = true;
+        break;
+      }
+    }
+    if (referenced) continue;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(dirent.path(), remove_ec)) {
+      report.orphans_removed.push_back(file);
+    }
+  }
+  if (!report.orphans_removed.empty()) (void)SyncParentDir(dir + "/x");
+
+  // Install every recovered document in one catalog swap; the lowest
+  // generation becomes the default document when none is set yet (it is
+  // the oldest surviving registration, matching load order semantics).
+  std::sort(recovered.begin(), recovered.end(),
+            [](const Recovered& a, const Recovered& b) {
+              return a.generation < b.generation;
+            });
+  {
+    std::lock_guard<std::mutex> catalog_lock(catalog_mu_);
+    auto next = std::make_shared<CatalogState>(*catalog_);
+    for (Recovered& doc : recovered) {
+      if (next->default_document.empty()) next->default_document = doc.name;
+      next->entries[doc.name] = std::move(doc.entry);
+    }
+    catalog_ = std::move(next);
+  }
+  manifest_ = std::make_unique<storage::Manifest>(std::move(manifest));
+  store_mode_ = mode;
+  return report;
+}
+
+Status Database::Persist(std::string_view name) {
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  const std::string doc_name = name.empty() ? catalog->default_document
+                                            : std::string(name);
+  const Entry* entry = catalog->Find(doc_name);
+  if (entry == nullptr) {
+    return Status::NotFound("document \"" + doc_name + "\" is not loaded");
+  }
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (manifest_ == nullptr) {
+    return Status::InvalidArgument(
+        "no store attached (Attach a directory first)");
+  }
+  XMLQ_CRASH_POINT("persist.begin");
+  const uint64_t generation = manifest_->NextGeneration();
+  const std::string file = storage::Manifest::SanitizeFileStem(doc_name) +
+                           "-g" + std::to_string(generation) + ".xqpack";
+  const std::string path = manifest_->dir() + "/" + file;
+  XMLQ_ASSIGN_OR_RETURN(
+      storage::SnapshotWriteInfo info,
+      storage::WriteSnapshot(path, *entry->dom, *entry->succinct,
+                             *entry->regions, *entry->values, *entry->tags));
+  XMLQ_CRASH_POINT("persist.snapshot_written");
+  std::string old_file;
+  if (const auto it = manifest_->entries().find(doc_name);
+      it != manifest_->entries().end()) {
+    old_file = it->second.file;
+  }
+  storage::ManifestRecord record;
+  record.op = storage::ManifestOp::kRegister;
+  record.generation = generation;
+  record.name = doc_name;
+  record.file = file;
+  record.snapshot_size = info.file_size;
+  record.snapshot_crc = info.file_crc;
+  // The append below is the commit point: before it, recovery sees the old
+  // state (the new file is an unreferenced orphan); after it, the new.
+  XMLQ_RETURN_IF_ERROR(manifest_->Append(record));
+  XMLQ_CRASH_POINT("persist.committed");
+  if (!old_file.empty() && old_file != file) {
+    // Best-effort: a crash before this unlink leaves an orphan the next
+    // Attach garbage-collects. An mmap of the old file stays valid.
+    std::error_code ec;
+    std::filesystem::remove(manifest_->dir() + "/" + old_file, ec);
+    (void)SyncParentDir(path);
+  }
+  return Status::Ok();
+}
+
+Status Database::Remove(std::string_view name) {
+  if (name.empty()) return Status::InvalidArgument("document name required");
+  const std::string doc_name(name);
+  bool in_store = false;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    if (manifest_ != nullptr) {
+      const auto it = manifest_->entries().find(doc_name);
+      if (it != manifest_->entries().end()) {
+        in_store = true;
+        const std::string file = it->second.file;
+        XMLQ_CRASH_POINT("remove.begin");
+        storage::ManifestRecord record;
+        record.op = storage::ManifestOp::kRemove;
+        record.generation = manifest_->NextGeneration();
+        record.name = doc_name;
+        // The commit point: after this append recovery no longer serves the
+        // document, even if the unlink below never happens.
+        XMLQ_RETURN_IF_ERROR(manifest_->Append(record));
+        XMLQ_CRASH_POINT("remove.committed");
+        std::error_code ec;
+        std::filesystem::remove(manifest_->dir() + "/" + file, ec);
+        (void)SyncParentDir(manifest_->dir() + "/" + file);
+      }
+    }
+  }
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto next = std::make_shared<CatalogState>(*catalog_);
+    dropped = next->entries.erase(doc_name) > 0;
+    next->degraded.erase(doc_name);
+    if (next->default_document == doc_name) {
+      next->default_document =
+          next->entries.empty() ? "" : next->entries.begin()->first;
+    }
+    catalog_ = std::move(next);
+  }
+  if (!in_store && !dropped) {
+    return Status::NotFound("document \"" + doc_name + "\" is not loaded");
+  }
+  return Status::Ok();
+}
+
+Result<ScrubReport> Database::Scrub(const ScrubOptions& options) {
+  ScrubReport report;
+  report.deep = options.deep;
+  std::string dir;
+  std::vector<storage::ManifestRecord> records;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    if (manifest_ == nullptr) {
+      return Status::InvalidArgument(
+          "no store attached (Attach a directory first)");
+    }
+    dir = manifest_->dir();
+    for (const auto& [name, record] : manifest_->entries()) {
+      records.push_back(record);
+    }
+  }
+  for (const storage::ManifestRecord& record : records) {
+    const std::string path = dir + "/" + record.file;
+    std::string image;
+    Status status =
+        ReadThrottled(path, options.max_bytes_per_second, &image,
+                      &report.bytes_read);
+    ++report.files_checked;
+    if (status.ok() && image.size() != record.snapshot_size) {
+      status = Status::ParseError(
+          "snapshot \"" + path + "\": size " + std::to_string(image.size()) +
+          " != manifest size " + std::to_string(record.snapshot_size));
+    }
+    if (status.ok()) {
+      // The manifest CRC is the authority: it was computed from the bytes
+      // WriteSnapshot committed, so corruption that recomputed the in-file
+      // header/section checksums to cover its tracks still fails here.
+      const uint32_t crc = Crc32(image.data(), image.size());
+      if (crc != record.snapshot_crc) {
+        status = Status::ParseError(
+            "snapshot \"" + path + "\": whole-file checksum mismatch " +
+            "(manifest " + std::to_string(record.snapshot_crc) +
+            ", computed " + std::to_string(crc) + ")");
+      }
+    }
+    if (status.ok()) {
+      status = storage::VerifySnapshotImage(
+          std::span<const char>(image.data(), image.size()), options.deep,
+          path);
+    }
+    if (status.ok()) continue;
+    // Only an actual quarantine counts as corruption: a concurrent Persist
+    // may have replaced (and unlinked) this generation mid-read, which
+    // QuarantineSnapshot detects and skips.
+    const size_t before = report.quarantined.size();
+    XMLQ_RETURN_IF_ERROR(
+        QuarantineSnapshot(record, status.message(), &report));
+    if (report.quarantined.size() > before) ++report.corrupt;
+  }
+  {
+    std::lock_guard<std::mutex> lock(scrub_report_mu_);
+    last_scrub_ = report;
+  }
+  return report;
+}
+
+Status Database::QuarantineSnapshot(const storage::ManifestRecord& record,
+                                    const std::string& reason,
+                                    ScrubReport* report) {
+  const std::string path_prefix = [&] {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    return manifest_ == nullptr ? std::string() : manifest_->dir();
+  }();
+  const std::string path = path_prefix + "/" + record.file;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    if (manifest_ == nullptr) return Status::Ok();
+    // A concurrent Persist may have replaced this generation while we were
+    // reading; then the corrupt bytes are already unlinked history.
+    const auto it = manifest_->entries().find(record.name);
+    if (it == manifest_->entries().end() ||
+        it->second.generation != record.generation) {
+      report->notes.push_back(record.name +
+                              ": replaced concurrently, skipped");
+      return Status::Ok();
+    }
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".quarantined", ec);
+    storage::ManifestRecord quarantine;
+    quarantine.op = storage::ManifestOp::kQuarantine;
+    quarantine.generation = manifest_->NextGeneration();
+    quarantine.name = record.name;
+    quarantine.file = record.file;
+    XMLQ_RETURN_IF_ERROR(manifest_->Append(quarantine));
+    (void)SyncParentDir(path);
+    report->quarantined.push_back(record.name + " (" + record.file +
+                                  "): " + reason);
+  }
+
+  // Degrade the serving document. A kCopy (or purely in-memory) entry owns
+  // bytes validated at load time — it keeps serving, flagged. A kMap entry
+  // points at the poisoned file: re-validate a private copy of the mapped
+  // bytes and swap it in, or drop the document when the corruption reads
+  // through the mapping. In-flight queries are safe either way: they hold
+  // catalog pins, and the quarantine *renamed* the file (same inode, the
+  // mapping stays backed).
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  const auto it = catalog->entries.find(record.name);
+  if (it == catalog->entries.end()) {
+    report->notes.push_back(record.name + ": not in serving catalog");
+    return Status::Ok();
+  }
+  const Entry& entry = *it->second;
+  const bool mapped = entry.backing != nullptr &&
+                      entry.backing->mode() == storage::SnapshotOpenMode::kMap &&
+                      entry.backing->path() == path;
+  std::string note;
+  std::shared_ptr<const Entry> replacement;
+  bool drop = false;
+  if (!mapped) {
+    note = "snapshot quarantined (" + reason +
+           "); serving load-time-validated in-memory copy";
+  } else {
+    auto reopened = storage::OpenSnapshotFromBytes(
+        FileBytes::Copy(std::string_view(entry.backing->bytes().data(),
+                                         entry.backing->bytes().size())),
+        storage::SnapshotOpenMode::kCopy, path);
+    if (reopened.ok()) {
+      replacement = EntryFromSnapshot(std::move(*reopened));
+      note = "snapshot quarantined (" + reason +
+             "); remapped to revalidated in-memory copy";
+    } else {
+      drop = true;
+      note = "snapshot quarantined and mapped bytes corrupt (" +
+             reopened.status().message() + "); document dropped";
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto next = std::make_shared<CatalogState>(*catalog_);
+    if (drop) {
+      next->entries.erase(record.name);
+      next->degraded.erase(record.name);
+      if (next->default_document == record.name) {
+        next->default_document =
+            next->entries.empty() ? "" : next->entries.begin()->first;
+      }
+    } else {
+      if (replacement != nullptr) {
+        next->entries[record.name] = std::move(replacement);
+      }
+      next->degraded[record.name] = note;
+    }
+    catalog_ = std::move(next);
+  }
+  report->notes.push_back(record.name + ": " + note);
+  return Status::Ok();
+}
+
+Status Database::StartScrubber(uint64_t interval_ms, ScrubOptions options) {
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    if (manifest_ == nullptr) {
+      return Status::InvalidArgument(
+          "no store attached (Attach a directory first)");
+    }
+  }
+  std::lock_guard<std::mutex> lock(scrub_mu_);
+  if (scrub_thread_.joinable()) {
+    return Status::InvalidArgument("scrubber already running");
+  }
+  scrub_stop_ = false;
+  scrub_thread_ = std::thread(
+      [this, interval_ms, options] { ScrubberLoop(interval_ms, options); });
+  return Status::Ok();
+}
+
+void Database::ScrubberLoop(uint64_t interval_ms, ScrubOptions options) {
+  std::unique_lock<std::mutex> lock(scrub_mu_);
+  while (!scrub_stop_) {
+    if (scrub_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return scrub_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    // Only scrub when serving has spare capacity: a pass that cannot get an
+    // execution slot is skipped, not queued (the next tick retries).
+    auto ticket = scheduler_.TryAdmit();
+    if (ticket.ok()) {
+      auto report = Scrub(options);
+      std::lock_guard<std::mutex> report_lock(scrub_report_mu_);
+      if (report.ok()) ++scrub_cycles_;
+    } else {
+      std::lock_guard<std::mutex> report_lock(scrub_report_mu_);
+      ++scrub_skipped_;
+    }
+    lock.lock();
+  }
+}
+
+void Database::StopScrubber() {
+  std::thread thread;
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = true;
+    thread = std::move(scrub_thread_);
+  }
+  scrub_cv_.notify_all();
+  if (thread.joinable()) thread.join();
+}
+
+bool Database::scrubber_running() const {
+  std::lock_guard<std::mutex> lock(scrub_mu_);
+  return scrub_thread_.joinable();
+}
+
+ScrubReport Database::last_scrub_report() const {
+  std::lock_guard<std::mutex> lock(scrub_report_mu_);
+  return last_scrub_;
+}
+
+uint64_t Database::scrub_cycles() const {
+  std::lock_guard<std::mutex> lock(scrub_report_mu_);
+  return scrub_cycles_;
+}
+
+uint64_t Database::scrub_cycles_skipped() const {
+  std::lock_guard<std::mutex> lock(scrub_report_mu_);
+  return scrub_skipped_;
+}
+
+std::string Database::store_dir() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return manifest_ == nullptr ? std::string() : manifest_->dir();
 }
 
 bool Database::Contains(std::string_view name) const {
@@ -145,6 +704,12 @@ void CollectPatterns(const LogicalExpr& plan,
                      std::vector<const LogicalExpr*>* out) {
   if (plan.op == LogicalOp::kTreePattern) out->push_back(&plan);
   for (const auto& child : plan.children) CollectPatterns(*child, out);
+}
+
+/// Every document name the plan scans (for the degraded-doc check).
+void CollectDocNames(const LogicalExpr& plan, std::set<std::string>* out) {
+  if (plan.op == LogicalOp::kDocScan) out->insert(plan.str);
+  for (const auto& child : plan.children) CollectDocNames(*child, out);
 }
 
 /// First DocScan in the plan — the document the profile annotator uses for
@@ -288,10 +853,26 @@ Result<exec::QueryResult> Database::Run(
   if (!result.ok()) return result.status();
   result->profile = std::move(profile);
   result->query_id = query_id;
+  // Surface scrubber degradations for every document this query scanned,
+  // the same channel engine fallbacks use.
+  if (!catalog->degraded.empty()) {
+    std::set<std::string> docs;
+    CollectDocNames(*plan, &docs);
+    for (const std::string& doc : docs) {
+      const std::string& resolved =
+          doc.empty() ? catalog->default_document : doc;
+      const auto it = catalog->degraded.find(resolved);
+      if (it == catalog->degraded.end()) continue;
+      result->degraded = true;
+      if (!result->degradation.empty()) result->degradation += "; ";
+      result->degradation += "document \"" + it->first + "\": " + it->second;
+    }
+  }
   result->pinned = std::move(catalog);
   if (fallback.Degraded()) {
     result->degraded = true;
-    result->degradation =
+    if (!result->degradation.empty()) result->degradation += "; ";
+    result->degradation +=
         "τ engine " + fallback.from_strategy +
         (fallback.quarantined ? " quarantined (circuit breaker open)"
                               : " faulted (" + fallback.reason + ")") +

@@ -2,17 +2,21 @@
 #define XMLQ_API_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
 #include "xmlq/exec/admission.h"
 #include "xmlq/exec/executor.h"
 #include "xmlq/opt/synopsis.h"
+#include "xmlq/storage/manifest.h"
 #include "xmlq/storage/region_index.h"
 #include "xmlq/storage/snapshot.h"
 #include "xmlq/storage/succinct_doc.h"
@@ -73,6 +77,43 @@ struct StorageReport {
   size_t snapshot_file_bytes = 0;
 };
 
+/// What Database::Attach found while recovering a durable store directory
+/// (DESIGN.md §9): how much of the manifest journal replayed cleanly,
+/// which documents are being served, which snapshots failed verification
+/// and were quarantined, and which stray files were garbage-collected.
+struct RecoveryReport {
+  std::string dir;
+  uint64_t manifest_records = 0;     // journal records applied
+  uint64_t manifest_valid_bytes = 0; // journal prefix replayed
+  uint64_t manifest_torn_bytes = 0;  // torn tail truncated (0 = clean)
+  std::string manifest_torn_detail;  // why replay stopped, when torn
+  std::vector<std::string> loaded;       // "name (g<N>, file)"
+  std::vector<std::string> quarantined;  // "name (file): reason"
+  std::vector<std::string> orphans_removed;  // uncommitted files unlinked
+  std::string ToString() const;
+};
+
+/// Knobs for one integrity-scrub pass.
+struct ScrubOptions {
+  /// I/O throttle for the background scrubber; 0 = unthrottled (the
+  /// foreground `.scrub` default).
+  uint64_t max_bytes_per_second = 0;
+  /// Re-run the full structural validation (cross-section invariants, BP
+  /// balance, index fences) on top of the checksum sweep.
+  bool deep = false;
+};
+
+/// What one scrub pass found.
+struct ScrubReport {
+  uint64_t files_checked = 0;
+  uint64_t bytes_read = 0;
+  uint64_t corrupt = 0;  // snapshots that failed verification
+  bool deep = false;
+  std::vector<std::string> quarantined;  // "name (file): reason"
+  std::vector<std::string> notes;        // per-document fallback decisions
+  std::string ToString() const;
+};
+
 /// The embedded native XML database: owns documents in every physical
 /// representation (DOM, succinct store, region index, value index, path
 /// synopsis) and runs XPath/XQuery through the logical algebra, the rewrite
@@ -107,6 +148,8 @@ class Database {
   Database() = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+  /// Stops the background scrubber (if running) before members tear down.
+  ~Database();
 
   /// Parses `xml_text` and registers it under `name` (building all physical
   /// representations). The first document loaded also becomes the default
@@ -133,6 +176,67 @@ class Database {
   /// Corrupt or truncated files are rejected with a positioned kParseError.
   Status Open(std::string name, const std::string& path,
               storage::SnapshotOpenMode mode = storage::SnapshotOpenMode::kMap);
+
+  // -- Durable store (DESIGN.md §9) ---------------------------------------
+
+  /// Attaches this database to a durable store directory, creating it when
+  /// absent and *recovering* it when present: replays the manifest journal
+  /// (truncating any torn tail from a crashed append), verifies every live
+  /// snapshot against the whole-file checksum recorded at commit time,
+  /// quarantines snapshots that fail (renamed to `<file>.quarantined`,
+  /// journaled, the rest keep serving), garbage-collects files no committed
+  /// record references, and registers the surviving documents. The
+  /// lowest-generation recovered document becomes the default document when
+  /// none is set yet. At most one store may be attached per Database.
+  Result<RecoveryReport> Attach(
+      const std::string& dir,
+      storage::SnapshotOpenMode mode = storage::SnapshotOpenMode::kMap);
+
+  /// Durably persists document `name` (default document when empty) into
+  /// the attached store: writes a new-generation snapshot file, commits it
+  /// with one fsync'd manifest append, then unlinks the previous
+  /// generation. Crash-atomic: a crash anywhere leaves the store serving
+  /// exactly the old or exactly the new state after recovery. Kill points:
+  /// "persist.begin", "persist.snapshot_written", "persist.committed" (plus
+  /// the file-level sites inside the snapshot write and journal append).
+  Status Persist(std::string_view name = {});
+
+  /// Removes document `name` from the catalog and, when it is store-backed,
+  /// durably from the attached store (manifest append, then unlink). Kill
+  /// points: "remove.begin", "remove.committed".
+  Status Remove(std::string_view name);
+
+  /// One integrity-scrub pass over every live snapshot in the attached
+  /// store: re-reads each file (throttled to `max_bytes_per_second`),
+  /// verifies it against the manifest's whole-file CRC-32C — which catches
+  /// even corruption hiding behind recomputed in-file section checksums —
+  /// and re-validates the image (`deep` adds full structural validation).
+  /// A corrupt snapshot is quarantined; a document that was serving
+  /// straight off the corrupt mapping degrades to a revalidated in-memory
+  /// copy (or is dropped when the poison reached memory), and subsequent
+  /// query results carry the degradation note. Safe concurrently with
+  /// queries, Persist and Remove.
+  Result<ScrubReport> Scrub(const ScrubOptions& options = {});
+
+  /// Starts the background scrubber: one Scrub(options) pass every
+  /// `interval_ms`, each pass gated on a free admission slot
+  /// (QueryScheduler::TryAdmit) so scrub I/O never competes with a
+  /// saturated serving load. Requires an attached store.
+  Status StartScrubber(uint64_t interval_ms, ScrubOptions options = {});
+
+  /// Stops and joins the background scrubber; no-op when not running.
+  void StopScrubber();
+
+  bool scrubber_running() const;
+
+  /// Most recent background-scrub result (foreground Scrub also records
+  /// here) plus how many cycles ran / were skipped for lack of a slot.
+  ScrubReport last_scrub_report() const;
+  uint64_t scrub_cycles() const;
+  uint64_t scrub_cycles_skipped() const;
+
+  /// Directory of the attached store ("" when none).
+  std::string store_dir() const;
 
   /// Evaluates an XQuery expression. Thread-safe; may block in admission
   /// when SetAdmission() configured bounded concurrency.
@@ -221,6 +325,10 @@ class Database {
   struct CatalogState {
     std::map<std::string, std::shared_ptr<const Entry>, std::less<>> entries;
     std::string default_document;
+    /// Documents the scrubber degraded (snapshot quarantined; serving an
+    /// in-memory fallback): name -> note. Queries touching one surface the
+    /// note in QueryResult::degradation, like engine fallbacks do.
+    std::map<std::string, std::string, std::less<>> degraded;
 
     const Entry* Find(std::string_view name) const {
       const auto it = entries.find(name.empty()
@@ -232,6 +340,17 @@ class Database {
 
   std::shared_ptr<const CatalogState> Pin() const;
   Status Install(std::string name, std::shared_ptr<const Entry> entry);
+
+  /// Moves an opened snapshot's components into a catalog entry (shared by
+  /// Open, Attach and the scrubber's in-memory fallback).
+  static std::shared_ptr<Entry> EntryFromSnapshot(
+      storage::OpenedSnapshot snapshot);
+  /// Quarantines the snapshot behind `record` (rename + journal append,
+  /// under store_mu_) and degrades or drops the serving catalog entry.
+  /// `reason` is the verification error; findings land in `report`.
+  Status QuarantineSnapshot(const storage::ManifestRecord& record,
+                            const std::string& reason, ScrubReport* report);
+  void ScrubberLoop(uint64_t interval_ms, ScrubOptions options);
 
   Result<algebra::LogicalExprPtr> Compile(std::string_view query,
                                           const QueryOptions& options,
@@ -262,6 +381,23 @@ class Database {
   mutable std::atomic<uint64_t> next_query_id_{1};
   mutable std::mutex active_mu_;
   mutable std::map<uint64_t, std::shared_ptr<CancelToken>> active_;
+
+  // Durable store. store_mu_ orders manifest appends, generation allocation
+  // and snapshot-file renames/unlinks; it nests *outside* catalog_mu_ and
+  // the query paths never take it.
+  mutable std::mutex store_mu_;
+  std::unique_ptr<storage::Manifest> manifest_;
+  storage::SnapshotOpenMode store_mode_ = storage::SnapshotOpenMode::kMap;
+
+  // Background scrubber.
+  mutable std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  std::thread scrub_thread_;
+  bool scrub_stop_ = false;
+  mutable std::mutex scrub_report_mu_;
+  ScrubReport last_scrub_;
+  uint64_t scrub_cycles_ = 0;
+  uint64_t scrub_skipped_ = 0;
 };
 
 }  // namespace xmlq::api

@@ -1,0 +1,23 @@
+#include "xmlq/base/crash_point.h"
+
+#include <cstdlib>
+
+namespace xmlq {
+
+bool CrashPointArmed(std::string_view site) {
+  // Re-read the environment on every call: the crash-matrix test forks,
+  // setenv's the site in the child, and then drives the durable write path,
+  // so any caching here would latch the parent's unarmed state. The sites
+  // only exist on cold durable-write paths (one getenv per fsync-bounded
+  // step), so there is nothing worth caching.
+  const char* armed = std::getenv("XMLQ_CRASH");
+  return armed != nullptr && site == armed;
+}
+
+void CrashNow() { std::_Exit(2); }
+
+void CrashPointHit(std::string_view site) {
+  if (CrashPointArmed(site)) CrashNow();
+}
+
+}  // namespace xmlq

@@ -1,0 +1,44 @@
+#ifndef XMLQ_BASE_CRASH_POINT_H_
+#define XMLQ_BASE_CRASH_POINT_H_
+
+#include <string_view>
+
+namespace xmlq {
+
+/// Kill-point harness for crash-safety tests (DESIGN.md §9).
+///
+/// Durable write paths mark every write boundary with
+/// `XMLQ_CRASH_POINT("site.name")`. When the environment variable
+/// `XMLQ_CRASH` names that site, the process dies *immediately* with
+/// `_Exit(2)` — no destructors, no buffer flushes, no atexit handlers —
+/// which models a power cut at exactly that syscall boundary: every write
+/// issued before the point is on disk (or in the page cache, which a forked
+/// child's death preserves), and nothing after it ever happens.
+///
+/// The recovery test forks a child per (operation × kill point) cell,
+/// arms one site via setenv before performing the operation, and asserts
+/// that re-opening the store in the parent yields exactly the pre- or
+/// post-operation state. Production cost: one getenv when the process has
+/// the variable set, a single static boolean check when it does not — and
+/// the sites only exist on cold durable-write paths.
+///
+/// Torn writes (a record or file image persisted only partially) cannot be
+/// modeled by a kill *between* syscalls; write loops implement them
+/// explicitly by checking `CrashPointArmed("...torn")`, issuing a prefix of
+/// the write, and calling `CrashNow()`.
+
+/// True when `XMLQ_CRASH` names `site`.
+bool CrashPointArmed(std::string_view site);
+
+/// Dies with `_Exit(2)` — the crash-point exit code the kill-point matrix
+/// test recognizes.
+[[noreturn]] void CrashNow();
+
+/// `CrashNow()` when `site` is armed; otherwise a no-op.
+void CrashPointHit(std::string_view site);
+
+#define XMLQ_CRASH_POINT(site) ::xmlq::CrashPointHit(site)
+
+}  // namespace xmlq
+
+#endif  // XMLQ_BASE_CRASH_POINT_H_

@@ -1,5 +1,7 @@
 #include "xmlq/base/file_io.h"
 
+#include "xmlq/base/crash_point.h"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -23,14 +25,41 @@ Status IoError(std::string_view op, const std::string& path) {
                           std::strerror(errno));
 }
 
+/// Directory component of `path` ("." when the path has no slash).
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
 }  // namespace
 
 #ifdef XMLQ_HAVE_MMAP
+
+Status SyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoError("open dir", dir);
+  if (::fsync(fd) != 0) {
+    const Status st = IoError("fsync dir", dir);
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
 
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return IoError("open", tmp);
+  if (CrashPointArmed("file.atomic.torn")) {
+    // A torn temp-file write: persist a prefix, then die. The final name is
+    // untouched; recovery only has a *.tmp carcass to sweep.
+    (void)!::write(fd, data.data(), data.size() / 2);
+    CrashNow();
+  }
   size_t written = 0;
   while (written < data.size()) {
     const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
@@ -42,14 +71,54 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
     }
     written += static_cast<size_t>(n);
   }
+  XMLQ_CRASH_POINT("file.atomic.tmp_written");
   if (::fsync(fd) != 0 || ::close(fd) != 0) {
     ::unlink(tmp.c_str());
     return IoError("fsync", tmp);
   }
+  XMLQ_CRASH_POINT("file.atomic.tmp_synced");
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     return IoError("rename", path);
   }
+  XMLQ_CRASH_POINT("file.atomic.renamed");
+  // Without this the rename may still live only in the directory's dirty
+  // page; a crash could resurrect the old file (or no file) even though the
+  // caller was told the write committed.
+  return SyncParentDir(path);
+}
+
+Status AppendWithSync(const std::string& path, std::string_view data) {
+  // Whether this append creates the file decides if the parent directory
+  // needs an fsync for the new name (the TOCTOU window is harmless: an
+  // extra directory sync is just redundant work).
+  struct stat st;
+  const bool created = ::stat(path.c_str(), &st) != 0;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return IoError("open", path);
+  if (CrashPointArmed("file.append.torn")) {
+    // A torn journal append: half the record reaches disk, then the crash.
+    // Recovery must detect the bad CRC and truncate the tail.
+    (void)!::write(fd, data.data(), data.size() / 2);
+    CrashNow();
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      // A partial append is a torn tail; the journal reader truncates it.
+      return IoError("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  XMLQ_CRASH_POINT("file.append.written");
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    return IoError("fsync", path);
+  }
+  XMLQ_CRASH_POINT("file.append.synced");
+  if (created) return SyncParentDir(path);
   return Status::Ok();
 }
 
@@ -139,11 +208,26 @@ void FileBytes::Release() {
 
 #else  // !XMLQ_HAVE_MMAP — stubs so non-POSIX builds still link.
 
+Status SyncParentDir(const std::string& path) {
+  (void)path;  // no directory fds to fsync on this platform
+  return Status::Ok();
+}
+
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return IoError("open", path);
   const size_t n = std::fwrite(data.data(), 1, data.size(), f);
   if (std::fclose(f) != 0 || n != data.size()) return IoError("write", path);
+  return Status::Ok();
+}
+
+Status AppendWithSync(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return IoError("open", path);
+  const size_t n = std::fwrite(data.data(), 1, data.size(), f);
+  if (std::fflush(f) != 0 || std::fclose(f) != 0 || n != data.size()) {
+    return IoError("write", path);
+  }
   return Status::Ok();
 }
 

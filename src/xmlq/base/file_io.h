@@ -11,10 +11,29 @@
 
 namespace xmlq {
 
-/// Writes `data` to `path` atomically: the bytes go to a sibling temp file
-/// which is fsync'd and renamed over the target, so a crash mid-write never
-/// leaves a half-written snapshot behind the final name.
+/// Writes `data` to `path` atomically and durably: the bytes go to a
+/// sibling temp file which is fsync'd and renamed over the target, then the
+/// parent directory is fsync'd so the rename itself survives a crash. A
+/// crash mid-write never leaves a half-written file behind the final name,
+/// and every failure path unlinks the temp file. Crash-test kill points:
+/// "file.atomic.torn" (temp file half-written), "file.atomic.tmp_written"
+/// (before the temp fsync), "file.atomic.tmp_synced" (before the rename),
+/// "file.atomic.renamed" (before the directory fsync).
 Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Appends `data` to `path` (creating it, and fsync'ing the parent
+/// directory on creation) and fsyncs the file — the journal-append
+/// primitive. A failed or interrupted append may leave a *prefix* of
+/// `data` behind (a torn tail); journal formats must make that detectable
+/// (per-record CRCs) and recovery truncates it. Crash-test kill points:
+/// "file.append.torn" (half the record written), "file.append.written"
+/// (before the fsync), "file.append.synced" (after it).
+Status AppendWithSync(const std::string& path, std::string_view data);
+
+/// Best-effort fsync of the directory containing `path` (no-op on platforms
+/// without directory fds). Public so multi-file commit protocols (journal +
+/// snapshot files) can force their unlinks/renames down too.
+Status SyncParentDir(const std::string& path);
 
 /// A read-only block of file bytes whose start is aligned to at least
 /// `alignment` — the loader substrate for both snapshot read paths. Move-only;

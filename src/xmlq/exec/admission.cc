@@ -93,6 +93,23 @@ Result<QueryScheduler::Ticket> QueryScheduler::Admit(
   }
 }
 
+Result<QueryScheduler::Ticket> QueryScheduler::TryAdmit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (config_.max_concurrent == 0 ||
+      stats_.running < config_.max_concurrent) {
+    ++stats_.admitted;
+    ++stats_.running;
+    stats_.peak_running = std::max(stats_.peak_running, stats_.running);
+    return Ticket(this, ++admitted_seq_);
+  }
+  ++stats_.rejected;
+  return ExhaustedWithHint(
+      "no free execution slot (" + std::to_string(stats_.running) +
+          " running)",
+      config_);
+}
+
 void QueryScheduler::Release() {
   {
     std::lock_guard<std::mutex> lock(mu_);

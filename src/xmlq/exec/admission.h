@@ -93,6 +93,13 @@ class QueryScheduler {
   /// Poke() from the cancelling thread.
   Result<Ticket> Admit(const CancelToken* cancel = nullptr);
 
+  /// Non-blocking admission for background maintenance (the integrity
+  /// scrubber): admits only when an execution slot is free *right now*,
+  /// never queues. A failed try counts as a rejection — maintenance that
+  /// loses the race simply skips its cycle instead of competing with
+  /// queries for capacity.
+  Result<Ticket> TryAdmit();
+
   /// Swaps the config. Queries already running keep their slots; queued
   /// queries re-evaluate against the new bounds at their next wake-up.
   void Configure(const AdmissionConfig& config);

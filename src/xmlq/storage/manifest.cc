@@ -1,0 +1,224 @@
+#include "xmlq/storage/manifest.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "xmlq/base/crc32.h"
+#include "xmlq/base/fault_injector.h"
+#include "xmlq/base/file_io.h"
+
+namespace xmlq::storage {
+
+namespace {
+
+/// An over-generous bound on name + file-name bytes; anything larger in a
+/// record header is corruption, not a real record.
+constexpr uint32_t kMaxPayload = 1 << 20;
+
+Status JournalError(const std::string& path, uint64_t offset,
+                    std::string detail) {
+  return Status::ParseError("manifest \"" + path + "\" at offset " +
+                            std::to_string(offset) + ": " + std::move(detail));
+}
+
+uint32_t RecordCrc(const ManifestRecordHeader& header,
+                   std::string_view payload) {
+  ManifestRecordHeader crc_input = header;
+  crc_input.crc = 0;
+  const uint32_t crc = Crc32(&crc_input, sizeof(crc_input));
+  return Crc32(payload.data(), payload.size(), crc);
+}
+
+}  // namespace
+
+std::string_view ManifestOpName(uint32_t op) {
+  switch (static_cast<ManifestOp>(op)) {
+    case ManifestOp::kRegister: return "register";
+    case ManifestOp::kRemove: return "remove";
+    case ManifestOp::kQuarantine: return "quarantine";
+  }
+  return "?";
+}
+
+std::string Manifest::SanitizeFileStem(std::string_view name) {
+  std::string stem;
+  stem.reserve(name.size());
+  for (const char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    stem.push_back(safe ? c : '_');
+  }
+  if (stem.empty()) stem = "doc";
+  return stem;
+}
+
+std::string Manifest::EncodeRecord(const ManifestRecord& record) {
+  ManifestRecordHeader header;
+  header.op = static_cast<uint32_t>(record.op);
+  header.name_len = static_cast<uint32_t>(record.name.size());
+  header.payload_len =
+      static_cast<uint32_t>(record.name.size() + record.file.size());
+  header.generation = record.generation;
+  header.snapshot_size = record.snapshot_size;
+  header.snapshot_crc = record.snapshot_crc;
+  const std::string payload = record.name + record.file;
+  header.crc = RecordCrc(header, payload);
+  std::string bytes(sizeof(header) + payload.size(), '\0');
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  std::memcpy(bytes.data() + sizeof(header), payload.data(), payload.size());
+  return bytes;
+}
+
+void Manifest::Apply(const ManifestRecord& record) {
+  max_generation_ = std::max(max_generation_, record.generation);
+  switch (record.op) {
+    case ManifestOp::kRegister:
+      entries_[record.name] = record;
+      break;
+    case ManifestOp::kRemove:
+    case ManifestOp::kQuarantine:
+      entries_.erase(record.name);
+      break;
+  }
+}
+
+Result<Manifest> Manifest::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create store directory \"" + dir +
+                            "\": " + ec.message());
+  }
+  Manifest manifest;
+  manifest.dir_ = dir;
+  manifest.journal_path_ = dir + "/" + kManifestFileName;
+
+  if (!std::filesystem::exists(manifest.journal_path_, ec)) {
+    // Fresh store: write the journal header (its own fsync'd append, which
+    // also syncs the directory for the new name).
+    ManifestFileHeader header;
+    std::memcpy(header.magic, kManifestMagic, sizeof(header.magic));
+    header.version = kManifestVersion;
+    header.crc = Crc32(&header, offsetof(ManifestFileHeader, crc));
+    XMLQ_RETURN_IF_ERROR(AppendWithSync(
+        manifest.journal_path_,
+        std::string_view(reinterpret_cast<const char*>(&header),
+                         sizeof(header))));
+    manifest.replay_.valid_bytes = sizeof(header);
+    return manifest;
+  }
+
+  XMLQ_ASSIGN_OR_RETURN(FileBytes bytes,
+                        FileBytes::ReadWhole(manifest.journal_path_));
+  if (XMLQ_FAULT("store.manifest.replay")) {
+    return JournalError(manifest.journal_path_, 0,
+                        "injected replay failure");
+  }
+  if (bytes.size() < sizeof(ManifestFileHeader)) {
+    return JournalError(manifest.journal_path_, 0,
+                        "file truncated: " + std::to_string(bytes.size()) +
+                            " bytes, need at least " +
+                            std::to_string(sizeof(ManifestFileHeader)));
+  }
+  ManifestFileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kManifestMagic, sizeof(header.magic)) != 0) {
+    return JournalError(manifest.journal_path_, 0,
+                        "bad magic (not an xqm manifest)");
+  }
+  const uint32_t header_crc = Crc32(&header, offsetof(ManifestFileHeader, crc));
+  if (header_crc != header.crc) {
+    return JournalError(manifest.journal_path_, 0,
+                        "header checksum mismatch (stored " +
+                            std::to_string(header.crc) + ", computed " +
+                            std::to_string(header_crc) + ")");
+  }
+  if (header.version != kManifestVersion) {
+    return JournalError(manifest.journal_path_, 0,
+                        "unsupported version " +
+                            std::to_string(header.version) + " (expected " +
+                            std::to_string(kManifestVersion) + ")");
+  }
+
+  // Replay the longest valid record prefix. Any defect — a header that does
+  // not fit, an impossible payload length, a CRC mismatch, an unknown op —
+  // marks the torn tail: everything from that offset on is discarded. This
+  // is deliberately indiscriminate: a record is either entirely committed
+  // and intact, or it (and everything after it, which the fsync ordering
+  // guarantees was written later) never happened.
+  uint64_t pos = sizeof(ManifestFileHeader);
+  std::string torn_detail;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < sizeof(ManifestRecordHeader)) {
+      torn_detail = "truncated record header";
+      break;
+    }
+    ManifestRecordHeader record_header;
+    std::memcpy(&record_header, bytes.data() + pos, sizeof(record_header));
+    if (record_header.payload_len > kMaxPayload ||
+        record_header.name_len > record_header.payload_len) {
+      torn_detail = "implausible payload length " +
+                    std::to_string(record_header.payload_len);
+      break;
+    }
+    if (bytes.size() - pos - sizeof(record_header) <
+        record_header.payload_len) {
+      torn_detail = "truncated record payload";
+      break;
+    }
+    const std::string_view payload(bytes.data() + pos + sizeof(record_header),
+                                   record_header.payload_len);
+    const uint32_t crc = RecordCrc(record_header, payload);
+    if (crc != record_header.crc) {
+      torn_detail = "record checksum mismatch (stored " +
+                    std::to_string(record_header.crc) + ", computed " +
+                    std::to_string(crc) + ")";
+      break;
+    }
+    if (ManifestOpName(record_header.op) == std::string_view("?") ||
+        record_header.reserved != 0) {
+      torn_detail = "unknown record op " + std::to_string(record_header.op);
+      break;
+    }
+    ManifestRecord record;
+    record.op = static_cast<ManifestOp>(record_header.op);
+    record.generation = record_header.generation;
+    record.name = std::string(payload.substr(0, record_header.name_len));
+    record.file = std::string(payload.substr(record_header.name_len));
+    record.snapshot_size = record_header.snapshot_size;
+    record.snapshot_crc = record_header.snapshot_crc;
+    manifest.Apply(record);
+    ++manifest.replay_.records;
+    pos += sizeof(record_header) + record_header.payload_len;
+  }
+  manifest.replay_.valid_bytes = pos;
+  manifest.replay_.torn_bytes = bytes.size() - pos;
+  manifest.replay_.torn_detail = std::move(torn_detail);
+
+  if (manifest.replay_.torn_bytes > 0) {
+    // Truncate the torn tail so the next append starts at a valid record
+    // boundary. Rewriting atomically (rather than ftruncate) keeps this
+    // portable and inherits the temp+rename+dir-sync durability discipline.
+    XMLQ_RETURN_IF_ERROR(WriteFileAtomic(
+        manifest.journal_path_,
+        std::string_view(bytes.data(), manifest.replay_.valid_bytes)));
+  }
+  return manifest;
+}
+
+Status Manifest::Append(const ManifestRecord& record) {
+  if (XMLQ_FAULT("store.manifest.append")) {
+    return Status::Internal("injected append failure on manifest \"" +
+                            journal_path_ + "\"");
+  }
+  XMLQ_RETURN_IF_ERROR(AppendWithSync(journal_path_, EncodeRecord(record)));
+  Apply(record);
+  return Status::Ok();
+}
+
+}  // namespace xmlq::storage

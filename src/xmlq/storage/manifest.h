@@ -1,0 +1,144 @@
+#ifndef XMLQ_STORAGE_MANIFEST_H_
+#define XMLQ_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xmlq/base/status.h"
+
+namespace xmlq::storage {
+
+/// "catalog.xqm" — the append-only journaled catalog manifest (DESIGN.md §9).
+///
+/// A durable store directory holds one snapshot file per live document
+/// generation plus this journal, which is the *only* source of truth for
+/// what the store contains. Every catalog mutation (register/save, replace,
+/// remove, quarantine) appends exactly one CRC-32C-protected record; a
+/// record is committed once AppendWithSync returns. Re-opening the store
+/// replays the longest valid record prefix and truncates anything after the
+/// first invalid byte (a torn tail from a crashed append), so the recovered
+/// catalog is always the state as of some prefix of committed operations —
+/// never a torn hybrid.
+///
+/// Journal layout:
+///   [ManifestFileHeader : 16 B]
+///   [ManifestRecordHeader : 40 B][name bytes][file bytes]   (repeated)
+///
+/// Integers are little-endian host format, matching the snapshot store.
+/// Each record's CRC covers its header (with the crc field zeroed) plus its
+/// payload, so a flipped bit anywhere in a record invalidates it — and,
+/// because replay stops at the first bad record, everything after it.
+/// Snapshot files referenced by kRegister records carry their whole-file
+/// size and CRC-32C, which recovery re-verifies before serving a document.
+
+/// First 8 bytes of the journal. CR-LF catches ASCII-mode mangling, the
+/// same trick as the xqpack magic.
+inline constexpr char kManifestMagic[8] = {'X', 'Q', 'M', 'A',
+                                           'N', 'F', '\r', '\n'};
+inline constexpr uint32_t kManifestVersion = 1;
+inline constexpr char kManifestFileName[] = "catalog.xqm";
+
+struct ManifestFileHeader {
+  char magic[8];
+  uint32_t version = kManifestVersion;
+  uint32_t crc = 0;  // CRC-32C of magic + version
+};
+static_assert(sizeof(ManifestFileHeader) == 16, "on-disk layout");
+
+enum class ManifestOp : uint32_t {
+  kRegister = 1,    // (re)binds name -> snapshot file; replace = higher gen
+  kRemove = 2,      // drops name from the catalog
+  kQuarantine = 3,  // drops name; its snapshot was renamed *.quarantined
+};
+
+/// Stable lowercase name for an op ("register", ...); "?" for unknown.
+std::string_view ManifestOpName(uint32_t op);
+
+/// One journal record, in memory. `file` is the snapshot file name relative
+/// to the store directory (empty for kRemove).
+struct ManifestRecord {
+  ManifestOp op = ManifestOp::kRegister;
+  uint64_t generation = 0;     // strictly increasing across the journal
+  std::string name;            // document name
+  std::string file;            // snapshot file (kRegister / kQuarantine)
+  uint64_t snapshot_size = 0;  // whole-file bytes (kRegister only)
+  uint32_t snapshot_crc = 0;   // whole-file CRC-32C (kRegister only)
+};
+
+/// On-disk record header. The payload (name bytes then file bytes) follows
+/// immediately; crc covers [payload_len..end of payload] with crc = 0.
+struct ManifestRecordHeader {
+  uint32_t crc = 0;
+  uint32_t payload_len = 0;  // name_len + file-name bytes
+  uint32_t op = 0;
+  uint32_t name_len = 0;
+  uint64_t generation = 0;
+  uint64_t snapshot_size = 0;
+  uint32_t snapshot_crc = 0;
+  uint32_t reserved = 0;  // must be 0
+};
+static_assert(sizeof(ManifestRecordHeader) == 40, "on-disk layout");
+
+/// What journal replay found, for the recovery report and tests.
+struct ManifestReplayInfo {
+  uint64_t valid_bytes = 0;   // journal prefix the catalog was rebuilt from
+  uint64_t torn_bytes = 0;    // trailing bytes truncated as a torn tail
+  uint64_t records = 0;       // records applied
+  std::string torn_detail;    // why replay stopped ("" when the tail is clean)
+};
+
+/// The journaled manifest of one store directory. Not internally
+/// synchronized — api::Database serializes access under its store mutex.
+class Manifest {
+ public:
+  /// Opens (creating if absent) `<dir>/catalog.xqm`, replays the longest
+  /// valid record prefix and truncates any torn tail. The directory is
+  /// created if missing. A journal whose *header* is unreadable is an
+  /// error (kParseError with path + offset); a journal with a torn record
+  /// tail is not — that is the crash case recovery exists for.
+  static Result<Manifest> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  const std::string& journal_path() const { return journal_path_; }
+
+  /// Live catalog: name -> latest applied kRegister record.
+  const std::map<std::string, ManifestRecord, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  const ManifestReplayInfo& replay() const { return replay_; }
+
+  /// Next unused generation number (strictly increasing, never reused even
+  /// across remove/replace cycles).
+  uint64_t NextGeneration() { return ++max_generation_; }
+
+  /// Serializes `record`, appends it with fsync (AppendWithSync) and applies
+  /// it to entries(). Fault site: "store.manifest.append".
+  Status Append(const ManifestRecord& record);
+
+  /// `name` flattened into a filesystem-safe snapshot file stem (every byte
+  /// outside [A-Za-z0-9._-] becomes '_').
+  static std::string SanitizeFileStem(std::string_view name);
+
+  /// Serializes one record to journal bytes (exposed for tests that build
+  /// hostile journals).
+  static std::string EncodeRecord(const ManifestRecord& record);
+
+ private:
+  Manifest() = default;
+
+  void Apply(const ManifestRecord& record);
+
+  std::string dir_;
+  std::string journal_path_;
+  std::map<std::string, ManifestRecord, std::less<>> entries_;
+  ManifestReplayInfo replay_;
+  uint64_t max_generation_ = 0;
+};
+
+}  // namespace xmlq::storage
+
+#endif  // XMLQ_STORAGE_MANIFEST_H_

@@ -130,17 +130,24 @@ struct SnapshotSectionInfo {
 
 struct SnapshotWriteInfo {
   uint64_t file_size = 0;
+  /// CRC-32C of the entire on-disk image — what the catalog manifest
+  /// records so recovery can verify a snapshot byte-for-byte before
+  /// serving it.
+  uint32_t file_crc = 0;
   std::vector<SnapshotSectionInfo> sections;
 };
 
 /// Keeps the snapshot bytes (heap copy or mmap) alive for the components
-/// borrowing from them, and remembers the layout for reporting.
+/// borrowing from them, and remembers the layout for reporting. `path` is
+/// the file the bytes came from ("" for in-memory images) — the integrity
+/// scrubber uses it to re-read and quarantine the on-disk copy.
 class SnapshotBacking {
  public:
   SnapshotBacking(FileBytes bytes, SnapshotOpenMode mode,
-                  std::vector<SnapshotSectionInfo> sections)
+                  std::vector<SnapshotSectionInfo> sections,
+                  std::string path = {})
       : bytes_(std::move(bytes)), mode_(mode),
-        sections_(std::move(sections)) {}
+        sections_(std::move(sections)), path_(std::move(path)) {}
 
   SnapshotOpenMode mode() const { return mode_; }
   uint64_t file_size() const { return bytes_.size(); }
@@ -148,11 +155,13 @@ class SnapshotBacking {
     return sections_;
   }
   const FileBytes& bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
 
  private:
   FileBytes bytes_;
   SnapshotOpenMode mode_;
   std::vector<SnapshotSectionInfo> sections_;
+  std::string path_;
 };
 
 /// A fully opened snapshot: every component of a loaded document plus the
@@ -179,16 +188,26 @@ Result<SnapshotWriteInfo> WriteSnapshot(const std::string& path,
 /// Opens a snapshot file. kMap points the succinct structures straight at
 /// the mapping; kCopy reads the file into an aligned heap buffer first.
 /// Corruption (bad magic/version/CRC, truncation, trailing garbage, invalid
-/// cross-section invariants) is reported as kParseError with the failing
-/// offset and section name. Fault sites: "store.snapshot.map",
-/// "store.snapshot.verify".
+/// cross-section invariants) is reported as kParseError carrying the file
+/// path, the failing byte offset and the section name. Fault sites:
+/// "store.snapshot.map", "store.snapshot.verify".
 Result<OpenedSnapshot> OpenSnapshot(const std::string& path,
                                     SnapshotOpenMode mode);
 
 /// The validation + component-construction core of OpenSnapshot, exposed so
-/// tests can feed in-memory (mutated) images without touching disk.
+/// tests can feed in-memory (mutated) images without touching disk. `path`
+/// (when non-empty) is recorded on the backing and prefixed onto every
+/// corruption error.
 Result<OpenedSnapshot> OpenSnapshotFromBytes(FileBytes bytes,
-                                             SnapshotOpenMode mode);
+                                             SnapshotOpenMode mode,
+                                             std::string path = {});
+
+/// Re-validates a snapshot image without constructing components: header,
+/// section table, padding and every section CRC; `deep` additionally runs
+/// the full structural validation (the integrity scrubber's slow pass).
+/// Returns the same positioned kParseError Status family as OpenSnapshot.
+Status VerifySnapshotImage(std::span<const char> bytes, bool deep,
+                           const std::string& path = {});
 
 }  // namespace xmlq::storage
 

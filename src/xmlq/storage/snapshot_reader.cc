@@ -387,10 +387,17 @@ Status VerifyRegions(const Layout& layout, SectionId id,
   return Status::Ok();
 }
 
-}  // namespace
+/// Prefixes the file path onto a corruption Status so operators see *which*
+/// snapshot is damaged, not just where inside it.
+Status AnnotatePath(Status status, const std::string& path) {
+  if (status.ok() || path.empty()) return status;
+  return Status(status.code(), "snapshot \"" + path + "\": " +
+                                   status.message());
+}
 
-Result<OpenedSnapshot> OpenSnapshotFromBytes(FileBytes bytes,
-                                             SnapshotOpenMode mode) {
+Result<OpenedSnapshot> OpenSnapshotFromBytesImpl(FileBytes bytes,
+                                                 SnapshotOpenMode mode,
+                                                 const std::string& path) {
   Layout layout;
   XMLQ_RETURN_IF_ERROR(ParseLayout(bytes.bytes(), &layout));
 
@@ -708,8 +715,33 @@ Result<OpenedSnapshot> OpenSnapshotFromBytes(FileBytes bytes,
   out.values = std::move(values);
   out.tags = std::move(tags);
   out.backing = std::make_unique<SnapshotBacking>(std::move(bytes), mode,
-                                                  std::move(infos));
+                                                  std::move(infos), path);
   return out;
+}
+
+}  // namespace
+
+Result<OpenedSnapshot> OpenSnapshotFromBytes(FileBytes bytes,
+                                             SnapshotOpenMode mode,
+                                             std::string path) {
+  auto opened = OpenSnapshotFromBytesImpl(std::move(bytes), mode, path);
+  if (!opened.ok()) return AnnotatePath(opened.status(), path);
+  return opened;
+}
+
+Status VerifySnapshotImage(std::span<const char> bytes, bool deep,
+                           const std::string& path) {
+  if (!deep) {
+    Layout layout;
+    return AnnotatePath(ParseLayout(bytes, &layout), path);
+  }
+  // The deep pass re-runs every structural invariant the open path checks,
+  // on a defensive copy so a concurrently rotting mapping cannot shift
+  // under the validators.
+  auto full = OpenSnapshotFromBytes(
+      FileBytes::Copy(std::string_view(bytes.data(), bytes.size())),
+      SnapshotOpenMode::kCopy, path);
+  return full.ok() ? Status::Ok() : full.status();
 }
 
 Result<OpenedSnapshot> OpenSnapshot(const std::string& path,
@@ -724,7 +756,7 @@ Result<OpenedSnapshot> OpenSnapshot(const std::string& path,
   } else {
     XMLQ_ASSIGN_OR_RETURN(bytes, FileBytes::ReadWhole(path));
   }
-  return OpenSnapshotFromBytes(std::move(bytes), mode);
+  return OpenSnapshotFromBytes(std::move(bytes), mode, path);
 }
 
 }  // namespace xmlq::storage

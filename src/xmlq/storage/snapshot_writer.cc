@@ -183,6 +183,7 @@ Result<SnapshotWriteInfo> WriteSnapshot(const std::string& path,
         table[i].id, SnapshotSectionName(table[i].id), table[i].offset,
         table[i].size});
   }
+  info.file_crc = Crc32(image.data(), image.size());
 
   XMLQ_RETURN_IF_ERROR(WriteFileAtomic(path, image));
   return info;
