@@ -1,0 +1,229 @@
+// Experiment R6: the wire tier. Two questions:
+//
+//  1. Serving cost — queries/second and latency percentiles through the
+//     full network path (client socket -> frame encode/CRC -> epoll loop ->
+//     worker pool -> Database -> response frame), versus the in-process
+//     R4 numbers: what does the wire add?
+//  2. Overload behaviour at the wire — with a tight admission config and
+//     3x more closed-loop clients than capacity, the p99 of *admitted*
+//     queries must stay bounded (overload degrades into fast retryable
+//     overload frames carrying retry-after hints, never into a growing
+//     in-server queue).
+//
+// Closed-loop clients: each thread connects once and issues its next
+// request only after the previous one resolved, so offered load tracks
+// capacity times the client multiple.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "xmlq/api/database.h"
+#include "xmlq/datagen/bib_gen.h"
+#include "xmlq/net/client.h"
+#include "xmlq/net/server.h"
+
+namespace xmlq::bench {
+namespace {
+
+constexpr int kBooks = 200;
+constexpr const char* kQuery = "//book/title";
+
+struct LoadReport {
+  std::vector<uint64_t> latency_micros;  // responded requests only
+  uint64_t responses = 0;
+  uint64_t overloads = 0;  // still shed after every retry
+  uint64_t conn_errors = 0;
+  uint64_t retries = 0;  // extra attempts after an overload response
+  uint64_t backoff_micros = 0;
+  double seconds = 0;
+};
+
+/// Runs `clients` closed-loop client threads for `requests_per_client`
+/// requests each against the server on `port`, honoring retry-after hints.
+LoadReport RunLoad(uint16_t port, int clients, int requests_per_client) {
+  LoadReport report;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::mt19937_64 rng(static_cast<uint64_t>(c) * 7919 + 1);
+      net::RetryPolicy policy;
+      policy.max_attempts = 8;
+      LoadReport local;
+      auto client = net::Client::Connect("127.0.0.1", port);
+      for (int i = 0; i < requests_per_client && client.ok(); ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const net::CallResult call =
+            client->QueryWithRetry(kQuery, policy, &rng);
+        const uint64_t elapsed = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        local.backoff_micros += call.backoff_micros;
+        local.retries += call.attempts - 1;
+        switch (call.outcome) {
+          case net::CallOutcome::kResponse:
+            ++local.responses;
+            // Admitted-query latency: the call minus the time voluntarily
+            // slept between attempts honoring retry-after.
+            local.latency_micros.push_back(elapsed - call.backoff_micros);
+            break;
+          case net::CallOutcome::kOverload:
+            ++local.overloads;
+            break;
+          case net::CallOutcome::kConnectionError:
+            ++local.conn_errors;
+            client = net::Client::Connect("127.0.0.1", port);
+            break;
+        }
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      report.responses += local.responses;
+      report.overloads += local.overloads;
+      report.conn_errors += local.conn_errors;
+      report.retries += local.retries;
+      report.backoff_micros += local.backoff_micros;
+      report.latency_micros.insert(report.latency_micros.end(),
+                                   local.latency_micros.begin(),
+                                   local.latency_micros.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  report.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return report;
+}
+
+uint64_t Percentile(std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+void Report(benchmark::State& state, LoadReport report) {
+  std::sort(report.latency_micros.begin(), report.latency_micros.end());
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(report.responses) / report.seconds);
+  state.counters["p50_us"] =
+      static_cast<double>(Percentile(report.latency_micros, 0.50));
+  state.counters["p95_us"] =
+      static_cast<double>(Percentile(report.latency_micros, 0.95));
+  state.counters["p99_us"] =
+      static_cast<double>(Percentile(report.latency_micros, 0.99));
+  state.counters["overloads"] = static_cast<double>(report.overloads);
+  state.counters["retries"] = static_cast<double>(report.retries);
+  state.counters["conn_errors"] = static_cast<double>(report.conn_errors);
+  const double total =
+      static_cast<double>(report.responses + report.overloads);
+  state.counters["overload_share"] =
+      total == 0 ? 0 : static_cast<double>(report.overloads) / total;
+}
+
+/// R6/wire_1x: ample admission capacity, `clients` closed-loop clients —
+/// the steady-state wire serving cost.
+void BM_WireServing(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  api::Database db;
+  datagen::BibOptions options;
+  options.num_books = kBooks;
+  if (!db.RegisterDocument("bib.xml",
+                           datagen::GenerateBibliography(options))
+           .ok()) {
+    state.SkipWithError("register failed");
+    return;
+  }
+  net::ServerConfig config;
+  config.workers = 4;
+  net::Server server(&db, config);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  LoadReport merged;
+  for (auto _ : state) {
+    LoadReport round = RunLoad(server.port(), clients,
+                               /*requests_per_client=*/400);
+    merged.responses += round.responses;
+    merged.overloads += round.overloads;
+    merged.conn_errors += round.conn_errors;
+    merged.retries += round.retries;
+    merged.seconds += round.seconds;
+    merged.latency_micros.insert(merged.latency_micros.end(),
+                                 round.latency_micros.begin(),
+                                 round.latency_micros.end());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(round.responses));
+  }
+  Report(state, std::move(merged));
+  if (!server.Shutdown().ok()) state.SkipWithError("drain failed");
+}
+BENCHMARK(BM_WireServing)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+/// R6/wire_3x: admission capped at 2 concurrent with no queue (reject
+/// fast, hint retry-after), 12 closed-loop clients (~3x the admitted
+/// concurrency across an 8-worker pool). The interesting counters are
+/// p99_us (admitted work must stay fast), retries (overloads absorbed by
+/// backoff) and overload_share (requests still shed after 8 attempts).
+void BM_WireOverload3x(benchmark::State& state) {
+  api::Database db;
+  datagen::BibOptions options;
+  options.num_books = kBooks;
+  if (!db.RegisterDocument("bib.xml",
+                           datagen::GenerateBibliography(options))
+           .ok()) {
+    state.SkipWithError("register failed");
+    return;
+  }
+  db.SetAdmission({.max_concurrent = 2, .max_queue = 0,
+                   .queue_deadline_micros = 500});
+  net::ServerConfig config;
+  config.workers = 8;
+  net::Server server(&db, config);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  LoadReport merged;
+  for (auto _ : state) {
+    LoadReport round = RunLoad(server.port(), /*clients=*/12,
+                               /*requests_per_client=*/150);
+    merged.responses += round.responses;
+    merged.overloads += round.overloads;
+    merged.conn_errors += round.conn_errors;
+    merged.retries += round.retries;
+    merged.seconds += round.seconds;
+    merged.latency_micros.insert(merged.latency_micros.end(),
+                                 round.latency_micros.begin(),
+                                 round.latency_micros.end());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(round.responses));
+  }
+  Report(state, std::move(merged));
+  if (!server.Shutdown().ok()) state.SkipWithError("drain failed");
+}
+BENCHMARK(BM_WireOverload3x)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace xmlq::bench
+
+BENCHMARK_MAIN();

@@ -446,14 +446,16 @@ int main() {
       std::printf(
           "submitted %llu | admitted %llu | completed %llu | running %u | "
           "queued %u\nrejected %llu | shed %llu | cancelled-in-queue %llu | "
-          "peak running %u | peak queued %u\n%s",
+          "peak running %u | peak queued %u | retry-after %lluus\n%s",
           static_cast<unsigned long long>(s.submitted),
           static_cast<unsigned long long>(s.admitted),
           static_cast<unsigned long long>(s.completed), s.running, s.queued,
           static_cast<unsigned long long>(s.rejected),
           static_cast<unsigned long long>(s.shed),
           static_cast<unsigned long long>(s.cancelled_while_queued),
-          s.peak_running, s.peak_queued, db.BreakerReport().c_str());
+          s.peak_running, s.peak_queued,
+          static_cast<unsigned long long>(s.retry_after_micros),
+          db.BreakerReport().c_str());
       continue;
     }
     if (word[0] == '.') {

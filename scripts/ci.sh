@@ -18,6 +18,11 @@
 #                       replay/fuzz, scrubber): the recovery paths touch
 #                       freshly truncated/quarantined files and forked
 #                       children, exactly where memory bugs hide
+#   6. net tier       — ThreadSanitizer run of the `net`-labeled wire suite
+#                       (epoll loop + worker pool + chaos matrix is exactly
+#                       where races hide), then scripts/serve_smoke.sh: the
+#                       shipped xmlq_serve + xmlq_loadgen binaries against a
+#                       real socket, ending in a SIGTERM graceful drain
 #
 # Everything — build trees and test temp files (snapshot_test writes its
 # *.xqpack scratch files into the ctest working directory) — stays under
@@ -71,4 +76,16 @@ echo "== tsan stress suite =="
 echo "== asan recovery suite =="
 "${ROOT}/tests/run_sanitized.sh" address -j 1 -L recovery
 
-echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery green"
+# The serving tier under ThreadSanitizer: the epoll loop, worker pool and
+# completion queues are the newest cross-thread surface, and the chaos
+# matrix drives them through every fault site concurrently. Serial (-j 1):
+# the suite binds real sockets and is timing-sensitive under TSan slowdown.
+echo "== tsan net suite =="
+"${ROOT}/tests/run_sanitized.sh" thread -j 1 -L net
+
+# End-to-end smoke of the shipped binaries over a real socket, ending in a
+# SIGTERM graceful drain (uses the plain tier-1 build tree).
+echo "== serve smoke (xmlq_serve + xmlq_loadgen) =="
+"${ROOT}/scripts/serve_smoke.sh" "${BUILD_DIR}" 10
+
+echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery + net green"

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Live-socket smoke test for the serving tier: boots xmlq_serve on an
+# ephemeral port, points xmlq_loadgen at it for a few seconds, then sends
+# SIGTERM and requires a *graceful* drain — loadgen must have gotten real
+# responses (exit 0) and the server must exit 0 within the drain window.
+#
+#   scripts/serve_smoke.sh [build-dir] [duration-s] [clients]
+#
+# Unlike tests/net_test.cc (in-process server), this exercises the shipped
+# binaries end to end: flag parsing, the SIGTERM handler, port-file
+# handshake, and a real multi-process socket path.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+DURATION_S="${2:-5}"
+CLIENTS="${3:-4}"
+
+SERVE="${BUILD_DIR}/tools/xmlq_serve"
+LOADGEN="${BUILD_DIR}/tools/xmlq_loadgen"
+for bin in "${SERVE}" "${LOADGEN}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "serve_smoke: missing ${bin} (build with -DXMLQ_BUILD_TOOLS=ON)" >&2
+    exit 1
+  fi
+done
+
+WORK_DIR="$(mktemp -d "${BUILD_DIR}/serve_smoke.XXXXXX")"
+PORT_FILE="${WORK_DIR}/port"
+SERVER_LOG="${WORK_DIR}/server.log"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill -KILL "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+"${SERVE}" --port 0 --port-file "${PORT_FILE}" --gen-bib 200 \
+  >"${SERVER_LOG}" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the port-file handshake (the server writes it once bound).
+for _ in $(seq 1 100); do
+  [[ -s "${PORT_FILE}" ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "serve_smoke: server died before binding:" >&2
+    cat "${SERVER_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "${PORT_FILE}" ]] || { echo "serve_smoke: no port file" >&2; exit 1; }
+PORT="$(cat "${PORT_FILE}")"
+
+echo "serve_smoke: server pid=${SERVER_PID} port=${PORT}"
+"${LOADGEN}" --port "${PORT}" --clients "${CLIENTS}" \
+  --duration-s "${DURATION_S}"
+
+# Graceful drain: SIGTERM, then the server must exit 0 on its own.
+kill -TERM "${SERVER_PID}"
+SERVER_RC=0
+wait "${SERVER_PID}" || SERVER_RC=$?
+if [[ "${SERVER_RC}" -ne 0 ]]; then
+  echo "serve_smoke: server exited ${SERVER_RC} after SIGTERM:" >&2
+  cat "${SERVER_LOG}" >&2
+  exit 1
+fi
+grep -q "drained" "${SERVER_LOG}" || {
+  echo "serve_smoke: server log missing drain marker:" >&2
+  cat "${SERVER_LOG}" >&2
+  exit 1
+}
+echo "serve_smoke: graceful drain OK"

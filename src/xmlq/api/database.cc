@@ -381,6 +381,12 @@ Status Database::Persist(std::string_view name) {
     std::filesystem::remove(manifest_->dir() + "/" + old_file, ec);
     (void)SyncParentDir(path);
   }
+  if (manifest_->ShouldCompact()) {
+    // Best-effort journal compaction (atomic old-or-new rewrite): a failure
+    // only means the journal keeps its dead records until the next Persist
+    // crosses the threshold again.
+    (void)manifest_->Compact();
+  }
   return Status::Ok();
 }
 

@@ -1,0 +1,141 @@
+#include "xmlq/base/socket.h"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace xmlq {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: \"" + host +
+                                   "\"");
+  }
+  return addr;
+}
+
+void SetTimeout(int fd, int option, uint64_t micros) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(micros / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(micros % 1'000'000);
+  (void)setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  XMLQ_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  (void)setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (listen(fd.get(), backlog) < 0) return Errno("listen");
+  return fd;
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            uint64_t connect_timeout_micros,
+                            uint64_t io_timeout_micros) {
+  XMLQ_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  // Connect with a timeout: go non-blocking for the handshake, then back to
+  // blocking (with I/O timeouts) for the caller.
+  XMLQ_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  int rc = connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  if (rc < 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int timeout_ms =
+        connect_timeout_micros == 0
+            ? -1
+            : static_cast<int>((connect_timeout_micros + 999) / 1000);
+    rc = poll(&pfd, 1, timeout_ms);
+    if (rc == 0) {
+      return Status::ResourceExhausted("connect timeout to " + host + ":" +
+                                       std::to_string(port));
+    }
+    if (rc < 0) return Errno("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::Internal("connect " + host + ":" +
+                              std::to_string(port) + ": " +
+                              std::strerror(err));
+    }
+  }
+  const int flags = fcntl(fd.get(), F_GETFL, 0);
+  if (flags >= 0) (void)fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK);
+  if (io_timeout_micros != 0) {
+    SetTimeout(fd.get(), SO_RCVTIMEO, io_timeout_micros);
+    SetTimeout(fd.get(), SO_SNDTIMEO, io_timeout_micros);
+  }
+  const int one = 1;
+  (void)setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+int CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  // Subtract ".", ".." and the directory fd itself.
+  return count - 3;
+}
+
+}  // namespace xmlq

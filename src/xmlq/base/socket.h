@@ -1,0 +1,69 @@
+#ifndef XMLQ_BASE_SOCKET_H_
+#define XMLQ_BASE_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xmlq/base/status.h"
+
+namespace xmlq {
+
+/// Move-only owner of one file descriptor; closes on destruction. The
+/// serving tier's fd-leak guarantees rest on every socket living in one of
+/// these from creation to close.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    Reset(other.fd_);
+    other.fd_ = -1;
+    return *this;
+  }
+  ~UniqueFd() { Reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Closes the current fd (if any) and adopts `fd`.
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts `fd` into non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Creates a listening TCP socket bound to `host:port` (SO_REUSEADDR,
+/// CLOEXEC, non-blocking). `port` 0 binds an ephemeral port — read it back
+/// with LocalPort(). `host` must be a numeric IPv4 address ("127.0.0.1",
+/// "0.0.0.0").
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog = 128);
+
+/// Blocking TCP connect to `host:port` with a connect timeout; the returned
+/// socket is in blocking mode with SO_RCVTIMEO/SO_SNDTIMEO set to
+/// `io_timeout_micros` (0 = no I/O timeout).
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            uint64_t connect_timeout_micros,
+                            uint64_t io_timeout_micros = 0);
+
+/// The port a bound socket actually listens on (resolves ephemeral binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Number of open file descriptors in this process (via /proc/self/fd) —
+/// the chaos tests' leak detector. Returns -1 when /proc is unavailable.
+int CountOpenFds();
+
+}  // namespace xmlq
+
+#endif  // XMLQ_BASE_SOCKET_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string_view>
 
 namespace xmlq::exec {
 
@@ -22,6 +23,21 @@ Status ExhaustedWithHint(std::string reason, const AdmissionConfig& config) {
 }
 
 }  // namespace
+
+uint64_t RetryAfterMicrosFromStatus(const Status& status) {
+  if (status.code() != StatusCode::kResourceExhausted) return 0;
+  static constexpr std::string_view kKey = "retry-after-micros=";
+  const std::string& message = status.message();
+  const size_t pos = message.rfind(kKey);
+  if (pos == std::string::npos) return 0;
+  uint64_t value = 0;
+  for (size_t i = pos + kKey.size(); i < message.size(); ++i) {
+    const char c = message[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
 
 QueryScheduler::QueryScheduler(AdmissionConfig config) : config_(config) {}
 
@@ -131,7 +147,9 @@ void QueryScheduler::Poke() { cv_.notify_all(); }
 
 AdmissionStats QueryScheduler::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  AdmissionStats stats = stats_;
+  stats.retry_after_micros = RetryAfterMicros(config_);
+  return stats;
 }
 
 uint64_t QueryScheduler::admitted_total() const {

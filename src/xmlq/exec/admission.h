@@ -42,7 +42,19 @@ struct AdmissionStats {
   uint32_t queued = 0;
   uint32_t peak_running = 0;
   uint32_t peak_queued = 0;
+  /// The backoff hint (micros) the scheduler currently attaches to rejected
+  /// and shed admissions — the same value RetryAfterMicrosFromStatus parses
+  /// back out of those statuses. The single source of truth for the wire
+  /// protocol's retry_after_micros field.
+  uint64_t retry_after_micros = 0;
 };
+
+/// Parses the "retry-after-micros=<n>" hint the scheduler appends to every
+/// kResourceExhausted admission status; 0 when `status` carries none (not an
+/// admission rejection, or a foreign kResourceExhausted such as a query
+/// deadline). Keeping the hint in micros end-to-end — config, status detail,
+/// stats, wire frame — means no layer ever has to guess the unit.
+uint64_t RetryAfterMicrosFromStatus(const Status& status);
 
 /// Bounded admission with load shedding. One instance serves one Database;
 /// Admit() is called on the query's own thread and blocks while the query

@@ -1,0 +1,168 @@
+#include "xmlq/net/client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace xmlq::net {
+
+std::string_view CallOutcomeName(CallOutcome outcome) {
+  switch (outcome) {
+    case CallOutcome::kResponse: return "response";
+    case CallOutcome::kOverload: return "overload";
+    case CallOutcome::kConnectionError: return "connection-error";
+  }
+  return "?";
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               const ClientConfig& config) {
+  XMLQ_ASSIGN_OR_RETURN(
+      UniqueFd fd,
+      ConnectTcp(host, port, config.connect_timeout_micros,
+                 config.io_timeout_micros));
+  return Client(std::move(fd), config);
+}
+
+Status Client::SendFrame(FrameType type, uint64_t request_id,
+                         std::string_view payload) {
+  const std::string frame = EncodeFrame(type, request_id, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = send(fd_.get(), frame.data() + sent,
+                           frame.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(std::string("send: ") +
+                            (n < 0 ? std::strerror(errno) : "short write"));
+  }
+  return Status::Ok();
+}
+
+Result<std::pair<uint64_t, ResponsePayload>> Client::ReadResponse() {
+  while (true) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    const DecodeStatus status = DecodeFrame(
+        inbuf_, &frame, &consumed, &error, config_.max_frame_bytes);
+    if (status == DecodeStatus::kBad) {
+      return Status::ParseError("response stream corrupt: " + error);
+    }
+    if (status == DecodeStatus::kFrame) {
+      inbuf_.erase(0, consumed);
+      if (frame.type != FrameType::kResponse) {
+        return Status::ParseError(
+            "unexpected frame type from server: " +
+            std::string(FrameTypeName(frame.type)));
+      }
+      ResponsePayload response;
+      if (!DecodeResponse(frame.payload, &response)) {
+        return Status::ParseError("malformed response payload");
+      }
+      return std::make_pair(frame.request_id, std::move(response));
+    }
+    char buf[64 * 1024];
+    const ssize_t n = recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Internal("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::ResourceExhausted("response timeout");
+    }
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<uint64_t> Client::SendQuery(std::string_view text) {
+  const uint64_t request_id = next_request_id_++;
+  XMLQ_RETURN_IF_ERROR(SendFrame(FrameType::kQuery, request_id, text));
+  return request_id;
+}
+
+Result<uint64_t> Client::SendCancel(uint64_t target_request_id) {
+  const uint64_t request_id = next_request_id_++;
+  XMLQ_RETURN_IF_ERROR(SendFrame(FrameType::kCancel, request_id,
+                                 EncodeCancelTarget(target_request_id)));
+  return request_id;
+}
+
+Result<ResponsePayload> Client::RoundTrip(FrameType type,
+                                          std::string_view payload) {
+  const uint64_t request_id = next_request_id_++;
+  XMLQ_RETURN_IF_ERROR(SendFrame(type, request_id, payload));
+  while (true) {
+    XMLQ_ASSIGN_OR_RETURN(auto response, ReadResponse());
+    // Stale responses (e.g. from an earlier pipelined request) are skipped,
+    // not errors.
+    if (response.first == request_id) return std::move(response.second);
+  }
+}
+
+Result<ResponsePayload> Client::Query(std::string_view text) {
+  return RoundTrip(FrameType::kQuery, text);
+}
+
+Result<ResponsePayload> Client::Ping() {
+  return RoundTrip(FrameType::kPing, {});
+}
+
+Result<ResponsePayload> Client::Stats() {
+  return RoundTrip(FrameType::kStats, {});
+}
+
+CallResult Client::QueryWithRetry(std::string_view text,
+                                  const RetryPolicy& policy,
+                                  std::mt19937_64* rng) {
+  CallResult result;
+  for (uint32_t attempt = 0; attempt < std::max(policy.max_attempts, 1u);
+       ++attempt) {
+    result.attempts = attempt + 1;
+    auto response = Query(text);
+    if (!response.ok()) {
+      result.outcome = CallOutcome::kConnectionError;
+      result.transport_error = response.status();
+      return result;
+    }
+    result.response = std::move(*response);
+    const bool overloaded =
+        result.response.code == StatusCode::kResourceExhausted &&
+        result.response.retry_after_micros != 0;
+    if (!overloaded) {
+      result.outcome = CallOutcome::kResponse;
+      return result;
+    }
+    result.outcome = CallOutcome::kOverload;
+    if (attempt + 1 >= policy.max_attempts) return result;
+    // Honor the hint: exponential growth over attempts, ±50% jitter so a
+    // thundering herd of shed clients decorrelates, capped by the policy.
+    const uint64_t hint = result.response.retry_after_micros != 0
+                              ? result.response.retry_after_micros
+                              : policy.base_backoff_micros;
+    const uint64_t scaled =
+        hint << std::min<uint32_t>(attempt, 16);  // hint * 2^attempt
+    std::uniform_real_distribution<double> jitter(0.5, 1.5);
+    uint64_t wait = static_cast<uint64_t>(
+        static_cast<double>(scaled) * jitter(*rng));
+    wait = std::min(wait, policy.max_backoff_micros);
+    result.backoff_micros += wait;
+    std::this_thread::sleep_for(std::chrono::microseconds(wait));
+  }
+  return result;
+}
+
+}  // namespace xmlq::net

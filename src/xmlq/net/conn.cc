@@ -1,0 +1,16 @@
+#include "xmlq/net/conn.h"
+
+namespace xmlq::net {
+
+std::string_view EvictReasonName(Conn::Evict reason) {
+  switch (reason) {
+    case Conn::Evict::kNone: return "none";
+    case Conn::Evict::kIdle: return "idle";
+    case Conn::Evict::kReadDeadline: return "read-deadline";
+    case Conn::Evict::kWriteDeadline: return "write-deadline";
+    case Conn::Evict::kSlowClient: return "slow-client";
+  }
+  return "?";
+}
+
+}  // namespace xmlq::net

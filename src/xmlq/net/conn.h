@@ -1,0 +1,156 @@
+#ifndef XMLQ_NET_CONN_H_
+#define XMLQ_NET_CONN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "xmlq/base/limits.h"
+#include "xmlq/base/socket.h"
+#include "xmlq/net/protocol.h"
+
+namespace xmlq::net {
+
+/// Per-connection robustness knobs. Zero never means "unlimited" here — a
+/// serving tier with unbounded buffers or immortal idle connections is how
+/// one slow client takes down the fleet — so the defaults are real bounds.
+struct ConnLimits {
+  /// Cap on one frame (header + payload), enforced from the length field
+  /// alone, before any payload is buffered.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Queries allowed in flight per connection; one more is answered with a
+  /// retryable overload response (the frame is cheap, the query never
+  /// starts).
+  uint32_t max_inflight = 16;
+  /// Write-buffer backpressure bound: a client that reads slower than its
+  /// responses accumulate is evicted once the buffered bytes exceed this.
+  size_t max_write_buffer_bytes = 8u << 20;
+  /// A connection with no traffic and nothing in flight for this long is
+  /// closed.
+  uint64_t idle_timeout_micros = 60'000'000;
+  /// A partial frame must complete within this after its first byte
+  /// (defeats slow-loris trickle).
+  uint64_t read_deadline_micros = 10'000'000;
+  /// Buffered response bytes must drain within this of being queued.
+  uint64_t write_deadline_micros = 10'000'000;
+};
+
+/// One query in flight on a connection. The cancel token is created with
+/// the request — *before* the worker picks it up — so a wire Cancel frame
+/// always has something to cancel, with no window where the query exists
+/// but is not yet cancellable (Database::Query registers the same token
+/// before admission, and its guard polls it while queued and while
+/// running).
+struct InflightQuery {
+  std::shared_ptr<CancelToken> token = std::make_shared<CancelToken>();
+  /// Serving query id, published by Database::Query before admission; 0
+  /// until then. Diagnostic only — cancellation goes through the token.
+  std::atomic<uint64_t> query_id{0};
+};
+
+/// State of one accepted connection. Owned and mutated by the event-loop
+/// thread only; workers reach it exclusively through the server's
+/// completion queue (keyed by the connection's id, so a completion for a
+/// connection that died in the meantime is dropped, never dereferenced).
+class Conn {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Conn(uint64_t id, UniqueFd fd, const ConnLimits& limits, Clock::time_point now)
+      : id_(id), fd_(std::move(fd)), limits_(limits), last_activity_(now) {}
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_.get(); }
+
+  std::string& inbuf() { return inbuf_; }
+  std::string& outbuf() { return outbuf_; }
+  const ConnLimits& limits() const { return limits_; }
+
+  std::map<uint64_t, std::shared_ptr<InflightQuery>>& inflight() {
+    return inflight_;
+  }
+
+  /// Records read-side progress: fresh bytes arrived (`got_bytes`), and
+  /// afterwards the buffer either holds a partial frame or is empty.
+  void NoteRead(Clock::time_point now, bool partial_frame) {
+    last_activity_ = now;
+    if (partial_frame) {
+      if (!read_deadline_armed_) {
+        read_deadline_armed_ = true;
+        partial_since_ = now;
+      }
+    } else {
+      read_deadline_armed_ = false;
+    }
+  }
+
+  /// Records that response bytes were queued; arms the write deadline when
+  /// the buffer transitions empty -> non-empty.
+  void NoteQueuedWrite(Clock::time_point now) {
+    if (!write_deadline_armed_ && !outbuf_.empty()) {
+      write_deadline_armed_ = true;
+      write_pending_since_ = now;
+    }
+  }
+
+  /// Records write-side progress; re-arms from `now` while bytes remain
+  /// (progress resets the deadline — only a *stalled* client is evicted).
+  void NoteWrote(Clock::time_point now) {
+    last_activity_ = now;
+    if (outbuf_.empty()) {
+      write_deadline_armed_ = false;
+    } else {
+      write_pending_since_ = now;
+    }
+  }
+
+  /// Why a deadline sweep decided to evict this connection; kNone = keep.
+  enum class Evict : uint8_t { kNone, kIdle, kReadDeadline, kWriteDeadline,
+                               kSlowClient };
+
+  /// The deadline/backpressure policy, pure over this connection's state.
+  Evict CheckDeadlines(Clock::time_point now) const {
+    using std::chrono::microseconds;
+    if (outbuf_.size() > limits_.max_write_buffer_bytes) {
+      return Evict::kSlowClient;
+    }
+    if (write_deadline_armed_ &&
+        now - write_pending_since_ >
+            microseconds(limits_.write_deadline_micros)) {
+      return Evict::kWriteDeadline;
+    }
+    if (read_deadline_armed_ &&
+        now - partial_since_ > microseconds(limits_.read_deadline_micros)) {
+      return Evict::kReadDeadline;
+    }
+    if (inflight_.empty() && outbuf_.empty() && !read_deadline_armed_ &&
+        now - last_activity_ > microseconds(limits_.idle_timeout_micros)) {
+      return Evict::kIdle;
+    }
+    return Evict::kNone;
+  }
+
+ private:
+  const uint64_t id_;
+  UniqueFd fd_;
+  const ConnLimits limits_;
+
+  std::string inbuf_;
+  std::string outbuf_;
+  std::map<uint64_t, std::shared_ptr<InflightQuery>> inflight_;
+
+  Clock::time_point last_activity_;
+  Clock::time_point partial_since_{};
+  Clock::time_point write_pending_since_{};
+  bool read_deadline_armed_ = false;
+  bool write_deadline_armed_ = false;
+};
+
+std::string_view EvictReasonName(Conn::Evict reason);
+
+}  // namespace xmlq::net
+
+#endif  // XMLQ_NET_CONN_H_

@@ -1,0 +1,147 @@
+#include "xmlq/net/protocol.h"
+
+#include <cstring>
+
+#include "xmlq/base/crc32.h"
+
+namespace xmlq::net {
+
+namespace {
+
+uint32_t FrameCrc(const FrameHeader& header, std::string_view payload) {
+  FrameHeader crc_input = header;
+  crc_input.crc = 0;
+  const uint32_t crc = Crc32(&crc_input, sizeof(crc_input));
+  return Crc32(payload.data(), payload.size(), crc);
+}
+
+bool KnownFrameType(uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kQuery:
+    case FrameType::kCancel:
+    case FrameType::kPing:
+    case FrameType::kStats:
+    case FrameType::kResponse:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kQuery: return "query";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kPing: return "ping";
+    case FrameType::kStats: return "stats";
+    case FrameType::kResponse: return "response";
+  }
+  return "?";
+}
+
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view payload) {
+  FrameHeader header;
+  std::memcpy(header.magic, kFrameMagic, sizeof(header.magic));
+  header.version = kProtocolVersion;
+  header.type = static_cast<uint8_t>(type);
+  header.request_id = request_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.crc = FrameCrc(header, payload);
+  std::string bytes(sizeof(header) + payload.size(), '\0');
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  std::memcpy(bytes.data() + sizeof(header), payload.data(), payload.size());
+  return bytes;
+}
+
+std::string EncodeResponse(const ResponsePayload& response) {
+  const uint32_t code = static_cast<uint32_t>(response.code);
+  std::string bytes(sizeof(uint32_t) + sizeof(uint64_t) +
+                        response.body.size(),
+                    '\0');
+  std::memcpy(bytes.data(), &code, sizeof(code));
+  std::memcpy(bytes.data() + sizeof(code), &response.retry_after_micros,
+              sizeof(response.retry_after_micros));
+  std::memcpy(bytes.data() + sizeof(code) +
+                  sizeof(response.retry_after_micros),
+              response.body.data(), response.body.size());
+  return bytes;
+}
+
+bool DecodeResponse(std::string_view payload, ResponsePayload* out) {
+  constexpr size_t kFixed = sizeof(uint32_t) + sizeof(uint64_t);
+  if (payload.size() < kFixed) return false;
+  uint32_t code = 0;
+  std::memcpy(&code, payload.data(), sizeof(code));
+  bool known = false;
+  for (const StatusCode c : kAllStatusCodes) {
+    if (code == static_cast<uint32_t>(c)) known = true;
+  }
+  if (!known) return false;
+  out->code = static_cast<StatusCode>(code);
+  std::memcpy(&out->retry_after_micros, payload.data() + sizeof(code),
+              sizeof(out->retry_after_micros));
+  out->body.assign(payload.substr(kFixed));
+  return true;
+}
+
+std::string EncodeCancelTarget(uint64_t target_request_id) {
+  std::string bytes(sizeof(target_request_id), '\0');
+  std::memcpy(bytes.data(), &target_request_id, sizeof(target_request_id));
+  return bytes;
+}
+
+bool DecodeCancelTarget(std::string_view payload, uint64_t* out) {
+  if (payload.size() != sizeof(*out)) return false;
+  std::memcpy(out, payload.data(), sizeof(*out));
+  return true;
+}
+
+DecodeStatus DecodeFrame(std::string_view buffer, Frame* frame,
+                         size_t* consumed, std::string* error,
+                         uint32_t max_frame_bytes) {
+  if (buffer.size() < sizeof(FrameHeader)) return DecodeStatus::kNeedMore;
+  FrameHeader header;
+  std::memcpy(&header, buffer.data(), sizeof(header));
+  if (std::memcmp(header.magic, kFrameMagic, sizeof(header.magic)) != 0) {
+    *error = "bad frame magic";
+    return DecodeStatus::kBad;
+  }
+  if (header.version != kProtocolVersion) {
+    *error = "unsupported protocol version " + std::to_string(header.version);
+    return DecodeStatus::kBad;
+  }
+  if (!KnownFrameType(header.type)) {
+    *error = "unknown frame type " + std::to_string(header.type);
+    return DecodeStatus::kBad;
+  }
+  if (header.reserved != 0) {
+    *error = "reserved header bits set";
+    return DecodeStatus::kBad;
+  }
+  if (sizeof(FrameHeader) + static_cast<uint64_t>(header.payload_len) >
+      max_frame_bytes) {
+    *error = "frame too large (" + std::to_string(header.payload_len) +
+             " payload bytes, cap " + std::to_string(max_frame_bytes) + ")";
+    return DecodeStatus::kBad;
+  }
+  if (buffer.size() - sizeof(FrameHeader) < header.payload_len) {
+    return DecodeStatus::kNeedMore;
+  }
+  const std::string_view payload(buffer.data() + sizeof(FrameHeader),
+                                 header.payload_len);
+  const uint32_t crc = FrameCrc(header, payload);
+  if (crc != header.crc) {
+    *error = "frame checksum mismatch (stored " + std::to_string(header.crc) +
+             ", computed " + std::to_string(crc) + ")";
+    return DecodeStatus::kBad;
+  }
+  frame->type = static_cast<FrameType>(header.type);
+  frame->request_id = header.request_id;
+  frame->payload.assign(payload);
+  *consumed = sizeof(FrameHeader) + header.payload_len;
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace xmlq::net

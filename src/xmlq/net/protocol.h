@@ -1,0 +1,108 @@
+#ifndef XMLQ_NET_PROTOCOL_H_
+#define XMLQ_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "xmlq/base/status.h"
+
+namespace xmlq::net {
+
+/// The xmlq wire protocol (DESIGN.md §10): length-prefixed binary frames,
+/// each protected end-to-end by CRC-32C. Integers are little-endian host
+/// format, like the storage formats — the server refuses the connection on
+/// a magic mismatch, which also catches byte-order confusion.
+///
+/// Frame layout:
+///   [FrameHeader : 24 B][payload : payload_len B]
+///
+/// The header's crc covers the header (with crc zeroed) plus the payload,
+/// so a flipped bit anywhere in a frame invalidates it. A decode failure is
+/// not recoverable mid-stream (framing is lost), so the peer closes the
+/// connection — the client's retry layer treats that as a clean
+/// connection error and reconnects.
+
+inline constexpr char kFrameMagic[4] = {'X', 'Q', 'N', 'F'};
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Server-side default cap on one frame (header + payload); a header whose
+/// payload_len exceeds the cap is a protocol error, not an allocation.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class FrameType : uint8_t {
+  // Client -> server.
+  kQuery = 1,   // payload: XQuery/XPath text (UTF-8)
+  kCancel = 2,  // payload: u64 request_id of the in-flight query to cancel
+  kPing = 3,    // payload: empty
+  kStats = 4,   // payload: empty
+  // Server -> client, echoing the request's request_id.
+  kResponse = 16,  // payload: ResponsePayload (below)
+};
+
+/// Stable lowercase name for a frame type; "?" for unknown.
+std::string_view FrameTypeName(FrameType type);
+
+struct FrameHeader {
+  char magic[4];
+  uint8_t version = kProtocolVersion;
+  uint8_t type = 0;
+  uint16_t reserved = 0;    // must be 0
+  uint64_t request_id = 0;  // client-chosen; the response echoes it
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;  // CRC-32C of header (crc = 0) + payload
+};
+static_assert(sizeof(FrameHeader) == 24, "on-wire layout");
+
+/// One decoded frame, payload copied out of the stream buffer.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload + CRC).
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view payload);
+
+/// Every response frame carries a status code, the scheduler's retry-after
+/// backpressure hint (micros; 0 = no hint) and a body: the serialized
+/// result for kOk, the error message otherwise; the stats text for kStats;
+/// empty for kPing/kCancel acks.
+///
+/// Wire layout: [u32 status_code][u64 retry_after_micros][body bytes].
+struct ResponsePayload {
+  StatusCode code = StatusCode::kOk;
+  uint64_t retry_after_micros = 0;
+  std::string body;
+};
+
+std::string EncodeResponse(const ResponsePayload& response);
+/// False when the payload is shorter than the fixed fields or the status
+/// code is not a known StatusCode.
+bool DecodeResponse(std::string_view payload, ResponsePayload* out);
+
+/// Cancel-frame payload helpers (a single u64 target request id).
+std::string EncodeCancelTarget(uint64_t target_request_id);
+bool DecodeCancelTarget(std::string_view payload, uint64_t* out);
+
+/// One step of the incremental frame decoder.
+enum class DecodeStatus : uint8_t {
+  kFrame,     // *frame filled; *consumed bytes eaten from the buffer
+  kNeedMore,  // buffer holds a valid prefix of a frame; read more
+  kBad,       // stream is corrupt at its current position (*error says why)
+};
+
+/// Decodes the frame at the front of `buffer` without consuming it; the
+/// caller erases `*consumed` bytes after a kFrame. Rejects, with kBad: bad
+/// magic, unsupported version, unknown frame type, non-zero reserved bits,
+/// payload_len > max_frame_bytes (checked *before* waiting for the payload,
+/// so a length-field lie cannot stall or balloon the connection), and CRC
+/// mismatch. Never reads past buffer.size().
+DecodeStatus DecodeFrame(std::string_view buffer, Frame* frame,
+                         size_t* consumed, std::string* error,
+                         uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace xmlq::net
+
+#endif  // XMLQ_NET_PROTOCOL_H_

@@ -1,0 +1,646 @@
+#include "xmlq/net/server.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "xmlq/base/fault_injector.h"
+#include "xmlq/exec/admission.h"
+
+namespace xmlq::net {
+
+namespace {
+
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = 1;
+
+/// The loop ticks at least this often so deadline sweeps and drain progress
+/// never wait on socket activity.
+constexpr int kTickMillis = 20;
+
+std::string CounterLine(std::string_view name, uint64_t value) {
+  std::string out(name);
+  out += "=";
+  out += std::to_string(value);
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string ServerStats::ToString() const {
+  std::string out;
+  out += CounterLine("connections", connections);
+  out += CounterLine("accepted", accepted);
+  out += CounterLine("frames", frames);
+  out += CounterLine("queries", queries);
+  out += CounterLine("responses", responses);
+  out += CounterLine("overload_responses", overload_responses);
+  out += CounterLine("inflight_limit_rejects", inflight_limit_rejects);
+  out += CounterLine("drain_rejects", drain_rejects);
+  out += CounterLine("cancels", cancels);
+  out += CounterLine("pings", pings);
+  out += CounterLine("stats_requests", stats_requests);
+  out += CounterLine("protocol_errors", protocol_errors);
+  out += CounterLine("accept_faults", accept_faults);
+  out += CounterLine("accept_rejected_full", accept_rejected_full);
+  out += CounterLine("read_faults", read_faults);
+  out += CounterLine("write_faults", write_faults);
+  out += CounterLine("evicted_idle", evicted_idle);
+  out += CounterLine("evicted_read_deadline", evicted_read_deadline);
+  out += CounterLine("evicted_write_deadline", evicted_write_deadline);
+  out += CounterLine("evicted_slow", evicted_slow);
+  out += CounterLine("drain_cancelled", drain_cancelled);
+  return out;
+}
+
+Server::Server(api::Database* db, ServerConfig config)
+    : db_(db), config_(std::move(config)) {}
+
+Server::~Server() {
+  RequestDrain();
+  (void)Wait();
+}
+
+Status Server::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return Status::InvalidArgument("server already started");
+  XMLQ_ASSIGN_OR_RETURN(
+      listener_, ListenTcp(config_.host, config_.port, config_.backlog));
+  XMLQ_ASSIGN_OR_RETURN(uint16_t port, LocalPort(listener_.get()));
+  port_ = port;
+  epoll_.Reset(epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  wake_.Reset(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_.valid()) {
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  if (epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) < 0) {
+    return Status::Internal(std::string("epoll_ctl(listener): ") +
+                            std::strerror(errno));
+  }
+  ev.data.u64 = kWakeId;
+  if (epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) < 0) {
+    return Status::Internal(std::string("epoll_ctl(eventfd): ") +
+                            std::strerror(errno));
+  }
+  const uint32_t worker_count = config_.workers == 0 ? 1 : config_.workers;
+  workers_.reserve(worker_count);
+  for (uint32_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  loop_thread_ = std::thread([this] { Loop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void Server::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  WakeLoop();
+}
+
+void Server::WakeLoop() {
+  if (!wake_.valid()) return;
+  const uint64_t one = 1;
+  // write() is async-signal-safe; a full eventfd counter (EAGAIN) already
+  // means the loop has a pending wake-up.
+  [[maybe_unused]] const ssize_t rc =
+      write(wake_.get(), &one, sizeof(one));
+}
+
+Status Server::Wait() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || joined_) return loop_status_;
+    joined_ = true;
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return loop_status_;
+}
+
+Status Server::Shutdown() {
+  RequestDrain();
+  return Wait();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+
+void Server::Loop() {
+  epoll_event events[64];
+  while (true) {
+    const int n = epoll_wait(epoll_.get(), events, 64, kTickMillis);
+    if (n < 0 && errno != EINTR) {
+      std::lock_guard<std::mutex> lock(lifecycle_mu_);
+      loop_status_ = Status::Internal(std::string("epoll_wait: ") +
+                                      std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < (n < 0 ? 0 : n); ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t rc =
+            read(wake_.get(), &drained, sizeof(drained));
+        continue;
+      }
+      if (id == kListenerId) {
+        Accept();
+        continue;
+      }
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier this iteration
+      Conn* conn = it->second.get();
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(id, Conn::Evict::kNone);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+      // The connection may have died in HandleReadable.
+      if (conns_.find(id) == conns_.end()) continue;
+      if ((events[i].events & EPOLLOUT) != 0) HandleWritable(conn);
+    }
+
+    DrainCompletions();
+
+    if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
+      // Enter drain: stop accepting (close the listener so the port frees
+      // up immediately) and start the clock on in-flight work.
+      draining_ = true;
+      if (listener_.valid()) {
+        (void)epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(),
+                        nullptr);
+        listener_.Reset();
+      }
+      drain_deadline_ = Conn::Clock::now() + std::chrono::microseconds(
+                                                 config_.drain_deadline_micros);
+    }
+
+    SweepDeadlines();
+
+    if (draining_ && DrainFinished()) break;
+  }
+
+  // Loop exit: every remaining connection closes now; their in-flight
+  // queries were already cancelled by the drain state machine.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const uint64_t id : ids) CloseConn(id, Conn::Evict::kNone);
+}
+
+void Server::Accept() {
+  while (true) {
+    UniqueFd fd(accept4(listener_.get(), nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC));
+    if (!fd.valid()) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Transient accept errors (EMFILE and friends): count and carry on —
+      // the listener stays armed, so recovery is automatic once fds free.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.accept_faults;
+      return;
+    }
+    if (XMLQ_FAULT("net.accept")) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.accept_faults;
+      continue;  // fd closes on scope exit: the injected "accept failed"
+    }
+    if (conns_.size() >= config_.max_connections) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.accept_rejected_full;
+      continue;
+    }
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(id, std::move(fd), config_.limits,
+                                       Conn::Clock::now());
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, conn->fd(), &ev) < 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.accept_faults;
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+    stats_.connections = static_cast<uint32_t>(conns_.size());
+  }
+}
+
+void Server::HandleReadable(Conn* conn) {
+  const uint64_t id = conn->id();
+  char buf[64 * 1024];
+  while (true) {
+    if (XMLQ_FAULT("net.read")) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.read_faults;
+      }
+      CloseConn(id, Conn::Evict::kNone);
+      return;
+    }
+    const ssize_t n = read(conn->fd(), buf, sizeof(buf));
+    if (n > 0) {
+      conn->inbuf().append(buf, static_cast<size_t>(n));
+      if (!DrainInbuf(conn)) {
+        CloseConn(id, Conn::Evict::kNone);
+        return;
+      }
+      conn->NoteRead(Conn::Clock::now(), /*partial_frame=*/
+                     !conn->inbuf().empty());
+      if (static_cast<size_t>(n) < sizeof(buf)) return;
+      continue;  // possibly more data queued
+    }
+    if (n == 0) {  // orderly peer close
+      CloseConn(id, Conn::Evict::kNone);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(id, Conn::Evict::kNone);
+    return;
+  }
+}
+
+bool Server::DrainInbuf(Conn* conn) {
+  while (true) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    const DecodeStatus status =
+        DecodeFrame(conn->inbuf(), &frame, &consumed, &error,
+                    conn->limits().max_frame_bytes);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (status == DecodeStatus::kBad || XMLQ_FAULT("net.frame.decode")) {
+      // Framing is gone; nothing sent after this point could be attributed
+      // to a request, so the only safe move is to close.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      return false;
+    }
+    conn->inbuf().erase(0, consumed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames;
+    }
+    Dispatch(conn, std::move(frame));
+  }
+}
+
+void Server::Dispatch(Conn* conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPing: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.pings;
+      }
+      QueueResponse(conn, frame.request_id, ResponsePayload{});
+      return;
+    }
+    case FrameType::kStats: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.stats_requests;
+      }
+      ResponsePayload response;
+      const exec::AdmissionStats admission = db_->admission_stats();
+      response.retry_after_micros = admission.retry_after_micros;
+      response.body = "admission: submitted=" +
+                      std::to_string(admission.submitted) +
+                      " admitted=" + std::to_string(admission.admitted) +
+                      " rejected=" + std::to_string(admission.rejected) +
+                      " shed=" + std::to_string(admission.shed) +
+                      " running=" + std::to_string(admission.running) +
+                      " queued=" + std::to_string(admission.queued) + "\n" +
+                      db_->BreakerReport() + stats().ToString();
+      QueueResponse(conn, frame.request_id, response);
+      return;
+    }
+    case FrameType::kCancel: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.cancels;
+      }
+      uint64_t target = 0;
+      ResponsePayload response;
+      if (!DecodeCancelTarget(frame.payload, &target)) {
+        response.code = StatusCode::kInvalidArgument;
+        response.body = "malformed cancel payload";
+      } else if (const auto it = conn->inflight().find(target);
+                 it != conn->inflight().end()) {
+        // Cancel the token first (covers the not-yet-started window), then
+        // go through Database::Cancel so a query parked in the admission
+        // queue is woken promptly.
+        it->second->token->Cancel();
+        const uint64_t query_id =
+            it->second->query_id.load(std::memory_order_acquire);
+        if (query_id != 0) (void)db_->Cancel(query_id);
+        response.body = "cancel signalled";
+      } else {
+        response.code = StatusCode::kNotFound;
+        response.body = "no in-flight request " + std::to_string(target);
+      }
+      QueueResponse(conn, frame.request_id, response);
+      return;
+    }
+    case FrameType::kQuery: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.queries;
+      }
+      if (draining_) {
+        ResponsePayload response;
+        response.code = StatusCode::kResourceExhausted;
+        response.retry_after_micros = config_.drain_deadline_micros;
+        response.body = "server draining; retry elsewhere";
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.drain_rejects;
+          ++stats_.overload_responses;
+        }
+        QueueResponse(conn, frame.request_id, response);
+        return;
+      }
+      if (conn->inflight().size() >= conn->limits().max_inflight) {
+        ResponsePayload response;
+        response.code = StatusCode::kResourceExhausted;
+        response.retry_after_micros =
+            db_->admission_stats().retry_after_micros;
+        response.body = "connection in-flight limit (" +
+                        std::to_string(conn->limits().max_inflight) +
+                        ") reached";
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.inflight_limit_rejects;
+          ++stats_.overload_responses;
+        }
+        QueueResponse(conn, frame.request_id, response);
+        return;
+      }
+      auto [it, inserted] = conn->inflight().emplace(
+          frame.request_id, std::make_shared<InflightQuery>());
+      if (!inserted) {
+        ResponsePayload response;
+        response.code = StatusCode::kInvalidArgument;
+        response.body = "request id " + std::to_string(frame.request_id) +
+                        " already in flight on this connection";
+        QueueResponse(conn, frame.request_id, response);
+        return;
+      }
+      Job job;
+      job.conn_id = conn->id();
+      job.request_id = frame.request_id;
+      job.query = std::move(frame.payload);
+      job.inflight = it->second;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        jobs_.push_back(std::move(job));
+      }
+      jobs_cv_.notify_one();
+      return;
+    }
+    case FrameType::kResponse:
+      break;  // a client frame type only; fall through to protocol error
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.protocol_errors;
+}
+
+void Server::QueueResponse(Conn* conn, uint64_t request_id,
+                           const ResponsePayload& response) {
+  conn->outbuf() += EncodeFrame(FrameType::kResponse, request_id,
+                                EncodeResponse(response));
+  conn->NoteQueuedWrite(Conn::Clock::now());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.responses;
+  }
+  const uint64_t id = conn->id();
+  if (!FlushWrites(conn)) {
+    CloseConn(id, Conn::Evict::kNone);
+    return;
+  }
+  UpdateEpoll(conn);
+}
+
+void Server::HandleWritable(Conn* conn) {
+  const uint64_t id = conn->id();
+  if (!FlushWrites(conn)) {
+    CloseConn(id, Conn::Evict::kNone);
+    return;
+  }
+  UpdateEpoll(conn);
+}
+
+bool Server::FlushWrites(Conn* conn) {
+  while (!conn->outbuf().empty()) {
+    if (XMLQ_FAULT("net.write")) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.write_faults;
+      return false;
+    }
+    const ssize_t n = send(conn->fd(), conn->outbuf().data(),
+                           conn->outbuf().size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbuf().erase(0, static_cast<size_t>(n));
+      conn->NoteWrote(Conn::Clock::now());
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone / hard error
+  }
+  return true;
+}
+
+void Server::UpdateEpoll(Conn* conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn->outbuf().empty() ? 0u : EPOLLOUT);
+  ev.data.u64 = conn->id();
+  (void)epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn->fd(), &ev);
+}
+
+void Server::CloseConn(uint64_t conn_id, Conn::Evict reason) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  // Cancel whatever this connection still has running: nobody is left to
+  // read the answers, and the slots should go to live clients.
+  for (auto& [request_id, inflight] : conn->inflight()) {
+    inflight->token->Cancel();
+    const uint64_t query_id =
+        inflight->query_id.load(std::memory_order_acquire);
+    if (query_id != 0) (void)db_->Cancel(query_id);
+  }
+  (void)epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, conn->fd(), nullptr);
+  conns_.erase(it);  // UniqueFd closes the socket
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.connections = static_cast<uint32_t>(conns_.size());
+  switch (reason) {
+    case Conn::Evict::kNone: break;
+    case Conn::Evict::kIdle: ++stats_.evicted_idle; break;
+    case Conn::Evict::kReadDeadline: ++stats_.evicted_read_deadline; break;
+    case Conn::Evict::kWriteDeadline: ++stats_.evicted_write_deadline; break;
+    case Conn::Evict::kSlowClient: ++stats_.evicted_slow; break;
+  }
+}
+
+void Server::DrainCompletions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    const auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;  // connection died while running
+    Conn* conn = it->second.get();
+    conn->inflight().erase(done.request_id);
+    conn->outbuf() += done.frame;
+    conn->NoteQueuedWrite(Conn::Clock::now());
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.responses;
+      if (done.overload) ++stats_.overload_responses;
+    }
+    if (!FlushWrites(conn)) {
+      CloseConn(done.conn_id, Conn::Evict::kNone);
+      continue;
+    }
+    UpdateEpoll(conn);
+  }
+}
+
+void Server::SweepDeadlines() {
+  const auto now = Conn::Clock::now();
+  std::vector<std::pair<uint64_t, Conn::Evict>> doomed;
+  for (const auto& [id, conn] : conns_) {
+    const Conn::Evict reason = conn->CheckDeadlines(now);
+    if (reason != Conn::Evict::kNone) doomed.emplace_back(id, reason);
+  }
+  for (const auto& [id, reason] : doomed) CloseConn(id, reason);
+}
+
+bool Server::DrainFinished() {
+  const auto now = Conn::Clock::now();
+  if (!drain_cancelled_inflight_ && now >= drain_deadline_) {
+    // Deadline passed: in-flight queries lose their grace period.
+    drain_cancelled_inflight_ = true;
+    uint64_t cancelled = 0;
+    for (const auto& [id, conn] : conns_) {
+      for (auto& [request_id, inflight] : conn->inflight()) {
+        inflight->token->Cancel();
+        const uint64_t query_id =
+            inflight->query_id.load(std::memory_order_acquire);
+        if (query_id != 0) (void)db_->Cancel(query_id);
+        ++cancelled;
+      }
+    }
+    if (cancelled != 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.drain_cancelled += cancelled;
+    }
+  }
+  // A connection is done once it has nothing in flight and nothing left to
+  // flush. Cancelled queries still post their kCancelled responses first,
+  // so "zero lost responses" holds for everything that was admitted.
+  std::vector<uint64_t> quiet;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->inflight().empty() && conn->outbuf().empty()) {
+      quiet.push_back(id);
+    }
+  }
+  for (const uint64_t id : quiet) CloseConn(id, Conn::Evict::kNone);
+  if (!conns_.empty()) {
+    // Past the deadline plus one more full deadline of flush grace, give
+    // up: force-close whoever is left (slow readers of their last bytes).
+    if (drain_cancelled_inflight_ &&
+        now >= drain_deadline_ + std::chrono::microseconds(
+                                     config_.drain_deadline_micros)) {
+      return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+
+void Server::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] { return jobs_stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (jobs_stop_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    ResponsePayload response;
+    if (job.inflight->token->cancelled()) {
+      // Cancelled (or its connection died) before the query started.
+      response.code = StatusCode::kCancelled;
+      response.body = "query cancelled before execution";
+    } else {
+      api::QueryOptions options;
+      options.limits.cancel_token = job.inflight->token;
+      options.query_id_out = &job.inflight->query_id;
+      auto result = db_->Query(job.query, options);
+      if (result.ok()) {
+        response.body = api::Database::ToXml(*result);
+      } else {
+        response.code = result.status().code();
+        response.retry_after_micros =
+            exec::RetryAfterMicrosFromStatus(result.status());
+        response.body = result.status().message();
+      }
+    }
+    Completion done;
+    done.conn_id = job.conn_id;
+    done.request_id = job.request_id;
+    done.overload = response.code == StatusCode::kResourceExhausted &&
+                    response.retry_after_micros != 0;
+    done.frame = EncodeFrame(FrameType::kResponse, job.request_id,
+                             EncodeResponse(response));
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(done));
+    }
+    WakeLoop();
+  }
+}
+
+}  // namespace xmlq::net

@@ -1,0 +1,188 @@
+#ifndef XMLQ_NET_SERVER_H_
+#define XMLQ_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xmlq/api/database.h"
+#include "xmlq/base/socket.h"
+#include "xmlq/base/status.h"
+#include "xmlq/net/conn.h"
+#include "xmlq/net/protocol.h"
+
+namespace xmlq::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = bind an ephemeral port; read back with port()
+  int backlog = 128;
+  /// Query worker threads. The event loop never runs a query itself: every
+  /// Query frame is dispatched here so one slow query cannot stall accepts,
+  /// reads, pings or cancels.
+  uint32_t workers = 4;
+  uint32_t max_connections = 1024;
+  ConnLimits limits;
+  /// Drain budget: after RequestDrain(), in-flight queries get this long to
+  /// finish before they are cancelled (Database::Cancel via their tokens);
+  /// responses still flush, then connections close.
+  uint64_t drain_deadline_micros = 5'000'000;
+};
+
+/// Event-loop counters, readable from any thread via Server::stats().
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t accept_faults = 0;       // injected or real accept failures
+  uint64_t accept_rejected_full = 0;  // over max_connections
+  uint64_t frames = 0;
+  uint64_t queries = 0;
+  uint64_t cancels = 0;
+  uint64_t pings = 0;
+  uint64_t stats_requests = 0;
+  uint64_t responses = 0;
+  uint64_t overload_responses = 0;  // admission shed/reject relayed + local
+  uint64_t inflight_limit_rejects = 0;
+  uint64_t drain_rejects = 0;       // Query frames refused while draining
+  uint64_t protocol_errors = 0;
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t evicted_idle = 0;
+  uint64_t evicted_read_deadline = 0;
+  uint64_t evicted_write_deadline = 0;
+  uint64_t evicted_slow = 0;
+  uint64_t drain_cancelled = 0;     // in-flight queries cancelled at drain
+  uint32_t connections = 0;         // currently open
+  std::string ToString() const;
+};
+
+/// The fault-tolerant serving front-end (DESIGN.md §10): one epoll event
+/// loop owning every socket, a worker pool running queries through the
+/// embedded api::Database (whose admission control, cancellation and
+/// circuit breakers do the heavy lifting), and a drain state machine
+///
+///   kServing --RequestDrain()--> kDraining --deadline/idle--> kClosed
+///
+/// kServing: accept + serve. kDraining: listener closed, new Query frames
+/// answered with a retryable overload response, in-flight queries finish
+/// (or are cancelled once the drain deadline passes), write buffers flush,
+/// each connection closes as it goes quiet. kClosed: Run() returns; Wait()
+/// unblocks.
+///
+/// Fault sites, armed by the chaos suite: "net.accept" (accepted socket
+/// dropped), "net.read" (read treated as a connection error),
+/// "net.write" (write treated as a connection error), "net.frame.decode"
+/// (frame treated as corrupt). Every one of them must result in a clean
+/// connection close — no crash, no fd leak, no stuck connection — which is
+/// exactly what tests/net_test.cc's chaos matrix asserts.
+class Server {
+ public:
+  Server(api::Database* db, ServerConfig config);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  /// Force-drains (zero deadline) and joins if still running.
+  ~Server();
+
+  /// Binds, spawns the worker pool and the event-loop thread. On return the
+  /// server is accepting connections on port().
+  Status Start();
+
+  /// The bound port (valid after Start; resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Begins graceful drain. Async-signal-safe (one atomic store + one
+  /// write() to an eventfd), so a SIGTERM handler may call it directly.
+  void RequestDrain();
+
+  /// Blocks until the drain completes and every thread is joined. Idempotent.
+  Status Wait();
+
+  /// RequestDrain() + Wait().
+  Status Shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct Job {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::string query;
+    std::shared_ptr<InflightQuery> inflight;
+  };
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::string frame;  // encoded response
+    bool overload = false;
+  };
+
+  void Loop();
+  void WorkerLoop();
+  void Accept();
+  void HandleReadable(Conn* conn);
+  void HandleWritable(Conn* conn);
+  /// Decodes and dispatches every complete frame in conn's inbuf; returns
+  /// false when the connection must close (protocol error / injected
+  /// decode fault).
+  bool DrainInbuf(Conn* conn);
+  void Dispatch(Conn* conn, Frame frame);
+  void QueueResponse(Conn* conn, uint64_t request_id,
+                     const ResponsePayload& response);
+  /// Flushes as much of conn's outbuf as the socket accepts; returns false
+  /// when the connection died (write error / injected fault / peer gone).
+  bool FlushWrites(Conn* conn);
+  void UpdateEpoll(Conn* conn);
+  void CloseConn(uint64_t conn_id, Conn::Evict reason);
+  void DrainCompletions();
+  void SweepDeadlines();
+  /// Advances the drain state machine; true when the loop should exit.
+  bool DrainFinished();
+  void WakeLoop();
+
+  api::Database* const db_;
+  const ServerConfig config_;
+
+  UniqueFd listener_;
+  UniqueFd epoll_;
+  UniqueFd wake_;
+  uint16_t port_ = 0;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;  // loop-thread view
+  Conn::Clock::time_point drain_deadline_{};
+  bool drain_cancelled_inflight_ = false;
+
+  // Connections: loop-thread only.
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 16;  // ids 0..15 reserved for loop-internal fds
+
+  // Worker queue.
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool jobs_stop_ = false;
+
+  // Completions, posted by workers, drained by the loop.
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::mutex lifecycle_mu_;
+  bool started_ = false;
+  bool joined_ = false;
+  Status loop_status_;
+};
+
+}  // namespace xmlq::net
+
+#endif  // XMLQ_NET_SERVER_H_

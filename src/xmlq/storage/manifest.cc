@@ -199,6 +199,7 @@ Result<Manifest> Manifest::Open(const std::string& dir) {
   manifest.replay_.valid_bytes = pos;
   manifest.replay_.torn_bytes = bytes.size() - pos;
   manifest.replay_.torn_detail = std::move(torn_detail);
+  manifest.record_count_ = manifest.replay_.records;
 
   if (manifest.replay_.torn_bytes > 0) {
     // Truncate the torn tail so the next append starts at a valid record
@@ -218,6 +219,25 @@ Status Manifest::Append(const ManifestRecord& record) {
   }
   XMLQ_RETURN_IF_ERROR(AppendWithSync(journal_path_, EncodeRecord(record)));
   Apply(record);
+  ++record_count_;
+  return Status::Ok();
+}
+
+Status Manifest::Compact() {
+  if (XMLQ_FAULT("store.manifest.compact")) {
+    return Status::Internal("injected compact failure on manifest \"" +
+                            journal_path_ + "\"");
+  }
+  ManifestFileHeader header;
+  std::memcpy(header.magic, kManifestMagic, sizeof(header.magic));
+  header.version = kManifestVersion;
+  header.crc = Crc32(&header, offsetof(ManifestFileHeader, crc));
+  std::string image(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (const auto& [name, record] : entries_) {
+    image += EncodeRecord(record);
+  }
+  XMLQ_RETURN_IF_ERROR(WriteFileAtomic(journal_path_, image));
+  record_count_ = entries_.size();
   return Status::Ok();
 }
 

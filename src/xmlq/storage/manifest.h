@@ -119,6 +119,32 @@ class Manifest {
   /// it to entries(). Fault site: "store.manifest.append".
   Status Append(const ManifestRecord& record);
 
+  /// Journal records behind the current in-memory catalog (replayed at Open
+  /// plus appended since). Compaction resets this to the live-entry count.
+  uint64_t records() const { return record_count_; }
+
+  /// True once the journal carries enough dead weight to be worth
+  /// rewriting: replication ships the journal, so every superseded
+  /// register/remove/quarantine record is a byte shipped forever. The
+  /// threshold keeps small stores from compacting on every Persist while
+  /// bounding the journal at a few times its live size.
+  bool ShouldCompact() const {
+    return record_count_ >= kCompactMinRecords &&
+           record_count_ >= (entries_.size() + 1) * kCompactSlack;
+  }
+
+  /// Rewrites the journal as a snapshot of the live entries: the file
+  /// header plus exactly one kRegister record per entry, written atomically
+  /// (WriteFileAtomic's temp+rename+dir-sync), so a crash anywhere leaves
+  /// either the old journal or the new — both replay to the same catalog.
+  /// Appends after a compaction form the new tail. Generations are
+  /// preserved, so NextGeneration() stays strictly increasing across a
+  /// compact. Fault site: "store.manifest.compact".
+  Status Compact();
+
+  static constexpr uint64_t kCompactMinRecords = 64;
+  static constexpr uint64_t kCompactSlack = 4;
+
   /// `name` flattened into a filesystem-safe snapshot file stem (every byte
   /// outside [A-Za-z0-9._-] becomes '_').
   static std::string SanitizeFileStem(std::string_view name);
@@ -137,6 +163,7 @@ class Manifest {
   std::map<std::string, ManifestRecord, std::less<>> entries_;
   ManifestReplayInfo replay_;
   uint64_t max_generation_ = 0;
+  uint64_t record_count_ = 0;
 };
 
 }  // namespace xmlq::storage

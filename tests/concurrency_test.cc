@@ -96,9 +96,43 @@ TEST(QuerySchedulerTest, RejectsWhenQueueIsFullWithRetryHint) {
   EXPECT_NE(second.status().message().find("retry-after-micros=1000"),
             std::string::npos)
       << second.status().ToString();
+  // The hint is exposed structurally too — one unit (micros) end-to-end:
+  // config, status detail, stats, and the wire protocol's response field.
+  EXPECT_EQ(exec::RetryAfterMicrosFromStatus(second.status()), 1000u);
   const exec::AdmissionStats stats = scheduler.Stats();
   EXPECT_EQ(stats.rejected, 1u);
   EXPECT_EQ(stats.running, 1u);
+  EXPECT_EQ(stats.retry_after_micros, 1000u);
+}
+
+TEST(QuerySchedulerTest, RetryAfterHintIsStructuredEndToEnd) {
+  exec::QueryScheduler scheduler;
+  // Bounded queue with a 7500us deadline: the hint tracks the deadline.
+  scheduler.Configure({.max_concurrent = 1, .max_queue = 0,
+                       .queue_deadline_micros = 7500});
+  EXPECT_EQ(scheduler.Stats().retry_after_micros, 7500u);
+  auto slot = scheduler.Admit();
+  ASSERT_TRUE(slot.ok());
+  auto rejected = scheduler.Admit();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(exec::RetryAfterMicrosFromStatus(rejected.status()), 7500u);
+  auto tried = scheduler.TryAdmit();
+  ASSERT_FALSE(tried.ok());
+  EXPECT_EQ(exec::RetryAfterMicrosFromStatus(tried.status()), 7500u);
+
+  // Unbounded waiting: the scheduler advertises its 1ms default hint.
+  scheduler.Configure({.max_concurrent = 1, .max_queue = 0,
+                       .queue_deadline_micros = 0});
+  EXPECT_EQ(scheduler.Stats().retry_after_micros, 1000u);
+
+  // Statuses that are not admission rejections carry no hint.
+  EXPECT_EQ(exec::RetryAfterMicrosFromStatus(Status::Ok()), 0u);
+  EXPECT_EQ(exec::RetryAfterMicrosFromStatus(
+                Status::ResourceExhausted("query deadline exceeded")),
+            0u);
+  EXPECT_EQ(exec::RetryAfterMicrosFromStatus(
+                Status::Internal("retry-after-micros=99")),
+            0u);
 }
 
 TEST(QuerySchedulerTest, ShedsAfterQueueDeadline) {

@@ -31,6 +31,7 @@
 
 #include "xmlq/api/database.h"
 #include "xmlq/base/crc32.h"
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/base/file_io.h"
 #include "xmlq/base/random.h"
 #include "xmlq/datagen/bib_gen.h"
@@ -152,6 +153,73 @@ TEST(ManifestTest, RoundTripRemoveAndGenerations) {
   EXPECT_EQ(live.snapshot_crc, 0xabcdef01u);
   // Generations never restart, even after removals.
   EXPECT_EQ(reopened->NextGeneration(), 4u);
+}
+
+TEST(ManifestTest, CompactionSnapshotsLiveEntriesAtomically) {
+  TempDir dir("recovery_manifest_compact");
+  auto manifest = Manifest::Open(dir.path());
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_FALSE(manifest->ShouldCompact()) << "empty journal must not compact";
+
+  // Churn two names through many register/remove cycles plus one name that
+  // stays live, so the journal is mostly dead weight.
+  ManifestRecord keeper;
+  keeper.op = ManifestOp::kRegister;
+  keeper.generation = manifest->NextGeneration();
+  keeper.name = "keeper";
+  keeper.file = "keeper-g1.xqpack";
+  keeper.snapshot_size = 321;
+  keeper.snapshot_crc = 0xfeedbeef;
+  ASSERT_TRUE(manifest->Append(keeper).ok());
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    ManifestRecord churn;
+    churn.op = ManifestOp::kRegister;
+    churn.generation = manifest->NextGeneration();
+    churn.name = "churn";
+    churn.file = "churn-g" + std::to_string(churn.generation) + ".xqpack";
+    ASSERT_TRUE(manifest->Append(churn).ok());
+    churn.op = ManifestOp::kRemove;
+    churn.generation = manifest->NextGeneration();
+    churn.file.clear();
+    ASSERT_TRUE(manifest->Append(churn).ok());
+  }
+  ASSERT_EQ(manifest->records(), 81u);
+  ASSERT_TRUE(manifest->ShouldCompact());
+  const uint64_t bloated = std::filesystem::file_size(manifest->journal_path());
+
+  // An injected compaction failure leaves the journal fully intact (the
+  // rewrite is atomic old-or-new) and the catalog still replayable.
+  FaultInjector::Instance().Arm("store.manifest.compact", 0, 1);
+  EXPECT_FALSE(manifest->Compact().ok());
+  FaultInjector::Instance().Reset();
+  EXPECT_EQ(std::filesystem::file_size(manifest->journal_path()), bloated);
+
+  ASSERT_TRUE(manifest->Compact().ok());
+  EXPECT_EQ(manifest->records(), 1u);
+  EXPECT_FALSE(manifest->ShouldCompact());
+  EXPECT_LT(std::filesystem::file_size(manifest->journal_path()), bloated / 10);
+
+  // The compacted journal replays to the identical catalog, appends still
+  // work, and generations never rewind for live entries.
+  auto reopened = Manifest::Open(dir.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->replay().records, 1u);
+  EXPECT_EQ(reopened->replay().torn_bytes, 0u);
+  ASSERT_EQ(reopened->entries().size(), 1u);
+  const ManifestRecord& live = reopened->entries().at("keeper");
+  EXPECT_EQ(live.generation, 1u);
+  EXPECT_EQ(live.file, "keeper-g1.xqpack");
+  EXPECT_EQ(live.snapshot_size, 321u);
+  EXPECT_EQ(live.snapshot_crc, 0xfeedbeefu);
+  ManifestRecord after;
+  after.op = ManifestOp::kRegister;
+  after.generation = reopened->NextGeneration();
+  after.name = "after";
+  after.file = "after.xqpack";
+  ASSERT_TRUE(reopened->Append(after).ok());
+  auto final_state = Manifest::Open(dir.path());
+  ASSERT_TRUE(final_state.ok());
+  EXPECT_EQ(final_state->entries().size(), 2u);
 }
 
 TEST(ManifestTest, TornTailIsTruncatedAndJournalStaysAppendable) {
@@ -467,6 +535,38 @@ TEST(DurableStoreTest, ReplaceUnlinksOldGeneration) {
   Database db;
   ASSERT_TRUE(db.Attach(dir.path(), SnapshotOpenMode::kCopy).ok());
   EXPECT_EQ(DocImage(db, "bib.xml"), ExpectedImage(25));
+}
+
+TEST(DurableStoreTest, PersistCompactsTheJournalPastTheThreshold) {
+  TempDir dir("recovery_compact_e2e");
+  const std::string journal =
+      dir.path() + "/" + storage::kManifestFileName;
+  {
+    Database db;
+    ASSERT_TRUE(db.Attach(dir.path(), SnapshotOpenMode::kCopy).ok());
+    ASSERT_TRUE(db.RegisterDocument("bib.xml", MakeBib(12)).ok());
+    // Each Persist of an already-persisted name appends one replace record;
+    // crossing Manifest::kCompactMinRecords must trigger the in-line
+    // compaction, collapsing the journal back to one record per live doc.
+    uint64_t peak = 0;
+    for (uint64_t i = 0; i < Manifest::kCompactMinRecords + 4; ++i) {
+      ASSERT_TRUE(db.Persist("bib.xml").ok());
+      peak = std::max(peak, std::filesystem::file_size(journal));
+    }
+    EXPECT_LT(std::filesystem::file_size(journal), peak / 8)
+        << "journal never compacted";
+  }
+  // The compacted store recovers to the exact same catalog.
+  Database db;
+  auto report = db.Attach(dir.path(), SnapshotOpenMode::kCopy);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->loaded.size(), 1u);
+  // One compacted record plus the appends that landed after the compact.
+  EXPECT_LE(report->manifest_records, 5u) << "replayed a bloated journal";
+  EXPECT_TRUE(report->quarantined.empty());
+  EXPECT_EQ(DocImage(db, "bib.xml"), ExpectedImage(12));
+  // Exactly one snapshot file survived all the churn.
+  OnlySnapshotIn(dir.path());
 }
 
 TEST(DurableStoreTest, RemoveIsDurable) {

@@ -20,7 +20,8 @@ cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DXMLQ_SANITIZE="${SANITIZER}" \
   -DXMLQ_BUILD_BENCHMARKS=OFF \
-  -DXMLQ_BUILD_EXAMPLES=OFF
+  -DXMLQ_BUILD_EXAMPLES=OFF \
+  -DXMLQ_BUILD_TOOLS=OFF
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
