@@ -12,6 +12,17 @@
 
 namespace xmlq::net {
 
+uint64_t ScaledBackoffMicros(uint64_t hint_micros, uint32_t attempt,
+                             const RetryPolicy& policy) {
+  const uint32_t shift = std::min<uint32_t>(attempt, 16);
+  // hint * 2^attempt, saturating at the cap: compare against the cap
+  // pre-shifted down instead of shifting the hint up, so nothing can wrap.
+  if (hint_micros > (policy.max_backoff_micros >> shift)) {
+    return policy.max_backoff_micros;
+  }
+  return hint_micros << shift;
+}
+
 std::string_view CallOutcomeName(CallOutcome outcome) {
   switch (outcome) {
     case CallOutcome::kResponse: return "response";
@@ -153,8 +164,7 @@ CallResult Client::QueryWithRetry(std::string_view text,
     const uint64_t hint = result.response.retry_after_micros != 0
                               ? result.response.retry_after_micros
                               : policy.base_backoff_micros;
-    const uint64_t scaled =
-        hint << std::min<uint32_t>(attempt, 16);  // hint * 2^attempt
+    const uint64_t scaled = ScaledBackoffMicros(hint, attempt, policy);
     std::uniform_real_distribution<double> jitter(0.5, 1.5);
     uint64_t wait = static_cast<uint64_t>(
         static_cast<double>(scaled) * jitter(*rng));

@@ -30,6 +30,13 @@ struct RetryPolicy {
   uint64_t max_backoff_micros = 500'000;
 };
 
+/// The pre-jitter backoff schedule QueryWithRetry follows: the server's
+/// retry-after hint scaled by 2^attempt, saturating at
+/// policy.max_backoff_micros — a huge hint cannot overflow and wrap to a
+/// near-zero wait.
+uint64_t ScaledBackoffMicros(uint64_t hint_micros, uint32_t attempt,
+                             const RetryPolicy& policy);
+
 /// What one retried request ultimately came to. Every request ends in
 /// exactly one of these — the trichotomy the chaos suite asserts.
 enum class CallOutcome : uint8_t {

@@ -1,6 +1,9 @@
 #include "xmlq/net/protocol.h"
 
+#include <cassert>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "xmlq/base/crc32.h"
 
@@ -42,6 +45,15 @@ std::string_view FrameTypeName(FrameType type) {
 
 std::string EncodeFrame(FrameType type, uint64_t request_id,
                         std::string_view payload) {
+  // payload_len is a u32 on the wire. A payload that does not fit would
+  // silently truncate the length field and corrupt the stream for the
+  // peer, which is strictly worse than dying here: callers must cap or
+  // split (the server substitutes a status response — see
+  // Server::EncodeResponseFrame).
+  if (payload.size() > std::numeric_limits<uint32_t>::max()) {
+    assert(false && "EncodeFrame payload exceeds u32 length field");
+    std::abort();
+  }
   FrameHeader header;
   std::memcpy(header.magic, kFrameMagic, sizeof(header.magic));
   header.version = kProtocolVersion;

@@ -61,7 +61,10 @@ struct Frame {
   std::string payload;
 };
 
-/// Serializes one frame (header + payload + CRC).
+/// Serializes one frame (header + payload + CRC). The payload must fit the
+/// u32 length field (< 4 GiB) — anything larger aborts rather than
+/// truncating the length and corrupting the stream; size-capping payloads
+/// is the caller's job (the server substitutes an error status response).
 std::string EncodeFrame(FrameType type, uint64_t request_id,
                         std::string_view payload);
 

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <utility>
@@ -64,6 +65,9 @@ Server::Server(api::Database* db, ServerConfig config)
     : db_(db), config_(std::move(config)) {}
 
 Server::~Server() {
+  // No effect if the loop already entered drain with the configured
+  // deadline — then this just joins the in-progress graceful drain.
+  drain_deadline_override_micros_.store(0, std::memory_order_release);
   RequestDrain();
   (void)Wait();
 }
@@ -121,21 +125,28 @@ void Server::WakeLoop() {
 }
 
 Status Server::Wait() {
-  {
-    std::lock_guard<std::mutex> lock(lifecycle_mu_);
-    if (!started_ || joined_) return loop_status_;
-    joined_ = true;
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  if (!started_) return loop_status_;
+  if (join_started_) {
+    // Another caller is (or was) doing the join work; block until it
+    // finishes so every Wait() return really means "all threads joined".
+    join_cv_.wait(lock, [this] { return join_done_; });
+    return loop_status_;
   }
+  join_started_ = true;
+  lock.unlock();
   if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
     jobs_stop_ = true;
   }
   jobs_cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  lock.lock();
+  join_done_ = true;
+  join_cv_.notify_all();
   return loop_status_;
 }
 
@@ -198,8 +209,11 @@ void Server::Loop() {
                         nullptr);
         listener_.Reset();
       }
-      drain_deadline_ = Conn::Clock::now() + std::chrono::microseconds(
-                                                 config_.drain_deadline_micros);
+      drain_deadline_micros_ = std::min(
+          config_.drain_deadline_micros,
+          drain_deadline_override_micros_.load(std::memory_order_acquire));
+      drain_deadline_ = Conn::Clock::now() +
+                        std::chrono::microseconds(drain_deadline_micros_);
     }
 
     SweepDeadlines();
@@ -312,19 +326,18 @@ bool Server::DrainInbuf(Conn* conn) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.frames;
     }
-    Dispatch(conn, std::move(frame));
+    if (!Dispatch(conn, std::move(frame))) return false;
   }
 }
 
-void Server::Dispatch(Conn* conn, Frame frame) {
+bool Server::Dispatch(Conn* conn, Frame frame) {
   switch (frame.type) {
     case FrameType::kPing: {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.pings;
       }
-      QueueResponse(conn, frame.request_id, ResponsePayload{});
-      return;
+      return QueueResponse(conn, frame.request_id, ResponsePayload{});
     }
     case FrameType::kStats: {
       {
@@ -342,8 +355,7 @@ void Server::Dispatch(Conn* conn, Frame frame) {
                       " running=" + std::to_string(admission.running) +
                       " queued=" + std::to_string(admission.queued) + "\n" +
                       db_->BreakerReport() + stats().ToString();
-      QueueResponse(conn, frame.request_id, response);
-      return;
+      return QueueResponse(conn, frame.request_id, response);
     }
     case FrameType::kCancel: {
       {
@@ -369,8 +381,7 @@ void Server::Dispatch(Conn* conn, Frame frame) {
         response.code = StatusCode::kNotFound;
         response.body = "no in-flight request " + std::to_string(target);
       }
-      QueueResponse(conn, frame.request_id, response);
-      return;
+      return QueueResponse(conn, frame.request_id, response);
     }
     case FrameType::kQuery: {
       {
@@ -387,8 +398,7 @@ void Server::Dispatch(Conn* conn, Frame frame) {
           ++stats_.drain_rejects;
           ++stats_.overload_responses;
         }
-        QueueResponse(conn, frame.request_id, response);
-        return;
+        return QueueResponse(conn, frame.request_id, response);
       }
       if (conn->inflight().size() >= conn->limits().max_inflight) {
         ResponsePayload response;
@@ -403,8 +413,7 @@ void Server::Dispatch(Conn* conn, Frame frame) {
           ++stats_.inflight_limit_rejects;
           ++stats_.overload_responses;
         }
-        QueueResponse(conn, frame.request_id, response);
-        return;
+        return QueueResponse(conn, frame.request_id, response);
       }
       auto [it, inserted] = conn->inflight().emplace(
           frame.request_id, std::make_shared<InflightQuery>());
@@ -413,8 +422,7 @@ void Server::Dispatch(Conn* conn, Frame frame) {
         response.code = StatusCode::kInvalidArgument;
         response.body = "request id " + std::to_string(frame.request_id) +
                         " already in flight on this connection";
-        QueueResponse(conn, frame.request_id, response);
-        return;
+        return QueueResponse(conn, frame.request_id, response);
       }
       Job job;
       job.conn_id = conn->id();
@@ -426,30 +434,44 @@ void Server::Dispatch(Conn* conn, Frame frame) {
         jobs_.push_back(std::move(job));
       }
       jobs_cv_.notify_one();
-      return;
+      return true;
     }
     case FrameType::kResponse:
       break;  // a client frame type only; fall through to protocol error
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.protocol_errors;
+  return true;
 }
 
-void Server::QueueResponse(Conn* conn, uint64_t request_id,
+std::string Server::EncodeResponseFrame(
+    uint64_t request_id, const ResponsePayload& response) const {
+  if (response.body.size() > config_.max_response_bytes) {
+    ResponsePayload too_big;
+    too_big.code = StatusCode::kResourceExhausted;
+    // No retry-after hint: resubmitting the same query yields the same
+    // oversized result, so this must not read as a retryable overload.
+    too_big.body = "response body too large (" +
+                   std::to_string(response.body.size()) + " bytes, cap " +
+                   std::to_string(config_.max_response_bytes) + ")";
+    return EncodeFrame(FrameType::kResponse, request_id,
+                       EncodeResponse(too_big));
+  }
+  return EncodeFrame(FrameType::kResponse, request_id,
+                     EncodeResponse(response));
+}
+
+bool Server::QueueResponse(Conn* conn, uint64_t request_id,
                            const ResponsePayload& response) {
-  conn->outbuf() += EncodeFrame(FrameType::kResponse, request_id,
-                                EncodeResponse(response));
+  conn->outbuf() += EncodeResponseFrame(request_id, response);
   conn->NoteQueuedWrite(Conn::Clock::now());
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.responses;
   }
-  const uint64_t id = conn->id();
-  if (!FlushWrites(conn)) {
-    CloseConn(id, Conn::Evict::kNone);
-    return;
-  }
+  if (!FlushWrites(conn)) return false;  // caller closes; conn still valid
   UpdateEpoll(conn);
+  return true;
 }
 
 void Server::HandleWritable(Conn* conn) {
@@ -584,8 +606,8 @@ bool Server::DrainFinished() {
     // Past the deadline plus one more full deadline of flush grace, give
     // up: force-close whoever is left (slow readers of their last bytes).
     if (drain_cancelled_inflight_ &&
-        now >= drain_deadline_ + std::chrono::microseconds(
-                                     config_.drain_deadline_micros)) {
+        now >= drain_deadline_ +
+                   std::chrono::microseconds(drain_deadline_micros_)) {
       return true;
     }
     return false;
@@ -633,8 +655,7 @@ void Server::WorkerLoop() {
     done.request_id = job.request_id;
     done.overload = response.code == StatusCode::kResourceExhausted &&
                     response.retry_after_micros != 0;
-    done.frame = EncodeFrame(FrameType::kResponse, job.request_id,
-                             EncodeResponse(response));
+    done.frame = EncodeResponseFrame(job.request_id, response);
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
       completions_.push_back(std::move(done));

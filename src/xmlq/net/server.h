@@ -30,6 +30,11 @@ struct ServerConfig {
   uint32_t workers = 4;
   uint32_t max_connections = 1024;
   ConnLimits limits;
+  /// Cap on one response frame's payload body. A body larger than this is
+  /// replaced with a kResourceExhausted status response (no retry hint —
+  /// retrying cannot help) so the client sees a decodable error instead of
+  /// a frame its own decode cap rejects as stream corruption.
+  uint64_t max_response_bytes = 48u << 20;
   /// Drain budget: after RequestDrain(), in-flight queries get this long to
   /// finish before they are cancelled (Database::Cancel via their tokens);
   /// responses still flush, then connections close.
@@ -86,7 +91,10 @@ class Server {
   Server(api::Database* db, ServerConfig config);
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
-  /// Force-drains (zero deadline) and joins if still running.
+  /// Force-drains and joins if still running: requests a zero-deadline
+  /// drain (in-flight queries are cancelled immediately, flushes are
+  /// best-effort). If a graceful drain is already underway it joins that
+  /// drain instead.
   ~Server();
 
   /// Binds, spawns the worker pool and the event-loop thread. On return the
@@ -129,11 +137,25 @@ class Server {
   void HandleWritable(Conn* conn);
   /// Decodes and dispatches every complete frame in conn's inbuf; returns
   /// false when the connection must close (protocol error / injected
-  /// decode fault).
+  /// decode fault / write failure while responding).
+  ///
+  /// None of DrainInbuf/Dispatch/QueueResponse ever destroys the Conn
+  /// itself: a false return travels up to the caller that owns the event
+  /// (HandleReadable), which is the only place that closes — so no frame
+  /// loop is ever left holding a dangling Conn*.
   bool DrainInbuf(Conn* conn);
-  void Dispatch(Conn* conn, Frame frame);
-  void QueueResponse(Conn* conn, uint64_t request_id,
+  /// Returns false when the connection must close.
+  bool Dispatch(Conn* conn, Frame frame);
+  /// Encodes and queues a response, flushing what the socket accepts;
+  /// returns false when the connection must close (the caller closes it —
+  /// conn is still valid on return).
+  bool QueueResponse(Conn* conn, uint64_t request_id,
                      const ResponsePayload& response);
+  /// Encodes one response frame, substituting a kResourceExhausted status
+  /// response when the body exceeds config_.max_response_bytes (keeps
+  /// every emitted frame decodable by the client).
+  std::string EncodeResponseFrame(uint64_t request_id,
+                                  const ResponsePayload& response) const;
   /// Flushes as much of conn's outbuf as the socket accepts; returns false
   /// when the connection died (write error / injected fault / peer gone).
   bool FlushWrites(Conn* conn);
@@ -156,7 +178,12 @@ class Server {
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> drain_requested_{false};
+  /// Tightens the drain deadline below config_.drain_deadline_micros; set
+  /// (to 0) by the destructor before it requests its force-drain. Read
+  /// once, at drain entry.
+  std::atomic<uint64_t> drain_deadline_override_micros_{UINT64_MAX};
   bool draining_ = false;  // loop-thread view
+  uint64_t drain_deadline_micros_ = 0;  // effective budget, set at drain entry
   Conn::Clock::time_point drain_deadline_{};
   bool drain_cancelled_inflight_ = false;
 
@@ -178,8 +205,10 @@ class Server {
   ServerStats stats_;
 
   std::mutex lifecycle_mu_;
+  std::condition_variable join_cv_;
   bool started_ = false;
-  bool joined_ = false;
+  bool join_started_ = false;  // some caller is inside Wait()'s join work
+  bool join_done_ = false;     // every thread is joined; Wait() may return
   Status loop_status_;
 };
 

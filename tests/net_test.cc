@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
@@ -202,6 +203,20 @@ TEST(NetProtocolTest, FuzzedMutantsNeverCrashTheDecoder) {
     }
     ASSERT_LT(guard, 64u) << "decoder failed to terminate";
   }
+}
+
+TEST(NetClientTest, BackoffSaturatesInsteadOfWrapping) {
+  RetryPolicy policy;
+  policy.max_backoff_micros = 500'000;
+  // The ordinary schedule: hint * 2^attempt until the cap.
+  EXPECT_EQ(net::ScaledBackoffMicros(1'000, 0, policy), 1'000u);
+  EXPECT_EQ(net::ScaledBackoffMicros(1'000, 3, policy), 8'000u);
+  EXPECT_EQ(net::ScaledBackoffMicros(1'000, 16, policy), 500'000u);
+  EXPECT_EQ(net::ScaledBackoffMicros(1'000, 40, policy), 500'000u);
+  // A huge (buggy or hostile) server hint must saturate at the cap, never
+  // overflow the shift and wrap to a near-zero wait.
+  EXPECT_EQ(net::ScaledBackoffMicros(UINT64_MAX, 0, policy), 500'000u);
+  EXPECT_EQ(net::ScaledBackoffMicros(UINT64_MAX / 2, 16, policy), 500'000u);
 }
 
 // ---------------------------------------------------------------------------
@@ -523,6 +538,59 @@ TEST(NetServerTest, OversizedFrameIsRefusedFromTheHeader) {
   EXPECT_EQ(recv(fd->get(), buf, sizeof(buf), 0), 0);
 }
 
+TEST(NetServerTest, WriteFaultDuringPipelinedDispatchClosesCleanly) {
+  // Regression: a write fault while responding used to destroy the Conn
+  // from inside QueueResponse while the frame-dispatch loop still held a
+  // pointer to it (use-after-free under ASan). Two pings arrive in one
+  // segment; the first response's flush hits the armed fault, so the close
+  // happens with the second frame still queued in the input buffer.
+  ServerFixture fx(ServerConfig{}, /*books=*/10);
+  auto fd = ConnectTcp("127.0.0.1", fx.server->port(), 1'000'000,
+                       5'000'000);
+  ASSERT_TRUE(fd.ok());
+  const std::string bytes = EncodeFrame(FrameType::kPing, 1, "") +
+                            EncodeFrame(FrameType::kPing, 2, "");
+  FaultInjector::Instance().Arm("net.write", /*skip=*/0, /*count=*/1);
+  ASSERT_EQ(send(fd->get(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  // The server must close us (no response ever flushed).
+  char buf[64];
+  EXPECT_LE(recv(fd->get(), buf, sizeof(buf), 0), 0);
+  FaultInjector::Instance().Reset();
+  for (int i = 0; i < 100 && fx.server->stats().write_faults == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fx.server->stats().write_faults, 1u);
+  // The server survived: a fresh client gets a real answer.
+  auto probe = fx.Connect();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  auto pong = probe->Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->code, StatusCode::kOk);
+}
+
+TEST(NetServerTest, OversizedResponseBodyBecomesStatusError) {
+  // A result body over the server's response cap must come back as a
+  // decodable status response — not a frame the client's decode cap
+  // rejects as stream corruption.
+  ServerConfig config;
+  config.max_response_bytes = 1024;
+  ServerFixture fx(config);  // 120 books: //book serializes far past 1 KiB
+  auto client = fx.Connect();
+  ASSERT_TRUE(client.ok());
+  auto result = client->Query("doc(\"bib.xml\")//book");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->code, StatusCode::kResourceExhausted);
+  EXPECT_NE(result->body.find("too large"), std::string::npos)
+      << result->body;
+  // Not an overload: no retry-after hint, so clients do not resubmit.
+  EXPECT_EQ(result->retry_after_micros, 0u);
+  // The connection is still healthy afterwards.
+  auto pong = client->Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->code, StatusCode::kOk);
+}
+
 // ---------------------------------------------------------------------------
 // Graceful drain
 
@@ -592,6 +660,43 @@ TEST(NetServerTest, DrainCancelsInflightPastDeadlineButStillResponds) {
   const Status status = fx.server->Wait();
   EXPECT_TRUE(status.ok()) << status.ToString();
   EXPECT_EQ(fx.server->stats().drain_cancelled, 1u);
+}
+
+TEST(NetServerTest, ConcurrentWaitersAllBlockUntilThreadsAreJoined) {
+  ServerFixture fx(ServerConfig{}, /*books=*/10);
+  constexpr int kWaiters = 4;
+  std::atomic<int> returned{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      const Status status = fx.server->Wait();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      ++returned;
+    });
+  }
+  // Nobody may return while the server is still serving — a second caller
+  // racing the first's join must block, not bail out early.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(returned.load(), 0);
+  fx.server->RequestDrain();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(returned.load(), kWaiters);
+}
+
+TEST(NetServerTest, DestructorForceDrainsWithoutWaitingOutTheDeadline) {
+  auto fx = std::make_unique<ServerFixture>();  // default 5 s drain budget
+  auto client = fx->Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendQuery(kSlowQuery).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto start = std::chrono::steady_clock::now();
+  // ~Server drains with a zero deadline: the multi-second query is
+  // cancelled immediately instead of getting the configured 5 s grace.
+  fx.reset();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(3))
+      << "destructor waited out the graceful drain deadline";
 }
 
 // ---------------------------------------------------------------------------
