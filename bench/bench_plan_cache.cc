@@ -1,0 +1,317 @@
+// Experiment R7: prepared queries and the plan cache. The claim under test:
+// on repeat-heavy workloads the cache removes the per-query planning tax
+// (parse + normalize + rewrite + cost-based strategy pick) from every query
+// after the first — the acceptance bar is >=5x lower planning overhead on
+// repeats versus compiling fresh each time. The pairs here run the same
+// query streams through one Database with the cache on vs off:
+//
+//   R7/repeat_*      — one query shape repeated (pure hit path)
+//   R7/zipf_mix      — the loadgen --repeat-mix shape: Zipf-distributed
+//                      literal variants sharing one bind-slot template
+//   R7/prepared      — the explicit PreparedQuery::Execute API
+//   R7/cold_misses   — distinct shapes every iteration (all misses): the
+//                      cache's overhead when it never pays off
+//
+// Execution cost is included in every number (the executor is identical on
+// both sides), so the planning win shows as the delta between the *_cached
+// and *_uncached rows on the same workload.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "xmlq/api/database.h"
+#include "xmlq/cache/normalize.h"
+#include "xmlq/cache/plan_cache.h"
+#include "xmlq/datagen/auction_gen.h"
+#include "xmlq/opt/optimizer.h"
+#include "xmlq/xpath/compiler.h"
+
+namespace xmlq::bench {
+namespace {
+
+/// One shared database per document scale (memoized like AuctionDoc): each
+/// benchmark pair reconfigures the plan cache, which drops cached state, so
+/// runs stay independent.
+api::Database& AuctionDb(int permille) {
+  static std::map<int, std::unique_ptr<api::Database>> cache;
+  auto& slot = cache[permille];
+  if (slot == nullptr) {
+    slot = std::make_unique<api::Database>();
+    datagen::AuctionOptions options;
+    options.scale = permille / 1000.0;
+    if (!slot->RegisterDocument("auction.xml",
+                                datagen::GenerateAuctionSite(options))
+             .ok()) {
+      std::abort();
+    }
+  }
+  return *slot;
+}
+
+constexpr int kScale = 20;
+
+void ResetCache(api::Database& db) {
+  db.SetPlanCache(cache::CacheConfig{});  // fresh cache, default config
+}
+
+void RunRepeated(benchmark::State& state, const char* path, bool cached) {
+  api::Database& db = AuctionDb(kScale);
+  ResetCache(db);
+  api::QueryOptions options;
+  options.use_plan_cache = cached;
+  size_t results = 0;
+  for (auto _ : state) {
+    auto result = db.QueryPath(path, {}, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    results = result->value.size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["hits"] = static_cast<double>(db.plan_cache_stats().hits);
+}
+
+// Plan acquisition in isolation, no execution and no serving-layer fixed
+// costs: what a fresh plan pays (parse + compile + rewrite + cost-based
+// strategy pick over the synopsis) vs what a hit pays (light normalize +
+// sharded lookup + clone/bind; the cached entry already carries its
+// strategy). The headline >=5x planning-overhead claim reads directly off
+// this pair; the end-to-end pairs below then show how much of it survives
+// once execution and admission are added back.
+constexpr const char* kMicroQuery = "//book[@year = '1994']/author/last";
+
+/// ChooseStrategy on every pattern node of a compiled plan — the part of
+/// Database::PickStrategy a cache hit skips.
+double StrategyCost(const opt::Synopsis& synopsis, const xml::NamePool& pool,
+                    const algebra::LogicalExpr& node) {
+  double cost = 0;
+  if (node.pattern != nullptr) {
+    cost += opt::ChooseStrategy(synopsis, pool, *node.pattern).cost;
+  }
+  for (const auto& child : node.children) {
+    cost += StrategyCost(synopsis, pool, *child);
+  }
+  return cost;
+}
+
+void BM_PlanAcquireFresh(benchmark::State& state) {
+  const LoadedDoc& doc = BibDoc(4);
+  const opt::Synopsis synopsis(*doc.dom);
+  for (auto _ : state) {
+    auto plan = xpath::CompilePath(kMicroQuery, "bib.xml");
+    if (!plan.ok()) {
+      state.SkipWithError(plan.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(
+        StrategyCost(synopsis, doc.dom->pool(), **plan));
+  }
+}
+BENCHMARK(BM_PlanAcquireFresh)->Name("R7/plan_acquire_fresh");
+
+void BM_PlanAcquireHit(benchmark::State& state) {
+  // Populate a cache with the query's sentinel template, the way a miss in
+  // Database::CachedExecute would.
+  cache::PlanCache plan_cache;
+  const cache::NormalizedQuery primed = cache::NormalizeQuery(kMicroQuery);
+  auto tmpl = xpath::CompilePath(primed.compile_text, "bib.xml");
+  if (!tmpl.ok()) {
+    state.SkipWithError(tmpl.status().ToString().c_str());
+    return;
+  }
+  auto entry = std::make_shared<cache::CachedPlan>();
+  entry->key = primed.fingerprint;
+  entry->slots = primed.slots;
+  entry->parameterized = primed.parameterized;
+  entry->plan = std::move(*tmpl);
+  entry->bytes = cache::PlanFootprint(*entry->plan);
+  plan_cache.Insert(entry);
+  for (auto _ : state) {
+    // Light mode, as Database::Query does: the hit path never renders the
+    // sentinel text.
+    const cache::NormalizedQuery normalized =
+        cache::NormalizeQuery(kMicroQuery, /*render_compile_text=*/false);
+    auto hit = plan_cache.Lookup(normalized.fingerprint, /*generation=*/0);
+    if (hit == nullptr) {
+      state.SkipWithError("unexpected miss");
+      return;
+    }
+    auto bound = cache::BindPlan(*hit->plan, hit->slots, normalized.values);
+    benchmark::DoNotOptimize(bound.get());
+  }
+}
+BENCHMARK(BM_PlanAcquireHit)->Name("R7/plan_acquire_hit");
+
+// The same comparison end to end through Database::QueryPath: a 4-book
+// bibliography makes execution ~nothing, so the remaining gap is plan
+// acquisition plus the per-query serving fixed costs both sides share.
+void RunTinyDoc(benchmark::State& state, bool cached) {
+  static api::Database* db = [] {
+    auto* d = new api::Database;
+    datagen::BibOptions options;
+    options.num_books = 4;
+    if (!d->RegisterDocument("bib.xml", datagen::GenerateBibliography(options))
+             .ok()) {
+      std::abort();
+    }
+    return d;
+  }();
+  ResetCache(*db);
+  api::QueryOptions options;
+  options.use_plan_cache = cached;
+  for (auto _ : state) {
+    auto result =
+        db->QueryPath("//book[@year = '1994']/author/last", {}, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->value.size());
+  }
+  state.counters["hits"] = static_cast<double>(db->plan_cache_stats().hits);
+}
+
+void BM_PlanOverheadUncached(benchmark::State& state) {
+  RunTinyDoc(state, /*cached=*/false);
+}
+BENCHMARK(BM_PlanOverheadUncached)->Name("R7/planning_uncached");
+
+void BM_PlanOverheadCached(benchmark::State& state) {
+  RunTinyDoc(state, /*cached=*/true);
+}
+BENCHMARK(BM_PlanOverheadCached)->Name("R7/planning_cached");
+
+// A selective twig: execution is cheap, so planning dominates the uncached
+// side and the hit path's savings are visible end to end.
+void BM_RepeatTwigUncached(benchmark::State& state) {
+  RunRepeated(state, "//person[@id = 'person3']/name", /*cached=*/false);
+}
+BENCHMARK(BM_RepeatTwigUncached)->Name("R7/repeat_twig_uncached");
+
+void BM_RepeatTwigCached(benchmark::State& state) {
+  RunRepeated(state, "//person[@id = 'person3']/name", /*cached=*/true);
+}
+BENCHMARK(BM_RepeatTwigCached)->Name("R7/repeat_twig_cached");
+
+// A scan-heavy query: execution dominates, bounding the win the cache can
+// show when planning is not the bottleneck (honest lower bound).
+void BM_RepeatScanUncached(benchmark::State& state) {
+  RunRepeated(state, "//person[address][phone]/name", /*cached=*/false);
+}
+BENCHMARK(BM_RepeatScanUncached)->Name("R7/repeat_scan_uncached");
+
+void BM_RepeatScanCached(benchmark::State& state) {
+  RunRepeated(state, "//person[address][phone]/name", /*cached=*/true);
+}
+BENCHMARK(BM_RepeatScanCached)->Name("R7/repeat_scan_cached");
+
+// The serving-tier workload shape (xmlq_loadgen --repeat-mix): Zipf-picked
+// literal variants of one query shape. Uncached, every variant re-plans;
+// cached, all of them bind into a single template after the first miss.
+void RunZipfMix(benchmark::State& state, bool cached) {
+  api::Database& db = AuctionDb(kScale);
+  ResetCache(db);
+  api::QueryOptions options;
+  options.use_plan_cache = cached;
+  std::vector<std::string> mix;
+  for (int v = 0; v < 16; ++v) {
+    mix.push_back("//person[@id = 'person" + std::to_string(v) + "']/name");
+  }
+  std::vector<double> weights(mix.size());
+  for (size_t q = 0; q < mix.size(); ++q) {
+    weights[q] = 1.0 / static_cast<double>(q + 1);
+  }
+  std::mt19937_64 rng(42);
+  std::discrete_distribution<size_t> pick(weights.begin(), weights.end());
+  for (auto _ : state) {
+    auto result = db.QueryPath(mix[pick(rng)], {}, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->value.size());
+  }
+  const cache::CacheStats stats = db.plan_cache_stats();
+  state.counters["hits"] = static_cast<double>(stats.hits);
+  state.counters["misses"] = static_cast<double>(stats.misses);
+}
+
+void BM_ZipfMixUncached(benchmark::State& state) {
+  RunZipfMix(state, /*cached=*/false);
+}
+BENCHMARK(BM_ZipfMixUncached)->Name("R7/zipf_mix_uncached");
+
+void BM_ZipfMixCached(benchmark::State& state) {
+  RunZipfMix(state, /*cached=*/true);
+}
+BENCHMARK(BM_ZipfMixCached)->Name("R7/zipf_mix_cached");
+
+// The explicit prepared-statement API, re-binding a new literal each call —
+// the cheapest possible repeat path (no normalization of the query text per
+// execution either).
+void BM_PreparedExecute(benchmark::State& state) {
+  api::Database& db = AuctionDb(kScale);
+  ResetCache(db);
+  auto prepared = db.Prepare("//person[@id = 'person3']/name");
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
+    return;
+  }
+  int v = 0;
+  for (auto _ : state) {
+    auto result = prepared->Execute({"person" + std::to_string(v++ % 16)});
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->value.size());
+  }
+}
+BENCHMARK(BM_PreparedExecute)->Name("R7/prepared_execute");
+
+// Worst case for the cache: no query ever repeats, every lookup misses and
+// inserts. The delta against uncached runs of the same stream is the
+// normalize+lookup+insert tax on workloads the cache cannot help.
+void RunColdMisses(benchmark::State& state, bool cached) {
+  api::Database& db = AuctionDb(kScale);
+  ResetCache(db);
+  api::QueryOptions options;
+  options.use_plan_cache = cached;
+  int v = 0;
+  for (auto _ : state) {
+    // Distinct *fingerprints* each iteration (the trailing tag name is
+    // unique, and tag names are not lifted), so bind-slot sharing cannot
+    // collapse them into one template.
+    const std::string query =
+        "//person[address]/name/n" + std::to_string(v++);
+    auto result = db.QueryPath(query, {}, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->value.size());
+  }
+  state.counters["misses"] =
+      static_cast<double>(db.plan_cache_stats().misses);
+}
+
+void BM_ColdUncached(benchmark::State& state) {
+  RunColdMisses(state, /*cached=*/false);
+}
+BENCHMARK(BM_ColdUncached)->Name("R7/cold_misses_uncached");
+
+void BM_ColdCached(benchmark::State& state) {
+  RunColdMisses(state, /*cached=*/true);
+}
+BENCHMARK(BM_ColdCached)->Name("R7/cold_misses_cached");
+
+}  // namespace
+}  // namespace xmlq::bench
+
+XMLQ_BENCH_MAIN();

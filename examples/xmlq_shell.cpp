@@ -70,6 +70,7 @@ void PrintHelp() {
       "  .jobs                   list background queries and their state\n"
       "  .cancel <id>            cooperatively cancel a running query\n"
       "  .stats admission        admission counters + circuit-breaker state\n"
+      "  .stats cache            plan-cache counters (hits/misses/replans)\n"
       "  .help / .quit\n"
       "anything else is evaluated as XQuery (or XPath for '/...').\n");
 }
@@ -438,8 +439,12 @@ int main() {
     if (word == ".stats") {
       std::string what;
       in >> what;
+      if (what == "cache") {
+        std::printf("%s\n", db.plan_cache_stats().ToString().c_str());
+        continue;
+      }
       if (what != "admission") {
-        std::printf("usage: .stats admission\n");
+        std::printf("usage: .stats admission|cache\n");
         continue;
       }
       const xmlq::exec::AdmissionStats s = db.admission_stats();

@@ -23,6 +23,12 @@
 #                       where races hide), then scripts/serve_smoke.sh: the
 #                       shipped xmlq_serve + xmlq_loadgen binaries against a
 #                       real socket, ending in a SIGTERM graceful drain
+#   7. plan cache     — the `cache`-labeled suite (normalization oracle,
+#                       bind-slot round-trips, invalidation, adaptive
+#                       re-plans, concurrent hit/miss/invalidate stress)
+#                       under AddressSanitizer and ThreadSanitizer: cloned
+#                       plans + shared cache entries are where lifetime and
+#                       race bugs would live
 #
 # Everything — build trees and test temp files (snapshot_test writes its
 # *.xqpack scratch files into the ctest working directory) — stays under
@@ -84,8 +90,19 @@ echo "== tsan net suite =="
 "${ROOT}/tests/run_sanitized.sh" thread -j 1 -L net
 
 # End-to-end smoke of the shipped binaries over a real socket, ending in a
-# SIGTERM graceful drain (uses the plain tier-1 build tree).
+# SIGTERM graceful drain (uses the plain tier-1 build tree). The loadgen
+# runs its --repeat-mix workload, so the server plan cache serves bind-slot
+# hits under live concurrent load.
 echo "== serve smoke (xmlq_serve + xmlq_loadgen) =="
 "${ROOT}/scripts/serve_smoke.sh" "${BUILD_DIR}" 10
 
-echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery + net green"
+# The plan-cache suite under both ASan and TSan: executions run clones of
+# shared cached templates while other threads evict, invalidate and re-plan
+# the entries — the exact use-after-free / data-race surface of this
+# subsystem.
+echo "== asan cache suite =="
+"${ROOT}/tests/run_sanitized.sh" address -j "${JOBS}" -L cache
+echo "== tsan cache suite =="
+"${ROOT}/tests/run_sanitized.sh" thread -j "${JOBS}" -L cache
+
+echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery + net + cache green"

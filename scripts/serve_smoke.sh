@@ -56,8 +56,10 @@ done
 PORT="$(cat "${PORT_FILE}")"
 
 echo "serve_smoke: server pid=${SERVER_PID} port=${PORT}"
+# --repeat-mix: Zipf-repeated query variants, so the run also exercises the
+# server-side plan cache (hits + bind-slot substitution) under live load.
 "${LOADGEN}" --port "${PORT}" --clients "${CLIENTS}" \
-  --duration-s "${DURATION_S}"
+  --duration-s "${DURATION_S}" --repeat-mix 12
 
 # Graceful drain: SIGTERM, then the server must exit 0 on its own.
 kill -TERM "${SERVER_PID}"

@@ -1,6 +1,7 @@
 #include "xmlq/api/database.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -91,11 +92,19 @@ Status Database::Open(std::string name, const std::string& path,
 
 Status Database::Install(std::string name,
                          std::shared_ptr<const Entry> entry) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
-  auto next = std::make_shared<CatalogState>(*catalog_);
-  if (next->entries.empty()) next->default_document = name;
-  next->entries[std::move(name)] = std::move(entry);
-  catalog_ = std::move(next);
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto next = std::make_shared<CatalogState>(*catalog_);
+    next->generation = catalog_->generation + 1;
+    if (next->entries.empty()) next->default_document = name;
+    next->entries[std::move(name)] = std::move(entry);
+    generation = next->generation;
+    catalog_ = std::move(next);
+  }
+  // Sweep cached plans compiled under older catalogs. Correctness never
+  // depends on this (lookups compare generations); it only frees memory.
+  PinPlanCache()->InvalidateGeneration(generation);
   return Status::Ok();
 }
 
@@ -321,15 +330,19 @@ Result<RecoveryReport> Database::Attach(const std::string& dir,
             [](const Recovered& a, const Recovered& b) {
               return a.generation < b.generation;
             });
+  uint64_t catalog_generation = 0;
   {
     std::lock_guard<std::mutex> catalog_lock(catalog_mu_);
     auto next = std::make_shared<CatalogState>(*catalog_);
+    next->generation = catalog_->generation + 1;
     for (Recovered& doc : recovered) {
       if (next->default_document.empty()) next->default_document = doc.name;
       next->entries[doc.name] = std::move(doc.entry);
     }
+    catalog_generation = next->generation;
     catalog_ = std::move(next);
   }
+  PinPlanCache()->InvalidateGeneration(catalog_generation);
   manifest_ = std::make_unique<storage::Manifest>(std::move(manifest));
   store_mode_ = mode;
   return report;
@@ -417,17 +430,21 @@ Status Database::Remove(std::string_view name) {
     }
   }
   bool dropped = false;
+  uint64_t catalog_generation = 0;
   {
     std::lock_guard<std::mutex> lock(catalog_mu_);
     auto next = std::make_shared<CatalogState>(*catalog_);
+    next->generation = catalog_->generation + 1;
     dropped = next->entries.erase(doc_name) > 0;
     next->degraded.erase(doc_name);
     if (next->default_document == doc_name) {
       next->default_document =
           next->entries.empty() ? "" : next->entries.begin()->first;
     }
+    catalog_generation = next->generation;
     catalog_ = std::move(next);
   }
+  PinPlanCache()->InvalidateGeneration(catalog_generation);
   if (!in_store && !dropped) {
     return Status::NotFound("document \"" + doc_name + "\" is not loaded");
   }
@@ -566,9 +583,11 @@ Status Database::QuarantineSnapshot(const storage::ManifestRecord& record,
              reopened.status().message() + "); document dropped";
     }
   }
+  uint64_t catalog_generation = 0;
   {
     std::lock_guard<std::mutex> lock(catalog_mu_);
     auto next = std::make_shared<CatalogState>(*catalog_);
+    next->generation = catalog_->generation + 1;
     if (drop) {
       next->entries.erase(record.name);
       next->degraded.erase(record.name);
@@ -582,8 +601,10 @@ Status Database::QuarantineSnapshot(const storage::ManifestRecord& record,
       }
       next->degraded[record.name] = note;
     }
+    catalog_generation = next->generation;
     catalog_ = std::move(next);
   }
+  PinPlanCache()->InvalidateGeneration(catalog_generation);
   report->notes.push_back(record.name + ": " + note);
   return Status::Ok();
 }
@@ -767,9 +788,10 @@ class ActiveRegistration {
 
 }  // namespace
 
-exec::PatternStrategy Database::PickStrategy(const CatalogState& catalog,
-                                             const LogicalExpr& plan,
-                                             std::string* explanation) const {
+exec::PatternStrategy Database::PickStrategy(
+    const CatalogState& catalog, const LogicalExpr& plan,
+    std::string* explanation,
+    std::vector<std::pair<exec::PatternStrategy, double>>* ranking) const {
   std::vector<const LogicalExpr*> patterns;
   CollectPatterns(plan, &patterns);
   exec::PatternStrategy best = exec::PatternStrategy::kNok;
@@ -793,14 +815,73 @@ exec::PatternStrategy Database::PickStrategy(const CatalogState& catalog,
     if (choice.cost > worst_cost) {
       worst_cost = choice.cost;
       best = choice.strategy;
+      if (ranking != nullptr) {
+        *ranking = choice.alternatives;
+        std::sort(ranking->begin(), ranking->end(),
+                  [](const auto& a, const auto& b) {
+                    return a.second < b.second;
+                  });
+      }
     }
   }
   return best;
 }
 
+namespace {
+
+/// Plan-level q-error of a profiled run: the worst estimate miss across all
+/// operators carrying an estimate (0 when none do).
+double MaxQError(const exec::ProfileNode& node) {
+  double q = node.QError();
+  for (const exec::ProfileNode& child : node.children) {
+    q = std::max(q, MaxQError(child));
+  }
+  return q;
+}
+
+/// Deterministic work metric for strategy pinning: the counters every τ
+/// engine's cost model is written in (wall time would make the adaptive
+/// state machine timing-dependent and untestable).
+double TotalWork(const exec::ProfileNode& node) {
+  double work = static_cast<double>(node.stats.nodes_visited) +
+                static_cast<double>(node.stats.index_probes) +
+                static_cast<double>(node.stats.stack_pushes);
+  for (const exec::ProfileNode& child : node.children) {
+    work += TotalWork(child);
+  }
+  return work;
+}
+
+std::string CachedProvenance(const cache::CachedPlan& entry,
+                             uint64_t generation,
+                             const std::vector<std::string>& binds) {
+  const auto age = std::chrono::duration_cast<std::chrono::seconds>(
+                       std::chrono::steady_clock::now() - entry.created)
+                       .count();
+  std::string out =
+      "cached (gen " + std::to_string(generation) + ", age " +
+      std::to_string(age) + "s, hits " +
+      std::to_string(entry.hit_count.load(std::memory_order_relaxed)) +
+      ", strategy " +
+      std::string(exec::PatternStrategyName(
+          entry.strategy.load(std::memory_order_relaxed))) +
+      ")";
+  if (entry.parameterized && !binds.empty()) {
+    out += ", binds [";
+    for (size_t i = 0; i < binds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += binds[i];
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<exec::QueryResult> Database::Run(
     LogicalExprPtr plan, const QueryOptions& options,
-    std::shared_ptr<const CatalogState> catalog) const {
+    std::shared_ptr<const CatalogState> catalog, ExecHints hints) const {
   // Every execution gets a serving identity and a cancel token, registered
   // *before* admission so a queued query is already cancellable.
   const uint64_t query_id =
@@ -817,11 +898,16 @@ Result<exec::QueryResult> Database::Run(
                         scheduler_.Admit(token.get()));
 
   exec::EvalContext context = MakeContext(*catalog, options);
-  if (options.auto_optimize) {
+  if (hints.have_strategy) {
+    // Cache hit (or install-time pick on the miss path): the per-execution
+    // optimizer pass is exactly what the plan cache exists to skip.
+    context.strategy = hints.strategy;
+  } else if (options.auto_optimize) {
     context.strategy = PickStrategy(*catalog, *plan, nullptr);
   }
   std::unique_ptr<exec::PlanProfile> profile;
-  if (options.collect_stats) {
+  const bool feedback_sample = hints.entry != nullptr && hints.sample_profile;
+  if (options.collect_stats || feedback_sample) {
     profile = exec::PlanProfile::Create(*plan);
     std::string doc_name;
     if (const LogicalExpr* scan = FindDocScan(*plan); scan != nullptr) {
@@ -859,6 +945,25 @@ Result<exec::QueryResult> Database::Run(
   if (!result.ok()) return result.status();
   result->profile = std::move(profile);
   result->query_id = query_id;
+  result->plan_provenance = std::move(hints.provenance);
+  if (hints.entry != nullptr) {
+    // Fold this execution's observations into the entry's feedback state.
+    // Un-sampled, un-degraded runs just count; the state machine only moves
+    // on profiled samples (or a degradation signal).
+    if (result->profile != nullptr) {
+      PinPlanCache()->CommitFeedback(
+          *hints.entry, /*sampled=*/true, MaxQError(result->profile->root()),
+          TotalWork(result->profile->root()), context.strategy,
+          fallback.Degraded());
+    } else if (fallback.Degraded()) {
+      PinPlanCache()->CommitFeedback(*hints.entry, /*sampled=*/false, 0, 0,
+                                     context.strategy, true);
+    } else {
+      hints.entry->executions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // A feedback-only profile is internal; the caller didn't ask for stats.
+  if (!options.collect_stats) result->profile.reset();
   // Surface scrubber degradations for every document this query scanned,
   // the same channel engine fallbacks use.
   if (!catalog->degraded.empty()) {
@@ -905,15 +1010,146 @@ Result<LogicalExprPtr> Database::Compile(std::string_view query,
   return plan.status();
 }
 
+std::string Database::CacheKey(bool is_path, const std::string& path_doc,
+                               const QueryOptions& options,
+                               const std::string& fingerprint) {
+  // Front-end tag: XPath plans depend on the explicit target document;
+  // XQuery plans resolve documents (and the default document) from the
+  // catalog, which the generation already versions.
+  std::string key = is_path ? "P\x1f" + path_doc : std::string("Q");
+  key += '\x1f';
+  // Options class: anything that changes what Compile/PickStrategy produce.
+  if (options.auto_optimize) {
+    key += 'A';
+  } else {
+    key += 'F';
+    key.append(exec::PatternStrategyName(options.strategy));
+  }
+  key += options.flwor_mode == exec::FlworMode::kEnv ? 'e' : 'p';
+  key += options.apply_rewrites ? 'r' : 'n';
+  // Limits class: bounded/unbounded bits only — the plan is identical, but
+  // keeping classes apart means a fleet of deadline-bound queries can't
+  // have its feedback state polluted by unbounded ad-hoc runs.
+  key += options.limits.deadline_micros != 0 ? 'd' : '-';
+  key += options.limits.max_steps != 0 ? 's' : '-';
+  key += options.limits.max_memory_bytes != 0 ? 'm' : '-';
+  key += '\x1f';
+  key += fingerprint;
+  return key;
+}
+
+Result<exec::QueryResult> Database::CachedExecute(
+    std::string_view original_text, const cache::NormalizedQuery& normalized,
+    const std::vector<std::string>& values, const QueryOptions& options,
+    std::shared_ptr<const CatalogState> catalog, bool is_path,
+    const std::string& path_doc) const {
+  const std::shared_ptr<cache::PlanCache> plan_cache = PinPlanCache();
+  const auto compile_original = [&]() -> Result<LogicalExprPtr> {
+    return is_path ? xpath::CompilePath(original_text, path_doc)
+                   : Compile(original_text, options, *catalog);
+  };
+  const auto run_uncached =
+      [&](std::string provenance) -> Result<exec::QueryResult> {
+    plan_cache->RecordBypass();
+    XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, compile_original());
+    ExecHints hints;
+    hints.provenance = std::move(provenance);
+    return Run(std::move(plan), options, std::move(catalog),
+               std::move(hints));
+  };
+  if (!plan_cache->config().enabled || !options.use_plan_cache) {
+    return run_uncached("fresh (cache bypassed)");
+  }
+
+  const std::string key =
+      CacheKey(is_path, path_doc, options, normalized.fingerprint);
+  if (std::shared_ptr<cache::CachedPlan> entry =
+          plan_cache->Lookup(key, catalog->generation)) {
+    // Hit: no parse, no rewrite, no optimizer — clone the template,
+    // substitute this execution's binds, run with the entry's strategy.
+    LogicalExprPtr bound =
+        entry->parameterized
+            ? cache::BindPlan(*entry->plan, entry->slots, values)
+            : entry->plan->Clone();
+    ExecHints hints;
+    hints.have_strategy = true;
+    hints.strategy = options.auto_optimize
+                         ? entry->strategy.load(std::memory_order_relaxed)
+                         : options.strategy;
+    const uint64_t hit = entry->hit_count.load(std::memory_order_relaxed);
+    const uint64_t period = plan_cache->config().sample_period;
+    hints.sample_profile =
+        entry->adaptive && (period <= 1 || hit % period == 1);
+    hints.provenance = CachedProvenance(*entry, catalog->generation, values);
+    hints.entry = std::move(entry);
+    return Run(std::move(bound), options, std::move(catalog),
+               std::move(hints));
+  }
+
+  // Miss: compile the sentinel template (one plan per fingerprint), check
+  // the binder can reach every lifted literal, bind this execution's
+  // values, pick the strategy on the *bound* plan (real values → real
+  // selectivities), and try to install the template. Query/QueryPath
+  // normalize in the light mode (fingerprint + values only — all a hit
+  // needs), so the sentinel render happens here, on the slow path.
+  cache::NormalizedQuery full_storage;
+  const cache::NormalizedQuery* full = &normalized;
+  if (normalized.compile_text.empty()) {
+    full_storage = cache::NormalizeQuery(original_text);
+    full = &full_storage;
+  }
+  Result<LogicalExprPtr> tmpl =
+      is_path ? xpath::CompilePath(full->compile_text, path_doc)
+              : Compile(full->compile_text, options, *catalog);
+  if (!tmpl.ok() || (full->parameterized &&
+                     !cache::ValidateSentinels(**tmpl, full->slots))) {
+    return run_uncached("fresh (not cacheable)");
+  }
+  LogicalExprPtr bound = full->parameterized
+                             ? cache::BindPlan(**tmpl, full->slots, values)
+                             : (*tmpl)->Clone();
+  auto entry = std::make_shared<cache::CachedPlan>();
+  entry->key = key;
+  entry->generation = catalog->generation;
+  entry->slots = full->slots;
+  entry->parameterized = full->parameterized;
+  entry->adaptive = options.auto_optimize;
+  entry->created = std::chrono::steady_clock::now();
+  ExecHints hints;
+  hints.provenance = "fresh";
+  if (options.auto_optimize) {
+    std::vector<std::pair<exec::PatternStrategy, double>> ranking;
+    const exec::PatternStrategy choice =
+        PickStrategy(*catalog, *bound, nullptr, &ranking);
+    entry->strategy.store(choice, std::memory_order_relaxed);
+    entry->feedback.ranking = std::move(ranking);
+    hints.have_strategy = true;
+    hints.strategy = choice;
+  } else {
+    entry->strategy.store(options.strategy, std::memory_order_relaxed);
+  }
+  entry->plan = std::move(*tmpl);
+  entry->bytes = cache::PlanFootprint(*entry->plan) + key.size() +
+                 sizeof(cache::CachedPlan);
+  hints.entry = entry;
+  hints.sample_profile = entry->adaptive;  // first execution always samples
+  // Insert may fail (injected fault, racing first writer, over-budget
+  // entry): the query still runs off its own bound copy.
+  (void)plan_cache->Insert(std::move(entry));
+  return Run(std::move(bound), options, std::move(catalog),
+             std::move(hints));
+}
+
 Result<exec::QueryResult> Database::Query(std::string_view query,
                                           const QueryOptions& options) const {
   // One pin covers compilation and execution, so the default document the
   // plan was compiled against is exactly the one it runs against even when
   // a writer swaps the catalog in between.
   std::shared_ptr<const CatalogState> catalog = Pin();
-  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan,
-                        Compile(query, options, *catalog));
-  return Run(std::move(plan), options, std::move(catalog));
+  const cache::NormalizedQuery normalized =
+      cache::NormalizeQuery(query, /*render_compile_text=*/false);
+  return CachedExecute(query, normalized, normalized.values, options,
+                       std::move(catalog), /*is_path=*/false, "");
 }
 
 Result<exec::QueryResult> Database::QueryPath(
@@ -922,8 +1158,55 @@ Result<exec::QueryResult> Database::QueryPath(
   std::shared_ptr<const CatalogState> catalog = Pin();
   const std::string name = doc_name.empty() ? catalog->default_document
                                             : std::string(doc_name);
-  XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, xpath::CompilePath(path, name));
-  return Run(std::move(plan), options, std::move(catalog));
+  const cache::NormalizedQuery normalized =
+      cache::NormalizeQuery(path, /*render_compile_text=*/false);
+  return CachedExecute(path, normalized, normalized.values, options,
+                       std::move(catalog), /*is_path=*/true, name);
+}
+
+Result<PreparedQuery> Database::Prepare(std::string_view text,
+                                        const QueryOptions& options) const {
+  const std::shared_ptr<const CatalogState> catalog = Pin();
+  // Surface syntax errors now, not at the first Execute.
+  XMLQ_RETURN_IF_ERROR(Compile(text, options, *catalog).status());
+  return PreparedQuery(this, std::string(text), options,
+                       cache::NormalizeQuery(text));
+}
+
+Result<exec::QueryResult> PreparedQuery::Execute() const {
+  return Execute(normalized_.values, options_);
+}
+
+Result<exec::QueryResult> PreparedQuery::Execute(
+    const std::vector<std::string>& binds) const {
+  return Execute(binds, options_);
+}
+
+Result<exec::QueryResult> PreparedQuery::Execute(
+    const std::vector<std::string>& binds,
+    const QueryOptions& options) const {
+  if (binds.size() != normalized_.slots.size()) {
+    return Status::InvalidArgument(
+        "prepared query has " + std::to_string(normalized_.slots.size()) +
+        " bind slot(s), got " + std::to_string(binds.size()) + " value(s)");
+  }
+  for (size_t i = 0; i < binds.size(); ++i) {
+    if (!normalized_.slots[i].numeric) continue;
+    // Numeric slots must stay numbers, so the bound plan is byte-for-byte
+    // what compiling the literal would have produced.
+    const std::string& v = binds[i];
+    const bool ok =
+        !v.empty() && std::isdigit(static_cast<unsigned char>(v[0])) &&
+        std::all_of(v.begin(), v.end(), [](unsigned char c) {
+          return std::isdigit(c) || c == '.';
+        });
+    if (!ok) {
+      return Status::InvalidArgument("bind slot " + std::to_string(i) +
+                                     " expects a number, got \"" + v + "\"");
+    }
+  }
+  return db_->CachedExecute(text_, normalized_, binds, options, db_->Pin(),
+                            /*is_path=*/false, "");
 }
 
 Result<std::string> Database::Explain(std::string_view query,
@@ -931,7 +1214,26 @@ Result<std::string> Database::Explain(std::string_view query,
   const std::shared_ptr<const CatalogState> catalog = Pin();
   XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan,
                         Compile(query, options, *catalog));
-  std::string out = plan->ToString();
+  std::string out;
+  // Plan provenance header: what Query(text) would serve right now. Peek,
+  // not Lookup — explaining a query must not bump its LRU position or hit
+  // counters.
+  const std::shared_ptr<cache::PlanCache> plan_cache = PinPlanCache();
+  if (plan_cache->config().enabled && options.use_plan_cache) {
+    const cache::NormalizedQuery normalized =
+        cache::NormalizeQuery(query, /*render_compile_text=*/false);
+    const std::string key =
+        CacheKey(/*is_path=*/false, "", options, normalized.fingerprint);
+    if (const std::shared_ptr<cache::CachedPlan> entry =
+            plan_cache->Peek(key, catalog->generation)) {
+      out += "-- plan: " +
+             CachedProvenance(*entry, catalog->generation, normalized.values) +
+             "\n";
+    } else {
+      out += "-- plan: fresh (not cached)\n";
+    }
+  }
+  out += plan->ToString();
   std::string strategies;
   PickStrategy(*catalog, *plan, &strategies);
   if (!strategies.empty()) {
@@ -947,12 +1249,32 @@ Result<std::string> Database::ExplainAnalyze(
   XMLQ_ASSIGN_OR_RETURN(exec::QueryResult result,
                         Query(query, analyze_options));
   std::string out;
-  if (result.profile != nullptr) out = result.profile->ToString();
+  if (!result.plan_provenance.empty()) {
+    out += "-- plan: " + result.plan_provenance + "\n";
+  }
+  if (result.profile != nullptr) out += result.profile->ToString();
   out += "-- " + std::to_string(result.value.size()) + " item(s)\n";
   if (result.degraded) {
     out += "-- degraded: " + result.degradation + "\n";
   }
   return out;
+}
+
+std::shared_ptr<cache::PlanCache> Database::PinPlanCache() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_;
+}
+
+void Database::SetPlanCache(const cache::CacheConfig& config) const {
+  // Swap whole: in-flight queries finish against the instance they pinned;
+  // old entries die with the last reference.
+  auto next = std::make_shared<cache::PlanCache>(config);
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  plan_cache_ = std::move(next);
+}
+
+cache::CacheStats Database::plan_cache_stats() const {
+  return PinPlanCache()->Stats();
 }
 
 void Database::SetAdmission(const exec::AdmissionConfig& config) const {

@@ -13,6 +13,7 @@
 
 #include "xmlq/base/limits.h"
 #include "xmlq/base/status.h"
+#include "xmlq/cache/plan_cache.h"
 #include "xmlq/exec/admission.h"
 #include "xmlq/exec/executor.h"
 #include "xmlq/opt/synopsis.h"
@@ -50,6 +51,10 @@ struct QueryOptions {
   /// or running. The caller keeps the atomic alive for the duration of the
   /// call and polls it until non-zero.
   std::atomic<uint64_t>* query_id_out = nullptr;
+  /// Consult and populate the plan cache (DESIGN.md §11). Off bypasses the
+  /// cache for this query only (it always compiles fresh); the Database-wide
+  /// switch is cache::CacheConfig::enabled via SetPlanCache().
+  bool use_plan_cache = true;
 };
 
 /// Storage-footprint report for one document (experiments E2 and R2).
@@ -143,6 +148,8 @@ struct ScrubReport {
 /// a per-engine circuit breaker quarantines a τ engine after repeated
 /// faults, degrading queries to the naive navigational engine (reported in
 /// QueryResult::degradation and EXPLAIN ANALYZE).
+class PreparedQuery;
+
 class Database {
  public:
   Database() = default;
@@ -249,6 +256,16 @@ class Database {
                                       std::string_view doc_name = {},
                                       const QueryOptions& options = {}) const;
 
+  /// Prepares `text` as a reusable statement: normalizes it, lifts its
+  /// comparison literals into bind slots, and validates that it compiles
+  /// against the current catalog. The returned handle executes through the
+  /// plan cache (parse + optimize happen once per catalog generation, not
+  /// per call) and survives catalog swaps — a stale plan recompiles
+  /// transparently on the next Execute. Thread-safe; the handle borrows this
+  /// Database and must not outlive it.
+  Result<PreparedQuery> Prepare(std::string_view text,
+                                const QueryOptions& options = {}) const;
+
   /// Returns the optimized logical plan (and per-pattern strategy choices)
   /// for a query, without executing it (no admission slot is consumed).
   Result<std::string> Explain(std::string_view query,
@@ -282,6 +299,14 @@ class Database {
   /// admission queue immediately if it was still waiting. Returns false
   /// when no such query is active (already finished or never existed).
   bool Cancel(uint64_t query_id) const;
+
+  /// Reconfigures the plan cache, dropping every cached plan (the safe
+  /// default when tuning knobs change). `config.enabled = false` turns
+  /// transparent caching off database-wide.
+  void SetPlanCache(const cache::CacheConfig& config) const;
+
+  /// Plan-cache counters (hits/misses/evictions/...) for monitoring.
+  cache::CacheStats plan_cache_stats() const;
 
   /// Admission counters (running/queued/shed/...) for monitoring.
   exec::AdmissionStats admission_stats() const;
@@ -325,6 +350,14 @@ class Database {
   struct CatalogState {
     std::map<std::string, std::shared_ptr<const Entry>, std::less<>> entries;
     std::string default_document;
+    /// Strictly increasing version of this catalog, bumped by every swap
+    /// (Install/Remove/Attach/quarantine). Cached plans record the
+    /// generation they were compiled under and never serve across one: any
+    /// semantic input to compilation or strategy choice (document set,
+    /// default document, synopsis) lives in the catalog, so a generation
+    /// match proves the cached plan is still what a fresh compile would
+    /// produce.
+    uint64_t generation = 0;
     /// Documents the scrubber degraded (snapshot quarantined; serving an
     /// in-memory fallback): name -> note. Queries touching one surface the
     /// note in QueryResult::degradation, like engine fallbacks do.
@@ -338,7 +371,10 @@ class Database {
     }
   };
 
+  friend class PreparedQuery;
+
   std::shared_ptr<const CatalogState> Pin() const;
+  std::shared_ptr<cache::PlanCache> PinPlanCache() const;
   Status Install(std::string name, std::shared_ptr<const Entry> entry);
 
   /// Moves an opened snapshot's components into a catalog entry (shared by
@@ -355,18 +391,56 @@ class Database {
   Result<algebra::LogicalExprPtr> Compile(std::string_view query,
                                           const QueryOptions& options,
                                           const CatalogState& catalog) const;
+
+  /// How a plan handed to Run() relates to the plan cache.
+  struct ExecHints {
+    /// Strategy already decided (cache hit or install-time pick); Run skips
+    /// the per-execution PickStrategy.
+    bool have_strategy = false;
+    exec::PatternStrategy strategy = exec::PatternStrategy::kNok;
+    /// "fresh" / "cached (...)" for QueryResult::plan_provenance.
+    std::string provenance;
+    /// Feedback sink; when set, Run commits observed q-error/work to it.
+    std::shared_ptr<cache::CachedPlan> entry;
+    /// Profile this execution internally (feedback sampling) even when the
+    /// caller did not ask for stats; the profile is stripped before return.
+    bool sample_profile = false;
+  };
+
   Result<exec::QueryResult> Run(algebra::LogicalExprPtr plan,
                                 const QueryOptions& options,
-                                std::shared_ptr<const CatalogState> catalog)
-      const;
+                                std::shared_ptr<const CatalogState> catalog,
+                                ExecHints hints) const;
+
+  /// The transparent-cache execution path shared by Query, QueryPath and
+  /// PreparedQuery::Execute: lookup by normalized fingerprint, bind + run on
+  /// hit; compile the sentinel template, pick a strategy on the bound plan
+  /// and insert on miss. `is_path` compiles via the XPath front end against
+  /// `path_doc` instead of Database::Compile. `values` overrides the
+  /// normalized query's own literals (PreparedQuery binds).
+  Result<exec::QueryResult> CachedExecute(
+      std::string_view original_text, const cache::NormalizedQuery& normalized,
+      const std::vector<std::string>& values, const QueryOptions& options,
+      std::shared_ptr<const CatalogState> catalog, bool is_path,
+      const std::string& path_doc) const;
+
+  /// Cache key: front-end tag + options/limits class + fingerprint.
+  static std::string CacheKey(bool is_path, const std::string& path_doc,
+                              const QueryOptions& options,
+                              const std::string& fingerprint);
+
   exec::EvalContext MakeContext(const CatalogState& catalog,
                                 const QueryOptions& options) const;
   /// Applies the cost model to every τ node; returns the forced strategy
   /// for the context (single strategy per plan: the cheapest for the most
-  /// expensive pattern).
-  exec::PatternStrategy PickStrategy(const CatalogState& catalog,
-                                     const algebra::LogicalExpr& plan,
-                                     std::string* explanation) const;
+  /// expensive pattern). `ranking` (optional) receives the costliest
+  /// pattern's per-strategy cost ranking, cheapest first — the adaptive
+  /// re-plan order.
+  exec::PatternStrategy PickStrategy(
+      const CatalogState& catalog, const algebra::LogicalExpr& plan,
+      std::string* explanation,
+      std::vector<std::pair<exec::PatternStrategy, double>>* ranking =
+          nullptr) const;
 
   // Copy-on-write catalog: the mutex orders writers and guards the root
   // pointer; readers hold it only for the shared_ptr copy.
@@ -378,6 +452,11 @@ class Database {
   // const (read-only-catalog) query paths can use them.
   mutable exec::QueryScheduler scheduler_;
   mutable exec::CircuitBreaker breaker_;
+  // The plan cache is swapped whole on SetPlanCache; queries pin the
+  // shared_ptr, so reconfiguration never races an in-flight lookup.
+  mutable std::mutex plan_cache_mu_;
+  mutable std::shared_ptr<cache::PlanCache> plan_cache_ =
+      std::make_shared<cache::PlanCache>();
   mutable std::atomic<uint64_t> next_query_id_{1};
   mutable std::mutex active_mu_;
   mutable std::map<uint64_t, std::shared_ptr<CancelToken>> active_;
@@ -398,6 +477,54 @@ class Database {
   ScrubReport last_scrub_;
   uint64_t scrub_cycles_ = 0;
   uint64_t scrub_skipped_ = 0;
+};
+
+/// A prepared statement from Database::Prepare: the query text with its
+/// comparison literals lifted into typed bind slots. The handle holds no
+/// compiled state itself — Execute goes through the plan cache by
+/// fingerprint, so it stays valid across catalog swaps (the plan silently
+/// recompiles under the new generation) and cache evictions. Cheap to copy;
+/// safe to Execute concurrently from many threads. Borrows the Database.
+class PreparedQuery {
+ public:
+  /// Number of bind slots ("?" parameters) the text was lifted into. Zero
+  /// for queries with no comparison literals (or unsupported syntax — the
+  /// statement still works, it just caches by exact text).
+  size_t slot_count() const { return normalized_.slots.size(); }
+  /// True when slot `i` expects numeric text (the literal it replaced was a
+  /// number token).
+  bool slot_numeric(size_t i) const { return normalized_.slots[i].numeric; }
+  /// The literal values from the original text, in slot order — the
+  /// defaults used by Execute() without binds.
+  const std::vector<std::string>& default_binds() const {
+    return normalized_.values;
+  }
+  const std::string& text() const { return text_; }
+
+  /// Executes with the original literal values.
+  Result<exec::QueryResult> Execute() const;
+  /// Executes with `binds` substituted into the slots (one value per slot,
+  /// in slot order). String slots accept any text; numeric slots require
+  /// number syntax (digits and dots) so the bound plan stays byte-for-byte
+  /// what compiling the literal would produce.
+  Result<exec::QueryResult> Execute(const std::vector<std::string>& binds) const;
+  /// Same, overriding the options captured at Prepare time.
+  Result<exec::QueryResult> Execute(const std::vector<std::string>& binds,
+                                    const QueryOptions& options) const;
+
+ private:
+  friend class Database;
+  PreparedQuery(const Database* db, std::string text, QueryOptions options,
+                cache::NormalizedQuery normalized)
+      : db_(db),
+        text_(std::move(text)),
+        options_(std::move(options)),
+        normalized_(std::move(normalized)) {}
+
+  const Database* db_;
+  std::string text_;
+  QueryOptions options_;
+  cache::NormalizedQuery normalized_;
 };
 
 }  // namespace xmlq::api

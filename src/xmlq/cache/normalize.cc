@@ -1,0 +1,430 @@
+#include "xmlq/cache/normalize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <utility>
+
+#include "xmlq/base/strings.h"
+
+namespace xmlq::cache {
+
+namespace {
+
+// The normalizer re-tokenizes query text with rules that mirror the common
+// subset of the XPath lexer and the XQuery scanner: anything the two would
+// disagree on (doubled-quote escapes, element constructors, braces) bails
+// out to raw mode instead of guessing. Mis-tokenizing can only ever produce
+// a canonical text that fails to compile (the caller then falls back to the
+// original text, uncached) — it must never produce one that compiles to
+// different semantics, which is why the rules below are conservative.
+//
+// Normalization runs on every cache *hit*, so tokens are string_views into
+// the query text (alive for the whole NormalizeQuery call) — the hot path
+// allocates only the output strings, never per-token.
+
+struct Tok {
+  enum class Kind : uint8_t {
+    kName,      // bare name (also keywords: for/let/where/and/eq/...)
+    kAxis,      // name:: (fused: the XPath lexer requires adjacency)
+    kVariable,  // $name (fused: '-' is a name char, so "$a - $b" must not
+                // re-lex as the variable "a-")
+    kNumber,    // digits with optional dots
+    kString,    // text holds the VALUE, without quotes
+    kSymbol,    // everything else: / // [ ] ( ) @ , * + - = != < <= > >= . :=
+  };
+  Kind kind;
+  std::string_view text;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Shared by both front-end lexers (single ':' allowed for QName-style
+// names, "::" terminates the name).
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+/// Tokenizes `text`; nullopt = raw mode. The returned tokens view into
+/// `text` and must not outlive it.
+std::optional<std::vector<Tok>> TokenizeQuery(std::string_view text) {
+  std::vector<Tok> out;
+  out.reserve(text.size() / 3 + 4);
+  size_t i = 0;
+  const size_t n = text.size();
+  auto peek = [&](size_t ahead) -> char {
+    return i + ahead < n ? text[i + ahead] : '\0';
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++i;
+      continue;
+    }
+    if (c == '(' && peek(1) == ':') {
+      // XQuery comment, possibly nested; part of "whitespace".
+      i += 2;
+      int depth = 1;
+      while (i < n && depth > 0) {
+        if (text[i] == '(' && peek(1) == ':') {
+          depth++;
+          i += 2;
+        } else if (text[i] == ':' && peek(1) == ')') {
+          depth--;
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+      if (depth > 0) return std::nullopt;  // unterminated comment
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      const size_t start = ++i;
+      while (i < n && text[i] != quote) ++i;
+      if (i >= n) return std::nullopt;  // unterminated
+      const size_t len = i - start;
+      ++i;
+      if (i < n && text[i] == quote) {
+        // Doubled-quote escape: XQuery reads one literal, XPath reads two —
+        // ambiguous across front ends, so don't model it.
+        return std::nullopt;
+      }
+      out.push_back({Tok::Kind::kString, text.substr(start, len)});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.')) {
+        ++i;
+      }
+      out.push_back({Tok::Kind::kNumber, text.substr(start, i - start)});
+      continue;
+    }
+    if (IsNameStart(c) || c == '$') {
+      const bool variable = c == '$';
+      const size_t start = i;
+      if (variable) {
+        ++i;
+        if (i >= n || !IsNameStart(text[i])) return std::nullopt;
+      }
+      while (i < n && IsNameChar(text[i])) {
+        if (text[i] == ':' && peek(1) == ':') break;
+        ++i;
+      }
+      if (!variable && i + 1 < n && text[i] == ':' && peek(1) == ':') {
+        out.push_back({Tok::Kind::kAxis, text.substr(start, i - start)});
+        i += 2;
+      } else {
+        out.push_back({variable ? Tok::Kind::kVariable : Tok::Kind::kName,
+                       text.substr(start, i - start)});
+      }
+      continue;
+    }
+    auto symbol = [&](size_t len) {
+      out.push_back({Tok::Kind::kSymbol, text.substr(i, len)});
+      i += len;
+    };
+    switch (c) {
+      case '/':
+        symbol(peek(1) == '/' ? 2 : 1);
+        continue;
+      case '<':
+        if (peek(1) == '=') {
+          symbol(2);
+          continue;
+        }
+        // '<' starting a name (or '</', '<!') is an element constructor —
+        // its content has its own lexical rules the normalizer does not
+        // model.
+        if (IsNameStart(peek(1)) || peek(1) == '/' || peek(1) == '!') {
+          return std::nullopt;
+        }
+        symbol(1);
+        continue;
+      case '>':
+        symbol(peek(1) == '=' ? 2 : 1);
+        continue;
+      case '!':
+        if (peek(1) != '=') return std::nullopt;
+        symbol(2);
+        continue;
+      case ':':
+        if (peek(1) != '=') return std::nullopt;
+        symbol(2);
+        continue;
+      case '[':
+      case ']':
+      case '(':
+      case ')':
+      case '@':
+      case ',':
+      case '*':
+      case '+':
+      case '-':
+      case '=':
+      case '.':
+        symbol(1);
+        continue;
+      default:
+        return std::nullopt;  // braces, semicolons, control bytes, ...
+    }
+  }
+  return out;
+}
+
+bool IsComparisonTok(const Tok& t) {
+  if (t.kind == Tok::Kind::kSymbol) {
+    return t.text == "=" || t.text == "!=" || t.text == "<" ||
+           t.text == "<=" || t.text == ">" || t.text == ">=";
+  }
+  if (t.kind == Tok::Kind::kName) {
+    return t.text == "eq" || t.text == "ne" || t.text == "lt" ||
+           t.text == "le" || t.text == "gt" || t.text == "ge";
+  }
+  return false;
+}
+
+bool IsLiteral(const Tok& t) {
+  return t.kind == Tok::Kind::kString || t.kind == Tok::Kind::kNumber;
+}
+
+/// A literal is lifted into a bind slot iff it is an operand of a
+/// comparison. Everything else (doc("...") arguments, arithmetic constants,
+/// parenthesized constants) stays in the canonical text verbatim —
+/// conservative and always correct, since an un-lifted literal
+/// distinguishes fingerprints. Liftability only looks at the immediate
+/// neighbors, so it gives the same answer inside a detached predicate-group
+/// token vector as in the full query (group boundaries are the brackets).
+std::vector<char> ComputeLift(const std::vector<Tok>& tokens) {
+  std::vector<char> lift(tokens.size(), 0);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsLiteral(tokens[i])) continue;
+    const bool prev_cmp = i > 0 && IsComparisonTok(tokens[i - 1]);
+    const bool next_cmp =
+        i + 1 < tokens.size() && IsComparisonTok(tokens[i + 1]);
+    lift[i] = (prev_cmp || next_cmp) ? 1 : 0;
+  }
+  return lift;
+}
+
+/// Appends a re-quoted string literal, or returns false when the value
+/// needs an escape the two front ends disagree on.
+bool AppendQuoted(std::string_view value, std::string* out) {
+  const bool has_d = value.find('"') != std::string_view::npos;
+  const bool has_s = value.find('\'') != std::string_view::npos;
+  if (has_d && has_s) return false;
+  const char quote = has_d ? '\'' : '"';
+  out->push_back(quote);
+  out->append(value);
+  out->push_back(quote);
+  return true;
+}
+
+enum class RenderMode { kFingerprint, kCompile };
+
+/// Renders `tokens` joined by single spaces (except after a fused `name::`
+/// axis, which the XPath lexer requires to sit flush against what follows).
+/// kFingerprint replaces liftable literals with typed placeholders `?s`/`?n`;
+/// kCompile plants sentinel literals and records slots + original values.
+/// Returns false when a string literal cannot be re-quoted.
+bool Render(const std::vector<Tok>& tokens, const std::vector<char>& lift,
+            RenderMode mode, std::string* out, std::vector<BindSlot>* slots,
+            std::vector<std::string>* values) {
+  out->reserve(tokens.size() * 4 + 16);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Tok& t = tokens[i];
+    if (!out->empty() && !(i > 0 && tokens[i - 1].kind == Tok::Kind::kAxis)) {
+      out->push_back(' ');
+    }
+    if (lift[i]) {
+      const bool numeric = t.kind == Tok::Kind::kNumber;
+      if (mode == RenderMode::kFingerprint) {
+        out->append(numeric ? "?n" : "?s");
+        if (values != nullptr) values->emplace_back(t.text);
+      } else {
+        const size_t slot = slots->size();
+        BindSlot s;
+        s.numeric = numeric;
+        if (numeric) {
+          s.sentinel = NumberSentinelText(slot);
+          s.sentinel_number = NumberSentinelValue(slot);
+          out->append(s.sentinel);
+        } else {
+          s.sentinel = StringSentinel(slot);
+          out->push_back('"');
+          out->append(s.sentinel);
+          out->push_back('"');
+        }
+        slots->push_back(std::move(s));
+        if (values != nullptr) values->emplace_back(t.text);
+      }
+      continue;
+    }
+    switch (t.kind) {
+      case Tok::Kind::kString:
+        if (!AppendQuoted(t.text, out)) return false;
+        break;
+      case Tok::Kind::kAxis:
+        out->append(t.text);
+        out->append("::");
+        break;
+      default:
+        out->append(t.text);
+        break;
+    }
+  }
+  return true;
+}
+
+/// Canonicalizes `tokens[begin, end)` into a fresh vector: every run of
+/// adjacent predicate groups `[..][..]` is recursively canonicalized and
+/// then stably sorted by fingerprint rendering (placeholders, not values,
+/// so differently-parameterized spellings of the same query converge on one
+/// slot numbering). Safe because the supported predicate subset is purely
+/// existential/comparison conjunctions — positional predicates are rejected
+/// by the parsers — so adjacent groups commute. Returns nullopt on
+/// unbalanced brackets (caller degrades to raw mode).
+std::optional<std::vector<Tok>> CanonicalizeRange(
+    const std::vector<Tok>& tokens, size_t begin, size_t end) {
+  std::vector<Tok> out;
+  out.reserve(end - begin);
+  size_t i = begin;
+  while (i < end) {
+    const Tok& t = tokens[i];
+    if (t.kind != Tok::Kind::kSymbol || t.text != "[") {
+      out.push_back(t);
+      ++i;
+      continue;
+    }
+    // Collect the run of adjacent groups starting here, each recursively
+    // canonicalized ('[' + canonical body + ']').
+    std::vector<std::vector<Tok>> groups;
+    while (i < end && tokens[i].kind == Tok::Kind::kSymbol &&
+           tokens[i].text == "[") {
+      size_t j = i + 1;
+      int depth = 1;
+      while (j < end && depth > 0) {
+        if (tokens[j].kind == Tok::Kind::kSymbol) {
+          if (tokens[j].text == "[") ++depth;
+          if (tokens[j].text == "]") --depth;
+        }
+        ++j;
+      }
+      if (depth != 0) return std::nullopt;
+      auto body = CanonicalizeRange(tokens, i + 1, j - 1);
+      if (!body) return std::nullopt;
+      std::vector<Tok> group;
+      group.reserve(body->size() + 2);
+      group.push_back(tokens[i]);  // '['
+      group.insert(group.end(), body->begin(), body->end());
+      group.push_back(tokens[j - 1]);  // ']'
+      groups.push_back(std::move(group));
+      i = j;
+    }
+    if (groups.size() > 1) {
+      std::vector<std::pair<std::string, size_t>> keyed;
+      keyed.reserve(groups.size());
+      for (size_t g = 0; g < groups.size(); ++g) {
+        std::string key;
+        Render(groups[g], ComputeLift(groups[g]), RenderMode::kFingerprint,
+               &key, nullptr, nullptr);
+        keyed.emplace_back(std::move(key), g);
+      }
+      std::stable_sort(
+          keyed.begin(), keyed.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [key, g] : keyed) {
+        out.insert(out.end(), groups[g].begin(), groups[g].end());
+      }
+    } else {
+      for (const auto& group : groups) {
+        out.insert(out.end(), group.begin(), group.end());
+      }
+    }
+  }
+  return out;
+}
+
+NormalizedQuery RawMode(std::string_view text) {
+  NormalizedQuery out;
+  out.parameterized = false;
+  out.fingerprint = std::string(TrimWhitespace(text));
+  out.compile_text = out.fingerprint;
+  return out;
+}
+
+}  // namespace
+
+std::string StringSentinel(size_t slot) {
+  return "\x01" + std::to_string(slot) + "\x01";
+}
+
+std::string NumberSentinelText(size_t slot) {
+  return std::to_string(9007100000000000ull + slot);
+}
+
+double NumberSentinelValue(size_t slot) {
+  return static_cast<double>(9007100000000000ull + slot);
+}
+
+NormalizedQuery NormalizeQuery(std::string_view text,
+                               bool render_compile_text) {
+  auto tokens = TokenizeQuery(text);
+  if (!tokens || tokens->empty()) return RawMode(text);
+  // An adjacent predicate pair (a `][` token sequence, at any nesting
+  // depth) is the only thing canonicalization can reorder; without one the
+  // token stream is already canonical and only bracket balance needs
+  // checking — one flat scan covers both, so the common single-predicate
+  // query skips the recursive pass entirely.
+  int depth = 0;
+  bool adjacent_groups = false;
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    const Tok& t = (*tokens)[i];
+    if (t.kind != Tok::Kind::kSymbol) continue;
+    if (t.text == "[") {
+      ++depth;
+      if (i > 0 && (*tokens)[i - 1].kind == Tok::Kind::kSymbol &&
+          (*tokens)[i - 1].text == "]") {
+        adjacent_groups = true;
+      }
+    } else if (t.text == "]") {
+      if (--depth < 0) return RawMode(text);
+    }
+  }
+  if (depth != 0) return RawMode(text);
+  std::optional<std::vector<Tok>> canon;
+  if (adjacent_groups) {
+    canon = CanonicalizeRange(*tokens, 0, tokens->size());
+    if (!canon) return RawMode(text);
+  } else {
+    canon = std::move(tokens);
+  }
+  const std::vector<char> lift = ComputeLift(*canon);
+
+  NormalizedQuery out;
+  // The fingerprint render also collects the literal values, so the hit
+  // path is done after this one pass.
+  if (!Render(*canon, lift, RenderMode::kFingerprint, &out.fingerprint,
+              nullptr, &out.values)) {
+    return RawMode(text);
+  }
+  out.parameterized = !out.values.empty();
+  if (render_compile_text) {
+    // With no slots the canonical text still shares entries across
+    // whitespace/predicate-order variants; with slots it carries the
+    // sentinels the binder replaces per execution.
+    if (!Render(*canon, lift, RenderMode::kCompile, &out.compile_text,
+                &out.slots, nullptr)) {
+      return RawMode(text);
+    }
+  }
+  return out;
+}
+
+}  // namespace xmlq::cache

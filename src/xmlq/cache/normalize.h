@@ -1,0 +1,85 @@
+#ifndef XMLQ_CACHE_NORMALIZE_H_
+#define XMLQ_CACHE_NORMALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlq::cache {
+
+/// One parameter slot a query's text was lifted into. The slot is typed
+/// (string vs. number literal — the two compile to different comparison
+/// semantics, so they must never share a fingerprint) and carries the
+/// sentinel literal the plan-cache normalizer planted into the canonical
+/// text in its place. At bind time the compiled template is cloned and every
+/// occurrence of the sentinel is replaced by the actual parameter value.
+struct BindSlot {
+  bool numeric = false;
+  /// The sentinel literal text as it appears in the parameterized query
+  /// (string slots: the raw string value, without quotes; numeric slots:
+  /// the digit text).
+  std::string sentinel;
+  /// Numeric slots: the exact double the sentinel digits parse to (the
+  /// XQuery front end stores number literals as doubles, so substitution
+  /// matches by value there).
+  double sentinel_number = 0;
+};
+
+/// The plan-cache view of one query text (DESIGN.md §11).
+///
+/// `fingerprint` is the canonical form used as the cache key: tokens joined
+/// with single spaces (whitespace and comments erased), adjacent predicate
+/// groups `[..][..]` sorted into a canonical order (safe: the supported
+/// predicate subset is existential/comparison conjunctions, which commute),
+/// and every comparison-adjacent string/number literal replaced by a typed
+/// placeholder `?s` / `?n`. Two queries differing only in parameter values
+/// (or whitespace, or commuting predicate order) share a fingerprint and
+/// therefore a cached plan.
+///
+/// `compile_text` is the same canonical form but with unique sentinel
+/// literals in place of the placeholders — a valid query the front ends
+/// compile once per fingerprint; the resulting plan is the cached template.
+///
+/// When the text uses syntax the normalizer does not model (element
+/// constructors, unknown characters), it degrades to *raw mode*:
+/// `parameterized` is false, the fingerprint is the trimmed original text
+/// (exact-match caching, still correct — just one entry per literal
+/// combination) and `compile_text` equals it.
+struct NormalizedQuery {
+  bool parameterized = false;
+  std::string fingerprint;
+  std::string compile_text;
+  std::vector<BindSlot> slots;
+  /// This query text's own literal values, in slot order — the binds the
+  /// transparent cache path substitutes (and the defaults for a
+  /// PreparedQuery executed without explicit binds).
+  std::vector<std::string> values;
+};
+
+/// Normalizes a query (XQuery or XPath; the canonical text re-parses through
+/// whichever front end accepted the original). Never fails: unsupported
+/// syntax degrades to raw mode.
+///
+/// `render_compile_text` = false skips the sentinel render: `compile_text`
+/// and `slots` stay empty (raw-mode results still carry both — they cost
+/// nothing there). The fingerprint and values are all a cache *hit* needs,
+/// so the transparent path normalizes in this mode and only pays for the
+/// full form when a miss actually compiles a template.
+NormalizedQuery NormalizeQuery(std::string_view text,
+                               bool render_compile_text = true);
+
+/// Sentinel constructors, shared with the plan binder (plan_cache.cc) and
+/// exposed for tests. Slot `k`'s string sentinel wraps the index in \x01
+/// bytes (cannot collide with user data that survives the lexers un-lifted);
+/// the numeric sentinel is 9007100000000000 + k — exactly representable in a
+/// double and far outside any natural document value, and its uniqueness is
+/// verified against the compiled plan before an entry is cached.
+std::string StringSentinel(size_t slot);
+std::string NumberSentinelText(size_t slot);
+double NumberSentinelValue(size_t slot);
+
+}  // namespace xmlq::cache
+
+#endif  // XMLQ_CACHE_NORMALIZE_H_

@@ -1,0 +1,343 @@
+#include "xmlq/cache/plan_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "xmlq/base/fault_injector.h"
+
+namespace xmlq::cache {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Pre-order walk over a plan tree (and the pattern graphs hanging off it
+/// are visited by the callers directly — they are payloads, not children).
+template <typename Expr, typename Fn>
+void WalkPlan(Expr& expr, const Fn& fn) {
+  fn(expr);
+  for (const auto& child : expr.children) {
+    if (child) WalkPlan(*child, fn);
+  }
+}
+
+bool SlotMatchesPredicate(const BindSlot& slot,
+                          const algebra::ValuePredicate& pred) {
+  return pred.numeric == slot.numeric && pred.literal == slot.sentinel;
+}
+
+bool SlotMatchesItem(const BindSlot& slot, const algebra::Item& item) {
+  if (slot.numeric) {
+    return item.IsNumber() && item.number() == slot.sentinel_number;
+  }
+  return item.IsString() && item.str() == slot.sentinel;
+}
+
+}  // namespace
+
+std::string CacheStats::ToString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "plan-cache: hits=%llu misses=%llu bypass=%llu inserts=%llu "
+                "insert_faults=%llu evictions=%llu invalidations=%llu "
+                "replans=%llu resident_bytes=%llu entries=%llu",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(bypass),
+                static_cast<unsigned long long>(inserts),
+                static_cast<unsigned long long>(insert_faults),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(invalidations),
+                static_cast<unsigned long long>(replans),
+                static_cast<unsigned long long>(resident_bytes),
+                static_cast<unsigned long long>(entries));
+  return buf;
+}
+
+PlanCache::PlanCache(CacheConfig config) : config_(config) {
+  const size_t count = NextPowerOfTwo(std::max<size_t>(1, config.shard_count));
+  shard_mask_ = count - 1;
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key)&shard_mask_];
+}
+
+const PlanCache::Shard& PlanCache::ShardFor(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key)&shard_mask_];
+}
+
+void PlanCache::EraseLocked(
+    Shard& shard, std::list<std::shared_ptr<CachedPlan>>::iterator it) {
+  const CachedPlan& entry = **it;
+  shard.bytes -= entry.bytes;
+  resident_bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  shard.map.erase(entry.key);
+  shard.lru.erase(it);
+}
+
+std::shared_ptr<CachedPlan> PlanCache::Lookup(const std::string& key,
+                                              uint64_t generation) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::shared_ptr<CachedPlan> entry = *it->second;
+  if (entry->generation != generation) {
+    // Compiled against a catalog that no longer exists; drop on the spot.
+    EraseLocked(shard, it->second);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  it->second = shard.lru.begin();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  entry->hit_count.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+std::shared_ptr<CachedPlan> PlanCache::Peek(const std::string& key,
+                                            uint64_t generation) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  std::shared_ptr<CachedPlan> entry = *it->second;
+  if (entry->generation != generation) return nullptr;
+  return entry;
+}
+
+bool PlanCache::Insert(std::shared_ptr<CachedPlan> entry) {
+  if (XMLQ_FAULT("cache.plan.insert")) {
+    insert_faults_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const size_t share = config_.memory_budget_bytes / shards_.size();
+  if (entry->bytes > share) return false;  // never admissible
+  Shard& shard = ShardFor(entry->key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.count(entry->key)) return false;  // first writer won
+  while (shard.bytes + entry->bytes > share && !shard.lru.empty()) {
+    EraseLocked(shard, std::prev(shard.lru.end()));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.bytes += entry->bytes;
+  resident_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.push_front(entry);
+  shard.map.emplace(entry->key, shard.lru.begin());
+  return true;
+}
+
+void PlanCache::InvalidateGeneration(uint64_t live_generation) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      auto next = std::next(it);
+      if ((*it)->generation != live_generation) {
+        EraseLocked(shard, it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      it = next;
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (!shard.lru.empty()) EraseLocked(shard, shard.lru.begin());
+  }
+}
+
+bool PlanCache::CommitFeedback(CachedPlan& entry, bool sampled,
+                               double q_error, double work,
+                               exec::PatternStrategy executed,
+                               bool degraded) {
+  entry.executions.fetch_add(1, std::memory_order_relaxed);
+  if (!entry.adaptive) return false;
+  std::lock_guard<std::mutex> lock(entry.mu);
+  FeedbackState& fb = entry.feedback;
+  const size_t si = static_cast<size_t>(executed) & 7;
+  fb.work_sum[si] += work;
+  fb.work_count[si]++;
+  fb.tried_mask |= 1u << si;
+  fb.executions_since_replan++;
+  if (fb.pinned) return false;
+  if (sampled && q_error > 0) {
+    fb.qerrors.push_back(q_error);
+    if (fb.qerrors.size() > config_.feedback_window) {
+      fb.qerrors.erase(fb.qerrors.begin());
+    }
+  }
+  // Hysteresis: no re-plan (even a quarantine-forced one) until the cool-down
+  // since the last switch has elapsed, so one bad interval can't flap the
+  // engine back and forth.
+  if (fb.executions_since_replan < config_.replan_cooldown_hits &&
+      fb.replans > 0) {
+    return false;
+  }
+  bool want = degraded;
+  if (!want) {
+    if (fb.qerrors.size() < config_.min_samples) return false;
+    std::vector<double> sorted = fb.qerrors;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    want = sorted[sorted.size() / 2] > config_.qerror_threshold;
+  }
+  if (!want) return false;
+  // Switch to the cheapest strategy the entry has not yet run.
+  for (const auto& [strategy, cost] : fb.ranking) {
+    const size_t ci = static_cast<size_t>(strategy) & 7;
+    if (fb.tried_mask & (1u << ci)) continue;
+    fb.tried_mask |= 1u << ci;
+    fb.qerrors.clear();
+    fb.executions_since_replan = 0;
+    fb.replans++;
+    replans_.fetch_add(1, std::memory_order_relaxed);
+    entry.strategy.store(strategy, std::memory_order_relaxed);
+    return true;
+  }
+  // Every ranked strategy has run: pin the one with the least mean observed
+  // work. Terminal — the entry stops adapting until invalidated/evicted.
+  exec::PatternStrategy best =
+      entry.strategy.load(std::memory_order_relaxed);
+  double best_work = -1;
+  for (const auto& [strategy, cost] : fb.ranking) {
+    const size_t ci = static_cast<size_t>(strategy) & 7;
+    if (fb.work_count[ci] == 0) continue;
+    const double mean = fb.work_sum[ci] / static_cast<double>(fb.work_count[ci]);
+    if (best_work < 0 || mean < best_work) {
+      best_work = mean;
+      best = strategy;
+    }
+  }
+  fb.pinned = true;
+  const bool switched =
+      best != entry.strategy.load(std::memory_order_relaxed);
+  if (switched) {
+    fb.replans++;
+    replans_.fetch_add(1, std::memory_order_relaxed);
+    entry.strategy.store(best, std::memory_order_relaxed);
+  }
+  fb.qerrors.clear();
+  fb.executions_since_replan = 0;
+  return switched;
+}
+
+CacheStats PlanCache::Stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.bypass = bypass_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.insert_faults = insert_faults_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.replans = replans_.load(std::memory_order_relaxed);
+  s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool ValidateSentinels(const algebra::LogicalExpr& plan,
+                       const std::vector<BindSlot>& slots) {
+  std::vector<size_t> seen(slots.size(), 0);
+  WalkPlan(plan, [&](const algebra::LogicalExpr& e) {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (e.op == algebra::LogicalOp::kSelectValue &&
+          SlotMatchesPredicate(slots[i], e.predicate)) {
+        seen[i]++;
+      }
+      if (e.op == algebra::LogicalOp::kLiteral &&
+          SlotMatchesItem(slots[i], e.literal)) {
+        seen[i]++;
+      }
+      if (e.pattern) {
+        for (size_t v = 0; v < e.pattern->VertexCount(); ++v) {
+          for (const auto& pred : e.pattern->vertex(v).predicates) {
+            if (SlotMatchesPredicate(slots[i], pred)) seen[i]++;
+          }
+        }
+      }
+    }
+  });
+  // "At least once": rewrites may duplicate a predicate (filter grafting),
+  // and BindPlan replaces every occurrence. Zero occurrences means the
+  // compile pipeline put the literal somewhere the binder can't reach.
+  return std::all_of(seen.begin(), seen.end(),
+                     [](size_t n) { return n >= 1; });
+}
+
+algebra::LogicalExprPtr BindPlan(const algebra::LogicalExpr& tmpl,
+                                 const std::vector<BindSlot>& slots,
+                                 const std::vector<std::string>& values) {
+  algebra::LogicalExprPtr bound = tmpl.Clone();
+  WalkPlan(*bound, [&](algebra::LogicalExpr& e) {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const BindSlot& slot = slots[i];
+      if (e.op == algebra::LogicalOp::kSelectValue &&
+          SlotMatchesPredicate(slot, e.predicate)) {
+        e.predicate.literal = values[i];
+      }
+      if (e.op == algebra::LogicalOp::kLiteral &&
+          SlotMatchesItem(slot, e.literal)) {
+        e.literal = slot.numeric
+                        ? algebra::Item(std::strtod(values[i].c_str(), nullptr))
+                        : algebra::Item(values[i]);
+      }
+      if (e.pattern) {
+        for (size_t v = 0; v < e.pattern->VertexCount(); ++v) {
+          for (auto& pred : e.pattern->mutable_vertex(
+                                static_cast<algebra::VertexId>(v))
+                                .predicates) {
+            if (SlotMatchesPredicate(slot, pred)) pred.literal = values[i];
+          }
+        }
+      }
+    }
+  });
+  return bound;
+}
+
+size_t PlanFootprint(const algebra::LogicalExpr& plan) {
+  size_t bytes = 0;
+  WalkPlan(plan, [&](const algebra::LogicalExpr& e) {
+    bytes += sizeof(algebra::LogicalExpr);
+    bytes += e.str.capacity() + e.predicate.literal.capacity();
+    bytes += e.clauses.capacity() * sizeof(algebra::FlworClause);
+    if (e.pattern) {
+      bytes += sizeof(algebra::PatternGraph);
+      for (size_t v = 0; v < e.pattern->VertexCount(); ++v) {
+        const auto& vertex = e.pattern->vertex(v);
+        bytes += sizeof(vertex) + vertex.label.capacity();
+        for (const auto& pred : vertex.predicates) {
+          bytes += sizeof(pred) + pred.literal.capacity();
+        }
+      }
+    }
+    if (e.schema) bytes += 256;  // coarse: schemas only occur un-cached paths
+    if (e.literal.IsString()) bytes += e.literal.str().capacity();
+  });
+  return bytes;
+}
+
+}  // namespace xmlq::cache

@@ -1,0 +1,216 @@
+#ifndef XMLQ_CACHE_PLAN_CACHE_H_
+#define XMLQ_CACHE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "xmlq/algebra/logical_plan.h"
+#include "xmlq/cache/normalize.h"
+#include "xmlq/exec/executor.h"
+
+namespace xmlq::cache {
+
+/// Plan-cache tuning knobs (api::Database::SetPlanCache). The defaults are
+/// the production configuration; tests shrink them to force evictions and
+/// re-plans deterministically.
+struct CacheConfig {
+  bool enabled = true;
+  /// Number of independently locked shards (rounded up to a power of two).
+  size_t shard_count = 8;
+  /// Total resident-plan budget across all shards; LRU eviction keeps each
+  /// shard under its 1/shard_count share.
+  size_t memory_budget_bytes = size_t{64} << 20;
+
+  // Feedback-driven adaptation (DESIGN.md §11). A cached plan is profiled
+  // every `sample_period`-th execution; when the median q-error over the
+  // last `feedback_window` samples exceeds `qerror_threshold` (and at least
+  // `min_samples` samples exist), the entry re-plans onto the next engine
+  // in the optimizer's cost ranking. `replan_cooldown_hits` executions must
+  // pass between re-plans (hysteresis: one bad sample after a re-plan can't
+  // flap the engine straight back).
+  uint64_t sample_period = 16;
+  double qerror_threshold = 8.0;
+  size_t feedback_window = 9;
+  size_t min_samples = 5;
+  uint64_t replan_cooldown_hits = 32;
+};
+
+/// Monotonic counters, mirrored after exec::AdmissionStats. All cheap
+/// relaxed atomics internally; this is the snapshot type.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Lookups that skipped the cache entirely: caching disabled, stats-only
+  /// executions, or plans whose compiled form failed sentinel validation.
+  uint64_t bypass = 0;
+  uint64_t inserts = 0;
+  uint64_t insert_faults = 0;  // XMLQ_FAULT site "cache.plan.insert"
+  uint64_t evictions = 0;      // LRU / memory-budget removals
+  uint64_t invalidations = 0;  // entries dropped by catalog generation swap
+  uint64_t replans = 0;        // feedback-driven strategy switches
+  uint64_t resident_bytes = 0; // current footprint estimate
+  uint64_t entries = 0;        // current entry count
+
+  /// One line, shell/wire format:
+  /// "plan-cache: hits=… misses=… … resident_kb=… entries=…".
+  std::string ToString() const;
+};
+
+/// Per-entry adaptive-selection state (guarded by CachedPlan::mu).
+/// State machine: an entry starts *tracking*; each profiled sample appends
+/// its plan-level q-error to a bounded window. When the median exceeds the
+/// threshold (or the executor reports the engine degraded/quarantined), the
+/// entry *re-plans*: switches to the cheapest not-yet-tried strategy from
+/// the install-time cost ranking and clears the window. Once every ranked
+/// strategy has been tried, the entry *pins* the strategy with the lowest
+/// mean observed work and stops adapting (terminal, until the entry is
+/// invalidated or evicted).
+struct FeedbackState {
+  /// Install-time cost ranking (cheapest first) from opt::ChooseStrategy's
+  /// alternatives, for the costliest pattern of the plan.
+  std::vector<std::pair<exec::PatternStrategy, double>> ranking;
+  /// Recent plan q-errors (bounded ring of CacheConfig::feedback_window).
+  std::vector<double> qerrors;
+  uint64_t executions_since_replan = 0;
+  uint32_t tried_mask = 0;  // bit per PatternStrategy value
+  bool pinned = false;
+  uint64_t replans = 0;
+  /// Mean-observed-work accumulators per strategy (indexed by enum value).
+  double work_sum[8] = {};
+  uint64_t work_count[8] = {};
+};
+
+/// One immutable compiled template plus its mutable execution/feedback
+/// bookkeeping. Shared: lookups hand out shared_ptrs, so eviction or
+/// invalidation never frees a plan a concurrent execution still reads.
+/// `plan` itself is never mutated after insert — executions clone it
+/// (binding sentinels) and run the clone.
+struct CachedPlan {
+  std::string key;
+  uint64_t generation = 0;
+  algebra::LogicalExprPtr plan;  // const after Insert
+  std::vector<BindSlot> slots;
+  bool parameterized = false;
+  /// False for forced-strategy (auto_optimize=false) entries: they execute
+  /// with the caller's engine and never adapt.
+  bool adaptive = false;
+  size_t bytes = 0;
+  std::chrono::steady_clock::time_point created{};
+
+  std::atomic<uint64_t> hit_count{0};
+  std::atomic<uint64_t> executions{0};
+  /// Current engine pick, re-written by feedback re-plans. Read lock-free
+  /// on the hit path.
+  std::atomic<exec::PatternStrategy> strategy{exec::PatternStrategy::kNok};
+
+  mutable std::mutex mu;  // guards feedback
+  FeedbackState feedback;
+};
+
+/// Sharded, thread-safe LRU plan cache. Keys are composed by the caller
+/// (api::Database) from front-end tag + options class + limits class +
+/// normalized fingerprint; the catalog generation is stored per entry and
+/// checked at lookup, so a stale entry can never serve even before the
+/// post-swap invalidation sweep reaches it.
+class PlanCache {
+ public:
+  explicit PlanCache(CacheConfig config = {});
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Returns the live entry for `key` compiled at `generation`, bumping its
+  /// LRU position and hit counter; null on miss (counted) or generation
+  /// mismatch (the stale entry is dropped on the spot).
+  std::shared_ptr<CachedPlan> Lookup(const std::string& key,
+                                     uint64_t generation);
+
+  /// Lookup without side effects (no LRU touch, no counters) — EXPLAIN uses
+  /// this so inspecting a plan doesn't perturb what it reports.
+  std::shared_ptr<CachedPlan> Peek(const std::string& key,
+                                   uint64_t generation) const;
+
+  /// Inserts `entry` (keyed by entry->key). Returns false without caching
+  /// when the XMLQ_FAULT site "cache.plan.insert" fires or when an entry
+  /// with the key already exists (first writer wins; the caller just runs
+  /// its own copy). Evicts LRU entries as needed to keep the shard within
+  /// its budget share; an entry bigger than the share is not admitted.
+  bool Insert(std::shared_ptr<CachedPlan> entry);
+
+  /// Drops every entry whose generation != `live_generation`. Called after
+  /// each copy-on-write catalog swap; correctness never depends on it (the
+  /// generation check in Lookup already fences), it just frees memory.
+  void InvalidateGeneration(uint64_t live_generation);
+
+  /// Drops everything (SetPlanCache reconfiguration).
+  void Clear();
+
+  void RecordBypass() { bypass_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Folds one execution's observations into `entry`'s feedback state and
+  /// applies the re-plan state machine. `sampled` says whether this
+  /// execution was profiled (q_error valid); `work` is the deterministic
+  /// work metric (node visits + index probes + stack pushes) under the
+  /// strategy `executed`; `degraded` forces an immediate re-plan attempt
+  /// (engine fault / quarantine). Returns true when the entry switched
+  /// strategy.
+  bool CommitFeedback(CachedPlan& entry, bool sampled, double q_error,
+                      double work, exec::PatternStrategy executed,
+                      bool degraded);
+
+  CacheStats Stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Key → handle into lru (most-recent at front).
+    std::unordered_map<std::string,
+                       std::list<std::shared_ptr<CachedPlan>>::iterator>
+        map;
+    std::list<std::shared_ptr<CachedPlan>> lru;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  void EraseLocked(Shard& shard,
+                   std::list<std::shared_ptr<CachedPlan>>::iterator it);
+
+  CacheConfig config_;
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0}, misses_{0}, bypass_{0}, inserts_{0},
+      insert_faults_{0}, evictions_{0}, invalidations_{0}, replans_{0},
+      resident_bytes_{0}, entries_{0};
+};
+
+/// Verifies every slot's sentinel literal occurs somewhere in `plan`
+/// (rewrites may duplicate a predicate — e.g. grafting a filter branch —
+/// so "at least once" is the invariant; substitution replaces every
+/// occurrence). A slot whose sentinel vanished means the compile pipeline
+/// transformed a literal in a way the binder can't reach — the caller must
+/// not cache that template.
+bool ValidateSentinels(const algebra::LogicalExpr& plan,
+                       const std::vector<BindSlot>& slots);
+
+/// Deep-copies `tmpl` and replaces every sentinel occurrence of slot i with
+/// `values[i]` (raw string value for string slots; digit text + parsed
+/// double for numeric slots). `values.size()` must equal `slots.size()`.
+algebra::LogicalExprPtr BindPlan(const algebra::LogicalExpr& tmpl,
+                                 const std::vector<BindSlot>& slots,
+                                 const std::vector<std::string>& values);
+
+/// Rough resident-size estimate of a plan tree (for the memory budget).
+size_t PlanFootprint(const algebra::LogicalExpr& plan);
+
+}  // namespace xmlq::cache
+
+#endif  // XMLQ_CACHE_PLAN_CACHE_H_

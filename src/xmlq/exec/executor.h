@@ -99,6 +99,10 @@ struct QueryResult {
   /// engine was abandoned and why.
   bool degraded = false;
   std::string degradation;
+  /// Where the plan came from: "fresh" (compiled for this execution) or
+  /// "cached (gen N, age Ns, hits K, strategy S, binds ...)". Empty when the
+  /// executor was driven directly (api::Database fills it).
+  std::string plan_provenance;
   /// Keeps the catalog snapshot the query was pinned to alive: node items
   /// in `value` point into documents owned by it, so a result stays valid
   /// even after the Database swaps or drops the documents it was computed

@@ -354,7 +354,9 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
                       " shed=" + std::to_string(admission.shed) +
                       " running=" + std::to_string(admission.running) +
                       " queued=" + std::to_string(admission.queued) + "\n" +
-                      db_->BreakerReport() + stats().ToString();
+                      db_->BreakerReport() +
+                      db_->plan_cache_stats().ToString() + "\n" +
+                      stats().ToString();
       return QueueResponse(conn, frame.request_id, response);
     }
     case FrameType::kCancel: {

@@ -42,9 +42,28 @@ double Percentile(std::vector<double>& sorted, double p) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--clients N]\n"
-               "          [--duration-s N] [--query Q] [--max-attempts N]\n",
+               "          [--duration-s N] [--query Q] [--max-attempts N]\n"
+               "          [--repeat-mix N]\n"
+               "  --repeat-mix N  instead of one fixed query, draw each\n"
+               "                  request Zipf-style from N value-predicate\n"
+               "                  variants (exercises the server plan cache)\n",
                argv0);
   return 2;
+}
+
+/// The --repeat-mix workload: N variants of the same query shape differing
+/// only in a comparison literal, so a plan cache keyed on the normalized
+/// (bind-slot) text serves all of them from one template. Selection is
+/// Zipf-like (weight 1/rank): a few hot variants dominate, a long tail
+/// stays cold — the repeat-heavy mix real ad-hoc traffic shows.
+std::vector<std::string> RepeatMix(uint32_t variants) {
+  std::vector<std::string> queries;
+  queries.reserve(variants);
+  for (uint32_t v = 0; v < variants; ++v) {
+    queries.push_back("//book[@year = \"" + std::to_string(1985 + v % 20) +
+                      "\"]/title");
+  }
+  return queries;
 }
 
 }  // namespace
@@ -55,6 +74,7 @@ int main(int argc, char** argv) {
   uint32_t clients = 4;
   uint32_t duration_s = 10;
   uint32_t max_attempts = 6;
+  uint32_t repeat_mix = 0;
   std::string query = "//book/title";
 
   for (int i = 1; i < argc; ++i) {
@@ -72,9 +92,18 @@ int main(int argc, char** argv) {
       duration_s = static_cast<uint32_t>(std::atoi(v));
     else if (arg == "--max-attempts" && (v = next()))
       max_attempts = static_cast<uint32_t>(std::atoi(v));
+    else if (arg == "--repeat-mix" && (v = next()))
+      repeat_mix = static_cast<uint32_t>(std::atoi(v));
     else if (arg == "--query" && (v = next())) query = v;
     else
       return Usage(argv[0]);
+  }
+
+  const std::vector<std::string> mix =
+      repeat_mix > 0 ? RepeatMix(repeat_mix) : std::vector<std::string>{query};
+  std::vector<double> mix_weights(mix.size());
+  for (size_t q = 0; q < mix.size(); ++q) {
+    mix_weights[q] = 1.0 / static_cast<double>(q + 1);  // Zipf s=1
   }
 
   std::atomic<bool> stop{false};
@@ -89,6 +118,8 @@ int main(int argc, char** argv) {
       std::mt19937_64 rng(0x9E3779B97F4A7C15ull ^ c);
       xmlq::net::RetryPolicy policy;
       policy.max_attempts = max_attempts;
+      std::discrete_distribution<size_t> pick(mix_weights.begin(),
+                                              mix_weights.end());
       auto client = xmlq::net::Client::Connect(host, port);
       while (!stop.load(std::memory_order_acquire)) {
         if (!client.ok()) {
@@ -100,7 +131,7 @@ int main(int argc, char** argv) {
         }
         const auto begin = std::chrono::steady_clock::now();
         const xmlq::net::CallResult call =
-            client->QueryWithRetry(query, policy, &rng);
+            client->QueryWithRetry(mix[pick(rng)], policy, &rng);
         const double micros =
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - begin)
@@ -148,8 +179,13 @@ int main(int argc, char** argv) {
   }
   std::sort(total.latencies_micros.begin(), total.latencies_micros.end());
 
-  std::printf("clients=%u duration=%.1fs query=%s\n", clients, elapsed_s,
-              query.c_str());
+  if (repeat_mix > 0) {
+    std::printf("clients=%u duration=%.1fs repeat-mix=%u variants\n", clients,
+                elapsed_s, repeat_mix);
+  } else {
+    std::printf("clients=%u duration=%.1fs query=%s\n", clients, elapsed_s,
+                query.c_str());
+  }
   std::printf("responses=%llu overloads=%llu retries=%llu "
               "conn_errors=%llu reconnects=%llu\n",
               static_cast<unsigned long long>(total.responses),
