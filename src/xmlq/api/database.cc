@@ -433,18 +433,25 @@ Status Database::Remove(std::string_view name) {
   uint64_t catalog_generation = 0;
   {
     std::lock_guard<std::mutex> lock(catalog_mu_);
-    auto next = std::make_shared<CatalogState>(*catalog_);
-    next->generation = catalog_->generation + 1;
-    dropped = next->entries.erase(doc_name) > 0;
-    next->degraded.erase(doc_name);
-    if (next->default_document == doc_name) {
-      next->default_document =
-          next->entries.empty() ? "" : next->entries.begin()->first;
+    // Swap (and bump the generation) only when the catalog actually
+    // changes: a failed remove must not wipe every cached plan.
+    if (catalog_->entries.count(doc_name) != 0 ||
+        catalog_->degraded.count(doc_name) != 0) {
+      auto next = std::make_shared<CatalogState>(*catalog_);
+      next->generation = catalog_->generation + 1;
+      dropped = next->entries.erase(doc_name) > 0;
+      next->degraded.erase(doc_name);
+      if (next->default_document == doc_name) {
+        next->default_document =
+            next->entries.empty() ? "" : next->entries.begin()->first;
+      }
+      catalog_generation = next->generation;
+      catalog_ = std::move(next);
     }
-    catalog_generation = next->generation;
-    catalog_ = std::move(next);
   }
-  PinPlanCache()->InvalidateGeneration(catalog_generation);
+  if (catalog_generation != 0) {
+    PinPlanCache()->InvalidateGeneration(catalog_generation);
+  }
   if (!in_store && !dropped) {
     return Status::NotFound("document \"" + doc_name + "\" is not loaded");
   }
@@ -877,6 +884,44 @@ std::string CachedProvenance(const cache::CachedPlan& entry,
   return out;
 }
 
+/// Rebuilds executable query text from a parameterized template by textually
+/// replacing each slot's sentinel (planted exactly once by the canonical
+/// render) with the quoted bind value — the uncached fallback for explicit
+/// binds when the compiled template can't be bound plan-side.
+Result<std::string> SubstituteBindText(
+    const cache::NormalizedQuery& normalized,
+    const std::vector<std::string>& values) {
+  std::string text = normalized.compile_text;
+  for (size_t i = 0; i < normalized.slots.size(); ++i) {
+    const cache::BindSlot& slot = normalized.slots[i];
+    std::string needle;
+    std::string replacement;
+    if (slot.numeric) {
+      needle = slot.sentinel;
+      replacement = values[i];
+    } else {
+      needle = "\"" + slot.sentinel + "\"";
+      const bool has_d = values[i].find('"') != std::string::npos;
+      const bool has_s = values[i].find('\'') != std::string::npos;
+      if (has_d && has_s) {
+        return Status::InvalidArgument(
+            "bind slot " + std::to_string(i) +
+            " value mixes both quote characters; not expressible as a "
+            "literal for this query");
+      }
+      const char quote = has_d ? '\'' : '"';
+      replacement = quote + values[i] + quote;
+    }
+    const size_t pos = text.find(needle);
+    if (pos == std::string::npos) {
+      return Status::Internal("bind sentinel " + std::to_string(i) +
+                              " missing from template text");
+    }
+    text.replace(pos, needle.size(), replacement);
+  }
+  return text;
+}
+
 }  // namespace
 
 Result<exec::QueryResult> Database::Run(
@@ -1044,14 +1089,37 @@ Result<exec::QueryResult> Database::CachedExecute(
     std::shared_ptr<const CatalogState> catalog, bool is_path,
     const std::string& path_doc) const {
   const std::shared_ptr<cache::PlanCache> plan_cache = PinPlanCache();
-  const auto compile_original = [&]() -> Result<LogicalExprPtr> {
-    return is_path ? xpath::CompilePath(original_text, path_doc)
-                   : Compile(original_text, options, *catalog);
-  };
+  // Explicit binds (PreparedQuery::Execute(binds)) that differ from the
+  // text's own literals: every path must substitute them — re-running the
+  // original text would execute the literals the query was *prepared* with.
+  const bool custom_binds = normalized.parameterized &&
+                            &values != &normalized.values &&
+                            values != normalized.values;
   const auto run_uncached =
       [&](std::string provenance) -> Result<exec::QueryResult> {
     plan_cache->RecordBypass();
-    XMLQ_ASSIGN_OR_RETURN(LogicalExprPtr plan, compile_original());
+    LogicalExprPtr plan;
+    if (custom_binds) {
+      // Compile the sentinel template and bind, exactly like a cache hit;
+      // when the compiled form hides a sentinel from the binder, fall back
+      // to substituting the binds into the template text itself.
+      Result<LogicalExprPtr> tmpl =
+          is_path ? xpath::CompilePath(normalized.compile_text, path_doc)
+                  : Compile(normalized.compile_text, options, *catalog);
+      if (tmpl.ok() && cache::ValidateSentinels(**tmpl, normalized.slots)) {
+        plan = cache::BindPlan(**tmpl, normalized.slots, values);
+      } else {
+        XMLQ_ASSIGN_OR_RETURN(const std::string text,
+                              SubstituteBindText(normalized, values));
+        XMLQ_ASSIGN_OR_RETURN(
+            plan, is_path ? xpath::CompilePath(text, path_doc)
+                          : Compile(text, options, *catalog));
+      }
+    } else {
+      XMLQ_ASSIGN_OR_RETURN(
+          plan, is_path ? xpath::CompilePath(original_text, path_doc)
+                        : Compile(original_text, options, *catalog));
+    }
     ExecHints hints;
     hints.provenance = std::move(provenance);
     return Run(std::move(plan), options, std::move(catalog),
@@ -1063,8 +1131,18 @@ Result<exec::QueryResult> Database::CachedExecute(
 
   const std::string key =
       CacheKey(is_path, path_doc, options, normalized.fingerprint);
-  if (std::shared_ptr<cache::CachedPlan> entry =
-          plan_cache->Lookup(key, catalog->generation)) {
+  std::shared_ptr<cache::CachedPlan> entry =
+      plan_cache->Lookup(key, catalog->generation);
+  if (entry != nullptr &&
+      (entry->parameterized ? entry->slots.size() != values.size()
+                            : !values.empty())) {
+    // Belt-and-braces against key-namespace bugs: a template whose slot
+    // count doesn't match this execution's binds must not be bound (BindPlan
+    // indexes values by slot position). Treat as a miss — the re-compiled
+    // template just loses the Insert race below.
+    entry = nullptr;
+  }
+  if (entry != nullptr) {
     // Hit: no parse, no rewrite, no optimizer — clone the template,
     // substitute this execution's binds, run with the entry's strategy.
     LogicalExprPtr bound =
@@ -1108,7 +1186,7 @@ Result<exec::QueryResult> Database::CachedExecute(
   LogicalExprPtr bound = full->parameterized
                              ? cache::BindPlan(**tmpl, full->slots, values)
                              : (*tmpl)->Clone();
-  auto entry = std::make_shared<cache::CachedPlan>();
+  entry = std::make_shared<cache::CachedPlan>();
   entry->key = key;
   entry->generation = catalog->generation;
   entry->slots = full->slots;
@@ -1191,18 +1269,42 @@ Result<exec::QueryResult> PreparedQuery::Execute(
         " bind slot(s), got " + std::to_string(binds.size()) + " value(s)");
   }
   for (size_t i = 0; i < binds.size(); ++i) {
-    if (!normalized_.slots[i].numeric) continue;
-    // Numeric slots must stay numbers, so the bound plan is byte-for-byte
-    // what compiling the literal would have produced.
     const std::string& v = binds[i];
-    const bool ok =
-        !v.empty() && std::isdigit(static_cast<unsigned char>(v[0])) &&
-        std::all_of(v.begin(), v.end(), [](unsigned char c) {
-          return std::isdigit(c) || c == '.';
-        });
-    if (!ok) {
-      return Status::InvalidArgument("bind slot " + std::to_string(i) +
-                                     " expects a number, got \"" + v + "\"");
+    const bool numeric = normalized_.slots[i].numeric;
+    if (numeric) {
+      // Numeric slots must stay well-formed numbers — digits with at most
+      // one dot and digits on both sides of it — so the bound plan is
+      // byte-for-byte what compiling the literal would have produced (a
+      // malformed string like "1.2.3" would otherwise diverge from its
+      // strtod prefix parse).
+      const bool ok = [&] {
+        if (v.empty() || !std::isdigit(static_cast<unsigned char>(v[0]))) {
+          return false;
+        }
+        bool seen_dot = false;
+        for (size_t j = 0; j < v.size(); ++j) {
+          if (v[j] == '.') {
+            if (seen_dot || j + 1 >= v.size() ||
+                !std::isdigit(static_cast<unsigned char>(v[j + 1]))) {
+              return false;
+            }
+            seen_dot = true;
+          } else if (!std::isdigit(static_cast<unsigned char>(v[j]))) {
+            return false;
+          }
+        }
+        return true;
+      }();
+      if (!ok) {
+        return Status::InvalidArgument("bind slot " + std::to_string(i) +
+                                       " expects a number, got \"" + v +
+                                       "\"");
+      }
+    }
+    if (cache::CollidesWithSentinelSpace(v, numeric)) {
+      return Status::InvalidArgument(
+          "bind slot " + std::to_string(i) +
+          " value collides with the plan-cache sentinel encoding");
     }
   }
   return db_->CachedExecute(text_, normalized_, binds, options, db_->Pin(),

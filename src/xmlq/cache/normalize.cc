@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
@@ -354,10 +355,23 @@ std::optional<std::vector<Tok>> CanonicalizeRange(
 NormalizedQuery RawMode(std::string_view text) {
   NormalizedQuery out;
   out.parameterized = false;
-  out.fingerprint = std::string(TrimWhitespace(text));
-  out.compile_text = out.fingerprint;
+  out.compile_text = std::string(TrimWhitespace(text));
+  // Raw fingerprints get their own key namespace: a raw query whose text
+  // happens to equal a placeholder render ('?' always forces raw mode) must
+  // not resolve to the cached template — the template expects binds the raw
+  // path never collects. A canonical render can never start with "R\x1f":
+  // its first character comes from a name/axis token (whose chars exclude
+  // \x1f), a quote, or a digit/symbol, and a name token is always followed
+  // by ' ' or "::".
+  out.fingerprint = "R\x1f" + out.compile_text;
   return out;
 }
+
+// The reserved numeric sentinel range: base + slot index, far more slots
+// than any query can lift. Every value inside it is exactly representable
+// in a double (the range sits below 2^53).
+constexpr double kNumberSentinelBase = 9007100000000000.0;
+constexpr double kNumberSentinelLimit = 9007200000000000.0;
 
 }  // namespace
 
@@ -371,6 +385,12 @@ std::string NumberSentinelText(size_t slot) {
 
 double NumberSentinelValue(size_t slot) {
   return static_cast<double>(9007100000000000ull + slot);
+}
+
+bool CollidesWithSentinelSpace(std::string_view value, bool numeric) {
+  if (!numeric) return value.find('\x01') != std::string_view::npos;
+  const double v = std::strtod(std::string(value).c_str(), nullptr);
+  return v >= kNumberSentinelBase && v < kNumberSentinelLimit;
 }
 
 NormalizedQuery NormalizeQuery(std::string_view text,
@@ -406,6 +426,17 @@ NormalizedQuery NormalizeQuery(std::string_view text,
     canon = std::move(tokens);
   }
   const std::vector<char> lift = ComputeLift(*canon);
+  // Any literal whose value lives in the sentinel encoding space poisons
+  // substitution: an un-lifted lookalike would be rewritten by BindPlan as
+  // if it were a slot (silently changing query semantics), and a lifted one
+  // could make one slot's bound value match another slot's sentinel. Such
+  // queries degrade to raw mode — still cached, just not parameterized.
+  for (const Tok& t : *canon) {
+    if (IsLiteral(t) &&
+        CollidesWithSentinelSpace(t.text, t.kind == Tok::Kind::kNumber)) {
+      return RawMode(text);
+    }
+  }
 
   NormalizedQuery out;
   // The fingerprint render also collects the literal values, so the hit

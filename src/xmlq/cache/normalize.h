@@ -43,10 +43,13 @@ struct BindSlot {
 /// compile once per fingerprint; the resulting plan is the cached template.
 ///
 /// When the text uses syntax the normalizer does not model (element
-/// constructors, unknown characters), it degrades to *raw mode*:
-/// `parameterized` is false, the fingerprint is the trimmed original text
-/// (exact-match caching, still correct — just one entry per literal
-/// combination) and `compile_text` equals it.
+/// constructors, unknown characters) — or carries a literal that collides
+/// with the sentinel encoding space — it degrades to *raw mode*:
+/// `parameterized` is false, `compile_text` is the trimmed original text
+/// and `fingerprint` is that text behind an `"R\x1f"` prefix, keeping the
+/// exact-match entries in a key namespace no placeholder render can reach
+/// (a raw query whose text equals a template's fingerprint must never
+/// resolve to the template).
 struct NormalizedQuery {
   bool parameterized = false;
   std::string fingerprint;
@@ -79,6 +82,13 @@ NormalizedQuery NormalizeQuery(std::string_view text,
 std::string StringSentinel(size_t slot);
 std::string NumberSentinelText(size_t slot);
 double NumberSentinelValue(size_t slot);
+
+/// True when `value` could collide with the sentinel encoding: a string
+/// containing \x01, or a number inside the reserved sentinel range.
+/// NormalizeQuery degrades any query carrying such a literal to raw mode
+/// and PreparedQuery rejects such binds, so plan-template substitution can
+/// never touch (or be confused by) a user value.
+bool CollidesWithSentinelSpace(std::string_view value, bool numeric);
 
 }  // namespace xmlq::cache
 

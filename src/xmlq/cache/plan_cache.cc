@@ -177,8 +177,15 @@ bool PlanCache::CommitFeedback(CachedPlan& entry, bool sampled,
   std::lock_guard<std::mutex> lock(entry.mu);
   FeedbackState& fb = entry.feedback;
   const size_t si = static_cast<size_t>(executed) & 7;
-  fb.work_sum[si] += work;
-  fb.work_count[si]++;
+  if (sampled && !degraded) {
+    // Only real profiled measurements feed the mean-work accumulators. The
+    // degraded paths report work=0 (no profile) or the fallback engine's
+    // counters — folding either in would drag the faulting strategy's mean
+    // toward 0 and let the terminal pinning step pin the very engine that
+    // was degrading.
+    fb.work_sum[si] += work;
+    fb.work_count[si]++;
+  }
   fb.tried_mask |= 1u << si;
   fb.executions_since_replan++;
   if (fb.pinned) return false;

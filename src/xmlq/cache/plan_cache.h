@@ -84,6 +84,8 @@ struct FeedbackState {
   bool pinned = false;
   uint64_t replans = 0;
   /// Mean-observed-work accumulators per strategy (indexed by enum value).
+  /// Fed only by profiled, non-degraded runs — degraded executions carry no
+  /// usable work measurement for the attempted strategy.
   double work_sum[8] = {};
   uint64_t work_count[8] = {};
 };

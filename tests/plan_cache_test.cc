@@ -114,6 +114,34 @@ TEST(NormalizeTest, RawModeStillFingerprintsDistinctly) {
   EXPECT_NE(a.fingerprint, b.fingerprint);
 }
 
+TEST(NormalizeTest, RawFingerprintsDoNotCollideWithTemplates) {
+  // A raw query whose *text* is literally a placeholder render ('?' always
+  // forces raw mode) must live in its own key namespace: resolving it to
+  // the cached template would bind a slotted plan with zero values.
+  const auto param = cache::NormalizeQuery("//book[price < 50]/title");
+  ASSERT_TRUE(param.parameterized);
+  const auto raw = cache::NormalizeQuery(param.fingerprint);
+  EXPECT_FALSE(raw.parameterized);
+  EXPECT_NE(raw.fingerprint, param.fingerprint);
+}
+
+TEST(NormalizeTest, SentinelLookalikeLiteralsDegradeToRawMode) {
+  // A literal inside the reserved sentinel space must not be parameterized:
+  // BindPlan substitution could rewrite it as if it were a slot.
+  const auto lifted =
+      cache::NormalizeQuery("//book[price = 9007100000000001]");
+  EXPECT_FALSE(lifted.parameterized);
+  const auto unlifted = cache::NormalizeQuery(
+      "//book[f(9007100000000001)][title = 'x']");
+  EXPECT_FALSE(unlifted.parameterized);
+  const auto ctrl =
+      cache::NormalizeQuery("//book[title = \"a\x01z\"]");
+  EXPECT_FALSE(ctrl.parameterized);
+  // A plain large number outside the reserved range still parameterizes.
+  const auto plain = cache::NormalizeQuery("//book[price < 9999999999]");
+  EXPECT_TRUE(plain.parameterized);
+}
+
 TEST(NormalizeTest, MinusStaysSeparatedFromNames) {
   // "-" is a name character in XML; re-rendering must not fuse "$a - $b"
   // into a single token (or split "foo-bar" apart).
@@ -162,6 +190,20 @@ TEST(PlanCacheTest, DifferentLiteralIsStillAHit) {
   // The substituted bind is visible in the provenance line.
   EXPECT_NE(hit->plan_provenance.find("binds [2000]"), std::string::npos)
       << hit->plan_provenance;
+}
+
+TEST(PlanCacheTest, RawQueryMatchingTemplateFingerprintIsNotAHit) {
+  // Regression: wire-supplied text equal to a cached template's fingerprint
+  // must not resolve to the template (binding it with zero values read out
+  // of bounds). It fails to compile like any other garbage, crash-free.
+  api::Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  ASSERT_TRUE(db.QueryPath("//book[price < 50]/title").ok());
+  const auto param = cache::NormalizeQuery("//book[price < 50]/title");
+  ASSERT_TRUE(param.parameterized);
+  auto imposter = db.QueryPath(param.fingerprint);
+  EXPECT_FALSE(imposter.ok());  // "?n" is not valid XPath
+  EXPECT_EQ(db.plan_cache_stats().hits, 0u);
 }
 
 TEST(PlanCacheTest, OptOutBypassesCache) {
@@ -400,6 +442,57 @@ TEST(PreparedQueryTest, NumericSlotValidation) {
   EXPECT_EQ(wrong_arity.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(PreparedQueryTest, MalformedNumericBindsRejected) {
+  // The bound plan must be byte-for-byte what compiling the literal would
+  // have produced; "1.2.3" would silently diverge into strtod's prefix
+  // parse (1.2), so anything outside the strict number grammar is rejected.
+  api::Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  auto prepared = db.Prepare("//book[price < 50]/title");
+  ASSERT_TRUE(prepared.ok());
+  for (const char* bad : {"1.2.3", "1.", ".5", "1..2", "."}) {
+    auto result = prepared->Execute({bad});
+    EXPECT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  auto ok = prepared->Execute({"39.95"});
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(PreparedQueryTest, SentinelSpaceBindsRejected) {
+  // A bind value inside the reserved sentinel encoding could be mistaken
+  // for another slot's sentinel during substitution.
+  api::Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  auto numeric = db.Prepare("//book[price < 50]/title");
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_FALSE(numeric->Execute({"9007100000000001"}).ok());
+  EXPECT_TRUE(numeric->Execute({"9999999999"}).ok());  // outside the range
+  auto str = db.Prepare("//book[@year = '1994']/title");
+  ASSERT_TRUE(str.ok());
+  EXPECT_FALSE(str->Execute({std::string("\x01") + "0" + "\x01"}).ok());
+}
+
+TEST(PreparedQueryTest, ExplicitBindsHonoredWhenCacheBypassed) {
+  // Regression: with the cache disabled, Execute(binds) used to fall back
+  // to re-compiling the original text — silently running the literals the
+  // query was *prepared* with instead of this call's binds.
+  api::Database db;
+  ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
+  cache::CacheConfig config;
+  config.enabled = false;
+  db.SetPlanCache(config);
+  auto prepared = db.Prepare("//book[@year = '1994']/title");
+  ASSERT_TRUE(prepared.ok());
+  auto rebound = prepared->Execute({"2000"});
+  ASSERT_TRUE(rebound.ok());
+  EXPECT_EQ(api::Database::ToXml(*rebound), "<title>Data on the Web</title>");
+  auto defaults = prepared->Execute();
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(api::Database::ToXml(*defaults),
+            "<title>TCP/IP Illustrated</title>");
+}
+
 TEST(PreparedQueryTest, InvalidQueryFailsAtPrepareTime) {
   api::Database db;
   ASSERT_TRUE(db.LoadDocument("bib.xml", kBib).ok());
@@ -458,6 +551,23 @@ TEST(PlanCacheTest, RemoveInvalidates) {
   EXPECT_GE(stats.invalidations, 1u);
   // Querying the removed document now fails cleanly (no stale plan serves).
   EXPECT_FALSE(db.QueryPath("//book/title", "b.xml").ok());
+}
+
+TEST(PlanCacheTest, FailedRemoveDoesNotInvalidate) {
+  // Removing a document that doesn't exist must not bump the catalog
+  // generation: a failed remove changing nothing must not wipe every
+  // cached plan.
+  api::Database db;
+  ASSERT_TRUE(db.LoadDocument("a.xml", kBib).ok());
+  ASSERT_TRUE(db.QueryPath("//book/title", "a.xml").ok());
+  ASSERT_EQ(db.plan_cache_stats().entries, 1u);
+  EXPECT_EQ(db.Remove("nope.xml").code(), StatusCode::kNotFound);
+  const cache::CacheStats stats = db.plan_cache_stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  auto again = db.QueryPath("//book/title", "a.xml");
+  ASSERT_TRUE(again.ok());
+  EXPECT_GE(db.plan_cache_stats().hits, 1u);
 }
 
 TEST(PlanCacheTest, EvictionUnderMemoryBudget) {
@@ -548,6 +658,36 @@ TEST(PlanCacheTest, CooldownDampsReplanFlapping) {
     ASSERT_TRUE(db.QueryPath("//book[author/last = 'Stevens']/title").ok());
   }
   EXPECT_LE(db.plan_cache_stats().replans, 1u);
+}
+
+TEST(PlanCacheTest, DegradedRunsDoNotPolluteWorkAccumulators) {
+  // Regression: the unsampled degraded path commits work=0; folding that
+  // into the mean-work accumulators dragged the faulting engine's mean
+  // toward 0, so the terminal pinning step could pin the very strategy
+  // that was degrading.
+  cache::CacheConfig config;
+  config.min_samples = 1;
+  config.qerror_threshold = 0.5;
+  config.replan_cooldown_hits = 0;
+  cache::PlanCache pc(config);
+  cache::CachedPlan entry;
+  entry.adaptive = true;
+  entry.strategy.store(exec::PatternStrategy::kTwigStack);
+  entry.feedback.ranking = {{exec::PatternStrategy::kTwigStack, 1.0},
+                            {exec::PatternStrategy::kNok, 2.0}};
+  // TwigStack faults (degraded, no profile, work=0) → re-plan onto NoK.
+  EXPECT_TRUE(pc.CommitFeedback(entry, /*sampled=*/false, /*q_error=*/0,
+                                /*work=*/0, exec::PatternStrategy::kTwigStack,
+                                /*degraded=*/true));
+  EXPECT_EQ(entry.strategy.load(), exec::PatternStrategy::kNok);
+  // NoK runs clean but over the q-error threshold; with every ranked
+  // strategy tried, the entry pins the least mean work. TwigStack's only
+  // observation was the degraded zero-work ghost — it must not win.
+  EXPECT_FALSE(pc.CommitFeedback(entry, /*sampled=*/true, /*q_error=*/100.0,
+                                 /*work=*/500.0, exec::PatternStrategy::kNok,
+                                 /*degraded=*/false));
+  EXPECT_TRUE(entry.feedback.pinned);
+  EXPECT_EQ(entry.strategy.load(), exec::PatternStrategy::kNok);
 }
 
 TEST(PlanCacheTest, ForcedStrategyNeverAdapts) {
