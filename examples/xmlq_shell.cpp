@@ -50,6 +50,11 @@ void PrintHelp() {
       "                          naive, or 'auto' for the cost model\n"
       "  .limits steps <n> | deadline <ms> | memory <bytes> | off\n"
       "                          bound every following query\n"
+      "  .set parallelism <n>    intra-query worker lanes for every\n"
+      "                          following query (and .scrub): 1 = serial,\n"
+      "                          0 = all hardware threads\n"
+      "  .set morsel <n>         target region-stream elements per morsel\n"
+      "                          (0 = auto; 1 = adversarial one-node morsels)\n"
       "  .report [name]          storage footprint of a document\n"
       "  .save <name> <file>     write a document as an xqpack snapshot\n"
       "  .open <name> <file> [mmap|copy]\n"
@@ -197,6 +202,25 @@ int main() {
       }
       continue;
     }
+    if (word == ".set") {
+      std::string knob;
+      uint64_t value = 0;
+      in >> knob >> value;
+      if (knob == "parallelism") {
+        options.parallelism = static_cast<uint32_t>(value);
+        std::printf("parallelism: %u%s\n", options.parallelism,
+                    options.parallelism == 0 ? " (all hardware threads)"
+                    : options.parallelism == 1 ? " (serial)"
+                                               : "");
+      } else if (knob == "morsel") {
+        options.morsel_elements = static_cast<size_t>(value);
+        std::printf("morsel target: %zu%s\n", options.morsel_elements,
+                    options.morsel_elements == 0 ? " (auto)" : "");
+      } else {
+        std::printf("usage: .set parallelism <n> | morsel <n>\n");
+      }
+      continue;
+    }
     if (word == ".report") {
       std::string name;
       in >> name;
@@ -275,7 +299,7 @@ int main() {
       const auto mode = mode_word == "copy"
                             ? xmlq::storage::SnapshotOpenMode::kCopy
                             : xmlq::storage::SnapshotOpenMode::kMap;
-      auto report = db.Attach(dir, mode);
+      auto report = db.Attach(dir, mode, options.parallelism);
       if (!report.ok()) {
         std::printf("%s\n", report.status().ToString().c_str());
         continue;
@@ -313,6 +337,7 @@ int main() {
       in >> deep_word;
       xmlq::api::ScrubOptions scrub;
       scrub.deep = deep_word == "deep";
+      scrub.parallelism = options.parallelism;
       auto report = db.Scrub(scrub);
       std::printf("%s", report.ok()
                             ? report->ToString().c_str()

@@ -29,6 +29,12 @@
 #                       under AddressSanitizer and ThreadSanitizer: cloned
 #                       plans + shared cache entries are where lifetime and
 #                       race bugs would live
+#   8. parallel       — the `par`-labeled morsel-parallel suite (splitter
+#                       properties, pool exactly-once, parallel-vs-serial
+#                       stress with swaps and mid-morsel cancels) under
+#                       ThreadSanitizer and AddressSanitizer: work-stealing
+#                       lanes over shared read-only snapshots are the
+#                       newest race/lifetime surface
 #
 # Everything — build trees and test temp files (snapshot_test writes its
 # *.xqpack scratch files into the ctest working directory) — stays under
@@ -105,4 +111,13 @@ echo "== asan cache suite =="
 echo "== tsan cache suite =="
 "${ROOT}/tests/run_sanitized.sh" thread -j "${JOBS}" -L cache
 
-echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery + net + cache green"
+# The morsel-parallel suite under both TSan and ASan: lanes race over
+# shared region streams, per-morsel sinks and the work-stealing claim
+# counter while cancels land mid-morsel — exactly the interleavings the
+# uninstrumented tier-1 run can get lucky on.
+echo "== tsan parallel suite =="
+"${ROOT}/tests/run_sanitized.sh" thread -j "${JOBS}" -L par
+echo "== asan parallel suite =="
+"${ROOT}/tests/run_sanitized.sh" address -j "${JOBS}" -L par
+
+echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery + net + cache + parallel green"

@@ -177,6 +177,53 @@ void AppendLines(std::string* out, std::string_view label,
   }
 }
 
+/// 1 means serial; 0 means every hardware thread.
+uint32_t ResolveLanes(uint32_t parallelism) {
+  return parallelism != 0 ? parallelism
+                          : std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Whole-file CRC-32C over `lanes` chunk workers, folded with Crc32Combine —
+/// bit-identical to the single-pass Crc32 at any lane count.
+uint32_t ParallelCrc32(const char* data, size_t size, uint32_t lanes) {
+  constexpr size_t kMinChunk = 1 << 20;
+  if (lanes <= 1 || size < 2 * kMinChunk) return Crc32(data, size);
+  const std::vector<size_t> bounds = exec::SplitEvenly(size, kMinChunk, lanes);
+  const size_t chunks = bounds.size() - 1;
+  if (chunks <= 1) return Crc32(data, size);
+  std::vector<uint32_t> crcs(chunks);
+  exec::MorselPool::Shared().Run(chunks, lanes, [&](size_t c, uint32_t) {
+    crcs[c] = Crc32(data + bounds[c], bounds[c + 1] - bounds[c]);
+  });
+  uint32_t crc = crcs[0];
+  for (size_t c = 1; c < chunks; ++c) {
+    crc = Crc32Combine(crc, crcs[c], bounds[c + 1] - bounds[c]);
+  }
+  return crc;
+}
+
+/// VerifySnapshotImage with the checksum pass's per-section CRCs fanned out
+/// over pool lanes; the first failure in section order wins, so the verdict
+/// (and its error text) matches the serial pass exactly. The deep pass stays
+/// serial here — deep scrubs parallelize across snapshots instead.
+Status VerifyImageParallel(std::span<const char> image, bool deep,
+                           const std::string& path, uint32_t lanes) {
+  if (deep || lanes <= 1) {
+    return storage::VerifySnapshotImage(image, deep, path);
+  }
+  auto checks = storage::SnapshotSectionChecks(image, path);
+  if (!checks.ok()) return checks.status();
+  std::vector<Status> results(checks->size());
+  exec::MorselPool::Shared().Run(
+      checks->size(), lanes, [&](size_t i, uint32_t) {
+        results[i] = storage::VerifySectionCheck(image, (*checks)[i], path);
+      });
+  for (Status& st : results) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string RecoveryReport::ToString() const {
@@ -207,7 +254,8 @@ std::string ScrubReport::ToString() const {
 Database::~Database() { StopScrubber(); }
 
 Result<RecoveryReport> Database::Attach(const std::string& dir,
-                                        storage::SnapshotOpenMode mode) {
+                                        storage::SnapshotOpenMode mode,
+                                        uint32_t parallelism) {
   std::lock_guard<std::mutex> lock(store_mu_);
   if (manifest_ != nullptr) {
     return Status::InvalidArgument("already attached to store \"" +
@@ -241,7 +289,21 @@ Result<RecoveryReport> Database::Attach(const std::string& dir,
     std::shared_ptr<const Entry> entry;
   };
   std::vector<Recovered> recovered;
-  for (const storage::ManifestRecord& record : records) {
+  // Phase 1 — verify + open every snapshot. Pure reads with no shared
+  // state, so the records fan out over pool lanes when asked (a
+  // single-snapshot store instead chunk-parallelizes its whole-file CRC).
+  // All manifest/catalog side effects wait for phase 2, which runs
+  // serially in manifest order — recovery decisions and the report are
+  // identical at any lane count.
+  const uint32_t lanes = ResolveLanes(parallelism);
+  const uint32_t file_lanes = records.size() > 1 ? 1 : lanes;
+  struct LoadOutcome {
+    std::shared_ptr<const Entry> entry;
+    Status status;
+  };
+  std::vector<LoadOutcome> loads(records.size());
+  auto load_one = [&](size_t i) {
+    const storage::ManifestRecord& record = records[i];
     const std::string path = dir + "/" + record.file;
     auto load = [&]() -> Result<std::shared_ptr<const Entry>> {
       XMLQ_ASSIGN_OR_RETURN(FileBytes bytes, FileBytes::ReadWhole(path));
@@ -251,7 +313,8 @@ Result<RecoveryReport> Database::Attach(const std::string& dir,
             std::to_string(bytes.size()) + " != manifest size " +
             std::to_string(record.snapshot_size));
       }
-      const uint32_t crc = Crc32(bytes.data(), bytes.size());
+      const uint32_t crc = ParallelCrc32(bytes.data(), bytes.size(),
+                                         file_lanes);
       if (crc != record.snapshot_crc) {
         return Status::ParseError(
             "snapshot \"" + path + "\": whole-file checksum mismatch " +
@@ -273,8 +336,25 @@ Result<RecoveryReport> Database::Attach(const std::string& dir,
     };
     auto entry = load();
     if (entry.ok()) {
+      loads[i].entry = *std::move(entry);
+    } else {
+      loads[i].status = entry.status();
+    }
+  };
+  if (lanes > 1 && records.size() > 1) {
+    exec::MorselPool::Shared().Run(records.size(), lanes,
+                                   [&](size_t i, uint32_t) { load_one(i); });
+  } else {
+    for (size_t i = 0; i < records.size(); ++i) load_one(i);
+  }
+
+  // Phase 2 — apply outcomes in manifest order.
+  for (size_t i = 0; i < records.size(); ++i) {
+    const storage::ManifestRecord& record = records[i];
+    const std::string path = dir + "/" + record.file;
+    if (loads[i].status.ok()) {
       recovered.push_back(
-          Recovered{record.generation, record.name, *std::move(entry)});
+          Recovered{record.generation, record.name, std::move(loads[i].entry)});
       report.loaded.push_back(record.name + " (g" +
                               std::to_string(record.generation) + ", " +
                               record.file + ")");
@@ -292,7 +372,7 @@ Result<RecoveryReport> Database::Attach(const std::string& dir,
     XMLQ_RETURN_IF_ERROR(manifest.Append(quarantine));
     (void)SyncParentDir(path);
     report.quarantined.push_back(record.name + " (" + record.file +
-                                 "): " + entry.status().message());
+                                 "): " + loads[i].status.message());
   }
 
   // Garbage-collect files no committed record references: snapshots from a
@@ -474,13 +554,33 @@ Result<ScrubReport> Database::Scrub(const ScrubOptions& options) {
       records.push_back(record);
     }
   }
-  for (const storage::ManifestRecord& record : records) {
+  // Phase 1 — read + verify every snapshot. With `parallelism` > 1 the
+  // records fan out over pool lanes (a single-snapshot store instead
+  // chunk-parallelizes its whole-file CRC and fans the per-section CRCs
+  // out); the I/O throttle is divided among concurrent readers so the
+  // aggregate rate honors max_bytes_per_second either way. Quarantine side
+  // effects wait for phase 2, serial in manifest order, so detection and
+  // quarantine decisions are identical at any lane count.
+  const uint32_t lanes = ResolveLanes(options.parallelism);
+  const uint32_t file_lanes = records.size() > 1 ? 1 : lanes;
+  const uint64_t reader_rate =
+      options.max_bytes_per_second == 0
+          ? 0
+          : std::max<uint64_t>(
+                1, options.max_bytes_per_second /
+                       std::max<uint64_t>(
+                           1, std::min<uint64_t>(lanes, records.size())));
+  struct Outcome {
+    Status status;
+    uint64_t bytes_read = 0;
+  };
+  std::vector<Outcome> outcomes(records.size());
+  auto scrub_one = [&](size_t i) {
+    const storage::ManifestRecord& record = records[i];
     const std::string path = dir + "/" + record.file;
     std::string image;
     Status status =
-        ReadThrottled(path, options.max_bytes_per_second, &image,
-                      &report.bytes_read);
-    ++report.files_checked;
+        ReadThrottled(path, reader_rate, &image, &outcomes[i].bytes_read);
     if (status.ok() && image.size() != record.snapshot_size) {
       status = Status::ParseError(
           "snapshot \"" + path + "\": size " + std::to_string(image.size()) +
@@ -490,7 +590,8 @@ Result<ScrubReport> Database::Scrub(const ScrubOptions& options) {
       // The manifest CRC is the authority: it was computed from the bytes
       // WriteSnapshot committed, so corruption that recomputed the in-file
       // header/section checksums to cover its tracks still fails here.
-      const uint32_t crc = Crc32(image.data(), image.size());
+      const uint32_t crc = ParallelCrc32(image.data(), image.size(),
+                                         file_lanes);
       if (crc != record.snapshot_crc) {
         status = Status::ParseError(
             "snapshot \"" + path + "\": whole-file checksum mismatch " +
@@ -499,17 +600,31 @@ Result<ScrubReport> Database::Scrub(const ScrubOptions& options) {
       }
     }
     if (status.ok()) {
-      status = storage::VerifySnapshotImage(
+      status = VerifyImageParallel(
           std::span<const char>(image.data(), image.size()), options.deep,
-          path);
+          path, file_lanes);
     }
-    if (status.ok()) continue;
+    outcomes[i].status = std::move(status);
+  };
+  if (lanes > 1 && records.size() > 1) {
+    exec::MorselPool::Shared().Run(records.size(), lanes,
+                                   [&](size_t i, uint32_t) { scrub_one(i); });
+  } else {
+    for (size_t i = 0; i < records.size(); ++i) scrub_one(i);
+  }
+
+  // Phase 2 — fold outcomes into the report and quarantine, in manifest
+  // order.
+  for (size_t i = 0; i < records.size(); ++i) {
+    ++report.files_checked;
+    report.bytes_read += outcomes[i].bytes_read;
+    if (outcomes[i].status.ok()) continue;
     // Only an actual quarantine counts as corruption: a concurrent Persist
     // may have replaced (and unlinked) this generation mid-read, which
     // QuarantineSnapshot detects and skips.
     const size_t before = report.quarantined.size();
     XMLQ_RETURN_IF_ERROR(
-        QuarantineSnapshot(record, status.message(), &report));
+        QuarantineSnapshot(records[i], outcomes[i].status.message(), &report));
     if (report.quarantined.size() > before) ++report.corrupt;
   }
   {
@@ -728,6 +843,15 @@ exec::EvalContext Database::MakeContext(const CatalogState& catalog,
   }
   context.strategy = options.strategy;
   context.flwor_mode = options.flwor_mode;
+  const uint32_t lanes =
+      options.parallelism != 0
+          ? options.parallelism
+          : std::max(1u, std::thread::hardware_concurrency());
+  if (lanes > 1) {
+    context.par.pool = &exec::MorselPool::Shared();
+    context.par.parallelism = lanes;
+    context.par.morsel_elements = options.morsel_elements;
+  }
   return context;
 }
 
@@ -991,6 +1115,14 @@ Result<exec::QueryResult> Database::Run(
   result->profile = std::move(profile);
   result->query_id = query_id;
   result->plan_provenance = std::move(hints.provenance);
+  // Scheduling detail, not a plan property — it rides in the provenance
+  // string, never in the profile tree (whose deterministic rendering the
+  // parallel-vs-serial differential harness compares byte for byte).
+  if (context.par.enabled()) {
+    if (!result->plan_provenance.empty()) result->plan_provenance += ", ";
+    result->plan_provenance +=
+        "parallelism " + std::to_string(context.par.parallelism);
+  }
   if (hints.entry != nullptr) {
     // Fold this execution's observations into the entry's feedback state.
     // Un-sampled, un-degraded runs just count; the state machine only moves

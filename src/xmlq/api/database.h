@@ -55,6 +55,16 @@ struct QueryOptions {
   /// cache for this query only (it always compiles fresh); the Database-wide
   /// switch is cache::CacheConfig::enabled via SetPlanCache().
   bool use_plan_cache = true;
+  /// Intra-query parallelism (DESIGN.md §12): worker lanes for eligible τ
+  /// patterns, morsel-parallel over the shared pool. 1 (the default) is the
+  /// serial path, untouched; 0 means "all hardware threads". Results and
+  /// per-operator stats are byte-identical to the serial run at any value.
+  /// Not part of the plan-cache key: it changes scheduling, never the plan.
+  uint32_t parallelism = 1;
+  /// Morsel granularity in elements per morsel; 0 = automatic (stream
+  /// elements / (lanes * 4)). 1 is the adversarial one-atomic-group-per-
+  /// morsel configuration the differential tests exercise.
+  size_t morsel_elements = 0;
 };
 
 /// Storage-footprint report for one document (experiments E2 and R2).
@@ -106,6 +116,11 @@ struct ScrubOptions {
   /// Re-run the full structural validation (cross-section invariants, BP
   /// balance, index fences) on top of the checksum sweep.
   bool deep = false;
+  /// Worker lanes for the checksum sweep: whole-file CRC computed over
+  /// parallel chunks (combined exactly), per-section CRCs verified in
+  /// parallel. 1 = serial; 0 = all hardware threads. Detection and
+  /// quarantine decisions are identical at any value.
+  uint32_t parallelism = 1;
 };
 
 /// What one scrub pass found.
@@ -195,9 +210,16 @@ class Database {
   /// record references, and registers the surviving documents. The
   /// lowest-generation recovered document becomes the default document when
   /// none is set yet. At most one store may be attached per Database.
+  ///
+  /// `parallelism` > 1 verifies the snapshots on that many morsel-pool lanes
+  /// (whole-file CRCs chunk-combined when the store has a single snapshot);
+  /// 0 = all hardware threads. Verification outcomes, quarantine decisions
+  /// and the report are identical at any value — the manifest side effects
+  /// are applied serially in manifest order after the parallel verify.
   Result<RecoveryReport> Attach(
       const std::string& dir,
-      storage::SnapshotOpenMode mode = storage::SnapshotOpenMode::kMap);
+      storage::SnapshotOpenMode mode = storage::SnapshotOpenMode::kMap,
+      uint32_t parallelism = 1);
 
   /// Durably persists document `name` (default document when empty) into
   /// the attached store: writes a new-generation snapshot file, commits it

@@ -1,0 +1,179 @@
+#include "xmlq/exec/morsel.h"
+
+#include <algorithm>
+
+namespace xmlq::exec {
+
+MorselPool& MorselPool::Shared() {
+  static MorselPool* pool = new MorselPool();  // leaked: outlives teardown
+  return *pool;
+}
+
+MorselPool::MorselPool(uint32_t max_threads)
+    : max_threads_(max_threads != 0
+                       ? max_threads
+                       : std::max(1u, std::thread::hardware_concurrency())) {}
+
+MorselPool::~MorselPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void MorselPool::Run(size_t tasks, uint32_t lanes,
+                     const std::function<void(size_t, uint32_t)>& fn) {
+  if (tasks == 0) return;
+  const uint32_t lane_limit =
+      std::max<uint32_t>(1, std::min<uint64_t>(lanes, tasks));
+  auto batch = std::make_shared<Batch>();
+  batch->fn = fn;
+  batch->tasks = tasks;
+  batch->lane_limit = lane_limit;
+  if (lane_limit > 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t want = std::min<size_t>(max_threads_, lane_limit - 1);
+    while (threads_.size() < want) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+    queue_.push_back(batch);
+    cv_.notify_all();
+  }
+  RunTasks(*batch, 0);
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] {
+    return batch->active == 0 &&
+           batch->next.load(std::memory_order_relaxed) >= batch->tasks;
+  });
+}
+
+void MorselPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    uint32_t lane = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      // Drop exhausted batches, claim a lane on the first live one.
+      while (!queue_.empty()) {
+        std::shared_ptr<Batch>& front = queue_.front();
+        if (front->next.load(std::memory_order_relaxed) >= front->tasks ||
+            front->lanes_claimed >= front->lane_limit) {
+          queue_.pop_front();
+          continue;
+        }
+        batch = front;
+        lane = front->lanes_claimed++;
+        if (front->lanes_claimed >= front->lane_limit) queue_.pop_front();
+        break;
+      }
+    }
+    if (batch != nullptr) RunTasks(*batch, lane);
+  }
+}
+
+void MorselPool::RunTasks(Batch& batch, uint32_t lane) {
+  {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    ++batch.active;
+  }
+  for (;;) {
+    const size_t task = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (task >= batch.tasks) break;
+    batch.fn(task, lane);
+  }
+  {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    --batch.active;
+  }
+  batch.cv.notify_all();
+}
+
+LaneGuards::LaneGuards(const ResourceGuard* parent, uint32_t lanes)
+    : parent_(parent) {
+  if (parent_ == nullptr) return;
+  const uint32_t n = std::max<uint32_t>(1, lanes);
+  for (uint32_t i = 0; i < n; ++i) {
+    guards_.emplace_back(ResourceGuard::LaneTag{}, *parent_, n);
+  }
+}
+
+void LaneGuards::Absorb() {
+  if (parent_ == nullptr || absorbed_) return;
+  absorbed_ = true;
+  for (const ResourceGuard& lane : guards_) parent_->Absorb(lane);
+}
+
+MorselPlan SplitStreams(
+    const std::vector<std::vector<storage::Region>>& streams,
+    size_t skip_vertex, size_t target_elements, uint32_t lanes) {
+  const size_t k = streams.size();
+  // Merge all participating stream entries by start. Each entry remembers
+  // its vertex so per-vertex boundaries fall out of one scan.
+  struct Entry {
+    uint32_t start;
+    uint32_t end;
+    uint32_t vertex;
+  };
+  std::vector<Entry> merged;
+  size_t total = 0;
+  for (size_t v = 0; v < k; ++v) {
+    if (v == skip_vertex) continue;
+    total += streams[v].size();
+  }
+  merged.reserve(total);
+  for (size_t v = 0; v < k; ++v) {
+    if (v == skip_vertex) continue;
+    for (const storage::Region& r : streams[v]) {
+      merged.push_back(Entry{r.start, r.end, static_cast<uint32_t>(v)});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Entry& a, const Entry& b) { return a.start < b.start; });
+
+  MorselPlan plan;
+  if (merged.empty()) return plan;  // count() == 0: caller runs serially
+
+  size_t target = target_elements;
+  if (target == 0) {
+    const size_t want_morsels = std::max<size_t>(1, size_t{lanes} * 4);
+    target = std::max<size_t>(1, merged.size() / want_morsels);
+  }
+
+  // One pass: a cut is legal where the next start lies strictly past every
+  // earlier end (no spanning region). Coalesce atomic groups until the
+  // current morsel reaches `target`, then emit the per-vertex boundary row.
+  std::vector<size_t> cursor(k, 0);  // per-vertex consumed counts
+  plan.bounds.push_back(std::vector<size_t>(k, 0));
+  uint32_t running_max_end = 0;
+  size_t in_morsel = 0;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    if (i > 0 && merged[i].start > running_max_end && in_morsel >= target) {
+      plan.bounds.push_back(cursor);
+      in_morsel = 0;
+    }
+    running_max_end = std::max(running_max_end, merged[i].end);
+    ++cursor[merged[i].vertex];
+    ++in_morsel;
+  }
+  plan.bounds.push_back(std::move(cursor));
+  return plan;
+}
+
+std::vector<size_t> SplitEvenly(size_t n, size_t min_chunk,
+                                size_t max_chunks) {
+  const size_t floor = std::max<size_t>(1, min_chunk);
+  size_t chunks = std::max<size_t>(1, std::min(max_chunks, n / floor));
+  std::vector<size_t> bounds;
+  bounds.reserve(chunks + 1);
+  bounds.push_back(0);
+  for (size_t c = 1; c <= chunks; ++c) {
+    bounds.push_back(n * c / chunks);
+  }
+  return bounds;
+}
+
+}  // namespace xmlq::exec

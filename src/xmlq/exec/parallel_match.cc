@@ -1,0 +1,353 @@
+#include "xmlq/exec/parallel_match.h"
+
+#include <algorithm>
+
+#include "xmlq/base/fault_injector.h"
+#include "xmlq/exec/path_stack.h"
+#include "xmlq/exec/twig_stack.h"
+
+namespace xmlq::exec {
+
+namespace {
+
+using algebra::Axis;
+using algebra::PatternGraph;
+using algebra::VertexId;
+using storage::Region;
+
+/// Shared eligibility gate: the pattern root must have exactly one child
+/// vertex and must not be the output. FilterEdgePairs then decides the
+/// root's validity from the single root edge, whose pairs are morsel-local
+/// (the preseeded document region anchors them), so phase 2 runs per morsel
+/// without cross-morsel information. Multi-child roots would need child
+/// support from *every* edge, which different morsels each see only part of.
+bool RootShapeEligible(const PatternGraph& pattern, VertexId output) {
+  const VertexId root = pattern.root();
+  return output != root && pattern.vertex(root).children.size() == 1;
+}
+
+Result<NodeList> BuildStreams(const IndexedDocument& doc,
+                              const PatternGraph& pattern,
+                              std::vector<std::vector<Region>>* streams,
+                              OpStats* stats) {
+  const size_t k = pattern.VertexCount();
+  streams->resize(k);
+  for (VertexId v = 0; v < k; ++v) {
+    XMLQ_ASSIGN_OR_RETURN((*streams)[v],
+                          BuildVertexStream(doc, pattern.vertex(v), stats));
+  }
+  return NodeList{};
+}
+
+/// Concatenates per-morsel output bindings. Morsels partition the document
+/// in order and every binding is a real node of its morsel, so plain
+/// concatenation of the per-morsel normalized lists *is* the serial
+/// document-order result.
+NodeList ConcatOutputs(std::vector<NodeList>& outs) {
+  NodeList result;
+  size_t total = 0;
+  for (const NodeList& o : outs) total += o.size();
+  result.reserve(total);
+  for (NodeList& o : outs) {
+    result.insert(result.end(), o.begin(), o.end());
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<Result<NodeList>> ParallelTwigStackMatch(
+    const IndexedDocument& doc, const PatternGraph& pattern,
+    const ParallelSpec& par, const ResourceGuard* guard, OpStats* stats) {
+  if (!par.enabled()) return std::nullopt;
+  const auto validated = ValidateTwigPattern(pattern);
+  if (!validated.ok()) return std::nullopt;  // serial reproduces the error
+  const VertexId output = *validated;
+  if (!RootShapeEligible(pattern, output)) return std::nullopt;
+  // From here on this driver owns the run (same fault site as the serial
+  // engine, checked exactly once).
+  if (XMLQ_FAULT("exec.twigstack.match")) {
+    return Result<NodeList>(
+        Status::Internal("injected fault: exec.twigstack.match"));
+  }
+  const size_t k = pattern.VertexCount();
+  const VertexId root = pattern.root();
+  std::vector<std::vector<Region>> streams;
+  if (auto built = BuildStreams(doc, pattern, &streams, stats); !built.ok()) {
+    return Result<NodeList>(built.status());
+  }
+  const MorselPlan plan =
+      SplitStreams(streams, root, par.morsel_elements, par.parallelism);
+  if (plan.count() <= 1) {
+    // No usable cut (or an empty document): the serial core over the
+    // already-built streams — identical work, identical counters.
+    std::vector<std::span<const Region>> spans(streams.begin(), streams.end());
+    return TwigStackMatchMorsel(doc, pattern, output, spans,
+                                /*preseed_root=*/false,
+                                /*consumed_root_child=*/nullptr, guard, stats);
+  }
+
+  const size_t m = plan.count();
+  LaneGuards lanes(guard, par.parallelism);
+  std::vector<NodeList> outs(m);
+  std::vector<Status> errors(m);
+  std::vector<OpStats> sinks(stats != nullptr ? m : 0);
+  std::vector<uint8_t> consumed_root_child(m, 0);
+  par.pool->Run(m, par.parallelism, [&](size_t t, uint32_t lane) {
+    std::vector<std::span<const Region>> spans(k);
+    for (VertexId v = 0; v < k; ++v) {
+      if (v != root) spans[v] = plan.Sub(streams, t, v);
+    }
+    bool consumed = false;
+    auto r = TwigStackMatchMorsel(doc, pattern, output, spans,
+                                  /*preseed_root=*/true, &consumed,
+                                  lanes.lane(lane),
+                                  stats != nullptr ? &sinks[t] : nullptr);
+    consumed_root_child[t] = consumed ? 1 : 0;
+    if (r.ok()) {
+      outs[t] = std::move(*r);
+    } else {
+      errors[t] = r.status();
+    }
+  });
+  lanes.Absorb();
+  if (guard != nullptr && guard->Tick(0)) {
+    return Result<NodeList>(guard->status());
+  }
+  for (const Status& st : errors) {
+    if (!st.ok()) return Result<NodeList>(st);
+  }
+  if (stats != nullptr) {
+    for (const OpStats& sink : sinks) stats->MergeFrom(sink);
+    // The document region, owned by no morsel: the serial run visits it
+    // exactly once, and pushes (then drains) it iff some direct child of
+    // the pattern root is main-loop consumed.
+    stats->nodes_visited += 1;
+    if (std::find(consumed_root_child.begin(), consumed_root_child.end(),
+                  uint8_t{1}) != consumed_root_child.end()) {
+      stats->stack_pushes += 1;
+      stats->stack_pops += 1;
+    }
+  }
+  return Result<NodeList>(ConcatOutputs(outs));
+}
+
+std::optional<Result<NodeList>> ParallelPathStackMatch(
+    const IndexedDocument& doc, const PatternGraph& pattern,
+    const ParallelSpec& par, const ResourceGuard* guard, OpStats* stats) {
+  if (!par.enabled()) return std::nullopt;
+  const auto validated = ValidatePathPattern(pattern);
+  if (!validated.ok()) return std::nullopt;
+  const VertexId output = *validated;
+  if (!RootShapeEligible(pattern, output)) return std::nullopt;
+  if (XMLQ_FAULT("exec.pathstack.match")) {
+    return Result<NodeList>(
+        Status::Internal("injected fault: exec.pathstack.match"));
+  }
+  const size_t k = pattern.VertexCount();
+  const VertexId root = pattern.root();
+  std::vector<std::vector<Region>> streams;
+  if (auto built = BuildStreams(doc, pattern, &streams, stats); !built.ok()) {
+    return Result<NodeList>(built.status());
+  }
+  const MorselPlan plan =
+      SplitStreams(streams, root, par.morsel_elements, par.parallelism);
+  if (plan.count() <= 1) {
+    std::vector<std::span<const Region>> spans(streams.begin(), streams.end());
+    return PathStackMatchMorsel(doc, pattern, output, spans,
+                                /*preseed_root=*/false, guard, stats);
+  }
+
+  const size_t m = plan.count();
+  LaneGuards lanes(guard, par.parallelism);
+  std::vector<NodeList> outs(m);
+  std::vector<Status> errors(m);
+  std::vector<OpStats> sinks(stats != nullptr ? m : 0);
+  par.pool->Run(m, par.parallelism, [&](size_t t, uint32_t lane) {
+    std::vector<std::span<const Region>> spans(k);
+    for (VertexId v = 0; v < k; ++v) {
+      if (v != root) spans[v] = plan.Sub(streams, t, v);
+    }
+    auto r = PathStackMatchMorsel(doc, pattern, output, spans,
+                                  /*preseed_root=*/true, lanes.lane(lane),
+                                  stats != nullptr ? &sinks[t] : nullptr);
+    if (r.ok()) {
+      outs[t] = std::move(*r);
+    } else {
+      errors[t] = r.status();
+    }
+  });
+  lanes.Absorb();
+  if (guard != nullptr && guard->Tick(0)) {
+    return Result<NodeList>(guard->status());
+  }
+  for (const Status& st : errors) {
+    if (!st.ok()) return Result<NodeList>(st);
+  }
+  if (stats != nullptr) {
+    for (const OpStats& sink : sinks) stats->MergeFrom(sink);
+    // PathStack consumes the document region first (global minimum) and
+    // always pushes it (the root has a child); the drain pops it.
+    stats->nodes_visited += 1;
+    stats->stack_pushes += 1;
+    stats->stack_pops += 1;
+  }
+  return Result<NodeList>(ConcatOutputs(outs));
+}
+
+std::optional<Result<NodeList>> ParallelBinaryJoinPlanMatch(
+    const IndexedDocument& doc, const PatternGraph& pattern,
+    const ParallelSpec& par, const ResourceGuard* guard, OpStats* stats) {
+  if (!par.enabled()) return std::nullopt;
+  if (!pattern.Validate().ok()) return std::nullopt;
+  const VertexId output = pattern.SoleOutput();
+  if (output == algebra::kNoVertex) return std::nullopt;
+  if (!RootShapeEligible(pattern, output)) return std::nullopt;
+  const size_t k = pattern.VertexCount();
+  for (VertexId v = 1; v < k; ++v) {
+    if (pattern.vertex(v).incoming_axis == Axis::kFollowingSibling ||
+        pattern.vertex(v).incoming_axis == Axis::kSelf) {
+      return std::nullopt;
+    }
+  }
+  if (XMLQ_FAULT("exec.binaryjoin.match")) {
+    return Result<NodeList>(
+        Status::Internal("injected fault: exec.binaryjoin.match"));
+  }
+  const VertexId root = pattern.root();
+  const Region doc_region = doc.regions->DocumentRegion();
+  std::vector<std::vector<Region>> candidates;
+  if (auto built = BuildStreams(doc, pattern, &candidates, stats);
+      !built.ok()) {
+    return Result<NodeList>(built.status());
+  }
+  const MorselPlan plan =
+      SplitStreams(candidates, root, par.morsel_elements, par.parallelism);
+
+  auto parent_child_of = [&](VertexId v) {
+    return pattern.vertex(v).incoming_axis == Axis::kChild ||
+           pattern.vertex(v).incoming_axis == Axis::kAttribute;
+  };
+
+  if (plan.count() <= 1) {
+    // Serial plan over the already-built streams (identical to
+    // BinaryJoinPlanMatch after its stream build, ascending edge order).
+    std::vector<std::vector<JoinPair>> pairs(k);
+    for (VertexId v = 1; v < k; ++v) {
+      const VertexId parent = pattern.vertex(v).parent;
+      pairs[v] = StructuralJoinPairs(candidates[parent], candidates[v],
+                                     parent_child_of(v), guard, stats);
+      if (guard != nullptr && guard->Tick(0)) {
+        return Result<NodeList>(guard->status());
+      }
+      NodeList anc_ids, desc_ids;
+      for (const JoinPair& p : pairs[v]) {
+        anc_ids.push_back(p.ancestor);
+        desc_ids.push_back(p.descendant);
+      }
+      Normalize(&anc_ids);
+      Normalize(&desc_ids);
+      candidates[parent] = ToRegions(*doc.regions, anc_ids, stats);
+      candidates[v] = ToRegions(*doc.regions, desc_ids, stats);
+    }
+    return Result<NodeList>(
+        FilterEdgePairs(pattern, output, pairs, doc_region.start));
+  }
+
+  const size_t m = plan.count();
+  // Per-morsel state: candidate lists (reduced step by step) + edge pairs.
+  std::vector<std::vector<std::vector<Region>>> cand(m);
+  std::vector<std::vector<std::vector<JoinPair>>> pairs(m);
+  for (size_t t = 0; t < m; ++t) {
+    cand[t].resize(k);
+    pairs[t].resize(k);
+    for (VertexId v = 0; v < k; ++v) {
+      if (v == root) continue;
+      const auto sub = plan.Sub(candidates, t, v);
+      cand[t][v].assign(sub.begin(), sub.end());
+    }
+  }
+
+  // One synchronized step per edge, ascending order (the root edge first,
+  // while its descendant stream is still unreduced).
+  for (VertexId v = 1; v < k; ++v) {
+    const VertexId parent = pattern.vertex(v).parent;
+    const bool parent_child = parent_child_of(v);
+    const bool root_edge = parent == root;
+    // Does any later morsel still hold descendants for this edge? (Decides
+    // ancestor-tail consumption; for the root edge, whether the serial
+    // merge would consume + push the document region at all.)
+    std::vector<uint8_t> later_has_desc(m, 0);
+    bool any = false;
+    for (size_t t = m; t-- > 0;) {
+      later_has_desc[t] = any ? 1 : 0;
+      if (!cand[t][v].empty()) any = true;
+    }
+    bool doc_consumed = false;  // root edge: ∃ descendant past doc.start
+    if (root_edge) {
+      for (size_t t = 0; t < m && !doc_consumed; ++t) {
+        if (!cand[t][v].empty() &&
+            cand[t][v].back().start > doc_region.start) {
+          doc_consumed = true;
+        }
+      }
+    }
+    LaneGuards lanes(guard, par.parallelism);
+    std::vector<OpStats> sinks(stats != nullptr ? m : 0);
+    par.pool->Run(m, par.parallelism, [&](size_t t, uint32_t lane) {
+      OpStats* sink = stats != nullptr ? &sinks[t] : nullptr;
+      const ResourceGuard* lane_guard = lanes.lane(lane);
+      const std::span<const Region> seeds =
+          root_edge ? std::span<const Region>(&doc_region, 1)
+                    : std::span<const Region>();
+      const std::span<const Region> ancestors =
+          root_edge ? std::span<const Region>()
+                    : std::span<const Region>(cand[t][parent]);
+      pairs[t][v] = StructuralJoinPairsMorsel(
+          seeds, ancestors, cand[t][v], parent_child,
+          /*consume_ancestor_tail=*/!root_edge && later_has_desc[t] != 0,
+          lane_guard, sink);
+      NodeList anc_ids, desc_ids;
+      for (const JoinPair& p : pairs[t][v]) {
+        anc_ids.push_back(p.ancestor);
+        desc_ids.push_back(p.descendant);
+      }
+      Normalize(&anc_ids);
+      Normalize(&desc_ids);
+      if (!root_edge) {
+        cand[t][parent] = ToRegions(*doc.regions, anc_ids, sink);
+      }
+      cand[t][v] = ToRegions(*doc.regions, desc_ids, sink);
+    });
+    lanes.Absorb();
+    if (guard != nullptr && guard->Tick(0)) {
+      return Result<NodeList>(guard->status());
+    }
+    if (stats != nullptr) {
+      for (const OpStats& sink : sinks) stats->MergeFrom(sink);
+      if (root_edge) {
+        // The document region's consumption, owned by no morsel: visited +
+        // pushed + drained iff any descendant lies past its start, and the
+        // serial reduction's ToRegions({doc}) probe iff any pairs emerged.
+        if (doc_consumed) {
+          stats->nodes_visited += 1;
+          stats->stack_pushes += 1;
+          stats->stack_pops += 1;
+        }
+        bool any_pairs = false;
+        for (size_t t = 0; t < m && !any_pairs; ++t) {
+          any_pairs = !pairs[t][v].empty();
+        }
+        if (any_pairs) stats->index_probes += 1;
+      }
+    }
+  }
+
+  std::vector<NodeList> outs(m);
+  par.pool->Run(m, par.parallelism, [&](size_t t, uint32_t) {
+    outs[t] = FilterEdgePairs(pattern, output, pairs[t], doc_region.start);
+  });
+  return Result<NodeList>(ConcatOutputs(outs));
+}
+
+}  // namespace xmlq::exec

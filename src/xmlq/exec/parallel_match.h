@@ -1,0 +1,57 @@
+#ifndef XMLQ_EXEC_PARALLEL_MATCH_H_
+#define XMLQ_EXEC_PARALLEL_MATCH_H_
+
+#include <optional>
+
+#include "xmlq/algebra/pattern_graph.h"
+#include "xmlq/base/limits.h"
+#include "xmlq/base/status.h"
+#include "xmlq/exec/morsel.h"
+#include "xmlq/exec/node_stream.h"
+#include "xmlq/exec/structural_join.h"
+
+namespace xmlq::exec {
+
+/// Morsel-driven parallel drivers for the stream engines (DESIGN.md §12).
+///
+/// Each driver returns std::nullopt when the attempt is not eligible —
+/// parallelism disabled, the pattern fails the engine's own validation (the
+/// serial entry point then reproduces the canonical error), or the pattern
+/// root has more than one child vertex / is the output (per-morsel
+/// merge-filtering needs the root's validity to be decidable morsel-locally,
+/// which a single root edge guarantees). On nullopt the caller must run the
+/// serial engine; otherwise the returned result, its ordering, and the
+/// OpStats totals are byte-identical to the serial engine's — the invariant
+/// the parallel-vs-serial differential harness enforces.
+///
+/// Streams whose regions nest across the whole document (a root-element or
+/// deep-chain stream) simply yield a single morsel and degrade to the serial
+/// core over the already-built streams, charging identical counters.
+///
+/// Each driver checks the same XMLQ_FAULT site as its serial engine exactly
+/// once, so breaker and chaos semantics are unchanged.
+std::optional<Result<NodeList>> ParallelTwigStackMatch(
+    const IndexedDocument& doc, const algebra::PatternGraph& pattern,
+    const ParallelSpec& par, const ResourceGuard* guard = nullptr,
+    OpStats* stats = nullptr);
+
+std::optional<Result<NodeList>> ParallelPathStackMatch(
+    const IndexedDocument& doc, const algebra::PatternGraph& pattern,
+    const ParallelSpec& par, const ResourceGuard* guard = nullptr,
+    OpStats* stats = nullptr);
+
+/// Step-synchronized parallel binary join plan: one barrier per query edge.
+/// At each step every morsel merges its own slice (the root edge runs
+/// seeded with the document region; later morsels' ancestor tails are
+/// consumed exactly when a later morsel still holds descendants, mirroring
+/// the serial merge's attribution), then semi-join-reduces its local
+/// candidate lists. Only the default ascending edge order is parallelized
+/// (the root edge must come first while its stream is still unreduced).
+std::optional<Result<NodeList>> ParallelBinaryJoinPlanMatch(
+    const IndexedDocument& doc, const algebra::PatternGraph& pattern,
+    const ParallelSpec& par, const ResourceGuard* guard = nullptr,
+    OpStats* stats = nullptr);
+
+}  // namespace xmlq::exec
+
+#endif  // XMLQ_EXEC_PARALLEL_MATCH_H_

@@ -25,36 +25,34 @@ struct StackEntry {
   size_t parent_count = 0;
 };
 
+/// Phase-1/2 core over externally built per-vertex streams. The serial entry
+/// point runs it over the full streams; the morsel driver (parallel_match)
+/// runs one instance per document-order slice with `preseed_root` standing
+/// in for the document region the owning run consumed (DESIGN.md §12).
 class TwigStackRunner {
  public:
   TwigStackRunner(const IndexedDocument& doc, const PatternGraph& pattern,
+                  std::span<const std::span<const Region>> streams,
+                  bool preseed_root, bool* consumed_root_child,
                   const ResourceGuard* guard, OpStats* stats)
-      : doc_(doc), pattern_(pattern), guard_(guard), stats_(stats) {}
+      : doc_(doc),
+        pattern_(pattern),
+        streams_(streams),
+        preseed_root_(preseed_root),
+        consumed_root_child_(consumed_root_child),
+        guard_(guard),
+        stats_(stats) {}
 
-  Result<NodeList> Run() {
-    XMLQ_RETURN_IF_ERROR(pattern_.Validate());
-    const VertexId output = pattern_.SoleOutput();
-    if (output == algebra::kNoVertex) {
-      return Status::InvalidArgument(
-          "TwigStack requires a sole output vertex");
-    }
-    for (VertexId v = 0; v < pattern_.VertexCount(); ++v) {
-      if (v != pattern_.root() &&
-          (pattern_.vertex(v).incoming_axis == Axis::kFollowingSibling ||
-           pattern_.vertex(v).incoming_axis == Axis::kSelf)) {
-        return Status::Unsupported(
-            "TwigStack supports child/descendant/attribute arcs only");
-      }
-    }
+  Result<NodeList> Run(VertexId output) {
     const size_t k = pattern_.VertexCount();
-    streams_.resize(k);
     cursors_.assign(k, 0);
     stacks_.resize(k);
     pairs_.resize(k);
-    for (VertexId v = 0; v < k; ++v) {
-      XMLQ_ASSIGN_OR_RETURN(streams_[v],
-                            BuildVertexStream(doc_, pattern_.vertex(v),
-                                              stats_));
+    if (preseed_root_) {
+      // The document region is open across every morsel; push it uncounted
+      // (the serial run charges its visit/push once, centrally).
+      stacks_[pattern_.root()].push_back(
+          StackEntry{doc_.regions->DocumentRegion(), 0});
     }
 
     // Phase 1: chained-stack merge.
@@ -70,12 +68,22 @@ class TwigStackRunner {
       if (q == pattern_.root() || !stacks_[parent].empty()) {
         recorded = Push(q, cur);
       }
+      if (consumed_root_child_ != nullptr && q != pattern_.root() &&
+          parent == pattern_.root()) {
+        *consumed_root_child_ = true;
+      }
       // One step per merge iteration plus one per edge pair recorded (the
       // output-sensitive part of the join's cost).
       XMLQ_GUARD_TICK(guard_, 1 + recorded);
       ++cursors_[q];
       ++visited_;
     }
+
+    // Counted drain of the chained stacks (minus the uncounted preseed), so
+    // pops == pushes for every run and morsel counters sum to the serial
+    // totals.
+    for (size_t v = 0; v < k; ++v) pops_ += stacks_[v].size();
+    if (preseed_root_) --pops_;
 
     if (stats_ != nullptr) {
       stats_->nodes_visited += visited_;
@@ -178,12 +186,14 @@ class TwigStackRunner {
 
   const IndexedDocument& doc_;
   const PatternGraph& pattern_;
+  std::span<const std::span<const Region>> streams_;
+  bool preseed_root_ = false;
+  bool* consumed_root_child_ = nullptr;
   const ResourceGuard* guard_ = nullptr;
   OpStats* stats_ = nullptr;
   uint64_t visited_ = 0;
   uint64_t pushes_ = 0;
   uint64_t pops_ = 0;
-  std::vector<std::vector<Region>> streams_;
   std::vector<size_t> cursors_;
   std::vector<std::vector<StackEntry>> stacks_;
   std::vector<std::vector<JoinPair>> pairs_;  // indexed by target vertex
@@ -191,14 +201,50 @@ class TwigStackRunner {
 
 }  // namespace
 
+Result<algebra::VertexId> ValidateTwigPattern(const PatternGraph& pattern) {
+  XMLQ_RETURN_IF_ERROR(pattern.Validate());
+  const VertexId output = pattern.SoleOutput();
+  if (output == algebra::kNoVertex) {
+    return Status::InvalidArgument("TwigStack requires a sole output vertex");
+  }
+  for (VertexId v = 0; v < pattern.VertexCount(); ++v) {
+    if (v != pattern.root() &&
+        (pattern.vertex(v).incoming_axis == Axis::kFollowingSibling ||
+         pattern.vertex(v).incoming_axis == Axis::kSelf)) {
+      return Status::Unsupported(
+          "TwigStack supports child/descendant/attribute arcs only");
+    }
+  }
+  return output;
+}
+
 Result<NodeList> TwigStackMatch(const IndexedDocument& doc,
                                 const PatternGraph& pattern,
                                 const ResourceGuard* guard, OpStats* stats) {
   if (XMLQ_FAULT("exec.twigstack.match")) {
     return Status::Internal("injected fault: exec.twigstack.match");
   }
-  TwigStackRunner runner(doc, pattern, guard, stats);
-  return runner.Run();
+  XMLQ_ASSIGN_OR_RETURN(const VertexId output, ValidateTwigPattern(pattern));
+  const size_t k = pattern.VertexCount();
+  std::vector<std::vector<Region>> streams(k);
+  for (VertexId v = 0; v < k; ++v) {
+    XMLQ_ASSIGN_OR_RETURN(streams[v],
+                          BuildVertexStream(doc, pattern.vertex(v), stats));
+  }
+  std::vector<std::span<const Region>> spans(streams.begin(), streams.end());
+  TwigStackRunner runner(doc, pattern, spans, /*preseed_root=*/false,
+                         /*consumed_root_child=*/nullptr, guard, stats);
+  return runner.Run(output);
+}
+
+Result<NodeList> TwigStackMatchMorsel(
+    const IndexedDocument& doc, const PatternGraph& pattern,
+    algebra::VertexId output,
+    std::span<const std::span<const Region>> streams, bool preseed_root,
+    bool* consumed_root_child, const ResourceGuard* guard, OpStats* stats) {
+  TwigStackRunner runner(doc, pattern, streams, preseed_root,
+                         consumed_root_child, guard, stats);
+  return runner.Run(output);
 }
 
 }  // namespace xmlq::exec

@@ -99,9 +99,15 @@ Result<std::pair<uint64_t, ResponsePayload>> Client::ReadResponse() {
   }
 }
 
-Result<uint64_t> Client::SendQuery(std::string_view text) {
+Result<uint64_t> Client::SendQuery(std::string_view text,
+                                   uint32_t parallelism) {
   const uint64_t request_id = next_request_id_++;
-  XMLQ_RETURN_IF_ERROR(SendFrame(FrameType::kQuery, request_id, text));
+  if (parallelism == 1) {
+    XMLQ_RETURN_IF_ERROR(SendFrame(FrameType::kQuery, request_id, text));
+  } else {
+    XMLQ_RETURN_IF_ERROR(SendFrame(FrameType::kQueryOpts, request_id,
+                                   EncodeQueryOpts(parallelism, text)));
+  }
   return request_id;
 }
 
@@ -124,8 +130,10 @@ Result<ResponsePayload> Client::RoundTrip(FrameType type,
   }
 }
 
-Result<ResponsePayload> Client::Query(std::string_view text) {
-  return RoundTrip(FrameType::kQuery, text);
+Result<ResponsePayload> Client::Query(std::string_view text,
+                                      uint32_t parallelism) {
+  if (parallelism == 1) return RoundTrip(FrameType::kQuery, text);
+  return RoundTrip(FrameType::kQueryOpts, EncodeQueryOpts(parallelism, text));
 }
 
 Result<ResponsePayload> Client::Ping() {
@@ -138,12 +146,13 @@ Result<ResponsePayload> Client::Stats() {
 
 CallResult Client::QueryWithRetry(std::string_view text,
                                   const RetryPolicy& policy,
-                                  std::mt19937_64* rng) {
+                                  std::mt19937_64* rng,
+                                  uint32_t parallelism) {
   CallResult result;
   for (uint32_t attempt = 0; attempt < std::max(policy.max_attempts, 1u);
        ++attempt) {
     result.attempts = attempt + 1;
-    auto response = Query(text);
+    auto response = Query(text, parallelism);
     if (!response.ok()) {
       result.outcome = CallOutcome::kConnectionError;
       result.transport_error = response.status();

@@ -67,7 +67,10 @@ class Client {
   Client& operator=(Client&&) = default;
 
   /// One request, one response (request ids are assigned internally).
-  Result<ResponsePayload> Query(std::string_view text);
+  /// `parallelism` != 1 rides a kQueryOpts frame (per-request intra-query
+  /// worker lanes); 1 sends the plain kQuery frame.
+  Result<ResponsePayload> Query(std::string_view text,
+                                uint32_t parallelism = 1);
   Result<ResponsePayload> Ping();
   Result<ResponsePayload> Stats();
 
@@ -77,13 +80,13 @@ class Client {
   /// resubmits. Never retries transport errors — reconnect-and-retry is a
   /// topology decision that belongs to the caller (see xmlq_loadgen).
   CallResult QueryWithRetry(std::string_view text, const RetryPolicy& policy,
-                            std::mt19937_64* rng);
+                            std::mt19937_64* rng, uint32_t parallelism = 1);
 
   // -- Pipelined surface ----------------------------------------------------
 
   /// Sends a Query frame without waiting; returns the request id to match
   /// against ReadResponse / pass to SendCancel.
-  Result<uint64_t> SendQuery(std::string_view text);
+  Result<uint64_t> SendQuery(std::string_view text, uint32_t parallelism = 1);
   /// Asks the server to cancel in-flight request `target_request_id`. The
   /// cancel gets its own ack response.
   Result<uint64_t> SendCancel(uint64_t target_request_id);

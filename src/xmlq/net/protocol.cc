@@ -24,6 +24,7 @@ bool KnownFrameType(uint8_t type) {
     case FrameType::kCancel:
     case FrameType::kPing:
     case FrameType::kStats:
+    case FrameType::kQueryOpts:
     case FrameType::kResponse:
       return true;
   }
@@ -38,6 +39,7 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kCancel: return "cancel";
     case FrameType::kPing: return "ping";
     case FrameType::kStats: return "stats";
+    case FrameType::kQueryOpts: return "query_opts";
     case FrameType::kResponse: return "response";
   }
   return "?";
@@ -107,6 +109,21 @@ std::string EncodeCancelTarget(uint64_t target_request_id) {
 bool DecodeCancelTarget(std::string_view payload, uint64_t* out) {
   if (payload.size() != sizeof(*out)) return false;
   std::memcpy(out, payload.data(), sizeof(*out));
+  return true;
+}
+
+std::string EncodeQueryOpts(uint32_t parallelism, std::string_view query) {
+  std::string bytes(sizeof(parallelism) + query.size(), '\0');
+  std::memcpy(bytes.data(), &parallelism, sizeof(parallelism));
+  std::memcpy(bytes.data() + sizeof(parallelism), query.data(), query.size());
+  return bytes;
+}
+
+bool DecodeQueryOpts(std::string_view payload, uint32_t* parallelism,
+                     std::string* query) {
+  if (payload.size() < sizeof(*parallelism)) return false;
+  std::memcpy(parallelism, payload.data(), sizeof(*parallelism));
+  query->assign(payload.substr(sizeof(*parallelism)));
   return true;
 }
 

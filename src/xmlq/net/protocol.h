@@ -36,6 +36,7 @@ enum class FrameType : uint8_t {
   kCancel = 2,  // payload: u64 request_id of the in-flight query to cancel
   kPing = 3,    // payload: empty
   kStats = 4,   // payload: empty
+  kQueryOpts = 5,  // payload: [u32 parallelism][XQuery/XPath text]
   // Server -> client, echoing the request's request_id.
   kResponse = 16,  // payload: ResponsePayload (below)
 };
@@ -88,6 +89,15 @@ bool DecodeResponse(std::string_view payload, ResponsePayload* out);
 /// Cancel-frame payload helpers (a single u64 target request id).
 std::string EncodeCancelTarget(uint64_t target_request_id);
 bool DecodeCancelTarget(std::string_view payload, uint64_t* out);
+
+/// kQueryOpts payload helpers: [u32 parallelism][query text]. The
+/// parallelism field selects this request's intra-query worker lanes
+/// (api::QueryOptions::parallelism — 1 = serial, 0 = all hardware threads),
+/// overriding the server's configured default. A plain kQuery frame keeps
+/// the default, so existing clients are unaffected.
+std::string EncodeQueryOpts(uint32_t parallelism, std::string_view query);
+bool DecodeQueryOpts(std::string_view payload, uint32_t* parallelism,
+                     std::string* query);
 
 /// One step of the incremental frame decoder.
 enum class DecodeStatus : uint8_t {

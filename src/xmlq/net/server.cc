@@ -385,10 +385,25 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
       }
       return QueueResponse(conn, frame.request_id, response);
     }
-    case FrameType::kQuery: {
+    case FrameType::kQuery:
+    case FrameType::kQueryOpts: {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.queries;
+      }
+      uint32_t parallelism = config_.parallelism;
+      std::string query = std::move(frame.payload);
+      if (frame.type == FrameType::kQueryOpts) {
+        std::string text;
+        uint32_t requested = 0;
+        if (!DecodeQueryOpts(query, &requested, &text)) {
+          ResponsePayload response;
+          response.code = StatusCode::kInvalidArgument;
+          response.body = "malformed query-opts payload";
+          return QueueResponse(conn, frame.request_id, response);
+        }
+        parallelism = requested;
+        query = std::move(text);
       }
       if (draining_) {
         ResponsePayload response;
@@ -429,7 +444,8 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
       Job job;
       job.conn_id = conn->id();
       job.request_id = frame.request_id;
-      job.query = std::move(frame.payload);
+      job.query = std::move(query);
+      job.parallelism = parallelism;
       job.inflight = it->second;
       {
         std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -642,6 +658,7 @@ void Server::WorkerLoop() {
       api::QueryOptions options;
       options.limits.cancel_token = job.inflight->token;
       options.query_id_out = &job.inflight->query_id;
+      options.parallelism = job.parallelism;
       auto result = db_->Query(job.query, options);
       if (result.ok()) {
         response.body = api::Database::ToXml(*result);

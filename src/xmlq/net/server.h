@@ -39,6 +39,10 @@ struct ServerConfig {
   /// finish before they are cancelled (Database::Cancel via their tokens);
   /// responses still flush, then connections close.
   uint64_t drain_deadline_micros = 5'000'000;
+  /// Default intra-query parallelism for plain kQuery frames (see
+  /// api::QueryOptions::parallelism; 1 = serial, 0 = all hardware threads).
+  /// A kQueryOpts frame carries its own value per request.
+  uint32_t parallelism = 1;
 };
 
 /// Event-loop counters, readable from any thread via Server::stats().
@@ -121,6 +125,7 @@ class Server {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
     std::string query;
+    uint32_t parallelism = 1;
     std::shared_ptr<InflightQuery> inflight;
   };
   struct Completion {

@@ -1,0 +1,362 @@
+// Property tests for the morsel layer (DESIGN.md §12): SplitStreams must
+// partition per-vertex region streams into document-order morsels that are
+// disjoint, covering, nonempty, and subtree-closed — on seeded random trees
+// and on the degenerate shapes that stress the splitter (a 100k-deep chain
+// with no legal cut, a 100k-wide single-tag fan-out where every gap is one).
+// Also covers MorselPool's exactly-once task execution, LaneGuards budget
+// slicing, and the Crc32Combine fold the parallel read path uses to verify
+// snapshots chunk-wise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xmlq/base/crc32.h"
+#include "xmlq/base/limits.h"
+#include "xmlq/exec/morsel.h"
+#include "xmlq/storage/region_index.h"
+
+namespace xmlq::exec {
+namespace {
+
+using storage::Region;
+
+/// Generates a random rooted tree of `num_nodes` elements over `tags` tag
+/// ids and returns one document-ordered region stream per tag. Positions
+/// follow the open/close numbering the real region index uses: a parent's
+/// region strictly contains its descendants' regions.
+std::vector<std::vector<Region>> RandomStreams(uint64_t seed,
+                                               size_t num_nodes,
+                                               uint32_t tags,
+                                               double deep_bias = 0.5) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<uint32_t> pick_tag(0, tags - 1);
+
+  std::vector<std::vector<Region>> streams(tags);
+  uint32_t pos = 0;
+  // Iterative DFS construction: `open` holds the ancestors whose end
+  // position is still pending (index into a flat region list).
+  struct Open {
+    size_t stream;
+    size_t index;
+  };
+  std::vector<Open> open;
+  for (size_t n = 0; n < num_nodes; ++n) {
+    // Occasionally pop ancestors so the tree branches instead of becoming
+    // one chain; deep_bias ~1.0 keeps it chain-like, ~0.0 bushy.
+    while (!open.empty() && coin(rng) > deep_bias) {
+      streams[open.back().stream][open.back().index].end = pos++;
+      open.pop_back();
+    }
+    const uint32_t tag = pick_tag(rng);
+    Region region;
+    region.start = pos++;
+    region.level = static_cast<uint32_t>(open.size());
+    region.name = static_cast<xml::NameId>(tag);
+    streams[tag].push_back(region);
+    open.push_back({tag, streams[tag].size() - 1});
+  }
+  while (!open.empty()) {
+    streams[open.back().stream][open.back().index].end = pos++;
+    open.pop_back();
+  }
+  // DFS start order is document order, but each stream was filled by open
+  // position — already sorted by start. Assert instead of trusting.
+  for (const auto& stream : streams) {
+    EXPECT_TRUE(std::is_sorted(
+        stream.begin(), stream.end(),
+        [](const Region& a, const Region& b) { return a.start < b.start; }));
+  }
+  return streams;
+}
+
+/// Asserts every structural invariant SplitStreams promises:
+/// disjoint + covering (boundary rows), nonempty morsels, and the
+/// subtree-closed cut property: no participating region spans a cut.
+void CheckPlanInvariants(const MorselPlan& plan,
+                         const std::vector<std::vector<Region>>& streams,
+                         size_t skip_vertex) {
+  size_t participating_total = 0;
+  for (size_t v = 0; v < streams.size(); ++v) {
+    if (v != skip_vertex) participating_total += streams[v].size();
+  }
+  if (participating_total == 0) {
+    EXPECT_EQ(plan.count(), 0u);
+    return;
+  }
+  ASSERT_GE(plan.count(), 1u);
+  ASSERT_EQ(plan.bounds.size(), plan.count() + 1);
+
+  for (size_t v = 0; v < streams.size(); ++v) {
+    ASSERT_EQ(plan.bounds.front()[v], 0u) << "vertex " << v;
+    const size_t expect_last = v == skip_vertex ? 0 : streams[v].size();
+    ASSERT_EQ(plan.bounds.back()[v], expect_last) << "vertex " << v;
+    for (size_t m = 0; m < plan.count(); ++m) {
+      ASSERT_LE(plan.bounds[m][v], plan.bounds[m + 1][v])
+          << "vertex " << v << " morsel " << m;
+    }
+  }
+
+  for (size_t m = 0; m < plan.count(); ++m) {
+    size_t in_morsel = 0;
+    for (size_t v = 0; v < streams.size(); ++v) {
+      in_morsel += plan.bounds[m + 1][v] - plan.bounds[m][v];
+    }
+    EXPECT_GT(in_morsel, 0u) << "empty morsel " << m;
+  }
+
+  // Subtree-closed: at every interior boundary, every region on the left
+  // ends strictly before every region on the right starts — so a region and
+  // all its descendants land in the same morsel.
+  for (size_t m = 1; m < plan.count(); ++m) {
+    uint32_t max_end_before = 0;
+    uint32_t min_start_after = std::numeric_limits<uint32_t>::max();
+    for (size_t v = 0; v < streams.size(); ++v) {
+      if (v == skip_vertex) continue;
+      const size_t cut = plan.bounds[m][v];
+      for (size_t i = 0; i < cut; ++i) {
+        max_end_before = std::max(max_end_before, streams[v][i].end);
+      }
+      if (cut < streams[v].size()) {
+        min_start_after = std::min(min_start_after, streams[v][cut].start);
+      }
+    }
+    EXPECT_LT(max_end_before, min_start_after) << "cut " << m;
+  }
+}
+
+struct SplitCase {
+  uint64_t seed;
+  size_t nodes;
+  uint32_t tags;
+  double deep_bias;
+};
+
+class SplitStreamsPropertyTest : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(SplitStreamsPropertyTest, InvariantsHoldOnRandomTrees) {
+  const SplitCase c = GetParam();
+  const auto streams = RandomStreams(c.seed, c.nodes, c.tags, c.deep_bias);
+  for (const size_t skip : {size_t{0}, streams.size()}) {
+    for (const uint32_t lanes : {2u, 4u, 8u}) {
+      // target 0 = auto, 1 = adversarial one-group morsels, 7 = odd size.
+      for (const size_t target : {size_t{0}, size_t{1}, size_t{7}}) {
+        const MorselPlan plan = SplitStreams(streams, skip, target, lanes);
+        CheckPlanInvariants(plan, streams, skip);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitStreamsPropertyTest,
+    ::testing::Values(SplitCase{1, 200, 1, 0.5}, SplitCase{2, 500, 3, 0.5},
+                      SplitCase{3, 2000, 4, 0.3}, SplitCase{4, 2000, 4, 0.9},
+                      SplitCase{5, 5000, 2, 0.6}, SplitCase{6, 50, 5, 0.2},
+                      SplitCase{7, 1000, 3, 0.99}, SplitCase{8, 3000, 6, 0.4}));
+
+TEST(SplitStreamsTest, DeepChainHasNoLegalCut) {
+  // 100k nested regions: every boundary is spanned by an ancestor, so even
+  // the adversarial target must return exactly one morsel.
+  constexpr size_t kDepth = 100'000;
+  std::vector<std::vector<Region>> streams(1);
+  streams[0].reserve(kDepth);
+  for (size_t i = 0; i < kDepth; ++i) {
+    Region region;
+    region.start = static_cast<uint32_t>(i);
+    region.end = static_cast<uint32_t>(2 * kDepth - 1 - i);
+    region.level = static_cast<uint32_t>(i);
+    streams[0].push_back(region);
+  }
+  const MorselPlan plan = SplitStreams(streams, streams.size(), 1, 8);
+  EXPECT_EQ(plan.count(), 1u);
+  CheckPlanInvariants(plan, streams, streams.size());
+}
+
+TEST(SplitStreamsTest, SingleTagFanOutSplitsFully) {
+  // 100k disjoint siblings: every boundary is legal. The adversarial
+  // target=1 must produce one region per morsel; auto must scale with
+  // lanes and keep the invariants.
+  constexpr size_t kWidth = 100'000;
+  std::vector<std::vector<Region>> streams(1);
+  streams[0].reserve(kWidth);
+  for (size_t i = 0; i < kWidth; ++i) {
+    Region region;
+    region.start = static_cast<uint32_t>(2 * i + 1);
+    region.end = static_cast<uint32_t>(2 * i + 2);
+    region.level = 1;
+    streams[0].push_back(region);
+  }
+  const MorselPlan adversarial = SplitStreams(streams, streams.size(), 1, 8);
+  EXPECT_EQ(adversarial.count(), kWidth);
+  CheckPlanInvariants(adversarial, streams, streams.size());
+
+  const MorselPlan automatic = SplitStreams(streams, streams.size(), 0, 4);
+  EXPECT_GT(automatic.count(), 1u);
+  EXPECT_LE(automatic.count(), 4u * 4u);
+  CheckPlanInvariants(automatic, streams, streams.size());
+}
+
+TEST(SplitStreamsTest, EmptyStreamsYieldNoMorsels) {
+  std::vector<std::vector<Region>> streams(3);
+  const MorselPlan plan = SplitStreams(streams, 1, 0, 4);
+  EXPECT_EQ(plan.count(), 0u);
+}
+
+TEST(SplitEvenlyTest, Properties) {
+  EXPECT_EQ(SplitEvenly(0, 1, 4), (std::vector<size_t>{0, 0}));
+  for (const size_t n : {1ul, 2ul, 7ul, 100ul, 1001ul, 65536ul}) {
+    for (const size_t min_chunk : {1ul, 8ul, 1000ul}) {
+      for (const size_t max_chunks : {1ul, 3ul, 16ul}) {
+        const std::vector<size_t> bounds =
+            SplitEvenly(n, min_chunk, max_chunks);
+        ASSERT_GE(bounds.size(), 2u);
+        EXPECT_EQ(bounds.front(), 0u);
+        EXPECT_EQ(bounds.back(), n);
+        EXPECT_LE(bounds.size() - 1, max_chunks);
+        size_t smallest = n, largest = 0;
+        for (size_t c = 0; c + 1 < bounds.size(); ++c) {
+          ASSERT_LT(bounds[c], bounds[c + 1]);  // no empty chunks
+          const size_t size = bounds[c + 1] - bounds[c];
+          smallest = std::min(smallest, size);
+          largest = std::max(largest, size);
+        }
+        EXPECT_LE(largest - smallest, 1u);  // near-equal
+        if (bounds.size() > 2) EXPECT_GE(smallest, min_chunk);
+      }
+    }
+  }
+}
+
+TEST(MorselPoolTest, EveryTaskRunsExactlyOnce) {
+  MorselPool& pool = MorselPool::Shared();
+  for (const uint32_t lanes : {1u, 2u, 8u}) {
+    constexpr size_t kTasks = 1000;
+    std::vector<std::atomic<int>> counts(kTasks);
+    std::atomic<uint32_t> max_lane{0};
+    pool.Run(kTasks, lanes, [&](size_t task, uint32_t lane) {
+      counts[task].fetch_add(1, std::memory_order_relaxed);
+      uint32_t seen = max_lane.load(std::memory_order_relaxed);
+      while (lane > seen &&
+             !max_lane.compare_exchange_weak(seen, lane,
+                                             std::memory_order_relaxed)) {
+      }
+    });
+    for (size_t t = 0; t < kTasks; ++t) {
+      ASSERT_EQ(counts[t].load(), 1) << "task " << t << " lanes " << lanes;
+    }
+    EXPECT_LT(max_lane.load(), std::max(1u, lanes));
+  }
+}
+
+TEST(MorselPoolTest, SingleLaneRunsOnCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  MorselPool::Shared().Run(64, 1, [&](size_t, uint32_t lane) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lane, 0u);
+  });
+}
+
+TEST(MorselPoolTest, ConcurrentExternalCallersAreIsolated) {
+  // Queries and the scrubber share MorselPool::Shared(); batches from
+  // concurrent callers must not leak tasks into each other.
+  constexpr size_t kCallers = 4;
+  constexpr size_t kTasks = 500;
+  std::vector<std::vector<std::atomic<int>>> counts(kCallers);
+  for (auto& c : counts) {
+    c = std::vector<std::atomic<int>>(kTasks);
+  }
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      MorselPool::Shared().Run(kTasks, 4, [&, c](size_t task, uint32_t) {
+        counts[c][task].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    for (size_t t = 0; t < kTasks; ++t) {
+      ASSERT_EQ(counts[c][t].load(), 1) << "caller " << c << " task " << t;
+    }
+  }
+}
+
+TEST(LaneGuardsTest, SlicesStepBudgetAndAbsorbsIntoParent) {
+  QueryLimits limits;
+  limits.max_steps = 100;
+  ResourceGuard parent(limits);
+  {
+    LaneGuards lanes(&parent, 4);
+    // Each lane gets ~1/4 of the remaining budget; staying under that slice
+    // must not trip the lane.
+    for (uint32_t i = 0; i < 4; ++i) {
+      ASSERT_NE(lanes.lane(i), nullptr);
+      EXPECT_FALSE(lanes.lane(i)->Tick(20)) << "lane " << i;
+    }
+  }
+  // 4 × 20 absorbed; 21 more exceeds the parent's 100-step budget.
+  EXPECT_FALSE(parent.Tick(0));
+  EXPECT_TRUE(parent.Tick(21));
+  EXPECT_EQ(parent.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LaneGuardsTest, LaneTripsOnOversizedSlice) {
+  QueryLimits limits;
+  limits.max_steps = 80;
+  ResourceGuard parent(limits);
+  LaneGuards lanes(&parent, 4);
+  // One lane burning far past its ~20-step slice must trip locally without
+  // waiting for the fold.
+  EXPECT_TRUE(lanes.lane(0)->Tick(81));
+  EXPECT_EQ(lanes.lane(0)->status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LaneGuardsTest, NullParentYieldsNullLanes) {
+  LaneGuards lanes(nullptr, 4);
+  EXPECT_EQ(lanes.lane(0), nullptr);
+  EXPECT_EQ(lanes.lane(3), nullptr);
+}
+
+TEST(Crc32CombineTest, MatchesWholeBufferCrc) {
+  std::mt19937_64 rng(42);
+  for (const size_t len_a : {0ul, 1ul, 3ul, 64ul, 1000ul, 65536ul}) {
+    for (const size_t len_b : {0ul, 1ul, 5ul, 255ul, 4096ul, 100000ul}) {
+      std::string a(len_a, '\0'), b(len_b, '\0');
+      for (char& ch : a) ch = static_cast<char>(rng());
+      for (char& ch : b) ch = static_cast<char>(rng());
+      const uint32_t whole = Crc32((a + b).data(), len_a + len_b);
+      const uint32_t combined = Crc32Combine(
+          Crc32(a.data(), len_a), Crc32(b.data(), len_b), len_b);
+      ASSERT_EQ(combined, whole) << "len_a=" << len_a << " len_b=" << len_b;
+    }
+  }
+}
+
+TEST(Crc32CombineTest, FoldsAcrossManyChunks) {
+  // The exact shape ParallelCrc32 uses: per-chunk CRCs folded left to right.
+  std::mt19937_64 rng(7);
+  std::string data(1 << 18, '\0');
+  for (char& ch : data) ch = static_cast<char>(rng());
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (const size_t chunks : {2ul, 3ul, 7ul, 16ul}) {
+    const std::vector<size_t> bounds = SplitEvenly(data.size(), 1, chunks);
+    uint32_t crc = 0;
+    for (size_t c = 0; c + 1 < bounds.size(); ++c) {
+      const size_t size = bounds[c + 1] - bounds[c];
+      crc = Crc32Combine(crc, Crc32(data.data() + bounds[c], size), size);
+    }
+    ASSERT_EQ(crc, whole) << chunks << " chunks";
+  }
+}
+
+}  // namespace
+}  // namespace xmlq::exec

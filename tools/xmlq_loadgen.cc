@@ -43,10 +43,12 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--clients N]\n"
                "          [--duration-s N] [--query Q] [--max-attempts N]\n"
-               "          [--repeat-mix N]\n"
+               "          [--repeat-mix N] [--parallelism N]\n"
                "  --repeat-mix N  instead of one fixed query, draw each\n"
                "                  request Zipf-style from N value-predicate\n"
-               "                  variants (exercises the server plan cache)\n",
+               "                  variants (exercises the server plan cache)\n"
+               "  --parallelism N intra-query worker lanes per request\n"
+               "                  (1 = serial, 0 = all server hw threads)\n",
                argv0);
   return 2;
 }
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   uint32_t duration_s = 10;
   uint32_t max_attempts = 6;
   uint32_t repeat_mix = 0;
+  uint32_t parallelism = 1;
   std::string query = "//book/title";
 
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +97,8 @@ int main(int argc, char** argv) {
       max_attempts = static_cast<uint32_t>(std::atoi(v));
     else if (arg == "--repeat-mix" && (v = next()))
       repeat_mix = static_cast<uint32_t>(std::atoi(v));
+    else if (arg == "--parallelism" && (v = next()))
+      parallelism = static_cast<uint32_t>(std::atoi(v));
     else if (arg == "--query" && (v = next())) query = v;
     else
       return Usage(argv[0]);
@@ -131,7 +136,7 @@ int main(int argc, char** argv) {
         }
         const auto begin = std::chrono::steady_clock::now();
         const xmlq::net::CallResult call =
-            client->QueryWithRetry(mix[pick(rng)], policy, &rng);
+            client->QueryWithRetry(mix[pick(rng)], policy, &rng, parallelism);
         const double micros =
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - begin)

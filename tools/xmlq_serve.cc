@@ -46,7 +46,9 @@ int Usage(const char* argv0) {
       "  --queue-deadline-ms N   admission: shed after waiting this long\n"
       "  --idle-timeout-ms N     close idle connections (default 60000)\n"
       "  --max-inflight N        per-connection in-flight cap (default 16)\n"
-      "  --drain-deadline-ms N   graceful-drain budget (default 5000)\n",
+      "  --drain-deadline-ms N   graceful-drain budget (default 5000)\n"
+      "  --parallelism N         intra-query worker lanes for plain query\n"
+      "                          frames (1 = serial, 0 = all hw threads)\n",
       argv0);
   return 2;
 }
@@ -93,6 +95,8 @@ int main(int argc, char** argv) {
       config.limits.max_inflight = static_cast<uint32_t>(std::atoi(v));
     else if (arg == "--drain-deadline-ms" && (v = next()))
       config.drain_deadline_micros = std::strtoull(v, nullptr, 10) * 1000;
+    else if (arg == "--parallelism" && (v = next()))
+      config.parallelism = static_cast<uint32_t>(std::atoi(v));
     else
       return Usage(argv[0]);
   }
