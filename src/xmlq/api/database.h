@@ -59,6 +59,9 @@ struct QueryOptions {
   /// patterns, morsel-parallel over the shared pool. 1 (the default) is the
   /// serial path, untouched; 0 means "all hardware threads". Results and
   /// per-operator stats are byte-identical to the serial run at any value.
+  /// Deadlines and cancellation also behave identically; step/memory budgets
+  /// are conservatively sliced across lanes, so a skewed morsel distribution
+  /// may return kResourceExhausted earlier than the serial run would.
   /// Not part of the plan-cache key: it changes scheduling, never the plan.
   uint32_t parallelism = 1;
   /// Morsel granularity in elements per morsel; 0 = automatic (stream

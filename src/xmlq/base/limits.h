@@ -97,8 +97,12 @@ class ResourceGuard {
   /// shares the parent's *absolute* deadline and cancel flags, and receives
   /// 1/`lanes` of the parent's remaining step/memory budget (at least 1, so
   /// an exhausted parent trips the lane on its first poll rather than
-  /// dividing by zero into "unlimited"). A parent that has already tripped
-  /// produces lanes that trip immediately with the same status.
+  /// dividing by zero into "unlimited"). The slicing is conservative: a
+  /// parallel run can never spend more total budget than the serial run, but
+  /// a lane whose morsels are skewed past its even share trips
+  /// kResourceExhausted earlier than the serial run would. A parent that has
+  /// already tripped produces lanes that trip immediately with the same
+  /// status.
   ///
   /// After the parallel section joins, fold each lane back with Absorb() on
   /// the parent, in lane order, from the owning thread.

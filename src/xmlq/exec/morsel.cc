@@ -92,11 +92,17 @@ void MorselPool::RunTasks(Batch& batch, uint32_t lane) {
   batch.cv.notify_all();
 }
 
-LaneGuards::LaneGuards(const ResourceGuard* parent, uint32_t lanes)
+LaneGuards::LaneGuards(const ResourceGuard* parent, uint32_t lanes,
+                       size_t tasks)
     : parent_(parent) {
   if (parent_ == nullptr) return;
+  // Slice by the requested lane count (deterministic in the caller's
+  // parallelism alone), but allocate only as many guards as MorselPool::Run
+  // can hand out lane ids for — defense-in-depth against a huge `lanes`.
   const uint32_t n = std::max<uint32_t>(1, lanes);
-  for (uint32_t i = 0; i < n; ++i) {
+  const uint32_t count =
+      std::max<uint32_t>(1, static_cast<uint32_t>(std::min<uint64_t>(n, tasks)));
+  for (uint32_t i = 0; i < count; ++i) {
     guards_.emplace_back(ResourceGuard::LaneTag{}, *parent_, n);
   }
 }

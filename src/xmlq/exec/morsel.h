@@ -96,20 +96,30 @@ struct ParallelSpec {
 /// Forks one ResourceGuard per lane and folds them back on destruction —
 /// ResourceGuard's hot path is deliberately not thread-safe, so concurrent
 /// lanes must never share the parent. A null parent yields null lane guards
-/// (unlimited). Absorb happens in lane order on the owning thread; callers
-/// should Tick(0) the parent afterwards so an over-budget total or a
-/// deadline/cancel observed by a lane trips the parent promptly.
+/// (unlimited). Only min(lanes, tasks) guards are allocated — MorselPool::Run
+/// never hands out lane ids beyond that — so the allocation scales with
+/// actual work, not with a caller-supplied u32; budget slicing still divides
+/// by the requested `lanes` so the slices are independent of the morsel
+/// count. Absorb happens in lane order on the owning thread; callers should
+/// Tick(0) the parent afterwards so an over-budget total or a deadline/cancel
+/// observed by a lane trips the parent promptly.
 class LaneGuards {
  public:
-  LaneGuards(const ResourceGuard* parent, uint32_t lanes);
+  LaneGuards(const ResourceGuard* parent, uint32_t lanes, size_t tasks);
   ~LaneGuards() { Absorb(); }
 
   LaneGuards(const LaneGuards&) = delete;
   LaneGuards& operator=(const LaneGuards&) = delete;
 
+  /// `i` must be a lane id from the matching MorselPool::Run call, i.e.
+  /// i < min(lanes, tasks).
   const ResourceGuard* lane(uint32_t i) const {
     return parent_ == nullptr ? nullptr : &guards_[i];
   }
+
+  /// Number of guards actually allocated (min(lanes, tasks); 0 with a null
+  /// parent).
+  size_t lane_count() const { return guards_.size(); }
 
   /// Folds lane consumption into the parent now (idempotent).
   void Absorb();

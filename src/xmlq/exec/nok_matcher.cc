@@ -480,7 +480,7 @@ Result<NokMatchResult> MatchNokPartChunked(
   const size_t chunks = bounds.size() - 1;
   const bool degenerate = part.vertices.size() == 1;
 
-  LaneGuards lanes(guard, par.parallelism);
+  LaneGuards lanes(guard, par.parallelism, chunks);
   std::vector<NokMatchResult> parts(chunks);
   std::vector<OpStats> sinks(stats != nullptr ? chunks : 0);
   std::vector<Status> errors(chunks);

@@ -88,7 +88,7 @@ std::optional<Result<NodeList>> ParallelTwigStackMatch(
   }
 
   const size_t m = plan.count();
-  LaneGuards lanes(guard, par.parallelism);
+  LaneGuards lanes(guard, par.parallelism, m);
   std::vector<NodeList> outs(m);
   std::vector<Status> errors(m);
   std::vector<OpStats> sinks(stats != nullptr ? m : 0);
@@ -159,7 +159,7 @@ std::optional<Result<NodeList>> ParallelPathStackMatch(
   }
 
   const size_t m = plan.count();
-  LaneGuards lanes(guard, par.parallelism);
+  LaneGuards lanes(guard, par.parallelism, m);
   std::vector<NodeList> outs(m);
   std::vector<Status> errors(m);
   std::vector<OpStats> sinks(stats != nullptr ? m : 0);
@@ -292,7 +292,7 @@ std::optional<Result<NodeList>> ParallelBinaryJoinPlanMatch(
         }
       }
     }
-    LaneGuards lanes(guard, par.parallelism);
+    LaneGuards lanes(guard, par.parallelism, m);
     std::vector<OpStats> sinks(stats != nullptr ? m : 0);
     par.pool->Run(m, par.parallelism, [&](size_t t, uint32_t lane) {
       OpStats* sink = stats != nullptr ? &sinks[t] : nullptr;

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "xmlq/base/fault_injector.h"
@@ -402,7 +403,11 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
           response.body = "malformed query-opts payload";
           return QueueResponse(conn, frame.request_id, response);
         }
-        parallelism = requested;
+        // Wire-supplied: clamp to the machine so a hostile client cannot
+        // force per-query lane allocations sized by an arbitrary u32
+        // (0 keeps its "all hardware threads" meaning and needs no clamp).
+        parallelism =
+            std::min(requested, std::max(1u, std::thread::hardware_concurrency()));
         query = std::move(text);
       }
       if (draining_) {

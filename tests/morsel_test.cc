@@ -295,7 +295,7 @@ TEST(LaneGuardsTest, SlicesStepBudgetAndAbsorbsIntoParent) {
   limits.max_steps = 100;
   ResourceGuard parent(limits);
   {
-    LaneGuards lanes(&parent, 4);
+    LaneGuards lanes(&parent, 4, /*tasks=*/16);
     // Each lane gets ~1/4 of the remaining budget; staying under that slice
     // must not trip the lane.
     for (uint32_t i = 0; i < 4; ++i) {
@@ -313,7 +313,7 @@ TEST(LaneGuardsTest, LaneTripsOnOversizedSlice) {
   QueryLimits limits;
   limits.max_steps = 80;
   ResourceGuard parent(limits);
-  LaneGuards lanes(&parent, 4);
+  LaneGuards lanes(&parent, 4, /*tasks=*/16);
   // One lane burning far past its ~20-step slice must trip locally without
   // waiting for the fold.
   EXPECT_TRUE(lanes.lane(0)->Tick(81));
@@ -321,9 +321,30 @@ TEST(LaneGuardsTest, LaneTripsOnOversizedSlice) {
 }
 
 TEST(LaneGuardsTest, NullParentYieldsNullLanes) {
-  LaneGuards lanes(nullptr, 4);
+  LaneGuards lanes(nullptr, 4, /*tasks=*/16);
   EXPECT_EQ(lanes.lane(0), nullptr);
   EXPECT_EQ(lanes.lane(3), nullptr);
+}
+
+TEST(LaneGuardsTest, AllocationCappedByTaskCount) {
+  QueryLimits limits;
+  limits.max_steps = 100;
+  ResourceGuard parent(limits);
+  // A huge requested lane count must not translate into a huge allocation:
+  // MorselPool::Run only hands out lane ids < min(lanes, tasks), so only
+  // that many guards exist. Slices still divide by the requested count.
+  LaneGuards lanes(&parent, 0xFFFFFFFFu, /*tasks=*/3);
+  EXPECT_EQ(lanes.lane_count(), 3u);
+  EXPECT_NE(lanes.lane(2), nullptr);
+}
+
+TEST(LaneGuardsTest, ZeroTasksStillYieldsOneLane) {
+  QueryLimits limits;
+  limits.max_steps = 100;
+  ResourceGuard parent(limits);
+  LaneGuards lanes(&parent, 4, /*tasks=*/0);
+  EXPECT_EQ(lanes.lane_count(), 1u);
+  EXPECT_NE(lanes.lane(0), nullptr);
 }
 
 TEST(Crc32CombineTest, MatchesWholeBufferCrc) {

@@ -320,6 +320,26 @@ TEST(NetServerTest, QueryPingStatsOverTheWire) {
   EXPECT_EQ(server_stats.protocol_errors, 0u);
 }
 
+TEST(NetServerTest, HostileWireParallelismIsClampedNotHonored) {
+  ServerFixture fx;
+  auto client = fx.Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const std::string query = "doc(\"bib.xml\")//book[author]/title";
+  auto serial = client->Query(query);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(serial->code, StatusCode::kOk);
+
+  // A kQueryOpts frame demanding 2^32-1 lanes must not be taken at face
+  // value (served queries always run with an armed guard, so the lane-fork
+  // allocation would otherwise scale with the wire-supplied u32). The server
+  // clamps to the machine and the query still answers, byte-identically.
+  auto hostile = client->Query(query, 0xFFFFFFFFu);
+  ASSERT_TRUE(hostile.ok()) << hostile.status().ToString();
+  EXPECT_EQ(hostile->code, StatusCode::kOk);
+  EXPECT_EQ(hostile->body, serial->body);
+}
+
 TEST(NetServerTest, SharedConnectionPipelinesResponsesByRequestId) {
   ServerFixture fx;
   auto client = fx.Connect();
