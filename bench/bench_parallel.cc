@@ -6,12 +6,15 @@
 // 1 takes the untouched serial path, so R8/p1 must track the engine's
 // pre-parallelism numbers. Note CI hosts are often 1-core: speedup there is
 // ~1.0x by construction, so EXPERIMENTS.md records curves from a ≥4-core
-// machine.
+// machine — every row carries a `hw_threads` counter so a JSON result file
+// is self-describing about whether its speedups are trustworthy
+// (hw_threads >= 4) or bounded by the host (hw_threads < requested lanes).
 
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "bench_util.h"
 #include "xmlq/api/database.h"
@@ -56,6 +59,8 @@ void RunParallel(benchmark::State& state, const char* path,
     benchmark::DoNotOptimize(results);
   }
   state.counters["results"] = static_cast<double>(results);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
 }
 
 // The headline twig workload: two existence predicates + output leaf.
@@ -137,6 +142,8 @@ void BM_DeepScrub(benchmark::State& state) {
     benchmark::DoNotOptimize(bytes);
   }
   state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_DeepScrub)

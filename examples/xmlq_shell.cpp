@@ -22,6 +22,7 @@
 #include "xmlq/api/database.h"
 #include "xmlq/datagen/auction_gen.h"
 #include "xmlq/datagen/bib_gen.h"
+#include "xmlq/repl/replication.h"
 
 namespace {
 
@@ -76,6 +77,14 @@ void PrintHelp() {
       "  .cancel <id>            cooperatively cancel a running query\n"
       "  .stats admission        admission counters + circuit-breaker state\n"
       "  .stats cache            plan-cache counters (hits/misses/replans)\n"
+      "  .follow <host> <port> <dir>\n"
+      "                          become a read-only follower: replicate the\n"
+      "                          primary at host:port into store dir and\n"
+      "                          serve from it (stale reads keep working\n"
+      "                          when the primary dies)\n"
+      "  .follow off             stop replicating (keeps serving, stays\n"
+      "                          read-only)\n"
+      "  .stats repl             replication stream health and counters\n"
       "  .help / .quit\n"
       "anything else is evaluated as XQuery (or XPath for '/...').\n");
 }
@@ -86,6 +95,7 @@ int main() {
   xmlq::api::Database db;
   std::vector<std::string> doc_names;
   std::vector<std::unique_ptr<BackgroundJob>> jobs;
+  std::unique_ptr<xmlq::repl::ReplicationClient> repl;
   xmlq::api::QueryOptions options;
   std::printf("xmlq shell — .help for commands\n");
 
@@ -461,6 +471,46 @@ int main() {
                   static_cast<unsigned long long>(id));
       continue;
     }
+    if (word == ".follow") {
+      std::string host;
+      in >> host;
+      if (host == "off") {
+        if (repl == nullptr) {
+          std::printf("not following\n");
+          continue;
+        }
+        repl->Stop();
+        repl.reset();
+        std::printf("stopped following (still read-only, still serving)\n");
+        continue;
+      }
+      int port = 0;
+      std::string dir;
+      in >> port >> dir;
+      if (host.empty() || port <= 0 || port > 65535 || dir.empty()) {
+        std::printf("usage: .follow <host> <port> <dir> | .follow off\n");
+        continue;
+      }
+      if (repl != nullptr) {
+        std::printf("already following; .follow off first\n");
+        continue;
+      }
+      xmlq::repl::ReplicationConfig repl_config;
+      repl_config.host = host;
+      repl_config.port = static_cast<uint16_t>(port);
+      repl_config.store_dir = dir;
+      repl = std::make_unique<xmlq::repl::ReplicationClient>(&db,
+                                                             repl_config);
+      const xmlq::Status status = repl->Start();
+      if (!status.ok()) {
+        std::printf("%s\n", status.ToString().c_str());
+        repl.reset();
+        continue;
+      }
+      std::printf("following %s:%d into %s (read-only)\n", host.c_str(),
+                  port, dir.c_str());
+      continue;
+    }
     if (word == ".stats") {
       std::string what;
       in >> what;
@@ -468,8 +518,16 @@ int main() {
         std::printf("%s\n", db.plan_cache_stats().ToString().c_str());
         continue;
       }
+      if (what == "repl") {
+        if (repl == nullptr) {
+          std::printf("not following (.follow <host> <port> <dir>)\n");
+        } else {
+          std::printf("%s", repl->stats().ToString().c_str());
+        }
+        continue;
+      }
       if (what != "admission") {
-        std::printf("usage: .stats admission|cache\n");
+        std::printf("usage: .stats admission|cache|repl\n");
         continue;
       }
       const xmlq::exec::AdmissionStats s = db.admission_stats();

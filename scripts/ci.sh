@@ -35,6 +35,14 @@
 #                       ThreadSanitizer and AddressSanitizer: work-stealing
 #                       lanes over shared read-only snapshots are the
 #                       newest race/lifetime surface
+#   9. replication    — the `repl`-labeled follower-serving suite (ship +
+#                       apply chaos matrix, crash kill-points, staleness
+#                       gate, census reconciliation) under ThreadSanitizer
+#                       and AddressSanitizer — the replication thread, the
+#                       epoll pump and the apply path share the catalog —
+#                       then scripts/failover_smoke.sh: a real primary
+#                       SIGKILLed mid-stream while its follower keeps
+#                       serving byte-identical answers and reconverges
 #
 # Everything — build trees and test temp files (snapshot_test writes its
 # *.xqpack scratch files into the ctest working directory) — stays under
@@ -120,4 +128,21 @@ echo "== tsan parallel suite =="
 echo "== asan parallel suite =="
 "${ROOT}/tests/run_sanitized.sh" address -j "${JOBS}" -L par
 
-echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery + net + cache + parallel green"
+# The replication suite under both TSan and ASan: the follower's stream
+# thread applies snapshots into a catalog other threads query, the server's
+# loop thread pumps shipments while workers answer queries, and the crash
+# matrix forks children that die mid-apply — both race and lifetime
+# surface. Serial (-j 1): binds real sockets and forks, timing-sensitive
+# under sanitizer slowdown.
+echo "== tsan repl suite =="
+"${ROOT}/tests/run_sanitized.sh" thread -j 1 -L repl
+echo "== asan repl suite =="
+"${ROOT}/tests/run_sanitized.sh" address -j 1 -L repl
+
+# Live failover smoke of the shipped binaries: primary + follower over real
+# sockets, kill -9 mid-stream, byte-identical serving through the outage,
+# autonomous reconvergence when the primary returns.
+echo "== failover smoke (primary kill -9 + follower reconvergence) =="
+"${ROOT}/scripts/failover_smoke.sh" "${BUILD_DIR}"
+
+echo "ci: tier-1 + differential + sanitizers + tsan stress + asan recovery + net + cache + parallel + repl green"

@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# Live failover smoke test for replication & follower serving (DESIGN.md
+# §13): boots a persisting primary and a following replica as real
+# processes, proves the follower answers byte-identically, SIGKILLs the
+# primary mid-stream and requires the follower to keep answering the same
+# bytes while its staleness telemetry grows, then restarts the primary on
+# the same port with *new* data and requires the follower to reconverge on
+# its own — no operator intervention, no restart of the follower.
+#
+#   scripts/failover_smoke.sh [build-dir]
+#
+# Unlike tests/repl_test.cc (in-process server + client), this exercises
+# the shipped binaries end to end: --follow/--persist flag parsing, the
+# replication thread riding a real socket, kill -9 instead of a graceful
+# shutdown, and the follower's stats surfaced through its own serving port.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+
+SERVE="${BUILD_DIR}/tools/xmlq_serve"
+LOADGEN="${BUILD_DIR}/tools/xmlq_loadgen"
+for bin in "${SERVE}" "${LOADGEN}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "failover_smoke: missing ${bin} (build with -DXMLQ_BUILD_TOOLS=ON)" >&2
+    exit 1
+  fi
+done
+
+WORK_DIR="$(mktemp -d "${BUILD_DIR}/failover_smoke.XXXXXX")"
+PRIMARY_STORE="${WORK_DIR}/primary_store"
+FOLLOWER_STORE="${WORK_DIR}/follower_store"
+PRIMARY_LOG="${WORK_DIR}/primary.log"
+FOLLOWER_LOG="${WORK_DIR}/follower.log"
+PRIMARY_PID=""
+FOLLOWER_PID=""
+QUERY='//book/title'
+
+cleanup() {
+  for pid in "${PRIMARY_PID}" "${FOLLOWER_PID}"; do
+    if [[ -n "${pid}" ]] && kill -0 "${pid}" 2>/dev/null; then
+      kill -KILL "${pid}" 2>/dev/null || true
+    fi
+  done
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "failover_smoke: $1" >&2
+  echo "--- primary log ---" >&2; cat "${PRIMARY_LOG}" >&2 || true
+  echo "--- follower log ---" >&2; cat "${FOLLOWER_LOG}" >&2 || true
+  exit 1
+}
+
+# wait_port <port-file> <pid> <who>: the port-file handshake.
+wait_port() {
+  local port_file="$1" pid="$2" who="$3"
+  for _ in $(seq 1 100); do
+    [[ -s "${port_file}" ]] && return 0
+    kill -0 "${pid}" 2>/dev/null || fail "${who} died before binding"
+    sleep 0.1
+  done
+  fail "${who} never wrote its port file"
+}
+
+# follower_stat <key>: one repl_* counter out of the follower's kStats body.
+follower_stat() {
+  "${LOADGEN}" --port "${FOLLOWER_PORT}" --stats 2>/dev/null |
+    sed -n "s/^$1=//p"
+}
+
+# --- phase 1: primary up, persisting a 200-book bibliography ---------------
+"${SERVE}" --port 0 --port-file "${WORK_DIR}/pport" \
+  --store "${PRIMARY_STORE}" --gen-bib 200 --persist \
+  >"${PRIMARY_LOG}" 2>&1 &
+PRIMARY_PID=$!
+wait_port "${WORK_DIR}/pport" "${PRIMARY_PID}" "primary"
+PRIMARY_PORT="$(cat "${WORK_DIR}/pport")"
+grep -q "persisted bib.xml" "${PRIMARY_LOG}" || sleep 0.3
+echo "failover_smoke: primary pid=${PRIMARY_PID} port=${PRIMARY_PORT}"
+
+"${LOADGEN}" --port "${PRIMARY_PORT}" --once "${QUERY}" \
+  >"${WORK_DIR}/primary_v1.out" || fail "primary refused the probe query"
+[[ -s "${WORK_DIR}/primary_v1.out" ]] || fail "primary answered empty"
+
+# --- phase 2: follower catches up and answers byte-identically -------------
+"${SERVE}" --port 0 --port-file "${WORK_DIR}/fport" \
+  --store "${FOLLOWER_STORE}" --follow "127.0.0.1:${PRIMARY_PORT}" \
+  >"${FOLLOWER_LOG}" 2>&1 &
+FOLLOWER_PID=$!
+wait_port "${WORK_DIR}/fport" "${FOLLOWER_PID}" "follower"
+FOLLOWER_PORT="$(cat "${WORK_DIR}/fport")"
+echo "failover_smoke: follower pid=${FOLLOWER_PID} port=${FOLLOWER_PORT}"
+
+for _ in $(seq 1 100); do
+  if "${LOADGEN}" --port "${FOLLOWER_PORT}" --once "${QUERY}" \
+      >"${WORK_DIR}/follower_v1.out" 2>/dev/null &&
+     cmp -s "${WORK_DIR}/primary_v1.out" "${WORK_DIR}/follower_v1.out"; then
+    break
+  fi
+  sleep 0.1
+done
+cmp -s "${WORK_DIR}/primary_v1.out" "${WORK_DIR}/follower_v1.out" ||
+  fail "follower never converged on the primary's answer"
+echo "failover_smoke: follower converged ($(wc -c <"${WORK_DIR}/follower_v1.out") bytes, byte-identical)"
+
+# Read traffic against the follower while the stream is live.
+"${LOADGEN}" --port "${FOLLOWER_PORT}" --clients 2 --duration-s 2 ||
+  fail "loadgen against the live follower failed"
+
+# --- phase 3: kill -9 the primary mid-stream -------------------------------
+kill -KILL "${PRIMARY_PID}"
+wait "${PRIMARY_PID}" 2>/dev/null || true
+echo "failover_smoke: primary killed (SIGKILL)"
+
+for _ in $(seq 1 100); do
+  [[ "$(follower_stat repl_connected)" == "0" ]] && break
+  sleep 0.1
+done
+[[ "$(follower_stat repl_connected)" == "0" ]] ||
+  fail "follower stats never noticed the dead primary"
+
+# Degrade, never drop: identical bytes, and staleness grows while down.
+"${LOADGEN}" --port "${FOLLOWER_PORT}" --once "${QUERY}" \
+  >"${WORK_DIR}/follower_orphan.out" ||
+  fail "follower stopped answering after primary death"
+cmp -s "${WORK_DIR}/primary_v1.out" "${WORK_DIR}/follower_orphan.out" ||
+  fail "follower's answer changed after primary death"
+AGE_1="$(follower_stat repl_heartbeat_age_micros)"
+sleep 0.5
+AGE_2="$(follower_stat repl_heartbeat_age_micros)"
+[[ -n "${AGE_1}" && -n "${AGE_2}" && "${AGE_2}" -gt "${AGE_1}" ]] ||
+  fail "heartbeat age not growing while primary is down (${AGE_1} -> ${AGE_2})"
+echo "failover_smoke: follower kept serving, staleness growing (${AGE_1} -> ${AGE_2} micros)"
+
+# Loadgen keeps getting real answers from the orphaned follower.
+"${LOADGEN}" --port "${FOLLOWER_PORT}" --clients 2 --duration-s 2 ||
+  fail "loadgen against the orphaned follower failed"
+
+# --- phase 4: primary returns with new data; follower reconverges ----------
+"${SERVE}" --port "${PRIMARY_PORT}" \
+  --store "${PRIMARY_STORE}" --gen-bib 300 --persist \
+  >"${PRIMARY_LOG}" 2>&1 &
+PRIMARY_PID=$!
+for _ in $(seq 1 100); do
+  if "${LOADGEN}" --port "${PRIMARY_PORT}" --once "${QUERY}" \
+      >"${WORK_DIR}/primary_v2.out" 2>/dev/null &&
+     [[ -s "${WORK_DIR}/primary_v2.out" ]]; then
+    break
+  fi
+  kill -0 "${PRIMARY_PID}" 2>/dev/null || fail "restarted primary died"
+  sleep 0.1
+done
+cmp -s "${WORK_DIR}/primary_v1.out" "${WORK_DIR}/primary_v2.out" &&
+  fail "restarted primary is serving the old catalog (expected 300 books)"
+echo "failover_smoke: primary restarted pid=${PRIMARY_PID} port=${PRIMARY_PORT} with new data"
+
+for _ in $(seq 1 150); do
+  if "${LOADGEN}" --port "${FOLLOWER_PORT}" --once "${QUERY}" \
+      >"${WORK_DIR}/follower_v2.out" 2>/dev/null &&
+     cmp -s "${WORK_DIR}/primary_v2.out" "${WORK_DIR}/follower_v2.out"; then
+    break
+  fi
+  sleep 0.1
+done
+cmp -s "${WORK_DIR}/primary_v2.out" "${WORK_DIR}/follower_v2.out" ||
+  fail "follower never reconverged after the primary returned"
+[[ "$(follower_stat repl_connected)" == "1" ]] ||
+  fail "follower reconverged but stats say disconnected"
+RECONNECTS="$(follower_stat repl_reconnects)"
+[[ -n "${RECONNECTS}" && "${RECONNECTS}" -ge 1 ]] ||
+  fail "follower stats show no reconnect (repl_reconnects=${RECONNECTS})"
+echo "failover_smoke: follower reconverged byte-identically after ${RECONNECTS} reconnect(s)"
+
+kill -TERM "${FOLLOWER_PID}" 2>/dev/null || true
+wait "${FOLLOWER_PID}" 2>/dev/null || true
+kill -TERM "${PRIMARY_PID}" 2>/dev/null || true
+wait "${PRIMARY_PID}" 2>/dev/null || true
+echo "failover_smoke: OK"

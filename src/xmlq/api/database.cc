@@ -13,6 +13,7 @@
 
 #include "xmlq/base/crash_point.h"
 #include "xmlq/base/crc32.h"
+#include "xmlq/base/fault_injector.h"
 #include "xmlq/base/file_io.h"
 #include "xmlq/base/strings.h"
 #include "xmlq/xml/parser.h"
@@ -429,6 +430,10 @@ Result<RecoveryReport> Database::Attach(const std::string& dir,
 }
 
 Status Database::Persist(std::string_view name) {
+  if (follower()) {
+    return Status::InvalidArgument(
+        "follower is read-only: the replication stream owns this store");
+  }
   const std::shared_ptr<const CatalogState> catalog = Pin();
   const std::string doc_name = name.empty() ? catalog->default_document
                                             : std::string(name);
@@ -484,6 +489,10 @@ Status Database::Persist(std::string_view name) {
 }
 
 Status Database::Remove(std::string_view name) {
+  if (follower()) {
+    return Status::InvalidArgument(
+        "follower is read-only: the replication stream owns this store");
+  }
   if (name.empty()) return Status::InvalidArgument("document name required");
   const std::string doc_name(name);
   bool in_store = false;
@@ -808,6 +817,159 @@ std::string Database::store_dir() const {
   return manifest_ == nullptr ? std::string() : manifest_->dir();
 }
 
+// -- Replication ------------------------------------------------------------
+
+Result<Database::ReplDelta> Database::ReplDeltaFrom(uint64_t cursor) const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (manifest_ == nullptr) {
+    return Status::InvalidArgument(
+        "no store attached (Attach a directory first)");
+  }
+  ReplDelta delta;
+  delta.max_generation = manifest_->max_generation();
+  delta.pending = manifest_->LiveRecordsAbove(cursor);
+  for (const auto& [name, record] : manifest_->entries()) {
+    delta.live.emplace_back(name, record.generation);
+  }
+  return delta;
+}
+
+Status Database::ApplyReplicated(const storage::ManifestRecord& record,
+                                 std::string_view bytes) {
+  if (record.op != storage::ManifestOp::kRegister) {
+    return Status::InvalidArgument("replicated record is not a registration");
+  }
+  if (record.name.empty()) {
+    return Status::InvalidArgument("replicated record carries no name");
+  }
+  // The shipped file name lands in this store directory verbatim; refuse
+  // anything that could escape it or collide with non-snapshot files.
+  if (record.file.size() <= 7 ||
+      record.file.compare(record.file.size() - 7, 7, ".xqpack") != 0 ||
+      record.file.find('/') != std::string::npos ||
+      record.file.find("..") != std::string::npos) {
+    return Status::InvalidArgument("replicated record file name \"" +
+                                   record.file +
+                                   "\" is not a store snapshot name");
+  }
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (manifest_ == nullptr) {
+    return Status::InvalidArgument(
+        "no store attached (Attach a directory first)");
+  }
+  // Idempotence, per name (not the global clock): re-shipping a generation
+  // this store already has — a crash mid-apply, a reconnect replaying the
+  // cursor — is a no-op, while a resync from cursor 0 can still walk the
+  // full history to heal divergence.
+  if (const auto it = manifest_->entries().find(record.name);
+      it != manifest_->entries().end() &&
+      it->second.generation >= record.generation) {
+    return Status::Ok();
+  }
+  if (bytes.size() != record.snapshot_size) {
+    return Status::ParseError(
+        "replicated snapshot for \"" + record.name + "\" g" +
+        std::to_string(record.generation) + ": size " +
+        std::to_string(bytes.size()) + " != announced " +
+        std::to_string(record.snapshot_size));
+  }
+  const uint32_t crc = Crc32(bytes.data(), bytes.size());
+  if (crc != record.snapshot_crc) {
+    return Status::ParseError(
+        "replicated snapshot for \"" + record.name + "\" g" +
+        std::to_string(record.generation) +
+        ": whole-file checksum mismatch (announced " +
+        std::to_string(record.snapshot_crc) + ", computed " +
+        std::to_string(crc) + ")");
+  }
+  if (XMLQ_FAULT("repl.apply.commit")) {
+    return Status::Internal("injected replication apply failure for \"" +
+                            record.name + "\" g" +
+                            std::to_string(record.generation));
+  }
+  XMLQ_CRASH_POINT("repl.apply.begin");
+  const std::string path = manifest_->dir() + "/" + record.file;
+  XMLQ_RETURN_IF_ERROR(WriteFileAtomic(path, bytes));
+  XMLQ_CRASH_POINT("repl.apply.snapshot_written");
+  // Validate the snapshot opens *before* committing: the manifest append
+  // below is the commit point, and a committed-but-unopenable snapshot
+  // would only quarantine at the next recovery instead of serving now. A
+  // failure here leaves an unreferenced file the next Attach collects.
+  XMLQ_ASSIGN_OR_RETURN(storage::OpenedSnapshot snapshot,
+                        storage::OpenSnapshot(path, store_mode_));
+  std::string old_file;
+  if (const auto it = manifest_->entries().find(record.name);
+      it != manifest_->entries().end()) {
+    old_file = it->second.file;
+  }
+  // The record is journaled with the *primary's* generation, so this
+  // store's manifest clock (max_generation) is exactly the replication
+  // cursor to resume from after a restart.
+  XMLQ_RETURN_IF_ERROR(manifest_->Append(record));
+  XMLQ_CRASH_POINT("repl.apply.committed");
+  if (!old_file.empty() && old_file != record.file) {
+    std::error_code ec;
+    std::filesystem::remove(manifest_->dir() + "/" + old_file, ec);
+    (void)SyncParentDir(path);
+  }
+  if (manifest_->ShouldCompact()) (void)manifest_->Compact();
+  return Install(record.name, EntryFromSnapshot(std::move(snapshot)));
+}
+
+Status Database::ApplyReplicatedRemove(std::string_view name,
+                                       uint64_t primary_generation) {
+  const std::string doc_name(name);
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    if (manifest_ == nullptr) {
+      return Status::InvalidArgument(
+          "no store attached (Attach a directory first)");
+    }
+    const auto it = manifest_->entries().find(doc_name);
+    if (it == manifest_->entries().end()) return Status::Ok();
+    const std::string file = it->second.file;
+    storage::ManifestRecord record;
+    record.op = storage::ManifestOp::kRemove;
+    record.generation = primary_generation;
+    record.name = doc_name;
+    XMLQ_RETURN_IF_ERROR(manifest_->Append(record));
+    std::error_code ec;
+    std::filesystem::remove(manifest_->dir() + "/" + file, ec);
+    (void)SyncParentDir(manifest_->dir() + "/" + file);
+  }
+  uint64_t catalog_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (catalog_->entries.count(doc_name) != 0 ||
+        catalog_->degraded.count(doc_name) != 0) {
+      auto next = std::make_shared<CatalogState>(*catalog_);
+      next->generation = catalog_->generation + 1;
+      next->entries.erase(doc_name);
+      next->degraded.erase(doc_name);
+      if (next->default_document == doc_name) {
+        next->default_document =
+            next->entries.empty() ? "" : next->entries.begin()->first;
+      }
+      catalog_generation = next->generation;
+      catalog_ = std::move(next);
+    }
+  }
+  if (catalog_generation != 0) {
+    PinPlanCache()->InvalidateGeneration(catalog_generation);
+  }
+  return Status::Ok();
+}
+
+void Database::SetReadGate(std::shared_ptr<exec::StalenessGate> gate) const {
+  std::lock_guard<std::mutex> lock(read_gate_mu_);
+  read_gate_ = std::move(gate);
+}
+
+std::shared_ptr<exec::StalenessGate> Database::PinReadGate() const {
+  std::lock_guard<std::mutex> lock(read_gate_mu_);
+  return read_gate_;
+}
+
 bool Database::Contains(std::string_view name) const {
   const std::shared_ptr<const CatalogState> catalog = Pin();
   return catalog->entries.find(name) != catalog->entries.end();
@@ -1061,6 +1223,14 @@ Result<exec::QueryResult> Database::Run(
   ActiveRegistration registration(&active_mu_, &active_, query_id, token);
   if (options.query_id_out != nullptr) {
     options.query_id_out->store(query_id, std::memory_order_release);
+  }
+
+  // Follower-read admission: a replica too stale for the configured bound
+  // sheds the read with the standard retry-after hint *before* consuming a
+  // scheduler slot. No gate (the default) admits everything.
+  if (const std::shared_ptr<exec::StalenessGate> gate = PinReadGate();
+      gate != nullptr) {
+    XMLQ_RETURN_IF_ERROR(gate->Admit());
   }
 
   XMLQ_ASSIGN_OR_RETURN(exec::QueryScheduler::Ticket ticket,

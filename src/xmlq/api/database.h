@@ -270,6 +270,53 @@ class Database {
   /// Directory of the attached store ("" when none).
   std::string store_dir() const;
 
+  // -- Replication (DESIGN.md §13) -----------------------------------------
+
+  /// What a replication subscriber at `cursor` still needs: the primary's
+  /// manifest clock, every live registration above the cursor (ascending by
+  /// generation, ready to ship), and the full live census (name, generation)
+  /// the heartbeat carries so removals propagate even after compaction
+  /// erased their journal records.
+  struct ReplDelta {
+    uint64_t max_generation = 0;
+    std::vector<storage::ManifestRecord> pending;
+    std::vector<std::pair<std::string, uint64_t>> live;
+  };
+  Result<ReplDelta> ReplDeltaFrom(uint64_t cursor) const;
+
+  /// Applies one replicated registration shipped by the primary: verifies
+  /// `bytes` against the record's whole-file size and CRC, writes the
+  /// snapshot atomically, validates it opens, commits with one fsync'd
+  /// manifest append (the commit point — the same discipline as Persist),
+  /// unlinks the superseded generation and installs the document into the
+  /// serving catalog. Idempotent per name: a record whose generation the
+  /// local store already has (or passed) is skipped, so re-shipping after a
+  /// crash mid-apply is safe. Records keep the *primary's* generations, so
+  /// the local manifest clock tracks the replication cursor. Kill points:
+  /// "repl.apply.begin", "repl.apply.snapshot_written",
+  /// "repl.apply.committed"; fault site: "repl.apply.commit".
+  Status ApplyReplicated(const storage::ManifestRecord& record,
+                         std::string_view bytes);
+
+  /// Applies a removal learned from the heartbeat census: journals a
+  /// kRemove under `primary_generation` (the primary's clock — a follower
+  /// never mints generations), unlinks the snapshot and drops the document
+  /// from the catalog. No-op when the store has no such document. Only call
+  /// when caught up to `primary_generation`, so the clock cannot skip
+  /// unseen registrations.
+  Status ApplyReplicatedRemove(std::string_view name,
+                               uint64_t primary_generation);
+
+  /// Follower mode: Persist and Remove refuse (the replication stream is
+  /// the only writer of a follower's store), queries serve normally.
+  void SetFollower(bool follower) { follower_.store(follower); }
+  bool follower() const { return follower_.load(); }
+
+  /// Installs (or clears, with nullptr) the staleness gate every query
+  /// checks before admission — the follower-read shedding policy. The gate
+  /// object is shared with the replication client that publishes into it.
+  void SetReadGate(std::shared_ptr<exec::StalenessGate> gate) const;
+
   /// Evaluates an XQuery expression. Thread-safe; may block in admission
   /// when SetAdmission() configured bounded concurrency.
   Result<exec::QueryResult> Query(std::string_view query,
@@ -400,6 +447,7 @@ class Database {
 
   std::shared_ptr<const CatalogState> Pin() const;
   std::shared_ptr<cache::PlanCache> PinPlanCache() const;
+  std::shared_ptr<exec::StalenessGate> PinReadGate() const;
   Status Install(std::string name, std::shared_ptr<const Entry> entry);
 
   /// Moves an opened snapshot's components into a catalog entry (shared by
@@ -492,6 +540,13 @@ class Database {
   mutable std::mutex store_mu_;
   std::unique_ptr<storage::Manifest> manifest_;
   storage::SnapshotOpenMode store_mode_ = storage::SnapshotOpenMode::kMap;
+
+  // Replication: follower flag + the staleness gate queries consult before
+  // admission (swapped whole like the plan cache, so reconfiguration never
+  // races an in-flight check).
+  mutable std::atomic<bool> follower_{false};
+  mutable std::mutex read_gate_mu_;
+  mutable std::shared_ptr<exec::StalenessGate> read_gate_;
 
   // Background scrubber.
   mutable std::mutex scrub_mu_;

@@ -39,6 +39,46 @@ uint64_t RetryAfterMicrosFromStatus(const Status& status) {
   return value;
 }
 
+uint64_t StalenessGate::HeartbeatAgeMicros() const {
+  const uint64_t last = last_heartbeat_micros_.load(std::memory_order_relaxed);
+  if (last == 0) return UINT64_MAX;
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now > last ? now - last : 0;
+}
+
+Status StalenessGate::Admit() const {
+  const uint64_t max_lag = max_generation_lag_.load(std::memory_order_relaxed);
+  const uint64_t max_age =
+      max_heartbeat_age_micros_.load(std::memory_order_relaxed);
+  if (max_lag != 0) {
+    const uint64_t lag = generation_lag_.load(std::memory_order_relaxed);
+    if (lag > max_lag) {
+      return Status::ResourceExhausted(
+          "follower too stale (generation lag " + std::to_string(lag) +
+          " > " + std::to_string(max_lag) + "); retry-after-micros=" +
+          std::to_string(1000));
+    }
+  }
+  if (max_age != 0) {
+    const uint64_t age = HeartbeatAgeMicros();
+    if (age > max_age) {
+      // The retry hint is the staleness bound itself: by then the follower
+      // has either heard from the primary again or the caller should fail
+      // over to another replica.
+      return Status::ResourceExhausted(
+          "follower too stale (heartbeat age " +
+          (age == UINT64_MAX ? std::string("unknown")
+                             : std::to_string(age) + " micros") +
+          " > " + std::to_string(max_age) + " micros); retry-after-micros=" +
+          std::to_string(max_age));
+    }
+  }
+  return Status::Ok();
+}
+
 QueryScheduler::QueryScheduler(AdmissionConfig config) : config_(config) {}
 
 void QueryScheduler::Ticket::Release() {

@@ -1,6 +1,7 @@
 #ifndef XMLQ_EXEC_ADMISSION_H_
 #define XMLQ_EXEC_ADMISSION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -134,6 +135,60 @@ class QueryScheduler {
   AdmissionConfig config_;
   uint64_t admitted_seq_ = 0;
   AdmissionStats stats_;
+};
+
+/// Follower-read admission (DESIGN.md §13): a read-only replica decides per
+/// query whether its catalog is fresh enough to serve. The replication
+/// client publishes the follower's generation lag and the age of the last
+/// primary heartbeat; queries check Admit() before taking a scheduler slot
+/// and are shed with the standard kResourceExhausted + retry-after hint
+/// when the configured staleness bound is exceeded.
+///
+/// A disconnected primary does NOT trip the default (unbounded) policy:
+/// degrade-never-drop means a follower keeps serving its last consistent
+/// catalog at any lag unless the operator opted into a bound.
+class StalenessGate {
+ public:
+  struct Policy {
+    /// Maximum generations the follower may trail the primary; 0 = no bound.
+    uint64_t max_generation_lag = 0;
+    /// Maximum age of the last heartbeat before reads shed; 0 = no bound.
+    uint64_t max_heartbeat_age_micros = 0;
+  };
+
+  void Configure(const Policy& policy) {
+    max_generation_lag_.store(policy.max_generation_lag,
+                              std::memory_order_relaxed);
+    max_heartbeat_age_micros_.store(policy.max_heartbeat_age_micros,
+                                    std::memory_order_relaxed);
+  }
+
+  /// Publishes the follower's current staleness; called by the replication
+  /// client on every applied record and heartbeat. `heartbeat_micros` is a
+  /// steady-clock timestamp (micros since epoch of that clock); 0 = no
+  /// heartbeat received yet this connection epoch.
+  void Publish(uint64_t generation_lag, uint64_t heartbeat_micros) {
+    generation_lag_.store(generation_lag, std::memory_order_relaxed);
+    last_heartbeat_micros_.store(heartbeat_micros, std::memory_order_relaxed);
+  }
+
+  uint64_t generation_lag() const {
+    return generation_lag_.load(std::memory_order_relaxed);
+  }
+
+  /// Age of the last heartbeat, in micros; UINT64_MAX when none arrived yet.
+  uint64_t HeartbeatAgeMicros() const;
+
+  /// Ok when the follower is fresh enough to serve a read under the current
+  /// policy; kResourceExhausted with a "retry-after-micros=<n>" hint (the
+  /// admission-status contract) otherwise.
+  Status Admit() const;
+
+ private:
+  std::atomic<uint64_t> max_generation_lag_{0};
+  std::atomic<uint64_t> max_heartbeat_age_micros_{0};
+  std::atomic<uint64_t> generation_lag_{0};
+  std::atomic<uint64_t> last_heartbeat_micros_{0};
 };
 
 /// Per-strategy circuit breaker for engine-fallback graceful degradation.

@@ -59,7 +59,7 @@ Status Client::SendFrame(FrameType type, uint64_t request_id,
   return Status::Ok();
 }
 
-Result<std::pair<uint64_t, ResponsePayload>> Client::ReadResponse() {
+Result<Frame> Client::ReadFrame() {
   while (true) {
     Frame frame;
     size_t consumed = 0;
@@ -71,16 +71,7 @@ Result<std::pair<uint64_t, ResponsePayload>> Client::ReadResponse() {
     }
     if (status == DecodeStatus::kFrame) {
       inbuf_.erase(0, consumed);
-      if (frame.type != FrameType::kResponse) {
-        return Status::ParseError(
-            "unexpected frame type from server: " +
-            std::string(FrameTypeName(frame.type)));
-      }
-      ResponsePayload response;
-      if (!DecodeResponse(frame.payload, &response)) {
-        return Status::ParseError("malformed response payload");
-      }
-      return std::make_pair(frame.request_id, std::move(response));
+      return frame;
     }
     char buf[64 * 1024];
     const ssize_t n = recv(fd_.get(), buf, sizeof(buf), 0);
@@ -97,6 +88,72 @@ Result<std::pair<uint64_t, ResponsePayload>> Client::ReadResponse() {
     }
     return Status::Internal(std::string("recv: ") + std::strerror(errno));
   }
+}
+
+Result<std::pair<uint64_t, ResponsePayload>> Client::ReadResponse() {
+  while (true) {
+    Frame frame;
+    if (!pending_responses_.empty()) {
+      frame = std::move(pending_responses_.front());
+      pending_responses_.pop_front();
+    } else {
+      XMLQ_ASSIGN_OR_RETURN(frame, ReadFrame());
+    }
+    if (frame.type != FrameType::kResponse) {
+      // A replication stream frame interleaved with pipelined responses:
+      // stash it for ReadReplFrame instead of failing the response read
+      // (bounded; see kMaxPendingRepl).
+      if (frame.type == FrameType::kReplRecord ||
+          frame.type == FrameType::kReplChunk ||
+          frame.type == FrameType::kReplHeartbeat) {
+        if (pending_repl_.size() >= kMaxPendingRepl) {
+          pending_repl_.pop_front();
+        }
+        pending_repl_.push_back(std::move(frame));
+        continue;
+      }
+      return Status::ParseError(
+          "unexpected frame type from server: " +
+          std::string(FrameTypeName(frame.type)));
+    }
+    ResponsePayload response;
+    if (!DecodeResponse(frame.payload, &response)) {
+      return Status::ParseError("malformed response payload");
+    }
+    return std::make_pair(frame.request_id, std::move(response));
+  }
+}
+
+Result<Frame> Client::ReadReplFrame() {
+  while (true) {
+    Frame frame;
+    if (!pending_repl_.empty()) {
+      frame = std::move(pending_repl_.front());
+      pending_repl_.pop_front();
+    } else {
+      XMLQ_ASSIGN_OR_RETURN(frame, ReadFrame());
+    }
+    switch (frame.type) {
+      case FrameType::kReplRecord:
+      case FrameType::kReplChunk:
+      case FrameType::kReplHeartbeat:
+        return frame;
+      case FrameType::kResponse:
+        // The mirror of ReadResponse's stash: a pipelined response arriving
+        // mid-stream waits for its ReadResponse call.
+        pending_responses_.push_back(std::move(frame));
+        continue;
+      default:
+        return Status::ParseError(
+            "unexpected frame type from server: " +
+            std::string(FrameTypeName(frame.type)));
+    }
+  }
+}
+
+Result<ResponsePayload> Client::Subscribe(uint64_t from_generation) {
+  return RoundTrip(FrameType::kReplSubscribe,
+                   EncodeReplSubscribe(from_generation));
 }
 
 Result<uint64_t> Client::SendQuery(std::string_view text,

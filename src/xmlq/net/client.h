@@ -2,6 +2,7 @@
 #define XMLQ_NET_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <random>
 #include <string>
 #include <string_view>
@@ -90,8 +91,21 @@ class Client {
   /// Asks the server to cancel in-flight request `target_request_id`. The
   /// cancel gets its own ack response.
   Result<uint64_t> SendCancel(uint64_t target_request_id);
-  /// Blocks for the next response frame: (request_id, payload).
+  /// Blocks for the next response frame: (request_id, payload). Frames of
+  /// other server->client types (the replication stream) arriving
+  /// interleaved are stashed for ReadReplFrame, never mis-delivered here.
   Result<std::pair<uint64_t, ResponsePayload>> ReadResponse();
+
+  // -- Replication surface --------------------------------------------------
+
+  /// Subscribes this connection to the primary's replication stream,
+  /// resuming from `from_generation` (ships every live registration with a
+  /// higher generation, then heartbeats). Returns the server's ack.
+  Result<ResponsePayload> Subscribe(uint64_t from_generation);
+  /// Blocks for the next replication stream frame (kReplRecord, kReplChunk
+  /// or kReplHeartbeat); kResponse frames arriving interleaved are stashed
+  /// for ReadResponse. The symmetric half of the type demux.
+  Result<Frame> ReadReplFrame();
 
   int fd() const { return fd_.get(); }
 
@@ -102,11 +116,21 @@ class Client {
   Status SendFrame(FrameType type, uint64_t request_id,
                    std::string_view payload);
   Result<ResponsePayload> RoundTrip(FrameType type, std::string_view payload);
+  /// Reads one frame off the socket (decoding from inbuf_ first).
+  Result<Frame> ReadFrame();
+
+  /// Stashed repl frames are bounded: a client that only ever calls
+  /// ReadResponse on a subscribed connection must not buffer the stream
+  /// without limit, so the oldest stream frames are dropped (the follower's
+  /// resume-from-cursor makes re-shipping safe).
+  static constexpr size_t kMaxPendingRepl = 1024;
 
   UniqueFd fd_;
   ClientConfig config_;
   uint64_t next_request_id_ = 1;
   std::string inbuf_;
+  std::deque<Frame> pending_responses_;
+  std::deque<Frame> pending_repl_;
 };
 
 }  // namespace xmlq::net

@@ -8,9 +8,11 @@
 #include <memory>
 #include <string>
 
+#include "xmlq/base/file_io.h"
 #include "xmlq/base/limits.h"
 #include "xmlq/base/socket.h"
 #include "xmlq/net/protocol.h"
+#include "xmlq/storage/manifest.h"
 
 namespace xmlq::net {
 
@@ -51,6 +53,29 @@ struct InflightQuery {
   std::atomic<uint64_t> query_id{0};
 };
 
+/// Replication-subscriber state a kReplSubscribe frame attaches to its
+/// connection (DESIGN.md §13). Owned by the event loop like the rest of the
+/// Conn; the pump advances it between epoll waits. `cursor` is the highest
+/// generation fully shipped — the resume point the follower echoes back
+/// after a reconnect, so none of this state needs to survive the socket.
+struct ReplSub {
+  bool active = false;
+  uint64_t cursor = 0;
+  /// In-progress shipment: the announced record, the snapshot mapping the
+  /// chunks are sliced from (the mapping stays valid even if a concurrent
+  /// Persist unlinks the file — generations never share a file name), and
+  /// the next chunk offset.
+  bool shipping = false;
+  storage::ManifestRecord record;
+  FileBytes file;
+  uint64_t offset = 0;
+  /// Heartbeat pacing: send when caught up and the interval elapsed, or
+  /// immediately when the manifest clock moved (removals propagate through
+  /// the heartbeat census, so a remove must not wait out the interval).
+  std::chrono::steady_clock::time_point last_heartbeat{};
+  uint64_t last_heartbeat_generation = UINT64_MAX;
+};
+
 /// State of one accepted connection. Owned and mutated by the event-loop
 /// thread only; workers reach it exclusively through the server's
 /// completion queue (keyed by the connection's id, so a completion for a
@@ -72,6 +97,8 @@ class Conn {
   std::map<uint64_t, std::shared_ptr<InflightQuery>>& inflight() {
     return inflight_;
   }
+
+  ReplSub& repl() { return repl_; }
 
   /// Records read-side progress: fresh bytes arrived (`got_bytes`), and
   /// afterwards the buffer either holds a partial frame or is empty.
@@ -141,6 +168,7 @@ class Conn {
   std::string inbuf_;
   std::string outbuf_;
   std::map<uint64_t, std::shared_ptr<InflightQuery>> inflight_;
+  ReplSub repl_;
 
   Clock::time_point last_activity_;
   Clock::time_point partial_since_{};

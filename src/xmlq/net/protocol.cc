@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <utility>
 
 #include "xmlq/base/crc32.h"
 
@@ -25,10 +26,36 @@ bool KnownFrameType(uint8_t type) {
     case FrameType::kPing:
     case FrameType::kStats:
     case FrameType::kQueryOpts:
+    case FrameType::kReplSubscribe:
     case FrameType::kResponse:
+    case FrameType::kReplRecord:
+    case FrameType::kReplChunk:
+    case FrameType::kReplHeartbeat:
       return true;
   }
   return false;
+}
+
+/// Little-endian scalar append/read helpers for the multi-field repl
+/// payloads (the simpler payloads above memcpy fixed layouts directly).
+template <typename T>
+void PutScalar(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool GetScalar(std::string_view* in, T* out) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(out, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+bool GetBytes(std::string_view* in, size_t len, std::string* out) {
+  if (in->size() < len) return false;
+  out->assign(in->substr(0, len));
+  in->remove_prefix(len);
+  return true;
 }
 
 }  // namespace
@@ -40,7 +67,11 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kPing: return "ping";
     case FrameType::kStats: return "stats";
     case FrameType::kQueryOpts: return "query_opts";
+    case FrameType::kReplSubscribe: return "repl_subscribe";
     case FrameType::kResponse: return "response";
+    case FrameType::kReplRecord: return "repl_record";
+    case FrameType::kReplChunk: return "repl_chunk";
+    case FrameType::kReplHeartbeat: return "repl_heartbeat";
   }
   return "?";
 }
@@ -125,6 +156,104 @@ bool DecodeQueryOpts(std::string_view payload, uint32_t* parallelism,
   std::memcpy(parallelism, payload.data(), sizeof(*parallelism));
   query->assign(payload.substr(sizeof(*parallelism)));
   return true;
+}
+
+std::string EncodeReplSubscribe(uint64_t from_generation) {
+  std::string bytes;
+  PutScalar(&bytes, from_generation);
+  return bytes;
+}
+
+bool DecodeReplSubscribe(std::string_view payload, uint64_t* out) {
+  return GetScalar(&payload, out) && payload.empty();
+}
+
+std::string EncodeReplRecord(const ReplRecordPayload& record) {
+  std::string bytes;
+  PutScalar(&bytes, record.op);
+  PutScalar(&bytes, static_cast<uint32_t>(record.name.size()));
+  PutScalar(&bytes, record.generation);
+  PutScalar(&bytes, record.snapshot_size);
+  PutScalar(&bytes, record.snapshot_crc);
+  bytes += record.name;
+  bytes += record.file;
+  return bytes;
+}
+
+bool DecodeReplRecord(std::string_view payload, ReplRecordPayload* out) {
+  uint32_t name_len = 0;
+  if (!GetScalar(&payload, &out->op) || !GetScalar(&payload, &name_len) ||
+      !GetScalar(&payload, &out->generation) ||
+      !GetScalar(&payload, &out->snapshot_size) ||
+      !GetScalar(&payload, &out->snapshot_crc)) {
+    return false;
+  }
+  if (!GetBytes(&payload, name_len, &out->name)) return false;
+  out->file.assign(payload);
+  return true;
+}
+
+std::string EncodeReplChunk(const ReplChunkPayload& chunk) {
+  std::string bytes;
+  PutScalar(&bytes, chunk.generation);
+  PutScalar(&bytes, chunk.offset);
+  PutScalar(&bytes, chunk.total_size);
+  bytes += chunk.bytes;
+  return bytes;
+}
+
+bool DecodeReplChunk(std::string_view payload, ReplChunkPayload* out) {
+  if (!GetScalar(&payload, &out->generation) ||
+      !GetScalar(&payload, &out->offset) ||
+      !GetScalar(&payload, &out->total_size)) {
+    return false;
+  }
+  // A chunk claiming bytes past total_size is hostile or corrupt.
+  if (out->offset > out->total_size ||
+      payload.size() > out->total_size - out->offset) {
+    return false;
+  }
+  out->bytes.assign(payload);
+  return true;
+}
+
+std::string EncodeReplHeartbeat(const ReplHeartbeatPayload& heartbeat) {
+  std::string bytes;
+  PutScalar(&bytes, heartbeat.max_generation);
+  PutScalar(&bytes, static_cast<uint32_t>(heartbeat.live.size()));
+  for (const ReplLiveEntry& entry : heartbeat.live) {
+    PutScalar(&bytes, static_cast<uint32_t>(entry.name.size()));
+    bytes += entry.name;
+    PutScalar(&bytes, entry.generation);
+  }
+  return bytes;
+}
+
+bool DecodeReplHeartbeat(std::string_view payload,
+                         ReplHeartbeatPayload* out) {
+  uint32_t count = 0;
+  if (!GetScalar(&payload, &out->max_generation) ||
+      !GetScalar(&payload, &count)) {
+    return false;
+  }
+  // Each entry is at least 12 bytes, so the remaining payload bounds the
+  // claimed count before anything is allocated for it.
+  if (count > payload.size() / (sizeof(uint32_t) + sizeof(uint64_t))) {
+    return false;
+  }
+  out->live.clear();
+  out->live.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    ReplLiveEntry entry;
+    if (!GetScalar(&payload, &name_len) ||
+        !GetBytes(&payload, name_len, &entry.name) ||
+        !GetScalar(&payload, &entry.generation)) {
+      return false;
+    }
+    out->live.push_back(std::move(entry));
+  }
+  return payload.empty();
 }
 
 DecodeStatus DecodeFrame(std::string_view buffer, Frame* frame,

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "xmlq/base/status.h"
 
@@ -37,8 +38,16 @@ enum class FrameType : uint8_t {
   kPing = 3,    // payload: empty
   kStats = 4,   // payload: empty
   kQueryOpts = 5,  // payload: [u32 parallelism][XQuery/XPath text]
+  kReplSubscribe = 6,  // payload: u64 resume-from generation cursor
   // Server -> client, echoing the request's request_id.
   kResponse = 16,  // payload: ResponsePayload (below)
+  // Server -> subscriber (replication stream, DESIGN.md §13). These ride
+  // the subscriber's connection interleaved with responses to its own
+  // pipelined requests, so clients must demux by type (Client keeps two
+  // queues). request_id is 0 — stream frames answer no request.
+  kReplRecord = 17,     // payload: ReplRecordPayload (below)
+  kReplChunk = 18,      // payload: ReplChunkPayload (below)
+  kReplHeartbeat = 19,  // payload: ReplHeartbeatPayload (below)
 };
 
 /// Stable lowercase name for a frame type; "?" for unknown.
@@ -98,6 +107,74 @@ bool DecodeCancelTarget(std::string_view payload, uint64_t* out);
 std::string EncodeQueryOpts(uint32_t parallelism, std::string_view query);
 bool DecodeQueryOpts(std::string_view payload, uint32_t* parallelism,
                      std::string* query);
+
+// -- Replication payloads (DESIGN.md §13) -----------------------------------
+//
+// These codecs live in the protocol layer (not src/xmlq/repl/) because both
+// ends need them: the server ships, the follower's ReplicationClient
+// receives, and neither may depend on the other's module.
+
+/// kReplSubscribe payload: the follower's resume cursor. The primary ships
+/// every live registration with generation > cursor, then heartbeats.
+std::string EncodeReplSubscribe(uint64_t from_generation);
+bool DecodeReplSubscribe(std::string_view payload, uint64_t* out);
+
+/// kReplRecord: announces one manifest registration about to be shipped.
+/// Mirrors storage::ManifestRecord for op kRegister; `snapshot_size` bytes
+/// of the named snapshot file follow as kReplChunk frames. The whole-file
+/// `snapshot_crc` is the follower's commit-time verification authority,
+/// independent of the per-frame CRCs.
+///
+/// Wire: [u32 op][u32 name_len][u64 generation][u64 snapshot_size]
+///       [u32 snapshot_crc][name bytes][file bytes].
+struct ReplRecordPayload {
+  uint32_t op = 0;  // storage::ManifestOp numeric value
+  uint64_t generation = 0;
+  uint64_t snapshot_size = 0;
+  uint32_t snapshot_crc = 0;
+  std::string name;
+  std::string file;
+};
+
+std::string EncodeReplRecord(const ReplRecordPayload& record);
+bool DecodeReplRecord(std::string_view payload, ReplRecordPayload* out);
+
+/// kReplChunk: one bounded slice of the announced snapshot's bytes.
+/// `total_size` repeats the announced size on every chunk so a follower can
+/// sanity-check contiguity without trusting its own reassembly state.
+///
+/// Wire: [u64 generation][u64 offset][u64 total_size][bytes].
+struct ReplChunkPayload {
+  uint64_t generation = 0;
+  uint64_t offset = 0;
+  uint64_t total_size = 0;
+  std::string bytes;
+};
+
+std::string EncodeReplChunk(const ReplChunkPayload& chunk);
+bool DecodeReplChunk(std::string_view payload, ReplChunkPayload* out);
+
+/// kReplHeartbeat: sent whenever the subscriber is caught up (and at least
+/// every heartbeat interval). Carries the primary's manifest clock plus the
+/// *full* live census (name, generation per live document), so removals and
+/// quarantines — whose journal records compaction may have erased — always
+/// propagate: the follower drops local store-backed documents absent from
+/// the census. Self-healing every heartbeat, no journal-horizon bookkeeping.
+///
+/// Wire: [u64 max_generation][u32 live_count]
+///       ([u32 name_len][name bytes][u64 generation])*.
+struct ReplLiveEntry {
+  std::string name;
+  uint64_t generation = 0;
+};
+
+struct ReplHeartbeatPayload {
+  uint64_t max_generation = 0;
+  std::vector<ReplLiveEntry> live;
+};
+
+std::string EncodeReplHeartbeat(const ReplHeartbeatPayload& heartbeat);
+bool DecodeReplHeartbeat(std::string_view payload, ReplHeartbeatPayload* out);
 
 /// One step of the incremental frame decoder.
 enum class DecodeStatus : uint8_t {

@@ -59,6 +59,11 @@ std::string ServerStats::ToString() const {
   out += CounterLine("evicted_write_deadline", evicted_write_deadline);
   out += CounterLine("evicted_slow", evicted_slow);
   out += CounterLine("drain_cancelled", drain_cancelled);
+  out += CounterLine("repl_subscribers", repl_subscribers);
+  out += CounterLine("repl_records_shipped", repl_records_shipped);
+  out += CounterLine("repl_chunks_shipped", repl_chunks_shipped);
+  out += CounterLine("repl_heartbeats", repl_heartbeats);
+  out += CounterLine("repl_ship_faults", repl_ship_faults);
   return out;
 }
 
@@ -200,6 +205,8 @@ void Server::Loop() {
     }
 
     DrainCompletions();
+
+    PumpReplication();
 
     if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
       // Enter drain: stop accepting (close the listener so the port frees
@@ -358,6 +365,39 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
                       db_->BreakerReport() +
                       db_->plan_cache_stats().ToString() + "\n" +
                       stats().ToString();
+      if (config_.extra_stats) response.body += config_.extra_stats();
+      return QueueResponse(conn, frame.request_id, response);
+    }
+    case FrameType::kReplSubscribe: {
+      uint64_t from_generation = 0;
+      ResponsePayload response;
+      if (!DecodeReplSubscribe(frame.payload, &from_generation)) {
+        response.code = StatusCode::kInvalidArgument;
+        response.body = "malformed subscribe payload";
+      } else if (draining_) {
+        response.code = StatusCode::kResourceExhausted;
+        response.retry_after_micros = config_.drain_deadline_micros;
+        response.body = "server draining; retry elsewhere";
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.overload_responses;
+      } else if (db_->store_dir().empty()) {
+        response.code = StatusCode::kInvalidArgument;
+        response.body = "no store attached; nothing to replicate";
+      } else {
+        ReplSub& repl = conn->repl();
+        if (!repl.active) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.repl_subscribers;
+        }
+        repl = ReplSub{};
+        repl.active = true;
+        repl.cursor = from_generation;
+        // UINT64_MAX forces a census heartbeat right after initial catch-up
+        // so the follower learns removals it slept through.
+        repl.last_heartbeat_generation = UINT64_MAX;
+        response.body =
+            "subscribed from g" + std::to_string(from_generation);
+      }
       return QueueResponse(conn, frame.request_id, response);
     }
     case FrameType::kCancel: {
@@ -460,7 +500,10 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
       return true;
     }
     case FrameType::kResponse:
-      break;  // a client frame type only; fall through to protocol error
+    case FrameType::kReplRecord:
+    case FrameType::kReplChunk:
+    case FrameType::kReplHeartbeat:
+      break;  // server->client types only; fall through to protocol error
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.protocol_errors;
@@ -500,6 +543,12 @@ bool Server::QueueResponse(Conn* conn, uint64_t request_id,
 void Server::HandleWritable(Conn* conn) {
   const uint64_t id = conn->id();
   if (!FlushWrites(conn)) {
+    CloseConn(id, Conn::Evict::kNone);
+    return;
+  }
+  // Freed outbuf space lets a backpressured subscriber ship its next slice
+  // now instead of waiting out the tick.
+  if (conn->repl().active && !draining_ && !PumpSubscriber(conn)) {
     CloseConn(id, Conn::Evict::kNone);
     return;
   }
@@ -546,10 +595,14 @@ void Server::CloseConn(uint64_t conn_id, Conn::Evict reason) {
         inflight->query_id.load(std::memory_order_acquire);
     if (query_id != 0) (void)db_->Cancel(query_id);
   }
+  const bool was_subscriber = conn->repl().active;
   (void)epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, conn->fd(), nullptr);
   conns_.erase(it);  // UniqueFd closes the socket
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.connections = static_cast<uint32_t>(conns_.size());
+  if (was_subscriber && stats_.repl_subscribers > 0) {
+    --stats_.repl_subscribers;
+  }
   switch (reason) {
     case Conn::Evict::kNone: break;
     case Conn::Evict::kIdle: ++stats_.evicted_idle; break;
@@ -583,6 +636,135 @@ void Server::DrainCompletions() {
     }
     UpdateEpoll(conn);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Replication shipping (DESIGN.md §13)
+
+void Server::PumpReplication() {
+  if (draining_) return;  // subscribers re-subscribe against a live primary
+  std::vector<uint64_t> doomed;
+  for (const auto& [id, conn] : conns_) {
+    if (!conn->repl().active) continue;
+    if (!PumpSubscriber(conn.get())) doomed.push_back(id);
+  }
+  for (const uint64_t id : doomed) CloseConn(id, Conn::Evict::kNone);
+}
+
+bool Server::PumpSubscriber(Conn* conn) {
+  // Ship until the outbuf crosses this low-water mark, then let the socket
+  // drain: a slow follower backpressures here, far below the kSlowClient
+  // eviction bound, instead of ballooning the write buffer.
+  constexpr size_t kOutbufLowWater = 1u << 20;
+  ReplSub& repl = conn->repl();
+  bool queued = false;
+  while (conn->outbuf().size() < kOutbufLowWater) {
+    if (!repl.shipping) {
+      auto delta = db_->ReplDeltaFrom(repl.cursor);
+      if (!delta.ok()) return false;
+      if (delta->pending.empty()) {
+        // Caught up. Heartbeat when the interval elapsed — or immediately
+        // when the manifest clock moved with nothing to ship (a Remove on
+        // the primary must not wait out the interval: the census is its
+        // only carrier).
+        const auto now = Conn::Clock::now();
+        if (repl.last_heartbeat_generation != delta->max_generation ||
+            now - repl.last_heartbeat >=
+                std::chrono::microseconds(config_.repl_heartbeat_micros)) {
+          ReplHeartbeatPayload heartbeat;
+          heartbeat.max_generation = delta->max_generation;
+          heartbeat.live.reserve(delta->live.size());
+          for (auto& [name, generation] : delta->live) {
+            heartbeat.live.push_back(
+                ReplLiveEntry{std::move(name), generation});
+          }
+          conn->outbuf() += EncodeFrame(FrameType::kReplHeartbeat, 0,
+                                        EncodeReplHeartbeat(heartbeat));
+          conn->NoteQueuedWrite(now);
+          queued = true;
+          repl.last_heartbeat = now;
+          repl.last_heartbeat_generation = delta->max_generation;
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.repl_heartbeats;
+        }
+        break;
+      }
+      if (XMLQ_FAULT("repl.ship.read")) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.repl_ship_faults;
+        return false;  // link-error model: close; the follower resumes
+      }
+      storage::ManifestRecord record = std::move(delta->pending.front());
+      auto mapped = FileBytes::Map(db_->store_dir() + "/" + record.file);
+      if (!mapped.ok() || mapped->size() != record.snapshot_size) {
+        // The snapshot vanished (or was replaced) between the manifest read
+        // and the map — a concurrent Remove or replace. Skip past it: a
+        // replacement ships under a higher generation, and the census
+        // heartbeat reconciles removals.
+        repl.cursor = record.generation;
+        continue;
+      }
+      repl.shipping = true;
+      repl.record = std::move(record);
+      repl.file = std::move(*mapped);
+      repl.offset = 0;
+      ReplRecordPayload announce;
+      announce.op = static_cast<uint32_t>(repl.record.op);
+      announce.generation = repl.record.generation;
+      announce.snapshot_size = repl.record.snapshot_size;
+      announce.snapshot_crc = repl.record.snapshot_crc;
+      announce.name = repl.record.name;
+      announce.file = repl.record.file;
+      conn->outbuf() +=
+          EncodeFrame(FrameType::kReplRecord, 0, EncodeReplRecord(announce));
+      conn->NoteQueuedWrite(Conn::Clock::now());
+      queued = true;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.repl_records_shipped;
+      }
+      continue;
+    }
+    // Mid-shipment: slice the next chunk. The mapping stays valid even if
+    // a concurrent replace unlinked the file (generations never share a
+    // file name, so the inode cannot be overwritten under the map).
+    if (XMLQ_FAULT("repl.ship.send")) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.repl_ship_faults;
+      return false;
+    }
+    if (repl.offset < repl.file.size()) {
+      const uint64_t remaining = repl.file.size() - repl.offset;
+      const uint64_t take = std::min<uint64_t>(config_.repl_chunk_bytes,
+                                               remaining);
+      ReplChunkPayload chunk;
+      chunk.generation = repl.record.generation;
+      chunk.offset = repl.offset;
+      chunk.total_size = repl.file.size();
+      chunk.bytes.assign(repl.file.data() + repl.offset,
+                         static_cast<size_t>(take));
+      conn->outbuf() +=
+          EncodeFrame(FrameType::kReplChunk, 0, EncodeReplChunk(chunk));
+      conn->NoteQueuedWrite(Conn::Clock::now());
+      queued = true;
+      repl.offset += take;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.repl_chunks_shipped;
+      }
+    }
+    if (repl.offset >= repl.file.size()) {
+      // Shipment complete (a zero-byte snapshot completes with no chunks).
+      repl.shipping = false;
+      repl.cursor = repl.record.generation;
+      repl.file = FileBytes();  // unmap promptly
+    }
+  }
+  if (queued) {
+    if (!FlushWrites(conn)) return false;
+    UpdateEpoll(conn);
+  }
+  return true;
 }
 
 void Server::SweepDeadlines() {

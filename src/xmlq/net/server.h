@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,17 @@ struct ServerConfig {
   /// api::QueryOptions::parallelism; 1 = serial, 0 = all hardware threads).
   /// A kQueryOpts frame carries its own value per request.
   uint32_t parallelism = 1;
+  /// Replication shipping (DESIGN.md §13): snapshot bytes per kReplChunk
+  /// frame. Bounded well below the write-buffer backpressure cap so a slow
+  /// follower backpressures cleanly instead of tripping kSlowClient.
+  uint32_t repl_chunk_bytes = 256u * 1024;
+  /// Heartbeat interval for caught-up subscribers (the census carrier; also
+  /// what keeps an otherwise-silent subscriber connection from idling out).
+  uint64_t repl_heartbeat_micros = 1'000'000;
+  /// Extra text appended to every kStats response body; xmlq_serve wires a
+  /// follower's replication stats through this. Called on the loop thread —
+  /// keep it cheap and thread-safe.
+  std::function<std::string()> extra_stats;
 };
 
 /// Event-loop counters, readable from any thread via Server::stats().
@@ -67,6 +79,11 @@ struct ServerStats {
   uint64_t evicted_write_deadline = 0;
   uint64_t evicted_slow = 0;
   uint64_t drain_cancelled = 0;     // in-flight queries cancelled at drain
+  uint64_t repl_records_shipped = 0;   // kReplRecord announcements sent
+  uint64_t repl_chunks_shipped = 0;    // kReplChunk frames sent
+  uint64_t repl_heartbeats = 0;        // kReplHeartbeat frames sent
+  uint64_t repl_ship_faults = 0;       // injected/real ship failures
+  uint32_t repl_subscribers = 0;       // currently subscribed connections
   uint32_t connections = 0;         // currently open
   std::string ToString() const;
 };
@@ -167,6 +184,15 @@ class Server {
   void UpdateEpoll(Conn* conn);
   void CloseConn(uint64_t conn_id, Conn::Evict reason);
   void DrainCompletions();
+  /// Advances every subscribed connection's replication stream: refreshes
+  /// its pending set from the manifest, announces records, slices chunks,
+  /// heartbeats when caught up. Runs on the loop thread each tick (and the
+  /// per-conn half after writable flushes), bounded by a per-conn outbuf
+  /// low-water mark so a slow follower backpressures instead of ballooning.
+  void PumpReplication();
+  /// One subscriber's pump step; returns false when the connection must
+  /// close (ship fault / manifest error / write failure).
+  bool PumpSubscriber(Conn* conn);
   void SweepDeadlines();
   /// Advances the drain state machine; true when the loop should exit.
   bool DrainFinished();

@@ -1,0 +1,384 @@
+#include "xmlq/repl/replication.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <utility>
+
+#include "xmlq/base/fault_injector.h"
+#include "xmlq/net/protocol.h"
+#include "xmlq/storage/manifest.h"
+
+namespace xmlq::repl {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string CounterLine(std::string_view key, uint64_t value) {
+  std::string out = "repl_";
+  out += key;
+  out += "=";
+  out += std::to_string(value);
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string ReplicationStats::ToString() const {
+  std::string out;
+  out += CounterLine("connected", connected ? 1 : 0);
+  out += CounterLine("cursor", cursor);
+  out += CounterLine("primary_generation", primary_generation);
+  out += CounterLine("generation_lag", generation_lag);
+  out += CounterLine("heartbeat_age_micros", heartbeat_age_micros);
+  out += CounterLine("records_applied", records_applied);
+  out += CounterLine("removes_applied", removes_applied);
+  out += CounterLine("chunks_received", chunks_received);
+  out += CounterLine("bytes_received", bytes_received);
+  out += CounterLine("reconnects", reconnects);
+  out += CounterLine("apply_retries", apply_retries);
+  out += CounterLine("divergence_quarantines", divergence_quarantines);
+  out += CounterLine("resyncs", resyncs);
+  out += "repl_last_error=" + last_error + "\n";
+  return out;
+}
+
+ReplicationClient::ReplicationClient(api::Database* db,
+                                     ReplicationConfig config)
+    : db_(db), config_(std::move(config)) {}
+
+ReplicationClient::~ReplicationClient() { Stop(); }
+
+Status ReplicationClient::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::InvalidArgument("replication already started");
+  }
+  if (db_->store_dir().empty()) {
+    XMLQ_ASSIGN_OR_RETURN(auto report,
+                          db_->Attach(config_.store_dir, config_.mode));
+    (void)report;  // recovery details surface through Database logs/stats
+  }
+  // Resume point: the local manifest's clock. Everything at or below it is
+  // already durably applied; everything above re-ships.
+  XMLQ_ASSIGN_OR_RETURN(api::Database::ReplDelta delta, db_->ReplDeltaFrom(0));
+  gate_ = std::make_shared<exec::StalenessGate>();
+  gate_->Configure(config_.gate);
+  db_->SetReadGate(gate_);
+  db_->SetFollower(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.cursor = delta.max_generation;
+    started_ = true;
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void ReplicationClient::Stop() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Unblock a read parked in the stream so the join is prompt.
+    if (active_fd_ != -1) (void)shutdown(active_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+  stats_.connected = false;
+}
+
+ReplicationStats ReplicationClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicationStats snapshot = stats_;
+  if (gate_ != nullptr) {
+    snapshot.heartbeat_age_micros = gate_->HeartbeatAgeMicros();
+    snapshot.generation_lag = gate_->generation_lag();
+  }
+  return snapshot;
+}
+
+void ReplicationClient::NoteError(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.last_error = status.message();
+}
+
+void ReplicationClient::PublishStaleness() {
+  uint64_t cursor = 0;
+  uint64_t primary = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cursor = stats_.cursor;
+    primary = stats_.primary_generation;
+  }
+  const uint64_t lag = primary > cursor ? primary - cursor : 0;
+  if (gate_ != nullptr) {
+    // Keep the heartbeat timestamp the gate already has; only lag moves
+    // here (heartbeat arrival is published by the heartbeat handler).
+    const uint64_t age = gate_->HeartbeatAgeMicros();
+    const uint64_t last =
+        age == UINT64_MAX ? 0 : NowMicros() - std::min(age, NowMicros());
+    gate_->Publish(lag, last);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.generation_lag = lag;
+}
+
+void ReplicationClient::SleepBackoff(uint32_t attempt, std::mt19937_64* rng) {
+  net::RetryPolicy policy;
+  policy.base_backoff_micros = config_.base_backoff_micros;
+  policy.max_backoff_micros = config_.max_backoff_micros;
+  const uint64_t scaled =
+      net::ScaledBackoffMicros(config_.base_backoff_micros, attempt, policy);
+  // ±50% jitter so a fleet of followers does not reconnect in lockstep.
+  std::uniform_int_distribution<uint64_t> jitter(scaled / 2,
+                                                 scaled + scaled / 2);
+  uint64_t remaining = jitter(*rng);
+  while (remaining > 0 && !stop_.load(std::memory_order_acquire)) {
+    const uint64_t slice = std::min<uint64_t>(remaining, 20'000);
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    remaining -= slice;
+  }
+}
+
+void ReplicationClient::Run() {
+  std::mt19937_64 rng{std::random_device{}()};
+  uint32_t attempt = 0;
+  bool first_cycle = true;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!first_cycle) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.reconnects;
+      }
+      SleepBackoff(attempt, &rng);
+      if (attempt < 32) ++attempt;
+      if (stop_.load(std::memory_order_acquire)) break;
+    }
+    first_cycle = false;
+    auto client =
+        net::Client::Connect(config_.host, config_.port, config_.client);
+    if (!client.ok()) {
+      NoteError(client.status());
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_fd_ = client->fd();
+      stats_.connected = true;
+    }
+    const Status status = StreamOnce(&*client);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_fd_ = -1;
+      stats_.connected = false;
+    }
+    if (!stop_.load(std::memory_order_acquire)) {
+      NoteError(status);
+      // A stream that made progress earns a fresh backoff schedule.
+      attempt = 1;
+    }
+  }
+}
+
+Status ReplicationClient::StreamOnce(net::Client* client) {
+  uint64_t cursor = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cursor = stats_.cursor;
+  }
+  auto ack = client->Subscribe(cursor);
+  if (!ack.ok()) return ack.status();
+  if (ack->code != StatusCode::kOk) {
+    return Status(ack->code, "subscribe refused: " + ack->body);
+  }
+
+  // Reassembly state for the in-flight shipment.
+  bool assembling = false;
+  net::ReplRecordPayload record;
+  std::string buffer;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto frame = client->ReadReplFrame();
+    if (!frame.ok()) return frame.status();  // timeout/link error: reconnect
+    switch (frame->type) {
+      case net::FrameType::kReplRecord: {
+        if (!net::DecodeReplRecord(frame->payload, &record)) {
+          return Status::ParseError("malformed repl record frame");
+        }
+        assembling = true;
+        buffer.clear();
+        if (record.snapshot_size == 0) {
+          assembling = false;
+          XMLQ_RETURN_IF_ERROR(ApplyShipment(record, buffer));
+        } else {
+          buffer.reserve(record.snapshot_size);
+        }
+        break;
+      }
+      case net::FrameType::kReplChunk: {
+        net::ReplChunkPayload chunk;
+        if (!net::DecodeReplChunk(frame->payload, &chunk)) {
+          return Status::ParseError("malformed repl chunk frame");
+        }
+        if (!assembling || chunk.generation != record.generation ||
+            chunk.offset != buffer.size() ||
+            chunk.total_size != record.snapshot_size) {
+          // Torn shipment (primary restarted mid-ship, frames lost): drop
+          // the partial assembly and reconnect — resume-from-cursor
+          // re-ships the whole record.
+          return Status::ParseError("repl chunk out of sequence");
+        }
+        if (XMLQ_FAULT("repl.apply.chunk") && !chunk.bytes.empty()) {
+          // Corrupt-shipment model: one flipped bit. The whole-file CRC
+          // check at apply time must catch it.
+          chunk.bytes[0] = static_cast<char>(chunk.bytes[0] ^ 0x01);
+        }
+        buffer += chunk.bytes;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.chunks_received;
+          stats_.bytes_received += chunk.bytes.size();
+        }
+        if (buffer.size() == record.snapshot_size) {
+          assembling = false;
+          XMLQ_RETURN_IF_ERROR(ApplyShipment(record, buffer));
+          buffer.clear();
+          buffer.shrink_to_fit();
+        }
+        break;
+      }
+      case net::FrameType::kReplHeartbeat: {
+        net::ReplHeartbeatPayload heartbeat;
+        if (!net::DecodeReplHeartbeat(frame->payload, &heartbeat)) {
+          return Status::ParseError("malformed repl heartbeat frame");
+        }
+        XMLQ_RETURN_IF_ERROR(ReconcileCensus(heartbeat, assembling));
+        break;
+      }
+      default:
+        return Status::ParseError("unexpected frame type on repl stream");
+    }
+  }
+  return Status::Cancelled("replication stopped");
+}
+
+Status ReplicationClient::ApplyShipment(const net::ReplRecordPayload& record,
+                                        std::string_view bytes) {
+  storage::ManifestRecord manifest_record;
+  manifest_record.op = static_cast<storage::ManifestOp>(record.op);
+  manifest_record.generation = record.generation;
+  manifest_record.name = record.name;
+  manifest_record.file = record.file;
+  manifest_record.snapshot_size = record.snapshot_size;
+  manifest_record.snapshot_crc = record.snapshot_crc;
+  const Status status = db_->ApplyReplicated(manifest_record, bytes);
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.cursor = std::max(stats_.cursor, record.generation);
+    ++stats_.records_applied;
+    apply_attempts_.erase(record.generation);
+    return Status::Ok();
+  }
+  NoteError(status);
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t attempts = ++apply_attempts_[record.generation];
+  if (attempts < config_.max_apply_attempts) {
+    ++stats_.apply_retries;
+    return status;  // reconnect; resume-from-cursor re-ships this record
+  }
+  // Divergence: the shipment keeps failing verification. Quarantine the
+  // generation — move the cursor past it so it is never re-requested, keep
+  // serving the previous generation of the document (degrade, never drop).
+  apply_attempts_.erase(record.generation);
+  quarantined_.insert(record.generation);
+  stats_.cursor = std::max(stats_.cursor, record.generation);
+  ++stats_.divergence_quarantines;
+  return Status::Ok();
+}
+
+Status ReplicationClient::ReconcileCensus(
+    const net::ReplHeartbeatPayload& heartbeat, bool mid_shipment) {
+  uint64_t cursor = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.primary_generation = heartbeat.max_generation;
+    cursor = stats_.cursor;
+  }
+  if (gate_ != nullptr) {
+    const uint64_t lag = heartbeat.max_generation > cursor
+                             ? heartbeat.max_generation - cursor
+                             : 0;
+    gate_->Publish(lag, NowMicros());
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.generation_lag = lag;
+  }
+  if (mid_shipment) {
+    // A correct primary finishes a shipment before heartbeating; a hostile
+    // one must not be able to jump our clock past the in-flight record.
+    // Staleness is published above either way.
+    return Status::Ok();
+  }
+  if (heartbeat.max_generation < cursor) {
+    // A clock behind ours (a restored-from-backup primary, a frame replay)
+    // must never move the cursor backwards.
+    return Status::Ok();
+  }
+  XMLQ_ASSIGN_OR_RETURN(api::Database::ReplDelta local, db_->ReplDeltaFrom(0));
+  // Drop local store-backed documents the census no longer lists.
+  for (const auto& [name, generation] : local.live) {
+    bool listed = false;
+    for (const auto& entry : heartbeat.live) {
+      if (entry.name == name) {
+        listed = true;
+        break;
+      }
+    }
+    if (listed) continue;
+    const Status status = db_->ApplyReplicatedRemove(name, heartbeat.max_generation);
+    if (!status.ok()) return status;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.removes_applied;
+  }
+  // Divergence sweep: stream ordering means every census generation was
+  // either shipped before this heartbeat or predates our cursor, so any
+  // entry we lack (and never quarantined) means our history forked from
+  // the primary's. Resubscribing from zero heals it — per-name idempotence
+  // skips everything already intact.
+  for (const auto& entry : heartbeat.live) {
+    bool intact = false;
+    for (const auto& [name, generation] : local.live) {
+      if (name == entry.name && generation >= entry.generation) {
+        intact = true;
+        break;
+      }
+    }
+    if (intact) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (quarantined_.count(entry.generation) != 0) continue;
+    stats_.cursor = 0;
+    ++stats_.resyncs;
+    return Status::Internal("census divergence on \"" + entry.name +
+                            "\" g" + std::to_string(entry.generation) +
+                            "; resyncing from generation 0");
+  }
+  // The heartbeat is the only way the follower's clock crosses generations
+  // that never ship a record (removals, quarantines, replaced snapshots
+  // that vanished before shipping): advance to the primary's clock now that
+  // the census reconciled cleanly.
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.cursor = std::max(stats_.cursor, heartbeat.max_generation);
+  return Status::Ok();
+}
+
+}  // namespace xmlq::repl

@@ -1,0 +1,172 @@
+#ifndef XMLQ_REPL_REPLICATION_H_
+#define XMLQ_REPL_REPLICATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "xmlq/api/database.h"
+#include "xmlq/base/status.h"
+#include "xmlq/exec/admission.h"
+#include "xmlq/net/client.h"
+
+namespace xmlq::repl {
+
+/// How a follower attaches to a primary (DESIGN.md §13).
+struct ReplicationConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// The follower's durable store directory. Attached (created when absent,
+  /// recovered when present) by Start() unless the Database already has a
+  /// store attached — then that store is used and this field is ignored.
+  std::string store_dir;
+  storage::SnapshotOpenMode mode = storage::SnapshotOpenMode::kMap;
+  /// Wire client knobs. io_timeout_micros doubles as the stream's read/idle
+  /// deadline: heartbeats arrive every second from a healthy primary, so a
+  /// read that times out means the link is dead and it is time to reconnect.
+  net::ClientConfig client = {
+      /*connect_timeout_micros=*/2'000'000,
+      /*io_timeout_micros=*/10'000'000,
+      /*max_frame_bytes=*/64u << 20,
+  };
+  /// Jittered exponential reconnect backoff (reuses the wire client's
+  /// schedule: base * 2^attempt saturating at max, then ±50% jitter).
+  uint64_t base_backoff_micros = 50'000;
+  uint64_t max_backoff_micros = 2'000'000;
+  /// A shipment whose apply keeps failing (CRC mismatch — a diverged or
+  /// corrupted source) is re-requested this many times, then its generation
+  /// is quarantined: the cursor moves past it and the follower keeps
+  /// serving the previous generation of that document. Degrade, never drop.
+  uint32_t max_apply_attempts = 3;
+  /// Staleness policy for follower reads (0 = unbounded). Applied to the
+  /// gate installed into the Database; reads past the bound shed with a
+  /// retryable overload status.
+  exec::StalenessGate::Policy gate;
+};
+
+/// Counters and health of one follower's replication stream; every field is
+/// a snapshot taken under the client's mutex.
+struct ReplicationStats {
+  bool connected = false;
+  uint64_t cursor = 0;              // highest generation fully applied
+  uint64_t primary_generation = 0;  // primary's clock, per last heartbeat
+  uint64_t generation_lag = 0;
+  uint64_t heartbeat_age_micros = UINT64_MAX;  // UINT64_MAX = none yet
+  uint64_t records_applied = 0;
+  uint64_t removes_applied = 0;
+  uint64_t chunks_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t reconnects = 0;
+  uint64_t apply_retries = 0;
+  uint64_t divergence_quarantines = 0;
+  uint64_t resyncs = 0;
+  std::string last_error;  // most recent disconnect/apply error ("" = none)
+  /// Rendered as "repl_<key>=<value>" lines — the Server::extra_stats hook
+  /// appends this to a follower's kStats responses.
+  std::string ToString() const;
+};
+
+/// The follower half of replication (DESIGN.md §13): maintains one
+/// subscription to the primary, applies shipped snapshots through
+/// Database::ApplyReplicated (verify-then-commit, crash-atomic), reconciles
+/// removals from the heartbeat census, publishes staleness into the read
+/// gate, and reconnects with jittered exponential backoff forever — a dead
+/// primary degrades the follower to stale-but-serving, never to down.
+///
+/// Robustness model, exercised by tests/repl_test.cc's chaos matrix:
+///  - torn shipment / link error / read timeout → reconnect, resume from
+///    the cursor (the local manifest's max generation — survives crashes);
+///  - corrupt shipment (fault "repl.apply.chunk" flips a byte) → the
+///    whole-file CRC check in ApplyReplicated rejects it; after
+///    max_apply_attempts the generation is quarantined and the previous
+///    generation keeps serving;
+///  - follower crash mid-apply (kill points repl.apply.*) → recovery
+///    replays the manifest to exactly the old or the new generation and the
+///    orphan sweep removes any uncommitted snapshot bytes;
+///  - local store diverged from the census (missing/stale generation that
+///    was never quarantined) → full resync: resubscribe from generation 0,
+///    per-name idempotence skips everything that is already intact.
+class ReplicationClient {
+ public:
+  /// `db` must outlive this client.
+  ReplicationClient(api::Database* db, ReplicationConfig config);
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+  ~ReplicationClient();  // Stop()
+
+  /// Attaches the store (unless the Database already has one), switches the
+  /// Database into follower mode (Persist/Remove refuse), installs the
+  /// staleness gate, and spawns the streaming thread. The resume cursor is
+  /// the attached manifest's max generation.
+  Status Start();
+
+  /// Stops the streaming thread (unblocking any in-progress socket read)
+  /// and joins it. The Database *stays* in follower mode serving whatever
+  /// it has — the store is still replication-owned, and local writes would
+  /// fork the primary's generation clock. Idempotent.
+  void Stop();
+
+  ReplicationStats stats() const;
+
+  /// The gate Start() installed; reconfigure it to change the read policy
+  /// at runtime. Null before Start().
+  std::shared_ptr<exec::StalenessGate> gate() const { return gate_; }
+
+ private:
+  void Run();
+  /// One connection's lifetime: subscribe at the cursor, stream until an
+  /// error (including read timeout and injected faults). Never returns Ok.
+  Status StreamOnce(net::Client* client);
+  /// Applies one fully reassembled shipment; advances the cursor on
+  /// success, counts a retry or quarantines the generation on failure.
+  /// Returns non-Ok only when the stream must reconnect (retryable apply
+  /// failure — re-ship and try again).
+  Status ApplyShipment(const net::ReplRecordPayload& record,
+                       std::string_view bytes);
+  /// Census reconciliation. Stream ordering makes the heartbeat itself the
+  /// catch-up proof — every record the primary considered pending was
+  /// shipped *before* it on the same connection — so this drops local
+  /// documents absent from the census, detects divergence (may schedule a
+  /// resync), and advances the cursor to the heartbeat's clock: removals
+  /// and quarantines bump the primary's generation without ever shipping a
+  /// record, and the heartbeat is how the follower's clock crosses those
+  /// gaps. `mid_shipment` guards the hostile case of a heartbeat arriving
+  /// between chunks (a correct primary never interleaves): staleness still
+  /// publishes, but the clock must not jump past the in-flight record.
+  /// Returns non-Ok when the stream must reconnect.
+  Status ReconcileCensus(const net::ReplHeartbeatPayload& heartbeat,
+                         bool mid_shipment);
+  void PublishStaleness();
+  void NoteError(const Status& status);
+  /// Interruptible backoff sleep; returns early when Stop() was requested.
+  void SleepBackoff(uint32_t attempt, std::mt19937_64* rng);
+
+  api::Database* const db_;
+  const ReplicationConfig config_;
+  std::shared_ptr<exec::StalenessGate> gate_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{true};
+  /// fd of the live connection, for Stop() to shutdown() so a blocked read
+  /// unblocks immediately; -1 when not connected. Guarded by mu_.
+  int active_fd_ = -1;
+
+  mutable std::mutex mu_;
+  ReplicationStats stats_;
+  bool started_ = false;
+  /// Apply failures per generation (cleared on success/quarantine).
+  std::map<uint64_t, uint32_t> apply_attempts_;
+  /// Generations given up on. A census entry carrying one of these does not
+  /// trigger a resync (the gap is deliberate); a newer generation of the
+  /// same document ships and serves normally.
+  std::set<uint64_t> quarantined_;
+};
+
+}  // namespace xmlq::repl
+
+#endif  // XMLQ_REPL_REPLICATION_H_

@@ -212,6 +212,18 @@ Result<Manifest> Manifest::Open(const std::string& dir) {
   return manifest;
 }
 
+std::vector<ManifestRecord> Manifest::LiveRecordsAbove(uint64_t cursor) const {
+  std::vector<ManifestRecord> out;
+  for (const auto& [name, record] : entries_) {
+    if (record.generation > cursor) out.push_back(record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ManifestRecord& a, const ManifestRecord& b) {
+              return a.generation < b.generation;
+            });
+  return out;
+}
+
 Status Manifest::Append(const ManifestRecord& record) {
   if (XMLQ_FAULT("store.manifest.append")) {
     return Status::Internal("injected append failure on manifest \"" +

@@ -115,6 +115,16 @@ class Manifest {
   /// across remove/replace cycles).
   uint64_t NextGeneration() { return ++max_generation_; }
 
+  /// Highest generation any applied record carried — the manifest's logical
+  /// clock, and the replication cursor a follower resumes from.
+  uint64_t max_generation() const { return max_generation_; }
+
+  /// Live registrations with generation > cursor, ascending by generation:
+  /// exactly what a subscriber at `cursor` still needs shipped. Removals
+  /// and quarantines do not appear (their records may be compacted away);
+  /// they propagate via the heartbeat census instead.
+  std::vector<ManifestRecord> LiveRecordsAbove(uint64_t cursor) const;
+
   /// Serializes `record`, appends it with fsync (AppendWithSync) and applies
   /// it to entries(). Fault site: "store.manifest.append".
   Status Append(const ManifestRecord& record);

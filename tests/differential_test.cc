@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "oracle_queries.h"
 #include "xmlq/api/database.h"
 #include "xmlq/base/fault_injector.h"
 #include "xmlq/datagen/auction_gen.h"
@@ -170,64 +171,15 @@ api::Database* AuctionDifferentialTest::db_ = nullptr;
 
 TEST_F(AuctionDifferentialTest, XPathSuite) {
   // Paths exercising every pattern shape: linear chains, twigs, wildcards,
-  // attribute steps, value predicates, existence predicates, deep //.
-  const char* paths[] = {
-      "/site/people/person",
-      "/site/people/person/name",
-      "//person",
-      "//person/name",
-      "//person[address]/name",
-      "//person[address][phone]/name",
-      "//person[phone]/emailaddress",
-      "//person/profile/education",
-      "//person[profile/education]/name",
-      "//person/profile[@income]",
-      "//person[@id = 'person3']/name",
-      "//item",
-      "//item/location",
-      "//item[payment = 'Cash']/location",
-      "//item[quantity = '1']/name",
-      "//item/mailbox/mail",
-      "//item/mailbox/mail/text",
-      "//item[mailbox/mail]/name",
-      "//open_auction/bidder",
-      "//open_auction[bidder]/current",
-      "//closed_auction/price",
-      "//closed_auction[price]/itemref",
-      "//category/name",
-      "//category/description/text",
-      "/site/regions/*/item/name",
-      "//regions//item[location = 'Dallas']",
-      "//*[@id]/name",
-      "//person/address/city",
-      "//mail[date]/from",
-      "//profile[interest]/gender",
-  };
-  for (const char* path : paths) {
+  // attribute steps, value predicates, existence predicates, deep // —
+  // shared with the replication oracle (tests/oracle_queries.h).
+  for (const char* path : tests::kAuctionXPaths) {
     ExpectEnginesAgree(*db_, path, /*as_path=*/true);
   }
 }
 
 TEST_F(AuctionDifferentialTest, XQuerySuite) {
-  const char* queries[] = {
-      "for $p in doc(\"auction.xml\")//person[address] return $p/name",
-      "for $p in doc(\"auction.xml\")//person "
-      "where count($p/phone) > 0 return $p/emailaddress",
-      "count(doc(\"auction.xml\")//item)",
-      "for $i in doc(\"auction.xml\")//item "
-      "where $i/payment = 'Cash' return $i/location",
-      "for $a in doc(\"auction.xml\")//open_auction "
-      "where count($a/bidder) > 1 return $a/current",
-      "avg(doc(\"auction.xml\")//closed_auction/price)",
-      "for $c in doc(\"auction.xml\")//category "
-      "order by $c/name return $c/name",
-      "<out>{for $p in doc(\"auction.xml\")//person[profile] "
-      "return <p>{$p/name}</p>}</out>",
-      "for $m in doc(\"auction.xml\")//mailbox/mail "
-      "where $m/date return $m/from",
-      "sum(doc(\"auction.xml\")//closed_auction/quantity)",
-  };
-  for (const char* query : queries) {
+  for (const char* query : tests::kAuctionXQueries) {
     ExpectEnginesAgree(*db_, query, /*as_path=*/false);
   }
 }
@@ -246,24 +198,8 @@ TEST_P(RandomTreeDifferentialTest, FixedSuiteAgreesOnSeededTrees) {
   ASSERT_TRUE(
       db.RegisterDocument("r.xml", datagen::GenerateRandomTree(options)).ok());
   // A fixed query list over the generator's t0..t4 / a0..a2 vocabulary; the
-  // seed varies the document, not the workload.
-  const char* paths[] = {
-      "//t0",
-      "//t0/t1",
-      "//t0//t2",
-      "/t0/*",
-      "//t1[t2]",
-      "//t0[t1][t2]",
-      "//t2[@a0]",
-      "//t3[@a1]/t0",
-      "//t1[. < 40]",
-      "//t0[t1 = '7']",
-      "//*[t4]",
-      "//t2/t3/t4",
-      "//t0[t2]//t1",
-      "//t4[@a2][t0]",
-  };
-  for (const char* path : paths) {
+  // seed varies the document, not the workload (tests/oracle_queries.h).
+  for (const char* path : tests::kRandomTreeXPaths) {
     ExpectEnginesAgree(db, path, /*as_path=*/true);
   }
 }

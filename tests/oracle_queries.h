@@ -1,0 +1,91 @@
+// The 54-query cross-engine oracle workload, shared by the differential
+// suite (every τ engine must agree byte-for-byte) and the replication suite
+// (a caught-up follower must answer every one of these byte-identically to
+// its primary). Keeping one definition ensures "the oracle" means the same
+// thing in both places — a follower that passes it serves exactly what the
+// primary serves.
+
+#ifndef XMLQ_TESTS_ORACLE_QUERIES_H_
+#define XMLQ_TESTS_ORACLE_QUERIES_H_
+
+namespace xmlq::tests {
+
+/// XPath workload over the XMark-style auction document: linear chains,
+/// twigs, wildcards, attribute steps, value predicates, existence
+/// predicates, deep //. 30 paths.
+inline constexpr const char* kAuctionXPaths[] = {
+    "/site/people/person",
+    "/site/people/person/name",
+    "//person",
+    "//person/name",
+    "//person[address]/name",
+    "//person[address][phone]/name",
+    "//person[phone]/emailaddress",
+    "//person/profile/education",
+    "//person[profile/education]/name",
+    "//person/profile[@income]",
+    "//person[@id = 'person3']/name",
+    "//item",
+    "//item/location",
+    "//item[payment = 'Cash']/location",
+    "//item[quantity = '1']/name",
+    "//item/mailbox/mail",
+    "//item/mailbox/mail/text",
+    "//item[mailbox/mail]/name",
+    "//open_auction/bidder",
+    "//open_auction[bidder]/current",
+    "//closed_auction/price",
+    "//closed_auction[price]/itemref",
+    "//category/name",
+    "//category/description/text",
+    "/site/regions/*/item/name",
+    "//regions//item[location = 'Dallas']",
+    "//*[@id]/name",
+    "//person/address/city",
+    "//mail[date]/from",
+    "//profile[interest]/gender",
+};
+
+/// XQuery workload over the same auction document (FLWOR, aggregates,
+/// ordering, element construction). 10 queries.
+inline constexpr const char* kAuctionXQueries[] = {
+    "for $p in doc(\"auction.xml\")//person[address] return $p/name",
+    "for $p in doc(\"auction.xml\")//person "
+    "where count($p/phone) > 0 return $p/emailaddress",
+    "count(doc(\"auction.xml\")//item)",
+    "for $i in doc(\"auction.xml\")//item "
+    "where $i/payment = 'Cash' return $i/location",
+    "for $a in doc(\"auction.xml\")//open_auction "
+    "where count($a/bidder) > 1 return $a/current",
+    "avg(doc(\"auction.xml\")//closed_auction/price)",
+    "for $c in doc(\"auction.xml\")//category "
+    "order by $c/name return $c/name",
+    "<out>{for $p in doc(\"auction.xml\")//person[profile] "
+    "return <p>{$p/name}</p>}</out>",
+    "for $m in doc(\"auction.xml\")//mailbox/mail "
+    "where $m/date return $m/from",
+    "sum(doc(\"auction.xml\")//closed_auction/quantity)",
+};
+
+/// Fixed XPath workload over the random-tree generator's t0..t4 / a0..a2
+/// vocabulary; the seed varies the document, not the workload. 14 paths.
+inline constexpr const char* kRandomTreeXPaths[] = {
+    "//t0",
+    "//t0/t1",
+    "//t0//t2",
+    "/t0/*",
+    "//t1[t2]",
+    "//t0[t1][t2]",
+    "//t2[@a0]",
+    "//t3[@a1]/t0",
+    "//t1[. < 40]",
+    "//t0[t1 = '7']",
+    "//*[t4]",
+    "//t2/t3/t4",
+    "//t0[t2]//t1",
+    "//t4[@a2][t0]",
+};
+
+}  // namespace xmlq::tests
+
+#endif  // XMLQ_TESTS_ORACLE_QUERIES_H_

@@ -44,13 +44,59 @@ int Usage(const char* argv0) {
                "usage: %s [--host H] [--port N] [--clients N]\n"
                "          [--duration-s N] [--query Q] [--max-attempts N]\n"
                "          [--repeat-mix N] [--parallelism N]\n"
+               "          [--once Q] [--stats]\n"
                "  --repeat-mix N  instead of one fixed query, draw each\n"
                "                  request Zipf-style from N value-predicate\n"
                "                  variants (exercises the server plan cache)\n"
                "  --parallelism N intra-query worker lanes per request\n"
-               "                  (1 = serial, 0 = all server hw threads)\n",
+               "                  (1 = serial, 0 = all server hw threads)\n"
+               "  --once Q        send Q once, print the raw response body\n"
+               "                  to stdout and exit by status (scripts\n"
+               "                  byte-compare primary vs follower answers)\n"
+               "  --stats         fetch and print the server's stats body\n"
+               "                  once, then exit\n",
                argv0);
   return 2;
+}
+
+/// The --once / --stats one-shot path: one request, raw body to stdout,
+/// exit 0 only on an OK response. Retries overloads (a follower shedding
+/// stale reads answers retryably) but not transport errors.
+int RunOnce(const std::string& host, uint16_t port, const std::string& query,
+            bool stats_mode, uint32_t max_attempts) {
+  auto client = xmlq::net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  if (stats_mode) {
+    const auto response = client->Stats();
+    if (!response.ok()) {
+      std::fprintf(stderr, "stats: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::fwrite(response->body.data(), 1, response->body.size(), stdout);
+    return response->code == xmlq::StatusCode::kOk ? 0 : 1;
+  }
+  std::mt19937_64 rng(0x9E3779B97F4A7C15ull);
+  xmlq::net::RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  const xmlq::net::CallResult call =
+      client->QueryWithRetry(query, policy, &rng);
+  if (call.outcome != xmlq::net::CallOutcome::kResponse ||
+      call.response.code != xmlq::StatusCode::kOk) {
+    std::fprintf(stderr, "query failed (%s): %s\n",
+                 std::string(xmlq::net::CallOutcomeName(call.outcome)).c_str(),
+                 call.outcome == xmlq::net::CallOutcome::kConnectionError
+                     ? call.transport_error.ToString().c_str()
+                     : call.response.body.c_str());
+    return 1;
+  }
+  std::fwrite(call.response.body.data(), 1, call.response.body.size(),
+              stdout);
+  return 0;
 }
 
 /// The --repeat-mix workload: N variants of the same query shape differing
@@ -79,6 +125,8 @@ int main(int argc, char** argv) {
   uint32_t repeat_mix = 0;
   uint32_t parallelism = 1;
   std::string query = "//book/title";
+  std::string once;
+  bool stats_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,8 +148,14 @@ int main(int argc, char** argv) {
     else if (arg == "--parallelism" && (v = next()))
       parallelism = static_cast<uint32_t>(std::atoi(v));
     else if (arg == "--query" && (v = next())) query = v;
+    else if (arg == "--once" && (v = next())) once = v;
+    else if (arg == "--stats") stats_mode = true;
     else
       return Usage(argv[0]);
+  }
+
+  if (!once.empty() || stats_mode) {
+    return RunOnce(host, port, once, stats_mode, max_attempts);
   }
 
   const std::vector<std::string> mix =

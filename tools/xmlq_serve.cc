@@ -13,12 +13,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "xmlq/api/database.h"
 #include "xmlq/datagen/bib_gen.h"
 #include "xmlq/net/server.h"
+#include "xmlq/repl/replication.h"
 
 namespace {
 
@@ -48,7 +50,18 @@ int Usage(const char* argv0) {
       "  --max-inflight N        per-connection in-flight cap (default 16)\n"
       "  --drain-deadline-ms N   graceful-drain budget (default 5000)\n"
       "  --parallelism N         intra-query worker lanes for plain query\n"
-      "                          frames (1 = serial, 0 = all hw threads)\n",
+      "                          frames (1 = serial, 0 = all hw threads)\n"
+      "  --persist               persist loaded/generated docs into --store\n"
+      "                          (gives a primary shippable generations)\n"
+      "  --follow HOST:PORT      run as a read-only follower replicating\n"
+      "                          from the primary at HOST:PORT (needs\n"
+      "                          --store for the local replica)\n"
+      "  --max-lag N             follower: shed reads when trailing the\n"
+      "                          primary by more than N generations (0 =\n"
+      "                          serve however stale; default 0)\n"
+      "  --max-stale-ms N        follower: shed reads when the last\n"
+      "                          heartbeat is older than this (0 = no\n"
+      "                          bound; default 0)\n",
       argv0);
   return 2;
 }
@@ -61,6 +74,9 @@ int main(int argc, char** argv) {
   xmlq::exec::AdmissionConfig admission;
   std::string store_dir;
   std::string port_file;
+  std::string follow;  // "host:port" of the primary; empty = not a follower
+  bool persist = false;
+  xmlq::repl::ReplicationConfig repl_config;
   int gen_bib = 0;
   std::vector<std::pair<std::string, std::string>> docs;
 
@@ -97,8 +113,28 @@ int main(int argc, char** argv) {
       config.drain_deadline_micros = std::strtoull(v, nullptr, 10) * 1000;
     else if (arg == "--parallelism" && (v = next()))
       config.parallelism = static_cast<uint32_t>(std::atoi(v));
+    else if (arg == "--persist") persist = true;
+    else if (arg == "--follow" && (v = next())) follow = v;
+    else if (arg == "--max-lag" && (v = next()))
+      repl_config.gate.max_generation_lag = std::strtoull(v, nullptr, 10);
+    else if (arg == "--max-stale-ms" && (v = next()))
+      repl_config.gate.max_heartbeat_age_micros =
+          std::strtoull(v, nullptr, 10) * 1000;
     else
       return Usage(argv[0]);
+  }
+
+  if (!follow.empty()) {
+    const size_t colon = follow.rfind(':');
+    if (colon == std::string::npos || store_dir.empty()) {
+      std::fprintf(stderr,
+                   "--follow needs HOST:PORT and a --store directory\n");
+      return Usage(argv[0]);
+    }
+    repl_config.host = follow.substr(0, colon);
+    repl_config.port =
+        static_cast<uint16_t>(std::atoi(follow.c_str() + colon + 1));
+    repl_config.store_dir = store_dir;
   }
 
   xmlq::api::Database db;
@@ -127,7 +163,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "loaded %s from %s\n", name.c_str(), path.c_str());
   }
-  if (docs.empty() && store_dir.empty()) {
+  if (docs.empty() && store_dir.empty() && follow.empty()) {
     if (gen_bib <= 0) gen_bib = 200;
   }
   if (gen_bib > 0) {
@@ -142,6 +178,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "serving generated bib.xml (%d books)\n", gen_bib);
   }
   if (admission.max_concurrent != 0) db.SetAdmission(admission);
+
+  if (persist && !store_dir.empty() && follow.empty()) {
+    if (gen_bib > 0) docs.emplace_back("bib.xml", "(generated)");
+    for (const auto& [name, path] : docs) {
+      const xmlq::Status status = db.Persist(name);
+      if (!status.ok()) {
+        std::fprintf(stderr, "persist %s: %s\n", name.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "persisted %s\n", name.c_str());
+    }
+  }
+
+  std::unique_ptr<xmlq::repl::ReplicationClient> repl;
+  if (!follow.empty()) {
+    repl = std::make_unique<xmlq::repl::ReplicationClient>(&db, repl_config);
+    const xmlq::Status status = repl->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "follow %s: %s\n", follow.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    config.extra_stats = [&repl] { return repl->stats().ToString(); };
+    std::fprintf(stderr, "following %s (store %s)\n", follow.c_str(),
+                 store_dir.c_str());
+  }
 
   xmlq::net::Server server(&db, config);
   const xmlq::Status status = server.Start();
@@ -161,6 +224,11 @@ int main(int argc, char** argv) {
   }
 
   const xmlq::Status exit_status = server.Wait();
+  if (repl != nullptr) {
+    repl->Stop();
+    std::fprintf(stderr, "replication stopped:\n%s",
+                 repl->stats().ToString().c_str());
+  }
   const xmlq::net::ServerStats stats = server.stats();
   std::fprintf(stderr, "drained; final counters:\n%s",
                stats.ToString().c_str());
