@@ -84,6 +84,10 @@ void PrintHelp() {
       "                          when the primary dies)\n"
       "  .follow off             stop replicating (keeps serving, stays\n"
       "                          read-only)\n"
+      "  .promote                coordinated failover: stop replicating,\n"
+      "                          bump+persist the fencing epoch and lift\n"
+      "                          follower mode — this shell becomes the\n"
+      "                          writable primary\n"
       "  .stats repl             replication stream health and counters\n"
       "  .help / .quit\n"
       "anything else is evaluated as XQuery (or XPath for '/...').\n");
@@ -509,6 +513,22 @@ int main() {
       }
       std::printf("following %s:%d into %s (read-only)\n", host.c_str(),
                   port, dir.c_str());
+      continue;
+    }
+    if (word == ".promote") {
+      // Replication stops first so no shipment from the old primary can
+      // apply concurrently with (or after) the epoch bump.
+      if (repl != nullptr) {
+        repl->Stop();
+        repl.reset();
+      }
+      auto epoch = db.Promote();
+      if (!epoch.ok()) {
+        std::printf("%s\n", epoch.status().ToString().c_str());
+        continue;
+      }
+      std::printf("promoted; epoch=%llu (writes accepted here now)\n",
+                  static_cast<unsigned long long>(*epoch));
       continue;
     }
     if (word == ".stats") {

@@ -36,13 +36,17 @@
 #                       lanes over shared read-only snapshots are the
 #                       newest race/lifetime surface
 #   9. replication    — the `repl`-labeled follower-serving suite (ship +
-#                       apply chaos matrix, crash kill-points, staleness
-#                       gate, census reconciliation) under ThreadSanitizer
+#                       apply chaos matrix, crash kill-points incl. the
+#                       promote/epoch boundaries, staleness gate, census
+#                       reconciliation, split-brain fencing at every frame
+#                       type, quarantine self-heal) under ThreadSanitizer
 #                       and AddressSanitizer — the replication thread, the
 #                       epoll pump and the apply path share the catalog —
 #                       then scripts/failover_smoke.sh: a real primary
 #                       SIGKILLed mid-stream while its follower keeps
-#                       serving byte-identical answers and reconverges
+#                       serving byte-identical answers and reconverges,
+#                       followed by the coordinated-failover legs (promote
+#                       over the wire, auto-demote, fenced split brain)
 #
 # Everything — build trees and test temp files (snapshot_test writes its
 # *.xqpack scratch files into the ctest working directory) — stays under
@@ -131,9 +135,11 @@ echo "== asan parallel suite =="
 # The replication suite under both TSan and ASan: the follower's stream
 # thread applies snapshots into a catalog other threads query, the server's
 # loop thread pumps shipments while workers answer queries, and the crash
-# matrix forks children that die mid-apply — both race and lifetime
-# surface. Serial (-j 1): binds real sockets and forks, timing-sensitive
-# under sanitizer slowdown.
+# matrix forks children that die mid-apply and mid-promote — both race and
+# lifetime surface. The suite also carries the coordinated-failover cells
+# (epoch fencing at every frame type, promote-over-wire split brain,
+# quarantine self-heal). Serial (-j 1): binds real sockets and forks,
+# timing-sensitive under sanitizer slowdown.
 echo "== tsan repl suite =="
 "${ROOT}/tests/run_sanitized.sh" thread -j 1 -L repl
 echo "== asan repl suite =="
@@ -141,7 +147,9 @@ echo "== asan repl suite =="
 
 # Live failover smoke of the shipped binaries: primary + follower over real
 # sockets, kill -9 mid-stream, byte-identical serving through the outage,
-# autonomous reconvergence when the primary returns.
+# autonomous reconvergence when the primary returns — then coordinated
+# failover: promote the follower over the wire, auto-demote the rejoining
+# old primary, and fence a deliberate split brain on both sides.
 echo "== failover smoke (primary kill -9 + follower reconvergence) =="
 "${ROOT}/scripts/failover_smoke.sh" "${BUILD_DIR}"
 

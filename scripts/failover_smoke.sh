@@ -7,6 +7,17 @@
 # the same port with *new* data and requires the follower to reconverge on
 # its own — no operator intervention, no restart of the follower.
 #
+# Then the coordinated-failover legs (DESIGN.md §14): kill -9 the primary
+# again and *promote* the follower over the wire (xmlq_loadgen --promote →
+# the kPromote frame) — it bumps+persists its epoch and keeps serving the
+# same bytes as the new primary. The old primary restarts pointed at it
+# (--follow), auto-demotes by adopting the higher epoch, and reconverges
+# byte-identically. Finally a deliberate split brain: the demoted node is
+# promoted too (higher epoch) and re-pointed at the original new primary —
+# both sides must fence the subscription (repl_fenced_subscribes on the
+# server, repl_fenced_rejections on the client) and neither catalog may be
+# rewound.
+#
 #   scripts/failover_smoke.sh [build-dir]
 #
 # Unlike tests/repl_test.cc (in-process server + client), this exercises
@@ -64,10 +75,17 @@ wait_port() {
   fail "${who} never wrote its port file"
 }
 
+# serve_stat <port> <key>: one key=value line out of a server's kStats body
+# (repl_* client counters, the epoch= line, promotes, ...). Prints nothing —
+# and, under set -e, deliberately still succeeds — while the port is down.
+serve_stat() {
+  { "${LOADGEN}" --port "$1" --stats 2>/dev/null || true; } |
+    sed -n "s/^$2=//p"
+}
+
 # follower_stat <key>: one repl_* counter out of the follower's kStats body.
 follower_stat() {
-  "${LOADGEN}" --port "${FOLLOWER_PORT}" --stats 2>/dev/null |
-    sed -n "s/^$1=//p"
+  serve_stat "${FOLLOWER_PORT}" "$1"
 }
 
 # --- phase 1: primary up, persisting a 200-book bibliography ---------------
@@ -172,6 +190,88 @@ RECONNECTS="$(follower_stat repl_reconnects)"
 [[ -n "${RECONNECTS}" && "${RECONNECTS}" -ge 1 ]] ||
   fail "follower stats show no reconnect (repl_reconnects=${RECONNECTS})"
 echo "failover_smoke: follower reconverged byte-identically after ${RECONNECTS} reconnect(s)"
+
+# --- phase 5: kill -9 again, promote the follower over the wire ------------
+kill -KILL "${PRIMARY_PID}"
+wait "${PRIMARY_PID}" 2>/dev/null || true
+PRIMARY_PID=""
+echo "failover_smoke: primary killed again (SIGKILL)"
+
+"${LOADGEN}" --port "${FOLLOWER_PORT}" --promote \
+  >"${WORK_DIR}/promote.out" || fail "kPromote frame refused"
+grep -q "epoch=1" "${WORK_DIR}/promote.out" ||
+  fail "promote ack did not carry epoch=1 ($(cat "${WORK_DIR}/promote.out"))"
+[[ "$(follower_stat epoch)" == "1" ]] ||
+  fail "promoted follower's stats epoch is not 1 ($(follower_stat epoch))"
+PROMOTES="$(follower_stat promotes)"
+[[ -n "${PROMOTES}" && "${PROMOTES}" -ge 1 ]] ||
+  fail "promotes counter did not move (promotes=${PROMOTES})"
+
+# The new primary serves on: same bytes, now under its own epoch.
+"${LOADGEN}" --port "${FOLLOWER_PORT}" --once "${QUERY}" \
+  >"${WORK_DIR}/promoted.out" || fail "promoted follower stopped answering"
+cmp -s "${WORK_DIR}/primary_v2.out" "${WORK_DIR}/promoted.out" ||
+  fail "promotion changed the promoted follower's answer"
+echo "failover_smoke: follower promoted (epoch=1), serving identical bytes"
+
+# --- phase 6: old primary rejoins, auto-demotes, reconverges ---------------
+"${SERVE}" --port "${PRIMARY_PORT}" \
+  --store "${PRIMARY_STORE}" --follow "127.0.0.1:${FOLLOWER_PORT}" \
+  >"${PRIMARY_LOG}" 2>&1 &
+PRIMARY_PID=$!
+for _ in $(seq 1 100); do
+  [[ "$(serve_stat "${PRIMARY_PORT}" epoch)" == "1" &&
+     "$(serve_stat "${PRIMARY_PORT}" repl_connected)" == "1" ]] && break
+  kill -0 "${PRIMARY_PID}" 2>/dev/null || fail "rejoining old primary died"
+  sleep 0.1
+done
+[[ "$(serve_stat "${PRIMARY_PORT}" epoch)" == "1" ]] ||
+  fail "old primary never adopted the promoted epoch"
+"${LOADGEN}" --port "${PRIMARY_PORT}" --once "${QUERY}" \
+  >"${WORK_DIR}/demoted.out" || fail "demoted old primary refused the probe"
+cmp -s "${WORK_DIR}/primary_v2.out" "${WORK_DIR}/demoted.out" ||
+  fail "demoted old primary did not reconverge byte-identically"
+echo "failover_smoke: old primary auto-demoted (epoch=1) and reconverged"
+
+# --- phase 7: deliberate split brain is fenced on both sides ---------------
+"${LOADGEN}" --port "${PRIMARY_PORT}" --promote \
+  >"${WORK_DIR}/promote2.out" || fail "second promote refused"
+grep -q "epoch=2" "${WORK_DIR}/promote2.out" ||
+  fail "second promote did not reach epoch=2 ($(cat "${WORK_DIR}/promote2.out"))"
+kill -TERM "${PRIMARY_PID}" 2>/dev/null || true
+wait "${PRIMARY_PID}" 2>/dev/null || true
+
+# Rejoin with the *higher* epoch: the epoch-1 primary must refuse to ship
+# (it would rewind a promoted store), and the epoch-2 side must count the
+# fence instead of applying anything.
+"${SERVE}" --port "${PRIMARY_PORT}" \
+  --store "${PRIMARY_STORE}" --follow "127.0.0.1:${FOLLOWER_PORT}" \
+  >"${PRIMARY_LOG}" 2>&1 &
+PRIMARY_PID=$!
+for _ in $(seq 1 100); do
+  FENCED="$(serve_stat "${PRIMARY_PORT}" repl_fenced_rejections)"
+  [[ -n "${FENCED}" && "${FENCED}" -ge 1 ]] && break
+  kill -0 "${PRIMARY_PID}" 2>/dev/null || fail "fenced node died"
+  sleep 0.1
+done
+FENCED="$(serve_stat "${PRIMARY_PORT}" repl_fenced_rejections)"
+[[ -n "${FENCED}" && "${FENCED}" -ge 1 ]] ||
+  fail "higher-epoch subscriber was never fenced (repl_fenced_rejections=${FENCED})"
+FENCED_SUBS="$(follower_stat repl_fenced_subscribes)"
+[[ -n "${FENCED_SUBS}" && "${FENCED_SUBS}" -ge 1 ]] ||
+  fail "epoch-1 primary shipped to a higher-epoch subscriber (repl_fenced_subscribes=${FENCED_SUBS})"
+
+# Neither catalog was rewound by the refused stream.
+"${LOADGEN}" --port "${PRIMARY_PORT}" --once "${QUERY}" \
+  >"${WORK_DIR}/fenced.out" || fail "fenced node stopped answering"
+cmp -s "${WORK_DIR}/primary_v2.out" "${WORK_DIR}/fenced.out" ||
+  fail "fenced node's catalog changed"
+"${LOADGEN}" --port "${FOLLOWER_PORT}" --once "${QUERY}" \
+  >"${WORK_DIR}/survivor.out" || fail "epoch-1 primary stopped answering"
+cmp -s "${WORK_DIR}/primary_v2.out" "${WORK_DIR}/survivor.out" ||
+  fail "epoch-1 primary's catalog changed"
+echo "failover_smoke: split brain fenced on both sides" \
+  "(client=${FENCED} server=${FENCED_SUBS}), no catalog rewound"
 
 kill -TERM "${FOLLOWER_PID}" 2>/dev/null || true
 wait "${FOLLOWER_PID}" 2>/dev/null || true

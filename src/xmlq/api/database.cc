@@ -426,14 +426,12 @@ Result<RecoveryReport> Database::Attach(const std::string& dir,
   PinPlanCache()->InvalidateGeneration(catalog_generation);
   manifest_ = std::make_unique<storage::Manifest>(std::move(manifest));
   store_mode_ = mode;
+  epoch_.store(manifest_->epoch());
   return report;
 }
 
 Status Database::Persist(std::string_view name) {
-  if (follower()) {
-    return Status::InvalidArgument(
-        "follower is read-only: the replication stream owns this store");
-  }
+  if (follower()) return FollowerRefusal();
   const std::shared_ptr<const CatalogState> catalog = Pin();
   const std::string doc_name = name.empty() ? catalog->default_document
                                             : std::string(name);
@@ -489,10 +487,7 @@ Status Database::Persist(std::string_view name) {
 }
 
 Status Database::Remove(std::string_view name) {
-  if (follower()) {
-    return Status::InvalidArgument(
-        "follower is read-only: the replication stream owns this store");
-  }
+  if (follower()) return FollowerRefusal();
   if (name.empty()) return Status::InvalidArgument("document name required");
   const std::string doc_name(name);
   bool in_store = false;
@@ -674,6 +669,18 @@ Status Database::QuarantineSnapshot(const storage::ManifestRecord& record,
     (void)SyncParentDir(path);
     report->quarantined.push_back(record.name + " (" + record.file +
                                   "): " + reason);
+  }
+
+  // Self-healing trigger (DESIGN.md §14): tell the replication client (when
+  // one is attached) which generation just went bad, so it can re-fetch it
+  // from the current primary. Outside store_mu_ — the hook only schedules.
+  {
+    std::function<void(const std::string&, uint64_t)> hook;
+    {
+      std::lock_guard<std::mutex> lock(quarantine_hook_mu_);
+      hook = quarantine_hook_;
+    }
+    if (hook) hook(record.name, record.generation);
   }
 
   // Degrade the serving document. A kCopy (or purely in-memory) entry owns
@@ -958,6 +965,69 @@ Status Database::ApplyReplicatedRemove(std::string_view name,
     PinPlanCache()->InvalidateGeneration(catalog_generation);
   }
   return Status::Ok();
+}
+
+void Database::SetPrimaryHint(std::string host_port) {
+  std::lock_guard<std::mutex> lock(hint_mu_);
+  primary_hint_ = std::move(host_port);
+}
+
+std::string Database::primary_hint() const {
+  std::lock_guard<std::mutex> lock(hint_mu_);
+  return primary_hint_;
+}
+
+Status Database::FollowerRefusal() const {
+  const std::string hint = primary_hint();
+  std::string message =
+      "follower is read-only: the replication stream owns this store";
+  message += hint.empty() ? "; primary unknown"
+                          : "; writes go to the primary at " + hint;
+  // The same structured hint the admission layer uses, so wire clients'
+  // QueryWithRetry-style backoff parses it without a new code path.
+  message += "; retry-after-micros=1000000";
+  return Status::InvalidArgument(std::move(message));
+}
+
+Result<uint64_t> Database::Promote() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (manifest_ == nullptr) {
+    return Status::InvalidArgument(
+        "no store attached (Attach a directory first)");
+  }
+  XMLQ_CRASH_POINT("promote.begin");
+  storage::ManifestRecord record;
+  record.op = storage::ManifestOp::kEpoch;
+  record.generation = manifest_->epoch() + 1;
+  // The append is the commit point: a crash before it leaves the old
+  // epoch (and this node still a follower after restart, if its operator
+  // config says so); after it, the new epoch fences every older primary.
+  XMLQ_RETURN_IF_ERROR(manifest_->Append(record));
+  XMLQ_CRASH_POINT("promote.committed");
+  epoch_.store(manifest_->epoch());
+  follower_.store(false);
+  return manifest_->epoch();
+}
+
+Status Database::AdoptEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (epoch <= epoch_.load()) return Status::Ok();  // monotone: no-op
+  if (manifest_ == nullptr) {
+    return Status::InvalidArgument(
+        "no store attached (Attach a directory first)");
+  }
+  storage::ManifestRecord record;
+  record.op = storage::ManifestOp::kEpoch;
+  record.generation = epoch;
+  XMLQ_RETURN_IF_ERROR(manifest_->Append(record));
+  epoch_.store(manifest_->epoch());
+  return Status::Ok();
+}
+
+void Database::SetQuarantineHook(
+    std::function<void(const std::string&, uint64_t)> hook) {
+  std::lock_guard<std::mutex> lock(quarantine_hook_mu_);
+  quarantine_hook_ = std::move(hook);
 }
 
 void Database::SetReadGate(std::shared_ptr<exec::StalenessGate> gate) const {

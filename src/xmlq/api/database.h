@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -312,6 +313,40 @@ class Database {
   void SetFollower(bool follower) { follower_.store(follower); }
   bool follower() const { return follower_.load(); }
 
+  /// Address of the primary a follower's writes should go to ("" = unknown).
+  /// Installed by the replication client; baked into the structured refusal
+  /// Persist/Remove return in follower mode so clients know where to retry.
+  void SetPrimaryHint(std::string host_port);
+  std::string primary_hint() const;
+
+  // -- Coordinated failover (DESIGN.md §14) --------------------------------
+
+  /// Replication epoch (fencing term): the highest kEpoch record in the
+  /// attached manifest, mirrored into an atomic so the serving loop can
+  /// stamp it into every repl frame without taking store_mu_. 0 until the
+  /// first promotion anywhere in the replication group.
+  uint64_t epoch() const { return epoch_.load(); }
+
+  /// Promotes this database to primary: persists epoch+1 as a kEpoch
+  /// manifest record (the fsync'd commit point — kill points
+  /// "promote.begin" / "promote.committed") and lifts follower mode.
+  /// Returns the new epoch. The caller must stop any replication client
+  /// *first* so the stream cannot race the promotion. Crash-atomic: a crash
+  /// anywhere leaves the store at exactly the old or the new epoch.
+  Result<uint64_t> Promote();
+
+  /// Adopts a higher epoch observed on the wire (a follower learning that a
+  /// promotion happened): persists it as a kEpoch record when it exceeds
+  /// the local epoch; no-op otherwise. Never lowers the epoch.
+  Status AdoptEpoch(uint64_t epoch);
+
+  /// Installs (or clears, with nullptr) the hook QuarantineSnapshot calls
+  /// after quarantining a snapshot — the self-healing trigger: a
+  /// replication client schedules a re-fetch of exactly that generation
+  /// from the current primary. Called without Database locks held.
+  void SetQuarantineHook(
+      std::function<void(const std::string& name, uint64_t generation)> hook);
+
   /// Installs (or clears, with nullptr) the staleness gate every query
   /// checks before admission — the follower-read shedding policy. The gate
   /// object is shared with the replication client that publishes into it.
@@ -461,6 +496,11 @@ class Database {
                             const std::string& reason, ScrubReport* report);
   void ScrubberLoop(uint64_t interval_ms, ScrubOptions options);
 
+  /// The structured follower write refusal: names the primary (when known)
+  /// and carries the standard retry-after hint so wire clients back off and
+  /// redirect instead of hard-failing.
+  Status FollowerRefusal() const;
+
   Result<algebra::LogicalExprPtr> Compile(std::string_view query,
                                           const QueryOptions& options,
                                           const CatalogState& catalog) const;
@@ -547,6 +587,16 @@ class Database {
   mutable std::atomic<bool> follower_{false};
   mutable std::mutex read_gate_mu_;
   mutable std::shared_ptr<exec::StalenessGate> read_gate_;
+
+  // Coordinated failover (DESIGN.md §14): the manifest's epoch mirrored
+  // lock-free for per-frame stamping; writes happen under store_mu_ after
+  // the manifest append commits. The primary hint and quarantine hook are
+  // installed by the replication client.
+  mutable std::atomic<uint64_t> epoch_{0};
+  mutable std::mutex hint_mu_;
+  std::string primary_hint_;
+  mutable std::mutex quarantine_hook_mu_;
+  std::function<void(const std::string&, uint64_t)> quarantine_hook_;
 
   // Background scrubber.
   mutable std::mutex scrub_mu_;

@@ -25,7 +25,15 @@ Status ExhaustedWithHint(std::string reason, const AdmissionConfig& config) {
 }  // namespace
 
 uint64_t RetryAfterMicrosFromStatus(const Status& status) {
-  if (status.code() != StatusCode::kResourceExhausted) return 0;
+  // Only the two refusal codes that legitimately tell a client when to come
+  // back carry the hint: overload sheds (kResourceExhausted) and a
+  // follower's write refusal (kInvalidArgument, naming the primary to go
+  // to). Anything else — including an unlucky kInternal whose message
+  // happens to contain the key — yields 0.
+  if (status.code() != StatusCode::kResourceExhausted &&
+      status.code() != StatusCode::kInvalidArgument) {
+    return 0;
+  }
   static constexpr std::string_view kKey = "retry-after-micros=";
   const std::string& message = status.message();
   const size_t pos = message.rfind(kKey);

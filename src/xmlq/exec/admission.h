@@ -50,11 +50,13 @@ struct AdmissionStats {
   uint64_t retry_after_micros = 0;
 };
 
-/// Parses the "retry-after-micros=<n>" hint the scheduler appends to every
-/// kResourceExhausted admission status; 0 when `status` carries none (not an
-/// admission rejection, or a foreign kResourceExhausted such as a query
-/// deadline). Keeping the hint in micros end-to-end — config, status detail,
-/// stats, wire frame — means no layer ever has to guess the unit.
+/// Parses the "retry-after-micros=<n>" hint carried in a status message —
+/// appended by the scheduler to every kResourceExhausted admission status,
+/// and by a follower's structured write refusal (kInvalidArgument naming the
+/// primary). 0 when `status` carries no hint (not a retryable condition, or
+/// a foreign error such as a query deadline). Keeping the hint in micros
+/// end-to-end — config, status detail, stats, wire frame — means no layer
+/// ever has to guess the unit.
 uint64_t RetryAfterMicrosFromStatus(const Status& status);
 
 /// Bounded admission with load shedding. One instance serves one Database;

@@ -151,9 +151,18 @@ Result<Frame> Client::ReadReplFrame() {
   }
 }
 
-Result<ResponsePayload> Client::Subscribe(uint64_t from_generation) {
-  return RoundTrip(FrameType::kReplSubscribe,
-                   EncodeReplSubscribe(from_generation));
+Result<ResponsePayload> Client::Subscribe(uint64_t from_generation,
+                                          uint64_t epoch,
+                                          uint64_t refetch_generation) {
+  ReplSubscribePayload subscribe;
+  subscribe.from_generation = from_generation;
+  subscribe.epoch = epoch;
+  subscribe.refetch_generation = refetch_generation;
+  return RoundTrip(FrameType::kReplSubscribe, EncodeReplSubscribe(subscribe));
+}
+
+Result<ResponsePayload> Client::Promote() {
+  return RoundTrip(FrameType::kPromote, {});
 }
 
 Result<uint64_t> Client::SendQuery(std::string_view text,

@@ -100,8 +100,19 @@ class Client {
 
   /// Subscribes this connection to the primary's replication stream,
   /// resuming from `from_generation` (ships every live registration with a
-  /// higher generation, then heartbeats). Returns the server's ack.
-  Result<ResponsePayload> Subscribe(uint64_t from_generation);
+  /// higher generation, then heartbeats). `epoch` is the follower's highest
+  /// persisted fencing term — a primary that is *behind* it refuses (it is
+  /// the stale side of a split brain). `refetch_generation` != 0 asks for
+  /// that exact live generation to be re-shipped first (self-heal after a
+  /// local quarantine). Returns the server's ack, whose body carries the
+  /// primary's epoch ("... epoch=N").
+  Result<ResponsePayload> Subscribe(uint64_t from_generation,
+                                    uint64_t epoch = 0,
+                                    uint64_t refetch_generation = 0);
+  /// Promotes the server (kPromote admin frame): it stops its replication
+  /// client, bumps+persists its epoch and lifts follower mode. The ack body
+  /// carries the new epoch ("promoted; epoch=N").
+  Result<ResponsePayload> Promote();
   /// Blocks for the next replication stream frame (kReplRecord, kReplChunk
   /// or kReplHeartbeat); kResponse frames arriving interleaved are stashed
   /// for ReadResponse. The symmetric half of the type demux.

@@ -61,6 +61,12 @@ struct InflightQuery {
 struct ReplSub {
   bool active = false;
   uint64_t cursor = 0;
+  /// Self-heal request (DESIGN.md §14): when non-zero, ship this exact live
+  /// generation first even though it is at or below the cursor — the
+  /// follower quarantined its local copy and asked for a fresh one.
+  /// One-shot: cleared once the shipment starts (or the generation turns
+  /// out to be gone, which the census reconciles instead).
+  uint64_t refetch_generation = 0;
   /// In-progress shipment: the announced record, the snapshot mapping the
   /// chunks are sliced from (the mapping stays valid even if a concurrent
   /// Persist unlinks the file — generations never share a file name), and

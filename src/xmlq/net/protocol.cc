@@ -27,6 +27,7 @@ bool KnownFrameType(uint8_t type) {
     case FrameType::kStats:
     case FrameType::kQueryOpts:
     case FrameType::kReplSubscribe:
+    case FrameType::kPromote:
     case FrameType::kResponse:
     case FrameType::kReplRecord:
     case FrameType::kReplChunk:
@@ -68,6 +69,7 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kStats: return "stats";
     case FrameType::kQueryOpts: return "query_opts";
     case FrameType::kReplSubscribe: return "repl_subscribe";
+    case FrameType::kPromote: return "promote";
     case FrameType::kResponse: return "response";
     case FrameType::kReplRecord: return "repl_record";
     case FrameType::kReplChunk: return "repl_chunk";
@@ -158,14 +160,19 @@ bool DecodeQueryOpts(std::string_view payload, uint32_t* parallelism,
   return true;
 }
 
-std::string EncodeReplSubscribe(uint64_t from_generation) {
+std::string EncodeReplSubscribe(const ReplSubscribePayload& subscribe) {
   std::string bytes;
-  PutScalar(&bytes, from_generation);
+  PutScalar(&bytes, subscribe.from_generation);
+  PutScalar(&bytes, subscribe.epoch);
+  PutScalar(&bytes, subscribe.refetch_generation);
   return bytes;
 }
 
-bool DecodeReplSubscribe(std::string_view payload, uint64_t* out) {
-  return GetScalar(&payload, out) && payload.empty();
+bool DecodeReplSubscribe(std::string_view payload,
+                         ReplSubscribePayload* out) {
+  return GetScalar(&payload, &out->from_generation) &&
+         GetScalar(&payload, &out->epoch) &&
+         GetScalar(&payload, &out->refetch_generation) && payload.empty();
 }
 
 std::string EncodeReplRecord(const ReplRecordPayload& record) {
@@ -175,6 +182,7 @@ std::string EncodeReplRecord(const ReplRecordPayload& record) {
   PutScalar(&bytes, record.generation);
   PutScalar(&bytes, record.snapshot_size);
   PutScalar(&bytes, record.snapshot_crc);
+  PutScalar(&bytes, record.epoch);
   bytes += record.name;
   bytes += record.file;
   return bytes;
@@ -185,7 +193,8 @@ bool DecodeReplRecord(std::string_view payload, ReplRecordPayload* out) {
   if (!GetScalar(&payload, &out->op) || !GetScalar(&payload, &name_len) ||
       !GetScalar(&payload, &out->generation) ||
       !GetScalar(&payload, &out->snapshot_size) ||
-      !GetScalar(&payload, &out->snapshot_crc)) {
+      !GetScalar(&payload, &out->snapshot_crc) ||
+      !GetScalar(&payload, &out->epoch)) {
     return false;
   }
   if (!GetBytes(&payload, name_len, &out->name)) return false;
@@ -198,6 +207,7 @@ std::string EncodeReplChunk(const ReplChunkPayload& chunk) {
   PutScalar(&bytes, chunk.generation);
   PutScalar(&bytes, chunk.offset);
   PutScalar(&bytes, chunk.total_size);
+  PutScalar(&bytes, chunk.epoch);
   bytes += chunk.bytes;
   return bytes;
 }
@@ -205,7 +215,8 @@ std::string EncodeReplChunk(const ReplChunkPayload& chunk) {
 bool DecodeReplChunk(std::string_view payload, ReplChunkPayload* out) {
   if (!GetScalar(&payload, &out->generation) ||
       !GetScalar(&payload, &out->offset) ||
-      !GetScalar(&payload, &out->total_size)) {
+      !GetScalar(&payload, &out->total_size) ||
+      !GetScalar(&payload, &out->epoch)) {
     return false;
   }
   // A chunk claiming bytes past total_size is hostile or corrupt.
@@ -219,6 +230,7 @@ bool DecodeReplChunk(std::string_view payload, ReplChunkPayload* out) {
 
 std::string EncodeReplHeartbeat(const ReplHeartbeatPayload& heartbeat) {
   std::string bytes;
+  PutScalar(&bytes, heartbeat.epoch);
   PutScalar(&bytes, heartbeat.max_generation);
   PutScalar(&bytes, static_cast<uint32_t>(heartbeat.live.size()));
   for (const ReplLiveEntry& entry : heartbeat.live) {
@@ -232,7 +244,8 @@ std::string EncodeReplHeartbeat(const ReplHeartbeatPayload& heartbeat) {
 bool DecodeReplHeartbeat(std::string_view payload,
                          ReplHeartbeatPayload* out) {
   uint32_t count = 0;
-  if (!GetScalar(&payload, &out->max_generation) ||
+  if (!GetScalar(&payload, &out->epoch) ||
+      !GetScalar(&payload, &out->max_generation) ||
       !GetScalar(&payload, &count)) {
     return false;
   }

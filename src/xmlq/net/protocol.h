@@ -38,7 +38,8 @@ enum class FrameType : uint8_t {
   kPing = 3,    // payload: empty
   kStats = 4,   // payload: empty
   kQueryOpts = 5,  // payload: [u32 parallelism][XQuery/XPath text]
-  kReplSubscribe = 6,  // payload: u64 resume-from generation cursor
+  kReplSubscribe = 6,  // payload: ReplSubscribePayload (below)
+  kPromote = 7,    // payload: empty — promote this server to primary
   // Server -> client, echoing the request's request_id.
   kResponse = 16,  // payload: ResponsePayload (below)
   // Server -> subscriber (replication stream, DESIGN.md §13). These ride
@@ -114,10 +115,22 @@ bool DecodeQueryOpts(std::string_view payload, uint32_t* parallelism,
 // ends need them: the server ships, the follower's ReplicationClient
 // receives, and neither may depend on the other's module.
 
-/// kReplSubscribe payload: the follower's resume cursor. The primary ships
-/// every live registration with generation > cursor, then heartbeats.
-std::string EncodeReplSubscribe(uint64_t from_generation);
-bool DecodeReplSubscribe(std::string_view payload, uint64_t* out);
+/// kReplSubscribe payload: the follower's resume cursor, the highest epoch
+/// it has persisted (DESIGN.md §14 — a primary refuses a subscriber from a
+/// *newer* epoch: shipping to it could only be split-brain), and an optional
+/// self-heal request: when `refetch_generation` != 0, ship that exact live
+/// generation first even though it is at or below the cursor (the follower
+/// quarantined its local copy and wants a fresh one).
+///
+/// Wire: [u64 from_generation][u64 epoch][u64 refetch_generation].
+struct ReplSubscribePayload {
+  uint64_t from_generation = 0;
+  uint64_t epoch = 0;
+  uint64_t refetch_generation = 0;
+};
+
+std::string EncodeReplSubscribe(const ReplSubscribePayload& subscribe);
+bool DecodeReplSubscribe(std::string_view payload, ReplSubscribePayload* out);
 
 /// kReplRecord: announces one manifest registration about to be shipped.
 /// Mirrors storage::ManifestRecord for op kRegister; `snapshot_size` bytes
@@ -126,12 +139,13 @@ bool DecodeReplSubscribe(std::string_view payload, uint64_t* out);
 /// independent of the per-frame CRCs.
 ///
 /// Wire: [u32 op][u32 name_len][u64 generation][u64 snapshot_size]
-///       [u32 snapshot_crc][name bytes][file bytes].
+///       [u32 snapshot_crc][u64 epoch][name bytes][file bytes].
 struct ReplRecordPayload {
   uint32_t op = 0;  // storage::ManifestOp numeric value
   uint64_t generation = 0;
   uint64_t snapshot_size = 0;
   uint32_t snapshot_crc = 0;
+  uint64_t epoch = 0;  // shipper's replication epoch (fencing term)
   std::string name;
   std::string file;
 };
@@ -143,11 +157,12 @@ bool DecodeReplRecord(std::string_view payload, ReplRecordPayload* out);
 /// `total_size` repeats the announced size on every chunk so a follower can
 /// sanity-check contiguity without trusting its own reassembly state.
 ///
-/// Wire: [u64 generation][u64 offset][u64 total_size][bytes].
+/// Wire: [u64 generation][u64 offset][u64 total_size][u64 epoch][bytes].
 struct ReplChunkPayload {
   uint64_t generation = 0;
   uint64_t offset = 0;
   uint64_t total_size = 0;
+  uint64_t epoch = 0;  // shipper's replication epoch (fencing term)
   std::string bytes;
 };
 
@@ -161,7 +176,7 @@ bool DecodeReplChunk(std::string_view payload, ReplChunkPayload* out);
 /// propagate: the follower drops local store-backed documents absent from
 /// the census. Self-healing every heartbeat, no journal-horizon bookkeeping.
 ///
-/// Wire: [u64 max_generation][u32 live_count]
+/// Wire: [u64 epoch][u64 max_generation][u32 live_count]
 ///       ([u32 name_len][name bytes][u64 generation])*.
 struct ReplLiveEntry {
   std::string name;
@@ -169,6 +184,7 @@ struct ReplLiveEntry {
 };
 
 struct ReplHeartbeatPayload {
+  uint64_t epoch = 0;  // shipper's replication epoch (fencing term)
   uint64_t max_generation = 0;
   std::vector<ReplLiveEntry> live;
 };

@@ -64,6 +64,8 @@ std::string ServerStats::ToString() const {
   out += CounterLine("repl_chunks_shipped", repl_chunks_shipped);
   out += CounterLine("repl_heartbeats", repl_heartbeats);
   out += CounterLine("repl_ship_faults", repl_ship_faults);
+  out += CounterLine("repl_fenced_subscribes", repl_fenced_subscribes);
+  out += CounterLine("promotes", promotes);
   return out;
 }
 
@@ -364,14 +366,15 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
                       " queued=" + std::to_string(admission.queued) + "\n" +
                       db_->BreakerReport() +
                       db_->plan_cache_stats().ToString() + "\n" +
+                      "epoch=" + std::to_string(db_->epoch()) + "\n" +
                       stats().ToString();
       if (config_.extra_stats) response.body += config_.extra_stats();
       return QueueResponse(conn, frame.request_id, response);
     }
     case FrameType::kReplSubscribe: {
-      uint64_t from_generation = 0;
+      ReplSubscribePayload subscribe;
       ResponsePayload response;
-      if (!DecodeReplSubscribe(frame.payload, &from_generation)) {
+      if (!DecodeReplSubscribe(frame.payload, &subscribe)) {
         response.code = StatusCode::kInvalidArgument;
         response.body = "malformed subscribe payload";
       } else if (draining_) {
@@ -383,6 +386,17 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
       } else if (db_->store_dir().empty()) {
         response.code = StatusCode::kInvalidArgument;
         response.body = "no store attached; nothing to replicate";
+      } else if (subscribe.epoch > db_->epoch()) {
+        // Split-brain fence, primary side (DESIGN.md §14): this subscriber
+        // has seen a newer epoch than ours, so *we* are the stale primary.
+        // Shipping to it could only rewind a promoted store — refuse.
+        response.code = StatusCode::kInvalidArgument;
+        response.body = "subscriber epoch " + std::to_string(subscribe.epoch) +
+                        " is ahead of this primary's epoch " +
+                        std::to_string(db_->epoch()) +
+                        ": fenced (a promotion happened elsewhere)";
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.repl_fenced_subscribes;
       } else {
         ReplSub& repl = conn->repl();
         if (!repl.active) {
@@ -391,14 +405,38 @@ bool Server::Dispatch(Conn* conn, Frame frame) {
         }
         repl = ReplSub{};
         repl.active = true;
-        repl.cursor = from_generation;
+        repl.cursor = subscribe.from_generation;
+        repl.refetch_generation = subscribe.refetch_generation;
         // UINT64_MAX forces a census heartbeat right after initial catch-up
         // so the follower learns removals it slept through.
         repl.last_heartbeat_generation = UINT64_MAX;
+        // The ack carries our epoch: a follower at a higher epoch fences us
+        // from the very first exchange, and one at a lower epoch adopts.
         response.body =
-            "subscribed from g" + std::to_string(from_generation);
+            "subscribed from g" + std::to_string(subscribe.from_generation) +
+            " epoch=" + std::to_string(db_->epoch());
       }
       return QueueResponse(conn, frame.request_id, response);
+    }
+    case FrameType::kPromote: {
+      if (!config_.on_promote) {
+        ResponsePayload response;
+        response.code = StatusCode::kInvalidArgument;
+        response.body = "promotion is not enabled on this server";
+        return QueueResponse(conn, frame.request_id, response);
+      }
+      // Promotion fsyncs the manifest — run it on a worker so the loop
+      // keeps pumping frames and heartbeats for everyone else.
+      Job job;
+      job.conn_id = conn->id();
+      job.request_id = frame.request_id;
+      job.promote = true;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        jobs_.push_back(std::move(job));
+      }
+      jobs_cv_.notify_one();
+      return true;
     }
     case FrameType::kCancel: {
       {
@@ -657,8 +695,47 @@ bool Server::PumpSubscriber(Conn* conn) {
   // eviction bound, instead of ballooning the write buffer.
   constexpr size_t kOutbufLowWater = 1u << 20;
   ReplSub& repl = conn->repl();
+  // Every stream frame carries the current epoch: the follower fences any
+  // frame from a lower epoch, so a promotion elsewhere cuts this stream off
+  // at the first frame after it (see DESIGN.md §14 on stream ordering).
+  const uint64_t epoch = db_->epoch();
   bool queued = false;
   while (conn->outbuf().size() < kOutbufLowWater) {
+    if (!repl.shipping && repl.refetch_generation != 0) {
+      // Self-heal re-fetch: ship exactly this live generation, below the
+      // cursor or not. A generation that is no longer live (replaced or
+      // removed since the follower quarantined it) ships nothing — the
+      // normal cursor/census machinery delivers its successor instead.
+      const uint64_t target = repl.refetch_generation;
+      repl.refetch_generation = 0;
+      auto delta = db_->ReplDeltaFrom(target - 1);
+      if (!delta.ok()) return false;
+      for (storage::ManifestRecord& record : delta->pending) {
+        if (record.generation != target) continue;
+        auto mapped = FileBytes::Map(db_->store_dir() + "/" + record.file);
+        if (!mapped.ok() || mapped->size() != record.snapshot_size) break;
+        repl.shipping = true;
+        repl.record = std::move(record);
+        repl.file = std::move(*mapped);
+        repl.offset = 0;
+        ReplRecordPayload announce;
+        announce.op = static_cast<uint32_t>(repl.record.op);
+        announce.generation = repl.record.generation;
+        announce.snapshot_size = repl.record.snapshot_size;
+        announce.snapshot_crc = repl.record.snapshot_crc;
+        announce.epoch = epoch;
+        announce.name = repl.record.name;
+        announce.file = repl.record.file;
+        conn->outbuf() += EncodeFrame(FrameType::kReplRecord, 0,
+                                      EncodeReplRecord(announce));
+        conn->NoteQueuedWrite(Conn::Clock::now());
+        queued = true;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.repl_records_shipped;
+        break;
+      }
+      continue;
+    }
     if (!repl.shipping) {
       auto delta = db_->ReplDeltaFrom(repl.cursor);
       if (!delta.ok()) return false;
@@ -672,6 +749,7 @@ bool Server::PumpSubscriber(Conn* conn) {
             now - repl.last_heartbeat >=
                 std::chrono::microseconds(config_.repl_heartbeat_micros)) {
           ReplHeartbeatPayload heartbeat;
+          heartbeat.epoch = epoch;
           heartbeat.max_generation = delta->max_generation;
           heartbeat.live.reserve(delta->live.size());
           for (auto& [name, generation] : delta->live) {
@@ -713,6 +791,7 @@ bool Server::PumpSubscriber(Conn* conn) {
       announce.generation = repl.record.generation;
       announce.snapshot_size = repl.record.snapshot_size;
       announce.snapshot_crc = repl.record.snapshot_crc;
+      announce.epoch = epoch;
       announce.name = repl.record.name;
       announce.file = repl.record.file;
       conn->outbuf() +=
@@ -741,6 +820,7 @@ bool Server::PumpSubscriber(Conn* conn) {
       chunk.generation = repl.record.generation;
       chunk.offset = repl.offset;
       chunk.total_size = repl.file.size();
+      chunk.epoch = epoch;
       chunk.bytes.assign(repl.file.data() + repl.offset,
                          static_cast<size_t>(take));
       conn->outbuf() +=
@@ -755,8 +835,10 @@ bool Server::PumpSubscriber(Conn* conn) {
     }
     if (repl.offset >= repl.file.size()) {
       // Shipment complete (a zero-byte snapshot completes with no chunks).
+      // max(): a self-heal re-fetch ships a generation at or below the
+      // cursor and must not rewind it.
       repl.shipping = false;
-      repl.cursor = repl.record.generation;
+      repl.cursor = std::max(repl.cursor, repl.record.generation);
       repl.file = FileBytes();  // unmap promptly
     }
   }
@@ -837,6 +919,27 @@ void Server::WorkerLoop() {
       jobs_.pop_front();
     }
     ResponsePayload response;
+    if (job.promote) {
+      const Result<uint64_t> promoted = config_.on_promote();
+      if (promoted.ok()) {
+        response.body = "promoted; epoch=" + std::to_string(*promoted);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.promotes;
+      } else {
+        response.code = promoted.status().code();
+        response.body = promoted.status().message();
+      }
+      Completion done;
+      done.conn_id = job.conn_id;
+      done.request_id = job.request_id;
+      done.frame = EncodeResponseFrame(job.request_id, response);
+      {
+        std::lock_guard<std::mutex> lock(completions_mu_);
+        completions_.push_back(std::move(done));
+      }
+      WakeLoop();
+      continue;
+    }
     if (job.inflight->token->cancelled()) {
       // Cancelled (or its connection died) before the query started.
       response.code = StatusCode::kCancelled;

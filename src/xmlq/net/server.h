@@ -55,6 +55,11 @@ struct ServerConfig {
   /// follower's replication stats through this. Called on the loop thread —
   /// keep it cheap and thread-safe.
   std::function<std::string()> extra_stats;
+  /// Promotion hook for the kPromote admin frame (DESIGN.md §14): stop the
+  /// replication client, bump+persist the epoch, lift follower mode; return
+  /// the new epoch. Unset = kPromote answered with kInvalidArgument. Called
+  /// on a worker thread (promotion fsyncs — it must not stall the loop).
+  std::function<Result<uint64_t>()> on_promote;
 };
 
 /// Event-loop counters, readable from any thread via Server::stats().
@@ -83,6 +88,8 @@ struct ServerStats {
   uint64_t repl_chunks_shipped = 0;    // kReplChunk frames sent
   uint64_t repl_heartbeats = 0;        // kReplHeartbeat frames sent
   uint64_t repl_ship_faults = 0;       // injected/real ship failures
+  uint64_t repl_fenced_subscribes = 0;  // subscribers refused: newer epoch
+  uint64_t promotes = 0;               // successful kPromote frames
   uint32_t repl_subscribers = 0;       // currently subscribed connections
   uint32_t connections = 0;         // currently open
   std::string ToString() const;
@@ -144,6 +151,8 @@ class Server {
     std::string query;
     uint32_t parallelism = 1;
     std::shared_ptr<InflightQuery> inflight;
+    /// kPromote admin frame: run config_.on_promote instead of a query.
+    bool promote = false;
   };
   struct Completion {
     uint64_t conn_id = 0;

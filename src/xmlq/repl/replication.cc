@@ -31,6 +31,20 @@ std::string CounterLine(std::string_view key, uint64_t value) {
   return out;
 }
 
+/// Pulls the "epoch=<n>" announcement out of a subscribe ack body.
+bool ParseEpoch(std::string_view body, uint64_t* epoch) {
+  const size_t pos = body.find("epoch=");
+  if (pos == std::string_view::npos) return false;
+  size_t i = pos + 6;
+  if (i >= body.size() || body[i] < '0' || body[i] > '9') return false;
+  uint64_t value = 0;
+  for (; i < body.size() && body[i] >= '0' && body[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<uint64_t>(body[i] - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
 }  // namespace
 
 std::string ReplicationStats::ToString() const {
@@ -48,13 +62,20 @@ std::string ReplicationStats::ToString() const {
   out += CounterLine("apply_retries", apply_retries);
   out += CounterLine("divergence_quarantines", divergence_quarantines);
   out += CounterLine("resyncs", resyncs);
+  out += CounterLine("epoch", epoch);
+  out += CounterLine("fenced_rejections", fenced_rejections);
+  out += CounterLine("refetch_attempts", refetch_attempts);
+  out += CounterLine("refetch_successes", refetch_successes);
+  out += CounterLine("quarantined", quarantined);
+  out += CounterLine("backoff_attempt", backoff_attempt);
   out += "repl_last_error=" + last_error + "\n";
   return out;
 }
 
 ReplicationClient::ReplicationClient(api::Database* db,
                                      ReplicationConfig config)
-    : db_(db), config_(std::move(config)) {}
+    : db_(db), config_(std::move(config)),
+      heal_rng_(std::random_device{}()) {}
 
 ReplicationClient::~ReplicationClient() { Stop(); }
 
@@ -75,6 +96,14 @@ Status ReplicationClient::Start() {
   gate_->Configure(config_.gate);
   db_->SetReadGate(gate_);
   db_->SetFollower(true);
+  // Structured write refusals name where writes actually go (DESIGN.md §14).
+  db_->SetPrimaryHint(config_.host + ":" + std::to_string(config_.port));
+  // Self-heal feed: a scrubber quarantine on a replica is transient — the
+  // primary still has a verified copy, so schedule a re-fetch of it.
+  db_->SetQuarantineHook([this](const std::string& /*name*/,
+                                uint64_t generation) {
+    ScheduleHeal(generation);
+  });
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.cursor = delta.max_generation;
@@ -93,14 +122,25 @@ void ReplicationClient::Stop() {
     if (active_fd_ != -1) (void)shutdown(active_fd_, SHUT_RDWR);
   }
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  started_ = false;
-  stats_.connected = false;
+  bool was_started;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    was_started = started_;
+    started_ = false;
+    stats_.connected = false;
+  }
+  // The hook must not outlive this client (promotion destroys the client
+  // while the Database serves on). Guarded by was_started so a redundant
+  // Stop() — e.g. the destructor after an explicit Stop() — never touches a
+  // Database the caller may have destroyed in between.
+  if (was_started) db_->SetQuarantineHook({});
 }
 
 ReplicationStats ReplicationClient::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ReplicationStats snapshot = stats_;
+  snapshot.epoch = db_->epoch();
+  snapshot.quarantined = quarantined_.size();
   if (gate_ != nullptr) {
     snapshot.heartbeat_age_micros = gate_->HeartbeatAgeMicros();
     snapshot.generation_lag = gate_->generation_lag();
@@ -163,6 +203,10 @@ void ReplicationClient::Run() {
       }
       SleepBackoff(attempt, &rng);
       if (attempt < 32) ++attempt;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.backoff_attempt = attempt;
+      }
       if (stop_.load(std::memory_order_acquire)) break;
     }
     first_cycle = false;
@@ -178,29 +222,56 @@ void ReplicationClient::Run() {
       stats_.connected = true;
     }
     const Status status = StreamOnce(&*client);
+    bool applied = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       active_fd_ = -1;
       stats_.connected = false;
+      applied = applied_this_stream_;
+      applied_this_stream_ = false;
     }
     if (!stop_.load(std::memory_order_acquire)) {
       NoteError(status);
-      // A stream that made progress earns a fresh backoff schedule.
-      attempt = 1;
+      if (applied) {
+        // Only a stream that durably *applied* a shipment earns a fresh
+        // backoff schedule. A primary that accepts the subscribe and then
+        // fences or drops us before any apply must keep escalating the
+        // wait — otherwise a flapping link reconnects in a tight loop.
+        attempt = 1;
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.backoff_attempt = attempt;
+      }
     }
   }
 }
 
 Status ReplicationClient::StreamOnce(net::Client* client) {
   uint64_t cursor = 0;
+  uint64_t refetch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     cursor = stats_.cursor;
+    refetch = TakeDueRefetchLocked(NowMicros());
   }
-  auto ack = client->Subscribe(cursor);
+  auto ack = client->Subscribe(cursor, db_->epoch(), refetch);
   if (!ack.ok()) return ack.status();
   if (ack->code != StatusCode::kOk) {
+    if (ack->body.find("fenced") != std::string::npos) {
+      // The primary is behind our epoch and refused us — it is the stale
+      // side of the split brain; keep reconnecting until it catches up.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fenced_rejections;
+    }
     return Status(ack->code, "subscribe refused: " + ack->body);
+  }
+  // The ack announces the primary's fencing term ("... epoch=N"). A term
+  // behind ours never reaches here (the server refuses such subscribers),
+  // but a *newer* one means a promotion happened while we were away: adopt
+  // it durably before applying anything under it — this is how a restarted
+  // old primary, re-pointed at the new one, auto-demotes.
+  uint64_t ack_epoch = 0;
+  if (ParseEpoch(ack->body, &ack_epoch)) {
+    XMLQ_RETURN_IF_ERROR(CheckFrameEpoch(ack_epoch));
   }
 
   // Reassembly state for the in-flight shipment.
@@ -216,6 +287,7 @@ Status ReplicationClient::StreamOnce(net::Client* client) {
         if (!net::DecodeReplRecord(frame->payload, &record)) {
           return Status::ParseError("malformed repl record frame");
         }
+        XMLQ_RETURN_IF_ERROR(CheckFrameEpoch(record.epoch));
         assembling = true;
         buffer.clear();
         if (record.snapshot_size == 0) {
@@ -231,6 +303,7 @@ Status ReplicationClient::StreamOnce(net::Client* client) {
         if (!net::DecodeReplChunk(frame->payload, &chunk)) {
           return Status::ParseError("malformed repl chunk frame");
         }
+        XMLQ_RETURN_IF_ERROR(CheckFrameEpoch(chunk.epoch));
         if (!assembling || chunk.generation != record.generation ||
             chunk.offset != buffer.size() ||
             chunk.total_size != record.snapshot_size) {
@@ -263,7 +336,18 @@ Status ReplicationClient::StreamOnce(net::Client* client) {
         if (!net::DecodeReplHeartbeat(frame->payload, &heartbeat)) {
           return Status::ParseError("malformed repl heartbeat frame");
         }
+        XMLQ_RETURN_IF_ERROR(CheckFrameEpoch(heartbeat.epoch));
         XMLQ_RETURN_IF_ERROR(ReconcileCensus(heartbeat, assembling));
+        if (!assembling) {
+          // Re-fetch requests ride the subscribe frame, so a heal that came
+          // due while this stream was healthy needs a reconnect to dispatch.
+          // Bounded by the heal backoff — never a tight loop.
+          std::lock_guard<std::mutex> lock(mu_);
+          if (HealDueLocked(NowMicros())) {
+            return Status::Internal(
+                "self-heal re-fetch due; reconnecting to request it");
+          }
+        }
         break;
       }
       default:
@@ -275,6 +359,10 @@ Status ReplicationClient::StreamOnce(net::Client* client) {
 
 Status ReplicationClient::ApplyShipment(const net::ReplRecordPayload& record,
                                         std::string_view bytes) {
+  // Apply-time fence: the record's term was checked when it was announced,
+  // but a promotion can land between the announcement and the last chunk —
+  // nothing commits under an outlived epoch.
+  XMLQ_RETURN_IF_ERROR(CheckFrameEpoch(record.epoch));
   storage::ManifestRecord manifest_record;
   manifest_record.op = static_cast<storage::ManifestOp>(record.op);
   manifest_record.generation = record.generation;
@@ -287,7 +375,12 @@ Status ReplicationClient::ApplyShipment(const net::ReplRecordPayload& record,
     std::lock_guard<std::mutex> lock(mu_);
     stats_.cursor = std::max(stats_.cursor, record.generation);
     ++stats_.records_applied;
+    applied_this_stream_ = true;
     apply_attempts_.erase(record.generation);
+    // A verified apply of a quarantined generation is the self-heal payoff:
+    // the quarantine lifts without operator action.
+    if (heal_.erase(record.generation) != 0) ++stats_.refetch_successes;
+    quarantined_.erase(record.generation);
     return Status::Ok();
   }
   NoteError(status);
@@ -299,12 +392,93 @@ Status ReplicationClient::ApplyShipment(const net::ReplRecordPayload& record,
   }
   // Divergence: the shipment keeps failing verification. Quarantine the
   // generation — move the cursor past it so it is never re-requested, keep
-  // serving the previous generation of the document (degrade, never drop).
+  // serving the previous generation of the document (degrade, never drop) —
+  // and schedule a self-heal re-fetch: transient corruption (a bad link, a
+  // primary mid-rewrite) heals on a later attempt; a truly diverged source
+  // exhausts the heal budget and the quarantine becomes terminal.
   apply_attempts_.erase(record.generation);
   quarantined_.insert(record.generation);
   stats_.cursor = std::max(stats_.cursor, record.generation);
   ++stats_.divergence_quarantines;
+  ScheduleHealLocked(record.generation);
   return Status::Ok();
+}
+
+Status ReplicationClient::CheckFrameEpoch(uint64_t frame_epoch) {
+  const uint64_t local = db_->epoch();
+  if (frame_epoch < local) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fenced_rejections;
+    }
+    return Status::InvalidArgument(
+        "fenced: frame epoch " + std::to_string(frame_epoch) +
+        " is behind local epoch " + std::to_string(local) +
+        " (stale primary after a promotion)");
+  }
+  if (frame_epoch > local) {
+    // Adopt-and-persist the newer term *before* anything applies under it:
+    // a crash right after still recovers knowing the promotion happened.
+    XMLQ_RETURN_IF_ERROR(db_->AdoptEpoch(frame_epoch));
+  }
+  return Status::Ok();
+}
+
+void ReplicationClient::ScheduleHeal(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Mark it locally quarantined so the census sweep does not escalate the
+  // gap to a full resync while the heal backoff runs.
+  quarantined_.insert(generation);
+  ScheduleHealLocked(generation);
+}
+
+void ReplicationClient::ScheduleHealLocked(uint64_t generation) {
+  auto it = heal_.try_emplace(generation).first;
+  HealEntry& entry = it->second;
+  if (entry.attempts >= config_.max_heal_attempts) {
+    // Terminal: every re-fetch of this generation failed verification too.
+    // The quarantine stands; a newer generation of the document (or an
+    // operator) resolves it.
+    heal_.erase(it);
+    return;
+  }
+  entry.next_due_micros = NowMicros() + HealBackoffLocked(entry.attempts);
+}
+
+uint64_t ReplicationClient::TakeDueRefetchLocked(uint64_t now_micros) {
+  for (auto& [generation, entry] : heal_) {
+    if (entry.next_due_micros > now_micros) continue;
+    if (entry.attempts >= config_.max_heal_attempts) continue;
+    ++entry.attempts;
+    entry.next_due_micros = now_micros + HealBackoffLocked(entry.attempts);
+    // The re-fetch gets a full verify budget of its own.
+    apply_attempts_.erase(generation);
+    ++stats_.refetch_attempts;
+    return generation;
+  }
+  return 0;
+}
+
+bool ReplicationClient::HealDueLocked(uint64_t now_micros) const {
+  for (const auto& [generation, entry] : heal_) {
+    if (entry.attempts < config_.max_heal_attempts &&
+        entry.next_due_micros <= now_micros) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t ReplicationClient::HealBackoffLocked(uint32_t attempt) {
+  const uint64_t base = std::max<uint64_t>(1, config_.heal_base_backoff_micros);
+  const uint64_t cap = std::max(base, config_.heal_max_backoff_micros);
+  uint64_t scaled = base;
+  for (uint32_t i = 0; i < attempt && scaled < cap; ++i) scaled *= 2;
+  scaled = std::min(scaled, cap);
+  // ±50% jitter: a fleet of healing followers must not re-fetch in lockstep.
+  std::uniform_int_distribution<uint64_t> jitter(scaled / 2,
+                                                 scaled + scaled / 2);
+  return jitter(heal_rng_);
 }
 
 Status ReplicationClient::ReconcileCensus(

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <set>
 #include <string>
 #include <thread>
@@ -43,6 +44,15 @@ struct ReplicationConfig {
   /// is quarantined: the cursor moves past it and the follower keeps
   /// serving the previous generation of that document. Degrade, never drop.
   uint32_t max_apply_attempts = 3;
+  /// Self-healing quarantine recovery (DESIGN.md §14): a quarantined
+  /// generation is re-fetched from the current primary on a jittered
+  /// doubling backoff (base * 2^attempt saturating at max, ±50% jitter),
+  /// verify-then-commit as always. After max_heal_attempts re-fetches the
+  /// quarantine becomes terminal — the primary itself keeps shipping bytes
+  /// that fail verification, so retrying cannot help.
+  uint64_t heal_base_backoff_micros = 100'000;
+  uint64_t heal_max_backoff_micros = 5'000'000;
+  uint32_t max_heal_attempts = 5;
   /// Staleness policy for follower reads (0 = unbounded). Applied to the
   /// gate installed into the Database; reads past the bound shed with a
   /// retryable overload status.
@@ -65,6 +75,12 @@ struct ReplicationStats {
   uint64_t apply_retries = 0;
   uint64_t divergence_quarantines = 0;
   uint64_t resyncs = 0;
+  uint64_t epoch = 0;              // the follower's persisted fencing term
+  uint64_t fenced_rejections = 0;  // frames/acks refused: stale epoch
+  uint64_t refetch_attempts = 0;   // self-heal re-fetches dispatched
+  uint64_t refetch_successes = 0;  // quarantines healed by a re-fetch
+  uint64_t quarantined = 0;        // gauge: generations currently given up on
+  uint64_t backoff_attempt = 0;    // current reconnect backoff rung
   std::string last_error;  // most recent disconnect/apply error ("" = none)
   /// Rendered as "repl_<key>=<value>" lines — the Server::extra_stats hook
   /// appends this to a follower's kStats responses.
@@ -90,7 +106,16 @@ struct ReplicationStats {
 ///    orphan sweep removes any uncommitted snapshot bytes;
 ///  - local store diverged from the census (missing/stale generation that
 ///    was never quarantined) → full resync: resubscribe from generation 0,
-///    per-name idempotence skips everything that is already intact.
+///    per-name idempotence skips everything that is already intact;
+///  - split brain (DESIGN.md §14) → every repl frame carries the primary's
+///    epoch: a frame from a term behind ours is fenced (rejected, counted,
+///    connection dropped), a newer term is adopted durably before anything
+///    applies under it — a restarted old primary pointed at the new one
+///    auto-demotes, and the census sweep resyncs whatever forked;
+///  - quarantined generation → self-heal: a re-fetch of exactly that
+///    generation is scheduled from the current primary with jittered
+///    bounded backoff; a verified apply clears the quarantine without
+///    operator action.
 class ReplicationClient {
  public:
   /// `db` must outlive this client.
@@ -145,6 +170,25 @@ class ReplicationClient {
   void NoteError(const Status& status);
   /// Interruptible backoff sleep; returns early when Stop() was requested.
   void SleepBackoff(uint32_t attempt, std::mt19937_64* rng);
+  /// Epoch fence (DESIGN.md §14): a frame term behind the local epoch is
+  /// refused (counted, stream reconnects — we outlived that primary); a
+  /// newer term is adopted and persisted before anything applies under it.
+  Status CheckFrameEpoch(uint64_t frame_epoch);
+  /// Schedules a self-heal re-fetch of `generation` and marks it
+  /// quarantined locally (suppresses the census resync while the backoff
+  /// runs). Fed by the divergence quarantine and by the Database's
+  /// quarantine hook (the scrubber); safe from any thread.
+  void ScheduleHeal(uint64_t generation);
+  /// ScheduleHeal's body; caller holds mu_. Erases the entry instead when
+  /// its attempt budget is spent — the quarantine becomes terminal.
+  void ScheduleHealLocked(uint64_t generation);
+  /// Picks the due heal target (0 = none) and marks its dispatch: bumps
+  /// attempts/refetch_attempts, re-arms the backoff, clears the
+  /// generation's apply attempts so the re-fetch gets a full verify budget.
+  uint64_t TakeDueRefetchLocked(uint64_t now_micros);
+  bool HealDueLocked(uint64_t now_micros) const;
+  /// Jittered doubling heal backoff for dispatch number `attempt`.
+  uint64_t HealBackoffLocked(uint32_t attempt);
 
   api::Database* const db_;
   const ReplicationConfig config_;
@@ -165,6 +209,18 @@ class ReplicationClient {
   /// trigger a resync (the gap is deliberate); a newer generation of the
   /// same document ships and serves normally.
   std::set<uint64_t> quarantined_;
+  /// Self-heal schedule (DESIGN.md §14), generation -> backoff state. An
+  /// entry leaves the map on a verified apply (healed) or when its attempt
+  /// budget is spent (terminal quarantine).
+  struct HealEntry {
+    uint32_t attempts = 0;         // re-fetches dispatched so far
+    uint64_t next_due_micros = 0;  // steady-clock due time
+  };
+  std::map<uint64_t, HealEntry> heal_;
+  std::mt19937_64 heal_rng_;  // guarded by mu_
+  /// Satellite of the backoff contract: the reconnect schedule resets to
+  /// base only after a stream that durably applied at least one shipment.
+  bool applied_this_stream_ = false;  // guarded by mu_
 };
 
 }  // namespace xmlq::repl

@@ -40,6 +40,7 @@ std::string_view ManifestOpName(uint32_t op) {
     case ManifestOp::kRegister: return "register";
     case ManifestOp::kRemove: return "remove";
     case ManifestOp::kQuarantine: return "quarantine";
+    case ManifestOp::kEpoch: return "epoch";
   }
   return "?";
 }
@@ -75,6 +76,13 @@ std::string Manifest::EncodeRecord(const ManifestRecord& record) {
 }
 
 void Manifest::Apply(const ManifestRecord& record) {
+  if (record.op == ManifestOp::kEpoch) {
+    // The epoch is its own monotone counter, stored in the generation
+    // field; it must not advance the snapshot-generation clock (the
+    // replication cursor) or the two orderings would entangle.
+    epoch_ = std::max(epoch_, record.generation);
+    return;
+  }
   max_generation_ = std::max(max_generation_, record.generation);
   switch (record.op) {
     case ManifestOp::kRegister:
@@ -84,6 +92,8 @@ void Manifest::Apply(const ManifestRecord& record) {
     case ManifestOp::kQuarantine:
       entries_.erase(record.name);
       break;
+    case ManifestOp::kEpoch:
+      break;  // handled above
   }
 }
 
@@ -245,11 +255,19 @@ Status Manifest::Compact() {
   header.version = kManifestVersion;
   header.crc = Crc32(&header, offsetof(ManifestFileHeader, crc));
   std::string image(reinterpret_cast<const char*>(&header), sizeof(header));
+  if (epoch_ > 0) {
+    // The epoch record would otherwise be dead weight compaction drops —
+    // and with it the fencing term. Re-emit it first.
+    ManifestRecord epoch_record;
+    epoch_record.op = ManifestOp::kEpoch;
+    epoch_record.generation = epoch_;
+    image += EncodeRecord(epoch_record);
+  }
   for (const auto& [name, record] : entries_) {
     image += EncodeRecord(record);
   }
   XMLQ_RETURN_IF_ERROR(WriteFileAtomic(journal_path_, image));
-  record_count_ = entries_.size();
+  record_count_ = entries_.size() + (epoch_ > 0 ? 1 : 0);
   return Status::Ok();
 }
 

@@ -52,6 +52,7 @@ enum class ManifestOp : uint32_t {
   kRegister = 1,    // (re)binds name -> snapshot file; replace = higher gen
   kRemove = 2,      // drops name from the catalog
   kQuarantine = 3,  // drops name; its snapshot was renamed *.quarantined
+  kEpoch = 4,       // replication epoch (fencing term) in `generation`
 };
 
 /// Stable lowercase name for an op ("register", ...); "?" for unknown.
@@ -116,8 +117,18 @@ class Manifest {
   uint64_t NextGeneration() { return ++max_generation_; }
 
   /// Highest generation any applied record carried — the manifest's logical
-  /// clock, and the replication cursor a follower resumes from.
+  /// clock, and the replication cursor a follower resumes from. kEpoch
+  /// records do not advance it: the epoch is a separate counter (below).
   uint64_t max_generation() const { return max_generation_; }
+
+  /// Replication epoch (fencing term, DESIGN.md §14): the highest value any
+  /// applied kEpoch record carried. 0 until the first promotion anywhere in
+  /// this store's replication group. A kEpoch record stores the epoch in its
+  /// `generation` field (name/file empty, snapshot fields zero) and never
+  /// ships — followers learn the epoch from the wire frames and persist
+  /// their own record. Compact() re-emits it so it survives journal
+  /// rewrites.
+  uint64_t epoch() const { return epoch_; }
 
   /// Live registrations with generation > cursor, ascending by generation:
   /// exactly what a subscriber at `cursor` still needs shipped. Removals
@@ -173,6 +184,7 @@ class Manifest {
   std::map<std::string, ManifestRecord, std::less<>> entries_;
   ManifestReplayInfo replay_;
   uint64_t max_generation_ = 0;
+  uint64_t epoch_ = 0;
   uint64_t record_count_ = 0;
 };
 

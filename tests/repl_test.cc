@@ -7,6 +7,14 @@
 // drop), and a fork+kill-point crash matrix over ApplyReplicated asserting
 // every crash recovers to exactly the old or exactly the new generation.
 //
+// Coordinated failover (DESIGN.md §14): epoch persistence and compaction
+// survival, promotion with its own fork+kill-point matrix, the split-brain
+// fence at the subscribe ack, at mid-stream frames and on the server side,
+// auto-demotion of a stale primary back into a converged follower, the
+// structured follower write refusal, backoff reset only after an applied
+// shipment, and self-healing quarantine recovery (both the divergence path
+// and the scrubber path).
+//
 // All temp paths are relative, so they land under the build tree.
 
 #include <gtest/gtest.h>
@@ -17,6 +25,7 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -127,12 +136,23 @@ net::ServerConfig FastServerConfig() {
 // Payload codecs: round-trips and hostile bytes
 
 TEST(ReplCodecTest, SubscribeRoundTripAndHostile) {
-  uint64_t out = 0;
-  ASSERT_TRUE(net::DecodeReplSubscribe(net::EncodeReplSubscribe(42), &out));
-  EXPECT_EQ(out, 42u);
+  net::ReplSubscribePayload subscribe;
+  subscribe.from_generation = 42;
+  subscribe.epoch = 7;
+  subscribe.refetch_generation = 9;
+  const std::string wire = net::EncodeReplSubscribe(subscribe);
+  ASSERT_EQ(wire.size(), 24u);  // three u64s, nothing else
+  net::ReplSubscribePayload out;
+  ASSERT_TRUE(net::DecodeReplSubscribe(wire, &out));
+  EXPECT_EQ(out.from_generation, 42u);
+  EXPECT_EQ(out.epoch, 7u);
+  EXPECT_EQ(out.refetch_generation, 9u);
   EXPECT_FALSE(net::DecodeReplSubscribe("", &out));
-  EXPECT_FALSE(net::DecodeReplSubscribe("1234567", &out));    // short
-  EXPECT_FALSE(net::DecodeReplSubscribe("123456789", &out));  // trailing
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(net::DecodeReplSubscribe(wire.substr(0, len), &out))
+        << "accepted truncation at " << len;
+  }
+  EXPECT_FALSE(net::DecodeReplSubscribe(wire + "x", &out));  // trailing
 }
 
 TEST(ReplCodecTest, RecordRoundTripAndHostile) {
@@ -141,6 +161,7 @@ TEST(ReplCodecTest, RecordRoundTripAndHostile) {
   record.generation = 7;
   record.snapshot_size = 1234;
   record.snapshot_crc = 0xDEADBEEF;
+  record.epoch = 3;
   record.name = "auction.xml";
   record.file = "auction.xml.g7.xqpack";
   const std::string wire = net::EncodeReplRecord(record);
@@ -150,13 +171,14 @@ TEST(ReplCodecTest, RecordRoundTripAndHostile) {
   EXPECT_EQ(out.generation, 7u);
   EXPECT_EQ(out.snapshot_size, 1234u);
   EXPECT_EQ(out.snapshot_crc, 0xDEADBEEFu);
+  EXPECT_EQ(out.epoch, 3u);
   EXPECT_EQ(out.name, record.name);
   EXPECT_EQ(out.file, record.file);
   // Hostile: truncation anywhere in the fixed fields or the name must be
   // rejected, never over-read. (The file field is the payload remainder by
   // design — truncating it yields a *shorter file name*, which the apply
   // path's ".xqpack" validation rejects; see HostileRecordsRejected.)
-  const size_t kFixedAndName = 28 + record.name.size();
+  const size_t kFixedAndName = 36 + record.name.size();
   for (size_t len = 0; len < kFixedAndName; ++len) {
     EXPECT_FALSE(net::DecodeReplRecord(wire.substr(0, len), &out))
         << "accepted truncation at " << len;
@@ -170,6 +192,7 @@ TEST(ReplCodecTest, ChunkRoundTripAndHostile) {
   chunk.generation = 9;
   chunk.offset = 100;
   chunk.total_size = 200;
+  chunk.epoch = 5;
   chunk.bytes = std::string(50, 'x');
   const std::string wire = net::EncodeReplChunk(chunk);
   net::ReplChunkPayload out;
@@ -177,6 +200,7 @@ TEST(ReplCodecTest, ChunkRoundTripAndHostile) {
   EXPECT_EQ(out.generation, 9u);
   EXPECT_EQ(out.offset, 100u);
   EXPECT_EQ(out.total_size, 200u);
+  EXPECT_EQ(out.epoch, 5u);
   EXPECT_EQ(out.bytes, chunk.bytes);
   // offset past total_size.
   chunk.offset = 300;
@@ -184,19 +208,21 @@ TEST(ReplCodecTest, ChunkRoundTripAndHostile) {
   // bytes overrunning total_size.
   chunk.offset = 180;
   EXPECT_FALSE(net::DecodeReplChunk(net::EncodeReplChunk(chunk), &out));
-  for (size_t len = 0; len < 24; ++len) {
+  for (size_t len = 0; len < 32; ++len) {
     EXPECT_FALSE(net::DecodeReplChunk(wire.substr(0, len), &out));
   }
 }
 
 TEST(ReplCodecTest, HeartbeatRoundTripAndHostile) {
   net::ReplHeartbeatPayload heartbeat;
+  heartbeat.epoch = 2;
   heartbeat.max_generation = 31;
   heartbeat.live.push_back({"a.xml", 30});
   heartbeat.live.push_back({"b.xml", 31});
   const std::string wire = net::EncodeReplHeartbeat(heartbeat);
   net::ReplHeartbeatPayload out;
   ASSERT_TRUE(net::DecodeReplHeartbeat(wire, &out));
+  EXPECT_EQ(out.epoch, 2u);
   EXPECT_EQ(out.max_generation, 31u);
   ASSERT_EQ(out.live.size(), 2u);
   EXPECT_EQ(out.live[0].name, "a.xml");
@@ -214,7 +240,7 @@ TEST(ReplCodecTest, HeartbeatRoundTripAndHostile) {
     EXPECT_FALSE(net::DecodeReplHeartbeat(wire.substr(0, len), &out))
         << "accepted truncation at " << len;
   }
-  std::string bomb = wire.substr(0, 8);
+  std::string bomb = wire.substr(0, 16);  // [u64 epoch][u64 max_generation]
   bomb += std::string("\xff\xff\xff\xff", 4);  // live_count = 2^32-1
   EXPECT_FALSE(net::DecodeReplHeartbeat(bomb, &out));
 }
@@ -802,6 +828,521 @@ TEST(ReplCrashMatrixTest, InjectedApplyCommitFaultLeavesNoState) {
   // Retry succeeds.
   EXPECT_TRUE(db.ApplyReplicated(shipment.record, shipment.bytes).ok());
   EXPECT_TRUE(db.Contains("bib.xml"));
+}
+
+// ---------------------------------------------------------------------------
+// The replication epoch (DESIGN.md §14): persisted in the manifest, replayed
+// on open, monotone, and a compaction survivor.
+
+TEST(ManifestEpochTest, PersistsReplaysMonotoneAndSurvivesCompaction) {
+  TempDir dir("repl_epoch_manifest");
+  {
+    auto manifest = storage::Manifest::Open(dir.path());
+    ASSERT_TRUE(manifest.ok());
+    EXPECT_EQ(manifest->epoch(), 0u);
+    ManifestRecord epoch_record;
+    epoch_record.op = ManifestOp::kEpoch;
+    epoch_record.generation = 3;  // kEpoch stores the term in `generation`
+    ASSERT_TRUE(manifest->Append(epoch_record).ok());
+    EXPECT_EQ(manifest->epoch(), 3u);
+    // Monotone: a stale/lower term replayed later never regresses it.
+    epoch_record.generation = 2;
+    ASSERT_TRUE(manifest->Append(epoch_record).ok());
+    EXPECT_EQ(manifest->epoch(), 3u);
+    // The epoch is not the generation clock, and it never ships: the
+    // subscriber delta carries registrations only.
+    EXPECT_EQ(manifest->max_generation(), 0u);
+    EXPECT_TRUE(manifest->LiveRecordsAbove(0).empty());
+  }
+  {
+    auto reopened = storage::Manifest::Open(dir.path());
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened->epoch(), 3u);
+    ASSERT_TRUE(reopened->Compact().ok());
+    EXPECT_EQ(reopened->epoch(), 3u);
+  }
+  auto compacted = storage::Manifest::Open(dir.path());
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted->epoch(), 3u);
+}
+
+TEST(PromoteTest, BumpsPersistsAndLiftsFollowerMode) {
+  TempDir dir("repl_promote_store");
+  {
+    Database db;
+    ASSERT_TRUE(db.Attach(dir.path()).ok());
+    EXPECT_EQ(db.epoch(), 0u);
+    db.SetFollower(true);
+    auto epoch = db.Promote();
+    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+    EXPECT_EQ(*epoch, 1u);
+    EXPECT_EQ(db.epoch(), 1u);
+    // Follower mode lifted: writes accepted again.
+    ASSERT_TRUE(db.RegisterDocument("bib.xml", MakeBib(3)).ok());
+    EXPECT_TRUE(db.Persist("bib.xml").ok());
+    // AdoptEpoch is monotone: lower or equal terms are no-ops, higher
+    // terms persist.
+    ASSERT_TRUE(db.AdoptEpoch(1).ok());
+    EXPECT_EQ(db.epoch(), 1u);
+    ASSERT_TRUE(db.AdoptEpoch(9).ok());
+    EXPECT_EQ(db.epoch(), 9u);
+  }
+  // The epoch is durable and the next promotion continues from it.
+  Database reopened;
+  ASSERT_TRUE(reopened.Attach(dir.path()).ok());
+  EXPECT_EQ(reopened.epoch(), 9u);
+  auto epoch = reopened.Promote();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 10u);
+}
+
+TEST(PromoteTest, WithoutStoreRefuses) {
+  Database db;
+  EXPECT_EQ(db.Promote().status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.AdoptEpoch(5).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.AdoptEpoch(0).ok());  // no-op needs no store
+}
+
+// Satellite: the follower write refusal is structured — it names the
+// primary (when known) and carries a machine-readable retry-after hint.
+TEST(FollowerModeTest, RefusalNamesPrimaryAndCarriesRetryHint) {
+  TempDir dir("repl_refusal_store");
+  Database db;
+  ASSERT_TRUE(db.Attach(dir.path()).ok());
+  ASSERT_TRUE(db.RegisterDocument("bib.xml", MakeBib(3)).ok());
+  db.SetFollower(true);
+  // Primary unknown: still a structured refusal with a retry hint.
+  Status status = db.Persist("bib.xml");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("primary unknown"), std::string::npos)
+      << status.message();
+  EXPECT_GT(exec::RetryAfterMicrosFromStatus(status), 0u);
+  // With the hint installed (ReplicationClient::Start does this), the
+  // refusal tells the client exactly where writes go.
+  db.SetPrimaryHint("10.1.2.3:7227");
+  status = db.Remove("bib.xml");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("10.1.2.3:7227"), std::string::npos)
+      << status.message();
+  EXPECT_GT(exec::RetryAfterMicrosFromStatus(status), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Promotion crash matrix: fork a child, kill it at every write boundary of
+// Promote(), assert recovery lands on exactly the old or exactly the new
+// epoch — never torn, never skipped ahead.
+
+/// Forks a child that attaches `dir`, arms XMLQ_CRASH=`site`, and promotes.
+/// 2 = killed at the site, 0 = completed without hitting it.
+int RunPromoteCrashChild(const std::string& dir, const std::string& site) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // In the child: only _exit() paths from here on (no gtest teardown).
+    Database db;
+    if (!db.Attach(dir, SnapshotOpenMode::kCopy).ok()) _exit(3);
+    ::setenv("XMLQ_CRASH", site.c_str(), 1);
+    auto epoch = db.Promote();
+    _exit(epoch.ok() ? 0 : 4);
+  }
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+}
+
+TEST(PromoteCrashMatrixTest, EveryPromoteKillPointYieldsOldOrNewEpoch) {
+  // Promote() is one fsync'd manifest append, so its boundaries are its own
+  // kill points plus the append sites it runs through.
+  const char* kSites[] = {
+      "promote.begin",
+      "file.append.torn",
+      "file.append.written",
+      "file.append.synced",
+      "promote.committed",
+  };
+  for (const char* site : kSites) {
+    SCOPED_TRACE(site);
+    TempDir dir("repl_promote_crash");
+    {
+      // Seed: a store with data and a non-zero starting term.
+      Database seed;
+      ASSERT_TRUE(seed.Attach(dir.path()).ok());
+      ASSERT_TRUE(seed.RegisterDocument("bib.xml", MakeBib(4)).ok());
+      ASSERT_TRUE(seed.Persist("bib.xml").ok());
+      ASSERT_TRUE(seed.AdoptEpoch(2).ok());
+    }
+    ASSERT_EQ(RunPromoteCrashChild(dir.path(), site), 2) << "site not reached";
+
+    Database recovered;
+    auto report = recovered.Attach(dir.path());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->quarantined.empty()) << report->ToString();
+    // Exactly the old or exactly the new term.
+    EXPECT_TRUE(recovered.epoch() == 2u || recovered.epoch() == 3u)
+        << "torn epoch: " << recovered.epoch();
+    // The store still serves, and the next promotion still lands.
+    EXPECT_TRUE(recovered.QueryPath("//book/title", "bib.xml").ok());
+    auto epoch = recovered.Promote();
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_TRUE(*epoch == 3u || *epoch == 4u) << *epoch;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Split-brain prevention: the epoch fence at every layer (DESIGN.md §14)
+
+// Server-side fence: a subscriber announcing a term from the future (it was
+// promoted; we are the stale side) is refused at the subscribe ack, and the
+// refused follower is not harmed — it keeps serving, keeps its epoch, and
+// backs off instead of spinning (a refused stream never resets the rung).
+TEST_F(ReplEndToEndTest, ServerFencesSubscriberFromTheFuture) {
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(5)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  StartFollower();
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+  const std::string image = DocImage(*follower_db_, "bib.xml");
+  follower_->Stop();
+  follower_.reset();
+  follower_db_.reset();
+
+  // The follower's store learns of a promotion this primary never saw.
+  {
+    Database db;
+    ASSERT_TRUE(db.Attach(follower_dir_->path()).ok());
+    ASSERT_TRUE(db.AdoptEpoch(5).ok());
+  }
+  StartFollower();
+  ASSERT_TRUE(WaitFor([&] {
+    return follower_->stats().fenced_rejections >= 1;
+  })) << follower_->stats().ToString();
+  EXPECT_GE(server_->stats().repl_fenced_subscribes, 1u);
+  // Fencing never corrupts the follower: it keeps serving its catalog and
+  // its adopted term.
+  EXPECT_EQ(DocImage(*follower_db_, "bib.xml"), image);
+  EXPECT_EQ(follower_db_->epoch(), 5u);
+  EXPECT_EQ(follower_->stats().epoch, 5u);
+  // The backoff reset is earned by an applied shipment; refused streams
+  // climb the rungs.
+  ASSERT_TRUE(WaitFor([&] {
+    return follower_->stats().backoff_attempt >= 3;
+  })) << follower_->stats().ToString();
+}
+
+// Client-side fence, heartbeat and record cells. The stream is ordered, so
+// whichever frame type arrives first after a local term change must trip
+// the fence (CheckFrameEpoch guards the ack, record, chunk, heartbeat and
+// the apply commit identically).
+TEST_F(ReplEndToEndTest, MidStreamTermChangeFencesHeartbeatAndRecordFrames) {
+  // Heartbeat cell: a caught-up stream carries only heartbeats; adopting a
+  // newer term locally fences the very next one.
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(5)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  StartFollower();
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+  ASSERT_TRUE(follower_db_->AdoptEpoch(3).ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return follower_->stats().fenced_rejections >= 1;
+  })) << follower_->stats().ToString();
+  const std::string image = DocImage(*follower_db_, "bib.xml");
+  EXPECT_EQ(DocImage(*primary_db_, "bib.xml"), image);
+  follower_->Stop();
+  follower_.reset();
+  follower_db_.reset();
+
+  // Record cell: restart the primary with heartbeats effectively off and a
+  // fresh follower store. Once caught up (silent link), adopt a newer term
+  // locally, then persist on the primary — the fence must trip on the
+  // record frame itself.
+  ASSERT_TRUE(server_->Shutdown().ok());
+  server_.reset();
+  net::ServerConfig quiet = FastServerConfig();
+  quiet.port = port_;
+  quiet.repl_heartbeat_micros = 60'000'000;
+  server_ = std::make_unique<net::Server>(primary_db_.get(), quiet);
+  ASSERT_TRUE(server_->Start().ok());
+  port_ = server_->port();
+  TempDir fresh_dir("repl_fence_record_store");
+  StartFollower(FastReplConfig(port_, fresh_dir.path()));
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }))
+      << follower_->stats().ToString();
+  const uint64_t fenced_before = follower_->stats().fenced_rejections;
+  ASSERT_TRUE(follower_db_->AdoptEpoch(7).ok());
+  ASSERT_TRUE(primary_db_->RegisterDocument("late.xml", MakeBib(4)).ok());
+  ASSERT_TRUE(primary_db_->Persist("late.xml").ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return follower_->stats().fenced_rejections > fenced_before;
+  })) << follower_->stats().ToString();
+  // The fenced shipment never applied, and the store re-attaches clean.
+  EXPECT_FALSE(follower_db_->Contains("late.xml"));
+  EXPECT_EQ(DocImage(*follower_db_, "bib.xml"),
+            DocImage(*primary_db_, "bib.xml"));
+  follower_->Stop();
+  follower_.reset();
+  follower_db_.reset();
+  Database reattached;
+  auto report = reattached.Attach(fresh_dir.path());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->quarantined.empty()) << report->ToString();
+  EXPECT_EQ(reattached.epoch(), 7u);
+  EXPECT_FALSE(reattached.Contains("late.xml"));
+}
+
+// The full failover story at library level, driven over the wire: promote
+// the follower with the kPromote admin frame, write on both sides of the
+// partition, then re-point the stale primary at the new one — it must
+// auto-demote (adopt the term durably), drop its forked write via the
+// census, resync what it lacks, and refuse writes from then on.
+TEST_F(ReplEndToEndTest, PromoteOverWireStalePrimaryAutoDemotesAndReconverges) {
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(6)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  ASSERT_TRUE(primary_db_->RegisterDocument("keep.xml", MakeBib(3)).ok());
+  ASSERT_TRUE(primary_db_->Persist("keep.xml").ok());
+  StartFollower();
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+
+  // Stand the follower up as a server with the promote hook wired the way
+  // xmlq_serve wires it: stop replicating first, then bump the epoch.
+  net::ServerConfig new_primary_config = FastServerConfig();
+  new_primary_config.on_promote = [this]() -> Result<uint64_t> {
+    if (follower_ != nullptr) follower_->Stop();
+    return follower_db_->Promote();
+  };
+  net::Server new_primary(follower_db_.get(), new_primary_config);
+  ASSERT_TRUE(new_primary.Start().ok());
+
+  auto admin = net::Client::Connect("127.0.0.1", new_primary.port());
+  ASSERT_TRUE(admin.ok());
+  auto ack = admin->Promote();
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  ASSERT_EQ(ack->code, StatusCode::kOk) << ack->body;
+  EXPECT_NE(ack->body.find("epoch=1"), std::string::npos) << ack->body;
+  EXPECT_EQ(follower_db_->epoch(), 1u);
+  EXPECT_GE(new_primary.stats().promotes, 1u);
+
+  // The new primary accepts writes; the old one diverges behind the
+  // partition (a split-brain write that must not survive).
+  ASSERT_TRUE(follower_db_->RegisterDocument("new.xml", MakeBib(9)).ok());
+  ASSERT_TRUE(follower_db_->Persist("new.xml").ok());
+  ASSERT_TRUE(primary_db_->RegisterDocument("fork.xml", MakeBib(2)).ok());
+  ASSERT_TRUE(primary_db_->Persist("fork.xml").ok());
+
+  // Operators (and failover_smoke.sh) read the term off the stats frame.
+  auto stats_body = admin->Stats();
+  ASSERT_TRUE(stats_body.ok());
+  EXPECT_NE(stats_body->body.find("epoch=1\n"), std::string::npos)
+      << stats_body->body;
+
+  // The stale primary comes back and is re-pointed at the new one.
+  ASSERT_TRUE(server_->Shutdown().ok());
+  server_.reset();
+  auto demoted = std::make_unique<ReplicationClient>(
+      primary_db_.get(),
+      FastReplConfig(new_primary.port(), primary_dir_->path()));
+  ASSERT_TRUE(demoted->Start().ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return primary_db_->epoch() == 1 && !primary_db_->Contains("fork.xml") &&
+           primary_db_->Contains("new.xml");
+  })) << demoted->stats().ToString();
+  for (const char* name : {"bib.xml", "keep.xml", "new.xml"}) {
+    EXPECT_EQ(DocImage(*primary_db_, name), DocImage(*follower_db_, name))
+        << name;
+  }
+  // Demoted means read-only, with the refusal pointing at the new primary.
+  const Status refused = primary_db_->Persist("bib.xml");
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.message().find(std::to_string(new_primary.port())),
+            std::string::npos)
+      << refused.message();
+  demoted->Stop();
+  demoted.reset();
+  // The adopted term is durable on the demoted side.
+  primary_db_.reset();
+  primary_db_ = std::make_unique<Database>();
+  ASSERT_TRUE(primary_db_->Attach(primary_dir_->path()).ok());
+  EXPECT_EQ(primary_db_->epoch(), 1u);
+  ASSERT_TRUE(new_primary.Shutdown().ok());
+}
+
+// A server without the promote hook refuses the admin frame cleanly.
+TEST_F(ReplEndToEndTest, PromoteFrameWithoutHookRefuses) {
+  auto client = net::Client::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(client.ok());
+  auto ack = client->Promote();
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->code, StatusCode::kInvalidArgument) << ack->body;
+  EXPECT_EQ(server_->stats().promotes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the reconnect backoff resets to base only after a stream that
+// actually applied a shipment — connect-and-refused (or connect-and-idle)
+// streams keep climbing.
+
+TEST_F(ReplEndToEndTest, ReconnectBackoffResetsOnlyAfterAppliedShipment) {
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(4)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  // Phase 1: no server — the rung climbs and stays climbed.
+  ASSERT_TRUE(server_->Shutdown().ok());
+  server_.reset();
+  ReplicationConfig config = FastReplConfig(port_, follower_dir_->path());
+  config.base_backoff_micros = 30'000;
+  config.max_backoff_micros = 240'000;
+  StartFollower(config);
+  ASSERT_TRUE(WaitFor([&] {
+    return follower_->stats().backoff_attempt >= 4;
+  })) << follower_->stats().ToString();
+
+  // Phase 2: the primary returns; the stream applies the shipment.
+  StartServer();
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }))
+      << follower_->stats().ToString();
+  ASSERT_GE(follower_->stats().records_applied, 1u);
+
+  // Phase 3: kill it again. Because the last stream applied, the schedule
+  // restarts at the base rung — observable as the attempt counter dropping
+  // below phase 1's high-water mark before climbing again.
+  ASSERT_TRUE(server_->Shutdown().ok());
+  server_.reset();
+  bool saw_reset = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (std::chrono::steady_clock::now() < deadline && !saw_reset) {
+    const uint64_t rung = follower_->stats().backoff_attempt;
+    saw_reset = rung >= 1 && rung <= 2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(saw_reset) << follower_->stats().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing quarantine recovery (DESIGN.md §14)
+
+// Transient in-flight corruption exhausts the apply budget and quarantines
+// the generation; the scheduled re-fetch then repairs it with no operator
+// action and the quarantine gauge returns to zero.
+TEST_F(ReplEndToEndTest, DivergenceQuarantineSelfHealsWithoutOperator) {
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(5)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  ReplicationConfig config = FastReplConfig(port_, follower_dir_->path());
+  config.heal_base_backoff_micros = 10'000;
+  config.heal_max_backoff_micros = 100'000;
+  StartFollower(config);
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+  const std::string v1 = DocImage(*follower_db_, "bib.xml");
+
+  // v2 corrupts in flight exactly max_apply_attempts times, then clears —
+  // the transient fault self-heal exists for.
+  FaultInjector::Instance().Arm("repl.apply.chunk", /*skip=*/0, /*count=*/3);
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(25)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return follower_->stats().divergence_quarantines >= 1;
+  })) << follower_->stats().ToString();
+
+  ASSERT_TRUE(WaitFor([&] {
+    const ReplicationStats stats = follower_->stats();
+    return stats.refetch_successes >= 1 && stats.quarantined == 0;
+  })) << follower_->stats().ToString();
+  ASSERT_TRUE(WaitFor([&] {
+    return DocImage(*follower_db_, "bib.xml") ==
+           DocImage(*primary_db_, "bib.xml");
+  })) << follower_->stats().ToString();
+  EXPECT_NE(DocImage(*follower_db_, "bib.xml"), v1);
+  EXPECT_GE(follower_->stats().refetch_attempts, 1u);
+}
+
+// The scrubber path: local disk rot on the replica quarantines a snapshot;
+// the quarantine hook hands the generation to the replication client, which
+// re-fetches it from the primary instead of leaving a hole.
+TEST_F(ReplEndToEndTest, ScrubberQuarantineSelfHealsFromPrimary) {
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(8)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  ReplicationConfig config = FastReplConfig(port_, follower_dir_->path());
+  config.heal_base_backoff_micros = 10'000;
+  config.heal_max_backoff_micros = 100'000;
+  config.mode = SnapshotOpenMode::kCopy;  // serve from memory, not the bad disk
+  StartFollower(config);
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+  const std::string image = DocImage(*follower_db_, "bib.xml");
+  ASSERT_FALSE(image.empty());
+
+  // Flip one byte of the replica's snapshot file on disk.
+  std::string snapshot_file;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(follower_dir_->path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".xqpack") != std::string::npos) {
+      snapshot_file = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(snapshot_file.empty());
+  {
+    std::fstream file(snapshot_file,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(100);
+    char byte = 0;
+    file.get(byte);
+    file.seekp(100);
+    file.put(static_cast<char>(byte ^ 0x01));
+  }
+
+  // The scrubber quarantines it — and, because a replication client is
+  // attached, the quarantine hook schedules the re-fetch.
+  auto report = follower_db_->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->corrupt, 1u) << report->ToString();
+
+  // Self-heal: the document comes back byte-identical, the gauge drops to
+  // zero, and the store re-attaches clean.
+  ASSERT_TRUE(WaitFor([&] {
+    const ReplicationStats stats = follower_->stats();
+    return stats.refetch_successes >= 1 && stats.quarantined == 0 &&
+           follower_db_->Contains("bib.xml");
+  })) << follower_->stats().ToString();
+  EXPECT_EQ(DocImage(*follower_db_, "bib.xml"), image);
+  follower_->Stop();
+  follower_.reset();
+  follower_db_.reset();
+  Database reattached;
+  auto reattach = reattached.Attach(follower_dir_->path());
+  ASSERT_TRUE(reattach.ok());
+  EXPECT_TRUE(reattach->quarantined.empty()) << reattach->ToString();
+  EXPECT_EQ(DocImage(reattached, "bib.xml"), image);
+}
+
+// Bounded attempts: when the primary keeps shipping bytes that cannot
+// verify, the heal budget runs out and the quarantine becomes terminal —
+// no infinite re-fetch loop — while the previous generation keeps serving.
+TEST_F(ReplEndToEndTest, SelfHealGivesUpAfterBoundedAttempts) {
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(5)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  ReplicationConfig config = FastReplConfig(port_, follower_dir_->path());
+  config.heal_base_backoff_micros = 5'000;
+  config.heal_max_backoff_micros = 20'000;
+  config.max_heal_attempts = 2;
+  StartFollower(config);
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+  const std::string v1 = DocImage(*follower_db_, "bib.xml");
+
+  // Permanent corruption: every shipped chunk rots, so every re-fetch
+  // fails verification too.
+  FaultInjector::Instance().Arm("repl.apply.chunk");
+  ASSERT_TRUE(primary_db_->RegisterDocument("bib.xml", MakeBib(25)).ok());
+  ASSERT_TRUE(primary_db_->Persist("bib.xml").ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return follower_->stats().divergence_quarantines >= 1;
+  })) << follower_->stats().ToString();
+  // The budgeted re-fetches run and stop; the gauge stays at one (terminal)
+  // and v1 keeps serving.
+  ASSERT_TRUE(WaitFor([&] {
+    return follower_->stats().refetch_attempts >= config.max_heal_attempts;
+  })) << follower_->stats().ToString();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_LE(follower_->stats().refetch_attempts,
+            uint64_t{config.max_heal_attempts} + 1);
+  EXPECT_EQ(follower_->stats().refetch_successes, 0u);
+  EXPECT_EQ(DocImage(*follower_db_, "bib.xml"), v1);
+  FaultInjector::Instance().Reset();
 }
 
 }  // namespace

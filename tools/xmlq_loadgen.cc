@@ -44,7 +44,7 @@ int Usage(const char* argv0) {
                "usage: %s [--host H] [--port N] [--clients N]\n"
                "          [--duration-s N] [--query Q] [--max-attempts N]\n"
                "          [--repeat-mix N] [--parallelism N]\n"
-               "          [--once Q] [--stats]\n"
+               "          [--once Q] [--stats] [--promote]\n"
                "  --repeat-mix N  instead of one fixed query, draw each\n"
                "                  request Zipf-style from N value-predicate\n"
                "                  variants (exercises the server plan cache)\n"
@@ -54,30 +54,38 @@ int Usage(const char* argv0) {
                "                  to stdout and exit by status (scripts\n"
                "                  byte-compare primary vs follower answers)\n"
                "  --stats         fetch and print the server's stats body\n"
-               "                  once, then exit\n",
+               "                  once, then exit (a follower's body carries\n"
+               "                  epoch= and the self-heal counters)\n"
+               "  --promote       send the kPromote admin frame (coordinated\n"
+               "                  failover: the server stops replicating,\n"
+               "                  bumps+persists its epoch and lifts follower\n"
+               "                  mode), print the ack body, exit by status\n",
                argv0);
   return 2;
 }
 
-/// The --once / --stats one-shot path: one request, raw body to stdout,
-/// exit 0 only on an OK response. Retries overloads (a follower shedding
-/// stale reads answers retryably) but not transport errors.
+/// The --once / --stats / --promote one-shot path: one request, raw body to
+/// stdout, exit 0 only on an OK response. Retries overloads (a follower
+/// shedding stale reads answers retryably) but not transport errors.
 int RunOnce(const std::string& host, uint16_t port, const std::string& query,
-            bool stats_mode, uint32_t max_attempts) {
+            bool stats_mode, bool promote_mode, uint32_t max_attempts) {
   auto client = xmlq::net::Client::Connect(host, port);
   if (!client.ok()) {
     std::fprintf(stderr, "connect: %s\n",
                  client.status().ToString().c_str());
     return 1;
   }
-  if (stats_mode) {
-    const auto response = client->Stats();
+  if (stats_mode || promote_mode) {
+    const auto response = promote_mode ? client->Promote() : client->Stats();
     if (!response.ok()) {
-      std::fprintf(stderr, "stats: %s\n",
+      std::fprintf(stderr, "%s: %s\n", promote_mode ? "promote" : "stats",
                    response.status().ToString().c_str());
       return 1;
     }
     std::fwrite(response->body.data(), 1, response->body.size(), stdout);
+    if (!response->body.empty() && response->body.back() != '\n') {
+      std::fputc('\n', stdout);
+    }
     return response->code == xmlq::StatusCode::kOk ? 0 : 1;
   }
   std::mt19937_64 rng(0x9E3779B97F4A7C15ull);
@@ -127,6 +135,7 @@ int main(int argc, char** argv) {
   std::string query = "//book/title";
   std::string once;
   bool stats_mode = false;
+  bool promote_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -150,12 +159,13 @@ int main(int argc, char** argv) {
     else if (arg == "--query" && (v = next())) query = v;
     else if (arg == "--once" && (v = next())) once = v;
     else if (arg == "--stats") stats_mode = true;
+    else if (arg == "--promote") promote_mode = true;
     else
       return Usage(argv[0]);
   }
 
-  if (!once.empty() || stats_mode) {
-    return RunOnce(host, port, once, stats_mode, max_attempts);
+  if (!once.empty() || stats_mode || promote_mode) {
+    return RunOnce(host, port, once, stats_mode, promote_mode, max_attempts);
   }
 
   const std::vector<std::string> mix =

@@ -9,13 +9,17 @@
 
 #include <signal.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "xmlq/api/database.h"
 #include "xmlq/datagen/bib_gen.h"
@@ -30,6 +34,14 @@ void HandleSignal(int) {
   // RequestDrain is async-signal-safe (atomic store + eventfd write).
   if (g_server != nullptr) g_server->RequestDrain();
 }
+
+/// SIGUSR1 = coordinated failover (DESIGN.md §14): promote this follower to
+/// primary. The handler only sets a flag — promotion fsyncs, so the real
+/// work runs on the watcher thread (and through the same mutex the wire
+/// kPromote frame uses).
+std::atomic<bool> g_promote_requested{false};
+
+void HandlePromote(int) { g_promote_requested.store(true); }
 
 int Usage(const char* argv0) {
   std::fprintf(
@@ -61,7 +73,10 @@ int Usage(const char* argv0) {
       "                          serve however stale; default 0)\n"
       "  --max-stale-ms N        follower: shed reads when the last\n"
       "                          heartbeat is older than this (0 = no\n"
-      "                          bound; default 0)\n",
+      "                          bound; default 0)\n"
+      "signals: SIGTERM/SIGINT drain; SIGUSR1 promotes a --store server to\n"
+      "primary (stops replication, bumps+persists the epoch, lifts follower\n"
+      "mode) — same as the wire kPromote frame (xmlq_loadgen --promote)\n",
       argv0);
   return 2;
 }
@@ -206,6 +221,18 @@ int main(int argc, char** argv) {
                  store_dir.c_str());
   }
 
+  // Coordinated failover (DESIGN.md §14): one promotion routine serves both
+  // the wire kPromote frame and SIGUSR1. Order matters — the replication
+  // client stops *first* so no shipment from the old primary can apply
+  // concurrently with (or after) the epoch bump.
+  std::mutex promote_mu;
+  auto promote_now = [&db, &repl, &promote_mu]() -> xmlq::Result<uint64_t> {
+    std::lock_guard<std::mutex> lock(promote_mu);
+    if (repl != nullptr) repl->Stop();
+    return db.Promote();
+  };
+  if (!store_dir.empty()) config.on_promote = promote_now;
+
   xmlq::net::Server server(&db, config);
   const xmlq::Status status = server.Start();
   if (!status.ok()) {
@@ -215,7 +242,24 @@ int main(int argc, char** argv) {
   g_server = &server;
   (void)signal(SIGTERM, HandleSignal);
   (void)signal(SIGINT, HandleSignal);
+  (void)signal(SIGUSR1, HandlePromote);
   (void)signal(SIGPIPE, SIG_IGN);
+  std::atomic<bool> watcher_stop{false};
+  std::thread promote_watcher([&] {
+    while (!watcher_stop.load(std::memory_order_acquire)) {
+      if (g_promote_requested.exchange(false)) {
+        auto epoch = promote_now();
+        if (epoch.ok()) {
+          std::fprintf(stderr, "promoted; epoch=%llu\n",
+                       static_cast<unsigned long long>(*epoch));
+        } else {
+          std::fprintf(stderr, "promote: %s\n",
+                       epoch.status().ToString().c_str());
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
   std::fprintf(stderr, "xmlq_serve listening on %s:%u (workers=%u)\n",
                config.host.c_str(), server.port(), config.workers);
   if (!port_file.empty()) {
@@ -224,6 +268,8 @@ int main(int argc, char** argv) {
   }
 
   const xmlq::Status exit_status = server.Wait();
+  watcher_stop.store(true, std::memory_order_release);
+  promote_watcher.join();
   if (repl != nullptr) {
     repl->Stop();
     std::fprintf(stderr, "replication stopped:\n%s",
